@@ -1,0 +1,144 @@
+// Appendix D quantified: interdependent conditions on separate CEs
+// (Figure D-7(a)/(c)) vs the co-located reduction C = A OR B
+// (Figure D-8).
+//
+// Conditions A: "x > y" and B: "y > x" on two drifting reactor
+// temperatures. When both temperatures move together, the two CEs can
+// see the changes in opposite orders and the user receives both "x is
+// hotter" and "y is hotter" within a short window — Example 4's
+// conflict, which exists even WITHOUT replication. The bench sweeps the
+// interleaving divergence (link delay spread) and reports the rate of
+// such conflicting pairs, for the separate-CE architecture and for the
+// C = A OR B reduction (which serializes the decision in one evaluator
+// and cannot contradict itself).
+//
+//   ./bench/appendix_d [--runs 120] [--updates 30] [--seed 23]
+#include <iostream>
+#include <cstdlib>
+#include <memory>
+
+#include "core/rcm.hpp"
+#include "sim/multi_condition.hpp"
+#include "trace/generators.hpp"
+#include "util/args.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rcm;
+
+constexpr VarId kX = 0;
+constexpr VarId kY = 1;
+
+/// A conflicting pair (Example 4's confusion): an A-alert and a B-alert
+/// about essentially the same moment — their x and y sequence numbers
+/// each within one update of each other — telling the user "x is
+/// hotter" and "y is hotter" at once. (Identical seqno pairs cannot
+/// conflict: same values, one verdict; the conflict lives in the
+/// adjacent-update skew the two CEs' interleavings create.)
+std::size_t conflicting_pairs(const std::vector<Alert>& displayed) {
+  std::size_t conflicts = 0;
+  for (std::size_t i = 0; i < displayed.size(); ++i) {
+    for (std::size_t j = i + 1; j < displayed.size(); ++j) {
+      const Alert& a = displayed[i];
+      const Alert& b = displayed[j];
+      if (a.cond == b.cond) continue;
+      if (std::abs(a.seqno(kX) - b.seqno(kX)) <= 1 &&
+          std::abs(a.seqno(kY) - b.seqno(kY)) <= 1)
+        ++conflicts;
+    }
+  }
+  return conflicts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args;
+  args.add_flag("runs", "120", "runs per delay spread");
+  args.add_flag("updates", "30", "updates per reactor");
+  args.add_flag("seed", "23", "master seed");
+  if (!args.parse(argc, argv)) {
+    std::cerr << args.error() << "\n" << args.usage("multi_condition");
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage("multi_condition");
+    return 0;
+  }
+  const auto runs = static_cast<std::size_t>(args.get_int("runs"));
+  const auto updates = static_cast<std::size_t>(args.get_int("updates"));
+
+  auto cond_a = std::make_shared<const GreaterThanCondition>("A", kX, kY);
+  auto cond_b = std::make_shared<const GreaterThanCondition>("B", kY, kX);
+  auto cond_c = std::make_shared<const DisjunctionCondition>(
+      "C", std::vector<ConditionPtr>{cond_a, cond_b});
+
+  std::cout << "Appendix D: interdependent conditions A ('x > y') and "
+               "B ('y > x')\n"
+            << "two co-moving reactors, 2 CEs per condition, AD-1 per "
+               "stream; "
+            << runs << " runs per row\n\n";
+
+  util::Table table({"delay spread", "A+B alerts/run",
+                     "conflicting pairs/run (separate CEs)",
+                     "C alerts/run", "conflicts (C = A or B)"});
+  for (double spread : {0.1, 0.8, 2.0, 4.0}) {
+    util::Accumulator ab_alerts, ab_conflicts, c_alerts;
+    util::Rng master{static_cast<std::uint64_t>(args.get_int("seed")) +
+                     static_cast<std::uint64_t>(spread * 10)};
+    for (std::size_t run = 0; run < runs; ++run) {
+      util::Rng trial = master.fork(run + 1);
+      auto make_traces = [&] {
+        std::vector<trace::Trace> traces;
+        for (VarId v : {kX, kY}) {
+          trace::ReactorParams p;
+          p.base.var = v;
+          p.base.count = updates;
+          p.baseline = 2000.0;
+          p.stddev = 60.0;
+          p.excursion_prob = 0.0;
+          traces.push_back(trace::reactor_trace(p, trial));
+        }
+        return traces;
+      };
+      const auto traces = make_traces();
+
+      sim::MultiConditionConfig separate;
+      separate.groups = {{cond_a, 2, FilterKind::kAd1},
+                         {cond_b, 2, FilterKind::kAd1}};
+      separate.dm_traces = traces;
+      separate.front.delay_max = spread;
+      separate.back.delay_max = spread;
+      separate.seed = trial();
+      const auto sep = sim::run_multi_condition_system(separate);
+      ab_alerts.add(static_cast<double>(sep.displayed.size()));
+      ab_conflicts.add(static_cast<double>(conflicting_pairs(sep.displayed)));
+
+      sim::MultiConditionConfig colocated;
+      colocated.groups = {{cond_c, 2, FilterKind::kAd1}};
+      colocated.dm_traces = traces;
+      colocated.front.delay_max = spread;
+      colocated.back.delay_max = spread;
+      colocated.seed = trial();
+      const auto col = sim::run_multi_condition_system(colocated);
+      c_alerts.add(static_cast<double>(col.displayed.size()));
+      // C cannot contradict itself by construction: one condition, one
+      // verdict per moment. (Conflicting_pairs needs two condition
+      // names, so it is structurally zero here.)
+    }
+    table.add_row({util::fmt_double(spread, 1) + "s",
+                   util::fmt_double(ab_alerts.mean(), 1),
+                   util::fmt_double(ab_conflicts.mean(), 2),
+                   util::fmt_double(c_alerts.mean(), 1), "0 (by construction)"});
+  }
+  std::cout << table.render()
+            << "\nReading: Example 4's confusion — the same (x,y) state "
+               "reported as both 'x hotter' and 'y hotter' — grows with "
+               "interleaving divergence and needs no replication at all; "
+               "folding the conditions into C = A or B (Figure D-8) removes "
+               "the contradiction at the cost of not knowing WHICH way the "
+               "comparison fired without inspecting the alert payload.\n";
+  return 0;
+}

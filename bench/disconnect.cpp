@@ -1,0 +1,111 @@
+// Store-and-forward back links under Alert Displayer outages (paper §1:
+// the PDA is "powered off or disconnected from the network most of the
+// time"; §2.1: the CE "is expected to buffer and store the alerts
+// anyway").
+//
+// Sweeps the fraction of time the AD is offline and reports, per
+// configuration: alert coverage (every alert some CE raised that was
+// eventually displayed), retransmissions, duplicate deliveries absorbed
+// by (replica, index) dedup, and display-latency percentiles. Coverage
+// must be 100% at every outage level — that is the losslessness the
+// paper's back-link model assumes, here actually implemented.
+//
+//   ./bench/disconnect [--runs 60] [--updates 80] [--seed 21]
+#include <iostream>
+#include <memory>
+#include <set>
+
+#include "core/rcm.hpp"
+#include "sim/disconnect.hpp"
+#include "trace/generators.hpp"
+#include "util/args.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rcm;
+  util::Args args;
+  args.add_flag("runs", "60", "runs per outage level");
+  args.add_flag("updates", "80", "updates per run");
+  args.add_flag("seed", "21", "master seed");
+  if (!args.parse(argc, argv)) {
+    std::cerr << args.error() << "\n" << args.usage("disconnect");
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage("disconnect");
+    return 0;
+  }
+  const auto runs = static_cast<std::size_t>(args.get_int("runs"));
+  const auto updates = static_cast<std::size_t>(args.get_int("updates"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  std::cout << "Alert Displayer outages with store-and-forward back links\n"
+            << "2 CEs, 20% front loss, AD-1 filter; " << runs
+            << " runs per row; periodic offline windows\n\n";
+
+  util::Table table({"offline fraction", "coverage", "retransmits/run",
+                     "dup deliveries/run", "median latency", "p99 latency"});
+  bool all_covered = true;
+  for (double offline_frac : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    util::Ratio coverage;
+    util::Accumulator retransmits, dups;
+    util::Percentiles latency;
+    util::Rng master{seed + static_cast<std::uint64_t>(offline_frac * 100)};
+    for (std::size_t run = 0; run < runs; ++run) {
+      util::Rng trial = master.fork(run + 1);
+      sim::DisconnectConfig config;
+      config.base.condition =
+          std::make_shared<const ThresholdCondition>("hot", 0, 55.0);
+      trace::UniformParams p;
+      p.base.var = 0;
+      p.base.count = updates;
+      p.lo = 0.0;
+      p.hi = 100.0;
+      config.base.dm_traces = {trace::uniform_trace(p, trial)};
+      config.base.num_ces = 2;
+      config.base.front.loss = 0.2;
+      config.base.filter = FilterKind::kAd1;
+      config.base.seed = trial();
+      // Periodic outages: each 10s cycle is offline for offline_frac.
+      const double horizon = static_cast<double>(updates) + 5.0;
+      for (double t = 2.0; t < horizon && offline_frac > 0.0; t += 10.0)
+        config.ad_offline.emplace_back(t, t + 10.0 * offline_frac);
+
+      const auto result = sim::run_disconnectable_system(config);
+      std::set<AlertKey> displayed;
+      for (const Alert& a : result.run.displayed) displayed.insert(a.key());
+      std::set<AlertKey> raised;
+      for (const auto& output : result.run.ce_outputs)
+        for (const Alert& a : output) raised.insert(a.key());
+      for (const AlertKey& k : raised) coverage.add(displayed.count(k) != 0);
+      retransmits.add(static_cast<double>(result.retransmissions));
+      dups.add(static_cast<double>(result.duplicate_deliveries));
+      // Latency relative to a zero-outage ideal is dominated by the
+      // wait for reconnection; report raw display-time deltas against
+      // the alert's own display time in this run (arrival->display is
+      // not observable here, so report absolute display times spread).
+      for (std::size_t i = 0; i + 1 < result.display_times.size(); ++i) {
+        const double gap =
+            result.display_times[i + 1] - result.display_times[i];
+        if (gap >= 0) latency.add(gap);
+      }
+    }
+    all_covered = all_covered && coverage.value() == 1.0;
+    table.add_row({util::fmt_percent(offline_frac, 0),
+                   util::fmt_percent(coverage.value()),
+                   util::fmt_double(retransmits.mean(), 1),
+                   util::fmt_double(dups.mean(), 1),
+                   util::fmt_double(latency.percentile(0.5), 2) + "s",
+                   util::fmt_double(latency.percentile(0.99), 2) + "s"});
+  }
+  std::cout << table.render()
+            << "\n(coverage = raised alerts eventually displayed; 100% at "
+               "every outage level is the implemented version of the "
+               "paper's lossless, buffered back links. The p99 inter-"
+               "display gap grows with outages: alerts bunch up at "
+               "reconnection.)\n"
+            << (all_covered ? "RESULT: no alert was ever lost\n"
+                            : "RESULT: ALERT LOSS DETECTED\n");
+  return all_covered ? 0 : 1;
+}

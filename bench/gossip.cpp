@@ -1,0 +1,99 @@
+// CE anti-entropy sweep (extension beyond the paper): how fast must
+// replica-to-replica repair run to neutralize the anomalies the paper's
+// AD algorithms exist to manage?
+//
+// For a conservative historical condition under AD-1 at 30% loss:
+// Theorem 3 predicts completeness violations (split knowledge: each
+// replica holds a different half of a consecutive pair). Repair plugs
+// gaps only while they are fresh — a forwarded update older than the
+// recipient's watermark is discarded (the CE model cannot rewrite its
+// history) — so the repair interval races the update period.
+//
+//   ./bench/gossip [--runs 100] [--updates 40] [--seed 19]
+#include <iostream>
+#include <memory>
+
+#include "check/completeness.hpp"
+#include "check/properties.hpp"
+#include "exp/scenarios.hpp"
+#include "sim/gossip_run.hpp"
+#include "util/args.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rcm;
+  util::Args args;
+  args.add_flag("runs", "100", "runs per repair interval");
+  args.add_flag("updates", "40", "updates per run");
+  args.add_flag("seed", "19", "master seed");
+  if (!args.parse(argc, argv)) {
+    std::cerr << args.error() << "\n" << args.usage("gossip");
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage("gossip");
+    return 0;
+  }
+  const auto runs = static_cast<std::size_t>(args.get_int("runs"));
+  const auto updates = static_cast<std::size_t>(args.get_int("updates"));
+
+  const auto spec =
+      exp::single_var_scenario(exp::Scenario::kLossyConservative, 0.3);
+
+  std::cout << "CE anti-entropy vs Theorem 3's incompleteness\n"
+            << "conservative historical condition, 2 CEs, 30% loss, AD-1, "
+               "update period 1s; "
+            << runs << " runs per row\n\n";
+
+  util::Table table({"repair interval", "incomplete runs", "repairs/run",
+                     "accepted/run", "mean updates per CE"});
+  for (double interval : {-1.0, 4.0, 1.0, 0.5, 0.25, 0.1}) {
+    std::size_t incomplete = 0;
+    util::Accumulator repairs, accepted, inputs;
+    util::Rng master{static_cast<std::uint64_t>(args.get_int("seed")) +
+                     static_cast<std::uint64_t>((interval + 2) * 100)};
+    for (std::size_t run = 0; run < runs; ++run) {
+      util::Rng trial = master.fork(run + 1);
+      sim::SystemConfig config;
+      config.condition = spec.condition;
+      config.dm_traces = spec.make_traces(updates, trial);
+      config.num_ces = 2;
+      config.front.loss = spec.front_loss;
+      config.filter = FilterKind::kAd1;
+      config.seed = trial();
+
+      sim::GossipParams gossip;
+      gossip.enabled = interval > 0.0;
+      gossip.interval = gossip.enabled ? interval : 1.0;
+
+      const auto r = sim::run_gossip_system(config, gossip);
+      if (check::check_complete(r.run.as_system_run(spec.condition)) ==
+          check::Verdict::kViolated)
+        ++incomplete;
+      repairs.add(static_cast<double>(r.repairs_sent));
+      accepted.add(static_cast<double>(r.repairs_accepted));
+      double total = 0;
+      for (const auto& in : r.run.ce_inputs)
+        total += static_cast<double>(in.size());
+      inputs.add(total / 2.0);
+    }
+    table.add_row({interval > 0 ? util::fmt_double(interval, 2) + "s"
+                                : "off",
+                   std::to_string(incomplete) + "/" + std::to_string(runs),
+                   util::fmt_double(repairs.mean(), 1),
+                   util::fmt_double(accepted.mean(), 1),
+                   util::fmt_double(inputs.mean(), 1)});
+  }
+  std::cout
+      << table.render()
+      << "\nReading: a repair can only land in the window between a loss "
+         "and the next direct delivery, so slow gossip repairs only a "
+         "fraction of gaps (stale forwards are discarded); at or below "
+         "the update period each replica converges to the combined "
+         "knowledge and Theorem 3's completeness violations vanish. "
+         "Gossip complements, not replaces, the AD algorithms: "
+         "both-replica losses and alerts raised mid-repair still need "
+         "them.\n";
+  return 0;
+}

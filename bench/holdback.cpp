@@ -1,0 +1,112 @@
+// Ablation of the §4.2 "delayed displaying" alternative against AD-2.
+//
+// The paper rejects the hold-back scheme because, with unbounded delays,
+// a timeout forces out-of-order displays. This bench quantifies the
+// whole trade-off surface the discussion implies:
+//
+//   - AD-2 guarantees orderedness, displays instantly, but discards
+//     out-of-order alerts (incomplete);
+//   - hold-back(t) never discards, costs ~t of display latency, and its
+//     orderedness degrades as t shrinks below the delay spread.
+//
+//   ./bench/holdback [--runs 100] [--updates 60] [--seed 5]
+#include <iostream>
+#include <memory>
+
+#include "core/rcm.hpp"
+#include "sim/holdback_run.hpp"
+#include "sim/system.hpp"
+#include "trace/generators.hpp"
+#include "util/args.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rcm;
+  util::Args args;
+  args.add_flag("runs", "100", "runs per timeout");
+  args.add_flag("updates", "60", "updates per run");
+  args.add_flag("seed", "5", "master seed");
+  if (!args.parse(argc, argv)) {
+    std::cerr << args.error() << "\n" << args.usage("holdback");
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage("holdback");
+    return 0;
+  }
+  const auto runs = static_cast<std::size_t>(args.get_int("runs"));
+  const auto updates = static_cast<std::size_t>(args.get_int("updates"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  auto make_config = [&](std::uint64_t run_seed) {
+    sim::SystemConfig config;
+    config.condition =
+        std::make_shared<const ThresholdCondition>("hot", 0, 55.0);
+    util::Rng rng{run_seed};
+    trace::UniformParams p;
+    p.base.var = 0;
+    p.base.count = updates;
+    p.lo = 0.0;
+    p.hi = 100.0;
+    config.dm_traces = {trace::uniform_trace(p, rng)};
+    config.num_ces = 2;
+    config.front.loss = 0.25;
+    config.front.delay_max = 2.5;  // wider than the 1s update period
+    config.back.delay_max = 2.5;
+    config.seed = run_seed;
+    return config;
+  };
+
+  std::cout << "Hold-back vs AD-2 (the §4.2 'delayed displaying' "
+               "discussion, quantified)\n"
+            << "update period 1s, link delays up to 2.5s, 25% loss, 2 CEs, "
+            << runs << " runs per row\n\n";
+
+  util::Table table({"displayer", "displayed/run", "discarded/run",
+                     "late (unordered) displays/run", "mean latency",
+                     "p99 latency"});
+
+  // AD-2 baseline.
+  {
+    util::Accumulator displayed, discarded;
+    util::Rng master{seed};
+    for (std::size_t run = 0; run < runs; ++run) {
+      auto config = make_config(master.fork(run)());
+      config.filter = FilterKind::kAd2;
+      const auto r = sim::run_system(config);
+      displayed.add(static_cast<double>(r.displayed.size()));
+      discarded.add(static_cast<double>(r.arrived.size() - r.displayed.size()));
+    }
+    table.add_row({"AD-2", util::fmt_double(displayed.mean(), 1),
+                   util::fmt_double(discarded.mean(), 1), "0.0 (guaranteed)",
+                   "0.00s", "0.00s"});
+  }
+
+  for (double timeout : {0.0, 0.5, 1.0, 2.5, 5.0}) {
+    util::Accumulator displayed, late;
+    util::Percentiles latency;
+    util::Rng master{seed};
+    for (std::size_t run = 0; run < runs; ++run) {
+      const auto config = make_config(master.fork(run)());
+      const auto r = sim::run_holdback_system(config, timeout);
+      displayed.add(static_cast<double>(r.displayed.size()));
+      late.add(static_cast<double>(r.late_displays));
+      for (double l : r.display_latency) latency.add(l);
+    }
+    table.add_row({"hold-back t=" + util::fmt_double(timeout, 1) + "s",
+                   util::fmt_double(displayed.mean(), 1), "0.0 (never)",
+                   util::fmt_double(late.mean(), 2),
+                   util::fmt_double(latency.percentile(0.5), 2) + "s",
+                   util::fmt_double(latency.percentile(0.99), 2) + "s"});
+  }
+
+  std::cout << table.render()
+            << "\nReading: AD-2 pays in discarded alerts; hold-back pays in "
+               "latency, and below the delay spread (2.5s) it also pays in "
+               "order violations — the paper's objection. At t >= the delay "
+               "bound it matches AD-2's orderedness while staying complete, "
+               "which is why 'delayed displaying' only helps when delays "
+               "are bounded.\n";
+  return 0;
+}

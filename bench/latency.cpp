@@ -1,0 +1,156 @@
+// Alert delivery latency: time from the Data Monitor emitting the
+// triggering update to the user seeing the alert, per AD algorithm and
+// per replication degree.
+//
+// The paper's AD algorithms are pass/drop decisions — they add no
+// queueing delay — so their latency distributions should coincide and be
+// dominated by the two link hops. What replication changes is the
+// latency of FIRST display for alerts one replica would have missed or
+// delivered late: the fastest replica wins the race. The §4.2 hold-back
+// displayer is included as the contrast: its guarantees cost a full
+// timeout of latency.
+//
+//   ./bench/latency [--runs 80] [--updates 60] [--seed 27]
+#include <iostream>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/rcm.hpp"
+#include "sim/holdback_run.hpp"
+#include "sim/system.hpp"
+#include "trace/generators.hpp"
+#include "util/args.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rcm;
+
+/// Emission time of each (seqno) of the single DM trace.
+std::map<SeqNo, double> emission_times(const trace::Trace& trace) {
+  std::map<SeqNo, double> out;
+  for (const auto& tu : trace) out[tu.update.seqno] = tu.time;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args;
+  args.add_flag("runs", "80", "runs per configuration");
+  args.add_flag("updates", "60", "updates per run");
+  args.add_flag("seed", "27", "master seed");
+  if (!args.parse(argc, argv)) {
+    std::cerr << args.error() << "\n" << args.usage("latency");
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage("latency");
+    return 0;
+  }
+  const auto runs = static_cast<std::size_t>(args.get_int("runs"));
+  const auto updates = static_cast<std::size_t>(args.get_int("updates"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  auto condition =
+      std::make_shared<const ThresholdCondition>("hot", 0, 55.0);
+
+  std::cout << "Emission-to-display latency (link delays 5-300ms per hop, "
+               "20% front loss)\n"
+            << runs << " runs per row, " << updates << " updates each\n\n";
+
+  util::Table table({"configuration", "alerts/run", "median", "p95", "p99"});
+
+  auto make_config = [&](std::size_t ces, FilterKind filter,
+                         std::uint64_t run_seed) {
+    sim::SystemConfig config;
+    config.condition = condition;
+    util::Rng rng{run_seed};
+    trace::UniformParams p;
+    p.base.var = 0;
+    p.base.count = updates;
+    p.lo = 0.0;
+    p.hi = 100.0;
+    config.dm_traces = {trace::uniform_trace(p, rng)};
+    config.num_ces = ces;
+    config.front.loss = 0.2;
+    config.front.delay_min = 0.005;
+    config.front.delay_max = 0.300;
+    config.back.delay_min = 0.005;
+    config.back.delay_max = 0.300;
+    config.filter = filter;
+    config.seed = run_seed;
+    return config;
+  };
+
+  struct Row {
+    std::string label;
+    std::size_t ces;
+    FilterKind filter;
+  };
+  const Row rows[] = {
+      {"1 CE, pass-all (non-replicated)", 1, FilterKind::kPassAll},
+      {"2 CEs, AD-1", 2, FilterKind::kAd1},
+      {"2 CEs, AD-4", 2, FilterKind::kAd4},
+      {"3 CEs, AD-1", 3, FilterKind::kAd1},
+      {"3 CEs, AD-4", 3, FilterKind::kAd4},
+  };
+  for (const Row& row : rows) {
+    util::Percentiles latency;
+    util::Accumulator alerts;
+    util::Rng master{seed};
+    for (std::size_t run = 0; run < runs; ++run) {
+      const auto config = make_config(row.ces, row.filter, master.fork(run)());
+      const auto r = sim::run_system(config);
+      const auto emitted = emission_times(config.dm_traces[0]);
+      alerts.add(static_cast<double>(r.displayed.size()));
+      // First display per alert key, against the trigger's emission.
+      std::set<AlertKey> seen;
+      for (std::size_t i = 0; i < r.displayed.size(); ++i) {
+        const Alert& a = r.displayed[i];
+        if (!seen.insert(a.key()).second) continue;
+        const auto it = emitted.find(a.seqno(0));
+        if (it != emitted.end())
+          latency.add(r.display_times[i] - it->second);
+      }
+    }
+    table.add_row({row.label, util::fmt_double(alerts.mean(), 1),
+                   util::fmt_double(latency.percentile(0.5) * 1000, 0) + "ms",
+                   util::fmt_double(latency.percentile(0.95) * 1000, 0) + "ms",
+                   util::fmt_double(latency.percentile(0.99) * 1000, 0) + "ms"});
+  }
+
+  // Hold-back contrast.
+  for (double timeout : {0.5, 2.0}) {
+    util::Percentiles latency;
+    util::Accumulator alerts;
+    util::Rng master{seed};
+    for (std::size_t run = 0; run < runs; ++run) {
+      const auto config =
+          make_config(2, FilterKind::kPassAll, master.fork(run)());
+      const auto r = sim::run_holdback_system(config, timeout);
+      const auto emitted = emission_times(config.dm_traces[0]);
+      alerts.add(static_cast<double>(r.displayed.size()));
+      // Hold-back latency is arrival->display; add the emission->arrival
+      // part by reconstruction: total = (arrival - emission) + held time.
+      // run_holdback_system reports held time directly; approximate the
+      // first hop with the configured mean link delay for the report.
+      for (double held : r.display_latency)
+        latency.add(held + 2 * 0.1525);  // two hops, mean delay each
+    }
+    table.add_row({"2 CEs, hold-back t=" + util::fmt_double(timeout, 1) + "s",
+                   util::fmt_double(alerts.mean(), 1),
+                   util::fmt_double(latency.percentile(0.5) * 1000, 0) + "ms",
+                   util::fmt_double(latency.percentile(0.95) * 1000, 0) + "ms",
+                   util::fmt_double(latency.percentile(0.99) * 1000, 0) + "ms"});
+  }
+
+  std::cout << table.render()
+            << "\nReading: the AD-i algorithms add no latency — replication "
+               "even shaves the tail, since the fastest replica's alert "
+               "displays first. Only the hold-back variant pays latency "
+               "for its (probabilistic) orderedness.\n";
+  return 0;
+}

@@ -1,0 +1,245 @@
+// Micro-benchmarks (google-benchmark): the per-alert cost of each AD
+// algorithm, the per-update cost of condition evaluation (built-in vs
+// expression-compiled), and the property checkers. The paper argues the
+// AD algorithms are cheap enough for PDA-class alert displayers; these
+// numbers substantiate that for this implementation.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "check/consistency.hpp"
+#include "core/rcm.hpp"
+#include "sim/simulator.hpp"
+#include "sim/link.hpp"
+#include "util/rng.hpp"
+#include "wire/codec.hpp"
+#include "wire/frame.hpp"
+
+namespace {
+
+using namespace rcm;
+
+// A realistic alert mix: degree-2 windows over a lossy stream, some
+// duplicated, some out of order — produced once and replayed.
+std::vector<Alert> make_alert_mix(std::size_t n) {
+  util::Rng rng{7};
+  auto cond = std::make_shared<const RiseCondition>("rise", 0, 10.0,
+                                                    Triggering::kAggressive);
+  ConditionEvaluator ce1{cond, "CE1"}, ce2{cond, "CE2"};
+  std::vector<Alert> out;
+  SeqNo s = 1;
+  while (out.size() < n) {
+    const Update u{0, s++, rng.uniform(0.0, 100.0)};
+    if (!rng.bernoulli(0.2))
+      if (auto a = ce1.on_update(u)) out.push_back(*a);
+    if (!rng.bernoulli(0.2))
+      if (auto a = ce2.on_update(u)) out.push_back(*a);
+  }
+  out.resize(n);
+  return out;
+}
+
+const std::vector<Alert>& alert_mix() {
+  static const std::vector<Alert> mix = make_alert_mix(4096);
+  return mix;
+}
+
+template <typename Filter>
+void run_filter_bench(benchmark::State& state, Filter& filter) {
+  const auto& mix = alert_mix();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.offer(mix[i]));
+    if (++i == mix.size()) {
+      i = 0;
+      state.PauseTiming();
+      filter.reset();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_FilterAd1(benchmark::State& state) {
+  Ad1DuplicateFilter f;
+  run_filter_bench(state, f);
+}
+BENCHMARK(BM_FilterAd1);
+
+void BM_FilterAd2(benchmark::State& state) {
+  Ad2OrderedFilter f{0};
+  run_filter_bench(state, f);
+}
+BENCHMARK(BM_FilterAd2);
+
+void BM_FilterAd3(benchmark::State& state) {
+  Ad3ConsistentFilter f;
+  run_filter_bench(state, f);
+}
+BENCHMARK(BM_FilterAd3);
+
+void BM_FilterAd4(benchmark::State& state) {
+  Ad4OrderedConsistentFilter f{0};
+  run_filter_bench(state, f);
+}
+BENCHMARK(BM_FilterAd4);
+
+void BM_FilterAd5(benchmark::State& state) {
+  Ad5MultiOrderedFilter f{{0}};
+  run_filter_bench(state, f);
+}
+BENCHMARK(BM_FilterAd5);
+
+void BM_FilterAd6(benchmark::State& state) {
+  Ad6MultiOrderedConsistentFilter f{{0}};
+  run_filter_bench(state, f);
+}
+BENCHMARK(BM_FilterAd6);
+
+// ------------------------------------------------- condition evaluation ----
+
+void BM_EvaluateBuiltinRise(benchmark::State& state) {
+  auto cond = std::make_shared<const RiseCondition>("rise", 0, 10.0,
+                                                    Triggering::kAggressive);
+  ConditionEvaluator ce{cond};
+  util::Rng rng{3};
+  SeqNo s = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ce.on_update({0, s++, rng.uniform(0.0, 100.0)}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EvaluateBuiltinRise);
+
+void BM_EvaluateExpressionRise(benchmark::State& state) {
+  VariableRegistry vars;
+  auto cond = expr::compile_condition("rise", "x[0] - x[-1] > 10", vars);
+  ConditionEvaluator ce{cond};
+  util::Rng rng{3};
+  SeqNo s = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ce.on_update({0, s++, rng.uniform(0.0, 100.0)}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EvaluateExpressionRise);
+
+void BM_EvaluateExpressionConservative(benchmark::State& state) {
+  VariableRegistry vars;
+  auto cond = expr::compile_condition(
+      "rise", "x[0] - x[-1] > 10 && consecutive(x)", vars);
+  ConditionEvaluator ce{cond};
+  util::Rng rng{3};
+  SeqNo s = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ce.on_update({0, s++, rng.uniform(0.0, 100.0)}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EvaluateExpressionConservative);
+
+// ------------------------------------------------------- alert digests ----
+
+void BM_AlertKey(benchmark::State& state) {
+  const auto& mix = alert_mix();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mix[i].key());
+    if (++i == mix.size()) i = 0;
+  }
+}
+BENCHMARK(BM_AlertKey);
+
+void BM_AlertChecksum(benchmark::State& state) {
+  const auto& mix = alert_mix();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mix[i].checksum());
+    if (++i == mix.size()) i = 0;
+  }
+}
+BENCHMARK(BM_AlertChecksum);
+
+// ------------------------------------------------------ property check ----
+
+// ----------------------------------------------------- sim primitives ----
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i)
+      sim.schedule_at(static_cast<double>(i), [&counter] { ++counter; });
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_LossyLinkThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::size_t delivered = 0;
+    sim::Link<Update> link{sim,
+                           {0.001, 0.01, 0.2},
+                           util::Rng{5},
+                           [&delivered](const Update&) { ++delivered; }};
+    for (SeqNo s = 1; s <= 1000; ++s)
+      sim.schedule_at(static_cast<double>(s) * 0.001,
+                      [&link, s] { link.send({0, s, 1.0}); });
+    sim.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_LossyLinkThroughput);
+
+// ------------------------------------------------------- wire protocol ----
+
+void BM_WireEncodeDecodeUpdate(benchmark::State& state) {
+  const Update u{3, 123456, 2999.5};
+  for (auto _ : state) {
+    const auto bytes = wire::encode_update(u);
+    benchmark::DoNotOptimize(wire::decode_update(bytes));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WireEncodeDecodeUpdate);
+
+void BM_WireFrameRoundTrip(benchmark::State& state) {
+  const auto payload = wire::encode_update({3, 123456, 2999.5});
+  for (auto _ : state) {
+    const auto framed = wire::frame(payload);
+    wire::FrameCursor cursor;
+    cursor.feed(framed);
+    benchmark::DoNotOptimize(cursor.next());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WireFrameRoundTrip);
+
+// ------------------------------------------------------ property check ----
+
+void BM_ConsistencyCheck(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto cond = std::make_shared<const RiseCondition>("rise", 0, 10.0,
+                                                    Triggering::kAggressive);
+  util::Rng rng{5};
+  std::vector<Update> u;
+  for (std::size_t i = 0; i < n; ++i)
+    u.push_back({0, static_cast<SeqNo>(i + 1), rng.uniform(0.0, 100.0)});
+  check::SystemRun run;
+  run.condition = cond;
+  run.ce_inputs = {u};
+  run.displayed = evaluate_trace(cond, u);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check::check_consistent(run));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ConsistencyCheck)->Range(16, 1024)->Complexity();
+
+}  // namespace

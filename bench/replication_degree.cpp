@@ -1,0 +1,102 @@
+// Replication-degree sweep: how the paper's properties and the alert
+// volume behave as the number of CE replicas grows beyond the two the
+// paper analyzes ("Analysis for systems with more than two CEs can be
+// easily extended", §2.1).
+//
+// For k = 1..5 replicas under an aggressive historical condition and
+// lossy links, reports: delivery coverage of the combined-knowledge
+// reference, violation rates of the three properties under AD-1 and
+// under AD-4, and the AD's suppression workload. The paper's qualitative
+// claims should extend: more replicas -> better coverage, but under AD-1
+// also more inconsistency; AD-4 stays clean at any k.
+//
+//   ./bench/replication_degree [--runs 100] [--updates 40] [--seed 33]
+#include <iostream>
+#include <set>
+
+#include "check/consistency.hpp"
+#include "check/properties.hpp"
+#include "exp/scenarios.hpp"
+#include "sim/system.hpp"
+#include "util/args.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rcm;
+  util::Args args;
+  args.add_flag("runs", "100", "runs per replica count");
+  args.add_flag("updates", "40", "updates per run");
+  args.add_flag("seed", "33", "master seed");
+  if (!args.parse(argc, argv)) {
+    std::cerr << args.error() << "\n" << args.usage("replication_degree");
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage("replication_degree");
+    return 0;
+  }
+  const auto runs = static_cast<std::size_t>(args.get_int("runs"));
+  const auto updates = static_cast<std::size_t>(args.get_int("updates"));
+
+  std::cout << "Scaling the number of CE replicas (aggressive historical "
+               "condition, 20% loss)\n"
+            << runs << " runs per row; coverage = displayed alert keys / "
+            << "keys of T(combined inputs)\n\n";
+
+  util::Table table({"replicas", "filter", "coverage", "unordered runs",
+                     "inconsistent runs", "suppressed/run"});
+  const auto spec =
+      exp::single_var_scenario(exp::Scenario::kLossyAggressive, 0.2);
+  for (std::size_t k = 1; k <= 5; ++k) {
+    for (FilterKind filter : {FilterKind::kAd1, FilterKind::kAd4}) {
+      util::Ratio coverage;
+      std::size_t unordered = 0, inconsistent = 0;
+      util::Accumulator suppressed;
+      util::Rng master{static_cast<std::uint64_t>(args.get_int("seed")) +
+                       k * 977 + (filter == FilterKind::kAd1 ? 0 : 1)};
+      for (std::size_t run = 0; run < runs; ++run) {
+        util::Rng trial = master.fork(run + 1);
+        sim::SystemConfig config;
+        config.condition = spec.condition;
+        config.dm_traces = spec.make_traces(updates, trial);
+        config.num_ces = k;
+        config.front.loss = spec.front_loss;
+        config.front.delay_max = 0.8;
+        config.back.delay_max = 0.8;
+        config.filter = filter;
+        config.seed = trial();
+        const auto r = sim::run_system(config);
+
+        const auto sys_run = r.as_system_run(spec.condition);
+        const auto combined = check::combined_inputs(r.ce_inputs);
+        const auto reference = evaluate_trace(
+            spec.condition,
+            combined.empty() ? std::vector<Update>{} : combined.front().second);
+        std::set<AlertKey> displayed;
+        for (const Alert& a : r.displayed) displayed.insert(a.key());
+        for (const Alert& a : reference)
+          coverage.add(displayed.count(a.key()) != 0);
+
+        if (!check::check_ordered(r.displayed,
+                                  spec.condition->variables()))
+          ++unordered;
+        if (!check::check_consistent(sys_run).consistent) ++inconsistent;
+        suppressed.add(
+            static_cast<double>(r.arrived.size() - r.displayed.size()));
+      }
+      table.add_row({std::to_string(k),
+                     std::string(filter_kind_name(filter)),
+                     util::fmt_percent(coverage.value()),
+                     std::to_string(unordered) + "/" + std::to_string(runs),
+                     std::to_string(inconsistent) + "/" + std::to_string(runs),
+                     util::fmt_double(suppressed.mean(), 1)});
+    }
+  }
+  std::cout << table.render()
+            << "\nReading: coverage climbs with k under AD-1 (each replica "
+               "plugs the others' losses) while unordered/inconsistent runs "
+               "grow too; AD-4 holds its guarantees at every k at the cost "
+               "of coverage — the paper's two-replica trade-off, extended.\n";
+  return 0;
+}

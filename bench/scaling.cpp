@@ -1,0 +1,131 @@
+// Scaling sweeps: how the core data path costs grow with the model's
+// two size parameters —
+//
+//   (a) condition degree (history window width): CE evaluation cost and
+//       alert wire size for degree 1..64;
+//   (b) run length: the AD-3 ledger's memory growth, unbounded vs the
+//       horizon-bounded variant (the engineering trade-off of
+//       core/bounded_ledger.hpp, measured).
+//
+//   ./bench/scaling [--seed 15]
+#include <chrono>
+#include <iostream>
+#include <memory>
+
+#include "core/rcm.hpp"
+#include "util/rng.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "wire/codec.hpp"
+
+namespace {
+
+using namespace rcm;
+
+/// Degree-d condition: value rose relative to the window minimum.
+ConditionPtr degree_condition(int degree) {
+  return std::make_shared<const PredicateCondition>(
+      "deg" + std::to_string(degree),
+      std::vector<std::pair<VarId, int>>{{0, degree}},
+      Triggering::kAggressive, [degree](const HistorySet& h) {
+        const History& hist = h.of(0);
+        double lo = hist.at(0).value;
+        for (int i = 1; i < degree; ++i) lo = std::min(lo, hist.at(-i).value);
+        return hist.at(0).value - lo > 30.0;
+      });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args;
+  args.add_flag("seed", "15", "seed");
+  if (!args.parse(argc, argv)) {
+    std::cerr << args.error() << "\n" << args.usage("scaling");
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage("scaling");
+    return 0;
+  }
+
+  std::cout << "(a) condition degree sweep: per-update evaluation cost and "
+               "alert wire size\n";
+  util::Table degree_table({"degree", "ns/update", "alert bytes (full)",
+                            "alert bytes (seqnos)", "alert bytes (checksum)"});
+  std::size_t benchmark_alert_count = 0;  // defeats dead-code elimination
+  for (int degree : {1, 2, 4, 8, 16, 32, 64}) {
+    auto cond = degree_condition(degree);
+    ConditionEvaluator ce{cond};
+    util::Rng rng{static_cast<std::uint64_t>(args.get_int("seed"))};
+    constexpr int kUpdates = 200000;
+    // Wire sizes are measured on a representative full-degree alert
+    // (independent of whether the timing workload happens to trigger).
+    Alert sample;
+    sample.cond = cond->name();
+    {
+      std::vector<Update> window;
+      for (int i = 0; i < degree; ++i)
+        window.push_back({0, static_cast<SeqNo>(i + 1), 50.0 + i});
+      sample.histories.emplace(0, std::move(window));
+    }
+    const auto start = std::chrono::steady_clock::now();
+    for (SeqNo s = 1; s <= kUpdates; ++s) {
+      if (auto a = ce.on_update({0, s, rng.uniform(0.0, 100.0)}))
+        benchmark_alert_count += a->histories.size();
+    }
+    const double ns =
+        std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - start)
+            .count() /
+        kUpdates;
+    degree_table.add_row(
+        {std::to_string(degree), util::fmt_double(ns, 1),
+         std::to_string(
+             wire::encode_alert(sample, wire::AlertEncoding::kFullHistories)
+                 .size()),
+         std::to_string(
+             wire::encode_alert(sample, wire::AlertEncoding::kSeqnosOnly)
+                 .size()),
+         std::to_string(
+             wire::encode_alert(sample, wire::AlertEncoding::kChecksumOnly)
+                 .size())});
+  }
+  std::cout << degree_table.render() << "\n";
+  if (benchmark_alert_count == SIZE_MAX) std::cout << "";  // keep the counter observable
+
+  std::cout << "(b) AD-3 ledger growth over run length (degree-2 alerts, "
+               "25% gaps), unbounded vs horizon 128\n";
+  util::Table ledger_table({"alerts processed", "AD-3 entries (lower bound)",
+                            "AD-3b entries (horizon 128)"});
+  Ad3BoundedFilter bounded{128};
+  Ad3ConsistentFilter unbounded;
+  util::Rng rng{static_cast<std::uint64_t>(args.get_int("seed")) + 1};
+  SeqNo s = 1;
+  std::size_t processed = 0;
+  for (std::size_t checkpoint : {1000u, 10000u, 100000u}) {
+    while (processed < checkpoint) {
+      s += rng.bernoulli(0.25) ? 2 : 1;  // occasional gap
+      Alert a;
+      a.cond = "c";
+      a.histories.emplace(
+          0, std::vector<Update>{{0, s - 1 - (rng.bernoulli(0.2) ? 1 : 0), 0.0},
+                                 {0, s, 1.0}});
+      (void)unbounded.offer(a);
+      (void)bounded.offer(a);
+      ++processed;
+    }
+    // The unbounded ledger holds at least one entry per distinct seqno
+    // touched; report the seqno span as the lower bound.
+    ledger_table.add_row({std::to_string(processed),
+                          ">= " + std::to_string(s),
+                          std::to_string(bounded.ledger_entries())});
+  }
+  std::cout << ledger_table.render()
+            << "\nReading: evaluation cost and full-history wire size grow "
+               "linearly with degree (seqno delta-encoding keeps the seqnos "
+               "form compact; the checksum form is constant); the unbounded "
+               "AD-3 ledger grows with the run while the bounded variant "
+               "plateaus at ~horizon entries.\n";
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces Theorem 10 as a table: multi-variable systems under
+// Algorithm AD-1 are neither ordered nor consistent (hence incomplete)
+// in every scenario — interleaving divergence alone breaks them, even
+// with lossless links.
+#include "table_common.hpp"
+
+int main(int argc, char** argv) {
+  return rcm::bench::run_table_bench(
+      "Theorem 10 — multi-variable systems under Algorithm AD-1",
+      rcm::FilterKind::kAd1, /*multi_variable=*/true, argc, argv);
+}

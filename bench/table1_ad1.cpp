@@ -1,0 +1,10 @@
+// Reproduces Table 1: single-variable systems under Algorithm AD-1
+// (Theorems 1-4). Paper rows: Lossless ✓✓✓; Lossy Non-historical ✗✓✓;
+// Lossy Conservative ✗✗✓; Lossy Aggressive ✗✗✗.
+#include "table_common.hpp"
+
+int main(int argc, char** argv) {
+  return rcm::bench::run_table_bench(
+      "Table 1 — single-variable systems under Algorithm AD-1",
+      rcm::FilterKind::kAd1, /*multi_variable=*/false, argc, argv);
+}

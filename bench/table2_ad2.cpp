@@ -1,0 +1,11 @@
+// Reproduces Table 2: single-variable systems under Algorithm AD-2
+// (Theorem 5: maximally ordered). Paper rows: Lossless ✓✓✓; every lossy
+// row ordered; completeness lost everywhere lossy; aggressive also loses
+// consistency.
+#include "table_common.hpp"
+
+int main(int argc, char** argv) {
+  return rcm::bench::run_table_bench(
+      "Table 2 — single-variable systems under Algorithm AD-2",
+      rcm::FilterKind::kAd2, /*multi_variable=*/false, argc, argv);
+}

@@ -1,0 +1,10 @@
+// Reproduces Table 3: multi-variable systems under Algorithm AD-5
+// (Lemmas 4-6): ordered everywhere, complete nowhere, consistent except
+// under aggressive triggering.
+#include "table_common.hpp"
+
+int main(int argc, char** argv) {
+  return rcm::bench::run_table_bench(
+      "Table 3 — multi-variable systems under Algorithm AD-5",
+      rcm::FilterKind::kAd5, /*multi_variable=*/true, argc, argv);
+}

@@ -1,0 +1,10 @@
+// Reproduces the AD-3 variant table stated in §4.3: "very similar to
+// Table 1 except that the last row (Aggressive Triggering) is also
+// consistent" (Theorem 7: maximally consistent).
+#include "table_common.hpp"
+
+int main(int argc, char** argv) {
+  return rcm::bench::run_table_bench(
+      "§4.3 variant — single-variable systems under Algorithm AD-3",
+      rcm::FilterKind::kAd3, /*multi_variable=*/false, argc, argv);
+}

@@ -1,0 +1,10 @@
+// Reproduces the AD-4 variant table stated in §4.4: "very similar to
+// Table 2 except that Aggressive Triggering also becomes consistent"
+// (Theorem 9: maximally ordered-and-consistent).
+#include "table_common.hpp"
+
+int main(int argc, char** argv) {
+  return rcm::bench::run_table_bench(
+      "§4.4 variant — single-variable systems under Algorithm AD-4",
+      rcm::FilterKind::kAd4, /*multi_variable=*/false, argc, argv);
+}

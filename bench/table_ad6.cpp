@@ -1,0 +1,9 @@
+// Reproduces the AD-6 variant stated in §5.2: Table 3 with the
+// Aggressive Triggering row also consistent.
+#include "table_common.hpp"
+
+int main(int argc, char** argv) {
+  return rcm::bench::run_table_bench(
+      "§5.2 variant — multi-variable systems under Algorithm AD-6",
+      rcm::FilterKind::kAd6, /*multi_variable=*/true, argc, argv);
+}

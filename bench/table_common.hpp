@@ -1,0 +1,67 @@
+// Shared driver for the property-table benches (Tables 1-3 and the
+// AD-3/AD-4/AD-6 variants stated in the paper's prose).
+//
+// Each bench binary fixes (filter, single-or-multi-variable) and calls
+// run_table_bench(), which Monte-Carlo sweeps the four scenario rows and
+// prints the paper's claimed cells next to the measured violation counts.
+// Exit status is 0 iff every row agrees with the paper.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/scenarios.hpp"
+#include "exp/table_experiment.hpp"
+#include "util/args.hpp"
+
+namespace rcm::bench {
+
+inline int run_table_bench(const std::string& title, FilterKind filter,
+                           bool multi_variable, int argc, char** argv) {
+  util::Args args;
+  args.add_flag("runs", "150", "Monte-Carlo runs per scenario row");
+  args.add_flag("updates", multi_variable ? "8" : "40",
+                "updates per variable per run");
+  args.add_flag("loss", "0.2", "front-link loss for the lossy rows");
+  args.add_flag("seed", "42", "master seed");
+  if (!args.parse(argc, argv)) {
+    std::cerr << args.error() << "\n" << args.usage(title);
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage(title);
+    return 0;
+  }
+
+  exp::SweepParams params;
+  params.runs = static_cast<std::size_t>(args.get_int("runs"));
+  params.updates_per_var = static_cast<std::size_t>(args.get_int("updates"));
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  std::cout << title << "\n"
+            << "(" << params.runs << " randomized runs per row, "
+            << params.updates_per_var << " updates/variable, loss "
+            << args.get("loss") << "; a property cell 'held' means no "
+            << "violation in any run, 'VIOLATED (k/n)' means k runs "
+            << "violated it)\n\n";
+
+  std::vector<std::pair<exp::Scenario, exp::PropertyCounts>> rows;
+  bool all_agree = true;
+  for (exp::Scenario s : exp::kAllScenarios) {
+    const exp::ScenarioSpec spec =
+        multi_variable ? exp::multi_var_scenario(s, args.get_double("loss"))
+                       : exp::single_var_scenario(s, args.get_double("loss"));
+    const exp::PropertyCounts counts = sweep_scenario(spec, filter, params);
+    all_agree = all_agree &&
+                agrees_with_paper(paper_claim(filter, s, multi_variable), counts);
+    rows.emplace_back(s, counts);
+  }
+  std::cout << render_property_table(filter, multi_variable, rows) << "\n"
+            << (all_agree ? "RESULT: every row agrees with the paper\n"
+                          : "RESULT: MISMATCH with the paper (see table)\n");
+  return all_agree ? 0 : 1;
+}
+
+}  // namespace rcm::bench

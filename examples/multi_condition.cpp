@@ -1,0 +1,122 @@
+// Appendix D: monitoring two interdependent conditions, A: "reactor x
+// hotter than reactor y" and B: "y hotter than x".
+//
+//   ./examples/multi_condition [--seed 2] [--updates 40] [--loss 0.1]
+//
+// Part 1 reproduces Example 4: even without replication, separate CEs
+// can paint a conflicting picture. Part 2 runs the two Appendix D
+// architectures on the simulator: separate replicated CE fleets per
+// condition (Figure D-7(c)) with a per-condition router at the AD, and
+// the co-located reduction C = A OR B (Figure D-8).
+#include <iostream>
+#include <memory>
+
+#include "check/properties.hpp"
+#include "core/rcm.hpp"
+#include "core/multi_condition.hpp"
+#include "sim/multi_condition.hpp"
+#include "trace/generators.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+constexpr rcm::VarId kX = 0;
+constexpr rcm::VarId kY = 1;
+
+rcm::ConditionPtr cond_a() {
+  return std::make_shared<const rcm::GreaterThanCondition>("A", kX, kY);
+}
+rcm::ConditionPtr cond_b() {
+  return std::make_shared<const rcm::GreaterThanCondition>("B", kY, kX);
+}
+
+void part1_example4() {
+  std::cout << "--- Example 4: interdependent conditions conflict ---\n"
+            << "both reactors at 2000, then both rise to 2100; the CE for\n"
+            << "A sees x change first, the CE for B sees y change first\n";
+  rcm::ConditionEvaluator ce_a{cond_a(), "CE-A"};
+  rcm::ConditionEvaluator ce_b{cond_b(), "CE-B"};
+  std::vector<rcm::Alert> alerts;
+  for (const rcm::Update& u : std::vector<rcm::Update>{
+           {kX, 1, 2000}, {kY, 1, 2000}, {kX, 2, 2100}, {kY, 2, 2100}})
+    if (auto a = ce_a.on_update(u)) alerts.push_back(*a);
+  for (const rcm::Update& u : std::vector<rcm::Update>{
+           {kX, 1, 2000}, {kY, 1, 2000}, {kY, 2, 2100}, {kX, 2, 2100}})
+    if (auto a = ce_b.on_update(u)) alerts.push_back(*a);
+  for (const rcm::Alert& a : alerts)
+    std::cout << "  alert from condition " << a.cond << "\n";
+  std::cout << "the user is told both \"x hotter\" AND \"y hotter\" — a\n"
+            << "conflict inherent to interdependent conditions.\n\n";
+}
+
+void part2_architectures(std::size_t updates, double loss,
+                         std::uint64_t seed) {
+  rcm::util::Rng rng{seed};
+  auto make_traces = [&] {
+    std::vector<rcm::trace::Trace> traces;
+    for (rcm::VarId v : {kX, kY}) {
+      rcm::trace::ReactorParams p;
+      p.base.var = v;
+      p.base.count = updates;
+      p.baseline = 2000.0;
+      p.stddev = 60.0;
+      p.excursion_prob = 0.0;
+      traces.push_back(rcm::trace::reactor_trace(p, rng));
+    }
+    return traces;
+  };
+
+  std::cout << "--- Figure D-7(c): separate replicated CEs per condition ---\n";
+  rcm::sim::MultiConditionConfig separate;
+  separate.groups = {{cond_a(), 2, rcm::FilterKind::kAd5},
+                     {cond_b(), 2, rcm::FilterKind::kAd5}};
+  separate.dm_traces = make_traces();
+  separate.front.loss = loss;
+  separate.seed = seed;
+  const auto sep = rcm::sim::run_multi_condition_system(separate);
+  std::cout << "displayed: " << sep.per_condition.at("A").size()
+            << " A-alerts, " << sep.per_condition.at("B").size()
+            << " B-alerts; per-stream AD-5 keeps each stream ordered: "
+            << std::boolalpha
+            << (rcm::check::check_ordered(sep.per_condition.at("A"),
+                                          {kX, kY}) &&
+                rcm::check::check_ordered(sep.per_condition.at("B"),
+                                          {kX, kY}))
+            << "\n\n";
+
+  std::cout << "--- Figure D-8: co-located CEs as C = A or B ---\n";
+  const auto c = std::make_shared<const rcm::DisjunctionCondition>(
+      "C", std::vector<rcm::ConditionPtr>{cond_a(), cond_b()});
+  rcm::sim::MultiConditionConfig colocated;
+  colocated.groups = {{c, 2, rcm::FilterKind::kAd5}};
+  colocated.dm_traces = make_traces();
+  colocated.front.loss = loss;
+  colocated.seed = seed + 1;
+  const auto col = rcm::sim::run_multi_condition_system(colocated);
+  std::cout << "displayed: " << col.per_condition.at("C").size()
+            << " C-alerts (C fires whenever A or B does); ordered: "
+            << rcm::check::check_ordered(col.per_condition.at("C"), {kX, kY})
+            << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rcm::util::Args args;
+  args.add_flag("updates", "40", "updates per reactor");
+  args.add_flag("loss", "0.1", "front-link loss probability");
+  args.add_flag("seed", "2", "random seed");
+  if (!args.parse(argc, argv)) {
+    std::cerr << args.error() << "\n" << args.usage("multi_condition");
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage("multi_condition");
+    return 0;
+  }
+  part1_example4();
+  part2_architectures(static_cast<std::size_t>(args.get_int("updates")),
+                      args.get_double("loss"),
+                      static_cast<std::uint64_t>(args.get_int("seed")));
+  return 0;
+}

@@ -1,0 +1,100 @@
+// The offline-PDA scenario from §1: "The PDA can be powered off or
+// disconnected from the network most of the time to conserve battery" —
+// so the CE "logs the alert, and sends it later, when the AD becomes
+// available."
+//
+//   ./examples/pda_offline [--updates 80] [--loss 0.2] [--seed 6]
+//
+// Runs a replicated reactor monitor whose Alert Displayer (the PDA) is
+// offline on a duty cycle, with durable store-and-forward alert logs at
+// the CEs, and shows that every alert is eventually displayed — plus
+// when, relative to the outage windows.
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <set>
+
+#include "core/rcm.hpp"
+#include "sim/disconnect.hpp"
+#include "trace/generators.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rcm;
+  util::Args args;
+  args.add_flag("updates", "80", "sensor readings to emit");
+  args.add_flag("loss", "0.2", "front-link loss probability");
+  args.add_flag("seed", "6", "random seed");
+  if (!args.parse(argc, argv)) {
+    std::cerr << args.error() << "\n" << args.usage("pda_offline");
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage("pda_offline");
+    return 0;
+  }
+  const auto updates = static_cast<std::size_t>(args.get_int("updates"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  VariableRegistry vars;
+  const VarId reactor = vars.intern("reactor");
+  auto overheat =
+      std::make_shared<const ThresholdCondition>("overheat", reactor, 3000.0);
+
+  util::Rng rng{seed};
+  trace::ReactorParams workload;
+  workload.base.var = reactor;
+  workload.base.count = updates;
+  workload.baseline = 2750.0;
+  workload.excursion_prob = 0.06;
+
+  sim::DisconnectConfig config;
+  config.base.condition = overheat;
+  config.base.dm_traces = {trace::reactor_trace(workload, rng)};
+  config.base.num_ces = 2;
+  config.base.front.loss = args.get_double("loss");
+  config.base.filter = FilterKind::kAd1;
+  config.base.seed = seed;
+
+  // PDA duty cycle: online 3s out of every 10s.
+  const double horizon = static_cast<double>(updates) + 5.0;
+  for (double t = 3.0; t < horizon; t += 10.0)
+    config.ad_offline.emplace_back(t, t + 7.0);
+
+  std::cout << "PDA duty cycle: online 3s of every 10s; 2 CE replicas with "
+               "durable alert logs; front loss "
+            << args.get("loss") << "\n\n";
+
+  const auto result = sim::run_disconnectable_system(config);
+
+  std::set<AlertKey> raised;
+  for (const auto& output : result.run.ce_outputs)
+    for (const Alert& a : output) raised.insert(a.key());
+
+  std::cout << "alerts raised across replicas : " << raised.size()
+            << " distinct\n"
+            << "alerts displayed on the PDA   : "
+            << result.run.displayed.size() << "\n"
+            << "retransmissions               : " << result.retransmissions
+            << "\n"
+            << "duplicate deliveries absorbed : "
+            << result.duplicate_deliveries << "\n"
+            << "in-flight drops during outage : " << result.offline_drops
+            << "\n\n";
+
+  std::cout << "display timeline (PDA offline during [3,10), [13,20), ...;\n"
+               "note the bursts right after each reconnection):\n";
+  for (std::size_t i = 0; i < result.run.displayed.size(); ++i) {
+    const Alert& a = result.run.displayed[i];
+    const double t = result.display_times[i];
+    std::cout << "  t=" << std::fixed << std::setprecision(2) << std::setw(7)
+              << t << "  " << to_string(a, vars) << "\n";
+  }
+
+  std::set<AlertKey> displayed;
+  for (const Alert& a : result.run.displayed) displayed.insert(a.key());
+  const bool lossless = displayed == raised;
+  std::cout << "\nevery raised alert eventually displayed: "
+            << (lossless ? "YES" : "NO — BUG") << "\n";
+  return lossless ? 0 : 1;
+}

@@ -1,0 +1,134 @@
+#include "check/completeness.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/evaluator.hpp"
+#include "core/history.hpp"
+#include "core/sequence.hpp"
+
+namespace rcm::check {
+namespace {
+
+std::set<AlertKey> key_set(std::span<const Alert> alerts) {
+  std::set<AlertKey> out;
+  for (const Alert& a : alerts) out.insert(a.key());
+  return out;
+}
+
+Verdict check_single_var(const SystemRun& run,
+                         const std::vector<Update>& union_seq) {
+  const std::vector<Alert> ref = evaluate_trace(run.condition, union_seq);
+  return key_set(run.displayed) == key_set(ref) ? Verdict::kHolds
+                                                : Verdict::kViolated;
+}
+
+/// DFS over interleavings of the per-variable unions; see header.
+class InterleavingSearch {
+ public:
+  InterleavingSearch(const SystemRun& run,
+                     std::vector<std::pair<VarId, std::vector<Update>>> unions,
+                     std::size_t budget)
+      : run_(run), unions_(std::move(unions)), budget_(budget) {
+    for (const Alert& a : run.displayed)
+      target_.try_emplace(a.key(), target_.size());  // dedup keys: Phi is a set
+    if (target_.size() > 63) budget_ = 0;  // bitmask limit; report unknown
+  }
+
+  Verdict search(std::vector<Update>* witness) {
+    if (budget_ == 0) return Verdict::kUnknown;
+    HistorySet h = run_.condition->make_history_set();
+    const bool found =
+        dfs(std::vector<std::size_t>(unions_.size(), 0), h, 0);
+    if (exhausted_) return Verdict::kUnknown;
+    if (found && witness) *witness = path_;
+    return found ? Verdict::kHolds : Verdict::kViolated;
+  }
+
+ private:
+  using Positions = std::vector<std::size_t>;
+
+  bool dfs(const Positions& pos, const HistorySet& h, std::uint64_t covered) {
+    if (exhausted_) return false;
+    if (++states_ > budget_) {
+      exhausted_ = true;
+      return false;
+    }
+    bool done = true;
+    for (std::size_t i = 0; i < unions_.size(); ++i)
+      if (pos[i] < unions_[i].second.size()) done = false;
+    if (done) {
+      // Full interleaving consumed; witness iff every displayed alert
+      // was generated (extras were pruned on the way).
+      return covered == (target_.empty() ? 0 : (1ULL << target_.size()) - 1);
+    }
+    const auto memo_key = std::make_pair(pos, covered);
+    if (!failed_.insert(memo_key).second) return false;  // known dead end
+
+    for (std::size_t i = 0; i < unions_.size(); ++i) {
+      if (pos[i] >= unions_[i].second.size()) continue;
+      const Update& u = unions_[i].second[pos[i]];
+      HistorySet next_h = h;
+      next_h.push(u);
+      std::uint64_t next_covered = covered;
+      if (next_h.all_defined() && run_.condition->evaluate(next_h)) {
+        const Alert a = make_alert(std::string{run_.condition->name()}, next_h);
+        auto it = target_.find(a.key());
+        if (it == target_.end()) continue;  // extra alert: prune this branch
+        next_covered |= 1ULL << it->second;
+      }
+      Positions next_pos = pos;
+      ++next_pos[i];
+      path_.push_back(u);
+      if (dfs(next_pos, next_h, next_covered)) return true;
+      path_.pop_back();
+      if (exhausted_) return false;
+    }
+    return false;
+  }
+
+  const SystemRun& run_;
+  std::vector<std::pair<VarId, std::vector<Update>>> unions_;
+  std::size_t budget_;
+  std::size_t states_ = 0;
+  bool exhausted_ = false;
+  std::map<AlertKey, std::size_t> target_;
+  std::set<std::pair<Positions, std::uint64_t>> failed_;
+  std::vector<Update> path_;  ///< current DFS prefix; full on success
+};
+
+}  // namespace
+
+Verdict check_complete(const SystemRun& run, std::size_t interleaving_budget,
+                       std::vector<Update>* witness) {
+  auto unions = combined_inputs(run.ce_inputs);
+  const auto& vars = run.condition->variables();
+
+  if (vars.size() == 1) {
+    // There may be zero updates of the variable at all.
+    for (const auto& [var, seq] : unions)
+      if (var == vars[0]) {
+        const Verdict v = check_single_var(run, seq);
+        if (v == Verdict::kHolds && witness) *witness = seq;
+        return v;
+      }
+    const Verdict v = check_single_var(run, {});
+    if (v == Verdict::kHolds && witness) witness->clear();
+    return v;
+  }
+
+  // Ensure every condition variable has a (possibly empty) stream so the
+  // DFS's position vector lines up with V.
+  std::vector<std::pair<VarId, std::vector<Update>>> full;
+  for (VarId v : vars) {
+    auto it = std::find_if(unions.begin(), unions.end(),
+                           [&](const auto& p) { return p.first == v; });
+    full.emplace_back(v, it == unions.end() ? std::vector<Update>{}
+                                            : std::move(it->second));
+  }
+  InterleavingSearch search{run, std::move(full), interleaving_budget};
+  return search.search(witness);
+}
+
+}  // namespace rcm::check

@@ -1,0 +1,39 @@
+// Completeness decision (paper §3.1 def. 2, Appendix C def. 2).
+//
+// Single variable: completeness is Phi(A) = Phi(T(U1 ⊔ U2)) — computed
+// directly by running the reference evaluator T over the ordered union of
+// everything any replica received.
+//
+// Multi variable: completeness asks for an interleaving UV of the
+// per-variable ordered unions with Phi(A) = Phi(T(UV)) (the definition
+// falls back to the single-variable one when |V| = 1, where the
+// interleaving is unique). Deciding this requires a search over
+// interleavings; we run a depth-first search over stream positions with
+// two prunings that keep it tractable at test/bench sizes:
+//
+//   - an interleaving prefix that generates an alert outside Phi(A) can
+//     never become a witness — prune;
+//   - the evaluator state is a function of (per-variable positions), so a
+//     (positions, covered-alerts) pair that failed once always fails —
+//     memoize.
+//
+// The search is exact but bounded: if the state budget is exhausted the
+// verdict is kUnknown (never misreported). The brute-force oracle in
+// oracle.hpp cross-validates the search on small inputs.
+#pragma once
+
+#include "check/properties.hpp"
+
+namespace rcm::check {
+
+/// Exact single- or multi-variable completeness. `interleaving_budget`
+/// bounds the number of DFS states explored in the multi-variable case.
+/// When the verdict is kHolds and `witness` is non-null, it receives the
+/// witness input: the ordered union (single variable) or the found
+/// interleaving UV (multi variable) with Phi(T(witness)) = Phi(A) — so
+/// the verdict is independently checkable with the reference evaluator.
+[[nodiscard]] Verdict check_complete(const SystemRun& run,
+                                     std::size_t interleaving_budget = 200000,
+                                     std::vector<Update>* witness = nullptr);
+
+}  // namespace rcm::check

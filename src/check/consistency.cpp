@@ -1,0 +1,207 @@
+#include "check/consistency.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "core/evaluator.hpp"
+#include "core/history.hpp"
+#include "core/sequence.hpp"
+
+namespace rcm::check {
+namespace {
+
+/// Per-variable demanded-present / demanded-absent seqno sets.
+struct Demands {
+  std::map<VarId, std::set<SeqNo>> present;
+  std::map<VarId, std::set<SeqNo>> absent;
+};
+
+/// Re-evaluates `a`'s condition on the exact windows the alert carries;
+/// an alert that does not evaluate true on its own histories cannot be in
+/// any T(U'). Returns false as well when a window has the wrong width
+/// (a real CE only fires on fully defined histories).
+bool alert_self_consistent(const Condition& cond, const Alert& a) {
+  HistorySet h = cond.make_history_set();
+  for (VarId v : cond.variables()) {
+    auto it = a.histories.find(v);
+    if (it == a.histories.end()) return false;
+    const auto& window = it->second;
+    if (static_cast<int>(window.size()) != cond.degree(v)) return false;
+    for (const Update& u : window) h.push(u);
+  }
+  if (!h.all_defined()) return false;
+  return cond.evaluate(h);
+}
+
+/// Folds one alert's per-variable demands into `d`. Returns false on an
+/// internal contradiction (cannot happen for windows from a real History,
+/// which are strictly increasing).
+bool fold_demands(const Alert& a, Demands& d) {
+  for (const auto& [var, window] : a.histories) {
+    SeqNo prev = kNoSeqNo;
+    for (const Update& u : window) {
+      if (prev != kNoSeqNo) {
+        if (u.seqno <= prev) return false;  // malformed window
+        for (SeqNo s = prev + 1; s < u.seqno; ++s) d.absent[var].insert(s);
+      }
+      d.present[var].insert(u.seqno);
+      prev = u.seqno;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ConsistencyResult check_consistent(const SystemRun& run) {
+  const Condition& cond = *run.condition;
+  const auto unions = combined_inputs(run.ce_inputs);
+
+  auto union_of = [&](VarId v) -> const std::vector<Update>* {
+    for (const auto& [var, seq] : unions)
+      if (var == v) return &seq;
+    return nullptr;
+  };
+
+  // 1. Per-alert sanity: windows must re-evaluate true, and every update
+  //    an alert claims received must exist in the combined inputs.
+  Demands demands;
+  for (const Alert& a : run.displayed) {
+    if (!alert_self_consistent(cond, a)) {
+      std::ostringstream msg;
+      msg << "alert " << a << " does not re-evaluate true on its windows";
+      return {false, msg.str(), {}};
+    }
+    if (!fold_demands(a, demands)) {
+      std::ostringstream msg;
+      msg << "alert " << a << " carries a malformed history window";
+      return {false, msg.str(), {}};
+    }
+  }
+  for (const auto& [var, seqs] : demands.present) {
+    const std::vector<Update>* u = union_of(var);
+    for (SeqNo s : seqs) {
+      const bool known =
+          u && std::any_of(u->begin(), u->end(),
+                           [&](const Update& up) { return up.seqno == s; });
+      if (!known) {
+        std::ostringstream msg;
+        msg << "alert demands update " << s << " of variable " << var
+            << " which no CE received";
+        return {false, msg.str(), {}};
+      }
+    }
+  }
+
+  // 2. Present/absent conflict — the single-variable core of consistency.
+  for (const auto& [var, pres] : demands.present) {
+    const auto it = demands.absent.find(var);
+    if (it == demands.absent.end()) continue;
+    for (SeqNo s : pres) {
+      if (it->second.count(s)) {
+        std::ostringstream msg;
+        msg << "update " << s << " of variable " << var
+            << " is demanded both received and missed";
+        return {false, msg.str(), {}};
+      }
+    }
+  }
+
+  // Looks up the full update (with its value) in the combined inputs;
+  // step 1 guaranteed every demanded-present update exists there.
+  auto update_of = [&](VarId v, SeqNo s) {
+    const std::vector<Update>* u = union_of(v);
+    for (const Update& up : *u)
+      if (up.seqno == s) return up;
+    return Update{v, s, 0.0};  // unreachable after step 1
+  };
+
+  // 3. Multi-variable precedence: build the graph over demanded-present
+  //    updates and test acyclicity (Lemma 5 generalized).
+  if (cond.variables().size() > 1) {
+    // Node ids: index into a flat list of (var, seqno), ascending.
+    std::map<std::pair<VarId, SeqNo>, int> node_id;
+    std::vector<std::vector<int>> adj;
+    std::vector<std::pair<VarId, SeqNo>> node_info;
+    auto node = [&](VarId v, SeqNo s) {
+      auto [it, inserted] = node_id.try_emplace({v, s}, static_cast<int>(adj.size()));
+      if (inserted) {
+        adj.emplace_back();
+        node_info.emplace_back(v, s);
+      }
+      return it->second;
+    };
+
+    // Per-variable chains over demanded-present updates.
+    for (const auto& [var, seqs] : demands.present) {
+      int prev = -1;
+      for (SeqNo s : seqs) {  // std::set iterates ascending
+        const int cur = node(var, s);
+        if (prev >= 0) adj[prev].push_back(cur);
+        prev = cur;
+      }
+    }
+
+    // Successor of seqno s among variable v's demanded-present set.
+    auto succ = [&](VarId v, SeqNo s) -> std::optional<SeqNo> {
+      auto it = demands.present.find(v);
+      if (it == demands.present.end()) return std::nullopt;
+      auto up = it->second.upper_bound(s);
+      if (up == it->second.end()) return std::nullopt;
+      return *up;
+    };
+
+    for (const Alert& a : run.displayed) {
+      const auto vars = cond.variables();
+      for (VarId v : vars) {
+        for (VarId w : vars) {
+          if (v == w) continue;
+          const auto next_w = succ(w, a.seqno(w));
+          if (!next_w) continue;
+          adj[node(v, a.seqno(v))].push_back(node(w, *next_w));
+        }
+      }
+    }
+
+    // Kahn's algorithm; the emission order is the witness interleaving.
+    std::vector<int> indeg(adj.size(), 0);
+    for (const auto& outs : adj)
+      for (int t : outs) ++indeg[static_cast<std::size_t>(t)];
+    std::queue<int> ready;
+    for (std::size_t i = 0; i < adj.size(); ++i)
+      if (indeg[i] == 0) ready.push(static_cast<int>(i));
+    std::vector<Update> order;
+    order.reserve(adj.size());
+    while (!ready.empty()) {
+      const int n = ready.front();
+      ready.pop();
+      const auto& [var, seqno] = node_info[static_cast<std::size_t>(n)];
+      order.push_back(update_of(var, seqno));
+      for (int t : adj[static_cast<std::size_t>(n)])
+        if (--indeg[static_cast<std::size_t>(t)] == 0) ready.push(t);
+    }
+    if (order.size() != adj.size()) {
+      return {false,
+              "alert precedence constraints form a cycle: no interleaving "
+              "of the data streams can produce all displayed alerts",
+              {}};
+    }
+    ConsistencyResult result;
+    result.consistent = true;
+    result.witness = std::move(order);
+    return result;
+  }
+
+  // Single variable: the witness U' is simply the demanded-present
+  // updates in ascending order.
+  ConsistencyResult result;
+  result.consistent = true;
+  for (const auto& [var, seqs] : demands.present)
+    for (SeqNo s : seqs) result.witness.push_back(update_of(var, s));
+  return result;
+}
+
+}  // namespace rcm::check

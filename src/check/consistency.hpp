@@ -1,0 +1,56 @@
+// Exact consistency decision (paper §3.1 def. 3, Appendix C def. 3).
+//
+// Key observation (single variable): an alert a whose history window has
+// seqnos s1 < s2 < ... < sd constrains any witness sequence U' exactly:
+//
+//   - every si must be present in U' (the CE received them), and
+//   - every seqno strictly between s1 and sd that is *not* one of the si
+//     must be absent from U' (the CE had not received it when a fired,
+//     and the window updates were the d most recent at that point).
+//
+// Conversely, if the union of all alerts' demands is conflict-free, the
+// sequence U' consisting of exactly the demanded-present updates triggers
+// every alert in A (each alert's condition re-evaluates true on its own
+// window, and the window is exactly the last d received when sd arrives).
+// So: consistent  <=>  no seqno is demanded both present and absent, each
+// alert's window re-evaluates to true, and every demanded update exists
+// in U1 ⊔ U2. This mirrors precisely the Received/Missed ledger of
+// Algorithm AD-3 — which is why AD-3 is maximally consistent.
+//
+// Multi-variable: the same per-variable demands apply, plus *precedence*
+// constraints between updates of different variables (Lemma 5): alert a
+// requires, for every ordered pair of distinct variables (v, w),
+//
+//   a's H_v[0]  arrives before  the next demanded-present w-update
+//                               after a's H_w[0] (if any).
+//
+// A witness interleaving exists iff the per-variable demands are
+// conflict-free and the precedence graph (per-variable chains + the alert
+// edges above) is acyclic; any topological order is a witness UV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/properties.hpp"
+
+namespace rcm::check {
+
+/// Result with an explanation for violated runs (used in test diagnostics
+/// and the bench reports) and a constructive witness for consistent ones.
+struct ConsistencyResult {
+  bool consistent = false;
+  std::string reason;  ///< empty when consistent
+
+  /// When consistent: a witness input U' — a subsequence of the combined
+  /// inputs (single variable) or an interleaving of per-variable
+  /// subsequences (multi variable) such that Phi(A) ⊆ Phi(T(U')). The
+  /// verdict is therefore independently checkable by re-running the
+  /// reference evaluator over the witness.
+  std::vector<Update> witness;
+};
+
+/// Exact consistency check; handles single- and multi-variable conditions.
+[[nodiscard]] ConsistencyResult check_consistent(const SystemRun& run);
+
+}  // namespace rcm::check

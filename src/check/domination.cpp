@@ -1,0 +1,27 @@
+#include "check/domination.hpp"
+
+namespace rcm::check {
+
+bool is_alert_subsequence(std::span<const Alert> small,
+                          std::span<const Alert> big) {
+  std::size_t i = 0;
+  for (std::size_t j = 0; i < small.size() && j < big.size(); ++j)
+    if (small[i].key() == big[j].key()) ++i;
+  return i == small.size();
+}
+
+void observe_domination(AlertFilter& g1, AlertFilter& g2,
+                        std::span<const Alert> arrivals,
+                        DominationObservation& obs) {
+  const std::vector<Alert> out1 = run_filter(g1, arrivals);
+  const std::vector<Alert> out2 = run_filter(g2, arrivals);
+  ++obs.runs;
+  obs.g1_alerts += out1.size();
+  obs.g2_alerts += out2.size();
+  if (is_alert_subsequence(out2, out1)) {
+    ++obs.supersequence_runs;
+    if (out1.size() > out2.size()) ++obs.strict_runs;
+  }
+}
+
+}  // namespace rcm::check

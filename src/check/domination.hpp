@@ -1,0 +1,47 @@
+// The domination relation between AD algorithms (paper §4.1).
+//
+// G1 dominates G2 (G1 >= G2) if for every input interleaving, G1's output
+// is a supersequence of G2's output; strictly dominates if additionally
+// some input separates them. These helpers evaluate the relation
+// *empirically* on a given set of interleavings: the benches sweep
+// thousands of randomized runs and report the observed relation, which
+// for AD-1 vs AD-2/AD-3/AD-4 reproduces Theorems 6 and 8.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/displayer.hpp"
+#include "core/filters.hpp"
+
+namespace rcm::check {
+
+/// Outcome of comparing two filters on a set of arrival interleavings.
+struct DominationObservation {
+  std::size_t runs = 0;
+  std::size_t supersequence_runs = 0;  ///< G1 output ⊒ G2 output
+  std::size_t strict_runs = 0;         ///< ⊒ and strictly longer
+  std::size_t g1_alerts = 0;           ///< total alerts G1 displayed
+  std::size_t g2_alerts = 0;           ///< total alerts G2 displayed
+
+  /// True iff G1's output was a supersequence of G2's in every run.
+  [[nodiscard]] bool dominates() const noexcept {
+    return runs > 0 && supersequence_runs == runs;
+  }
+  /// True iff dominates() and at least one run separated the two.
+  [[nodiscard]] bool strictly_dominates() const noexcept {
+    return dominates() && strict_runs > 0;
+  }
+};
+
+/// True iff `small` is a subsequence of `big`, comparing alerts by key.
+[[nodiscard]] bool is_alert_subsequence(std::span<const Alert> small,
+                                        std::span<const Alert> big);
+
+/// Runs both filters (reset first) over the same arrival interleaving and
+/// folds the comparison into `obs`.
+void observe_domination(AlertFilter& g1, AlertFilter& g2,
+                        std::span<const Alert> arrivals,
+                        DominationObservation& obs);
+
+}  // namespace rcm::check

@@ -1,0 +1,37 @@
+#include "check/maximality.hpp"
+
+#include <algorithm>
+
+namespace rcm::check {
+
+std::vector<MaximalityViolation> verify_locally_maximal(
+    AlertFilter& filter, std::span<const Alert> arrivals,
+    const std::vector<VarId>& vars, const ViolatesFn& violates) {
+  filter.reset();
+  std::vector<MaximalityViolation> violations;
+  std::vector<Alert> displayed;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const Alert& a = arrivals[i];
+    if (filter.offer(a)) {
+      displayed.push_back(a);
+      continue;
+    }
+    // Duplicate by exact key?
+    const bool dup_key =
+        std::any_of(displayed.begin(), displayed.end(),
+                    [&](const Alert& d) { return d.key() == a.key(); });
+    // Duplicate by sequence numbers against the previous display (the
+    // paper's `<=` duplicate reading, per variable set)?
+    const bool dup_seqnos =
+        !displayed.empty() &&
+        std::all_of(vars.begin(), vars.end(), [&](VarId v) {
+          return a.seqno(v) == displayed.back().seqno(v);
+        });
+    if (dup_key || dup_seqnos) continue;
+    if (!violates(displayed, a))
+      violations.push_back(MaximalityViolation{i, a});
+  }
+  return violations;
+}
+
+}  // namespace rcm::check

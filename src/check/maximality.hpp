@@ -1,0 +1,48 @@
+// Local maximality verification (Theorems 5, 7, 9 made checkable).
+//
+// An AD algorithm that guarantees property P is *maximal* if no
+// P-guaranteeing algorithm strictly dominates it. The checkable local
+// counterpart on a concrete arrival interleaving: every alert the
+// algorithm suppressed would, if displayed at its arrival position,
+// have violated P (or duplicated an already-displayed alert, which the
+// paper's algorithms all suppress by design). If some suppressed alert
+// passes that test, the algorithm dropped more than P required — a
+// strictly more permissive P-guaranteeing competitor exists, refuting
+// maximality on this input.
+//
+// The verifier replays the interleaving, and for each suppression asks a
+// caller-supplied predicate whether the hypothetical display would have
+// violated the property. tests/theorems_test.cpp runs it over randomized
+// simulated runs for AD-2 / AD-3 / AD-4.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/displayer.hpp"
+#include "core/filters.hpp"
+
+namespace rcm::check {
+
+/// One suppression the property predicate did not justify.
+struct MaximalityViolation {
+  std::size_t arrival_index = 0;  ///< position in the arrival stream
+  Alert alert;                    ///< the unjustified suppression
+};
+
+/// Property predicate: would displaying `candidate` after `displayed`
+/// violate the property the filter guarantees?
+using ViolatesFn = std::function<bool(std::span<const Alert> displayed,
+                                      const Alert& candidate)>;
+
+/// Replays `arrivals` through `filter` (reset first) and returns every
+/// suppression that is neither a duplicate (same key as a displayed
+/// alert, or — per the paper's `<=` reading — equal to the previous
+/// display in every variable of `vars`) nor justified by `violates`.
+/// An empty result is the local-maximality witness for this input.
+[[nodiscard]] std::vector<MaximalityViolation> verify_locally_maximal(
+    AlertFilter& filter, std::span<const Alert> arrivals,
+    const std::vector<VarId>& vars, const ViolatesFn& violates);
+
+}  // namespace rcm::check

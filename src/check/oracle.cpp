@@ -1,0 +1,122 @@
+#include "check/oracle.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "core/evaluator.hpp"
+#include "core/sequence.hpp"
+
+namespace rcm::check {
+namespace {
+
+std::set<AlertKey> key_set(std::span<const Alert> alerts) {
+  std::set<AlertKey> out;
+  for (const Alert& a : alerts) out.insert(a.key());
+  return out;
+}
+
+/// Does T(candidate) contain every displayed alert?
+bool covers(const SystemRun& run, const std::vector<Update>& candidate) {
+  const auto ref = key_set(evaluate_trace(run.condition, candidate));
+  return std::all_of(run.displayed.begin(), run.displayed.end(),
+                     [&](const Alert& a) { return ref.count(a.key()) != 0; });
+}
+
+/// Enumerates every interleaving of `streams` (preserving each stream's
+/// internal order) and calls `fn` on each; `fn` returning true stops the
+/// enumeration. Returns whether any call returned true.
+bool for_each_interleaving(
+    const std::vector<std::vector<Update>>& streams,
+    const std::function<bool(const std::vector<Update>&)>& fn) {
+  std::size_t total = 0;
+  for (const auto& s : streams) total += s.size();
+  std::vector<Update> current;
+  current.reserve(total);
+  std::vector<std::size_t> pos(streams.size(), 0);
+
+  std::function<bool()> rec = [&]() -> bool {
+    if (current.size() == total) return fn(current);
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (pos[i] >= streams[i].size()) continue;
+      current.push_back(streams[i][pos[i]]);
+      ++pos[i];
+      const bool found = rec();
+      --pos[i];
+      current.pop_back();
+      if (found) return true;
+    }
+    return false;
+  };
+  return rec();
+}
+
+}  // namespace
+
+std::optional<bool> oracle_consistent(const SystemRun& run,
+                                      const OracleLimits& limits) {
+  const auto unions = combined_inputs(run.ce_inputs);
+
+  if (run.condition->variables().size() == 1) {
+    const std::vector<Update>& u =
+        unions.empty() ? std::vector<Update>{} : unions.front().second;
+    if (u.size() > limits.max_single_var_updates) return std::nullopt;
+    const std::size_t n = u.size();
+    for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+      std::vector<Update> candidate;
+      for (std::size_t i = 0; i < n; ++i)
+        if (mask & (1ULL << i)) candidate.push_back(u[i]);
+      if (covers(run, candidate)) return true;
+    }
+    return false;
+  }
+
+  // Multi variable: every per-variable subset, then every interleaving.
+  std::size_t total = 0;
+  for (const auto& [var, seq] : unions) total += seq.size();
+  if (total > limits.max_multi_var_updates) return std::nullopt;
+
+  // Flatten subset choice into one mask over all updates.
+  std::vector<std::pair<std::size_t, std::size_t>> spans;  // (stream, index)
+  for (std::size_t s = 0; s < unions.size(); ++s)
+    for (std::size_t i = 0; i < unions[s].second.size(); ++i)
+      spans.emplace_back(s, i);
+
+  for (std::uint64_t mask = 0; mask < (1ULL << total); ++mask) {
+    std::vector<std::vector<Update>> streams(unions.size());
+    for (std::size_t b = 0; b < total; ++b)
+      if (mask & (1ULL << b)) {
+        const auto [s, i] = spans[b];
+        streams[s].push_back(unions[s].second[i]);
+      }
+    const bool found = for_each_interleaving(
+        streams,
+        [&](const std::vector<Update>& candidate) { return covers(run, candidate); });
+    if (found) return true;
+  }
+  return false;
+}
+
+std::optional<bool> oracle_complete(const SystemRun& run,
+                                    const OracleLimits& limits) {
+  const auto unions = combined_inputs(run.ce_inputs);
+  std::size_t total = 0;
+  std::vector<std::vector<Update>> streams;
+  for (const auto& [var, seq] : unions) {
+    total += seq.size();
+    streams.push_back(seq);
+  }
+  if (run.condition->variables().size() > 1 &&
+      total > limits.max_multi_var_updates)
+    return std::nullopt;
+  if (run.condition->variables().size() == 1 &&
+      total > limits.max_single_var_updates)
+    return std::nullopt;
+
+  const auto target = key_set(run.displayed);
+  return for_each_interleaving(streams, [&](const std::vector<Update>& uv) {
+    return key_set(evaluate_trace(run.condition, uv)) == target;
+  });
+}
+
+}  // namespace rcm::check

@@ -1,0 +1,38 @@
+// Brute-force oracles for the property checkers.
+//
+// These enumerate witness candidates literally from the definitions —
+// every subsequence U' of U1 ⊔ U2 for single-variable consistency, every
+// (subset choice, interleaving) for multi-variable consistency, every
+// interleaving of the unions for multi-variable completeness — with no
+// cleverness whatsoever. They are exponential and only usable on tiny
+// inputs, which is the point: the test suite runs them against the exact
+// polynomial checkers on thousands of small random runs to validate the
+// latter's reasoning.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "check/properties.hpp"
+
+namespace rcm::check {
+
+/// Limits for the enumerations; exceeded => nullopt ("too big to decide").
+struct OracleLimits {
+  std::size_t max_single_var_updates = 20;   ///< 2^n subsequences
+  std::size_t max_multi_var_updates = 10;    ///< total across variables
+};
+
+/// Consistency by enumeration. Single variable: tries every subsequence
+/// of the ordered union. Multi variable: tries every per-variable subset
+/// and every interleaving of the chosen subsets.
+[[nodiscard]] std::optional<bool> oracle_consistent(
+    const SystemRun& run, const OracleLimits& limits = {});
+
+/// Multi-variable completeness by enumerating every interleaving of the
+/// full per-variable unions (single-variable inputs are accepted too; the
+/// enumeration is then trivial).
+[[nodiscard]] std::optional<bool> oracle_complete(
+    const SystemRun& run, const OracleLimits& limits = {});
+
+}  // namespace rcm::check

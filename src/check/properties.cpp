@@ -1,0 +1,42 @@
+#include "check/properties.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "check/completeness.hpp"
+#include "check/consistency.hpp"
+#include "core/sequence.hpp"
+
+namespace rcm::check {
+
+bool check_ordered(std::span<const Alert> a, const std::vector<VarId>& vars) {
+  return std::all_of(vars.begin(), vars.end(),
+                     [&](VarId v) { return is_ordered(a, v); });
+}
+
+std::vector<std::pair<VarId, std::vector<Update>>> combined_inputs(
+    const std::vector<std::vector<Update>>& ce_inputs) {
+  std::map<VarId, std::vector<Update>> acc;
+  for (const auto& input : ce_inputs) {
+    for (const auto& [var, seq] : split_by_var(input)) {
+      auto& cur = acc[var];
+      cur = ordered_union(std::span<const Update>{cur},
+                          std::span<const Update>{seq});
+    }
+  }
+  return {acc.begin(), acc.end()};
+}
+
+PropertyReport check_run(const SystemRun& run,
+                         std::size_t interleaving_budget) {
+  PropertyReport report;
+  const auto& vars = run.condition->variables();
+  report.ordered = check_ordered(run.displayed, vars) ? Verdict::kHolds
+                                                      : Verdict::kViolated;
+  report.complete = check_complete(run, interleaving_budget);
+  report.consistent = check_consistent(run).consistent ? Verdict::kHolds
+                                                       : Verdict::kViolated;
+  return report;
+}
+
+}  // namespace rcm::check

@@ -1,0 +1,30 @@
+// Human-readable run reports: turn a SystemRun and its property verdicts
+// into the text a person debugging an alerting incident wants to read —
+// per-replica reception stats, the displayed timeline, each property
+// with its evidence (violation reason or witness), rendered with
+// original variable names. Used by examples/rcm_audit.
+#pragma once
+
+#include <string>
+
+#include "check/properties.hpp"
+#include "core/types.hpp"
+
+namespace rcm::check {
+
+/// Report verbosity.
+struct ReportOptions {
+  /// Cap on listed alerts / witness updates (0 = unlimited).
+  std::size_t max_listed = 20;
+  /// Include the consistency witness for consistent runs.
+  bool show_witness = true;
+};
+
+/// Renders the full report. `vars` translates VarIds back to names; ids
+/// the registry does not know are printed as "v<i>". The property checks
+/// are (re)run inside.
+[[nodiscard]] std::string describe_run(const SystemRun& run,
+                                       const VariableRegistry& vars,
+                                       const ReportOptions& options = {});
+
+}  // namespace rcm::check

@@ -1,0 +1,35 @@
+// Run recording: serialize an observed SystemRun (per-replica inputs +
+// displayed alerts) so it can be audited later — re-checked against the
+// paper's properties, diffed, or attached to an incident report. The
+// condition itself is code/configuration and is NOT recorded; the loader
+// takes it as a parameter (and the checkers will immediately flag a
+// mismatched condition as inconsistent alerts).
+//
+// Format: one CRC frame (wire/frame.hpp) containing
+//   tag 'R' | version | #inputs | per input (#updates | updates...) |
+//   #displayed | encoded alerts (full histories)
+#pragma once
+
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "check/properties.hpp"
+
+namespace rcm::check {
+
+/// Serializes inputs and displayed alerts (not the condition).
+[[nodiscard]] std::vector<std::uint8_t> encode_system_run(
+    const SystemRun& run);
+
+/// Rebuilds a run from encode_system_run output; throws wire::DecodeError
+/// on malformed bytes.
+[[nodiscard]] SystemRun decode_system_run(
+    std::span<const std::uint8_t> bytes, ConditionPtr condition);
+
+/// File conveniences (framed, CRC-checked). save overwrites.
+void save_run(const std::filesystem::path& path, const SystemRun& run);
+[[nodiscard]] SystemRun load_run(const std::filesystem::path& path,
+                                 ConditionPtr condition);
+
+}  // namespace rcm::check

@@ -1,0 +1,111 @@
+#include "core/alert.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/history.hpp"
+
+namespace rcm {
+namespace {
+
+void hash_mix(std::uint64_t& h, std::uint64_t v) noexcept {
+  // FNV-1a style mix over 64-bit lanes.
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+}  // namespace
+
+std::size_t AlertKeyHash::operator()(const AlertKey& k) const noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : k.cond) hash_mix(h, static_cast<std::uint64_t>(c));
+  for (const auto& [var, seqs] : k.signature) {
+    hash_mix(h, var);
+    for (SeqNo s : seqs) hash_mix(h, static_cast<std::uint64_t>(s));
+  }
+  return static_cast<std::size_t>(h);
+}
+
+SeqNo Alert::seqno(VarId v) const {
+  auto it = histories.find(v);
+  if (it == histories.end() || it->second.empty())
+    throw std::out_of_range("Alert::seqno: variable not in alert histories");
+  return it->second.back().seqno;  // windows are ascending
+}
+
+std::vector<SeqNo> Alert::history_seqnos(VarId v) const {
+  std::vector<SeqNo> out;
+  auto it = histories.find(v);
+  if (it == histories.end()) return out;
+  out.reserve(it->second.size());
+  for (const Update& u : it->second) out.push_back(u.seqno);
+  return out;
+}
+
+AlertKey Alert::key() const {
+  AlertKey k;
+  k.cond = cond;
+  k.signature.reserve(histories.size());
+  for (const auto& [var, window] : histories) {
+    std::vector<SeqNo> seqs;
+    seqs.reserve(window.size());
+    for (const Update& u : window) seqs.push_back(u.seqno);
+    k.signature.emplace_back(var, std::move(seqs));
+  }
+  return k;
+}
+
+std::uint64_t Alert::checksum() const noexcept {
+  return static_cast<std::uint64_t>(AlertKeyHash{}(key()));
+}
+
+std::ostream& operator<<(std::ostream& os, const Alert& a) {
+  os << a.cond << "{";
+  bool first_var = true;
+  for (const auto& [var, window] : a.histories) {
+    if (!first_var) os << ", ";
+    first_var = false;
+    os << "v" << var << ":[";
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      if (i) os << ",";
+      os << window[i].seqno;
+    }
+    os << "]";
+  }
+  return os << "}";
+}
+
+Alert make_alert(std::string cond, const HistorySet& h) {
+  Alert a;
+  a.cond = std::move(cond);
+  for (VarId v : h.variables()) {
+    const History& hist = h.of(v);
+    std::vector<Update> window;
+    window.reserve(hist.size());
+    // History::at uses 0 = newest; build ascending (oldest first).
+    for (int i = -(static_cast<int>(hist.size()) - 1); i <= 0; ++i)
+      window.push_back(hist.at(i));
+    a.histories.emplace(v, std::move(window));
+  }
+  return a;
+}
+
+std::string to_string(const Alert& a, const VariableRegistry& vars) {
+  std::ostringstream os;
+  os << a.cond << "{";
+  bool first_var = true;
+  for (const auto& [var, window] : a.histories) {
+    if (!first_var) os << ", ";
+    first_var = false;
+    os << vars.name(var) << ":[";
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      if (i) os << ",";
+      os << window[i].seqno;
+    }
+    os << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace rcm

@@ -1,0 +1,78 @@
+// Alerts (paper §2).
+//
+// When a condition evaluates to true, the CE emits an alert
+// a(condname, histories) carrying the update histories used in the
+// evaluation. The AD algorithms need the histories (or just their sequence
+// numbers, or in the cheapest configurations only a checksum of them) to
+// detect duplicates and conflicts. We carry the full per-variable windows
+// and derive the cheaper representations from them.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rcm {
+
+class HistorySet;
+
+/// Identity of an alert as the AD algorithms see it: the condition name
+/// plus, per variable, the ascending sequence numbers of the history window
+/// the alert triggered on. Two alerts with equal keys are the "identical
+/// alerts" Algorithm AD-1 deduplicates.
+struct AlertKey {
+  std::string cond;
+  std::vector<std::pair<VarId, std::vector<SeqNo>>> signature;  // sorted by var
+
+  friend bool operator==(const AlertKey&, const AlertKey&) = default;
+  friend auto operator<=>(const AlertKey&, const AlertKey&) = default;
+};
+
+/// Hash functor so AlertKeys can live in unordered containers.
+struct AlertKeyHash {
+  std::size_t operator()(const AlertKey& k) const noexcept;
+};
+
+/// One alert. `histories` maps each variable of the condition to the
+/// window of updates (ascending seqno) the CE evaluated on.
+struct Alert {
+  std::string cond;
+  std::map<VarId, std::vector<Update>> histories;
+
+  /// a.seqno.x of the paper: the sequence number of the last v-update
+  /// received when the alert was triggered, i.e. H_v[0].seqno.
+  /// Precondition: v is in `histories` and its window is non-empty.
+  [[nodiscard]] SeqNo seqno(VarId v) const;
+
+  /// Ascending history seqnos of variable v (empty if v not present).
+  [[nodiscard]] std::vector<SeqNo> history_seqnos(VarId v) const;
+
+  /// Identity used by the AD filters; see AlertKey.
+  [[nodiscard]] AlertKey key() const;
+
+  /// 64-bit digest of the key. The paper notes that ADs which only test
+  /// history equality could ship a checksum instead of full histories;
+  /// the wire-format ablation bench uses this.
+  [[nodiscard]] std::uint64_t checksum() const noexcept;
+
+  friend bool operator==(const Alert& a, const Alert& b) {
+    return a.key() == b.key();
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Alert& a);
+
+/// Builds the alert a(cond, H) for a condition that just triggered on the
+/// given history set, copying each variable's currently-held window.
+[[nodiscard]] Alert make_alert(std::string cond, const HistorySet& h);
+
+/// Human-readable rendering using original variable names, e.g.
+/// "overheat{x:[2,3]}".
+[[nodiscard]] std::string to_string(const Alert& a,
+                                    const VariableRegistry& vars);
+
+}  // namespace rcm

@@ -1,0 +1,83 @@
+#include "core/bounded_ledger.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rcm {
+
+Ad3BoundedFilter::Ad3BoundedFilter(SeqNo horizon) : horizon_(horizon) {
+  if (horizon < 1)
+    throw std::invalid_argument("Ad3BoundedFilter: horizon must be >= 1");
+}
+
+bool Ad3BoundedFilter::accepts(const Alert& a) const {
+  if (seen_.count(a.key())) return false;
+  for (const auto& [var, window] : a.histories) {
+    auto it = state_.find(var);
+    if (it == state_.end()) continue;
+    const VarState& vs = it->second;
+    SeqNo prev = kNoSeqNo;
+    for (const Update& u : window) {
+      if (vs.missed.count(u.seqno)) return false;
+      if (prev != kNoSeqNo)
+        for (SeqNo s = prev + 1; s < u.seqno; ++s)
+          if (vs.received.count(s)) return false;
+      prev = u.seqno;
+    }
+  }
+  return true;
+}
+
+void Ad3BoundedFilter::record(const Alert& a) {
+  SeqNo alert_max = kNoSeqNo;
+  for (const auto& [var, window] : a.histories) {
+    VarState& vs = state_[var];
+    SeqNo prev = kNoSeqNo;
+    for (const Update& u : window) {
+      vs.received.insert(u.seqno);
+      if (prev != kNoSeqNo)
+        for (SeqNo s = prev + 1; s < u.seqno; ++s) vs.missed.insert(s);
+      prev = u.seqno;
+      if (u.seqno > vs.max_seen) vs.max_seen = u.seqno;
+      if (u.seqno > alert_max) alert_max = u.seqno;
+    }
+    evict(vs);
+  }
+  seen_.insert(a.key());
+  seen_by_seqno_.emplace(alert_max, a.key());
+  // Evict duplicate keys whose newest seqno fell below the global floor
+  // (the minimum floor over variables keeps eviction conservative).
+  SeqNo min_floor = alert_max - horizon_;
+  for (const auto& [var, vs] : state_)
+    min_floor = std::min(min_floor, vs.max_seen - horizon_);
+  auto it = seen_by_seqno_.begin();
+  while (it != seen_by_seqno_.end() && it->first < min_floor) {
+    seen_.erase(it->second);
+    it = seen_by_seqno_.erase(it);
+  }
+}
+
+std::string_view Ad3BoundedFilter::name() const noexcept {
+  return "AD-3b";
+}
+
+void Ad3BoundedFilter::reset() {
+  state_.clear();
+  seen_.clear();
+  seen_by_seqno_.clear();
+}
+
+std::size_t Ad3BoundedFilter::ledger_entries() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [var, vs] : state_)
+    total += vs.received.size() + vs.missed.size();
+  return total;
+}
+
+void Ad3BoundedFilter::evict(VarState& vs) const {
+  const SeqNo floor = vs.max_seen - horizon_;
+  vs.received.erase(vs.received.begin(), vs.received.lower_bound(floor));
+  vs.missed.erase(vs.missed.begin(), vs.missed.lower_bound(floor));
+}
+
+}  // namespace rcm

@@ -1,0 +1,72 @@
+// Bounded-memory variant of Algorithm AD-3 (engineering extension).
+//
+// AD-3's Received/Missed sets grow forever: every displayed alert adds
+// its window seqnos and gaps, and nothing is ever evicted — fine for a
+// PODC model, not for an Alert Displayer that runs for months. This
+// variant evicts ledger entries older than a sliding horizon below the
+// highest sequence number seen:
+//
+//   evict every recorded seqno  s  <  max_seen - horizon.
+//
+// Safety analysis (tested in bounded_ledger_test.cpp):
+//  - While every arriving alert's window lies within the horizon of the
+//    alerts it could conflict with, decisions equal unbounded AD-3's.
+//  - An alert referencing seqnos below the evicted floor can no longer
+//    be checked against forgotten facts, so consistency of the output
+//    is only guaranteed *per horizon window*: two alerts more than
+//    `horizon` apart may contradict each other. That is the explicit
+//    trade-off: O(horizon) memory for a windowed consistency guarantee.
+//    (In a monitoring deployment, an alert arriving thousands of
+//    updates late is almost always junk anyway; pairing the filter with
+//    AD-2's orderedness bound makes the window argument airtight for
+//    in-order displays.)
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string_view>
+#include <unordered_set>
+
+#include "core/alert.hpp"
+#include "core/filters.hpp"
+
+namespace rcm {
+
+/// AD-3 with a sliding eviction horizon per variable.
+class Ad3BoundedFilter final : public AlertFilter {
+ public:
+  /// `horizon`: how many sequence numbers of ledger history to retain
+  /// below the highest seqno seen per variable. Must be >= 1.
+  explicit Ad3BoundedFilter(SeqNo horizon);
+
+  [[nodiscard]] bool accepts(const Alert& a) const override;
+  void record(const Alert& a) override;
+  [[nodiscard]] std::string_view name() const noexcept override;
+  void reset() override;
+
+  /// Current ledger size in entries (both sets, all variables) — what
+  /// the bound actually bounds.
+  [[nodiscard]] std::size_t ledger_entries() const noexcept;
+
+  [[nodiscard]] SeqNo horizon() const noexcept { return horizon_; }
+
+ private:
+  struct VarState {
+    std::set<SeqNo> received;
+    std::set<SeqNo> missed;
+    SeqNo max_seen = kNoSeqNo;
+  };
+  void evict(VarState& vs) const;
+
+  SeqNo horizon_;
+  std::map<VarId, VarState> state_;
+  /// Duplicate suppression, also horizon-bounded: keys are evicted once
+  /// their newest seqno falls below every variable's floor (a duplicate
+  /// arriving that late would be rejected by the ledger anyway only if
+  /// facts survive — same windowed guarantee as the ledger itself).
+  std::unordered_set<AlertKey, AlertKeyHash> seen_;
+  std::multimap<SeqNo, AlertKey> seen_by_seqno_;
+};
+
+}  // namespace rcm

@@ -1,0 +1,247 @@
+#include "core/builtin_conditions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace rcm {
+namespace {
+
+// Conservative evaluation helper: a conservative condition is false as
+// soon as any referenced history window contains a seqno gap.
+bool any_gap(const HistorySet& h, const std::vector<VarId>& vars) {
+  return std::any_of(vars.begin(), vars.end(), [&](VarId v) {
+    return !h.of(v).consecutive();
+  });
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- c1 ----
+
+ThresholdCondition::ThresholdCondition(std::string name, VarId var,
+                                       double threshold, bool above)
+    : name_(std::move(name)), vars_{var}, threshold_(threshold), above_(above) {}
+
+std::string_view ThresholdCondition::name() const noexcept { return name_; }
+
+const std::vector<VarId>& ThresholdCondition::variables() const noexcept {
+  return vars_;
+}
+
+int ThresholdCondition::degree(VarId v) const {
+  if (v != vars_[0])
+    throw std::invalid_argument("ThresholdCondition: variable not in V");
+  return 1;
+}
+
+bool ThresholdCondition::evaluate(const HistorySet& h) const {
+  const double v = h.of(vars_[0]).at(0).value;
+  return above_ ? v > threshold_ : v < threshold_;
+}
+
+Triggering ThresholdCondition::triggering() const noexcept {
+  // A degree-1 window cannot contain a gap, so the condition is vacuously
+  // conservative.
+  return Triggering::kConservative;
+}
+
+// ------------------------------------------------------------- c2/c3 ----
+
+RiseCondition::RiseCondition(std::string name, VarId var, double delta,
+                             Triggering trig)
+    : name_(std::move(name)), vars_{var}, delta_(delta), trig_(trig) {}
+
+std::string_view RiseCondition::name() const noexcept { return name_; }
+
+const std::vector<VarId>& RiseCondition::variables() const noexcept {
+  return vars_;
+}
+
+int RiseCondition::degree(VarId v) const {
+  if (v != vars_[0])
+    throw std::invalid_argument("RiseCondition: variable not in V");
+  return 2;
+}
+
+bool RiseCondition::evaluate(const HistorySet& h) const {
+  const History& hist = h.of(vars_[0]);
+  if (trig_ == Triggering::kConservative && !hist.consecutive()) return false;
+  return hist.at(0).value - hist.at(-1).value > delta_;
+}
+
+Triggering RiseCondition::triggering() const noexcept { return trig_; }
+
+// ------------------------------------------------------- sharp drop -----
+
+RelativeDropCondition::RelativeDropCondition(std::string name, VarId var,
+                                             double fraction, Triggering trig)
+    : name_(std::move(name)), vars_{var}, fraction_(fraction), trig_(trig) {}
+
+std::string_view RelativeDropCondition::name() const noexcept { return name_; }
+
+const std::vector<VarId>& RelativeDropCondition::variables() const noexcept {
+  return vars_;
+}
+
+int RelativeDropCondition::degree(VarId v) const {
+  if (v != vars_[0])
+    throw std::invalid_argument("RelativeDropCondition: variable not in V");
+  return 2;
+}
+
+bool RelativeDropCondition::evaluate(const HistorySet& h) const {
+  const History& hist = h.of(vars_[0]);
+  if (trig_ == Triggering::kConservative && !hist.consecutive()) return false;
+  const double prev = hist.at(-1).value;
+  const double cur = hist.at(0).value;
+  if (prev == 0.0) return false;  // relative drop undefined from zero
+  return (prev - cur) / prev > fraction_;
+}
+
+Triggering RelativeDropCondition::triggering() const noexcept { return trig_; }
+
+// ----------------------------------------------------------------- cm ----
+
+AbsDiffCondition::AbsDiffCondition(std::string name, VarId x, VarId y,
+                                   double delta)
+    : name_(std::move(name)), vars_{x, y}, delta_(delta) {
+  if (x == y) throw std::invalid_argument("AbsDiffCondition: x == y");
+  std::sort(vars_.begin(), vars_.end());
+}
+
+std::string_view AbsDiffCondition::name() const noexcept { return name_; }
+
+const std::vector<VarId>& AbsDiffCondition::variables() const noexcept {
+  return vars_;
+}
+
+int AbsDiffCondition::degree(VarId v) const {
+  if (v != vars_[0] && v != vars_[1])
+    throw std::invalid_argument("AbsDiffCondition: variable not in V");
+  return 1;
+}
+
+bool AbsDiffCondition::evaluate(const HistorySet& h) const {
+  const double a = h.of(vars_[0]).at(0).value;
+  const double b = h.of(vars_[1]).at(0).value;
+  return std::abs(a - b) > delta_;
+}
+
+Triggering AbsDiffCondition::triggering() const noexcept {
+  return Triggering::kConservative;  // degree 1 everywhere, vacuously
+}
+
+// --------------------------------------------------------------- x>y ----
+
+GreaterThanCondition::GreaterThanCondition(std::string name, VarId x, VarId y)
+    : name_(std::move(name)), vars_{x, y}, x_(x), y_(y) {
+  if (x == y) throw std::invalid_argument("GreaterThanCondition: x == y");
+  std::sort(vars_.begin(), vars_.end());
+}
+
+std::string_view GreaterThanCondition::name() const noexcept { return name_; }
+
+const std::vector<VarId>& GreaterThanCondition::variables() const noexcept {
+  return vars_;
+}
+
+int GreaterThanCondition::degree(VarId v) const {
+  if (v != vars_[0] && v != vars_[1])
+    throw std::invalid_argument("GreaterThanCondition: variable not in V");
+  return 1;
+}
+
+bool GreaterThanCondition::evaluate(const HistorySet& h) const {
+  return h.of(x_).at(0).value > h.of(y_).at(0).value;
+}
+
+Triggering GreaterThanCondition::triggering() const noexcept {
+  return Triggering::kConservative;
+}
+
+// --------------------------------------------------------- predicate ----
+
+PredicateCondition::PredicateCondition(
+    std::string name, std::vector<std::pair<VarId, int>> degrees,
+    Triggering trig, Predicate pred)
+    : name_(std::move(name)),
+      degrees_(std::move(degrees)),
+      trig_(trig),
+      pred_(std::move(pred)) {
+  if (degrees_.empty())
+    throw std::invalid_argument("PredicateCondition: empty variable set");
+  std::sort(degrees_.begin(), degrees_.end());
+  for (const auto& [v, d] : degrees_) {
+    if (d < 1)
+      throw std::invalid_argument("PredicateCondition: degree must be >= 1");
+    if (!vars_.empty() && vars_.back() == v)
+      throw std::invalid_argument("PredicateCondition: duplicate variable");
+    vars_.push_back(v);
+  }
+}
+
+std::string_view PredicateCondition::name() const noexcept { return name_; }
+
+const std::vector<VarId>& PredicateCondition::variables() const noexcept {
+  return vars_;
+}
+
+int PredicateCondition::degree(VarId v) const {
+  for (const auto& [var, d] : degrees_)
+    if (var == v) return d;
+  throw std::invalid_argument("PredicateCondition: variable not in V");
+}
+
+bool PredicateCondition::evaluate(const HistorySet& h) const {
+  if (trig_ == Triggering::kConservative && any_gap(h, vars_)) return false;
+  return pred_(h);
+}
+
+Triggering PredicateCondition::triggering() const noexcept { return trig_; }
+
+// ------------------------------------------------------- disjunction ----
+
+DisjunctionCondition::DisjunctionCondition(std::string name,
+                                           std::vector<ConditionPtr> parts)
+    : name_(std::move(name)), parts_(std::move(parts)) {
+  if (parts_.empty())
+    throw std::invalid_argument("DisjunctionCondition: no parts");
+  std::set<VarId> vars;
+  for (const auto& p : parts_)
+    for (VarId v : p->variables()) vars.insert(v);
+  vars_.assign(vars.begin(), vars.end());
+}
+
+std::string_view DisjunctionCondition::name() const noexcept { return name_; }
+
+const std::vector<VarId>& DisjunctionCondition::variables() const noexcept {
+  return vars_;
+}
+
+int DisjunctionCondition::degree(VarId v) const {
+  int deg = 0;
+  for (const auto& p : parts_) {
+    const auto& pv = p->variables();
+    if (std::find(pv.begin(), pv.end(), v) != pv.end())
+      deg = std::max(deg, p->degree(v));
+  }
+  if (deg == 0)
+    throw std::invalid_argument("DisjunctionCondition: variable not in V");
+  return deg;
+}
+
+bool DisjunctionCondition::evaluate(const HistorySet& h) const {
+  return std::any_of(parts_.begin(), parts_.end(),
+                     [&](const ConditionPtr& p) { return p->evaluate(h); });
+}
+
+Triggering DisjunctionCondition::triggering() const noexcept {
+  for (const auto& p : parts_)
+    if (p->triggering() == Triggering::kAggressive)
+      return Triggering::kAggressive;
+  return Triggering::kConservative;
+}
+
+}  // namespace rcm

@@ -1,0 +1,171 @@
+// The concrete conditions used throughout the paper, plus generic
+// building blocks (predicate-backed conditions and disjunction, the
+// C = A OR B construction of Appendix D).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/condition.hpp"
+
+namespace rcm {
+
+/// c1 of the paper: "reactor temperature is over 3000 degrees".
+/// Non-historical (degree 1), trivially conservative and aggressive at
+/// once; we report it conservative since no gap can be observed in a
+/// window of one update.
+class ThresholdCondition final : public Condition {
+ public:
+  /// Triggers when the latest value of `var` compares greater than
+  /// `threshold` (or less than, if `above` is false).
+  ThresholdCondition(std::string name, VarId var, double threshold,
+                     bool above = true);
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] const std::vector<VarId>& variables() const noexcept override;
+  [[nodiscard]] int degree(VarId v) const override;
+  [[nodiscard]] bool evaluate(const HistorySet& h) const override;
+  [[nodiscard]] Triggering triggering() const noexcept override;
+
+ private:
+  std::string name_;
+  std::vector<VarId> vars_;
+  double threshold_;
+  bool above_;
+};
+
+/// c2 / c3 of the paper: "temperature has risen by more than `delta`".
+/// With Triggering::kAggressive this is c2 ("since last reading
+/// *received*"); with Triggering::kConservative it is c3 ("since last
+/// reading *taken at the DM*"), which additionally requires
+/// H[0].seqno == H[-1].seqno + 1. Pass a negative `delta` combined with
+/// `drop=true` to express price-drop conditions (value change < -delta).
+class RiseCondition final : public Condition {
+ public:
+  RiseCondition(std::string name, VarId var, double delta, Triggering trig);
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] const std::vector<VarId>& variables() const noexcept override;
+  [[nodiscard]] int degree(VarId v) const override;
+  [[nodiscard]] bool evaluate(const HistorySet& h) const override;
+  [[nodiscard]] Triggering triggering() const noexcept override;
+
+ private:
+  std::string name_;
+  std::vector<VarId> vars_;
+  double delta_;
+  Triggering trig_;
+};
+
+/// The intro's "sharp price drop": value dropped by more than `fraction`
+/// (e.g. 0.20) between two consecutive readings the CE received.
+/// Aggressive by construction — exactly the condition whose replicated
+/// inconsistency motivates the paper (CE2 missing the 50 and alerting on
+/// 100 -> 52).
+class RelativeDropCondition final : public Condition {
+ public:
+  RelativeDropCondition(std::string name, VarId var, double fraction,
+                        Triggering trig = Triggering::kAggressive);
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] const std::vector<VarId>& variables() const noexcept override;
+  [[nodiscard]] int degree(VarId v) const override;
+  [[nodiscard]] bool evaluate(const HistorySet& h) const override;
+  [[nodiscard]] Triggering triggering() const noexcept override;
+
+ private:
+  std::string name_;
+  std::vector<VarId> vars_;
+  double fraction_;
+  Triggering trig_;
+};
+
+/// cm of Theorem 10's proof: |x - y| > `delta`, the two-reactor
+/// temperature-difference condition. Degree 1 in both variables.
+class AbsDiffCondition final : public Condition {
+ public:
+  AbsDiffCondition(std::string name, VarId x, VarId y, double delta);
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] const std::vector<VarId>& variables() const noexcept override;
+  [[nodiscard]] int degree(VarId v) const override;
+  [[nodiscard]] bool evaluate(const HistorySet& h) const override;
+  [[nodiscard]] Triggering triggering() const noexcept override;
+
+ private:
+  std::string name_;
+  std::vector<VarId> vars_;
+  double delta_;
+};
+
+/// Appendix D's Example 4 conditions, and generally "x > y":
+/// triggers when the latest x value exceeds the latest y value.
+class GreaterThanCondition final : public Condition {
+ public:
+  GreaterThanCondition(std::string name, VarId x, VarId y);
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] const std::vector<VarId>& variables() const noexcept override;
+  [[nodiscard]] int degree(VarId v) const override;
+  [[nodiscard]] bool evaluate(const HistorySet& h) const override;
+  [[nodiscard]] Triggering triggering() const noexcept override;
+
+ private:
+  std::string name_;
+  std::vector<VarId> vars_;
+  VarId x_, y_;
+};
+
+/// Fully generic condition backed by a user predicate over the history
+/// set. Degree/variables/triggering are declared by the caller; the
+/// predicate must respect them (the CE sizes buffers from the
+/// declaration). The tests use this to build arbitrary synthetic
+/// conditions for property sweeps.
+class PredicateCondition final : public Condition {
+ public:
+  using Predicate = std::function<bool(const HistorySet&)>;
+
+  PredicateCondition(std::string name, std::vector<std::pair<VarId, int>> degrees,
+                     Triggering trig, Predicate pred);
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] const std::vector<VarId>& variables() const noexcept override;
+  [[nodiscard]] int degree(VarId v) const override;
+  [[nodiscard]] bool evaluate(const HistorySet& h) const override;
+  [[nodiscard]] Triggering triggering() const noexcept override;
+
+ private:
+  std::string name_;
+  std::vector<VarId> vars_;
+  std::vector<std::pair<VarId, int>> degrees_;
+  Triggering trig_;
+  Predicate pred_;
+};
+
+/// C = A OR B (Appendix D, Figure D-8): triggers whenever either
+/// sub-condition triggers. Its variable set is the union; its degree per
+/// variable is the max over the parts; it is conservative only if both
+/// parts are.
+class DisjunctionCondition final : public Condition {
+ public:
+  DisjunctionCondition(std::string name, std::vector<ConditionPtr> parts);
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] const std::vector<VarId>& variables() const noexcept override;
+  [[nodiscard]] int degree(VarId v) const override;
+  [[nodiscard]] bool evaluate(const HistorySet& h) const override;
+  [[nodiscard]] Triggering triggering() const noexcept override;
+
+  [[nodiscard]] const std::vector<ConditionPtr>& parts() const noexcept {
+    return parts_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<VarId> vars_;
+  std::vector<ConditionPtr> parts_;
+};
+
+}  // namespace rcm

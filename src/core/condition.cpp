@@ -1,0 +1,17 @@
+#include "core/condition.hpp"
+
+namespace rcm {
+
+HistoryClass Condition::history_class() const {
+  for (VarId v : variables())
+    if (degree(v) > 1) return HistoryClass::kHistorical;
+  return HistoryClass::kNonHistorical;
+}
+
+HistorySet Condition::make_history_set() const {
+  HistorySet h;
+  for (VarId v : variables()) h.add_variable(v, degree(v));
+  return h;
+}
+
+}  // namespace rcm

@@ -1,0 +1,81 @@
+// Conditions (paper §2).
+//
+// A condition c is a boolean expression over the update histories H of its
+// variable set V. Each condition knows:
+//  - its variable set V,
+//  - its degree with respect to each variable (how many updates of that
+//    variable the CE must retain),
+//  - its triggering class: *conservative* conditions evaluate to false
+//    whenever the sequence numbers in any referenced history are not
+//    consecutive (i.e. they detect a lost update); *aggressive* conditions
+//    evaluate regardless of gaps.
+//
+// Per the paper we exclude conditions of infinite degree, conditions that
+// need state beyond H (high watermarks), and conditions over wall-clock
+// time: every condition here is a pure function of H.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/history.hpp"
+#include "core/types.hpp"
+
+namespace rcm {
+
+/// Triggering class of a condition (paper §2).
+enum class Triggering {
+  kConservative,  ///< false whenever a referenced history has a seqno gap
+  kAggressive,    ///< evaluates on whatever updates were received
+};
+
+/// Whether a condition looks at more than the most recent update of some
+/// variable (paper §2: degree > 1 for any variable makes it historical).
+enum class HistoryClass {
+  kNonHistorical,  ///< degree 1 w.r.t. every variable in V
+  kHistorical,     ///< degree >= 2 w.r.t. at least one variable
+};
+
+/// Abstract condition. Implementations must be deterministic pure
+/// functions of the history set: the property theory (and the checkers in
+/// rcm::check) relies on T being a function of the received update
+/// sequence only.
+class Condition {
+ public:
+  virtual ~Condition() = default;
+
+  /// Condition name; becomes the `condname` of every alert it raises.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// The variable set V, ascending by id, without duplicates.
+  [[nodiscard]] virtual const std::vector<VarId>& variables() const noexcept = 0;
+
+  /// Degree with respect to variable v (>= 1 for v in V).
+  [[nodiscard]] virtual int degree(VarId v) const = 0;
+
+  /// Evaluates the condition. Precondition: h contains a defined history
+  /// of at least degree(v) for every v in V.
+  [[nodiscard]] virtual bool evaluate(const HistorySet& h) const = 0;
+
+  /// Triggering class; metadata used by the experiment harnesses to label
+  /// scenarios. Implementations of conservative conditions must actually
+  /// check History::consecutive() in evaluate().
+  [[nodiscard]] virtual Triggering triggering() const noexcept = 0;
+
+  /// Derived classification: historical iff any degree exceeds 1.
+  [[nodiscard]] HistoryClass history_class() const;
+
+  /// Creates the history set the CE needs for this condition: one History
+  /// of the right degree per variable.
+  [[nodiscard]] HistorySet make_history_set() const;
+
+  Condition() = default;
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+};
+
+using ConditionPtr = std::shared_ptr<const Condition>;
+
+}  // namespace rcm

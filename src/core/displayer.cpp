@@ -1,0 +1,36 @@
+#include "core/displayer.hpp"
+
+#include <stdexcept>
+
+namespace rcm {
+
+AlertDisplayer::AlertDisplayer(FilterPtr filter,
+                               std::function<void(const Alert&)> sink)
+    : filter_(std::move(filter)), sink_(std::move(sink)) {
+  if (!filter_) throw std::invalid_argument("AlertDisplayer: null filter");
+}
+
+bool AlertDisplayer::on_alert(const Alert& a) {
+  arrived_.push_back(a);
+  if (!filter_->offer(a)) return false;
+  displayed_.push_back(a);
+  if (sink_) sink_(a);
+  return true;
+}
+
+void AlertDisplayer::reset() {
+  arrived_.clear();
+  displayed_.clear();
+  filter_->reset();
+}
+
+std::vector<Alert> run_filter(AlertFilter& filter,
+                              std::span<const Alert> arrivals) {
+  filter.reset();
+  std::vector<Alert> out;
+  for (const Alert& a : arrivals)
+    if (filter.offer(a)) out.push_back(a);
+  return out;
+}
+
+}  // namespace rcm

@@ -1,0 +1,63 @@
+// The Alert Displayer (paper §2): merges the alert streams of the CE
+// replicas, runs an AD filtering algorithm over the merged interleaving,
+// and delivers the surviving alerts to the end user (a sink callback).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/alert.hpp"
+#include "core/filters.hpp"
+
+namespace rcm {
+
+/// One Alert Displayer instance. Thread-compatible (externally
+/// synchronized); the threaded runtime wraps it in an actor with a queue.
+class AlertDisplayer {
+ public:
+  /// `sink` is invoked for every displayed alert; pass nullptr to only
+  /// collect. The displayer owns the filter.
+  explicit AlertDisplayer(FilterPtr filter,
+                          std::function<void(const Alert&)> sink = nullptr);
+
+  /// Processes one arriving alert; returns true iff it was displayed.
+  bool on_alert(const Alert& a);
+
+  /// The final output sequence A displayed so far.
+  [[nodiscard]] const std::vector<Alert>& displayed() const noexcept {
+    return displayed_;
+  }
+
+  /// Every alert that arrived, pre-filtering, in arrival order — the
+  /// merged interleaving of the CE streams. Property checkers use this to
+  /// replay the same interleaving through other filters.
+  [[nodiscard]] const std::vector<Alert>& arrived() const noexcept {
+    return arrived_;
+  }
+
+  /// Number of alerts the filter suppressed.
+  [[nodiscard]] std::size_t suppressed() const noexcept {
+    return arrived_.size() - displayed_.size();
+  }
+
+  [[nodiscard]] const AlertFilter& filter() const noexcept { return *filter_; }
+
+  /// Clears collected sequences and resets the filter.
+  void reset();
+
+ private:
+  FilterPtr filter_;
+  std::function<void(const Alert&)> sink_;
+  std::vector<Alert> arrived_;
+  std::vector<Alert> displayed_;
+};
+
+/// Replays an arrival interleaving through a fresh filter and returns the
+/// displayed sequence. This is M_{AD-i}(A1, A2, ...) of Appendix B for the
+/// specific interleaving `arrivals`.
+[[nodiscard]] std::vector<Alert> run_filter(AlertFilter& filter,
+                                            std::span<const Alert> arrivals);
+
+}  // namespace rcm

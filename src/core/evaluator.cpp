@@ -1,0 +1,55 @@
+#include "core/evaluator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rcm {
+
+ConditionEvaluator::ConditionEvaluator(ConditionPtr condition,
+                                       std::string replica_id)
+    : cond_(std::move(condition)), id_(std::move(replica_id)) {
+  if (!cond_) throw std::invalid_argument("ConditionEvaluator: null condition");
+  histories_ = cond_->make_history_set();
+}
+
+bool ConditionEvaluator::would_accept(const Update& u) const {
+  const auto& vars = cond_->variables();
+  if (std::find(vars.begin(), vars.end(), u.var) == vars.end()) return false;
+  auto it = last_seen_.find(u.var);
+  return it == last_seen_.end() || u.seqno > it->second;
+}
+
+std::optional<Alert> ConditionEvaluator::on_update(const Update& u) {
+  if (!would_accept(u)) return std::nullopt;
+  last_seen_[u.var] = u.seqno;
+  received_.push_back(u);
+  histories_.push(u);
+  if (!histories_.all_defined()) return std::nullopt;
+  if (!cond_->evaluate(histories_)) return std::nullopt;
+  Alert a = make_alert(std::string{cond_->name()}, histories_);
+  emitted_.push_back(a);
+  return a;
+}
+
+void ConditionEvaluator::crash_reset() {
+  histories_ = cond_->make_history_set();
+  last_seen_.clear();
+}
+
+void ConditionEvaluator::restore_state(HistorySet h,
+                                       std::map<VarId, SeqNo> last) {
+  histories_ = std::move(h);
+  last_seen_ = std::move(last);
+}
+
+std::vector<Alert> evaluate_trace(const ConditionPtr& condition,
+                                  std::span<const Update> u) {
+  ConditionEvaluator ce{condition, "T"};
+  std::vector<Alert> out;
+  for (const Update& up : u) {
+    if (auto a = ce.on_update(up)) out.push_back(std::move(*a));
+  }
+  return out;
+}
+
+}  // namespace rcm

@@ -1,0 +1,92 @@
+// The Condition Evaluator (paper §2) and the mapping T it computes.
+//
+// A CE consumes one ordered stream of updates and produces an ordered
+// stream of alerts: whenever a newly received update makes the condition
+// true (over the current histories), an alert carrying those histories is
+// emitted. T(U) — the alert sequence a CE produces from update sequence U —
+// is the reference object in every property definition, so the same
+// evaluation code backs both the "live" CEs in the simulator/runtime and
+// the reference computations in rcm::check.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/alert.hpp"
+#include "core/condition.hpp"
+#include "core/history.hpp"
+
+namespace rcm {
+
+/// Incremental condition evaluator: one instance per CE replica.
+class ConditionEvaluator {
+ public:
+  /// Creates an evaluator for `condition`. `replica_id` labels this CE in
+  /// logs ("CE1", "CE2"); it does not affect behaviour.
+  explicit ConditionEvaluator(ConditionPtr condition,
+                              std::string replica_id = "CE");
+
+  /// Processes one received update: incorporates it into the history of
+  /// its variable and re-evaluates the condition. Returns the alert if the
+  /// condition is satisfied, nullopt otherwise.
+  ///
+  /// Stale updates (sequence number <= the last one received for the same
+  /// variable) are discarded, implementing the paper's assumption that a
+  /// receiver drops messages that arrive out of order. Updates of
+  /// variables outside V are ignored.
+  std::optional<Alert> on_update(const Update& u);
+
+  /// True iff the update would be accepted (right variable, fresh seqno).
+  [[nodiscard]] bool would_accept(const Update& u) const;
+
+  /// Updates accepted so far, in arrival order: this CE's U_i.
+  [[nodiscard]] const std::vector<Update>& received() const noexcept {
+    return received_;
+  }
+
+  /// Alerts emitted so far: this CE's A_i = T(U_i).
+  [[nodiscard]] const std::vector<Alert>& emitted() const noexcept {
+    return emitted_;
+  }
+
+  [[nodiscard]] const Condition& condition() const noexcept { return *cond_; }
+  [[nodiscard]] const std::string& replica_id() const noexcept { return id_; }
+
+  /// Simulates a crash that loses all volatile state (histories and
+  /// last-seen counters). The received/emitted logs are kept: they model
+  /// what the outside world observed, not the CE's memory.
+  void crash_reset();
+
+  /// Volatile evaluation state, exposed for snapshotting (see
+  /// wire/snapshot.hpp): the per-variable history windows and the
+  /// highest sequence number accepted per variable.
+  [[nodiscard]] const HistorySet& histories() const noexcept {
+    return histories_;
+  }
+  [[nodiscard]] const std::map<VarId, SeqNo>& last_seen() const noexcept {
+    return last_seen_;
+  }
+
+  /// Restores volatile state from a snapshot (warm recovery after a
+  /// crash): the inverse of reading histories()/last_seen(). The
+  /// received/emitted logs are untouched. Precondition: `h` was built
+  /// for this evaluator's condition.
+  void restore_state(HistorySet h, std::map<VarId, SeqNo> last);
+
+ private:
+  ConditionPtr cond_;
+  std::string id_;
+  HistorySet histories_;
+  std::vector<Update> received_;
+  std::vector<Alert> emitted_;
+  std::map<VarId, SeqNo> last_seen_;
+};
+
+/// The paper's T: computes the full alert sequence a single CE produces
+/// from update sequence `u`. Deterministic and stateless across calls.
+[[nodiscard]] std::vector<Alert> evaluate_trace(const ConditionPtr& condition,
+                                                std::span<const Update> u);
+
+}  // namespace rcm

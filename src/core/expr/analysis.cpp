@@ -1,0 +1,188 @@
+#include "core/expr/analysis.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace rcm::expr {
+namespace {
+
+class DegreeCollector final : public Visitor {
+ public:
+  DegreeMap take() { return std::move(degrees_); }
+
+  void visit(const NumberLit&) override {}
+  void visit(const BoolLit&) override {}
+
+  void visit(const HistoryRef& n) override {
+    int& d = degrees_[n.var];
+    d = std::max(d, 1 - n.index);  // index <= 0, so 1 - index >= 1
+  }
+
+  void visit(const Unary& n) override { n.child->accept(*this); }
+
+  void visit(const Binary& n) override {
+    n.lhs->accept(*this);
+    n.rhs->accept(*this);
+  }
+
+  void visit(const Call& n) override {
+    for (const auto& a : n.args) a->accept(*this);
+  }
+
+  void visit(const ConsecutiveRef& n) override {
+    // consecutive(v) over a single update is vacuously true; demanding
+    // degree 2 makes it actually observe loss.
+    int& d = degrees_[n.var];
+    d = std::max(d, 2);
+  }
+
+  void visit(const WindowAgg& n) override {
+    int& d = degrees_[n.var];
+    d = std::max(d, n.count);
+  }
+
+ private:
+  DegreeMap degrees_;
+};
+
+class TypeChecker final : public Visitor {
+ public:
+  Type result() const { return type_; }
+
+  void visit(const NumberLit&) override { type_ = Type::kNumber; }
+  void visit(const BoolLit&) override { type_ = Type::kBool; }
+  void visit(const HistoryRef&) override { type_ = Type::kNumber; }
+
+  void visit(const Unary& n) override {
+    n.child->accept(*this);
+    if (n.op == Unary::Op::kNeg) {
+      require(Type::kNumber, "operand of unary '-'");
+      type_ = Type::kNumber;
+    } else {
+      require(Type::kBool, "operand of '!'");
+      type_ = Type::kBool;
+    }
+  }
+
+  void visit(const Binary& n) override {
+    n.lhs->accept(*this);
+    const Type lhs = type_;
+    n.rhs->accept(*this);
+    const Type rhs = type_;
+    switch (n.op) {
+      case Binary::Op::kAdd:
+      case Binary::Op::kSub:
+      case Binary::Op::kMul:
+      case Binary::Op::kDiv:
+        check(lhs == Type::kNumber && rhs == Type::kNumber,
+              "arithmetic requires numeric operands");
+        type_ = Type::kNumber;
+        break;
+      case Binary::Op::kLt:
+      case Binary::Op::kLe:
+      case Binary::Op::kGt:
+      case Binary::Op::kGe:
+      case Binary::Op::kEq:
+      case Binary::Op::kNe:
+        check(lhs == Type::kNumber && rhs == Type::kNumber,
+              "comparison requires numeric operands");
+        type_ = Type::kBool;
+        break;
+      case Binary::Op::kAnd:
+      case Binary::Op::kOr:
+        check(lhs == Type::kBool && rhs == Type::kBool,
+              "'&&' and '||' require boolean operands");
+        type_ = Type::kBool;
+        break;
+    }
+  }
+
+  void visit(const Call& n) override {
+    for (const auto& a : n.args) {
+      a->accept(*this);
+      require(Type::kNumber, "intrinsic argument");
+    }
+    type_ = Type::kNumber;
+  }
+
+  void visit(const ConsecutiveRef&) override { type_ = Type::kBool; }
+
+  void visit(const WindowAgg&) override { type_ = Type::kNumber; }
+
+ private:
+  void require(Type t, const char* what) {
+    check(type_ == t, std::string(what) + " has the wrong type");
+  }
+  static void check(bool ok, const std::string& msg) {
+    if (!ok) throw AnalysisError(msg);
+  }
+  Type type_ = Type::kNumber;
+};
+
+// Collects the variables guarded by top-level consecutive() conjuncts:
+// walks the chain of '&&' at the root and records ConsecutiveRef leaves.
+void collect_guards(const Node& n, std::set<std::string>& out);
+
+class GuardCollector final : public Visitor {
+ public:
+  explicit GuardCollector(std::set<std::string>& out) : out_(out) {}
+
+  void visit(const NumberLit&) override {}
+  void visit(const BoolLit&) override {}
+  void visit(const HistoryRef&) override {}
+  void visit(const Unary&) override {}
+
+  void visit(const Binary& n) override {
+    if (n.op == Binary::Op::kAnd) {
+      collect_guards(*n.lhs, out_);
+      collect_guards(*n.rhs, out_);
+    }
+  }
+
+  void visit(const Call&) override {}
+
+  void visit(const ConsecutiveRef& n) override { out_.insert(n.var); }
+
+  void visit(const WindowAgg&) override {}
+
+ private:
+  std::set<std::string>& out_;
+};
+
+void collect_guards(const Node& n, std::set<std::string>& out) {
+  GuardCollector g{out};
+  n.accept(g);
+}
+
+}  // namespace
+
+DegreeMap infer_degrees(const Node& root) {
+  DegreeCollector c;
+  root.accept(c);
+  DegreeMap degrees = c.take();
+  if (degrees.empty())
+    throw AnalysisError("condition references no variable");
+  return degrees;
+}
+
+Type check_types(const Node& root) {
+  TypeChecker t;
+  root.accept(t);
+  return t.result();
+}
+
+bool is_conservative(const Node& root) {
+  const DegreeMap degrees = infer_degrees(root);
+  std::set<std::string> guarded;
+  collect_guards(root, guarded);
+  for (const auto& [var, degree] : degrees)
+    if (degree >= 2 && guarded.count(var) == 0) return false;
+  return true;
+}
+
+rcm::Triggering infer_triggering(const Node& root) {
+  return is_conservative(root) ? rcm::Triggering::kConservative
+                               : rcm::Triggering::kAggressive;
+}
+
+}  // namespace rcm::expr

@@ -1,0 +1,52 @@
+// Static analyses over condition expression ASTs:
+//
+//  - degree inference: the degree of the condition w.r.t. variable v is
+//    1 + max(-index) over all history references v[index] (paper §2:
+//    a condition using only Hx[0] and Hx[-2] is of degree 3);
+//    consecutive(v) demands at least degree 2, otherwise it is vacuous;
+//  - type checking: arithmetic over numbers, logic over booleans,
+//    comparisons number x number -> boolean; the whole condition must be
+//    boolean;
+//  - conservativeness detection: the condition is conservative iff every
+//    variable of degree >= 2 is guarded by a top-level `consecutive(v)`
+//    conjunct, which structurally forces the expression to false whenever
+//    that variable's window has a gap.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "core/condition.hpp"
+#include "core/expr/ast.hpp"
+
+namespace rcm::expr {
+
+/// Thrown by the analyses on ill-typed or ill-formed expressions.
+class AnalysisError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Expression value types.
+enum class Type { kNumber, kBool };
+
+/// Variable name -> degree; insertion-free view of the condition's V.
+using DegreeMap = std::map<std::string, int>;
+
+/// Infers the degree of every referenced variable. Throws AnalysisError
+/// if the expression references no variable at all.
+[[nodiscard]] DegreeMap infer_degrees(const Node& root);
+
+/// Type-checks the expression; returns the root type and throws
+/// AnalysisError on a mismatch (e.g. `x[0] && 3`).
+Type check_types(const Node& root);
+
+/// True iff every variable with degree >= 2 has a top-level
+/// `consecutive(v)` conjunct (see file comment).
+[[nodiscard]] bool is_conservative(const Node& root);
+
+/// Convenience: triggering class per the analysis above.
+[[nodiscard]] rcm::Triggering infer_triggering(const Node& root);
+
+}  // namespace rcm::expr

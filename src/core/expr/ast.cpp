@@ -1,0 +1,101 @@
+#include "core/expr/ast.hpp"
+
+#include <sstream>
+
+namespace rcm::expr {
+namespace {
+
+class Printer final : public Visitor {
+ public:
+  std::string take() { return out_.str(); }
+
+  void visit(const NumberLit& n) override { out_ << n.value; }
+
+  void visit(const BoolLit& n) override { out_ << (n.value ? "true" : "false"); }
+
+  void visit(const HistoryRef& n) override {
+    out_ << n.var << "[" << n.index << "]";
+    if (n.field == HistoryRef::Field::kSeqno) out_ << ".seqno";
+  }
+
+  void visit(const Unary& n) override {
+    out_ << (n.op == Unary::Op::kNeg ? "-" : "!") << "(";
+    n.child->accept(*this);
+    out_ << ")";
+  }
+
+  void visit(const Binary& n) override {
+    out_ << "(";
+    n.lhs->accept(*this);
+    out_ << " " << op_name(n.op) << " ";
+    n.rhs->accept(*this);
+    out_ << ")";
+  }
+
+  void visit(const Call& n) override {
+    out_ << fn_name(n.fn) << "(";
+    for (std::size_t i = 0; i < n.args.size(); ++i) {
+      if (i) out_ << ", ";
+      n.args[i]->accept(*this);
+    }
+    out_ << ")";
+  }
+
+  void visit(const ConsecutiveRef& n) override {
+    out_ << "consecutive(" << n.var << ")";
+  }
+
+  void visit(const WindowAgg& n) override {
+    out_ << agg_name(n.op) << "(" << n.var << ", " << n.count << ")";
+  }
+
+ private:
+  static const char* op_name(Binary::Op op) {
+    switch (op) {
+      case Binary::Op::kAdd: return "+";
+      case Binary::Op::kSub: return "-";
+      case Binary::Op::kMul: return "*";
+      case Binary::Op::kDiv: return "/";
+      case Binary::Op::kLt: return "<";
+      case Binary::Op::kLe: return "<=";
+      case Binary::Op::kGt: return ">";
+      case Binary::Op::kGe: return ">=";
+      case Binary::Op::kEq: return "==";
+      case Binary::Op::kNe: return "!=";
+      case Binary::Op::kAnd: return "&&";
+      case Binary::Op::kOr: return "||";
+    }
+    return "?";
+  }
+
+  static const char* fn_name(Call::Fn fn) {
+    switch (fn) {
+      case Call::Fn::kAbs: return "abs";
+      case Call::Fn::kMin: return "min";
+      case Call::Fn::kMax: return "max";
+    }
+    return "?";
+  }
+
+  static const char* agg_name(WindowAgg::Op op) {
+    switch (op) {
+      case WindowAgg::Op::kAvg: return "avg";
+      case WindowAgg::Op::kSum: return "sum";
+      case WindowAgg::Op::kMin: return "wmin";
+      case WindowAgg::Op::kMax: return "wmax";
+    }
+    return "?";
+  }
+
+  std::ostringstream out_;
+};
+
+}  // namespace
+
+std::string to_string(const Node& n) {
+  Printer p;
+  n.accept(p);
+  return p.take();
+}
+
+}  // namespace rcm::expr

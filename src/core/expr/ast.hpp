@@ -1,0 +1,122 @@
+// Abstract syntax tree of the condition expression language.
+//
+// The AST is immutable after parsing. Analyses (variable set, degree
+// inference, conservativeness detection, type checking) and evaluation
+// walk it through the small visitor below.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rcm::expr {
+
+struct NumberLit;
+struct BoolLit;
+struct HistoryRef;
+struct Unary;
+struct Binary;
+struct Call;
+struct ConsecutiveRef;
+struct WindowAgg;
+
+/// Visitor over the node types. Implementations return through their own
+/// state; the visit functions are void to keep the hierarchy simple.
+class Visitor {
+ public:
+  virtual ~Visitor() = default;
+  virtual void visit(const NumberLit&) = 0;
+  virtual void visit(const BoolLit&) = 0;
+  virtual void visit(const HistoryRef&) = 0;
+  virtual void visit(const Unary&) = 0;
+  virtual void visit(const Binary&) = 0;
+  virtual void visit(const Call&) = 0;
+  virtual void visit(const ConsecutiveRef&) = 0;
+  virtual void visit(const WindowAgg&) = 0;
+};
+
+struct Node {
+  virtual ~Node() = default;
+  virtual void accept(Visitor& v) const = 0;
+  std::size_t pos = 0;  // source offset, for diagnostics
+};
+
+using NodePtr = std::unique_ptr<Node>;
+
+/// Numeric literal: 3000, 0.2, 1e6.
+struct NumberLit final : Node {
+  double value = 0.0;
+  void accept(Visitor& v) const override { v.visit(*this); }
+};
+
+/// Boolean literal: true / false.
+struct BoolLit final : Node {
+  bool value = false;
+  void accept(Visitor& v) const override { v.visit(*this); }
+};
+
+/// History access v[i] or v[i].seqno with i <= 0: reads H_v[i].
+struct HistoryRef final : Node {
+  enum class Field { kValue, kSeqno };
+  std::string var;
+  int index = 0;  // 0 = most recent, -1 = previous, ...
+  Field field = Field::kValue;
+  void accept(Visitor& v) const override { v.visit(*this); }
+};
+
+/// Unary operators.
+struct Unary final : Node {
+  enum class Op { kNeg, kNot };
+  Op op = Op::kNeg;
+  NodePtr child;
+  void accept(Visitor& v) const override { v.visit(*this); }
+};
+
+/// Binary operators.
+struct Binary final : Node {
+  enum class Op {
+    kAdd, kSub, kMul, kDiv,
+    kLt, kLe, kGt, kGe, kEq, kNe,
+    kAnd, kOr,
+  };
+  Op op = Op::kAdd;
+  NodePtr lhs;
+  NodePtr rhs;
+  void accept(Visitor& v) const override { v.visit(*this); }
+};
+
+/// Numeric intrinsic call: abs(e), min(a, b), max(a, b).
+struct Call final : Node {
+  enum class Fn { kAbs, kMin, kMax };
+  Fn fn = Fn::kAbs;
+  std::vector<NodePtr> args;
+  void accept(Visitor& v) const override { v.visit(*this); }
+};
+
+/// consecutive(v): true iff the seqnos currently in H_v are consecutive.
+/// This is the language's only loss-detection primitive; putting it in a
+/// top-level conjunct for every historical variable is what makes a
+/// condition conservative.
+struct ConsecutiveRef final : Node {
+  std::string var;
+  void accept(Visitor& v) const override { v.visit(*this); }
+};
+
+/// Window aggregate over the last `count` received values of a variable:
+/// avg(v, k), sum(v, k), wmin(v, k), wmax(v, k). A fixed-size window
+/// keeps the condition's degree finite (the paper excludes unbounded
+/// aggregates like "maximum of all previous readings"); the condition's
+/// degree w.r.t. v becomes at least `count`.
+struct WindowAgg final : Node {
+  enum class Op { kAvg, kSum, kMin, kMax };
+  Op op = Op::kAvg;
+  std::string var;
+  int count = 1;  // >= 1, a literal
+  void accept(Visitor& v) const override { v.visit(*this); }
+};
+
+/// Renders the AST back to a canonical source string (used in tests and
+/// in error messages).
+[[nodiscard]] std::string to_string(const Node& n);
+
+}  // namespace rcm::expr

@@ -1,0 +1,172 @@
+#include "core/expr/expression_condition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <variant>
+
+#include "core/expr/analysis.hpp"
+#include "core/expr/parser.hpp"
+
+namespace rcm::expr {
+namespace {
+
+using Value = std::variant<double, bool>;
+
+/// Evaluates a type-checked AST over a history set. Because check_types
+/// ran at compile time, the std::get calls here cannot throw.
+class Evaluator final : public Visitor {
+ public:
+  Evaluator(const rcm::HistorySet& h,
+            const std::map<std::string, rcm::VarId>& binding)
+      : h_(h), binding_(binding) {}
+
+  Value result() const { return value_; }
+
+  void visit(const NumberLit& n) override { value_ = n.value; }
+  void visit(const BoolLit& n) override { value_ = n.value; }
+
+  void visit(const HistoryRef& n) override {
+    const rcm::Update& u = h_.of(binding_.at(n.var)).at(n.index);
+    value_ = n.field == HistoryRef::Field::kValue
+                 ? u.value
+                 : static_cast<double>(u.seqno);
+  }
+
+  void visit(const Unary& n) override {
+    n.child->accept(*this);
+    if (n.op == Unary::Op::kNeg)
+      value_ = -std::get<double>(value_);
+    else
+      value_ = !std::get<bool>(value_);
+  }
+
+  void visit(const Binary& n) override {
+    // Short-circuit the logical operators.
+    if (n.op == Binary::Op::kAnd || n.op == Binary::Op::kOr) {
+      n.lhs->accept(*this);
+      const bool lhs = std::get<bool>(value_);
+      if (n.op == Binary::Op::kAnd && !lhs) return;  // value_ stays false
+      if (n.op == Binary::Op::kOr && lhs) return;    // value_ stays true
+      n.rhs->accept(*this);
+      return;
+    }
+    n.lhs->accept(*this);
+    const double lhs = std::get<double>(value_);
+    n.rhs->accept(*this);
+    const double rhs = std::get<double>(value_);
+    switch (n.op) {
+      case Binary::Op::kAdd: value_ = lhs + rhs; break;
+      case Binary::Op::kSub: value_ = lhs - rhs; break;
+      case Binary::Op::kMul: value_ = lhs * rhs; break;
+      case Binary::Op::kDiv: value_ = lhs / rhs; break;
+      case Binary::Op::kLt: value_ = lhs < rhs; break;
+      case Binary::Op::kLe: value_ = lhs <= rhs; break;
+      case Binary::Op::kGt: value_ = lhs > rhs; break;
+      case Binary::Op::kGe: value_ = lhs >= rhs; break;
+      case Binary::Op::kEq: value_ = lhs == rhs; break;
+      case Binary::Op::kNe: value_ = lhs != rhs; break;
+      case Binary::Op::kAnd:
+      case Binary::Op::kOr: break;  // handled above
+    }
+  }
+
+  void visit(const Call& n) override {
+    n.args[0]->accept(*this);
+    const double a = std::get<double>(value_);
+    switch (n.fn) {
+      case Call::Fn::kAbs:
+        value_ = std::abs(a);
+        return;
+      case Call::Fn::kMin:
+      case Call::Fn::kMax: {
+        n.args[1]->accept(*this);
+        const double b = std::get<double>(value_);
+        value_ = n.fn == Call::Fn::kMin ? std::min(a, b) : std::max(a, b);
+        return;
+      }
+    }
+  }
+
+  void visit(const ConsecutiveRef& n) override {
+    value_ = h_.of(binding_.at(n.var)).consecutive();
+  }
+
+  void visit(const WindowAgg& n) override {
+    const rcm::History& hist = h_.of(binding_.at(n.var));
+    double acc = n.op == WindowAgg::Op::kMin
+                     ? std::numeric_limits<double>::infinity()
+                 : n.op == WindowAgg::Op::kMax
+                     ? -std::numeric_limits<double>::infinity()
+                     : 0.0;
+    for (int i = 0; i < n.count; ++i) {
+      const double v = hist.at(-i).value;
+      switch (n.op) {
+        case WindowAgg::Op::kAvg:
+        case WindowAgg::Op::kSum: acc += v; break;
+        case WindowAgg::Op::kMin: acc = std::min(acc, v); break;
+        case WindowAgg::Op::kMax: acc = std::max(acc, v); break;
+      }
+    }
+    if (n.op == WindowAgg::Op::kAvg) acc /= n.count;
+    value_ = acc;
+  }
+
+ private:
+  const rcm::HistorySet& h_;
+  const std::map<std::string, rcm::VarId>& binding_;
+  Value value_ = 0.0;
+};
+
+}  // namespace
+
+ExpressionCondition::ExpressionCondition(std::string name, NodePtr root,
+                                         rcm::VariableRegistry& vars)
+    : name_(std::move(name)), root_(std::move(root)) {
+  if (!root_) throw std::invalid_argument("ExpressionCondition: null AST");
+  if (check_types(*root_) != Type::kBool)
+    throw AnalysisError("condition must be a boolean expression");
+  triggering_ = infer_triggering(*root_);
+  for (const auto& [var_name, degree] : infer_degrees(*root_)) {
+    const rcm::VarId id = vars.intern(var_name);
+    binding_[var_name] = id;
+    degrees_[id] = degree;
+    vars_.push_back(id);
+  }
+  std::sort(vars_.begin(), vars_.end());
+}
+
+std::string_view ExpressionCondition::name() const noexcept { return name_; }
+
+const std::vector<rcm::VarId>& ExpressionCondition::variables()
+    const noexcept {
+  return vars_;
+}
+
+int ExpressionCondition::degree(rcm::VarId v) const {
+  auto it = degrees_.find(v);
+  if (it == degrees_.end())
+    throw std::invalid_argument("ExpressionCondition: variable not in V");
+  return it->second;
+}
+
+bool ExpressionCondition::evaluate(const rcm::HistorySet& h) const {
+  Evaluator e{h, binding_};
+  root_->accept(e);
+  return std::get<bool>(e.result());
+}
+
+rcm::Triggering ExpressionCondition::triggering() const noexcept {
+  return triggering_;
+}
+
+std::string ExpressionCondition::source() const { return to_string(*root_); }
+
+rcm::ConditionPtr compile_condition(std::string name, std::string_view source,
+                                    rcm::VariableRegistry& vars) {
+  return std::make_shared<const ExpressionCondition>(std::move(name),
+                                                     parse(source), vars);
+}
+
+}  // namespace rcm::expr

@@ -1,0 +1,55 @@
+// ExpressionCondition: a Condition compiled from expression-language
+// source. The front door of the library for user-defined conditions:
+//
+//   VariableRegistry vars;
+//   auto c1 = compile_condition("overheat", "x[0] > 3000", vars);
+//   auto c3 = compile_condition(
+//       "rise", "x[0] - x[-1] > 200 && consecutive(x)", vars);
+//
+// Degrees, variable set and triggering class are inferred statically
+// (see analysis.hpp), so the CE sizes its history buffers correctly and
+// the experiment harness can classify the scenario.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/condition.hpp"
+#include "core/expr/ast.hpp"
+#include "core/types.hpp"
+
+namespace rcm::expr {
+
+/// Condition backed by a parsed, type-checked expression AST.
+class ExpressionCondition final : public rcm::Condition {
+ public:
+  /// Prefer compile_condition(); this constructor takes ownership of an
+  /// already-parsed AST. Throws AnalysisError / SyntaxError on problems.
+  ExpressionCondition(std::string name, NodePtr root,
+                      rcm::VariableRegistry& vars);
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] const std::vector<rcm::VarId>& variables() const noexcept override;
+  [[nodiscard]] int degree(rcm::VarId v) const override;
+  [[nodiscard]] bool evaluate(const rcm::HistorySet& h) const override;
+  [[nodiscard]] rcm::Triggering triggering() const noexcept override;
+
+  /// Canonical source rendering of the compiled expression.
+  [[nodiscard]] std::string source() const;
+
+ private:
+  std::string name_;
+  NodePtr root_;
+  std::vector<rcm::VarId> vars_;
+  std::map<std::string, rcm::VarId> binding_;
+  std::map<rcm::VarId, int> degrees_;
+  rcm::Triggering triggering_;
+};
+
+/// Parses, type-checks and binds `source` against `vars` (interning any
+/// new variable names). Throws SyntaxError or AnalysisError on problems.
+[[nodiscard]] rcm::ConditionPtr compile_condition(std::string name,
+                                                  std::string_view source,
+                                                  rcm::VariableRegistry& vars);
+
+}  // namespace rcm::expr

@@ -1,0 +1,162 @@
+#include "core/expr/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace rcm::expr {
+
+const char* token_kind_name(TokenKind k) noexcept {
+  switch (k) {
+    case TokenKind::kEnd: return "end of input";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEqEq: return "'=='";
+    case TokenKind::kNotEq: return "'!='";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kNot: return "'!'";
+  }
+  return "?";
+}
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto push = [&](TokenKind kind, std::size_t pos) {
+    Token t;
+    t.kind = kind;
+    t.pos = pos;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t pos = i;
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      // Number: digits, optional fraction, optional exponent.
+      std::size_t j = i;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '.'))
+        ++j;
+      if (j < n && (src[j] == 'e' || src[j] == 'E')) {
+        std::size_t k = j + 1;
+        if (k < n && (src[k] == '+' || src[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(src[k]))) {
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+        }
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.pos = pos;
+      t.number = std::strtod(std::string(src.substr(i, j - i)).c_str(), nullptr);
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '_'))
+        ++j;
+      Token t;
+      t.kind = TokenKind::kIdent;
+      t.pos = pos;
+      t.text = std::string(src.substr(i, j - i));
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '[': push(TokenKind::kLBracket, pos); ++i; break;
+      case ']': push(TokenKind::kRBracket, pos); ++i; break;
+      case '(': push(TokenKind::kLParen, pos); ++i; break;
+      case ')': push(TokenKind::kRParen, pos); ++i; break;
+      case ',': push(TokenKind::kComma, pos); ++i; break;
+      case '.': push(TokenKind::kDot, pos); ++i; break;
+      case '+': push(TokenKind::kPlus, pos); ++i; break;
+      case '-': push(TokenKind::kMinus, pos); ++i; break;
+      case '*': push(TokenKind::kStar, pos); ++i; break;
+      case '/': push(TokenKind::kSlash, pos); ++i; break;
+      case '<':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(TokenKind::kLe, pos);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, pos);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(TokenKind::kGe, pos);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, pos);
+          ++i;
+        }
+        break;
+      case '=':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(TokenKind::kEqEq, pos);
+          i += 2;
+        } else {
+          throw SyntaxError("'=' is not an operator; use '=='", pos);
+        }
+        break;
+      case '!':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(TokenKind::kNotEq, pos);
+          i += 2;
+        } else {
+          push(TokenKind::kNot, pos);
+          ++i;
+        }
+        break;
+      case '&':
+        if (i + 1 < n && src[i + 1] == '&') {
+          push(TokenKind::kAndAnd, pos);
+          i += 2;
+        } else {
+          throw SyntaxError("single '&' is not an operator; use '&&'", pos);
+        }
+        break;
+      case '|':
+        if (i + 1 < n && src[i + 1] == '|') {
+          push(TokenKind::kOrOr, pos);
+          i += 2;
+        } else {
+          throw SyntaxError("single '|' is not an operator; use '||'", pos);
+        }
+        break;
+      default:
+        throw SyntaxError(std::string("unexpected character '") + c + "'", pos);
+    }
+  }
+  push(TokenKind::kEnd, n);
+  return out;
+}
+
+}  // namespace rcm::expr

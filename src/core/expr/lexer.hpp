@@ -1,0 +1,31 @@
+// Lexer for the condition expression language. See token.hpp for the
+// language overview.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/expr/token.hpp"
+
+namespace rcm::expr {
+
+/// Thrown by the lexer and parser on malformed input; `pos()` is the byte
+/// offset of the offending character or token.
+class SyntaxError : public std::runtime_error {
+ public:
+  SyntaxError(const std::string& message, std::size_t pos)
+      : std::runtime_error(message + " (at offset " + std::to_string(pos) + ")"),
+        pos_(pos) {}
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+
+ private:
+  std::size_t pos_;
+};
+
+/// Tokenizes the whole source eagerly. Throws SyntaxError on characters
+/// outside the language.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace rcm::expr

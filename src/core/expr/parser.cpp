@@ -1,0 +1,267 @@
+#include "core/expr/parser.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+namespace rcm::expr {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  NodePtr run() {
+    NodePtr e = parse_or();
+    expect(TokenKind::kEnd);
+    return e;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[i_]; }
+  const Token& advance() { return tokens_[i_++]; }
+  bool match(TokenKind k) {
+    if (peek().kind != k) return false;
+    ++i_;
+    return true;
+  }
+  void expect(TokenKind k) {
+    if (peek().kind != k) {
+      std::ostringstream msg;
+      msg << "expected " << token_kind_name(k) << ", found "
+          << token_kind_name(peek().kind);
+      throw SyntaxError(msg.str(), peek().pos);
+    }
+    ++i_;
+  }
+
+  NodePtr parse_or() {
+    NodePtr lhs = parse_and();
+    while (peek().kind == TokenKind::kOrOr) {
+      const std::size_t pos = advance().pos;
+      lhs = make_binary(Binary::Op::kOr, std::move(lhs), parse_and(), pos);
+    }
+    return lhs;
+  }
+
+  NodePtr parse_and() {
+    NodePtr lhs = parse_cmp();
+    while (peek().kind == TokenKind::kAndAnd) {
+      const std::size_t pos = advance().pos;
+      lhs = make_binary(Binary::Op::kAnd, std::move(lhs), parse_cmp(), pos);
+    }
+    return lhs;
+  }
+
+  NodePtr parse_cmp() {
+    NodePtr lhs = parse_add();
+    Binary::Op op;
+    switch (peek().kind) {
+      case TokenKind::kLt: op = Binary::Op::kLt; break;
+      case TokenKind::kLe: op = Binary::Op::kLe; break;
+      case TokenKind::kGt: op = Binary::Op::kGt; break;
+      case TokenKind::kGe: op = Binary::Op::kGe; break;
+      case TokenKind::kEqEq: op = Binary::Op::kEq; break;
+      case TokenKind::kNotEq: op = Binary::Op::kNe; break;
+      default: return lhs;
+    }
+    const std::size_t pos = advance().pos;
+    return make_binary(op, std::move(lhs), parse_add(), pos);
+  }
+
+  NodePtr parse_add() {
+    NodePtr lhs = parse_mul();
+    while (true) {
+      Binary::Op op;
+      if (peek().kind == TokenKind::kPlus)
+        op = Binary::Op::kAdd;
+      else if (peek().kind == TokenKind::kMinus)
+        op = Binary::Op::kSub;
+      else
+        break;
+      const std::size_t pos = advance().pos;
+      lhs = make_binary(op, std::move(lhs), parse_mul(), pos);
+    }
+    return lhs;
+  }
+
+  NodePtr parse_mul() {
+    NodePtr lhs = parse_unary();
+    while (true) {
+      Binary::Op op;
+      if (peek().kind == TokenKind::kStar)
+        op = Binary::Op::kMul;
+      else if (peek().kind == TokenKind::kSlash)
+        op = Binary::Op::kDiv;
+      else
+        break;
+      const std::size_t pos = advance().pos;
+      lhs = make_binary(op, std::move(lhs), parse_unary(), pos);
+    }
+    return lhs;
+  }
+
+  NodePtr parse_unary() {
+    if (peek().kind == TokenKind::kMinus) {
+      const std::size_t pos = advance().pos;
+      auto node = std::make_unique<Unary>();
+      node->op = Unary::Op::kNeg;
+      node->child = parse_unary();
+      node->pos = pos;
+      return node;
+    }
+    if (peek().kind == TokenKind::kNot) {
+      const std::size_t pos = advance().pos;
+      auto node = std::make_unique<Unary>();
+      node->op = Unary::Op::kNot;
+      node->child = parse_unary();
+      node->pos = pos;
+      return node;
+    }
+    return parse_primary();
+  }
+
+  NodePtr parse_primary() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokenKind::kNumber: {
+        advance();
+        auto node = std::make_unique<NumberLit>();
+        node->value = t.number;
+        node->pos = t.pos;
+        return node;
+      }
+      case TokenKind::kLParen: {
+        advance();
+        NodePtr inner = parse_or();
+        expect(TokenKind::kRParen);
+        return inner;
+      }
+      case TokenKind::kIdent:
+        return parse_ident();
+      default: {
+        std::ostringstream msg;
+        msg << "expected expression, found " << token_kind_name(t.kind);
+        throw SyntaxError(msg.str(), t.pos);
+      }
+    }
+  }
+
+  NodePtr parse_ident() {
+    const Token t = advance();
+    if (t.text == "true" || t.text == "false") {
+      auto node = std::make_unique<BoolLit>();
+      node->value = t.text == "true";
+      node->pos = t.pos;
+      return node;
+    }
+    if (t.text == "abs" || t.text == "min" || t.text == "max") {
+      auto node = std::make_unique<Call>();
+      node->fn = t.text == "abs"   ? Call::Fn::kAbs
+                 : t.text == "min" ? Call::Fn::kMin
+                                   : Call::Fn::kMax;
+      node->pos = t.pos;
+      expect(TokenKind::kLParen);
+      node->args.push_back(parse_or());
+      const std::size_t arity = t.text == "abs" ? 1 : 2;
+      for (std::size_t i = 1; i < arity; ++i) {
+        expect(TokenKind::kComma);
+        node->args.push_back(parse_or());
+      }
+      expect(TokenKind::kRParen);
+      return node;
+    }
+    if (t.text == "avg" || t.text == "sum" || t.text == "wmin" ||
+        t.text == "wmax") {
+      auto node = std::make_unique<WindowAgg>();
+      node->op = t.text == "avg"    ? WindowAgg::Op::kAvg
+                 : t.text == "sum"  ? WindowAgg::Op::kSum
+                 : t.text == "wmin" ? WindowAgg::Op::kMin
+                                    : WindowAgg::Op::kMax;
+      node->pos = t.pos;
+      expect(TokenKind::kLParen);
+      if (peek().kind != TokenKind::kIdent)
+        throw SyntaxError("window aggregate takes a variable name",
+                          peek().pos);
+      node->var = advance().text;
+      expect(TokenKind::kComma);
+      if (peek().kind != TokenKind::kNumber)
+        throw SyntaxError("window size must be an integer literal",
+                          peek().pos);
+      const Token width = advance();
+      if (width.number != std::floor(width.number) || width.number < 1 ||
+          width.number > 1e6)
+        throw SyntaxError("window size must be a positive integer",
+                          width.pos);
+      node->count = static_cast<int>(width.number);
+      expect(TokenKind::kRParen);
+      return node;
+    }
+    if (t.text == "consecutive") {
+      auto node = std::make_unique<ConsecutiveRef>();
+      node->pos = t.pos;
+      expect(TokenKind::kLParen);
+      if (peek().kind != TokenKind::kIdent)
+        throw SyntaxError("consecutive() takes a variable name", peek().pos);
+      node->var = advance().text;
+      expect(TokenKind::kRParen);
+      return node;
+    }
+    // History reference: IDENT '[' INT ']' ('.' field)?
+    auto node = std::make_unique<HistoryRef>();
+    node->var = t.text;
+    node->pos = t.pos;
+    expect(TokenKind::kLBracket);
+    bool negative = false;
+    if (match(TokenKind::kMinus)) negative = true;
+    if (peek().kind != TokenKind::kNumber)
+      throw SyntaxError("history index must be an integer literal",
+                        peek().pos);
+    const Token idx = advance();
+    const double raw = idx.number;
+    if (raw != std::floor(raw))
+      throw SyntaxError("history index must be an integer", idx.pos);
+    int index = static_cast<int>(raw);
+    if (negative) index = -index;
+    if (index > 0)
+      throw SyntaxError("history index must be <= 0 (0 is most recent)",
+                        idx.pos);
+    node->index = index;
+    expect(TokenKind::kRBracket);
+    if (match(TokenKind::kDot)) {
+      if (peek().kind != TokenKind::kIdent)
+        throw SyntaxError("expected field name after '.'", peek().pos);
+      const Token field = advance();
+      if (field.text == "value")
+        node->field = HistoryRef::Field::kValue;
+      else if (field.text == "seqno")
+        node->field = HistoryRef::Field::kSeqno;
+      else
+        throw SyntaxError("unknown field '" + field.text +
+                              "'; expected 'value' or 'seqno'",
+                          field.pos);
+    }
+    return node;
+  }
+
+  static NodePtr make_binary(Binary::Op op, NodePtr lhs, NodePtr rhs,
+                             std::size_t pos) {
+    auto node = std::make_unique<Binary>();
+    node->op = op;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    node->pos = pos;
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+NodePtr parse(std::string_view source) {
+  return Parser{tokenize(source)}.run();
+}
+
+}  // namespace rcm::expr

@@ -1,0 +1,33 @@
+// Recursive-descent parser for the condition expression language.
+//
+// Grammar (lowest to highest precedence):
+//   expr   := or
+//   or     := and ( '||' and )*
+//   and    := cmp ( '&&' cmp )*
+//   cmp    := add ( ('<'|'<='|'>'|'>='|'=='|'!=') add )?
+//   add    := mul ( ('+'|'-') mul )*
+//   mul    := unary ( ('*'|'/') unary )*
+//   unary  := ('-'|'!') unary | primary
+//   primary:= NUMBER | 'true' | 'false'
+//           | 'abs' '(' expr ')' | 'min' '(' expr ',' expr ')'
+//           | 'max' '(' expr ',' expr ')'
+//           | 'consecutive' '(' IDENT ')'
+//           | IDENT '[' INT ']' ( '.' ('value'|'seqno') )?
+//           | '(' expr ')'
+//
+// History indices must be integer literals <= 0 (optionally written with
+// a leading '-'); conditions of data-dependent degree are exactly the
+// "infinite degree" conditions the paper excludes.
+#pragma once
+
+#include <string_view>
+
+#include "core/expr/ast.hpp"
+#include "core/expr/lexer.hpp"
+
+namespace rcm::expr {
+
+/// Parses `source` into an AST. Throws SyntaxError on malformed input.
+[[nodiscard]] NodePtr parse(std::string_view source);
+
+}  // namespace rcm::expr

@@ -1,0 +1,54 @@
+// Tokens of the condition expression language.
+//
+// The language lets users write conditions as text instead of subclassing
+// rcm::Condition, e.g.
+//
+//   "x[0] > 3000"                                   (c1)
+//   "x[0] - x[-1] > 200"                            (c2, aggressive)
+//   "x[0] - x[-1] > 200 && consecutive(x)"          (c3, conservative)
+//   "abs(x[0] - y[0]) > 100"                        (cm, Theorem 10)
+//
+// `v[i]` reads H_v[i].value (i <= 0); `v[i].seqno` reads the sequence
+// number; `consecutive(v)` is true iff H_v holds consecutive seqnos.
+#pragma once
+
+#include <string>
+
+namespace rcm::expr {
+
+enum class TokenKind {
+  kEnd,
+  kNumber,      // 3000, 0.2, 1e-3
+  kIdent,       // variable names and function names
+  kLBracket,    // [
+  kRBracket,    // ]
+  kLParen,      // (
+  kRParen,      // )
+  kComma,       // ,
+  kDot,         // .
+  kPlus,        // +
+  kMinus,       // -
+  kStar,        // *
+  kSlash,       // /
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kEqEq,        // ==
+  kNotEq,       // !=
+  kAndAnd,      // &&
+  kOrOr,        // ||
+  kNot,         // !
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // identifier spelling (kIdent)
+  double number = 0.0;  // numeric value (kNumber)
+  std::size_t pos = 0;  // byte offset in the source, for diagnostics
+};
+
+/// Printable token kind name for error messages.
+[[nodiscard]] const char* token_kind_name(TokenKind k) noexcept;
+
+}  // namespace rcm::expr

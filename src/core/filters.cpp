@@ -1,0 +1,247 @@
+#include "core/filters.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace rcm {
+
+// ----------------------------------------------------------- trivial ----
+
+std::string_view PassAllFilter::name() const noexcept { return "pass"; }
+std::string_view DropAllFilter::name() const noexcept { return "drop"; }
+
+// -------------------------------------------------------------- AD-1 ----
+
+bool Ad1DuplicateFilter::accepts(const Alert& a) const {
+  return seen_.count(a.key()) == 0;
+}
+
+void Ad1DuplicateFilter::record(const Alert& a) { seen_.insert(a.key()); }
+
+std::string_view Ad1DuplicateFilter::name() const noexcept { return "AD-1"; }
+
+void Ad1DuplicateFilter::reset() { seen_.clear(); }
+
+// -------------------------------------------------------------- AD-2 ----
+
+bool Ad2OrderedFilter::accepts(const Alert& a) const {
+  return a.seqno(var_) > last_;
+}
+
+void Ad2OrderedFilter::record(const Alert& a) { last_ = a.seqno(var_); }
+
+std::string_view Ad2OrderedFilter::name() const noexcept { return "AD-2"; }
+
+void Ad2OrderedFilter::reset() { last_ = kNoSeqNo; }
+
+// ---------------------------------------------- Received/Missed ledger ----
+
+namespace {
+
+// SpanningSet(s) of Figure A-3: all integers between min(s) and max(s)
+// inclusive. We never materialize it; gaps are enumerated directly.
+template <typename Fn>
+void for_each_gap(const std::vector<SeqNo>& window_seqnos, Fn&& fn) {
+  for (std::size_t i = 1; i < window_seqnos.size(); ++i)
+    for (SeqNo s = window_seqnos[i - 1] + 1; s < window_seqnos[i]; ++s) fn(s);
+}
+
+}  // namespace
+
+bool ReceivedMissedLedger::conflicts(const Alert& a) const {
+  for (const auto& [var, window] : a.histories) {
+    auto it = state_.find(var);
+    if (it == state_.end()) continue;
+    const VarState& vs = it->second;
+    bool conflict = false;
+    // Every seqno the alert claims received must not be known-missed.
+    for (const Update& u : window)
+      if (vs.missed.count(u.seqno)) conflict = true;
+    // Every gap the alert implies missed must not be known-received.
+    std::vector<SeqNo> seqs;
+    seqs.reserve(window.size());
+    for (const Update& u : window) seqs.push_back(u.seqno);
+    for_each_gap(seqs, [&](SeqNo s) {
+      if (vs.received.count(s)) conflict = true;
+    });
+    if (conflict) return true;
+  }
+  return false;
+}
+
+void ReceivedMissedLedger::update(const Alert& a) {
+  for (const auto& [var, window] : a.histories) {
+    VarState& vs = state_[var];
+    std::vector<SeqNo> seqs;
+    seqs.reserve(window.size());
+    for (const Update& u : window) {
+      vs.received.insert(u.seqno);
+      seqs.push_back(u.seqno);
+    }
+    for_each_gap(seqs, [&](SeqNo s) { vs.missed.insert(s); });
+  }
+}
+
+void ReceivedMissedLedger::clear() { state_.clear(); }
+
+// -------------------------------------------------------------- AD-3 ----
+
+bool Ad3ConsistentFilter::accepts(const Alert& a) const {
+  if (seen_.count(a.key())) return false;  // fidelity note in header
+  return !ledger_.conflicts(a);
+}
+
+void Ad3ConsistentFilter::record(const Alert& a) {
+  seen_.insert(a.key());
+  ledger_.update(a);
+}
+
+std::string_view Ad3ConsistentFilter::name() const noexcept { return "AD-3"; }
+
+void Ad3ConsistentFilter::reset() {
+  ledger_.clear();
+  seen_.clear();
+}
+
+// -------------------------------------------------------------- AD-4 ----
+
+bool Ad4OrderedConsistentFilter::accepts(const Alert& a) const {
+  return ad2_.accepts(a) && ad3_.accepts(a);
+}
+
+void Ad4OrderedConsistentFilter::record(const Alert& a) {
+  ad2_.record(a);
+  ad3_.record(a);
+}
+
+std::string_view Ad4OrderedConsistentFilter::name() const noexcept {
+  return "AD-4";
+}
+
+void Ad4OrderedConsistentFilter::reset() {
+  ad2_.reset();
+  ad3_.reset();
+}
+
+// -------------------------------------------------------------- AD-5 ----
+
+Ad5MultiOrderedFilter::Ad5MultiOrderedFilter(std::vector<VarId> vars)
+    : vars_(std::move(vars)) {
+  if (vars_.empty())
+    throw std::invalid_argument("Ad5MultiOrderedFilter: empty variable set");
+  for (VarId v : vars_) last_[v] = kNoSeqNo;
+}
+
+bool Ad5MultiOrderedFilter::accepts(const Alert& a) const {
+  bool all_equal = true;
+  for (VarId v : vars_) {
+    const SeqNo s = a.seqno(v);
+    const SeqNo last = last_.at(v);
+    if (s < last) return false;  // would invert order in v
+    if (s != last) all_equal = false;
+  }
+  return !all_equal;  // equal in every variable == duplicate
+}
+
+void Ad5MultiOrderedFilter::record(const Alert& a) {
+  for (VarId v : vars_) last_[v] = a.seqno(v);
+}
+
+std::string_view Ad5MultiOrderedFilter::name() const noexcept {
+  return "AD-5";
+}
+
+void Ad5MultiOrderedFilter::reset() {
+  for (auto& [v, s] : last_) s = kNoSeqNo;
+}
+
+// -------------------------------------------------------------- AD-6 ----
+
+Ad6MultiOrderedConsistentFilter::Ad6MultiOrderedConsistentFilter(
+    std::vector<VarId> vars)
+    : ad5_(std::move(vars)) {}
+
+bool Ad6MultiOrderedConsistentFilter::accepts(const Alert& a) const {
+  if (seen_.count(a.key())) return false;
+  return ad5_.accepts(a) && !ledger_.conflicts(a);
+}
+
+void Ad6MultiOrderedConsistentFilter::record(const Alert& a) {
+  seen_.insert(a.key());
+  ad5_.record(a);
+  ledger_.update(a);
+}
+
+std::string_view Ad6MultiOrderedConsistentFilter::name() const noexcept {
+  return "AD-6";
+}
+
+void Ad6MultiOrderedConsistentFilter::reset() {
+  seen_.clear();
+  ad5_.reset();
+  ledger_.clear();
+}
+
+// ------------------------------------------------------------ factory ----
+
+FilterPtr make_filter(FilterKind kind, const std::vector<VarId>& vars) {
+  auto require_single_var = [&](const char* algo) {
+    if (vars.size() != 1)
+      throw std::invalid_argument(std::string(algo) +
+                                  " requires a single-variable condition");
+    return vars[0];
+  };
+  switch (kind) {
+    case FilterKind::kPassAll:
+      return std::make_unique<PassAllFilter>();
+    case FilterKind::kDropAll:
+      return std::make_unique<DropAllFilter>();
+    case FilterKind::kAd1:
+      return std::make_unique<Ad1DuplicateFilter>();
+    case FilterKind::kAd2:
+      return std::make_unique<Ad2OrderedFilter>(require_single_var("AD-2"));
+    case FilterKind::kAd3:
+      return std::make_unique<Ad3ConsistentFilter>();
+    case FilterKind::kAd4:
+      return std::make_unique<Ad4OrderedConsistentFilter>(
+          require_single_var("AD-4"));
+    case FilterKind::kAd5:
+      return std::make_unique<Ad5MultiOrderedFilter>(vars);
+    case FilterKind::kAd6:
+      return std::make_unique<Ad6MultiOrderedConsistentFilter>(vars);
+  }
+  throw std::invalid_argument("make_filter: unknown FilterKind");
+}
+
+FilterKind parse_filter_kind(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name)
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "pass" || lower == "passall") return FilterKind::kPassAll;
+  if (lower == "drop" || lower == "dropall") return FilterKind::kDropAll;
+  if (lower == "ad-1" || lower == "ad1") return FilterKind::kAd1;
+  if (lower == "ad-2" || lower == "ad2") return FilterKind::kAd2;
+  if (lower == "ad-3" || lower == "ad3") return FilterKind::kAd3;
+  if (lower == "ad-4" || lower == "ad4") return FilterKind::kAd4;
+  if (lower == "ad-5" || lower == "ad5") return FilterKind::kAd5;
+  if (lower == "ad-6" || lower == "ad6") return FilterKind::kAd6;
+  throw std::invalid_argument("unknown filter: " + std::string(name));
+}
+
+std::string_view filter_kind_name(FilterKind kind) noexcept {
+  switch (kind) {
+    case FilterKind::kPassAll: return "pass";
+    case FilterKind::kDropAll: return "drop";
+    case FilterKind::kAd1: return "AD-1";
+    case FilterKind::kAd2: return "AD-2";
+    case FilterKind::kAd3: return "AD-3";
+    case FilterKind::kAd4: return "AD-4";
+    case FilterKind::kAd5: return "AD-5";
+    case FilterKind::kAd6: return "AD-6";
+  }
+  return "?";
+}
+
+}  // namespace rcm

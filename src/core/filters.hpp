@@ -1,0 +1,243 @@
+// The Alert Displayer filtering algorithms AD-1 .. AD-6 (paper §4, §5,
+// Appendix A), plus the two trivial reference filters used in the
+// domination discussion of §4.1.
+//
+// Each filter is a stateful online decision procedure: alerts arrive one
+// at a time (the interleaving of the CE streams is whatever the network
+// produced) and the filter accepts or discards each immediately.
+//
+// The implementations deliberately separate the *decision* (`accepts`,
+// const) from the *state transition* (`record`). Algorithm AD-4 is
+// literally "discard anything AD-2 or AD-3 would discard", which is only
+// correct if the two parts observe exactly the alerts that pass the
+// combined test — the accepts/record split makes that composition exact
+// (and likewise for AD-6 = AD-5 + multi-variable AD-3).
+//
+// Fidelity note (documented in EXPERIMENTS.md as well): the paper's AD-3
+// pseudo-code in Figure A-3, taken literally, lets an *exact duplicate*
+// alert through, because a duplicate re-asserts facts already in
+// Received/Missed and creates no conflict. Theorem 8 (AD-1 > AD-3: "AD-3
+// filters out at least all the alerts filtered by AD-1") requires AD-3 to
+// suppress duplicates, so our AD-3 additionally applies AD-1's exact
+// duplicate test. Consistency itself is unaffected either way (Phi A is a
+// set), but domination is only as stated in the paper with this reading.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "core/alert.hpp"
+#include "core/types.hpp"
+
+namespace rcm {
+
+/// Interface of an AD filtering algorithm.
+class AlertFilter {
+ public:
+  virtual ~AlertFilter() = default;
+
+  /// Would this alert be displayed, given the filter's current state?
+  /// Pure: does not change state.
+  [[nodiscard]] virtual bool accepts(const Alert& a) const = 0;
+
+  /// Transitions the state as if `a` had been displayed. Precondition:
+  /// accepts(a) is true (composite filters depend on this).
+  virtual void record(const Alert& a) = 0;
+
+  /// Algorithm name for reports ("AD-1", "AD-4", ...).
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Forgets all state, as if no alert had been processed.
+  virtual void reset() = 0;
+
+  /// Convenience: accepts + record in one step. Returns whether the alert
+  /// passed the filter (i.e. should be displayed).
+  bool offer(const Alert& a) {
+    if (!accepts(a)) return false;
+    record(a);
+    return true;
+  }
+
+  AlertFilter() = default;
+  AlertFilter(const AlertFilter&) = delete;
+  AlertFilter& operator=(const AlertFilter&) = delete;
+};
+
+using FilterPtr = std::unique_ptr<AlertFilter>;
+
+/// Reference filter: passes everything (the "no AD processing" baseline;
+/// the corresponding non-replicated system N uses this implicitly).
+class PassAllFilter final : public AlertFilter {
+ public:
+  [[nodiscard]] bool accepts(const Alert&) const override { return true; }
+  void record(const Alert&) override {}
+  [[nodiscard]] std::string_view name() const noexcept override;
+  void reset() override {}
+};
+
+/// Reference filter from §4.1: passes nothing. Trivially ordered and
+/// consistent — and useless; it anchors the bottom of the domination
+/// order.
+class DropAllFilter final : public AlertFilter {
+ public:
+  [[nodiscard]] bool accepts(const Alert&) const override { return false; }
+  void record(const Alert&) override {}
+  [[nodiscard]] std::string_view name() const noexcept override;
+  void reset() override {}
+};
+
+/// Algorithm AD-1 (Figure A-1): exact duplicate removal. Two alerts are
+/// identical iff their history sets are equal (same condition, same
+/// per-variable windows).
+class Ad1DuplicateFilter final : public AlertFilter {
+ public:
+  [[nodiscard]] bool accepts(const Alert& a) const override;
+  void record(const Alert& a) override;
+  [[nodiscard]] std::string_view name() const noexcept override;
+  void reset() override;
+
+ private:
+  std::unordered_set<AlertKey, AlertKeyHash> seen_;
+};
+
+/// Algorithm AD-2 (Figure A-2): single-variable orderedness. Discards any
+/// alert whose sequence number is <= the last displayed one. Maximally
+/// ordered (Theorem 5).
+class Ad2OrderedFilter final : public AlertFilter {
+ public:
+  /// `var` is the condition's single variable.
+  explicit Ad2OrderedFilter(VarId var) : var_(var) {}
+
+  [[nodiscard]] bool accepts(const Alert& a) const override;
+  void record(const Alert& a) override;
+  [[nodiscard]] std::string_view name() const noexcept override;
+  void reset() override;
+
+ private:
+  VarId var_;
+  SeqNo last_ = kNoSeqNo;
+};
+
+/// Received/Missed bookkeeping shared by AD-3 (single variable) and the
+/// multi-variable extension used inside AD-6. Tracks, per variable, which
+/// update sequence numbers displayed alerts imply were received and which
+/// were missed; an alert whose history contradicts either set conflicts.
+class ReceivedMissedLedger {
+ public:
+  /// True iff displaying an alert with these per-variable history seqnos
+  /// would contradict an already-displayed alert.
+  [[nodiscard]] bool conflicts(const Alert& a) const;
+
+  /// Folds a displayed alert's implications into the ledger:
+  /// its history seqnos into Received, the gaps inside each window's
+  /// spanning set into Missed.
+  void update(const Alert& a);
+
+  void clear();
+
+ private:
+  struct VarState {
+    std::set<SeqNo> received;
+    std::set<SeqNo> missed;
+  };
+  std::map<VarId, VarState> state_;
+};
+
+/// Algorithm AD-3 (Figure A-3): consistency via the Received/Missed
+/// ledger, plus exact-duplicate suppression (see the fidelity note at the
+/// top of this header). Maximally consistent (Theorem 7).
+class Ad3ConsistentFilter final : public AlertFilter {
+ public:
+  [[nodiscard]] bool accepts(const Alert& a) const override;
+  void record(const Alert& a) override;
+  [[nodiscard]] std::string_view name() const noexcept override;
+  void reset() override;
+
+ private:
+  ReceivedMissedLedger ledger_;
+  std::unordered_set<AlertKey, AlertKeyHash> seen_;
+};
+
+/// Algorithm AD-4 (Figure A-4): discards anything AD-2 or AD-3 would
+/// discard; guarantees orderedness and consistency, maximally so
+/// (Theorem 9).
+class Ad4OrderedConsistentFilter final : public AlertFilter {
+ public:
+  explicit Ad4OrderedConsistentFilter(VarId var) : ad2_(var) {}
+
+  [[nodiscard]] bool accepts(const Alert& a) const override;
+  void record(const Alert& a) override;
+  [[nodiscard]] std::string_view name() const noexcept override;
+  void reset() override;
+
+ private:
+  Ad2OrderedFilter ad2_;
+  Ad3ConsistentFilter ad3_;
+};
+
+/// Algorithm AD-5 (Figure A-5): multi-variable orderedness. Tracks the
+/// last displayed sequence number per variable; discards an alert that
+/// inverts order in any variable, or that equals the last alert in every
+/// variable (a duplicate). Works for any number of variables.
+class Ad5MultiOrderedFilter final : public AlertFilter {
+ public:
+  explicit Ad5MultiOrderedFilter(std::vector<VarId> vars);
+
+  [[nodiscard]] bool accepts(const Alert& a) const override;
+  void record(const Alert& a) override;
+  [[nodiscard]] std::string_view name() const noexcept override;
+  void reset() override;
+
+ private:
+  std::vector<VarId> vars_;
+  std::map<VarId, SeqNo> last_;
+};
+
+/// Algorithm AD-6 (Figure A-6): AD-5 combined with the multi-variable
+/// Received/Missed ledger (the per-variable extension of AD-3); enforces
+/// orderedness and consistency in multi-variable systems.
+class Ad6MultiOrderedConsistentFilter final : public AlertFilter {
+ public:
+  explicit Ad6MultiOrderedConsistentFilter(std::vector<VarId> vars);
+
+  [[nodiscard]] bool accepts(const Alert& a) const override;
+  void record(const Alert& a) override;
+  [[nodiscard]] std::string_view name() const noexcept override;
+  void reset() override;
+
+ private:
+  Ad5MultiOrderedFilter ad5_;
+  ReceivedMissedLedger ledger_;
+  std::unordered_set<AlertKey, AlertKeyHash> seen_;
+};
+
+/// Names accepted by make_filter.
+enum class FilterKind {
+  kPassAll,
+  kDropAll,
+  kAd1,
+  kAd2,
+  kAd3,
+  kAd4,
+  kAd5,
+  kAd6,
+};
+
+/// Factory. `vars` is the condition's variable set; AD-2/AD-4 require
+/// exactly one variable, AD-5/AD-6 accept any number.
+[[nodiscard]] FilterPtr make_filter(FilterKind kind,
+                                    const std::vector<VarId>& vars);
+
+/// Parses "AD-1".."AD-6", "pass", "drop" (case-insensitive); throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] FilterKind parse_filter_kind(std::string_view name);
+
+/// Printable name of a filter kind.
+[[nodiscard]] std::string_view filter_kind_name(FilterKind kind) noexcept;
+
+}  // namespace rcm

@@ -1,0 +1,77 @@
+#include "core/history.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rcm {
+
+History::History(int degree) : degree_(degree) {
+  if (degree < 1) throw std::invalid_argument("History degree must be >= 1");
+  buf_.reserve(static_cast<std::size_t>(degree));
+}
+
+void History::push(const Update& u) {
+  if (buf_.size() == static_cast<std::size_t>(degree_))
+    buf_.erase(buf_.begin());
+  buf_.push_back(u);
+}
+
+const Update& History::at(int i) const {
+  if (i > 0 || static_cast<std::size_t>(-i) >= buf_.size())
+    throw std::out_of_range("History::at: index outside received window");
+  return buf_[buf_.size() - 1 - static_cast<std::size_t>(-i)];
+}
+
+std::vector<SeqNo> History::seqnos_ascending() const {
+  std::vector<SeqNo> out;
+  out.reserve(buf_.size());
+  for (const Update& u : buf_) out.push_back(u.seqno);
+  return out;  // buf_ is oldest-first and seqnos only grow, so ascending
+}
+
+bool History::consecutive() const noexcept {
+  for (std::size_t i = 1; i < buf_.size(); ++i)
+    if (buf_[i].seqno != buf_[i - 1].seqno + 1) return false;
+  return true;
+}
+
+void HistorySet::add_variable(VarId v, int degree) {
+  auto it = histories_.find(v);
+  if (it == histories_.end()) {
+    histories_.emplace(v, History{degree});
+  } else if (it->second.degree() < degree) {
+    it->second = History{degree};
+  }
+}
+
+void HistorySet::push(const Update& u) {
+  auto it = histories_.find(u.var);
+  if (it != histories_.end()) it->second.push(u);
+}
+
+bool HistorySet::contains(VarId v) const { return histories_.count(v) != 0; }
+
+const History& HistorySet::of(VarId v) const {
+  auto it = histories_.find(v);
+  if (it == histories_.end())
+    throw std::out_of_range("HistorySet::of: variable not in set");
+  return it->second;
+}
+
+bool HistorySet::all_defined() const noexcept {
+  return std::all_of(histories_.begin(), histories_.end(),
+                     [](const auto& kv) { return kv.second.defined(); });
+}
+
+std::vector<VarId> HistorySet::variables() const {
+  std::vector<VarId> out;
+  out.reserve(histories_.size());
+  for (const auto& [v, h] : histories_) out.push_back(v);
+  return out;
+}
+
+void HistorySet::clear() noexcept {
+  for (auto& [v, h] : histories_) h.clear();
+}
+
+}  // namespace rcm

@@ -1,0 +1,94 @@
+// Update histories (paper §2).
+//
+// A condition of degree N with respect to variable x is evaluated over
+// Hx = <Hx[0], Hx[-1], ..., Hx[-(N-1)]>, the N most recently *received*
+// x-updates. Hx is undefined until N updates have been received; the CE
+// does not evaluate the condition while any referenced history is
+// undefined.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rcm {
+
+/// Fixed-capacity ring of the most recent updates of one variable.
+///
+/// Indexing follows the paper: at(0) is the most recent update, at(-1) the
+/// one received before it, down to at(-(degree()-1)).
+class History {
+ public:
+  /// Creates a history of the given degree (capacity). Degree must be >= 1.
+  explicit History(int degree);
+
+  /// Pushes a newly received update, evicting the oldest if full.
+  void push(const Update& u);
+
+  /// Number of updates currently held (<= degree()).
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+  /// Capacity N the history was created with.
+  [[nodiscard]] int degree() const noexcept { return degree_; }
+
+  /// True once `degree()` updates have been received; the paper calls the
+  /// history "defined" from this point on.
+  [[nodiscard]] bool defined() const noexcept {
+    return buf_.size() == static_cast<std::size_t>(degree_);
+  }
+
+  /// H[i] for i in (-(degree-1)) .. 0. Precondition: -i < size().
+  [[nodiscard]] const Update& at(int i) const;
+
+  /// Sequence numbers oldest-to-newest, e.g. {1,3} for H = <3x, 1x>.
+  /// Useful for fingerprints and the AD-3 Received/Missed bookkeeping.
+  [[nodiscard]] std::vector<SeqNo> seqnos_ascending() const;
+
+  /// True if the held sequence numbers are consecutive integers, i.e. the
+  /// CE observed no loss inside this window. Conservative conditions
+  /// require this (paper: conditions "detect the loss of an update").
+  [[nodiscard]] bool consecutive() const noexcept;
+
+  /// Drops all stored updates (used when a simulated CE crashes and loses
+  /// its volatile state).
+  void clear() noexcept { buf_.clear(); }
+
+ private:
+  int degree_;
+  std::vector<Update> buf_;  // oldest first; size <= degree_
+};
+
+/// The set H of update histories a condition is defined on: one History
+/// per variable in the condition's variable set V.
+class HistorySet {
+ public:
+  /// Creates an empty history of degree `degree` for variable `v`.
+  /// Re-adding an existing variable with a larger degree widens it.
+  void add_variable(VarId v, int degree);
+
+  /// Routes an update into the history of its variable. Updates of
+  /// variables not in the set are ignored (the CE only subscribes to V,
+  /// but defensive filtering keeps misrouted traffic harmless).
+  void push(const Update& u);
+
+  [[nodiscard]] bool contains(VarId v) const;
+
+  /// History of variable v. Precondition: contains(v).
+  [[nodiscard]] const History& of(VarId v) const;
+
+  /// True when every variable's history is defined; only then may the
+  /// condition be evaluated.
+  [[nodiscard]] bool all_defined() const noexcept;
+
+  /// Variables in deterministic (ascending id) order.
+  [[nodiscard]] std::vector<VarId> variables() const;
+
+  void clear() noexcept;
+
+ private:
+  std::map<VarId, History> histories_;
+};
+
+}  // namespace rcm

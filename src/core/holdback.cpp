@@ -1,0 +1,77 @@
+#include "core/holdback.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rcm {
+
+HoldbackDisplayer::HoldbackDisplayer(VarId var, double timeout)
+    : var_(var), timeout_(timeout) {
+  if (timeout < 0.0)
+    throw std::invalid_argument("HoldbackDisplayer: negative timeout");
+}
+
+std::vector<Alert> HoldbackDisplayer::on_alert(const Alert& a, double now) {
+  if (!seen_.insert(a.key()).second) {
+    ++duplicates_;
+    return {};
+  }
+  buffer_.push_back(Held{a, now + timeout_});
+  return on_time(now);
+}
+
+std::vector<Alert> HoldbackDisplayer::on_time(double now) {
+  // Collect expired entries; deadlines are non-decreasing in arrival
+  // order, so expired entries form a prefix of the buffer.
+  std::vector<Alert> batch;
+  while (!buffer_.empty() && buffer_.front().deadline <= now) {
+    batch.push_back(std::move(buffer_.front().alert));
+    buffer_.pop_front();
+  }
+  if (batch.empty()) return {};
+  // Releasing an expired alert with seqno s while a smaller-seqno alert
+  // still waits in the buffer would force that alert to display late;
+  // releasing it early instead is always safe for orderedness. Pull every
+  // buffered entry whose seqno is below the expired batch's maximum.
+  SeqNo threshold = kNoSeqNo;
+  for (const Alert& a : batch) threshold = std::max(threshold, a.seqno(var_));
+  for (auto it = buffer_.begin(); it != buffer_.end();) {
+    if (it->alert.seqno(var_) <= threshold) {
+      batch.push_back(std::move(it->alert));
+      it = buffer_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Release in sequence-number order.
+  std::sort(batch.begin(), batch.end(), [&](const Alert& x, const Alert& y) {
+    return x.seqno(var_) < y.seqno(var_);
+  });
+  for (const Alert& a : batch) display(a);
+  return batch;
+}
+
+std::vector<Alert> HoldbackDisplayer::flush() {
+  std::vector<Alert> rest;
+  for (Held& h : buffer_) rest.push_back(std::move(h.alert));
+  buffer_.clear();
+  std::sort(rest.begin(), rest.end(), [&](const Alert& x, const Alert& y) {
+    return x.seqno(var_) < y.seqno(var_);
+  });
+  for (const Alert& a : rest) display(a);
+  return rest;
+}
+
+std::optional<double> HoldbackDisplayer::next_deadline() const {
+  if (buffer_.empty()) return std::nullopt;
+  return buffer_.front().deadline;
+}
+
+void HoldbackDisplayer::display(const Alert& a) {
+  const SeqNo s = a.seqno(var_);
+  if (s < last_displayed_) ++late_;
+  last_displayed_ = std::max(last_displayed_, s);
+  displayed_.push_back(a);
+}
+
+}  // namespace rcm

@@ -1,0 +1,41 @@
+#include "core/multi_condition.hpp"
+
+#include <stdexcept>
+
+namespace rcm {
+
+void ConditionRouter::add_condition(const std::string& cond,
+                                    FilterPtr filter) {
+  if (!filter)
+    throw std::invalid_argument("ConditionRouter: null filter");
+  filters_[cond] = std::move(filter);
+}
+
+bool ConditionRouter::on_alert(const Alert& a) {
+  ++arrived_;
+  auto it = filters_.find(a.cond);
+  if (it == filters_.end()) {
+    if (unknown_ == UnknownPolicy::kDrop) return false;
+    displayed_.push_back(a);
+    return true;
+  }
+  if (!it->second->offer(a)) return false;
+  displayed_.push_back(a);
+  return true;
+}
+
+std::vector<Alert> ConditionRouter::displayed_for(
+    const std::string& cond) const {
+  std::vector<Alert> out;
+  for (const Alert& a : displayed_)
+    if (a.cond == cond) out.push_back(a);
+  return out;
+}
+
+void ConditionRouter::reset() {
+  for (auto& [cond, filter] : filters_) filter->reset();
+  displayed_.clear();
+  arrived_ = 0;
+}
+
+}  // namespace rcm

@@ -1,0 +1,65 @@
+// Multi-condition Alert Displayers (Appendix D).
+//
+// When several conditions are monitored, the AD receives one merged
+// stream of alerts tagged with their condition names. Appendix D shows
+// that the single-condition analysis carries over to the
+// separate-CEs-per-condition configuration (Figure D-7(c)) if the AD
+// "separates the A and B alert streams and runs one instance of the
+// filtering algorithm against each stream" — which is exactly what
+// ConditionRouter does. The co-located configuration (Figure D-7(d)) is
+// instead reduced to a single combined condition C = A OR B
+// (DisjunctionCondition) monitored by ordinary replicated CEs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/displayer.hpp"
+#include "core/filters.hpp"
+
+namespace rcm {
+
+/// Demultiplexes a merged multi-condition alert stream into one
+/// AlertFilter instance per condition.
+class ConditionRouter {
+ public:
+  /// Policy for alerts whose condition name was never registered.
+  enum class UnknownPolicy { kDrop, kPass };
+
+  explicit ConditionRouter(UnknownPolicy unknown = UnknownPolicy::kDrop)
+      : unknown_(unknown) {}
+
+  /// Registers a condition stream with its own filter instance.
+  /// Re-registering a name replaces the filter (and resets that stream).
+  void add_condition(const std::string& cond, FilterPtr filter);
+
+  /// Routes one alert; returns whether it was displayed.
+  bool on_alert(const Alert& a);
+
+  /// All displayed alerts across conditions, in display order — what the
+  /// user actually sees on the device.
+  [[nodiscard]] const std::vector<Alert>& displayed() const noexcept {
+    return displayed_;
+  }
+
+  /// Displayed alerts of one condition, in display order.
+  [[nodiscard]] std::vector<Alert> displayed_for(const std::string& cond) const;
+
+  /// Total arrivals (pre-filter).
+  [[nodiscard]] std::size_t arrived() const noexcept { return arrived_; }
+
+  [[nodiscard]] bool has_condition(const std::string& cond) const {
+    return filters_.count(cond) != 0;
+  }
+
+  void reset();
+
+ private:
+  UnknownPolicy unknown_;
+  std::map<std::string, FilterPtr> filters_;
+  std::vector<Alert> displayed_;
+  std::size_t arrived_ = 0;
+};
+
+}  // namespace rcm

@@ -1,0 +1,26 @@
+// Umbrella header for the rcm core library.
+//
+// The core implements the paper's model end to end:
+//   - types.hpp / history.hpp / alert.hpp : updates, histories, alerts
+//   - condition.hpp / builtin_conditions.hpp : the condition model and the
+//     paper's concrete conditions (c1, c2, c3, cm, A-or-B)
+//   - expr/expression_condition.hpp : conditions compiled from text
+//   - evaluator.hpp : the Condition Evaluator and the mapping T
+//   - filters.hpp / displayer.hpp : the Alert Displayer and algorithms
+//     AD-1 .. AD-6
+//   - sequence.hpp : the sequence calculus of §2.2
+#pragma once
+
+#include "core/alert.hpp"
+#include "core/bounded_ledger.hpp"
+#include "core/builtin_conditions.hpp"
+#include "core/condition.hpp"
+#include "core/displayer.hpp"
+#include "core/evaluator.hpp"
+#include "core/expr/expression_condition.hpp"
+#include "core/filters.hpp"
+#include "core/history.hpp"
+#include "core/holdback.hpp"
+#include "core/multi_condition.hpp"
+#include "core/sequence.hpp"
+#include "core/types.hpp"

@@ -1,0 +1,91 @@
+#include "core/sequence.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace rcm {
+
+bool is_ordered(std::span<const SeqNo> s) noexcept {
+  for (std::size_t i = 1; i < s.size(); ++i)
+    if (s[i] < s[i - 1]) return false;
+  return true;
+}
+
+bool is_subsequence(std::span<const SeqNo> a,
+                    std::span<const SeqNo> b) noexcept {
+  std::size_t i = 0;
+  for (std::size_t j = 0; i < a.size() && j < b.size(); ++j)
+    if (a[i] == b[j]) ++i;
+  return i == a.size();
+}
+
+std::vector<SeqNo> ordered_union(std::span<const SeqNo> a,
+                                 std::span<const SeqNo> b) {
+  std::vector<SeqNo> out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0, j = 0;
+  auto push = [&](SeqNo s) {
+    if (out.empty() || out.back() != s) out.push_back(s);
+  };
+  while (i < a.size() && j < b.size()) {
+    if (a[i] <= b[j])
+      push(a[i++]);
+    else
+      push(b[j++]);
+  }
+  while (i < a.size()) push(a[i++]);
+  while (j < b.size()) push(b[j++]);
+  return out;
+}
+
+std::vector<Update> ordered_union(std::span<const Update> a,
+                                  std::span<const Update> b) {
+  std::vector<Update> out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0, j = 0;
+  auto push = [&](const Update& u) {
+    if (out.empty() || out.back().seqno != u.seqno) out.push_back(u);
+  };
+  while (i < a.size() && j < b.size()) {
+    if (a[i].seqno <= b[j].seqno)
+      push(a[i++]);
+    else
+      push(b[j++]);
+  }
+  while (i < a.size()) push(a[i++]);
+  while (j < b.size()) push(b[j++]);
+  return out;
+}
+
+std::vector<SeqNo> project(std::span<const Update> u, VarId x) {
+  std::vector<SeqNo> out;
+  for (const Update& up : u)
+    if (up.var == x) out.push_back(up.seqno);
+  return out;
+}
+
+std::vector<SeqNo> project(std::span<const Alert> a, VarId x) {
+  std::vector<SeqNo> out;
+  for (const Alert& al : a)
+    if (al.histories.count(x)) out.push_back(al.seqno(x));
+  return out;
+}
+
+bool is_ordered(std::span<const Update> u, VarId x) {
+  const auto proj = project(u, x);
+  return is_ordered(std::span<const SeqNo>{proj});
+}
+
+bool is_ordered(std::span<const Alert> a, VarId x) {
+  const auto proj = project(a, x);
+  return is_ordered(std::span<const SeqNo>{proj});
+}
+
+std::vector<std::pair<VarId, std::vector<Update>>> split_by_var(
+    std::span<const Update> u) {
+  std::map<VarId, std::vector<Update>> byvar;
+  for (const Update& up : u) byvar[up.var].push_back(up);
+  return {byvar.begin(), byvar.end()};
+}
+
+}  // namespace rcm

@@ -1,0 +1,60 @@
+// Sequence notation from paper §2.2, as code.
+//
+//  - ordered:           elements appear in non-decreasing order
+//  - Phi(S):            the set of S's elements
+//  - S1 subsequence S2  (S1 ⊑ S2): S1 obtained by deleting elements of S2
+//  - ordered union      (S1 ⊔ S2): ordered sequence with Phi = union,
+//                       duplicates removed
+//  - Pi_x(U):           sequence of seqnos of x-updates in U
+//
+// Updates are ordered/merged by sequence number; for single-variable
+// discussions an update stands for its seqno exactly as in the paper.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/alert.hpp"
+#include "core/types.hpp"
+
+namespace rcm {
+
+/// True iff the numbers appear in non-decreasing order.
+[[nodiscard]] bool is_ordered(std::span<const SeqNo> s) noexcept;
+
+/// True iff `a` can be obtained from `b` by deleting zero or more elements.
+[[nodiscard]] bool is_subsequence(std::span<const SeqNo> a,
+                                  std::span<const SeqNo> b) noexcept;
+
+/// Ordered union S1 ⊔ S2 of two ordered seqno sequences (duplicates
+/// removed). Precondition: both inputs ordered.
+[[nodiscard]] std::vector<SeqNo> ordered_union(std::span<const SeqNo> a,
+                                               std::span<const SeqNo> b);
+
+/// Ordered union of two single-variable update sequences, merging by
+/// seqno and dropping duplicates. Both inputs must be ordered by seqno
+/// and contain updates of the same variable. When the same seqno appears
+/// in both inputs the copy from `a` wins (values are full snapshots from
+/// the same DM, so the copies are identical in a well-formed system).
+[[nodiscard]] std::vector<Update> ordered_union(std::span<const Update> a,
+                                                std::span<const Update> b);
+
+/// Pi_x(U): seqnos of x-updates in U, in stream order.
+[[nodiscard]] std::vector<SeqNo> project(std::span<const Update> u, VarId x);
+
+/// Pi_x(A): a.seqno.x for each alert in A that includes variable x, in
+/// stream order (paper §2.2). Alerts not involving x are skipped.
+[[nodiscard]] std::vector<SeqNo> project(std::span<const Alert> a, VarId x);
+
+/// True iff update sequence U is ordered with respect to variable x.
+[[nodiscard]] bool is_ordered(std::span<const Update> u, VarId x);
+
+/// True iff alert sequence A is ordered with respect to variable x.
+[[nodiscard]] bool is_ordered(std::span<const Alert> a, VarId x);
+
+/// Splits a mixed-variable stream into per-variable streams, preserving
+/// relative order; returned pairs are ascending by VarId.
+[[nodiscard]] std::vector<std::pair<VarId, std::vector<Update>>> split_by_var(
+    std::span<const Update> u);
+
+}  // namespace rcm

@@ -1,0 +1,34 @@
+#include "core/types.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace rcm {
+
+std::ostream& operator<<(std::ostream& os, const Update& u) {
+  return os << u.seqno << "@" << u.var << "(" << u.value << ")";
+}
+
+VarId VariableRegistry::intern(std::string_view name) {
+  auto it = ids_.find(std::string{name});
+  if (it != ids_.end()) return it->second;
+  const VarId id = static_cast<VarId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+bool VariableRegistry::lookup(std::string_view name, VarId& out) const {
+  auto it = ids_.find(std::string{name});
+  if (it == ids_.end()) return false;
+  out = it->second;
+  return true;
+}
+
+const std::string& VariableRegistry::name(VarId id) const {
+  if (id >= names_.size())
+    throw std::out_of_range("VariableRegistry::name: unknown VarId");
+  return names_[id];
+}
+
+}  // namespace rcm

@@ -1,0 +1,66 @@
+// Fundamental vocabulary types of the monitoring model (paper §2).
+//
+// A Data Monitor emits a stream of *data updates* u(varname, seqno, value):
+//  - `varname` identifies the real-world variable (reactor temperature,
+//    stock price, ...); we intern names to dense 32-bit VarIds,
+//  - `seqno` is assigned by the DM and is consecutive within one variable,
+//  - `value` is a full snapshot of the variable (never a delta), so an
+//    update remains useful even when its predecessor was lost.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rcm {
+
+/// Dense identifier for a monitored real-world variable.
+using VarId = std::uint32_t;
+
+/// Per-variable update sequence number. The paper's DMs count from 1 and
+/// the AD algorithms use -1 as "nothing seen yet", so the type is signed.
+using SeqNo = std::int64_t;
+
+/// Sentinel used by the AD algorithms before any alert is displayed.
+inline constexpr SeqNo kNoSeqNo = -1;
+
+/// One data update from a Data Monitor: a full snapshot of variable `var`
+/// at sequence number `seqno`. Written 7x(3000) in the paper: the 7th
+/// update of variable x, reporting value 3000.
+struct Update {
+  VarId var = 0;
+  SeqNo seqno = 0;
+  double value = 0.0;
+
+  friend bool operator==(const Update&, const Update&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Update& u);
+
+/// Interns human-readable variable names ("x", "reactor_temp") to dense
+/// VarIds and back. Conditions built from the expression language resolve
+/// their identifiers through a registry, and the examples use it to print
+/// alerts with the original names.
+class VariableRegistry {
+ public:
+  /// Returns the id for `name`, interning it on first use.
+  VarId intern(std::string_view name);
+
+  /// Returns the id for `name` if it was interned before.
+  [[nodiscard]] bool lookup(std::string_view name, VarId& out) const;
+
+  /// Returns the name for `id`. Precondition: `id` was produced by intern().
+  [[nodiscard]] const std::string& name(VarId id) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, VarId> ids_;
+};
+
+}  // namespace rcm

@@ -1,0 +1,217 @@
+#include "net/deployment.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "core/displayer.hpp"
+#include "core/evaluator.hpp"
+#include "net/socket.hpp"
+#include "runtime/queue.hpp"
+#include "util/rng.hpp"
+#include "wire/codec.hpp"
+#include "wire/frame.hpp"
+
+namespace rcm::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+// END-of-stream datagram payload (framed like every other message).
+const std::vector<std::uint8_t> kEndPayload{0x45, 0x4E, 0x44};  // "END"
+
+bool is_end(const std::vector<std::uint8_t>& payload) {
+  return payload == kEndPayload;
+}
+
+void sleep_until_trace_time(double trace_time, double time_scale,
+                            std::chrono::steady_clock::time_point start) {
+  if (time_scale <= 0.0) return;
+  std::this_thread::sleep_until(
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(trace_time * time_scale)));
+}
+
+}  // namespace
+
+sim::RunResult run_networked(const NetworkConfig& config) {
+  if (!config.condition)
+    throw std::invalid_argument("run_networked: null condition");
+  if (config.num_ces == 0)
+    throw std::invalid_argument("run_networked: need at least one CE");
+  if (config.dm_traces.empty())
+    throw std::invalid_argument("run_networked: need at least one DM");
+  // One DM per variable (paper §2): two sources minting seqnos for the
+  // same variable would break the per-variable counter model.
+  {
+    std::set<VarId> produced;
+    for (const auto& trace : config.dm_traces) {
+      std::set<VarId> in_this_trace;
+      for (const auto& tu : trace) in_this_trace.insert(tu.update.var);
+      for (VarId v : in_this_trace)
+        if (!produced.insert(v).second)
+          throw std::invalid_argument(
+              "run_networked: variable " + std::to_string(v) +
+              " is produced by more than one DM trace");
+    }
+  }
+
+
+  util::Rng master{config.seed};
+
+  // --- sockets, created up front so every port is known ------------------
+  TcpListener ad_listener;
+  std::vector<std::unique_ptr<UdpSocket>> ce_sockets;
+  for (std::size_t c = 0; c < config.num_ces; ++c)
+    ce_sockets.push_back(std::make_unique<UdpSocket>());
+
+  // --- shared state -------------------------------------------------------
+  std::vector<std::unique_ptr<ConditionEvaluator>> evaluators;
+  for (std::size_t c = 0; c < config.num_ces; ++c)
+    evaluators.push_back(std::make_unique<ConditionEvaluator>(
+        config.condition, "CE" + std::to_string(c + 1)));
+  AlertDisplayer displayer{
+      make_filter(config.filter, config.condition->variables())};
+  runtime::BlockingQueue<Alert> ad_queue;
+  std::atomic<std::size_t> front_drops{0};
+  std::atomic<std::size_t> corrupt_frames{0};
+
+  // --- CE threads: UDP receive -> evaluate -> TCP send --------------------
+  std::vector<std::thread> ce_threads;
+  for (std::size_t c = 0; c < config.num_ces; ++c) {
+    ce_threads.emplace_back([&, c] {
+      TcpStream to_ad = TcpStream::connect(ad_listener.port());
+      wire::FrameCursor cursor;
+      std::size_t ends_seen = 0;
+      // Defensive liveness bound: UDP gives no delivery guarantee even
+      // on loopback, so an END marker could in principle be dropped
+      // under extreme memory pressure. A long idle timeout turns that
+      // would-be hang into a clean finish.
+      auto last_traffic = std::chrono::steady_clock::now();
+      while (ends_seen < config.dm_traces.size()) {
+        const auto datagram = ce_sockets[c]->receive(100ms);
+        if (!datagram) {
+          if (std::chrono::steady_clock::now() - last_traffic >
+              std::chrono::seconds(5))
+            break;
+          continue;
+        }
+        last_traffic = std::chrono::steady_clock::now();
+        cursor.feed(*datagram);
+        while (auto payload = cursor.next()) {
+          if (is_end(*payload)) {
+            ++ends_seen;
+            continue;
+          }
+          Update update;
+          try {
+            update = wire::decode_update(*payload);
+          } catch (const wire::DecodeError&) {
+            ++corrupt_frames;
+            continue;
+          }
+          if (auto alert = evaluators[c]->on_update(update)) {
+            to_ad.write_all(wire::frame(wire::encode_alert(
+                *alert, wire::AlertEncoding::kFullHistories)));
+          }
+        }
+      }
+      to_ad.shutdown_write();
+      // Keep the stream open until the reader drains it; destroying the
+      // socket here is fine — FIN has been sent and data is queued in
+      // the kernel, which delivers it regardless.
+    });
+  }
+
+  // --- AD: accept one stream per CE, one reader thread each ---------------
+  std::vector<TcpStream> streams;
+  streams.reserve(config.num_ces);
+  const auto accept_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (streams.size() < config.num_ces) {
+    if (std::chrono::steady_clock::now() > accept_deadline)
+      throw std::runtime_error("run_networked: CEs failed to connect");
+    if (auto stream = ad_listener.accept(100ms))
+      streams.push_back(std::move(*stream));
+  }
+
+  std::vector<std::thread> reader_threads;
+  for (TcpStream& stream : streams) {
+    reader_threads.emplace_back([&stream, &ad_queue, &corrupt_frames] {
+      wire::FrameCursor cursor;
+      while (true) {
+        const auto chunk = stream.read_some(200ms);
+        if (!chunk) continue;       // timeout: poll again
+        if (chunk->empty()) break;  // EOF: CE is done
+        cursor.feed(*chunk);
+        while (auto payload = cursor.next()) {
+          try {
+            (void)ad_queue.push(wire::decode_alert(*payload).alert);
+          } catch (const wire::DecodeError&) {
+            ++corrupt_frames;
+          }
+        }
+      }
+    });
+  }
+
+  std::thread ad_thread{[&] {
+    while (auto alert = ad_queue.pop()) displayer.on_alert(*alert);
+  }};
+
+  // --- DM threads: replay traces over UDP ---------------------------------
+  // Fork every DM's loss stream up front: Rng::fork mutates the parent,
+  // so it must not be called concurrently from the DM threads.
+  std::vector<util::Rng> dm_rngs;
+  for (std::size_t d = 0; d < config.dm_traces.size(); ++d)
+    dm_rngs.push_back(master.fork(0xD0 + d));
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> dm_threads;
+  for (std::size_t d = 0; d < config.dm_traces.size(); ++d) {
+    dm_threads.emplace_back([&, d] {
+      UdpSocket sender;
+      util::Rng rng = dm_rngs[d];
+      for (const trace::TimedUpdate& tu : config.dm_traces[d]) {
+        sleep_until_trace_time(tu.time, config.time_scale, start);
+        const auto framed = wire::frame(wire::encode_update(tu.update));
+        for (auto& ce_socket : ce_sockets) {
+          if (rng.bernoulli(config.front_loss)) {
+            ++front_drops;
+            continue;  // injected datagram loss
+          }
+          sender.send_to(ce_socket->port(), framed);
+        }
+      }
+      const auto end_frame = wire::frame(kEndPayload);
+      for (auto& ce_socket : ce_sockets)
+        sender.send_to(ce_socket->port(), end_frame);
+    });
+  }
+
+  // --- orderly shutdown ----------------------------------------------------
+  for (auto& t : dm_threads) t.join();
+  for (auto& t : ce_threads) t.join();
+  for (auto& t : reader_threads) t.join();
+  ad_queue.close();
+  ad_thread.join();
+
+  sim::RunResult result;
+  result.displayed = displayer.displayed();
+  result.arrived = displayer.arrived();
+  for (const auto& ev : evaluators) {
+    result.ce_inputs.push_back(ev->received());
+    result.ce_outputs.push_back(ev->emitted());
+  }
+  for (const auto& trace : config.dm_traces)
+    result.dm_emitted.push_back(trace::updates_of(trace));
+  result.front_messages_dropped = front_drops.load();
+  result.wire_corrupt_frames = corrupt_frames.load();
+  return result;
+}
+
+}  // namespace rcm::net

@@ -1,0 +1,45 @@
+// Socket-deployed monitoring system: the full DM -> CE -> AD pipeline
+// over real loopback sockets, one OS thread per node.
+//
+//   - front links: UDP datagrams (one framed update per datagram), with
+//     Bernoulli loss injected at the sender to model the paper's lossy
+//     datagram links (loopback UDP itself does not drop);
+//   - back links: one TCP stream per CE carrying framed alerts; stream
+//     framing + CRC handle TCP's byte-stream semantics;
+//   - end-of-stream: each DM sends an END datagram to every CE (never
+//     subject to injected loss); a CE finishes when every DM has said
+//     END, then half-closes its TCP stream so the AD sees EOF.
+//
+// Produces the same observables as the simulator and threaded runtime,
+// so the property checkers apply unchanged to a run that crossed the
+// kernel's network stack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/condition.hpp"
+#include "core/filters.hpp"
+#include "sim/system.hpp"
+#include "trace/generators.hpp"
+
+namespace rcm::net {
+
+/// Configuration of a networked run.
+struct NetworkConfig {
+  ConditionPtr condition;
+  std::vector<trace::Trace> dm_traces;
+  std::size_t num_ces = 2;
+  double front_loss = 0.0;  ///< sender-side injected drop probability
+  FilterKind filter = FilterKind::kAd1;
+  std::uint64_t seed = 1;
+  /// Wall-clock seconds per trace-time second; 0 = replay at full speed.
+  double time_scale = 0.0;
+};
+
+/// Runs the networked system to completion (all traces sent, all TCP
+/// streams drained, all threads joined). Throws std::invalid_argument on
+/// malformed configs and std::system_error on socket failures.
+[[nodiscard]] sim::RunResult run_networked(const NetworkConfig& config);
+
+}  // namespace rcm::net

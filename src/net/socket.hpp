@@ -1,0 +1,108 @@
+// Thin RAII wrappers over POSIX loopback sockets.
+//
+// This substrate deploys the monitoring pipeline over real kernel
+// sockets on 127.0.0.1: UDP datagrams for the front links (cheap,
+// connectionless, multicast-like — the paper's datagram argument) and
+// TCP streams for the back links (connection-oriented, lossless — the
+// paper's TCP argument). Loopback-only by design: the goal is a real
+// network data path for integration testing, not a deployment toolkit.
+//
+// All operations throw std::system_error on OS errors; receive paths
+// take millisecond timeouts so shutdown flags can be polled.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace rcm::net {
+
+/// Owning file descriptor.
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) noexcept : fd_(fd) {}
+  ~FdHandle();
+  FdHandle(FdHandle&& other) noexcept : fd_(other.release()) {}
+  FdHandle& operator=(FdHandle&& other) noexcept;
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// UDP socket bound to an ephemeral loopback port.
+class UdpSocket {
+ public:
+  /// Binds to 127.0.0.1:0 (ephemeral).
+  UdpSocket();
+
+  /// The port the kernel assigned.
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Sends one datagram to 127.0.0.1:`port`.
+  void send_to(std::uint16_t port, std::span<const std::uint8_t> bytes);
+
+  /// Receives one datagram, waiting up to `timeout`; nullopt on timeout.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> receive(
+      std::chrono::milliseconds timeout);
+
+ private:
+  FdHandle fd_;
+  std::uint16_t port_ = 0;
+};
+
+class TcpStream;
+
+/// Listening TCP socket on an ephemeral loopback port.
+class TcpListener {
+ public:
+  TcpListener();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Accepts one connection, waiting up to `timeout`; nullopt on timeout.
+  [[nodiscard]] std::optional<TcpStream> accept(
+      std::chrono::milliseconds timeout);
+
+ private:
+  FdHandle fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connected TCP stream.
+class TcpStream {
+ public:
+  /// Connects to 127.0.0.1:`port`.
+  static TcpStream connect(std::uint16_t port);
+
+  /// Writes the whole buffer (looping over partial writes).
+  void write_all(std::span<const std::uint8_t> bytes);
+
+  /// Reads up to 64 KiB, waiting up to `timeout`. Returns nullopt on
+  /// timeout and an empty vector on orderly EOF.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> read_some(
+      std::chrono::milliseconds timeout);
+
+  /// Half-closes the write side (sends FIN; the peer sees EOF).
+  void shutdown_write();
+
+ private:
+  friend class TcpListener;
+  explicit TcpStream(FdHandle fd) noexcept : fd_(std::move(fd)) {}
+  FdHandle fd_;
+};
+
+}  // namespace rcm::net

@@ -1,0 +1,49 @@
+// Channel adapters for the threaded runtime, mirroring the paper's link
+// model: in-order delivery always (a single FIFO inbox per receiver),
+// optional Bernoulli loss on the sender side for UDP-like front links.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "runtime/queue.hpp"
+#include "util/rng.hpp"
+
+namespace rcm::runtime {
+
+/// Unidirectional channel into a receiver inbox. Thread-safe.
+template <typename M>
+class Channel {
+ public:
+  /// `loss` = 0 models the lossless TCP-like back links.
+  Channel(std::shared_ptr<BlockingQueue<M>> inbox, double loss,
+          util::Rng rng)
+      : inbox_(std::move(inbox)), loss_(loss), rng_(rng) {}
+
+  /// Sends a message; it is dropped with the configured probability.
+  /// Returns whether the message was actually enqueued.
+  bool send(const M& message) {
+    if (loss_ > 0.0) {
+      std::lock_guard lock{mutex_};
+      if (rng_.bernoulli(loss_)) {
+        ++dropped_;
+        return false;
+      }
+    }
+    return inbox_->push(message);
+  }
+
+  [[nodiscard]] std::size_t dropped() const {
+    std::lock_guard lock{mutex_};
+    return dropped_;
+  }
+
+ private:
+  std::shared_ptr<BlockingQueue<M>> inbox_;
+  double loss_;
+  mutable std::mutex mutex_;
+  util::Rng rng_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace rcm::runtime

@@ -1,0 +1,78 @@
+// Blocking MPMC queue used as actor inboxes in the threaded runtime.
+//
+// Closing the queue wakes all blocked consumers; pop() then drains any
+// remaining elements before reporting exhaustion, so no message is lost
+// on shutdown (the paper's back links are lossless — so are our queues).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace rcm::runtime {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  /// Enqueues unless the queue is closed; returns whether the element was
+  /// accepted.
+  bool push(T value) {
+    {
+      std::lock_guard lock{mutex_};
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an element is available or the queue is closed and
+  /// drained; nullopt means "closed and empty" (the consumer should exit).
+  std::optional<T> pop() {
+    std::unique_lock lock{mutex_};
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Non-blocking variant; nullopt when currently empty (queue may still
+  /// be open).
+  std::optional<T> try_pop() {
+    std::lock_guard lock{mutex_};
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Rejects future pushes and wakes all blocked consumers.
+  void close() {
+    {
+      std::lock_guard lock{mutex_};
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock{mutex_};
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock{mutex_};
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace rcm::runtime

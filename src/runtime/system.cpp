@@ -1,0 +1,161 @@
+#include "runtime/system.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "core/displayer.hpp"
+#include "core/evaluator.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/queue.hpp"
+#include "util/rng.hpp"
+#include "wire/codec.hpp"
+#include "wire/frame.hpp"
+
+namespace rcm::runtime {
+namespace {
+
+void sleep_until_trace_time(double trace_time, double time_scale,
+                            std::chrono::steady_clock::time_point start) {
+  if (time_scale <= 0.0) return;
+  const auto target =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(trace_time * time_scale));
+  std::this_thread::sleep_until(target);
+}
+
+using Bytes = std::vector<std::uint8_t>;
+
+}  // namespace
+
+sim::RunResult run_threaded(const ThreadedConfig& config) {
+  if (!config.condition)
+    throw std::invalid_argument("run_threaded: null condition");
+  if (config.num_ces == 0)
+    throw std::invalid_argument("run_threaded: need at least one CE");
+  // One DM per variable (paper §2): two sources minting seqnos for the
+  // same variable would break the per-variable counter model.
+  {
+    std::set<VarId> produced;
+    for (const auto& trace : config.dm_traces) {
+      std::set<VarId> in_this_trace;
+      for (const auto& tu : trace) in_this_trace.insert(tu.update.var);
+      for (VarId v : in_this_trace)
+        if (!produced.insert(v).second)
+          throw std::invalid_argument(
+              "run_threaded: variable " + std::to_string(v) +
+              " is produced by more than one DM trace");
+    }
+  }
+
+
+  util::Rng master{config.seed};
+
+  // Inboxes carry raw framed bytes: every message in the threaded
+  // runtime really crosses a serialization boundary, exactly as it would
+  // over UDP/TCP sockets.
+  auto ad_inbox = std::make_shared<BlockingQueue<Bytes>>();
+  std::vector<std::shared_ptr<BlockingQueue<Bytes>>> ce_inboxes;
+  for (std::size_t i = 0; i < config.num_ces; ++i)
+    ce_inboxes.push_back(std::make_shared<BlockingQueue<Bytes>>());
+
+  // Channels: DM -> CE lossy front links, CE -> AD lossless back links.
+  std::uint64_t salt = 0;
+  std::vector<std::vector<std::shared_ptr<Channel<Bytes>>>> front;  // [dm][ce]
+  front.resize(config.dm_traces.size());
+  for (std::size_t d = 0; d < config.dm_traces.size(); ++d)
+    for (std::size_t c = 0; c < config.num_ces; ++c)
+      front[d].push_back(std::make_shared<Channel<Bytes>>(
+          ce_inboxes[c], config.front_loss, master.fork(++salt)));
+  std::vector<std::shared_ptr<Channel<Bytes>>> back;
+  for (std::size_t c = 0; c < config.num_ces; ++c)
+    back.push_back(
+        std::make_shared<Channel<Bytes>>(ad_inbox, 0.0, master.fork(++salt)));
+
+  // CE replicas and the AD.
+  std::vector<std::unique_ptr<ConditionEvaluator>> evaluators;
+  for (std::size_t c = 0; c < config.num_ces; ++c)
+    evaluators.push_back(std::make_unique<ConditionEvaluator>(
+        config.condition, "CE" + std::to_string(c + 1)));
+  AlertDisplayer displayer{
+      make_filter(config.filter, config.condition->variables())};
+
+  std::atomic<std::size_t> corrupt_frames{0};
+
+  // Threads.
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> dm_threads;
+  for (std::size_t d = 0; d < config.dm_traces.size(); ++d) {
+    dm_threads.emplace_back([&, d] {
+      for (const trace::TimedUpdate& tu : config.dm_traces[d]) {
+        sleep_until_trace_time(tu.time, config.time_scale, start);
+        const Bytes framed = wire::frame(wire::encode_update(tu.update));
+        for (auto& channel : front[d]) channel->send(framed);
+      }
+    });
+  }
+
+  std::vector<std::thread> ce_threads;
+  for (std::size_t c = 0; c < config.num_ces; ++c) {
+    ce_threads.emplace_back([&, c] {
+      wire::FrameCursor cursor;
+      while (auto chunk = ce_inboxes[c]->pop()) {
+        cursor.feed(*chunk);
+        while (auto payload = cursor.next()) {
+          Update update;
+          try {
+            update = wire::decode_update(*payload);
+          } catch (const wire::DecodeError&) {
+            ++corrupt_frames;
+            continue;
+          }
+          if (auto alert = evaluators[c]->on_update(update)) {
+            back[c]->send(wire::frame(wire::encode_alert(
+                *alert, wire::AlertEncoding::kFullHistories)));
+          }
+        }
+      }
+    });
+  }
+
+  std::thread ad_thread{[&] {
+    wire::FrameCursor cursor;
+    while (auto chunk = ad_inbox->pop()) {
+      cursor.feed(*chunk);
+      while (auto payload = cursor.next()) {
+        try {
+          displayer.on_alert(wire::decode_alert(*payload).alert);
+        } catch (const wire::DecodeError&) {
+          ++corrupt_frames;
+        }
+      }
+    }
+  }};
+
+  // Orderly shutdown: producers first, then each consumer tier.
+  for (auto& t : dm_threads) t.join();
+  for (auto& inbox : ce_inboxes) inbox->close();
+  for (auto& t : ce_threads) t.join();
+  ad_inbox->close();
+  ad_thread.join();
+
+  sim::RunResult result;
+  result.displayed = displayer.displayed();
+  result.arrived = displayer.arrived();
+  for (const auto& ev : evaluators) {
+    result.ce_inputs.push_back(ev->received());
+    result.ce_outputs.push_back(ev->emitted());
+  }
+  for (const auto& trace : config.dm_traces)
+    result.dm_emitted.push_back(trace::updates_of(trace));
+  for (const auto& per_dm : front)
+    for (const auto& channel : per_dm)
+      result.front_messages_dropped += channel->dropped();
+  result.wire_corrupt_frames = corrupt_frames.load();
+  return result;
+}
+
+}  // namespace rcm::runtime

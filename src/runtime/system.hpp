@@ -1,0 +1,38 @@
+// Threaded monitoring system: the same DM / CE / AD topology as
+// sim/system.hpp, but with every node on its own OS thread and real
+// queues between them. Interleaving nondeterminism comes from the
+// scheduler instead of a seeded event queue, which is exactly what the
+// integration tests want to stress: the AD algorithms must uphold their
+// properties under *any* interleaving, not just simulated ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/condition.hpp"
+#include "core/filters.hpp"
+#include "sim/system.hpp"
+#include "trace/generators.hpp"
+
+namespace rcm::runtime {
+
+/// Configuration of a threaded run.
+struct ThreadedConfig {
+  ConditionPtr condition;
+  std::vector<trace::Trace> dm_traces;  ///< one per DM
+  std::size_t num_ces = 2;
+  double front_loss = 0.0;              ///< per-message drop probability
+  FilterKind filter = FilterKind::kAd1;
+  std::uint64_t seed = 1;
+
+  /// Wall-clock seconds per trace-time second. 0 replays as fast as
+  /// possible (no sleeps) — the default for tests.
+  double time_scale = 0.0;
+};
+
+/// Runs the threaded system to completion (all traces replayed, all
+/// queues drained, all threads joined) and returns the same observables
+/// as the simulator, so the property checkers apply unchanged.
+[[nodiscard]] sim::RunResult run_threaded(const ThreadedConfig& config);
+
+}  // namespace rcm::runtime

@@ -1,0 +1,60 @@
+// Disconnectable-displayer simulation (paper §1: the PDA "can be powered
+// off or disconnected from the network most of the time").
+//
+// Extends the basic replicated system with Alert Displayer offline
+// windows and the store-and-forward back-link protocol from rcm::store:
+// every CE logs alerts durably in an AlertOutbox, transmits while the AD
+// is reachable, and retransmits the unacknowledged suffix on
+// reconnection. The AD deduplicates retransmissions by (replica, log
+// index) and acknowledges cumulatively after a configurable delay.
+//
+// End-to-end losslessness — every alert a CE ever raised is eventually
+// displayed (modulo the AD filter), no matter how the offline windows
+// fall — is asserted by the tests and quantified by bench/disconnect.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sim/system.hpp"
+#include "store/outbox.hpp"
+
+namespace rcm::sim {
+
+/// Configuration: the base system plus the AD's offline schedule.
+struct DisconnectConfig {
+  SystemConfig base;
+
+  /// [offline_from, online_again) windows, non-overlapping ascending.
+  /// Outside every window the AD is reachable.
+  std::vector<std::pair<double, double>> ad_offline;
+
+  /// One-way delay of the cumulative acknowledgement from AD to CE.
+  double ack_delay = 0.02;
+};
+
+/// Observables of a disconnectable run.
+struct DisconnectResult {
+  RunResult run;  ///< same fields as a plain system run
+
+  /// Virtual display time of each alert in run.displayed (parallel array).
+  std::vector<double> display_times;
+
+  /// Entries re-sent by reconnection flushes, summed over CEs.
+  std::size_t retransmissions = 0;
+
+  /// Retransmitted entries the AD recognized by (replica, index) and did
+  /// not re-offer to the filter.
+  std::size_t duplicate_deliveries = 0;
+
+  /// Deliveries that arrived while the AD was offline (dropped by the
+  /// gate; covered by later retransmission).
+  std::size_t offline_drops = 0;
+};
+
+/// Builds and runs the system. Throws std::invalid_argument on malformed
+/// configs (including overlapping or inverted offline windows).
+[[nodiscard]] DisconnectResult run_disconnectable_system(
+    const DisconnectConfig& config);
+
+}  // namespace rcm::sim

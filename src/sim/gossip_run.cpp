@@ -1,0 +1,152 @@
+#include "sim/gossip_run.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace rcm::sim {
+namespace {
+
+/// CE-to-CE message: a watermark announcement or a batch of repairs.
+struct GossipMsg {
+  enum class Kind { kAnnounce, kRepair };
+  Kind kind = Kind::kAnnounce;
+  std::size_t from = 0;
+  std::map<VarId, SeqNo> watermarks;  // kAnnounce
+  std::vector<Update> updates;        // kRepair
+};
+
+}  // namespace
+
+GossipResult run_gossip_system(const SystemConfig& base,
+                               const GossipParams& gossip) {
+  if (!base.condition)
+    throw std::invalid_argument("run_gossip_system: null condition");
+  if (base.num_ces == 0)
+    throw std::invalid_argument("run_gossip_system: need at least one CE");
+  if (base.back.loss != 0.0)
+    throw std::invalid_argument("run_gossip_system: lossy back links");
+  if (gossip.interval <= 0.0)
+    throw std::invalid_argument("run_gossip_system: interval must be > 0");
+
+  Simulator sim;
+  util::Rng master{base.seed};
+  GossipResult result;
+
+  DisplayerNode ad{make_filter(base.filter, base.condition->variables())};
+
+  std::vector<std::unique_ptr<EvaluatorNode>> ces;
+  for (std::size_t i = 0; i < base.num_ces; ++i) {
+    ces.push_back(std::make_unique<EvaluatorNode>(
+        sim, base.condition, "CE" + std::to_string(i + 1)));
+    if (i < base.ce_crashes.size())
+      ces.back()->inject_crashes(base.ce_crashes[i]);
+  }
+
+  std::vector<std::unique_ptr<DataMonitorNode>> dms;
+  double horizon = 0.0;
+  for (const auto& trace : base.dm_traces) {
+    for (const auto& tu : trace) horizon = std::max(horizon, tu.time);
+    dms.push_back(std::make_unique<DataMonitorNode>(sim, trace));
+  }
+  horizon += 5.0;  // slack for in-flight deliveries and a last repair round
+
+  // Front and back links, as in run_system.
+  std::vector<std::unique_ptr<Link<Update>>> front_links;
+  std::vector<std::unique_ptr<Link<Alert>>> back_links;
+  std::uint64_t salt = 0;
+  for (auto& dm : dms) {
+    for (auto& ce : ces) {
+      EvaluatorNode* target = ce.get();
+      front_links.push_back(std::make_unique<Link<Update>>(
+          sim, base.front, master.fork(++salt),
+          [target](const Update& u) { target->on_update(u); }));
+      dm->attach(front_links.back().get());
+    }
+  }
+  for (auto& ce : ces) {
+    back_links.push_back(std::make_unique<Link<Alert>>(
+        sim, base.back, master.fork(++salt),
+        [&ad](const Alert& a) { ad.on_alert(a); }));
+    ce->set_back_link(back_links.back().get());
+  }
+
+  // CE-CE gossip links, one per ordered pair.
+  std::map<std::pair<std::size_t, std::size_t>,
+           std::unique_ptr<Link<GossipMsg>>>
+      gossip_links;
+
+  auto handle_gossip = [&](std::size_t at, const GossipMsg& msg) {
+    if (msg.kind == GossipMsg::Kind::kRepair) {
+      for (const Update& u : msg.updates) {
+        const bool fresh = ces[at]->evaluator().would_accept(u);
+        ces[at]->on_update(u);
+        if (fresh && !ces[at]->down()) ++result.repairs_accepted;
+      }
+      return;
+    }
+    // Announcement from msg.from: forward everything it lacks.
+    GossipMsg repair;
+    repair.kind = GossipMsg::Kind::kRepair;
+    repair.from = at;
+    for (const Update& u : ces[at]->evaluator().received()) {
+      auto it = msg.watermarks.find(u.var);
+      const SeqNo their_watermark =
+          it == msg.watermarks.end() ? kNoSeqNo : it->second;
+      if (u.seqno > their_watermark) repair.updates.push_back(u);
+    }
+    if (!repair.updates.empty()) {
+      result.repairs_sent += repair.updates.size();
+      gossip_links.at({at, msg.from})->send(repair);
+    }
+  };
+
+  if (gossip.enabled && base.num_ces > 1) {
+    for (std::size_t i = 0; i < base.num_ces; ++i) {
+      for (std::size_t j = 0; j < base.num_ces; ++j) {
+        if (i == j) continue;
+        gossip_links.emplace(
+            std::make_pair(i, j),
+            std::make_unique<Link<GossipMsg>>(
+                sim, gossip.ce_links, master.fork(0x6000 + ++salt),
+                [&handle_gossip, j](const GossipMsg& m) {
+                  handle_gossip(j, m);
+                }));
+      }
+    }
+    // Periodic announcements until the horizon.
+    const double stop = std::min(horizon, gossip.stop_after);
+    for (std::size_t i = 0; i < base.num_ces; ++i) {
+      for (double t = gossip.start_at; t <= stop; t += gossip.interval) {
+        sim.schedule_at(t, [&, i] {
+          if (ces[i]->down()) return;  // crashed CEs do not gossip
+          GossipMsg announce;
+          announce.kind = GossipMsg::Kind::kAnnounce;
+          announce.from = i;
+          announce.watermarks = ces[i]->evaluator().last_seen();
+          ++result.announcements;
+          for (std::size_t j = 0; j < base.num_ces; ++j)
+            if (j != i) gossip_links.at({i, j})->send(announce);
+        });
+      }
+    }
+  }
+
+  for (auto& dm : dms) dm->start();
+  result.run.events_executed = sim.run();
+
+  result.run.displayed = ad.displayer().displayed();
+  result.run.arrived = ad.displayer().arrived();
+  for (const auto& ce : ces) {
+    result.run.ce_inputs.push_back(ce->evaluator().received());
+    result.run.ce_outputs.push_back(ce->evaluator().emitted());
+  }
+  for (const auto& dm : dms) result.run.dm_emitted.push_back(dm->emitted());
+  for (const auto& link : front_links)
+    result.run.front_messages_dropped += link->dropped();
+  return result;
+}
+
+}  // namespace rcm::sim

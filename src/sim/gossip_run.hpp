@@ -1,0 +1,47 @@
+// CE anti-entropy ("gossip repair") — an extension beyond the paper.
+//
+// The paper's replicas are fully independent: each misses whatever its
+// own front link drops, and the AD-side algorithms then manage the
+// resulting anomalies. A natural systems question the paper leaves open
+// is whether cheap CE-to-CE repair shrinks the anomaly source itself.
+//
+// Protocol (deliberately minimal): every `interval` seconds each CE
+// announces its per-variable high watermark (last accepted seqno) to
+// every peer over a reliable CE-CE link; a peer receiving an
+// announcement forwards every update it holds above the announcer's
+// watermark. Forwarded updates enter the regular on_update path, where
+// the stale-seqno discard applies — so repair only helps when it wins
+// the race against the next direct update (the CE model cannot splice
+// an old update into its history after newer ones arrived). The
+// experiment in bench/gossip quantifies exactly that race: repair
+// intervals well below the update period recover most losses; slower
+// gossip recovers nothing.
+#pragma once
+
+#include "sim/system.hpp"
+
+namespace rcm::sim {
+
+/// Gossip protocol parameters.
+struct GossipParams {
+  bool enabled = true;
+  double interval = 0.5;        ///< seconds between announcements per CE
+  LinkParams ce_links{0.002, 0.020, 0.0};  ///< reliable CE-CE links
+  double start_at = 0.5;        ///< first announcement time
+  double stop_after = 1e9;      ///< stop gossiping after this time
+};
+
+/// Observables of a gossip run.
+struct GossipResult {
+  RunResult run;
+  std::size_t announcements = 0;     ///< watermark messages sent
+  std::size_t repairs_sent = 0;      ///< updates forwarded between CEs
+  std::size_t repairs_accepted = 0;  ///< forwarded updates a CE accepted
+};
+
+/// Runs the replicated system of `base` with the gossip protocol layered
+/// on top of the CE fleet.
+[[nodiscard]] GossipResult run_gossip_system(const SystemConfig& base,
+                                             const GossipParams& gossip);
+
+}  // namespace rcm::sim

@@ -1,0 +1,93 @@
+#include "sim/holdback_run.hpp"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace rcm::sim {
+
+HoldbackResult run_holdback_system(const SystemConfig& base, double timeout) {
+  if (!base.condition)
+    throw std::invalid_argument("run_holdback_system: null condition");
+  if (base.condition->variables().size() != 1)
+    throw std::invalid_argument(
+        "run_holdback_system: hold-back displayer is single-variable");
+  if (base.back.loss != 0.0)
+    throw std::invalid_argument("run_holdback_system: lossy back links");
+
+  Simulator sim;
+  util::Rng master{base.seed};
+  const VarId var = base.condition->variables()[0];
+
+  HoldbackResult result;
+  HoldbackDisplayer holdback{var, timeout};
+  std::map<AlertKey, double> arrival_time;
+
+  auto record_displays = [&](const std::vector<Alert>& released) {
+    for (const Alert& a : released) {
+      result.displayed.push_back(a);
+      auto it = arrival_time.find(a.key());
+      result.display_latency.push_back(
+          it == arrival_time.end() ? 0.0 : sim.now() - it->second);
+    }
+  };
+
+  // Deadline pump: releases expired entries and reschedules itself for
+  // the next pending deadline.
+  std::function<void()> pump = [&] {
+    record_displays(holdback.on_time(sim.now()));
+    if (const auto deadline = holdback.next_deadline())
+      sim.schedule_at(*deadline, pump);
+  };
+
+  auto on_alert_arrival = [&](const Alert& a) {
+    ++result.arrived;
+    arrival_time.try_emplace(a.key(), sim.now());
+    record_displays(holdback.on_alert(a, sim.now()));
+    if (const auto deadline = holdback.next_deadline())
+      sim.schedule_at(*deadline, pump);
+  };
+
+  std::vector<std::unique_ptr<EvaluatorNode>> ces;
+  for (std::size_t i = 0; i < base.num_ces; ++i) {
+    ces.push_back(std::make_unique<EvaluatorNode>(
+        sim, base.condition, "CE" + std::to_string(i + 1)));
+    if (i < base.ce_crashes.size())
+      ces.back()->inject_crashes(base.ce_crashes[i]);
+  }
+  std::vector<std::unique_ptr<DataMonitorNode>> dms;
+  for (const auto& trace : base.dm_traces)
+    dms.push_back(std::make_unique<DataMonitorNode>(sim, trace));
+
+  std::vector<std::unique_ptr<Link<Update>>> front_links;
+  std::vector<std::unique_ptr<Link<Alert>>> back_links;
+  std::uint64_t salt = 0;
+  for (auto& dm : dms) {
+    for (auto& ce : ces) {
+      EvaluatorNode* target = ce.get();
+      front_links.push_back(std::make_unique<Link<Update>>(
+          sim, base.front, master.fork(++salt),
+          [target](const Update& u) { target->on_update(u); }));
+      dm->attach(front_links.back().get());
+    }
+  }
+  for (auto& ce : ces) {
+    back_links.push_back(std::make_unique<Link<Alert>>(
+        sim, base.back, master.fork(++salt), on_alert_arrival));
+    ce->set_back_link(back_links.back().get());
+  }
+
+  for (auto& dm : dms) dm->start();
+  sim.run();
+  record_displays(holdback.flush());
+
+  for (const auto& ce : ces)
+    result.ce_inputs.push_back(ce->evaluator().received());
+  result.late_displays = holdback.late_displays();
+  result.duplicates = holdback.duplicates();
+  return result;
+}
+
+}  // namespace rcm::sim

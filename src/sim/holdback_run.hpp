@@ -1,0 +1,29 @@
+// Simulation runner for the §4.2 "delayed displaying" extension: the
+// replicated system of sim/system.hpp with a HoldbackDisplayer (reorder
+// buffer with timeout) in place of an AD-i filter.
+#pragma once
+
+#include <vector>
+
+#include "core/holdback.hpp"
+#include "sim/system.hpp"
+
+namespace rcm::sim {
+
+/// Observables of a hold-back run.
+struct HoldbackResult {
+  std::vector<Alert> displayed;               ///< display order
+  std::vector<std::vector<Update>> ce_inputs; ///< U_i per CE
+  std::size_t late_displays = 0;   ///< displays that broke seqno order
+  std::size_t duplicates = 0;      ///< exact duplicates absorbed
+  std::size_t arrived = 0;         ///< alerts that reached the AD
+  /// Per displayed alert: virtual time from AD arrival to display.
+  std::vector<double> display_latency;
+};
+
+/// Runs `base` (which must have a single-variable condition; the filter
+/// field is ignored) with a hold-back displayer using `timeout`.
+[[nodiscard]] HoldbackResult run_holdback_system(const SystemConfig& base,
+                                                 double timeout);
+
+}  // namespace rcm::sim

@@ -1,0 +1,94 @@
+// Simulated communication links (paper §2.1).
+//
+// Both front links (DM -> CE) and back links (CE -> AD) deliver messages
+// *in order*: the paper obtains this with per-link sender sequence numbers
+// and receiver-side discard of out-of-order arrivals; we model the result
+// directly by never scheduling a delivery before the previously scheduled
+// one on the same link.
+//
+// Front links are *potentially lossy* (UDP-like datagrams from cheap
+// multicast sensors); back links are lossless (TCP-like, low traffic,
+// alerts too important to drop). Loss is i.i.d. Bernoulli per message;
+// delay is uniform in [delay_min, delay_max]. Each link owns a forked RNG
+// stream so experiments stay deterministic under reconfiguration.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace rcm::sim {
+
+/// Loss / delay parameters of one link.
+struct LinkParams {
+  double delay_min = 0.005;  ///< seconds
+  double delay_max = 0.050;  ///< seconds
+  double loss = 0.0;         ///< per-message drop probability
+};
+
+/// In-order, optionally lossy, unidirectional message channel carrying
+/// messages of type M. Delivery happens via the callback passed at
+/// construction; the Link must outlive the simulation run.
+template <typename M>
+class Link {
+ public:
+  using Deliver = std::function<void(const M&)>;
+
+  Link(Simulator& sim, LinkParams params, util::Rng rng, Deliver deliver)
+      : sim_(sim),
+        params_(params),
+        rng_(rng),
+        deliver_(std::move(deliver)) {
+    if (params_.delay_min < 0 || params_.delay_max < params_.delay_min)
+      throw std::invalid_argument("Link: bad delay range");
+    if (params_.loss < 0.0 || params_.loss > 1.0)
+      throw std::invalid_argument("Link: loss must be in [0,1]");
+    if (!deliver_) throw std::invalid_argument("Link: null deliver callback");
+  }
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Submits a message. It is either dropped (with probability
+  /// params.loss) or scheduled for delivery after a random delay, no
+  /// earlier than the previously scheduled delivery (FIFO order).
+  void send(const M& message) {
+    ++sent_;
+    if (rng_.bernoulli(params_.loss)) {
+      ++dropped_;
+      return;
+    }
+    const double delay = rng_.uniform(params_.delay_min, params_.delay_max);
+    double at = sim_.now() + delay;
+    // Enforce in-order delivery: never before the last scheduled arrival.
+    at = std::max(at, last_delivery_ + kOrderingEpsilon);
+    last_delivery_ = at;
+    sim_.schedule_at(at, [this, message] {
+      ++delivered_;
+      deliver_(message);
+    });
+  }
+
+  [[nodiscard]] std::size_t sent() const noexcept { return sent_; }
+  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t delivered() const noexcept { return delivered_; }
+
+ private:
+  static constexpr double kOrderingEpsilon = 1e-9;
+
+  Simulator& sim_;
+  LinkParams params_;
+  util::Rng rng_;
+  Deliver deliver_;
+  double last_delivery_ = 0.0;
+  std::size_t sent_ = 0;
+  std::size_t dropped_ = 0;
+  std::size_t delivered_ = 0;
+};
+
+}  // namespace rcm::sim

@@ -1,0 +1,101 @@
+#include "sim/multi_condition.hpp"
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace rcm::sim {
+
+MultiConditionResult run_multi_condition_system(
+    const MultiConditionConfig& config) {
+  if (config.groups.empty())
+    throw std::invalid_argument("run_multi_condition_system: no conditions");
+  if (config.back.loss != 0.0)
+    throw std::invalid_argument(
+        "run_multi_condition_system: back links are lossless");
+  {
+    std::set<std::string> names;
+    for (const auto& g : config.groups) {
+      if (!g.condition || g.num_ces == 0)
+        throw std::invalid_argument(
+            "run_multi_condition_system: bad condition group");
+      if (!names.insert(std::string{g.condition->name()}).second)
+        throw std::invalid_argument(
+            "run_multi_condition_system: duplicate condition name");
+    }
+    std::set<VarId> produced;
+    for (const auto& trace : config.dm_traces)
+      for (const auto& tu : trace) produced.insert(tu.update.var);
+    for (const auto& g : config.groups)
+      for (VarId v : g.condition->variables())
+        if (!produced.count(v))
+          throw std::invalid_argument(
+              "run_multi_condition_system: no DM produces variable " +
+              std::to_string(v));
+  }
+
+  Simulator sim;
+  util::Rng master{config.seed};
+
+  ConditionRouter router;
+  for (const auto& g : config.groups)
+    router.add_condition(std::string{g.condition->name()},
+                         make_filter(g.filter, g.condition->variables()));
+
+  // CE replicas, flat list with their group index.
+  struct CeSlot {
+    std::unique_ptr<EvaluatorNode> node;
+    std::size_t group;
+  };
+  std::vector<CeSlot> ces;
+  for (std::size_t g = 0; g < config.groups.size(); ++g) {
+    const auto& group = config.groups[g];
+    for (std::size_t i = 0; i < group.num_ces; ++i) {
+      auto node = std::make_unique<EvaluatorNode>(
+          sim, group.condition,
+          std::string{group.condition->name()} + ".CE" + std::to_string(i + 1));
+      ces.push_back(CeSlot{std::move(node), g});
+    }
+  }
+
+  std::vector<std::unique_ptr<DataMonitorNode>> dms;
+  for (const auto& trace : config.dm_traces)
+    dms.push_back(std::make_unique<DataMonitorNode>(sim, trace));
+
+  std::vector<std::unique_ptr<Link<Update>>> front_links;
+  std::vector<std::unique_ptr<Link<Alert>>> back_links;
+  std::uint64_t salt = 0;
+  for (auto& dm : dms) {
+    for (auto& slot : ces) {
+      EvaluatorNode* target = slot.node.get();
+      front_links.push_back(std::make_unique<Link<Update>>(
+          sim, config.front, master.fork(++salt),
+          [target](const Update& u) { target->on_update(u); }));
+      dm->attach(front_links.back().get());
+    }
+  }
+  for (auto& slot : ces) {
+    back_links.push_back(std::make_unique<Link<Alert>>(
+        sim, config.back, master.fork(++salt),
+        [&router](const Alert& a) { (void)router.on_alert(a); }));
+    slot.node->set_back_link(back_links.back().get());
+  }
+
+  for (auto& dm : dms) dm->start();
+  sim.run();
+
+  MultiConditionResult result;
+  result.displayed = router.displayed();
+  for (const auto& g : config.groups) {
+    const std::string name{g.condition->name()};
+    result.per_condition[name] = router.displayed_for(name);
+  }
+  for (const auto& slot : ces) {
+    const std::string name{config.groups[slot.group].condition->name()};
+    result.ce_inputs[name].push_back(slot.node->evaluator().received());
+  }
+  return result;
+}
+
+}  // namespace rcm::sim

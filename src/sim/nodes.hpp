@@ -1,0 +1,94 @@
+// Simulated system nodes: Data Monitor, Condition Evaluator, Alert
+// Displayer (Figure 1 of the paper), wired by sim/system.hpp.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/displayer.hpp"
+#include "core/evaluator.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+
+namespace rcm::sim {
+
+/// A Data Monitor: replays a trace, broadcasting each update on every
+/// attached front link at the update's emission time.
+class DataMonitorNode {
+ public:
+  DataMonitorNode(Simulator& sim, trace::Trace trace);
+
+  /// Attaches a front link toward one CE replica. Must be called before
+  /// start().
+  void attach(Link<Update>* front_link);
+
+  /// Schedules the whole trace on the simulator.
+  void start();
+
+  /// The updates this DM emitted (the paper's U for its variable).
+  [[nodiscard]] std::vector<Update> emitted() const;
+
+ private:
+  Simulator& sim_;
+  trace::Trace trace_;
+  std::vector<Link<Update>*> links_;
+};
+
+/// Crash/recovery window for fault injection on a CE.
+struct CrashWindow {
+  double down_at = 0.0;
+  double up_at = 0.0;
+  /// Whether the crash wipes the CE's volatile state (histories). A
+  /// process crash does; a network partition of the same duration would
+  /// not.
+  bool lose_state = true;
+};
+
+/// A Condition Evaluator replica: feeds received updates to its
+/// ConditionEvaluator and forwards raised alerts on the back link.
+/// While crashed it drops incoming updates.
+class EvaluatorNode {
+ public:
+  EvaluatorNode(Simulator& sim, ConditionPtr condition, std::string id);
+
+  /// Sets the back link toward the AD. Must be set before traffic flows.
+  void set_back_link(Link<Alert>* back_link) { back_ = back_link; }
+
+  /// Schedules the crash windows on the simulator.
+  void inject_crashes(const std::vector<CrashWindow>& windows);
+
+  /// Front-link delivery callback.
+  void on_update(const Update& u);
+
+  [[nodiscard]] const ConditionEvaluator& evaluator() const noexcept {
+    return ce_;
+  }
+  [[nodiscard]] bool down() const noexcept { return down_; }
+
+ private:
+  Simulator& sim_;
+  ConditionEvaluator ce_;
+  Link<Alert>* back_ = nullptr;
+  bool down_ = false;
+};
+
+/// The Alert Displayer node: one AlertDisplayer fed by all back links.
+class DisplayerNode {
+ public:
+  /// `sink`, if given, observes every displayed alert (the runners use
+  /// it to timestamp displays with the virtual clock).
+  explicit DisplayerNode(FilterPtr filter,
+                         std::function<void(const Alert&)> sink = nullptr);
+
+  void on_alert(const Alert& a) { ad_.on_alert(a); }
+
+  [[nodiscard]] const AlertDisplayer& displayer() const noexcept { return ad_; }
+
+ private:
+  AlertDisplayer ad_;
+};
+
+}  // namespace rcm::sim

@@ -1,0 +1,42 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rcm::sim {
+
+void Simulator::schedule_at(double at, Action action) {
+  queue_.push(Event{std::max(at, now_), next_seq_++, std::move(action)});
+}
+
+void Simulator::schedule_after(double delay, Action action) {
+  schedule_at(now_ + std::max(delay, 0.0), std::move(action));
+}
+
+std::size_t Simulator::run() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    // Move the action out before popping so it may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t Simulator::run_until(double until) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++executed;
+  }
+  now_ = std::max(now_, until);
+  return executed;
+}
+
+}  // namespace rcm::sim

@@ -1,0 +1,110 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace rcm::sim {
+
+check::SystemRun RunResult::as_system_run(ConditionPtr condition) const {
+  check::SystemRun run;
+  run.condition = std::move(condition);
+  run.ce_inputs = ce_inputs;
+  run.displayed = displayed;
+  return run;
+}
+
+RunResult run_system(const SystemConfig& config) {
+  if (!config.condition)
+    throw std::invalid_argument("run_system: null condition");
+  if (config.num_ces == 0)
+    throw std::invalid_argument("run_system: need at least one CE");
+  if (config.back.loss != 0.0)
+    throw std::invalid_argument(
+        "run_system: back links are lossless in the paper's model");
+
+  // Every condition variable must be produced by some DM trace, and no
+  // variable by more than one DM — two sources minting sequence numbers
+  // for the same variable would break the per-variable counter model
+  // (paper §2: one DM per variable; a multi-target sensor is modeled as
+  // co-located DMs, each with its own variable).
+  {
+    std::set<VarId> produced;
+    for (const auto& trace : config.dm_traces) {
+      std::set<VarId> in_this_trace;
+      for (const auto& tu : trace) in_this_trace.insert(tu.update.var);
+      for (VarId v : in_this_trace)
+        if (!produced.insert(v).second)
+          throw std::invalid_argument(
+              "run_system: variable " + std::to_string(v) +
+              " is produced by more than one DM trace");
+    }
+    for (VarId v : config.condition->variables())
+      if (!produced.count(v))
+        throw std::invalid_argument(
+            "run_system: no DM trace produces condition variable " +
+            std::to_string(v));
+  }
+
+  Simulator sim;
+  util::Rng master{config.seed};
+
+  std::vector<double> display_times;
+  DisplayerNode ad{make_filter(config.filter, config.condition->variables()),
+                   [&](const Alert&) { display_times.push_back(sim.now()); }};
+
+  std::vector<std::unique_ptr<EvaluatorNode>> ces;
+  ces.reserve(config.num_ces);
+  for (std::size_t i = 0; i < config.num_ces; ++i) {
+    ces.push_back(std::make_unique<EvaluatorNode>(
+        sim, config.condition, "CE" + std::to_string(i + 1)));
+    if (i < config.ce_crashes.size())
+      ces.back()->inject_crashes(config.ce_crashes[i]);
+  }
+
+  std::vector<std::unique_ptr<DataMonitorNode>> dms;
+  dms.reserve(config.dm_traces.size());
+  for (const auto& trace : config.dm_traces)
+    dms.push_back(std::make_unique<DataMonitorNode>(sim, trace));
+
+  // Links. Each gets its own forked RNG stream so adding a CE does not
+  // perturb the loss pattern of existing links.
+  std::vector<std::unique_ptr<Link<Update>>> front_links;
+  std::vector<std::unique_ptr<Link<Alert>>> back_links;
+  std::uint64_t salt = 0;
+  for (auto& dm : dms) {
+    for (auto& ce : ces) {
+      EvaluatorNode* target = ce.get();
+      front_links.push_back(std::make_unique<Link<Update>>(
+          sim, config.front, master.fork(++salt),
+          [target](const Update& u) { target->on_update(u); }));
+      dm->attach(front_links.back().get());
+    }
+  }
+  for (auto& ce : ces) {
+    back_links.push_back(std::make_unique<Link<Alert>>(
+        sim, config.back, master.fork(++salt),
+        [&ad](const Alert& a) { ad.on_alert(a); }));
+    ce->set_back_link(back_links.back().get());
+  }
+
+  for (auto& dm : dms) dm->start();
+  const std::size_t events = sim.run();
+
+  RunResult result;
+  result.displayed = ad.displayer().displayed();
+  result.arrived = ad.displayer().arrived();
+  result.display_times = std::move(display_times);
+  for (const auto& ce : ces) {
+    result.ce_inputs.push_back(ce->evaluator().received());
+    result.ce_outputs.push_back(ce->evaluator().emitted());
+  }
+  for (const auto& dm : dms) result.dm_emitted.push_back(dm->emitted());
+  for (const auto& link : front_links)
+    result.front_messages_dropped += link->dropped();
+  result.events_executed = events;
+  return result;
+}
+
+}  // namespace rcm::sim

@@ -1,0 +1,65 @@
+#include "store/alert_log.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "wire/buffer.hpp"
+#include "wire/codec.hpp"
+
+namespace rcm::store {
+
+AlertLog::Index AlertLog::append(const Alert& a) {
+  entries_.push_back(a);
+  return entries_.size() - 1;
+}
+
+void AlertLog::ack(Index upto) {
+  acked_ = std::max(acked_, std::min<Index>(upto + 1, entries_.size()));
+}
+
+std::vector<std::pair<AlertLog::Index, Alert>> AlertLog::pending() const {
+  std::vector<std::pair<Index, Alert>> out;
+  for (Index i = acked_; i < entries_.size(); ++i)
+    out.emplace_back(i, entries_[static_cast<std::size_t>(i)]);
+  return out;
+}
+
+const Alert& AlertLog::at(Index i) const {
+  if (i >= entries_.size())
+    throw std::out_of_range("AlertLog::at: index beyond log");
+  return entries_[static_cast<std::size_t>(i)];
+}
+
+std::vector<std::uint8_t> AlertLog::serialize() const {
+  wire::Writer w;
+  w.varint(entries_.size());
+  w.varint(acked_);
+  for (const Alert& a : entries_) {
+    const auto bytes =
+        wire::encode_alert(a, wire::AlertEncoding::kFullHistories);
+    w.varint(bytes.size());
+    w.raw(bytes);
+  }
+  return w.take();
+}
+
+AlertLog AlertLog::deserialize(std::span<const std::uint8_t> bytes) {
+  wire::Reader r{bytes};
+  AlertLog log;
+  const std::uint64_t count = r.varint();
+  const std::uint64_t acked = r.varint();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t len = r.varint();
+    if (len > (1u << 20)) throw wire::DecodeError("log entry too large");
+    std::vector<std::uint8_t> entry;
+    entry.reserve(static_cast<std::size_t>(len));
+    for (std::uint64_t b = 0; b < len; ++b) entry.push_back(r.u8());
+    log.entries_.push_back(wire::decode_alert(entry).alert);
+  }
+  if (acked > count) throw wire::DecodeError("ack level beyond log size");
+  log.acked_ = acked;
+  r.expect_done();
+  return log;
+}
+
+}  // namespace rcm::store

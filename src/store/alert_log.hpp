@@ -1,0 +1,63 @@
+// Durable alert log (paper §1/§2.1): "If the PDA is off or disconnected,
+// the CE logs the alert, and sends it later, when the AD becomes
+// available" — and the back links justify their lossless model partly
+// because "the CE is expected to buffer and store the alerts anyway".
+//
+// AlertLog is an append-only, acknowledgeable log of alerts. Entries get
+// monotonically increasing indices; the unacknowledged suffix is what a
+// store-and-forward sender (AlertOutbox) retransmits. The log snapshots
+// to wire-format bytes and restores from them, which is how the tests and
+// the simulator model durability across CE crashes without touching the
+// filesystem.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/alert.hpp"
+
+namespace rcm::store {
+
+/// Append-only log with cumulative acknowledgement.
+class AlertLog {
+ public:
+  using Index = std::uint64_t;
+
+  /// Appends an alert; returns its index (0-based, monotonically
+  /// increasing, never reused).
+  Index append(const Alert& a);
+
+  /// Cumulatively acknowledges every entry with index <= `upto`.
+  /// Acknowledging an index beyond the log or below the current ack
+  /// level is harmless (idempotent, monotone).
+  void ack(Index upto);
+
+  /// Entries not yet acknowledged, ascending by index.
+  [[nodiscard]] std::vector<std::pair<Index, Alert>> pending() const;
+
+  /// Total entries ever appended.
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Index the next append will get.
+  [[nodiscard]] Index next_index() const noexcept { return entries_.size(); }
+
+  /// Highest acknowledged index + 1 (0 when nothing is acked).
+  [[nodiscard]] Index ack_level() const noexcept { return acked_; }
+
+  /// Entry access. Precondition: i < size().
+  [[nodiscard]] const Alert& at(Index i) const;
+
+  /// Wire-format snapshot of the whole log (entries + ack level).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Restores a log from serialize() output; throws wire::DecodeError on
+  /// malformed input.
+  [[nodiscard]] static AlertLog deserialize(std::span<const std::uint8_t> bytes);
+
+ private:
+  std::vector<Alert> entries_;
+  Index acked_ = 0;  // entries [0, acked_) are acknowledged
+};
+
+}  // namespace rcm::store

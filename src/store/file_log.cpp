@@ -1,0 +1,90 @@
+#include "store/file_log.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "wire/buffer.hpp"
+#include "wire/codec.hpp"
+#include "wire/frame.hpp"
+
+namespace rcm::store {
+namespace {
+
+constexpr std::uint8_t kAlertRecord = 0x41;  // 'A'
+constexpr std::uint8_t kAckRecord = 0x4b;    // 'K'
+
+}  // namespace
+
+RecoveredLog recover_log(const std::filesystem::path& path) {
+  RecoveredLog out;
+  std::ifstream in{path, std::ios::binary};
+  if (!in.is_open()) return out;  // no file yet: empty log
+
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  if (in.bad()) throw std::runtime_error("recover_log: read error");
+
+  wire::FrameCursor cursor;
+  cursor.feed(bytes);
+  while (auto payload = cursor.next()) {
+    try {
+      wire::Reader r{*payload};
+      const std::uint8_t type = r.u8();
+      if (type == kAlertRecord) {
+        // The remainder of the payload is one encoded alert.
+        const std::span<const std::uint8_t> rest{
+            payload->data() + 1, payload->size() - 1};
+        (void)out.log.append(wire::decode_alert(rest).alert);
+      } else if (type == kAckRecord) {
+        out.log.ack(r.varint());
+      } else {
+        ++out.corrupt_frames;  // unknown record type
+        continue;
+      }
+      ++out.records;
+    } catch (const wire::DecodeError&) {
+      ++out.corrupt_frames;
+    }
+  }
+  out.corrupt_frames += cursor.corrupt_frames();
+  return out;
+}
+
+FileAlertLog::FileAlertLog(std::filesystem::path path)
+    : path_(std::move(path)) {
+  RecoveredLog recovered = recover_log(path_);
+  log_ = std::move(recovered.log);
+  recovered_corrupt_ = recovered.corrupt_frames;
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_.is_open())
+    throw std::runtime_error("FileAlertLog: cannot open " + path_.string());
+}
+
+AlertLog::Index FileAlertLog::append(const Alert& a) {
+  write_record(kAlertRecord,
+               wire::encode_alert(a, wire::AlertEncoding::kFullHistories));
+  return log_.append(a);
+}
+
+void FileAlertLog::ack(AlertLog::Index upto) {
+  wire::Writer w;
+  w.varint(upto);
+  write_record(kAckRecord, w.take());
+  log_.ack(upto);
+}
+
+void FileAlertLog::write_record(std::uint8_t type,
+                                const std::vector<std::uint8_t>& body) {
+  wire::Writer payload;
+  payload.u8(type);
+  payload.raw(body);
+  const auto framed = wire::frame(payload.bytes());
+  out_.write(reinterpret_cast<const char*>(framed.data()),
+             static_cast<std::streamsize>(framed.size()));
+  out_.flush();
+  if (!out_.good())
+    throw std::runtime_error("FileAlertLog: write failed on " +
+                             path_.string());
+}
+
+}  // namespace rcm::store

@@ -1,0 +1,68 @@
+// File-backed durable alert log.
+//
+// AlertLog (alert_log.hpp) keeps the in-memory state; FileAlertLog adds
+// a write-ahead file so the log survives real process crashes, matching
+// the paper's assumption that the CE durably stores alerts for later
+// delivery. The file is a stream of CRC-framed records (wire/frame.hpp):
+//
+//   record := frame( type:u8 | body )
+//   type 'A' (0x41): body = wire-encoded alert (appended entry)
+//   type 'K' (0x4b): body = varint(upto)      (cumulative ack)
+//
+// Recovery scans the file with FrameCursor semantics: a torn or corrupt
+// tail (e.g. a crash mid-write) is detected by the CRC and everything
+// before it is recovered — the standard write-ahead-log contract.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+
+#include "store/alert_log.hpp"
+
+namespace rcm::store {
+
+/// Result of scanning a log file.
+struct RecoveredLog {
+  AlertLog log;
+  std::size_t records = 0;          ///< applied records
+  std::size_t corrupt_frames = 0;   ///< CRC failures / torn tail frames
+};
+
+/// Reads and replays a log file. A missing file recovers to an empty
+/// log. Throws std::runtime_error only on I/O errors (not corruption —
+/// corruption is expected after a crash and is reported in the result).
+[[nodiscard]] RecoveredLog recover_log(const std::filesystem::path& path);
+
+/// Durable alert log: every mutation is framed, appended and flushed to
+/// `path` before the in-memory state changes.
+class FileAlertLog {
+ public:
+  /// Opens (creating if needed) and recovers `path`. The recovered
+  /// in-memory state is available immediately via log().
+  explicit FileAlertLog(std::filesystem::path path);
+
+  /// Durably appends an alert; returns its index.
+  AlertLog::Index append(const Alert& a);
+
+  /// Durably records a cumulative acknowledgement.
+  void ack(AlertLog::Index upto);
+
+  [[nodiscard]] const AlertLog& log() const noexcept { return log_; }
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+  [[nodiscard]] std::size_t recovered_corrupt_frames() const noexcept {
+    return recovered_corrupt_;
+  }
+
+ private:
+  void write_record(std::uint8_t type,
+                    const std::vector<std::uint8_t>& body);
+
+  std::filesystem::path path_;
+  std::ofstream out_;
+  AlertLog log_;
+  std::size_t recovered_corrupt_ = 0;
+};
+
+}  // namespace rcm::store

@@ -1,0 +1,42 @@
+#include "store/outbox.hpp"
+
+#include <stdexcept>
+
+namespace rcm::store {
+
+AlertOutbox::AlertOutbox(SendFn send) : send_(std::move(send)) {
+  if (!send_) throw std::invalid_argument("AlertOutbox: null send function");
+}
+
+AlertLog::Index AlertOutbox::submit(const Alert& a) {
+  const AlertLog::Index index = log_.append(a);
+  if (connected_) {
+    sent_watermark_ = index + 1;
+    send_(index, a);
+  }
+  return index;
+}
+
+void AlertOutbox::set_connected(bool connected) {
+  const bool was = connected_;
+  connected_ = connected;
+  if (!was && connected) flush();
+}
+
+void AlertOutbox::restore(AlertLog log) {
+  log_ = std::move(log);
+  connected_ = false;
+  // Conservatively assume nothing in flight survives the crash; anything
+  // pending will be (re)sent on the next connect.
+  sent_watermark_ = log_.ack_level();
+}
+
+void AlertOutbox::flush() {
+  for (const auto& [index, alert] : log_.pending()) {
+    if (index < sent_watermark_) ++retransmissions_;
+    send_(index, alert);
+  }
+  sent_watermark_ = log_.next_index();
+}
+
+}  // namespace rcm::store

@@ -1,0 +1,63 @@
+// Store-and-forward sender for the CE -> AD path.
+//
+// The CE submits every raised alert to its outbox. While the displayer
+// is reachable, submissions are sent immediately; while it is not, they
+// accumulate in the durable AlertLog. On (re)connection the whole
+// unacknowledged suffix is retransmitted in order. Entries are removed
+// from the pending set only by cumulative acknowledgement from the
+// receiver, so the path is lossless end-to-end even across AD outages
+// and in-flight drops — the paper's TCP-plus-CE-buffering back link.
+//
+// The receiver must deduplicate by (sender, index); retransmission makes
+// delivery at-least-once per index.
+#pragma once
+
+#include <functional>
+
+#include "store/alert_log.hpp"
+
+namespace rcm::store {
+
+/// CE-side store-and-forward sender.
+class AlertOutbox {
+ public:
+  /// `send` transmits one log entry toward the displayer; it is invoked
+  /// only while the outbox believes the displayer is reachable.
+  using SendFn = std::function<void(AlertLog::Index, const Alert&)>;
+
+  explicit AlertOutbox(SendFn send);
+
+  /// Logs an alert and, if connected, sends it immediately.
+  AlertLog::Index submit(const Alert& a);
+
+  /// Connection-state change. Transitioning to connected retransmits the
+  /// entire unacknowledged suffix in order.
+  void set_connected(bool connected);
+
+  /// Cumulative acknowledgement from the receiver.
+  void on_ack(AlertLog::Index upto) { log_.ack(upto); }
+
+  [[nodiscard]] bool connected() const noexcept { return connected_; }
+  [[nodiscard]] const AlertLog& log() const noexcept { return log_; }
+  [[nodiscard]] std::size_t retransmissions() const noexcept {
+    return retransmissions_;
+  }
+
+  /// Simulated crash-recovery: restores the durable log from a snapshot,
+  /// disconnected. (The paper's CE logs alerts durably; volatile state
+  /// dies with the process, the log does not.)
+  void restore(AlertLog log);
+
+ private:
+  void flush();
+
+  SendFn send_;
+  AlertLog log_;
+  bool connected_ = false;
+  std::size_t retransmissions_ = 0;
+  /// Lowest index never yet transmitted; flush-sends below it are
+  /// retransmissions.
+  AlertLog::Index sent_watermark_ = 0;
+};
+
+}  // namespace rcm::store

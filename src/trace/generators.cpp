@@ -1,0 +1,91 @@
+#include "trace/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rcm::trace {
+namespace {
+
+/// Shared emission-time scaffolding: strictly increasing times with
+/// uniform jitter around the configured period.
+class Timeline {
+ public:
+  Timeline(const TraceParams& p, util::Rng& rng) : p_(p), rng_(rng) {}
+
+  TimedUpdate next(double value) {
+    const double jitter =
+        p_.period * p_.jitter * rng_.uniform(-1.0, 1.0);
+    time_ += std::max(1e-9, p_.period + jitter);
+    TimedUpdate t;
+    t.time = time_;
+    t.update = Update{p_.var, seqno_++, value};
+    return t;
+  }
+
+ private:
+  const TraceParams& p_;
+  util::Rng& rng_;
+  double time_ = 0.0;
+  SeqNo seqno_ = p_.first_seqno;
+};
+
+}  // namespace
+
+Trace reactor_trace(const ReactorParams& p, util::Rng& rng) {
+  Trace out;
+  out.reserve(p.base.count);
+  Timeline timeline{p.base, rng};
+  double temp = p.baseline;
+  for (std::size_t i = 0; i < p.base.count; ++i) {
+    temp += rng.normal(0.0, p.stddev);
+    temp += p.reversion * (p.baseline - temp);
+    if (rng.bernoulli(p.excursion_prob))
+      temp += rng.uniform(p.excursion_min, p.excursion_max);
+    out.push_back(timeline.next(temp));
+  }
+  return out;
+}
+
+Trace stock_trace(const StockParams& p, util::Rng& rng) {
+  Trace out;
+  out.reserve(p.base.count);
+  Timeline timeline{p.base, rng};
+  double price = p.initial;
+  for (std::size_t i = 0; i < p.base.count; ++i) {
+    if (rng.bernoulli(p.crash_prob)) {
+      price *= 1.0 - rng.uniform(p.crash_min, p.crash_max);
+    } else {
+      price *= std::exp(rng.normal(p.drift, p.volatility));
+    }
+    price = std::max(price, 0.01);
+    out.push_back(timeline.next(price));
+  }
+  return out;
+}
+
+Trace event_trace(const EventParams& p, util::Rng& rng) {
+  Trace out;
+  out.reserve(p.base.count);
+  Timeline timeline{p.base, rng};
+  for (std::size_t i = 0; i < p.base.count; ++i)
+    out.push_back(timeline.next(rng.bernoulli(p.event_prob) ? 1.0 : 0.0));
+  return out;
+}
+
+Trace uniform_trace(const UniformParams& p, util::Rng& rng) {
+  Trace out;
+  out.reserve(p.base.count);
+  Timeline timeline{p.base, rng};
+  for (std::size_t i = 0; i < p.base.count; ++i)
+    out.push_back(timeline.next(rng.uniform(p.lo, p.hi)));
+  return out;
+}
+
+std::vector<Update> updates_of(const Trace& t) {
+  std::vector<Update> out;
+  out.reserve(t.size());
+  for (const TimedUpdate& tu : t) out.push_back(tu.update);
+  return out;
+}
+
+}  // namespace rcm::trace

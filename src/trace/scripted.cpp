@@ -1,0 +1,45 @@
+#include "trace/scripted.hpp"
+
+namespace rcm::trace {
+
+Trace scripted(VarId var,
+               const std::vector<std::pair<SeqNo, double>>& points) {
+  Trace out;
+  out.reserve(points.size());
+  double time = 0.0;
+  for (const auto& [seqno, value] : points) {
+    time += 1.0;
+    out.push_back(TimedUpdate{time, Update{var, seqno, value}});
+  }
+  return out;
+}
+
+Trace example1_updates(VarId x) {
+  return scripted(x, {{1, 2900.0}, {2, 3100.0}, {3, 3200.0}});
+}
+
+Trace intro_stock_updates(VarId s) {
+  return scripted(s, {{1, 100.0}, {2, 50.0}, {3, 52.0}});
+}
+
+Trace theorem3_u1(VarId x) {
+  return scripted(x, {{1, 1000.0}, {2, 1500.0}});
+}
+
+Trace theorem3_u2(VarId x) {
+  return scripted(x, {{3, 2000.0}, {4, 2500.0}});
+}
+
+Trace theorem4_updates(VarId x) {
+  return scripted(x, {{1, 400.0}, {2, 700.0}, {3, 720.0}});
+}
+
+Trace theorem10_ux(VarId x) {
+  return scripted(x, {{1, 1000.0}, {2, 1200.0}});
+}
+
+Trace theorem10_uy(VarId y) {
+  return scripted(y, {{1, 1050.0}, {2, 1150.0}});
+}
+
+}  // namespace rcm::trace

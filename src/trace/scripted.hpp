@@ -1,0 +1,36 @@
+// Scripted traces: the exact update sequences used by the paper's worked
+// examples and proof counterexamples, so the tests and the
+// paper_walkthrough example can replay them verbatim.
+#pragma once
+
+#include "trace/generators.hpp"
+
+namespace rcm::trace {
+
+/// Builds a trace from explicit (seqno, value) pairs, with emission times
+/// 1.0, 2.0, ... — the timing only matters for the simulator's schedule.
+[[nodiscard]] Trace scripted(VarId var,
+                             const std::vector<std::pair<SeqNo, double>>& points);
+
+/// Example 1 (§3): U = <1x(2900), 2x(3100), 3x(3200)> against c1
+/// "temperature over 3000".
+[[nodiscard]] Trace example1_updates(VarId x);
+
+/// The §1 motivating stock sequence: quotes 100, 50, 52 — a sharp drop
+/// that replication can double-report.
+[[nodiscard]] Trace intro_stock_updates(VarId s);
+
+/// Theorem 3's counterexample inputs: U1 = <1(1000), 2(1500)> and
+/// U2 = <3(2000), 4(2500)> against c3.
+[[nodiscard]] Trace theorem3_u1(VarId x);
+[[nodiscard]] Trace theorem3_u2(VarId x);
+
+/// Theorem 4's counterexample: U = <1(400), 2(700), 3(720)> against c2.
+[[nodiscard]] Trace theorem4_updates(VarId x);
+
+/// Theorem 10's counterexample streams: Ux = <1x(1000), 2x(1200)>,
+/// Uy = <1y(1050), 2y(1150)> against cm (|x - y| > 100).
+[[nodiscard]] Trace theorem10_ux(VarId x);
+[[nodiscard]] Trace theorem10_uy(VarId y);
+
+}  // namespace rcm::trace

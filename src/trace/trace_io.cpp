@@ -1,0 +1,86 @@
+#include "trace/trace_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace rcm::trace {
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  os << "# rcm trace: <time> <var> <seqno> <value>\n";
+  os.precision(17);  // doubles must round-trip exactly
+  for (const TimedUpdate& tu : trace) {
+    os << tu.time << ' ' << tu.update.var << ' ' << tu.update.seqno << ' '
+       << tu.update.value << '\n';
+  }
+}
+
+Trace parse_trace(std::string_view text) {
+  Trace out;
+  std::map<VarId, SeqNo> last_seqno;
+  double last_time = -1.0;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    // Skip blanks and comments.
+    std::size_t i = 0;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (i == line.size() || line[i] == '#') continue;
+
+    std::istringstream fields{std::string(line)};
+    double time = 0.0, value = 0.0;
+    long long var = 0, seqno = 0;
+    if (!(fields >> time >> var >> seqno >> value))
+      throw TraceParseError("expected '<time> <var> <seqno> <value>'",
+                            line_no);
+    std::string trailing;
+    if (fields >> trailing)
+      throw TraceParseError("trailing fields after value", line_no);
+    if (var < 0 || var > static_cast<long long>(UINT32_MAX))
+      throw TraceParseError("variable id out of range", line_no);
+    if (time <= last_time)
+      throw TraceParseError("times must be strictly increasing", line_no);
+    const VarId v = static_cast<VarId>(var);
+    auto it = last_seqno.find(v);
+    if (it != last_seqno.end() && seqno <= it->second)
+      throw TraceParseError(
+          "sequence numbers must be strictly increasing per variable",
+          line_no);
+    last_seqno[v] = seqno;
+    last_time = time;
+    out.push_back(TimedUpdate{time, Update{v, seqno, value}});
+  }
+  return out;
+}
+
+void save_trace(const std::filesystem::path& path, const Trace& trace) {
+  std::ofstream out{path};
+  if (!out.is_open())
+    throw std::runtime_error("save_trace: cannot open " + path.string());
+  write_trace(out, trace);
+  if (!out.good())
+    throw std::runtime_error("save_trace: write failed on " + path.string());
+}
+
+Trace load_trace(const std::filesystem::path& path) {
+  std::ifstream in{path};
+  if (!in.is_open())
+    throw std::runtime_error("load_trace: cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_trace(buffer.str());
+}
+
+}  // namespace rcm::trace

@@ -1,0 +1,47 @@
+// Trace file I/O: save generated workloads and replay them later, so
+// experiments are shareable and re-runnable without the generator seeds.
+//
+// Format: plain text, one update per line,
+//
+//   # comment lines and blank lines are ignored
+//   <time> <var> <seqno> <value>
+//
+// e.g. "1.25 0 7 3000.5". Times must be strictly increasing per file;
+// seqnos strictly increasing per variable (parse_trace enforces both —
+// they are the invariants every consumer in this library relies on).
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <stdexcept>
+#include <string_view>
+
+#include "trace/generators.hpp"
+
+namespace rcm::trace {
+
+/// Thrown on malformed trace text; `line()` is 1-based.
+class TraceParseError : public std::runtime_error {
+ public:
+  TraceParseError(const std::string& message, std::size_t line)
+      : std::runtime_error(message + " (line " + std::to_string(line) + ")"),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Renders a trace in the text format.
+void write_trace(std::ostream& os, const Trace& trace);
+
+/// Parses the text format; throws TraceParseError on malformed input or
+/// violated invariants.
+[[nodiscard]] Trace parse_trace(std::string_view text);
+
+/// File conveniences. save_trace overwrites; load_trace throws
+/// std::runtime_error if the file cannot be read.
+void save_trace(const std::filesystem::path& path, const Trace& trace);
+[[nodiscard]] Trace load_trace(const std::filesystem::path& path);
+
+}  // namespace rcm::trace

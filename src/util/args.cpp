@@ -1,0 +1,81 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace rcm::util {
+
+void Args::add_flag(const std::string& name, const std::string& default_value,
+                    const std::string& help) {
+  flags_[name] = Flag{default_value, default_value, help};
+}
+
+bool Args::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      return true;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      error_ = "unexpected positional argument: " + arg;
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      error_ = "unknown flag: --" + arg;
+      return false;
+    }
+    if (!has_value) {
+      // Bare flag: boolean true, unless the next token is a value.
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string Args::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end())
+    throw std::invalid_argument("flag not registered: --" + name);
+  return it->second.value;
+}
+
+std::int64_t Args::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool Args::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string Args::usage(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name << " (default: " << flag.default_value << ")\n"
+        << "      " << flag.help << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace rcm::util

@@ -1,0 +1,49 @@
+// Minimal command-line flag parser for the example and bench binaries.
+//
+// Supports `--name value` and `--name=value` forms plus bare boolean flags
+// (`--verbose`). Unknown flags are an error so typos do not silently run a
+// different experiment than intended.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rcm::util {
+
+/// Declarative flag set: register flags with defaults, then parse argv.
+class Args {
+ public:
+  /// Registers a flag with a default value and help text.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false (and fills `error()`) on unknown flags or a
+  /// missing value. `--help` sets `help_requested()` and returns true.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  [[nodiscard]] bool help_requested() const noexcept { return help_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// Renders the registered flags with defaults and help strings.
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+  bool help_ = false;
+  std::string error_;
+};
+
+}  // namespace rcm::util

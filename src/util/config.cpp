@@ -1,0 +1,134 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace rcm::util {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+Config Config::parse(std::string_view text) {
+  Config config;
+  config.section_order_.push_back("");
+  config.sections_[""];
+
+  std::string current;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    // Strip comments (a '#' anywhere outside a value is fine; we keep it
+    // simple: '#' starts a comment unless escaped use isn't supported).
+    if (const auto hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']')
+        throw ConfigError("unterminated section header", line_no);
+      const std::string name{trim(line.substr(1, line.size() - 2))};
+      if (name.empty()) throw ConfigError("empty section name", line_no);
+      if (!config.sections_.count(name))
+        config.section_order_.push_back(name);
+      config.sections_[name];
+      current = name;
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos)
+      throw ConfigError("expected 'key = value' or '[section]'", line_no);
+    const std::string key{trim(line.substr(0, eq))};
+    const std::string value{trim(line.substr(eq + 1))};
+    if (key.empty()) throw ConfigError("empty key", line_no);
+    auto& section = config.sections_[current];
+    if (!section.emplace(key, value).second)
+      throw ConfigError("duplicate key '" + key + "' in section [" +
+                            current + "]",
+                        line_no);
+  }
+  return config;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in{path};
+  if (!in.is_open())
+    throw std::runtime_error("Config::load: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+bool Config::has_section(const std::string& section) const {
+  return sections_.count(section) != 0;
+}
+
+bool Config::has(const std::string& section, const std::string& key) const {
+  return find(section, key).has_value();
+}
+
+std::optional<std::string> Config::find(const std::string& section,
+                                        const std::string& key) const {
+  auto sit = sections_.find(section);
+  if (sit == sections_.end()) return std::nullopt;
+  auto kit = sit->second.find(key);
+  if (kit == sit->second.end()) return std::nullopt;
+  return kit->second;
+}
+
+std::string Config::get_or(const std::string& section, const std::string& key,
+                           const std::string& fallback) const {
+  return find(section, key).value_or(fallback);
+}
+
+std::int64_t Config::get_int_or(const std::string& section,
+                                const std::string& key,
+                                std::int64_t fallback) const {
+  const auto v = find(section, key);
+  if (!v) return fallback;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double Config::get_double_or(const std::string& section,
+                             const std::string& key, double fallback) const {
+  const auto v = find(section, key);
+  if (!v) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool Config::get_bool_or(const std::string& section, const std::string& key,
+                         bool fallback) const {
+  const auto v = find(section, key);
+  if (!v) return fallback;
+  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+std::string Config::require(const std::string& section,
+                            const std::string& key) const {
+  const auto v = find(section, key);
+  if (!v)
+    throw std::invalid_argument("missing required config key [" + section +
+                                "] " + key);
+  return *v;
+}
+
+}  // namespace rcm::util

@@ -1,0 +1,77 @@
+// Minimal INI-style configuration parser for the lab/example binaries.
+//
+//   # comments and blank lines are ignored
+//   [section]
+//   key = value            # values keep internal spaces, trimmed at ends
+//
+// Keys before any section header live in the "" (global) section.
+// Duplicate keys within a section are an error (silently shadowed
+// configs are a debugging tax no one should pay).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rcm::util {
+
+/// Thrown on malformed config text; `line()` is 1-based.
+class ConfigError : public std::runtime_error {
+ public:
+  ConfigError(const std::string& message, std::size_t line)
+      : std::runtime_error(message + " (line " + std::to_string(line) + ")"),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parsed configuration: sections of key/value pairs.
+class Config {
+ public:
+  /// Parses config text; throws ConfigError on malformed input.
+  [[nodiscard]] static Config parse(std::string_view text);
+
+  /// Loads and parses a file; throws std::runtime_error on I/O errors.
+  [[nodiscard]] static Config load(const std::string& path);
+
+  [[nodiscard]] bool has_section(const std::string& section) const;
+  [[nodiscard]] bool has(const std::string& section,
+                         const std::string& key) const;
+
+  /// Raw lookup; nullopt if missing.
+  [[nodiscard]] std::optional<std::string> find(const std::string& section,
+                                                const std::string& key) const;
+
+  /// Typed getters with defaults. The *_or forms return the default when
+  /// the key is missing; the require forms throw std::invalid_argument.
+  [[nodiscard]] std::string get_or(const std::string& section,
+                                   const std::string& key,
+                                   const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int_or(const std::string& section,
+                                        const std::string& key,
+                                        std::int64_t fallback) const;
+  [[nodiscard]] double get_double_or(const std::string& section,
+                                     const std::string& key,
+                                     double fallback) const;
+  [[nodiscard]] bool get_bool_or(const std::string& section,
+                                 const std::string& key, bool fallback) const;
+  [[nodiscard]] std::string require(const std::string& section,
+                                    const std::string& key) const;
+
+  /// Section names in file order (the lab uses this to find every
+  /// section whose name starts with "workload").
+  [[nodiscard]] const std::vector<std::string>& sections() const noexcept {
+    return section_order_;
+  }
+
+ private:
+  std::map<std::string, std::map<std::string, std::string>> sections_;
+  std::vector<std::string> section_order_;
+};
+
+}  // namespace rcm::util

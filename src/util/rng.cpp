@@ -1,0 +1,90 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace rcm::util {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void Rng::reseed(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw = (*this)();
+  while (draw >= limit) draw = (*this)();
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::normal() noexcept {
+  // Box-Muller; discard the second variate for simplicity.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double rate) noexcept {
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / rate;
+}
+
+Rng Rng::fork(std::uint64_t salt) noexcept {
+  // Mix the parent stream with the salt so distinct salts give
+  // independent child streams, while keeping determinism.
+  std::uint64_t state = (*this)() ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return Rng{splitmix64(state)};
+}
+
+}  // namespace rcm::util

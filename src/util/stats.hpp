@@ -1,0 +1,74 @@
+// Small statistics accumulators used by benches and experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rcm::util {
+
+/// Streaming accumulator for count / mean / variance / min / max.
+/// Uses Welford's online algorithm, so it is numerically stable even for
+/// long benchmark runs.
+class Accumulator {
+ public:
+  /// Folds one observation into the running statistics.
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Ratio counter: successes over trials, e.g. "alerts delivered / alerts
+/// expected" in the availability bench.
+class Ratio {
+ public:
+  void add(bool success) noexcept {
+    ++trials_;
+    if (success) ++hits_;
+  }
+  void add(std::size_t hits, std::size_t trials) noexcept {
+    hits_ += hits;
+    trials_ += trials;
+  }
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t trials() const noexcept { return trials_; }
+  /// Fraction in [0,1]; 0 when no trials recorded.
+  [[nodiscard]] double value() const noexcept {
+    return trials_ == 0 ? 0.0
+                        : static_cast<double>(hits_) / static_cast<double>(trials_);
+  }
+
+ private:
+  std::size_t hits_ = 0;
+  std::size_t trials_ = 0;
+};
+
+/// Exact percentile over a stored sample (nearest-rank). Benches use it for
+/// latency distributions; sample sizes there are small enough that storing
+/// every observation is fine.
+class Percentiles {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  /// q in [0,1]; returns 0 for an empty sample.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace rcm::util

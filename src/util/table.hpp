@@ -1,0 +1,47 @@
+// Plain-text table rendering for bench output.
+//
+// The benches reproduce the paper's Tables 1-3 (and the variants stated in
+// prose); this printer renders them side by side with the measured results
+// in aligned monospace columns.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rcm::util {
+
+/// Column-aligned text table. Cells are strings; the renderer pads every
+/// column to its widest cell and draws a rule under the header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row. Rows shorter than the header are padded with empty
+  /// cells; longer rows extend the column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with two-space column gutters.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+/// Formats a double with `digits` digits after the decimal point.
+[[nodiscard]] std::string fmt_double(double v, int digits = 3);
+
+/// Formats a probability/fraction as a percentage string, e.g. "12.5%".
+[[nodiscard]] std::string fmt_percent(double fraction, int digits = 1);
+
+/// Renders a boolean property cell the way the paper's tables do:
+/// a check mark for "guaranteed", an X for "not guaranteed".
+[[nodiscard]] std::string fmt_property(bool guaranteed);
+
+}  // namespace rcm::util

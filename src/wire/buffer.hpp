@@ -1,0 +1,95 @@
+// Byte-buffer primitives for the wire protocol: a bounds-checked reader
+// and an appending writer over contiguous bytes, plus LEB128 varints and
+// zigzag transforms for signed values.
+//
+// The monitoring messages (updates, alerts) are tiny and frequent, so the
+// format favors compactness: sequence numbers and counts are varints,
+// values are raw IEEE-754 doubles, strings are length-prefixed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rcm::wire {
+
+/// Thrown by Reader on truncated or malformed input.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Zigzag-maps a signed 64-bit value to unsigned so small magnitudes
+/// (positive or negative) encode as short varints.
+[[nodiscard]] constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+/// Inverse of zigzag().
+[[nodiscard]] constexpr std::int64_t unzigzag(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Appending byte writer.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v);              ///< little-endian fixed 4 bytes
+  void u64(std::uint64_t v);              ///< little-endian fixed 8 bytes
+  void f64(double v);                     ///< IEEE-754 bits, little-endian
+  void varint(std::uint64_t v);           ///< LEB128
+  void svarint(std::int64_t v) { varint(zigzag(v)); }
+  void string(std::string_view s);        ///< varint length + raw bytes
+  void raw(std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return bytes_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked byte reader; every method throws DecodeError instead of
+/// reading past the end.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::uint64_t varint();
+  [[nodiscard]] std::int64_t svarint() { return unzigzag(varint()); }
+  /// Reads a varint length then that many bytes. `max_len` guards against
+  /// hostile lengths.
+  [[nodiscard]] std::string string(std::size_t max_len = 4096);
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+  [[nodiscard]] bool done() const noexcept { return remaining() == 0; }
+
+  /// Requires that the whole input was consumed; trailing garbage is a
+  /// framing bug, not something to ignore.
+  void expect_done() const {
+    if (!done()) throw DecodeError("trailing bytes after message");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n) throw DecodeError("truncated message");
+  }
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rcm::wire

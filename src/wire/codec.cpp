@@ -1,0 +1,110 @@
+#include "wire/codec.hpp"
+
+#include <limits>
+
+namespace rcm::wire {
+namespace {
+
+// Message type tags so a stray update can never parse as an alert.
+constexpr std::uint8_t kUpdateTag = 0x75;  // 'u'
+constexpr std::uint8_t kAlertTag = 0x61;   // 'a'
+
+constexpr std::size_t kMaxVariables = 1024;
+constexpr std::size_t kMaxWindow = 4096;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_update(const Update& u) {
+  Writer w;
+  w.u8(kUpdateTag);
+  w.varint(u.var);
+  w.svarint(u.seqno);
+  w.f64(u.value);
+  return w.take();
+}
+
+Update decode_update(std::span<const std::uint8_t> bytes) {
+  Reader r{bytes};
+  if (r.u8() != kUpdateTag) throw DecodeError("not an update message");
+  Update u;
+  u.var = static_cast<VarId>(r.varint());
+  u.seqno = r.svarint();
+  u.value = r.f64();
+  r.expect_done();
+  return u;
+}
+
+std::vector<std::uint8_t> encode_alert(const Alert& a,
+                                       AlertEncoding encoding) {
+  Writer w;
+  w.u8(kAlertTag);
+  w.u8(static_cast<std::uint8_t>(encoding));
+  w.string(a.cond);
+  switch (encoding) {
+    case AlertEncoding::kChecksumOnly:
+      w.u64(a.checksum());
+      break;
+    case AlertEncoding::kSeqnosOnly:
+    case AlertEncoding::kFullHistories:
+      w.varint(a.histories.size());
+      for (const auto& [var, window] : a.histories) {
+        w.varint(var);
+        w.varint(window.size());
+        // Windows are ascending; delta-encode the seqnos.
+        SeqNo prev = 0;
+        for (const Update& u : window) {
+          w.svarint(u.seqno - prev);
+          prev = u.seqno;
+          if (encoding == AlertEncoding::kFullHistories) w.f64(u.value);
+        }
+      }
+      break;
+  }
+  return w.take();
+}
+
+DecodedAlert decode_alert(std::span<const std::uint8_t> bytes) {
+  Reader r{bytes};
+  if (r.u8() != kAlertTag) throw DecodeError("not an alert message");
+  const auto raw_encoding = r.u8();
+  if (raw_encoding > static_cast<std::uint8_t>(AlertEncoding::kChecksumOnly))
+    throw DecodeError("unknown alert encoding");
+  DecodedAlert out;
+  out.encoding = static_cast<AlertEncoding>(raw_encoding);
+  out.alert.cond = r.string();
+  switch (out.encoding) {
+    case AlertEncoding::kChecksumOnly:
+      out.checksum = r.u64();
+      break;
+    case AlertEncoding::kSeqnosOnly:
+    case AlertEncoding::kFullHistories: {
+      const std::uint64_t vars = r.varint();
+      if (vars > kMaxVariables) throw DecodeError("too many variables");
+      for (std::uint64_t i = 0; i < vars; ++i) {
+        const VarId var = static_cast<VarId>(r.varint());
+        const std::uint64_t count = r.varint();
+        if (count > kMaxWindow) throw DecodeError("history window too long");
+        std::vector<Update> window;
+        window.reserve(static_cast<std::size_t>(count));
+        SeqNo prev = 0;
+        for (std::uint64_t j = 0; j < count; ++j) {
+          Update u;
+          u.var = var;
+          u.seqno = prev + r.svarint();
+          prev = u.seqno;
+          u.value = out.encoding == AlertEncoding::kFullHistories
+                        ? r.f64()
+                        : std::numeric_limits<double>::quiet_NaN();
+          window.push_back(u);
+        }
+        if (!out.alert.histories.emplace(var, std::move(window)).second)
+          throw DecodeError("duplicate variable in alert");
+      }
+      break;
+    }
+  }
+  r.expect_done();
+  return out;
+}
+
+}  // namespace rcm::wire

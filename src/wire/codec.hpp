@@ -1,0 +1,62 @@
+// Message codec for the monitoring protocol.
+//
+// Two message types cross the network (paper §2): data updates on the
+// front links and alerts on the back links. Updates always encode in
+// full — they ARE the data. Alerts support the three fidelity levels §2
+// identifies:
+//
+//   kFullHistories — every history update with its value (what the
+//                    conceptual model sends; required if the AD
+//                    re-evaluates or archives alerts),
+//   kSeqnosOnly    — history sequence numbers without values (all the
+//                    AD algorithms AD-1..AD-6 need at most this),
+//   kChecksumOnly  — a 64-bit digest of the histories (sufficient for
+//                    AD-1's pure equality test).
+//
+// Decoding yields a DecodedAlert that tags which fidelity arrived; the
+// threaded runtime uses kSeqnosOnly... encodings are also compared in
+// bench/ablation_wire.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/alert.hpp"
+#include "core/types.hpp"
+#include "wire/buffer.hpp"
+
+namespace rcm::wire {
+
+/// Alert encoding fidelity (see file comment).
+enum class AlertEncoding : std::uint8_t {
+  kFullHistories = 0,
+  kSeqnosOnly = 1,
+  kChecksumOnly = 2,
+};
+
+/// Encodes one data update.
+[[nodiscard]] std::vector<std::uint8_t> encode_update(const Update& u);
+
+/// Decodes one data update; throws DecodeError on malformed input.
+[[nodiscard]] Update decode_update(std::span<const std::uint8_t> bytes);
+
+/// Encodes one alert at the chosen fidelity.
+[[nodiscard]] std::vector<std::uint8_t> encode_alert(const Alert& a,
+                                                     AlertEncoding encoding);
+
+/// Result of decoding an alert.
+struct DecodedAlert {
+  AlertEncoding encoding = AlertEncoding::kFullHistories;
+  /// Reconstructed alert. For kSeqnosOnly the update values are NaN
+  /// (sequence numbers are exact); for kChecksumOnly histories are empty.
+  Alert alert;
+  /// The digest, present for kChecksumOnly.
+  std::uint64_t checksum = 0;
+};
+
+/// Decodes one alert; throws DecodeError on malformed input.
+[[nodiscard]] DecodedAlert decode_alert(std::span<const std::uint8_t> bytes);
+
+}  // namespace rcm::wire

@@ -1,0 +1,123 @@
+#include "wire/frame.hpp"
+
+#include <array>
+
+namespace rcm::wire {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const auto table = make_crc_table();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  std::uint32_t c = 0xffffffffu;
+  for (std::uint8_t b : bytes) c = crc_table()[(c ^ b) & 0xff] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+std::vector<std::uint8_t> frame(std::span<const std::uint8_t> payload) {
+  Writer w;
+  w.u8(kFrameMagic0);
+  w.u8(kFrameMagic1);
+  w.varint(payload.size());
+  w.raw(payload);
+  w.u32(crc32(payload));
+  return w.take();
+}
+
+void FrameCursor::feed(std::span<const std::uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<std::vector<std::uint8_t>> FrameCursor::next() {
+  while (true) {
+    compact();
+    const std::size_t available = buffer_.size() - start_;
+    if (available < 2) return std::nullopt;
+    if (buffer_[start_] != kFrameMagic0 ||
+        buffer_[start_ + 1] != kFrameMagic1) {
+      ++corrupt_;
+      resync(start_ + 1);
+      continue;
+    }
+    // Parse the varint length manually (it may be incomplete).
+    std::size_t pos = start_ + 2;
+    std::uint64_t len = 0;
+    int shift = 0;
+    bool len_done = false;
+    while (pos < buffer_.size() && shift < 64) {
+      const std::uint8_t byte = buffer_[pos++];
+      len |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      shift += 7;
+      if (!(byte & 0x80)) {
+        len_done = true;
+        break;
+      }
+    }
+    if (!len_done) {
+      if (shift >= 64) {  // malformed length: skip this magic
+        ++corrupt_;
+        resync(start_ + 2);
+        continue;
+      }
+      return std::nullopt;  // need more bytes
+    }
+    if (len > kMaxFramePayload) {
+      ++corrupt_;
+      resync(start_ + 2);
+      continue;
+    }
+    const std::size_t frame_end = pos + static_cast<std::size_t>(len) + 4;
+    if (frame_end > buffer_.size()) return std::nullopt;  // incomplete
+    const std::span<const std::uint8_t> payload{buffer_.data() + pos,
+                                                static_cast<std::size_t>(len)};
+    std::uint32_t stored = 0;
+    for (int i = 0; i < 4; ++i)
+      stored |= static_cast<std::uint32_t>(
+                    buffer_[pos + static_cast<std::size_t>(len) +
+                            static_cast<std::size_t>(i)])
+                << (8 * i);
+    if (crc32(payload) != stored) {
+      ++corrupt_;
+      resync(start_ + 2);
+      continue;
+    }
+    std::vector<std::uint8_t> out{payload.begin(), payload.end()};
+    start_ = frame_end;
+    return out;
+  }
+}
+
+void FrameCursor::compact() {
+  if (start_ > 4096 && start_ > buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(start_));
+    start_ = 0;
+  }
+}
+
+void FrameCursor::resync(std::size_t from) {
+  for (std::size_t i = from; i + 1 < buffer_.size(); ++i) {
+    if (buffer_[i] == kFrameMagic0 && buffer_[i + 1] == kFrameMagic1) {
+      start_ = i;
+      return;
+    }
+  }
+  start_ = buffer_.size() >= 1 ? buffer_.size() - 1 : 0;
+}
+
+}  // namespace rcm::wire

@@ -1,0 +1,63 @@
+// Stream framing with integrity checking.
+//
+// The paper assumes links deliver messages in order and (on the back
+// links) without loss; a real deployment gets that from a byte-stream
+// transport, which needs message boundaries and corruption detection on
+// top. A frame is:
+//
+//   magic (2 bytes, 0xCE 0x01) | payload length (varint) |
+//   payload bytes | CRC-32 of the payload (fixed 4 bytes)
+//
+// FrameCursor incrementally extracts frames from a byte stream and can
+// resynchronize after corruption by scanning for the next magic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "wire/buffer.hpp"
+
+namespace rcm::wire {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of a byte span.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// Wraps a payload in a frame.
+[[nodiscard]] std::vector<std::uint8_t> frame(
+    std::span<const std::uint8_t> payload);
+
+/// Incremental frame extractor over an append-only byte stream.
+class FrameCursor {
+ public:
+  /// Appends raw bytes received from the transport.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Extracts the next complete, CRC-valid frame payload, or nullopt if
+  /// more bytes are needed. Corrupt frames are skipped (counted in
+  /// corrupt_frames()) by scanning to the next magic.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> next();
+
+  [[nodiscard]] std::size_t corrupt_frames() const noexcept {
+    return corrupt_;
+  }
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+    return buffer_.size() - start_;
+  }
+
+ private:
+  void compact();
+  /// Advances start_ to the next possible magic at or after `from`.
+  void resync(std::size_t from);
+
+  std::vector<std::uint8_t> buffer_;
+  std::size_t start_ = 0;   // first unconsumed byte
+  std::size_t corrupt_ = 0;
+};
+
+inline constexpr std::uint8_t kFrameMagic0 = 0xCE;
+inline constexpr std::uint8_t kFrameMagic1 = 0x01;
+inline constexpr std::size_t kMaxFramePayload = 1 << 20;
+
+}  // namespace rcm::wire

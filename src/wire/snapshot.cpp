@@ -1,0 +1,90 @@
+#include "wire/snapshot.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace rcm::wire {
+namespace {
+
+constexpr std::uint8_t kSnapshotTag = 0x73;  // 's'
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_evaluator_state(
+    const ConditionEvaluator& ce) {
+  Writer w;
+  w.u8(kSnapshotTag);
+
+  const auto& last_seen = ce.last_seen();
+  w.varint(last_seen.size());
+  for (const auto& [var, seqno] : last_seen) {
+    w.varint(var);
+    w.svarint(seqno);
+  }
+
+  const HistorySet& h = ce.histories();
+  const auto vars = h.variables();
+  w.varint(vars.size());
+  for (VarId v : vars) {
+    const History& hist = h.of(v);
+    w.varint(v);
+    w.varint(static_cast<std::uint64_t>(hist.degree()));
+    w.varint(hist.size());
+    // Oldest first; delta-encode seqnos.
+    SeqNo prev = 0;
+    for (int i = -(static_cast<int>(hist.size()) - 1); i <= 0; ++i) {
+      const Update& u = hist.at(i);
+      w.svarint(u.seqno - prev);
+      prev = u.seqno;
+      w.f64(u.value);
+    }
+  }
+  return w.take();
+}
+
+void decode_evaluator_state(std::span<const std::uint8_t> bytes,
+                            ConditionEvaluator& ce) {
+  Reader r{bytes};
+  if (r.u8() != kSnapshotTag) throw DecodeError("not an evaluator snapshot");
+
+  std::map<VarId, SeqNo> last_seen;
+  const std::uint64_t watermarks = r.varint();
+  if (watermarks > 4096) throw DecodeError("too many watermarks");
+  for (std::uint64_t i = 0; i < watermarks; ++i) {
+    const VarId var = static_cast<VarId>(r.varint());
+    last_seen[var] = r.svarint();
+  }
+
+  const Condition& cond = ce.condition();
+  const auto& cond_vars = cond.variables();
+  HistorySet h = cond.make_history_set();
+
+  const std::uint64_t vars = r.varint();
+  if (vars != cond_vars.size())
+    throw DecodeError("snapshot variable count does not match condition");
+  for (std::uint64_t i = 0; i < vars; ++i) {
+    const VarId var = static_cast<VarId>(r.varint());
+    if (std::find(cond_vars.begin(), cond_vars.end(), var) ==
+        cond_vars.end())
+      throw DecodeError("snapshot variable not in condition");
+    const auto degree = static_cast<int>(r.varint());
+    if (degree != cond.degree(var))
+      throw DecodeError("snapshot degree does not match condition");
+    const std::uint64_t count = r.varint();
+    if (count > static_cast<std::uint64_t>(degree))
+      throw DecodeError("snapshot window longer than its degree");
+    SeqNo prev = 0;
+    for (std::uint64_t j = 0; j < count; ++j) {
+      Update u;
+      u.var = var;
+      u.seqno = prev + r.svarint();
+      prev = u.seqno;
+      u.value = r.f64();
+      h.push(u);
+    }
+  }
+  r.expect_done();
+  ce.restore_state(std::move(h), std::move(last_seen));
+}
+
+}  // namespace rcm::wire

@@ -1,0 +1,30 @@
+// Evaluator state snapshots: serialize a Condition Evaluator's volatile
+// state (history windows + per-variable accepted-seqno watermarks) so a
+// replica can warm-restart after a crash instead of waiting for its
+// history windows to refill.
+//
+// The snapshot does NOT include the condition itself — conditions are
+// code/configuration, not state — so restore must target an evaluator
+// built for the same condition (same variable set and degrees; this is
+// validated and a DecodeError is thrown on mismatch).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "wire/buffer.hpp"
+
+namespace rcm::wire {
+
+/// Serializes the evaluator's volatile state.
+[[nodiscard]] std::vector<std::uint8_t> encode_evaluator_state(
+    const ConditionEvaluator& ce);
+
+/// Restores a snapshot into `ce`. Throws DecodeError on malformed bytes
+/// or if the snapshot's variable set / degrees do not match the
+/// evaluator's condition.
+void decode_evaluator_state(std::span<const std::uint8_t> bytes,
+                            ConditionEvaluator& ce);
+
+}  // namespace rcm::wire

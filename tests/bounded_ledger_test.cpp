@@ -1,0 +1,152 @@
+// Tests for the bounded-memory AD-3 variant: exact agreement with
+// unbounded AD-3 inside the horizon, bounded ledger growth, and the
+// documented divergence window (facts older than the horizon can be
+// forgotten — an honest trade-off, demonstrated by construction).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "check/properties.hpp"
+#include "core/bounded_ledger.hpp"
+#include "core/filters.hpp"
+#include "exp/scenarios.hpp"
+#include "sim/system.hpp"
+#include "util/rng.hpp"
+
+namespace rcm {
+namespace {
+
+Alert alert_window(std::initializer_list<SeqNo> seqnos) {
+  Alert a;
+  a.cond = "c";
+  std::vector<Update> w;
+  for (SeqNo s : seqnos) w.push_back({0, s, static_cast<double>(s)});
+  a.histories.emplace(0, std::move(w));
+  return a;
+}
+
+TEST(Ad3Bounded, RejectsBadHorizon) {
+  EXPECT_THROW(Ad3BoundedFilter{0}, std::invalid_argument);
+  EXPECT_THROW(Ad3BoundedFilter{-5}, std::invalid_argument);
+}
+
+TEST(Ad3Bounded, MatchesUnboundedWithinHorizon) {
+  // Adversarial single-variable streams whose windows stay within the
+  // horizon: decisions must be identical to Algorithm AD-3.
+  util::Rng rng{5};
+  for (int trial = 0; trial < 50; ++trial) {
+    Ad3ConsistentFilter reference;
+    Ad3BoundedFilter bounded{1000};  // effectively infinite here
+    SeqNo base = 1;
+    for (int i = 0; i < 60; ++i) {
+      const SeqNo s1 = base + rng.uniform_int(0, 5);
+      const SeqNo s2 = s1 + rng.uniform_int(1, 3);
+      const Alert a = alert_window({s1, s2});
+      EXPECT_EQ(reference.offer(a), bounded.offer(a))
+          << "trial " << trial << " step " << i;
+      if (rng.bernoulli(0.3)) base += rng.uniform_int(0, 3);
+    }
+  }
+}
+
+TEST(Ad3Bounded, ConflictDetectionInsideHorizon) {
+  Ad3BoundedFilter f{100};
+  EXPECT_TRUE(f.offer(alert_window({1, 3})));   // records 2 missed
+  EXPECT_FALSE(f.offer(alert_window({2, 3})));  // conflict, like AD-3
+  EXPECT_FALSE(f.offer(alert_window({1, 3})));  // duplicate
+}
+
+TEST(Ad3Bounded, ForgetsBeyondHorizonByDesign) {
+  // The documented divergence: a conflicting alert arriving more than
+  // `horizon` seqnos later is accepted because the facts were evicted.
+  Ad3BoundedFilter f{10};
+  EXPECT_TRUE(f.offer(alert_window({1, 3})));      // 2 in Missed
+  EXPECT_TRUE(f.offer(alert_window({500, 501})));  // advances max_seen
+  // A straggler alert claiming update 2 was received: unbounded AD-3
+  // rejects it (2 is still in Missed); bounded forgot that fact.
+  EXPECT_TRUE(f.offer(alert_window({2, 4})));
+  // The unbounded filter, for contrast:
+  Ad3ConsistentFilter reference;
+  EXPECT_TRUE(reference.offer(alert_window({1, 3})));
+  EXPECT_TRUE(reference.offer(alert_window({500, 501})));
+  EXPECT_FALSE(reference.offer(alert_window({2, 4})));
+}
+
+TEST(Ad3Bounded, LedgerSizeStaysBounded) {
+  // Stream thousands of alerts with ever-growing seqnos; the unbounded
+  // ledger grows linearly, the bounded one plateaus.
+  Ad3ConsistentFilter unbounded_filter;
+  Ad3BoundedFilter bounded{64};
+  std::size_t unbounded_entries_proxy = 0;
+  for (SeqNo s = 1; s <= 5000; s += 2) {
+    const Alert a = alert_window({s, s + 1});
+    (void)unbounded_filter.offer(a);
+    (void)bounded.offer(a);
+    ++unbounded_entries_proxy;
+  }
+  EXPECT_GT(unbounded_entries_proxy, 2000u);   // unbounded keeps them all
+  EXPECT_LE(bounded.ledger_entries(), 130u);   // ~horizon entries retained
+}
+
+TEST(Ad3Bounded, DuplicateSetAlsoBounded) {
+  Ad3BoundedFilter f{32};
+  for (SeqNo s = 1; s <= 2000; s += 2)
+    (void)f.offer(alert_window({s, s + 1}));
+  // A duplicate of a very old alert is no longer recognized as such —
+  // but its ledger facts are gone too, so it is judged like a fresh
+  // (late) alert; what matters here is that memory did not grow.
+  EXPECT_LE(f.ledger_entries(), 70u);
+}
+
+TEST(Ad3Bounded, ResetClearsEverything) {
+  Ad3BoundedFilter f{10};
+  EXPECT_TRUE(f.offer(alert_window({1, 3})));
+  f.reset();
+  EXPECT_EQ(f.ledger_entries(), 0u);
+  EXPECT_TRUE(f.offer(alert_window({2, 3})));  // no leftover conflict
+}
+
+TEST(Ad3Bounded, ConsistencyHoldsOnRealRunsWithGenerousHorizon) {
+  // On simulated lossy aggressive runs whose alert windows are narrow,
+  // a generous horizon behaves exactly like AD-3: output stays
+  // consistent. (The theoretical divergence needs horizon-spanning
+  // stragglers, which these runs do not produce.)
+  const auto spec =
+      exp::single_var_scenario(exp::Scenario::kLossyAggressive);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng trial{seed};
+    sim::SystemConfig config;
+    config.condition = spec.condition;
+    config.dm_traces = spec.make_traces(40, trial);
+    config.front.loss = spec.front_loss;
+    config.front.delay_max = 0.8;
+    config.back.delay_max = 0.8;
+    config.filter = FilterKind::kPassAll;  // capture raw arrivals
+    config.seed = seed * 101;
+    const auto r = sim::run_system(config);
+
+    Ad3BoundedFilter bounded{50};
+    Ad3ConsistentFilter reference;
+    for (const Alert& a : r.arrived)
+      EXPECT_EQ(reference.accepts(a), bounded.accepts(a)) << "seed " << seed;
+    // (accepts() is pure; drive the state forward identically.)
+    bounded.reset();
+    reference.reset();
+    std::vector<Alert> bounded_out;
+    for (const Alert& a : r.arrived) {
+      const bool keep_ref = reference.offer(a);
+      const bool keep_bounded = bounded.offer(a);
+      EXPECT_EQ(keep_ref, keep_bounded) << "seed " << seed;
+      if (keep_bounded) bounded_out.push_back(a);
+    }
+    check::SystemRun run;
+    run.condition = spec.condition;
+    run.ce_inputs = r.ce_inputs;
+    run.displayed = bounded_out;
+    EXPECT_EQ(check::check_run(run).consistent, check::Verdict::kHolds)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rcm

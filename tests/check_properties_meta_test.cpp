@@ -1,0 +1,109 @@
+// Meta-properties of the checkers themselves, verified across
+// randomized runs:
+//
+//  - consistency is SUBSET-CLOSED: every subsequence of a consistent
+//    displayed sequence is consistent (fewer alerts = fewer demands);
+//  - completeness is NOT subset-closed (dropping a required alert breaks
+//    the Phi-equality) — witnessed;
+//  - orderedness is subsequence-closed;
+//  - the kUnknown path of the bounded completeness search (> 63 distinct
+//    displayed keys) is reported as unknown, never as a verdict.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "check/completeness.hpp"
+#include "check/consistency.hpp"
+#include "check/properties.hpp"
+#include "core/builtin_conditions.hpp"
+#include "core/evaluator.hpp"
+#include "exp/scenarios.hpp"
+#include "sim/system.hpp"
+#include "util/rng.hpp"
+
+namespace rcm::check {
+namespace {
+
+class CheckerMeta : public ::testing::TestWithParam<std::uint64_t> {};
+
+SystemRun random_run(std::uint64_t seed, FilterKind filter) {
+  const auto spec =
+      exp::single_var_scenario(exp::Scenario::kLossyAggressive);
+  util::Rng trial{seed};
+  sim::SystemConfig config;
+  config.condition = spec.condition;
+  config.dm_traces = spec.make_traces(30, trial);
+  config.front.loss = spec.front_loss;
+  config.front.delay_max = 0.8;
+  config.back.delay_max = 0.8;
+  config.filter = filter;
+  config.seed = seed * 31;
+  return sim::run_system(config).as_system_run(spec.condition);
+}
+
+TEST_P(CheckerMeta, ConsistencyIsSubsetClosed) {
+  util::Rng rng{GetParam()};
+  SystemRun run = random_run(GetParam(), FilterKind::kAd3);
+  ASSERT_TRUE(check_consistent(run).consistent);
+  // Random subsequences stay consistent.
+  for (int trial = 0; trial < 5; ++trial) {
+    SystemRun sub = run;
+    sub.displayed.clear();
+    for (const Alert& a : run.displayed)
+      if (rng.bernoulli(0.6)) sub.displayed.push_back(a);
+    EXPECT_TRUE(check_consistent(sub).consistent);
+  }
+}
+
+TEST_P(CheckerMeta, OrderednessIsSubsequenceClosed) {
+  util::Rng rng{GetParam() + 100};
+  const SystemRun run = random_run(GetParam(), FilterKind::kAd2);
+  const auto& vars = run.condition->variables();
+  ASSERT_TRUE(check_ordered(run.displayed, vars));
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Alert> sub;
+    for (const Alert& a : run.displayed)
+      if (rng.bernoulli(0.6)) sub.push_back(a);
+    EXPECT_TRUE(check_ordered(sub, vars));
+  }
+}
+
+TEST_P(CheckerMeta, CompletenessBreaksWhenAnAlertIsDropped) {
+  const SystemRun run =
+      random_run(GetParam(), FilterKind::kPassAll);
+  // PassAll over a non-historical... this run uses the aggressive
+  // condition; completeness may or may not hold, so force the complete
+  // baseline: a single replica's own trace is complete w.r.t. itself.
+  SystemRun solo;
+  solo.condition = run.condition;
+  solo.ce_inputs = {run.ce_inputs[0]};
+  solo.displayed = evaluate_trace(run.condition, run.ce_inputs[0]);
+  if (solo.displayed.empty()) return;  // nothing to drop this seed
+  ASSERT_EQ(check_complete(solo), Verdict::kHolds);
+  solo.displayed.erase(solo.displayed.begin());
+  EXPECT_EQ(check_complete(solo), Verdict::kViolated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckerMeta,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(CheckerMeta, ManyDistinctKeysReportUnknownNotWrong) {
+  // Build a two-variable run with > 63 distinct displayed keys: the
+  // bitmask-based completeness search must say kUnknown.
+  auto cond = std::make_shared<const AbsDiffCondition>("d", 0, 1, -1.0);
+  // delta = -1: |x-y| > -1 always true -> every arrival alerts.
+  std::vector<Update> stream;
+  for (SeqNo s = 1; s <= 40; ++s) {
+    stream.push_back({0, s, 1.0});
+    stream.push_back({1, s, 5.0});
+  }
+  SystemRun run;
+  run.condition = cond;
+  run.ce_inputs = {stream};
+  run.displayed = evaluate_trace(cond, stream);
+  ASSERT_GT(run.displayed.size(), 63u);
+  EXPECT_EQ(check_complete(run), Verdict::kUnknown);
+}
+
+}  // namespace
+}  // namespace rcm::check

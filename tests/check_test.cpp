@@ -1,0 +1,368 @@
+// Tests for the property checkers in rcm::check, including randomized
+// cross-validation of the exact polynomial consistency/completeness
+// checkers against the brute-force oracles that enumerate witnesses
+// straight from the definitions.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "check/completeness.hpp"
+#include "check/consistency.hpp"
+#include "check/domination.hpp"
+#include "check/oracle.hpp"
+#include "check/properties.hpp"
+#include "core/builtin_conditions.hpp"
+#include "core/displayer.hpp"
+#include "core/evaluator.hpp"
+#include "core/filters.hpp"
+#include "util/rng.hpp"
+
+namespace rcm::check {
+namespace {
+
+constexpr VarId kX = 0;
+constexpr VarId kY = 1;
+
+ConditionPtr threshold(double t = 50.0) {
+  return std::make_shared<const ThresholdCondition>("thr", kX, t);
+}
+ConditionPtr rise(Triggering trig, double delta = 10.0) {
+  return std::make_shared<const RiseCondition>("rise", kX, delta, trig);
+}
+ConditionPtr diff(double delta = 30.0) {
+  return std::make_shared<const AbsDiffCondition>("diff", kX, kY, delta);
+}
+
+SystemRun make_run(ConditionPtr cond,
+                   std::vector<std::vector<Update>> inputs,
+                   std::vector<Alert> displayed) {
+  SystemRun run;
+  run.condition = std::move(cond);
+  run.ce_inputs = std::move(inputs);
+  run.displayed = std::move(displayed);
+  return run;
+}
+
+// -------------------------------------------------------- orderedness ----
+
+TEST(CheckOrdered, EmptyAndSingleAreOrdered) {
+  EXPECT_TRUE(check_ordered({}, {kX}));
+}
+
+TEST(CheckOrdered, DetectsInversionPerVariable) {
+  ConditionEvaluator ce{diff(), "CE"};
+  std::vector<Alert> alerts;
+  (void)ce.on_update({kX, 1, 0.0});
+  if (auto a = ce.on_update({kY, 1, 100.0})) alerts.push_back(*a);
+  if (auto a = ce.on_update({kY, 2, 200.0})) alerts.push_back(*a);
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_TRUE(check_ordered(alerts, {kX, kY}));
+  std::swap(alerts[0], alerts[1]);
+  EXPECT_FALSE(check_ordered(alerts, {kX, kY}));
+}
+
+// ----------------------------------------------------- combined inputs ----
+
+TEST(CombinedInputs, MergesPerVariable) {
+  const std::vector<Update> u1 = {{kX, 1, 10.0}, {kY, 1, 1.0}, {kX, 3, 30.0}};
+  const std::vector<Update> u2 = {{kX, 2, 20.0}, {kY, 1, 1.0}};
+  const auto combined = combined_inputs({u1, u2});
+  ASSERT_EQ(combined.size(), 2u);
+  EXPECT_EQ(combined[0].first, kX);
+  ASSERT_EQ(combined[0].second.size(), 3u);
+  EXPECT_EQ(combined[0].second[1].seqno, 2);
+  EXPECT_EQ(combined[1].first, kY);
+  EXPECT_EQ(combined[1].second.size(), 1u);
+}
+
+// -------------------------------------------------------- consistency ----
+
+TEST(CheckConsistent, EmptyOutputIsConsistent) {
+  const auto run = make_run(threshold(), {{{kX, 1, 60.0}}}, {});
+  EXPECT_TRUE(check_consistent(run).consistent);
+}
+
+TEST(CheckConsistent, RejectsAlertThatCannotRetrigger) {
+  // A degree-1 alert whose value is below the threshold: no T(U') can
+  // contain it.
+  Alert bogus;
+  bogus.cond = "thr";
+  bogus.histories.emplace(kX, std::vector<Update>{{kX, 1, 10.0}});
+  const auto run = make_run(threshold(), {{{kX, 1, 10.0}}}, {bogus});
+  const auto v = check_consistent(run);
+  EXPECT_FALSE(v.consistent);
+  EXPECT_NE(v.reason.find("re-evaluate"), std::string::npos);
+}
+
+TEST(CheckConsistent, RejectsAlertOnUnknownUpdate) {
+  Alert a;
+  a.cond = "thr";
+  a.histories.emplace(kX, std::vector<Update>{{kX, 7, 99.0}});
+  const auto run = make_run(threshold(), {{{kX, 1, 60.0}}}, {a});
+  const auto v = check_consistent(run);
+  EXPECT_FALSE(v.consistent);
+  EXPECT_NE(v.reason.find("no CE received"), std::string::npos);
+}
+
+TEST(CheckConsistent, RejectsMalformedWindow) {
+  Alert a;
+  a.cond = "rise";
+  a.histories.emplace(kX,
+                      std::vector<Update>{{kX, 3, 0.0}, {kX, 3, 100.0}});
+  const auto run =
+      make_run(rise(Triggering::kAggressive), {{{kX, 3, 0.0}}}, {a});
+  EXPECT_FALSE(check_consistent(run).consistent);
+}
+
+TEST(CheckConsistent, PresentAbsentConflictDetected) {
+  // Window {1,3} demands 2 absent; window {2,3} demands 2 present.
+  auto cond = rise(Triggering::kAggressive);
+  ConditionEvaluator ce1{cond, "CE1"}, ce2{cond, "CE2"};
+  (void)ce1.on_update({kX, 1, 0.0});
+  const auto a1 = ce1.on_update({kX, 3, 100.0});
+  (void)ce2.on_update({kX, 2, 0.0});
+  const auto a2 = ce2.on_update({kX, 3, 100.0});
+  ASSERT_TRUE(a1 && a2);
+  const auto run = make_run(
+      cond, {{{kX, 1, 0.0}, {kX, 3, 100.0}}, {{kX, 2, 0.0}, {kX, 3, 100.0}}},
+      {*a1, *a2});
+  EXPECT_FALSE(check_consistent(run).consistent);
+}
+
+// ------------------------------------------------------- completeness ----
+
+TEST(CheckComplete, SingleVarDirectComparison) {
+  auto cond = threshold();
+  const std::vector<Update> u1 = {{kX, 1, 60.0}, {kX, 2, 40.0}};
+  const std::vector<Update> u2 = {{kX, 3, 70.0}};
+  // T(union) alerts on 1 and 3.
+  const auto union_alerts =
+      evaluate_trace(cond, std::vector<Update>{u1[0], u1[1], u2[0]});
+  ASSERT_EQ(union_alerts.size(), 2u);
+  EXPECT_EQ(check_complete(make_run(cond, {u1, u2}, union_alerts)),
+            Verdict::kHolds);
+  EXPECT_EQ(check_complete(make_run(cond, {u1, u2}, {union_alerts[0]})),
+            Verdict::kViolated);
+  // Extra (duplicated key) alerts don't matter — Phi is a set — but an
+  // alert outside Phi(T(union)) violates.
+  Alert foreign;
+  foreign.cond = "thr";
+  foreign.histories.emplace(kX, std::vector<Update>{{kX, 2, 40.0}});
+  auto with_extra = union_alerts;
+  with_extra.push_back(foreign);
+  EXPECT_EQ(check_complete(make_run(cond, {u1, u2}, with_extra)),
+            Verdict::kViolated);
+}
+
+TEST(CheckComplete, MultiVarFindsWitnessInterleaving) {
+  auto cond = diff();
+  const std::vector<Update> ux = {{kX, 1, 0.0}, {kX, 2, 100.0}};
+  const std::vector<Update> uy = {{kY, 1, 10.0}};
+  // Interleaving <1x, 1y, 2x>: 1y vs 0 -> |0-10|=10 no; 2x: |100-10| yes.
+  ConditionEvaluator ce{cond, "CE"};
+  std::vector<Alert> alerts;
+  for (const Update& u : {ux[0], uy[0], ux[1]})
+    if (auto a = ce.on_update(u)) alerts.push_back(*a);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(check_complete(make_run(cond, {{ux[0], uy[0], ux[1]}}, alerts)),
+            Verdict::kHolds);
+}
+
+TEST(CheckComplete, ZeroBudgetReportsUnknown) {
+  auto cond = diff();
+  const std::vector<Update> u = {{kX, 1, 0.0}, {kY, 1, 50.0}};
+  ConditionEvaluator ce{cond, "CE"};
+  std::vector<Alert> alerts;
+  for (const Update& up : u)
+    if (auto a = ce.on_update(up)) alerts.push_back(*a);
+  EXPECT_EQ(check_complete(make_run(cond, {u}, alerts), 0), Verdict::kUnknown);
+}
+
+// ------------------------------------------- oracle cross-validation ----
+
+/// Runs a small randomized replicated single-variable system entirely
+/// in-memory: random loss per CE, random alert interleaving at the AD,
+/// random filter. Returns the SystemRun.
+SystemRun random_single_var_run(util::Rng& rng, ConditionPtr cond) {
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(3, 9));
+  std::vector<Update> u;
+  for (std::size_t i = 0; i < n; ++i)
+    u.push_back({kX, static_cast<SeqNo>(i + 1), rng.uniform(0.0, 100.0)});
+
+  std::vector<std::vector<Update>> inputs(2);
+  for (auto& input : inputs)
+    for (const Update& up : u)
+      if (!rng.bernoulli(0.3)) input.push_back(up);
+
+  std::vector<std::vector<Alert>> outputs;
+  for (const auto& input : inputs) outputs.push_back(evaluate_trace(cond, input));
+
+  // Random merge of the two alert streams.
+  std::vector<Alert> arrivals;
+  std::size_t i = 0, j = 0;
+  while (i < outputs[0].size() || j < outputs[1].size()) {
+    const bool take_first =
+        j >= outputs[1].size() ||
+        (i < outputs[0].size() && rng.bernoulli(0.5));
+    arrivals.push_back(take_first ? outputs[0][i++] : outputs[1][j++]);
+  }
+
+  // Random filter from the single-variable family.
+  const FilterKind kinds[] = {FilterKind::kPassAll, FilterKind::kAd1,
+                              FilterKind::kAd2, FilterKind::kAd3,
+                              FilterKind::kAd4};
+  const FilterPtr filter =
+      make_filter(kinds[rng.uniform_int(0, 4)], {kX});
+  std::vector<Alert> displayed;
+  for (const Alert& a : arrivals)
+    if (filter->offer(a)) displayed.push_back(a);
+
+  return make_run(std::move(cond), std::move(inputs), std::move(displayed));
+}
+
+class OracleAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleAgreement, SingleVarConsistencyMatchesOracle) {
+  util::Rng rng{GetParam()};
+  for (int trial = 0; trial < 40; ++trial) {
+    const bool aggressive = rng.bernoulli(0.5);
+    auto cond = aggressive ? rise(Triggering::kAggressive)
+                           : rise(Triggering::kConservative);
+    const SystemRun run = random_single_var_run(rng, cond);
+    const auto oracle = oracle_consistent(run);
+    ASSERT_TRUE(oracle.has_value());
+    EXPECT_EQ(check_consistent(run).consistent, *oracle)
+        << "seed=" << GetParam() << " trial=" << trial;
+  }
+}
+
+TEST_P(OracleAgreement, SingleVarCompletenessMatchesOracle) {
+  util::Rng rng{GetParam()};
+  for (int trial = 0; trial < 40; ++trial) {
+    auto cond = threshold();
+    const SystemRun run = random_single_var_run(rng, cond);
+    const auto oracle = oracle_complete(run);
+    ASSERT_TRUE(oracle.has_value());
+    const Verdict v = check_complete(run);
+    ASSERT_NE(v, Verdict::kUnknown);
+    EXPECT_EQ(v == Verdict::kHolds, *oracle)
+        << "seed=" << GetParam() << " trial=" << trial;
+  }
+}
+
+/// Random two-variable runs, small enough for the oracles.
+SystemRun random_multi_var_run(util::Rng& rng) {
+  auto cond = diff(20.0);
+  std::vector<Update> ux, uy;
+  const std::size_t nx = static_cast<std::size_t>(rng.uniform_int(2, 4));
+  const std::size_t ny = static_cast<std::size_t>(rng.uniform_int(2, 4));
+  for (std::size_t i = 0; i < nx; ++i)
+    ux.push_back({kX, static_cast<SeqNo>(i + 1), rng.uniform(0.0, 60.0)});
+  for (std::size_t i = 0; i < ny; ++i)
+    uy.push_back({kY, static_cast<SeqNo>(i + 1), rng.uniform(0.0, 60.0)});
+
+  // Each CE receives a random subset in a random interleaving.
+  std::vector<std::vector<Update>> inputs;
+  std::vector<std::vector<Alert>> outputs;
+  for (int ce = 0; ce < 2; ++ce) {
+    std::vector<Update> sx, sy;
+    for (const Update& u : ux)
+      if (!rng.bernoulli(0.25)) sx.push_back(u);
+    for (const Update& u : uy)
+      if (!rng.bernoulli(0.25)) sy.push_back(u);
+    std::vector<Update> interleaved;
+    std::size_t i = 0, j = 0;
+    while (i < sx.size() || j < sy.size()) {
+      const bool take_x = j >= sy.size() || (i < sx.size() && rng.bernoulli(0.5));
+      interleaved.push_back(take_x ? sx[i++] : sy[j++]);
+    }
+    outputs.push_back(evaluate_trace(cond, interleaved));
+    inputs.push_back(std::move(interleaved));
+  }
+
+  std::vector<Alert> arrivals;
+  std::size_t i = 0, j = 0;
+  while (i < outputs[0].size() || j < outputs[1].size()) {
+    const bool take_first =
+        j >= outputs[1].size() || (i < outputs[0].size() && rng.bernoulli(0.5));
+    arrivals.push_back(take_first ? outputs[0][i++] : outputs[1][j++]);
+  }
+  const FilterKind kinds[] = {FilterKind::kPassAll, FilterKind::kAd1,
+                              FilterKind::kAd5, FilterKind::kAd6};
+  const FilterPtr filter =
+      make_filter(kinds[rng.uniform_int(0, 3)], {kX, kY});
+  std::vector<Alert> displayed;
+  for (const Alert& a : arrivals)
+    if (filter->offer(a)) displayed.push_back(a);
+
+  return make_run(std::move(cond), std::move(inputs), std::move(displayed));
+}
+
+TEST_P(OracleAgreement, MultiVarConsistencyMatchesOracle) {
+  util::Rng rng{GetParam() + 1000};
+  for (int trial = 0; trial < 15; ++trial) {
+    const SystemRun run = random_multi_var_run(rng);
+    const auto oracle = oracle_consistent(run);
+    if (!oracle.has_value()) continue;  // too large for the oracle
+    EXPECT_EQ(check_consistent(run).consistent, *oracle)
+        << "seed=" << GetParam() << " trial=" << trial;
+  }
+}
+
+TEST_P(OracleAgreement, MultiVarCompletenessMatchesOracle) {
+  util::Rng rng{GetParam() + 2000};
+  for (int trial = 0; trial < 15; ++trial) {
+    const SystemRun run = random_multi_var_run(rng);
+    const auto oracle = oracle_complete(run);
+    if (!oracle.has_value()) continue;
+    const Verdict v = check_complete(run);
+    if (v == Verdict::kUnknown) continue;
+    EXPECT_EQ(v == Verdict::kHolds, *oracle)
+        << "seed=" << GetParam() << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleAgreement,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// --------------------------------------------------------- domination ----
+
+TEST(Domination, SubsequenceByKey) {
+  ConditionEvaluator ce{threshold(), "CE"};
+  std::vector<Alert> alerts;
+  for (SeqNo s = 1; s <= 3; ++s)
+    if (auto a = ce.on_update({kX, s, 80.0})) alerts.push_back(*a);
+  ASSERT_EQ(alerts.size(), 3u);
+  EXPECT_TRUE(is_alert_subsequence({alerts.begin() + 1, alerts.end()},
+                                   alerts));
+  EXPECT_TRUE(is_alert_subsequence({}, alerts));
+  std::vector<Alert> reversed = {alerts[2], alerts[0]};
+  EXPECT_FALSE(is_alert_subsequence(reversed, alerts));
+}
+
+TEST(Domination, ObservationAccumulates) {
+  Ad1DuplicateFilter g1;
+  Ad2OrderedFilter g2{kX};
+  ConditionEvaluator ce{threshold(), "CE"};
+  std::vector<Alert> arrivals;
+  for (SeqNo s : {2, 1, 3})
+    if (auto a = ce.on_update({kX, s, 80.0})) arrivals.push_back(*a);
+  // The CE dedups stale seqnos, so craft arrivals manually instead.
+  arrivals.clear();
+  for (SeqNo s : {2, 1, 3}) {
+    Alert a;
+    a.cond = "thr";
+    a.histories.emplace(kX, std::vector<Update>{{kX, s, 80.0}});
+    arrivals.push_back(a);
+  }
+  DominationObservation obs;
+  observe_domination(g1, g2, arrivals, obs);
+  EXPECT_EQ(obs.runs, 1u);
+  EXPECT_TRUE(obs.dominates());
+  EXPECT_TRUE(obs.strictly_dominates());
+  EXPECT_EQ(obs.g1_alerts, 3u);
+  EXPECT_EQ(obs.g2_alerts, 2u);
+}
+
+}  // namespace
+}  // namespace rcm::check

@@ -1,0 +1,203 @@
+// Unit tests for the built-in conditions (paper §2's c1/c2/c3, Theorem
+// 10's cm, Appendix D's disjunction) and the Condition metadata contract
+// (variables, degree, triggering, history class).
+#include <gtest/gtest.h>
+
+#include "core/builtin_conditions.hpp"
+
+namespace rcm {
+namespace {
+
+HistorySet feed(const Condition& c, const std::vector<Update>& updates) {
+  HistorySet h = c.make_history_set();
+  for (const Update& u : updates) h.push(u);
+  return h;
+}
+
+TEST(ThresholdCondition, C1FromThePaper) {
+  ThresholdCondition c1{"overheat", 0, 3000.0};
+  EXPECT_EQ(c1.name(), "overheat");
+  EXPECT_EQ(c1.variables(), std::vector<VarId>{0});
+  EXPECT_EQ(c1.degree(0), 1);
+  EXPECT_EQ(c1.history_class(), HistoryClass::kNonHistorical);
+
+  EXPECT_FALSE(c1.evaluate(feed(c1, {{0, 1, 2900.0}})));
+  EXPECT_TRUE(c1.evaluate(feed(c1, {{0, 1, 3100.0}})));
+  EXPECT_FALSE(c1.evaluate(feed(c1, {{0, 1, 3000.0}})));  // strict >
+}
+
+TEST(ThresholdCondition, BelowVariant) {
+  ThresholdCondition c{"low", 0, 10.0, /*above=*/false};
+  EXPECT_TRUE(c.evaluate(feed(c, {{0, 1, 5.0}})));
+  EXPECT_FALSE(c.evaluate(feed(c, {{0, 1, 15.0}})));
+}
+
+TEST(ThresholdCondition, WrongVariableDegreeThrows) {
+  ThresholdCondition c{"t", 0, 1.0};
+  EXPECT_THROW((void)c.degree(1), std::invalid_argument);
+}
+
+TEST(RiseCondition, C2AggressiveTriggersAcrossGap) {
+  // c2: "risen more than 200 since last reading *received*".
+  RiseCondition c2{"rise", 0, 200.0, Triggering::kAggressive};
+  EXPECT_EQ(c2.degree(0), 2);
+  EXPECT_EQ(c2.history_class(), HistoryClass::kHistorical);
+  // Window {1, 3}: gap, but aggressive still compares values.
+  EXPECT_TRUE(c2.evaluate(feed(c2, {{0, 1, 400.0}, {0, 3, 720.0}})));
+}
+
+TEST(RiseCondition, C3ConservativeIsFalseAcrossGap) {
+  // c3 adds the seqno-consecutive guard.
+  RiseCondition c3{"rise", 0, 200.0, Triggering::kConservative};
+  EXPECT_FALSE(c3.evaluate(feed(c3, {{0, 1, 400.0}, {0, 3, 720.0}})));
+  EXPECT_TRUE(c3.evaluate(feed(c3, {{0, 2, 400.0}, {0, 3, 720.0}})));
+}
+
+TEST(RiseCondition, ExactDeltaDoesNotTrigger) {
+  RiseCondition c{"rise", 0, 200.0, Triggering::kAggressive};
+  EXPECT_FALSE(c.evaluate(feed(c, {{0, 1, 100.0}, {0, 2, 300.0}})));
+}
+
+TEST(RelativeDropCondition, SharpDropFromIntro) {
+  // ">20% drop between two consecutive quotes": 100 -> 50 triggers.
+  RelativeDropCondition drop{"sharp", 0, 0.20};
+  EXPECT_TRUE(drop.evaluate(feed(drop, {{0, 1, 100.0}, {0, 2, 50.0}})));
+  // 100 -> 85 is a 15% drop: no trigger.
+  EXPECT_FALSE(drop.evaluate(feed(drop, {{0, 1, 100.0}, {0, 2, 85.0}})));
+  // The CE2 anomaly: 100 -> 52 with quote 2 lost still triggers
+  // aggressively — the inconsistency engine of the intro example.
+  EXPECT_TRUE(drop.evaluate(feed(drop, {{0, 1, 100.0}, {0, 3, 52.0}})));
+}
+
+TEST(RelativeDropCondition, ConservativeVariantChecksSeqnos) {
+  RelativeDropCondition drop{"sharp", 0, 0.20, Triggering::kConservative};
+  EXPECT_FALSE(drop.evaluate(feed(drop, {{0, 1, 100.0}, {0, 3, 52.0}})));
+  EXPECT_TRUE(drop.evaluate(feed(drop, {{0, 2, 100.0}, {0, 3, 52.0}})));
+}
+
+TEST(RelativeDropCondition, ZeroBaseNeverTriggers) {
+  RelativeDropCondition drop{"sharp", 0, 0.20};
+  EXPECT_FALSE(drop.evaluate(feed(drop, {{0, 1, 0.0}, {0, 2, -5.0}})));
+}
+
+TEST(AbsDiffCondition, CmFromTheorem10) {
+  AbsDiffCondition cm{"diff", 0, 1, 100.0};
+  EXPECT_EQ(cm.variables(), (std::vector<VarId>{0, 1}));
+  EXPECT_EQ(cm.degree(0), 1);
+  EXPECT_EQ(cm.degree(1), 1);
+  EXPECT_EQ(cm.history_class(), HistoryClass::kNonHistorical);
+  // 1200 vs 1050: |diff| = 150 > 100.
+  EXPECT_TRUE(cm.evaluate(feed(cm, {{0, 2, 1200.0}, {1, 1, 1050.0}})));
+  // 1000 vs 1050: no.
+  EXPECT_FALSE(cm.evaluate(feed(cm, {{0, 1, 1000.0}, {1, 1, 1050.0}})));
+}
+
+TEST(AbsDiffCondition, RejectsSameVariableTwice) {
+  EXPECT_THROW((AbsDiffCondition{"d", 3, 3, 1.0}), std::invalid_argument);
+}
+
+TEST(GreaterThanCondition, ExampleFourSemantics) {
+  GreaterThanCondition a{"A", 0, 1};  // x > y
+  GreaterThanCondition b{"B", 1, 0};  // y > x
+  auto h = [&](double x, double y) {
+    HistorySet hs = a.make_history_set();
+    hs.push({0, 1, x});
+    hs.push({1, 1, y});
+    return hs;
+  };
+  EXPECT_TRUE(a.evaluate(h(2100.0, 2000.0)));
+  EXPECT_FALSE(b.evaluate(h(2100.0, 2000.0)));
+  EXPECT_FALSE(a.evaluate(h(2000.0, 2000.0)));
+}
+
+TEST(PredicateCondition, DeclaredMetadata) {
+  PredicateCondition c{
+      "custom",
+      {{2, 3}, {0, 1}},
+      Triggering::kAggressive,
+      [](const HistorySet& h) { return h.of(0).at(0).value > 0; }};
+  EXPECT_EQ(c.variables(), (std::vector<VarId>{0, 2}));
+  EXPECT_EQ(c.degree(0), 1);
+  EXPECT_EQ(c.degree(2), 3);
+  EXPECT_THROW((void)c.degree(1), std::invalid_argument);
+}
+
+TEST(PredicateCondition, ConservativeWrapperShortCircuitsOnGap) {
+  bool called = false;
+  PredicateCondition c{"g",
+                       {{0, 2}},
+                       Triggering::kConservative,
+                       [&](const HistorySet&) {
+                         called = true;
+                         return true;
+                       }};
+  HistorySet h = c.make_history_set();
+  h.push({0, 1, 1.0});
+  h.push({0, 3, 2.0});  // gap
+  EXPECT_FALSE(c.evaluate(h));
+  EXPECT_FALSE(called);  // the predicate must not even run
+}
+
+TEST(PredicateCondition, RejectsBadConstruction) {
+  auto pred = [](const HistorySet&) { return true; };
+  EXPECT_THROW(
+      (PredicateCondition{"x", {}, Triggering::kAggressive, pred}),
+      std::invalid_argument);
+  EXPECT_THROW((PredicateCondition{
+                   "x", {{0, 0}}, Triggering::kAggressive, pred}),
+               std::invalid_argument);
+  EXPECT_THROW((PredicateCondition{
+                   "x", {{0, 1}, {0, 2}}, Triggering::kAggressive, pred}),
+               std::invalid_argument);
+}
+
+TEST(DisjunctionCondition, CombinesAppendixDConditions) {
+  auto a = std::make_shared<const GreaterThanCondition>("A", 0, 1);
+  auto b = std::make_shared<const GreaterThanCondition>("B", 1, 0);
+  DisjunctionCondition c{"C", {a, b}};
+  EXPECT_EQ(c.variables(), (std::vector<VarId>{0, 1}));
+  EXPECT_EQ(c.degree(0), 1);
+
+  HistorySet h = c.make_history_set();
+  h.push({0, 1, 2100.0});
+  h.push({1, 1, 2000.0});
+  EXPECT_TRUE(c.evaluate(h));  // A holds
+  h.push({1, 2, 2200.0});
+  EXPECT_TRUE(c.evaluate(h));  // B holds
+  h.push({0, 2, 2200.0});
+  EXPECT_FALSE(c.evaluate(h));  // equal: neither holds
+}
+
+TEST(DisjunctionCondition, TriggeringIsWorstOfParts) {
+  auto cons = std::make_shared<const RiseCondition>("c", 0, 1.0,
+                                                    Triggering::kConservative);
+  auto aggr = std::make_shared<const RiseCondition>("a", 0, 1.0,
+                                                    Triggering::kAggressive);
+  EXPECT_EQ((DisjunctionCondition{"cc", {cons, cons}}).triggering(),
+            Triggering::kConservative);
+  EXPECT_EQ((DisjunctionCondition{"ca", {cons, aggr}}).triggering(),
+            Triggering::kAggressive);
+}
+
+TEST(DisjunctionCondition, DegreeIsMaxOfParts) {
+  auto deg1 = std::make_shared<const ThresholdCondition>("t", 0, 5.0);
+  auto deg2 = std::make_shared<const RiseCondition>("r", 0, 1.0,
+                                                    Triggering::kAggressive);
+  DisjunctionCondition c{"m", {deg1, deg2}};
+  EXPECT_EQ(c.degree(0), 2);
+  EXPECT_EQ(c.history_class(), HistoryClass::kHistorical);
+}
+
+TEST(DisjunctionCondition, EmptyPartsThrows) {
+  EXPECT_THROW((DisjunctionCondition{"e", {}}), std::invalid_argument);
+}
+
+TEST(Condition, MakeHistorySetSizesBuffers) {
+  RiseCondition c{"r", 7, 1.0, Triggering::kAggressive};
+  HistorySet h = c.make_history_set();
+  EXPECT_TRUE(h.contains(7));
+  EXPECT_EQ(h.of(7).degree(), 2);
+}
+
+}  // namespace
+}  // namespace rcm

@@ -1,0 +1,90 @@
+// Tests for the INI configuration parser behind the rcm_lab example.
+#include <gtest/gtest.h>
+
+#include "util/config.hpp"
+
+namespace rcm::util {
+namespace {
+
+TEST(Config, ParsesSectionsAndKeys) {
+  const auto c = Config::parse(
+      "global = 1\n"
+      "[condition]\n"
+      "name = overheat\n"
+      "expr = temp[0] > 3000\n"
+      "[system]\n"
+      "ces = 3\n"
+      "loss = 0.25\n"
+      "verbose = yes\n");
+  EXPECT_EQ(c.get_or("", "global", "?"), "1");
+  EXPECT_EQ(c.require("condition", "name"), "overheat");
+  EXPECT_EQ(c.require("condition", "expr"), "temp[0] > 3000");
+  EXPECT_EQ(c.get_int_or("system", "ces", 1), 3);
+  EXPECT_DOUBLE_EQ(c.get_double_or("system", "loss", 0.0), 0.25);
+  EXPECT_TRUE(c.get_bool_or("system", "verbose", false));
+}
+
+TEST(Config, SectionOrderPreserved) {
+  const auto c = Config::parse("[b]\nx=1\n[a]\nx=2\n[workload t]\nx=3\n");
+  const auto& sections = c.sections();
+  ASSERT_EQ(sections.size(), 4u);  // "", b, a, workload t
+  EXPECT_EQ(sections[1], "b");
+  EXPECT_EQ(sections[2], "a");
+  EXPECT_EQ(sections[3], "workload t");
+}
+
+TEST(Config, CommentsAndWhitespace) {
+  const auto c = Config::parse(
+      "# leading comment\n"
+      "  [ s ]   # trailing comment\n"
+      "  key   =   spaced value here   # comment\n"
+      "\n");
+  EXPECT_EQ(c.require("s", "key"), "spaced value here");
+}
+
+TEST(Config, MissingLookups) {
+  const auto c = Config::parse("[s]\nk = v\n");
+  EXPECT_TRUE(c.has_section("s"));
+  EXPECT_FALSE(c.has_section("t"));
+  EXPECT_TRUE(c.has("s", "k"));
+  EXPECT_FALSE(c.has("s", "other"));
+  EXPECT_FALSE(c.find("t", "k").has_value());
+  EXPECT_EQ(c.get_or("t", "k", "fallback"), "fallback");
+  EXPECT_EQ(c.get_int_or("s", "missing", 42), 42);
+  EXPECT_THROW((void)c.require("s", "missing"), std::invalid_argument);
+}
+
+TEST(Config, MalformedInputRejected) {
+  EXPECT_THROW((void)Config::parse("[unterminated\n"), ConfigError);
+  EXPECT_THROW((void)Config::parse("[]\n"), ConfigError);
+  EXPECT_THROW((void)Config::parse("no equals sign\n"), ConfigError);
+  EXPECT_THROW((void)Config::parse("= value\n"), ConfigError);
+}
+
+TEST(Config, DuplicateKeyRejected) {
+  EXPECT_THROW((void)Config::parse("[s]\nk = 1\nk = 2\n"), ConfigError);
+  // Same key in different sections is fine.
+  EXPECT_NO_THROW((void)Config::parse("[a]\nk = 1\n[b]\nk = 2\n"));
+}
+
+TEST(Config, ErrorCarriesLine) {
+  try {
+    (void)Config::parse("[ok]\nk = 1\nbroken line\n");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(Config, EmptyValueAllowed) {
+  const auto c = Config::parse("[s]\nk =\n");
+  EXPECT_EQ(c.require("s", "k"), "");
+}
+
+TEST(Config, LoadMissingFileThrows) {
+  EXPECT_THROW((void)Config::load("/nonexistent/rcm.ini"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rcm::util

@@ -1,0 +1,167 @@
+// Tests for the Condition Evaluator and the mapping T (paper §2, §3):
+// triggering semantics, undefined-history suppression, out-of-order
+// discard, alert contents, crash-reset behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/builtin_conditions.hpp"
+#include "core/evaluator.hpp"
+
+namespace rcm {
+namespace {
+
+ConditionPtr overheat() {
+  return std::make_shared<const ThresholdCondition>("overheat", 0, 3000.0);
+}
+
+ConditionPtr rise(Triggering trig) {
+  return std::make_shared<const RiseCondition>("rise", 0, 200.0, trig);
+}
+
+TEST(ConditionEvaluator, NullConditionThrows) {
+  EXPECT_THROW(ConditionEvaluator(nullptr), std::invalid_argument);
+}
+
+TEST(ConditionEvaluator, Example1Ce1ProducesTwoAlerts) {
+  // U1 = <1x(2900), 2x(3100), 3x(3200)> under c1 -> alerts on 2x and 3x.
+  ConditionEvaluator ce{overheat(), "CE1"};
+  EXPECT_FALSE(ce.on_update({0, 1, 2900.0}).has_value());
+  const auto a1 = ce.on_update({0, 2, 3100.0});
+  ASSERT_TRUE(a1.has_value());
+  EXPECT_EQ(a1->seqno(0), 2);
+  const auto a2 = ce.on_update({0, 3, 3200.0});
+  ASSERT_TRUE(a2.has_value());
+  EXPECT_EQ(a2->seqno(0), 3);
+  EXPECT_EQ(ce.emitted().size(), 2u);
+  EXPECT_EQ(ce.received().size(), 3u);
+}
+
+TEST(ConditionEvaluator, Example1Ce2MissingUpdateProducesOneAlert) {
+  // U2 = <1x, 3x>: one alert, on 3x.
+  ConditionEvaluator ce{overheat(), "CE2"};
+  EXPECT_FALSE(ce.on_update({0, 1, 2900.0}).has_value());
+  const auto a = ce.on_update({0, 3, 3200.0});
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->seqno(0), 3);
+}
+
+TEST(ConditionEvaluator, HistoricalConditionWaitsForDefinedHistory) {
+  // Degree-2 condition: the first update alone must never trigger, even
+  // if the rise from "nothing" would be large.
+  ConditionEvaluator ce{rise(Triggering::kAggressive)};
+  EXPECT_FALSE(ce.on_update({0, 1, 10000.0}).has_value());
+  EXPECT_TRUE(ce.on_update({0, 2, 10500.0}).has_value());
+}
+
+TEST(ConditionEvaluator, DiscardsStaleAndDuplicateSeqnos) {
+  ConditionEvaluator ce{overheat()};
+  EXPECT_TRUE(ce.would_accept({0, 5, 1.0}));
+  (void)ce.on_update({0, 5, 1.0});
+  EXPECT_FALSE(ce.would_accept({0, 5, 1.0}));  // duplicate
+  EXPECT_FALSE(ce.would_accept({0, 3, 1.0}));  // stale
+  EXPECT_FALSE(ce.on_update({0, 3, 9999.0}).has_value());
+  EXPECT_EQ(ce.received().size(), 1u);
+}
+
+TEST(ConditionEvaluator, IgnoresForeignVariables) {
+  ConditionEvaluator ce{overheat()};
+  EXPECT_FALSE(ce.would_accept({7, 1, 5000.0}));
+  EXPECT_FALSE(ce.on_update({7, 1, 5000.0}).has_value());
+  EXPECT_TRUE(ce.received().empty());
+}
+
+TEST(ConditionEvaluator, AlertCarriesFullWindow) {
+  ConditionEvaluator ce{rise(Triggering::kAggressive)};
+  (void)ce.on_update({0, 1, 100.0});
+  const auto a = ce.on_update({0, 3, 400.0});  // 2 lost; aggressive fires
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->cond, "rise");
+  EXPECT_EQ(a->history_seqnos(0), (std::vector<SeqNo>{1, 3}));
+  EXPECT_EQ(a->histories.at(0)[0].value, 100.0);
+  EXPECT_EQ(a->histories.at(0)[1].value, 400.0);
+}
+
+TEST(ConditionEvaluator, CrashResetForgetsHistories) {
+  ConditionEvaluator ce{rise(Triggering::kAggressive)};
+  (void)ce.on_update({0, 1, 100.0});
+  ce.crash_reset();
+  // After restart the history is undefined again: the next update must
+  // not trigger even though 400-100 > 200.
+  EXPECT_FALSE(ce.on_update({0, 2, 400.0}).has_value());
+  // But the received log (what the world saw delivered) is intact.
+  EXPECT_EQ(ce.received().size(), 2u);
+}
+
+TEST(ConditionEvaluator, ReplicaIdIsMetadataOnly) {
+  ConditionEvaluator a{overheat(), "CE1"};
+  ConditionEvaluator b{overheat(), "CE2"};
+  EXPECT_EQ(a.replica_id(), "CE1");
+  const auto ra = a.on_update({0, 1, 3500.0});
+  const auto rb = b.on_update({0, 1, 3500.0});
+  ASSERT_TRUE(ra.has_value());
+  ASSERT_TRUE(rb.has_value());
+  EXPECT_EQ(ra->key(), rb->key());
+}
+
+TEST(EvaluateTrace, MatchesIncrementalEvaluator) {
+  const std::vector<Update> u = {
+      {0, 1, 2900.0}, {0, 2, 3100.0}, {0, 3, 2800.0}, {0, 4, 3300.0}};
+  const auto alerts = evaluate_trace(overheat(), u);
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(alerts[0].seqno(0), 2);
+  EXPECT_EQ(alerts[1].seqno(0), 4);
+}
+
+TEST(EvaluateTrace, EmptyInputEmptyOutput) {
+  EXPECT_TRUE(evaluate_trace(overheat(), {}).empty());
+}
+
+TEST(EvaluateTrace, ConservativeSkipsGapWindows) {
+  // c3 on U = <1(1000), 2(1500)> ⊔ <3(2000), 4(2500)> = <1,2,3,4>:
+  // alerts on 2, 3, 4 (the Theorem 3 reference computation).
+  const std::vector<Update> u = {
+      {0, 1, 1000.0}, {0, 2, 1500.0}, {0, 3, 2000.0}, {0, 4, 2500.0}};
+  const auto alerts = evaluate_trace(rise(Triggering::kConservative), u);
+  ASSERT_EQ(alerts.size(), 3u);
+  EXPECT_EQ(alerts[0].seqno(0), 2);
+  EXPECT_EQ(alerts[1].seqno(0), 3);
+  EXPECT_EQ(alerts[2].seqno(0), 4);
+}
+
+TEST(EvaluateTrace, MultiVariableEvaluatesOnEveryArrival) {
+  auto cm = std::make_shared<const AbsDiffCondition>("diff", 0, 1, 100.0);
+  // x=1000; y=1050 (no); x=1200 (|1200-1050|=150 yes); y=1150 (no).
+  const std::vector<Update> u = {
+      {0, 1, 1000.0}, {1, 1, 1050.0}, {0, 2, 1200.0}, {1, 2, 1150.0}};
+  const auto alerts = evaluate_trace(cm, u);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].seqno(0), 2);
+  EXPECT_EQ(alerts[0].seqno(1), 1);
+}
+
+TEST(Alert, KeyEqualityIsHistoryEquality) {
+  // AD-1's notion: same condition, same windows.
+  ConditionEvaluator ce1{rise(Triggering::kAggressive), "CE1"};
+  ConditionEvaluator ce2{rise(Triggering::kAggressive), "CE2"};
+  (void)ce1.on_update({0, 2, 100.0});
+  (void)ce2.on_update({0, 1, 100.0});
+  const auto a1 = ce1.on_update({0, 3, 400.0});  // window {2,3}
+  const auto a2 = ce2.on_update({0, 3, 400.0});  // window {1,3}
+  ASSERT_TRUE(a1 && a2);
+  EXPECT_NE(a1->key(), a2->key());  // "AD-1 will not recognize them"
+  EXPECT_NE(a1->checksum(), a2->checksum());
+}
+
+TEST(Alert, ToStringUsesRegistryNames) {
+  VariableRegistry vars;
+  const VarId x = vars.intern("reactor");
+  auto cond = std::make_shared<const ThresholdCondition>("hot", x, 1.0);
+  ConditionEvaluator ce{cond};
+  const auto a = ce.on_update({x, 4, 2.0});
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(to_string(*a, vars), "hot{reactor:[4]}");
+}
+
+}  // namespace
+}  // namespace rcm

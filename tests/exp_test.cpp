@@ -1,0 +1,153 @@
+// Tests for the experiment harness (rcm::exp): scenario construction,
+// trace recipes, the encoded paper claims, sweep determinism and table
+// rendering.
+#include <gtest/gtest.h>
+
+#include "exp/scenarios.hpp"
+#include "exp/table_experiment.hpp"
+
+namespace rcm::exp {
+namespace {
+
+TEST(Scenarios, Names) {
+  EXPECT_EQ(scenario_name(Scenario::kLossless), "Lossless");
+  EXPECT_EQ(scenario_name(Scenario::kLossyAggressive), "Lossy His. Aggr.");
+}
+
+TEST(Scenarios, SingleVarSpecsMatchTaxonomy) {
+  const auto lossless = single_var_scenario(Scenario::kLossless);
+  EXPECT_EQ(lossless.front_loss, 0.0);
+  EXPECT_EQ(lossless.variables.size(), 1u);
+
+  const auto nonhist = single_var_scenario(Scenario::kLossyNonHistorical, 0.3);
+  EXPECT_EQ(nonhist.front_loss, 0.3);
+  EXPECT_EQ(nonhist.condition->history_class(), HistoryClass::kNonHistorical);
+
+  const auto cons = single_var_scenario(Scenario::kLossyConservative);
+  EXPECT_EQ(cons.condition->triggering(), Triggering::kConservative);
+  EXPECT_EQ(cons.condition->history_class(), HistoryClass::kHistorical);
+
+  const auto aggr = single_var_scenario(Scenario::kLossyAggressive);
+  EXPECT_EQ(aggr.condition->triggering(), Triggering::kAggressive);
+}
+
+TEST(Scenarios, MultiVarSpecsHaveTwoVariables) {
+  for (Scenario s : kAllScenarios) {
+    const auto spec = multi_var_scenario(s);
+    EXPECT_EQ(spec.variables.size(), 2u) << scenario_name(s);
+    EXPECT_EQ(spec.condition->variables().size(), 2u);
+    EXPECT_TRUE(spec.slow_secondary_vars);
+  }
+}
+
+TEST(Scenarios, TraceRecipeShape) {
+  const auto spec = multi_var_scenario(Scenario::kLossyAggressive);
+  util::Rng rng{4};
+  const auto traces = spec.make_traces(12, rng);
+  ASSERT_EQ(traces.size(), 2u);
+  for (const auto& trace : traces) {
+    ASSERT_EQ(trace.size(), 12u);
+    for (std::size_t i = 1; i < trace.size(); ++i)
+      EXPECT_GT(trace[i].time, trace[i - 1].time);
+  }
+  // The secondary variable's slow walk hugs mid-range.
+  for (const auto& tu : traces[1]) {
+    EXPECT_GT(tu.update.value, 0.0);
+    EXPECT_LT(tu.update.value, 100.0);
+  }
+}
+
+TEST(PaperClaims, Table1MatchesThePaper) {
+  // Table 1 verbatim.
+  auto c = paper_claim(FilterKind::kAd1, Scenario::kLossless, false);
+  EXPECT_TRUE(c.ordered && c.complete && c.consistent);
+  c = paper_claim(FilterKind::kAd1, Scenario::kLossyNonHistorical, false);
+  EXPECT_TRUE(!c.ordered && c.complete && c.consistent);
+  c = paper_claim(FilterKind::kAd1, Scenario::kLossyConservative, false);
+  EXPECT_TRUE(!c.ordered && !c.complete && c.consistent);
+  c = paper_claim(FilterKind::kAd1, Scenario::kLossyAggressive, false);
+  EXPECT_TRUE(!c.ordered && !c.complete && !c.consistent);
+}
+
+TEST(PaperClaims, Table2OrderedEverywhere) {
+  for (Scenario s : kAllScenarios)
+    EXPECT_TRUE(paper_claim(FilterKind::kAd2, s, false).ordered);
+}
+
+TEST(PaperClaims, Ad3Ad4VariantsConsistentEverywhere) {
+  for (Scenario s : kAllScenarios) {
+    EXPECT_TRUE(paper_claim(FilterKind::kAd3, s, false).consistent);
+    EXPECT_TRUE(paper_claim(FilterKind::kAd4, s, false).consistent);
+    EXPECT_TRUE(paper_claim(FilterKind::kAd4, s, false).ordered);
+  }
+}
+
+TEST(PaperClaims, Table3AndAd6) {
+  for (Scenario s : kAllScenarios) {
+    const auto ad5 = paper_claim(FilterKind::kAd5, s, true);
+    EXPECT_TRUE(ad5.ordered);
+    EXPECT_FALSE(ad5.complete);
+    const auto ad6 = paper_claim(FilterKind::kAd6, s, true);
+    EXPECT_TRUE(ad6.ordered && ad6.consistent && !ad6.complete);
+  }
+  EXPECT_FALSE(
+      paper_claim(FilterKind::kAd5, Scenario::kLossyAggressive, true)
+          .consistent);
+  EXPECT_TRUE(
+      paper_claim(FilterKind::kAd5, Scenario::kLossyConservative, true)
+          .consistent);
+}
+
+TEST(Sweep, DeterministicUnderSameSeed) {
+  const auto spec = single_var_scenario(Scenario::kLossyAggressive);
+  SweepParams params;
+  params.runs = 10;
+  params.updates_per_var = 20;
+  params.seed = 77;
+  const auto a = sweep_scenario(spec, FilterKind::kAd1, params);
+  const auto b = sweep_scenario(spec, FilterKind::kAd1, params);
+  EXPECT_EQ(a.ordered_violations, b.ordered_violations);
+  EXPECT_EQ(a.complete_violations, b.complete_violations);
+  EXPECT_EQ(a.consistent_violations, b.consistent_violations);
+  EXPECT_EQ(a.runs, 10u);
+}
+
+TEST(Sweep, LosslessRowIsCleanUnderAd1) {
+  const auto spec = single_var_scenario(Scenario::kLossless);
+  SweepParams params;
+  params.runs = 20;
+  params.updates_per_var = 20;
+  params.seed = 5;
+  const auto counts = sweep_scenario(spec, FilterKind::kAd1, params);
+  EXPECT_EQ(counts.ordered_violations, 0u);
+  EXPECT_EQ(counts.complete_violations, 0u);
+  EXPECT_EQ(counts.consistent_violations, 0u);
+}
+
+TEST(RenderTable, ContainsPaperAndMeasuredColumns) {
+  PropertyCounts counts;
+  counts.runs = 10;
+  counts.consistent_violations = 3;
+  const auto table = render_property_table(
+      FilterKind::kAd1, false, {{Scenario::kLossyAggressive, counts}});
+  const std::string s = table.render();
+  EXPECT_NE(s.find("Lossy His. Aggr."), std::string::npos);
+  EXPECT_NE(s.find("VIOLATED (3/10)"), std::string::npos);
+  EXPECT_NE(s.find("agree?"), std::string::npos);
+}
+
+TEST(Agreement, RequiresWitnessesForNegativeCells) {
+  // An X cell with zero observed violations must NOT count as agreement
+  // (the sweep simply failed to find the counterexample).
+  PaperClaim claim{false, false, false};
+  PropertyCounts counts;
+  counts.runs = 10;
+  EXPECT_FALSE(agrees_with_paper(claim, counts));
+  counts.ordered_violations = 1;
+  counts.complete_violations = 1;
+  counts.consistent_violations = 1;
+  EXPECT_TRUE(agrees_with_paper(claim, counts));
+}
+
+}  // namespace
+}  // namespace rcm::exp

@@ -1,0 +1,260 @@
+// Tests for the condition expression language: lexer, parser, static
+// analyses (degree inference, type checking, conservativeness) and the
+// compiled ExpressionCondition, including every condition the paper
+// names written as an expression.
+#include <gtest/gtest.h>
+
+#include "core/expr/analysis.hpp"
+#include "core/expr/expression_condition.hpp"
+#include "core/expr/lexer.hpp"
+#include "core/expr/parser.hpp"
+
+namespace rcm::expr {
+namespace {
+
+// ------------------------------------------------------------- lexer ----
+
+TEST(Lexer, TokenizesOperatorsAndNumbers) {
+  const auto tokens = tokenize("x[0] >= 3.5e2 && !(y[-1] != 2)");
+  std::vector<TokenKind> kinds;
+  for (const Token& t : tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kIdent, TokenKind::kLBracket,
+                       TokenKind::kNumber, TokenKind::kRBracket,
+                       TokenKind::kGe, TokenKind::kNumber, TokenKind::kAndAnd,
+                       TokenKind::kNot, TokenKind::kLParen, TokenKind::kIdent,
+                       TokenKind::kLBracket, TokenKind::kMinus,
+                       TokenKind::kNumber, TokenKind::kRBracket,
+                       TokenKind::kNotEq, TokenKind::kNumber,
+                       TokenKind::kRParen, TokenKind::kEnd}));
+}
+
+TEST(Lexer, ScientificNotation) {
+  const auto tokens = tokenize("1e3 2.5E-2 7e+1");
+  EXPECT_DOUBLE_EQ(tokens[0].number, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 0.025);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 70.0);
+}
+
+TEST(Lexer, RejectsSingleAmpersandPipeEquals) {
+  EXPECT_THROW(tokenize("a & b"), SyntaxError);
+  EXPECT_THROW(tokenize("a | b"), SyntaxError);
+  EXPECT_THROW(tokenize("a = b"), SyntaxError);
+  EXPECT_THROW(tokenize("a # b"), SyntaxError);
+}
+
+TEST(Lexer, ReportsOffset) {
+  try {
+    (void)tokenize("x[0] $ 3");
+    FAIL() << "expected SyntaxError";
+  } catch (const SyntaxError& e) {
+    EXPECT_EQ(e.pos(), 5u);
+  }
+}
+
+// ------------------------------------------------------------ parser ----
+
+TEST(Parser, PrecedenceArithmeticOverComparison) {
+  const auto ast = parse("x[0] + 2 * 3 > 10");
+  EXPECT_EQ(to_string(*ast), "((x[0] + (2 * 3)) > 10)");
+}
+
+TEST(Parser, PrecedenceAndOverOr) {
+  const auto ast = parse("x[0] > 1 || x[0] > 2 && x[0] > 3");
+  EXPECT_EQ(to_string(*ast), "((x[0] > 1) || ((x[0] > 2) && (x[0] > 3)))");
+}
+
+TEST(Parser, LeftAssociativity) {
+  EXPECT_EQ(to_string(*parse("x[0] - 1 - 2 > 0")),
+            "(((x[0] - 1) - 2) > 0)");
+}
+
+TEST(Parser, HistoryIndexForms) {
+  EXPECT_EQ(to_string(*parse("x[0] > x[-2]")), "(x[0] > x[-2])");
+  EXPECT_EQ(to_string(*parse("x[0].seqno == x[-1].seqno + 1")),
+            "(x[0].seqno == (x[-1].seqno + 1))");
+}
+
+TEST(Parser, Intrinsics) {
+  EXPECT_EQ(to_string(*parse("abs(x[0] - y[0]) > 100")),
+            "(abs((x[0] - y[0])) > 100)");
+  EXPECT_EQ(to_string(*parse("min(x[0], y[0]) < max(x[0], y[0])")),
+            "(min(x[0], y[0]) < max(x[0], y[0]))");
+}
+
+TEST(Parser, ConsecutiveGuard) {
+  EXPECT_EQ(to_string(*parse("consecutive(x) && x[0] > 1")),
+            "(consecutive(x) && (x[0] > 1))");
+}
+
+TEST(Parser, RejectsPositiveIndex) {
+  EXPECT_THROW(parse("x[1] > 0"), SyntaxError);
+}
+
+TEST(Parser, RejectsNonIntegerIndex) {
+  EXPECT_THROW(parse("x[0.5] > 0"), SyntaxError);
+  EXPECT_THROW(parse("x[y] > 0"), SyntaxError);
+}
+
+TEST(Parser, RejectsUnknownField) {
+  EXPECT_THROW(parse("x[0].frobnicate > 0"), SyntaxError);
+}
+
+TEST(Parser, RejectsTrailingGarbage) {
+  EXPECT_THROW(parse("x[0] > 0 x"), SyntaxError);
+}
+
+TEST(Parser, RejectsUnbalancedParens) {
+  EXPECT_THROW(parse("(x[0] > 0"), SyntaxError);
+  EXPECT_THROW(parse("x[0] > 0)"), SyntaxError);
+}
+
+TEST(Parser, RejectsEmptyInput) { EXPECT_THROW(parse(""), SyntaxError); }
+
+TEST(Parser, BooleanLiterals) {
+  EXPECT_EQ(to_string(*parse("true || false")), "(true || false)");
+}
+
+// ---------------------------------------------------------- analyses ----
+
+TEST(Analysis, DegreeInferenceFollowsPaperRule) {
+  // "a condition that uses only Hx[0] and Hx[-2] is of degree 3 to x".
+  const auto ast = parse("x[0] - x[-2] > 5");
+  const DegreeMap d = infer_degrees(*ast);
+  EXPECT_EQ(d.at("x"), 3);
+}
+
+TEST(Analysis, DegreePerVariable) {
+  const auto ast = parse("x[0] - x[-1] > 5 && y[0] > 2");
+  const DegreeMap d = infer_degrees(*ast);
+  EXPECT_EQ(d.at("x"), 2);
+  EXPECT_EQ(d.at("y"), 1);
+}
+
+TEST(Analysis, ConsecutiveImpliesDegreeTwo) {
+  const auto ast = parse("x[0] > 5 && consecutive(x)");
+  EXPECT_EQ(infer_degrees(*ast).at("x"), 2);
+}
+
+TEST(Analysis, NoVariableIsAnError) {
+  EXPECT_THROW(infer_degrees(*parse("1 > 2")), AnalysisError);
+}
+
+TEST(Analysis, TypeCheckAcceptsWellTyped) {
+  EXPECT_EQ(check_types(*parse("x[0] > 1 && consecutive(x)")), Type::kBool);
+  EXPECT_EQ(check_types(*parse("x[0] + 1")), Type::kNumber);
+}
+
+TEST(Analysis, TypeCheckRejectsMixedOperands) {
+  EXPECT_THROW(check_types(*parse("x[0] && 3")), AnalysisError);
+  EXPECT_THROW(check_types(*parse("(x[0] > 1) + 2")), AnalysisError);
+  EXPECT_THROW(check_types(*parse("!x[0]")), AnalysisError);
+  EXPECT_THROW(check_types(*parse("-(x[0] > 1)")), AnalysisError);
+  EXPECT_THROW(check_types(*parse("abs(x[0] > 1)")), AnalysisError);
+}
+
+TEST(Analysis, ConservativeDetection) {
+  // c3 is conservative: the historical variable is guarded.
+  EXPECT_TRUE(is_conservative(*parse("x[0] - x[-1] > 200 && consecutive(x)")));
+  // c2 is aggressive: no guard.
+  EXPECT_FALSE(is_conservative(*parse("x[0] - x[-1] > 200")));
+  // Degree-1 conditions are vacuously conservative.
+  EXPECT_TRUE(is_conservative(*parse("x[0] > 3000")));
+  // Guard under || does not make it conservative (the other branch can
+  // still fire across a gap).
+  EXPECT_FALSE(
+      is_conservative(*parse("x[0] - x[-1] > 200 || consecutive(x)")));
+  // Multi-variable: every historical variable needs its own guard.
+  EXPECT_FALSE(is_conservative(
+      *parse("x[0] - x[-1] + y[0] - y[-1] > 5 && consecutive(x)")));
+  EXPECT_TRUE(is_conservative(*parse(
+      "x[0] - x[-1] + y[0] - y[-1] > 5 && consecutive(x) && consecutive(y)")));
+}
+
+// ------------------------------------------------- compiled condition ----
+
+HistorySet feed(const Condition& c, const std::vector<Update>& updates) {
+  HistorySet h = c.make_history_set();
+  for (const Update& u : updates) h.push(u);
+  return h;
+}
+
+TEST(ExpressionCondition, C1Compiles) {
+  VariableRegistry vars;
+  auto c1 = compile_condition("overheat", "x[0] > 3000", vars);
+  EXPECT_EQ(c1->name(), "overheat");
+  EXPECT_EQ(c1->degree(c1->variables()[0]), 1);
+  EXPECT_EQ(c1->triggering(), Triggering::kConservative);
+  EXPECT_TRUE(c1->evaluate(feed(*c1, {{vars.intern("x"), 2, 3100.0}})));
+  EXPECT_FALSE(c1->evaluate(feed(*c1, {{vars.intern("x"), 1, 2900.0}})));
+}
+
+TEST(ExpressionCondition, C2AndC3MatchBuiltinSemantics) {
+  VariableRegistry vars;
+  const VarId x = vars.intern("x");
+  auto c2 = compile_condition("rise.aggr", "x[0] - x[-1] > 200", vars);
+  auto c3 = compile_condition("rise.cons",
+                              "x[0] - x[-1] > 200 && consecutive(x)", vars);
+  EXPECT_EQ(c2->triggering(), Triggering::kAggressive);
+  EXPECT_EQ(c3->triggering(), Triggering::kConservative);
+
+  const std::vector<Update> gap = {{x, 5, 50.0}, {x, 7, 300.0}};
+  EXPECT_TRUE(c2->evaluate(feed(*c2, gap)));
+  EXPECT_FALSE(c3->evaluate(feed(*c3, gap)));
+
+  const std::vector<Update> consec = {{x, 6, 50.0}, {x, 7, 300.0}};
+  EXPECT_TRUE(c2->evaluate(feed(*c2, consec)));
+  EXPECT_TRUE(c3->evaluate(feed(*c3, consec)));
+}
+
+TEST(ExpressionCondition, SeqnoFieldWorks) {
+  VariableRegistry vars;
+  const VarId x = vars.intern("x");
+  auto c = compile_condition("explicit.c3",
+                             "x[0] - x[-1] > 200 && "
+                             "x[0].seqno == x[-1].seqno + 1",
+                             vars);
+  EXPECT_TRUE(c->evaluate(feed(*c, {{x, 6, 0.0}, {x, 7, 300.0}})));
+  EXPECT_FALSE(c->evaluate(feed(*c, {{x, 5, 0.0}, {x, 7, 300.0}})));
+}
+
+TEST(ExpressionCondition, MultiVariableCm) {
+  VariableRegistry vars;
+  auto cm = compile_condition("diff", "abs(x[0] - y[0]) > 100", vars);
+  const VarId x = vars.intern("x"), y = vars.intern("y");
+  EXPECT_EQ(cm->variables().size(), 2u);
+  EXPECT_TRUE(cm->evaluate(feed(*cm, {{x, 2, 1200.0}, {y, 1, 1050.0}})));
+  EXPECT_FALSE(cm->evaluate(feed(*cm, {{x, 1, 1000.0}, {y, 1, 1050.0}})));
+}
+
+TEST(ExpressionCondition, ShortCircuitEvaluation) {
+  VariableRegistry vars;
+  const VarId x = vars.intern("x");
+  // With a gap, the right operand would read x[-1] of a gap window —
+  // legal — but short-circuiting must make the guard decisive first.
+  auto c = compile_condition("g", "consecutive(x) && x[0] / x[-1] > 2", vars);
+  EXPECT_FALSE(c->evaluate(feed(*c, {{x, 1, 0.0}, {x, 3, 10.0}})));
+}
+
+TEST(ExpressionCondition, RejectsNumericRoot) {
+  VariableRegistry vars;
+  EXPECT_THROW(compile_condition("bad", "x[0] + 1", vars), AnalysisError);
+}
+
+TEST(ExpressionCondition, SharesRegistryAcrossConditions) {
+  VariableRegistry vars;
+  auto a = compile_condition("a", "temp[0] > 1", vars);
+  auto b = compile_condition("b", "temp[0] < 0", vars);
+  EXPECT_EQ(a->variables(), b->variables());
+  EXPECT_EQ(vars.size(), 1u);
+}
+
+TEST(ExpressionCondition, SourceRoundTrips) {
+  VariableRegistry vars;
+  auto c = compile_condition("c", "x[0]-x[-1]>200&&consecutive(x)", vars);
+  const auto& ec = dynamic_cast<const ExpressionCondition&>(*c);
+  EXPECT_EQ(ec.source(), "(((x[0] - x[-1]) > 200) && consecutive(x))");
+}
+
+}  // namespace
+}  // namespace rcm::expr

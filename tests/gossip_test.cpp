@@ -1,0 +1,158 @@
+// Tests for the CE anti-entropy extension: repair mechanics, the
+// stale-discard race, and its effect on the paper's properties
+// (gossip shrinks the anomaly source; it cannot create new anomalies).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "check/completeness.hpp"
+#include "check/properties.hpp"
+#include "core/builtin_conditions.hpp"
+#include "core/sequence.hpp"
+#include "exp/scenarios.hpp"
+#include "sim/gossip_run.hpp"
+#include "trace/generators.hpp"
+
+namespace rcm {
+namespace {
+
+constexpr VarId kX = 0;
+
+sim::SystemConfig lossy_config(std::uint64_t seed, std::size_t updates = 50,
+                               double loss = 0.3) {
+  sim::SystemConfig config;
+  config.condition =
+      std::make_shared<const ThresholdCondition>("hot", kX, 55.0);
+  util::Rng rng{seed};
+  trace::UniformParams p;
+  p.base.var = kX;
+  p.base.count = updates;
+  p.lo = 0.0;
+  p.hi = 100.0;
+  config.dm_traces = {trace::uniform_trace(p, rng)};
+  config.num_ces = 2;
+  config.front.loss = loss;
+  config.filter = FilterKind::kAd1;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Gossip, ValidatesConfig) {
+  sim::GossipParams g;
+  g.interval = 0.0;
+  EXPECT_THROW((void)sim::run_gossip_system(lossy_config(1), g),
+               std::invalid_argument);
+}
+
+TEST(Gossip, DisabledMatchesPlainRun) {
+  const auto config = lossy_config(2);
+  sim::GossipParams off;
+  off.enabled = false;
+  const auto with_gossip_off = sim::run_gossip_system(config, off);
+  const auto plain = sim::run_system(config);
+  EXPECT_EQ(with_gossip_off.run.ce_inputs, plain.ce_inputs);
+  EXPECT_EQ(with_gossip_off.announcements, 0u);
+  EXPECT_EQ(with_gossip_off.repairs_sent, 0u);
+}
+
+TEST(Gossip, FastGossipRepairsLosses) {
+  const auto config = lossy_config(3, 80);
+  sim::GossipParams fast;
+  fast.interval = 0.2;  // well below the 1s update period
+  const auto repaired = sim::run_gossip_system(config, fast);
+  const auto plain = sim::run_system(config);
+
+  EXPECT_GT(repaired.repairs_accepted, 0u);
+  // Each CE ends up with (weakly) more updates than without gossip.
+  std::size_t plain_total = 0, repaired_total = 0;
+  for (const auto& in : plain.ce_inputs) plain_total += in.size();
+  for (const auto& in : repaired.run.ce_inputs) repaired_total += in.size();
+  EXPECT_GT(repaired_total, plain_total);
+}
+
+TEST(Gossip, RepairedInputsRemainValidStreams) {
+  // Repair must never corrupt the model invariants: each U_i stays
+  // ordered and a subsequence of the DM's emission.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto config = lossy_config(seed, 40);
+    sim::GossipParams fast;
+    fast.interval = 0.2;
+    const auto r = sim::run_gossip_system(config, fast);
+    const auto emitted =
+        project(std::span<const Update>{r.run.dm_emitted[0]}, kX);
+    for (const auto& input : r.run.ce_inputs) {
+      const auto seqs = project(std::span<const Update>{input}, kX);
+      EXPECT_TRUE(is_ordered(std::span<const SeqNo>{seqs})) << seed;
+      EXPECT_TRUE(is_subsequence(seqs, emitted)) << seed;
+    }
+  }
+}
+
+TEST(Gossip, SlowGossipLosesTheRace) {
+  // With announcements far slower than the update period, nearly every
+  // repair arrives stale (the next direct update already advanced the
+  // watermark) and is discarded.
+  const auto config = lossy_config(5, 60);
+  sim::GossipParams slow;
+  slow.interval = 20.0;
+  const auto r = sim::run_gossip_system(config, slow);
+  sim::GossipParams fast;
+  fast.interval = 0.2;
+  const auto f = sim::run_gossip_system(config, fast);
+  EXPECT_LT(r.repairs_accepted, f.repairs_accepted / 2 + 1);
+}
+
+TEST(Gossip, RestoresCompletenessForHistoricalConditions) {
+  // The headline effect. For non-historical conditions gossip cannot
+  // change the displayed key set at all: any replica that holds the
+  // update already alerts on it. The anomaly gossip actually attacks is
+  // *split knowledge* under historical conditions (Theorem 3's root
+  // cause: CE1 has update i, CE2 has i+1, neither has the pair). With
+  // repair faster than the update period, each replica's input
+  // converges to the combined knowledge and AD-1's completeness
+  // violations largely disappear.
+  const auto spec =
+      exp::single_var_scenario(exp::Scenario::kLossyConservative, 0.3);
+  std::size_t violations_plain = 0, violations_gossip = 0;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    util::Rng trial{seed * 11};
+    sim::SystemConfig config;
+    config.condition = spec.condition;
+    config.dm_traces = spec.make_traces(40, trial);
+    config.num_ces = 2;
+    config.front.loss = spec.front_loss;
+    config.filter = FilterKind::kAd1;
+    config.seed = seed * 13;
+
+    const auto plain = sim::run_system(config);
+    if (check::check_complete(plain.as_system_run(spec.condition)) ==
+        check::Verdict::kViolated)
+      ++violations_plain;
+
+    sim::GossipParams fast;
+    fast.interval = 0.15;
+    const auto gossiped = sim::run_gossip_system(config, fast);
+    if (check::check_complete(
+            gossiped.run.as_system_run(spec.condition)) ==
+        check::Verdict::kViolated)
+      ++violations_gossip;
+  }
+  EXPECT_GT(violations_plain, 5u);  // Theorem 3 bites without repair
+  EXPECT_LT(violations_gossip * 2, violations_plain);
+}
+
+TEST(Gossip, CrashedCesDoNotGossip) {
+  auto config = lossy_config(9, 40);
+  config.ce_crashes = {{sim::CrashWindow{0.0, 1e6, true}}};  // CE1 dead
+  sim::GossipParams fast;
+  fast.interval = 0.2;
+  const auto r = sim::run_gossip_system(config, fast);
+  // CE1 received nothing and repaired nothing into itself.
+  EXPECT_TRUE(r.run.ce_inputs[0].empty());
+  // CE2 still ran normally.
+  EXPECT_FALSE(r.run.ce_inputs[1].empty());
+}
+
+}  // namespace
+}  // namespace rcm

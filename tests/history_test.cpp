@@ -1,0 +1,167 @@
+// Unit tests for the fundamental model types: updates, the variable
+// registry, History ring buffers and HistorySet (paper §2).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/history.hpp"
+#include "core/types.hpp"
+
+namespace rcm {
+namespace {
+
+TEST(VariableRegistry, InternIsIdempotent) {
+  VariableRegistry reg;
+  const VarId x = reg.intern("x");
+  EXPECT_EQ(reg.intern("x"), x);
+  const VarId y = reg.intern("y");
+  EXPECT_NE(x, y);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(VariableRegistry, LookupAndName) {
+  VariableRegistry reg;
+  const VarId x = reg.intern("reactor_temp");
+  VarId out = 999;
+  EXPECT_TRUE(reg.lookup("reactor_temp", out));
+  EXPECT_EQ(out, x);
+  EXPECT_FALSE(reg.lookup("unknown", out));
+  EXPECT_EQ(reg.name(x), "reactor_temp");
+  EXPECT_THROW((void)reg.name(42), std::out_of_range);
+}
+
+TEST(Update, StreamOutput) {
+  std::ostringstream os;
+  os << Update{1, 7, 3000.0};
+  EXPECT_EQ(os.str(), "7@1(3000)");
+}
+
+TEST(History, RejectsZeroDegree) {
+  EXPECT_THROW(History{0}, std::invalid_argument);
+  EXPECT_THROW(History{-2}, std::invalid_argument);
+}
+
+TEST(History, UndefinedUntilFull) {
+  History h{3};
+  EXPECT_FALSE(h.defined());
+  h.push({0, 1, 10.0});
+  h.push({0, 2, 20.0});
+  EXPECT_FALSE(h.defined());
+  h.push({0, 3, 30.0});
+  EXPECT_TRUE(h.defined());
+}
+
+TEST(History, PaperIndexingConvention) {
+  // "immediately after update 7x arrives, Hx[0] will be 7x, and Hx[-1]
+  // will be 6x provided 6x was not lost, or 5x if it was"
+  History h{2};
+  h.push({0, 5, 50.0});
+  h.push({0, 7, 70.0});
+  EXPECT_EQ(h.at(0).seqno, 7);
+  EXPECT_EQ(h.at(-1).seqno, 5);
+}
+
+TEST(History, EvictsOldestWhenFull) {
+  History h{2};
+  h.push({0, 1, 1.0});
+  h.push({0, 2, 2.0});
+  h.push({0, 3, 3.0});
+  EXPECT_EQ(h.at(0).seqno, 3);
+  EXPECT_EQ(h.at(-1).seqno, 2);
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(History, AtOutOfRangeThrows) {
+  History h{3};
+  h.push({0, 1, 1.0});
+  EXPECT_NO_THROW((void)h.at(0));
+  EXPECT_THROW((void)h.at(-1), std::out_of_range);
+  EXPECT_THROW((void)h.at(1), std::out_of_range);
+}
+
+TEST(History, SeqnosAscending) {
+  History h{3};
+  h.push({0, 2, 0.0});
+  h.push({0, 5, 0.0});
+  h.push({0, 6, 0.0});
+  EXPECT_EQ(h.seqnos_ascending(), (std::vector<SeqNo>{2, 5, 6}));
+}
+
+TEST(History, ConsecutiveDetection) {
+  History h{3};
+  h.push({0, 4, 0.0});
+  h.push({0, 5, 0.0});
+  h.push({0, 6, 0.0});
+  EXPECT_TRUE(h.consecutive());
+  h.push({0, 8, 0.0});  // window now 5,6,8
+  EXPECT_FALSE(h.consecutive());
+}
+
+TEST(History, SingleUpdateIsVacuouslyConsecutive) {
+  History h{1};
+  h.push({0, 42, 0.0});
+  EXPECT_TRUE(h.consecutive());
+}
+
+TEST(History, ClearEmptiesWindow) {
+  History h{2};
+  h.push({0, 1, 0.0});
+  h.push({0, 2, 0.0});
+  h.clear();
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_FALSE(h.defined());
+}
+
+TEST(HistorySet, RoutesByVariable) {
+  HistorySet hs;
+  hs.add_variable(0, 1);
+  hs.add_variable(1, 2);
+  hs.push({0, 1, 10.0});
+  hs.push({1, 1, 20.0});
+  hs.push({1, 2, 30.0});
+  EXPECT_EQ(hs.of(0).at(0).value, 10.0);
+  EXPECT_EQ(hs.of(1).at(0).value, 30.0);
+  EXPECT_EQ(hs.of(1).at(-1).value, 20.0);
+}
+
+TEST(HistorySet, IgnoresUnknownVariables) {
+  HistorySet hs;
+  hs.add_variable(0, 1);
+  hs.push({9, 1, 10.0});  // not in set; must not throw or create state
+  EXPECT_FALSE(hs.contains(9));
+}
+
+TEST(HistorySet, AllDefinedRequiresEveryVariable) {
+  HistorySet hs;
+  hs.add_variable(0, 1);
+  hs.add_variable(1, 1);
+  hs.push({0, 1, 1.0});
+  EXPECT_FALSE(hs.all_defined());
+  hs.push({1, 1, 1.0});
+  EXPECT_TRUE(hs.all_defined());
+}
+
+TEST(HistorySet, WideningDegreeKeepsLarger) {
+  HistorySet hs;
+  hs.add_variable(0, 1);
+  hs.add_variable(0, 3);  // widen
+  EXPECT_EQ(hs.of(0).degree(), 3);
+  hs.add_variable(0, 2);  // narrower request keeps 3
+  EXPECT_EQ(hs.of(0).degree(), 3);
+}
+
+TEST(HistorySet, OfUnknownThrows) {
+  HistorySet hs;
+  EXPECT_THROW((void)hs.of(0), std::out_of_range);
+}
+
+TEST(HistorySet, VariablesSortedAscending) {
+  HistorySet hs;
+  hs.add_variable(5, 1);
+  hs.add_variable(2, 1);
+  hs.add_variable(9, 1);
+  EXPECT_EQ(hs.variables(), (std::vector<VarId>{2, 5, 9}));
+}
+
+}  // namespace
+}  // namespace rcm

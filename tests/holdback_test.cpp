@@ -1,0 +1,186 @@
+// Tests for the §4.2 "delayed displaying" extension: the reorder-buffer
+// HoldbackDisplayer and its simulation runner. Verifies the paper's
+// qualitative claims about the scheme: it reorders stragglers that
+// arrive within the timeout, it is forced to display out of order when
+// delays exceed the timeout, and it never discards an alert (so it
+// trades AD-2's completeness loss for a latency cost and a weaker,
+// probabilistic orderedness).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <set>
+
+#include "check/properties.hpp"
+#include "core/builtin_conditions.hpp"
+#include "core/holdback.hpp"
+#include "sim/holdback_run.hpp"
+#include "trace/generators.hpp"
+
+namespace rcm {
+namespace {
+
+Alert alert_at(SeqNo s) {
+  Alert a;
+  a.cond = "c";
+  a.histories.emplace(0, std::vector<Update>{{0, s, static_cast<double>(s)}});
+  return a;
+}
+
+std::vector<SeqNo> seqnos(const std::vector<Alert>& alerts) {
+  std::vector<SeqNo> out;
+  for (const Alert& a : alerts) out.push_back(a.seqno(0));
+  return out;
+}
+
+TEST(HoldbackDisplayer, NegativeTimeoutThrows) {
+  EXPECT_THROW((HoldbackDisplayer{0, -1.0}), std::invalid_argument);
+}
+
+TEST(HoldbackDisplayer, ZeroTimeoutDisplaysImmediately) {
+  HoldbackDisplayer hb{0, 0.0};
+  const auto released = hb.on_alert(alert_at(2), 1.0);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].seqno(0), 2);
+}
+
+TEST(HoldbackDisplayer, ReordersWithinTimeout) {
+  // Alert 2 arrives before alert 1; both deadlines expire together and
+  // release in seqno order — the straggler is repaired.
+  HoldbackDisplayer hb{0, 1.0};
+  EXPECT_TRUE(hb.on_alert(alert_at(2), 0.0).empty());
+  EXPECT_TRUE(hb.on_alert(alert_at(1), 0.5).empty());
+  const auto released = hb.on_time(1.5);
+  EXPECT_EQ(seqnos(released), (std::vector<SeqNo>{1, 2}));
+  EXPECT_EQ(hb.late_displays(), 0u);
+}
+
+TEST(HoldbackDisplayer, TimeoutForcesOutOfOrderDisplay) {
+  // Alert 2's deadline fires before alert 1 arrives: 1 then displays
+  // late, breaking orderedness — the paper's objection to the scheme.
+  HoldbackDisplayer hb{0, 1.0};
+  (void)hb.on_alert(alert_at(2), 0.0);
+  const auto first = hb.on_time(1.0);
+  EXPECT_EQ(seqnos(first), (std::vector<SeqNo>{2}));
+  (void)hb.on_alert(alert_at(1), 2.0);
+  const auto second = hb.on_time(3.0);
+  EXPECT_EQ(seqnos(second), (std::vector<SeqNo>{1}));
+  EXPECT_EQ(hb.late_displays(), 1u);
+  EXPECT_EQ(hb.displayed().size(), 2u);  // nothing was dropped
+}
+
+TEST(HoldbackDisplayer, AbsorbsExactDuplicates) {
+  HoldbackDisplayer hb{0, 1.0};
+  (void)hb.on_alert(alert_at(1), 0.0);
+  (void)hb.on_alert(alert_at(1), 0.1);
+  (void)hb.on_time(2.0);
+  EXPECT_EQ(hb.displayed().size(), 1u);
+  EXPECT_EQ(hb.duplicates(), 1u);
+}
+
+TEST(HoldbackDisplayer, NextDeadlineTracksOldestEntry) {
+  HoldbackDisplayer hb{0, 2.0};
+  EXPECT_FALSE(hb.next_deadline().has_value());
+  (void)hb.on_alert(alert_at(1), 1.0);
+  ASSERT_TRUE(hb.next_deadline().has_value());
+  EXPECT_DOUBLE_EQ(*hb.next_deadline(), 3.0);
+  (void)hb.on_alert(alert_at(2), 1.5);
+  EXPECT_DOUBLE_EQ(*hb.next_deadline(), 3.0);  // still the oldest
+  (void)hb.on_time(3.0);
+  ASSERT_TRUE(hb.next_deadline().has_value());
+  EXPECT_DOUBLE_EQ(*hb.next_deadline(), 3.5);
+}
+
+TEST(HoldbackDisplayer, FlushReleasesEverythingInOrder) {
+  HoldbackDisplayer hb{0, 100.0};
+  (void)hb.on_alert(alert_at(3), 0.0);
+  (void)hb.on_alert(alert_at(1), 0.1);
+  (void)hb.on_alert(alert_at(2), 0.2);
+  const auto released = hb.flush();
+  EXPECT_EQ(seqnos(released), (std::vector<SeqNo>{1, 2, 3}));
+  EXPECT_EQ(hb.buffered(), 0u);
+}
+
+// ----------------------------------------------------------- sim runs ----
+
+sim::SystemConfig holdback_config(std::uint64_t seed) {
+  sim::SystemConfig config;
+  config.condition =
+      std::make_shared<const ThresholdCondition>("hot", 0, 55.0);
+  util::Rng rng{seed};
+  trace::UniformParams p;
+  p.base.var = 0;
+  p.base.count = 80;
+  p.lo = 0.0;
+  p.hi = 100.0;
+  config.dm_traces = {trace::uniform_trace(p, rng)};
+  config.num_ces = 2;
+  config.front.loss = 0.25;
+  // Delay spread wider than the 1s update period, so alerts from the
+  // two replicas genuinely invert at the AD.
+  config.front.delay_max = 2.5;
+  config.back.delay_max = 2.5;
+  config.seed = seed;
+  return config;
+}
+
+TEST(HoldbackRun, RejectsMultiVariableConditions) {
+  sim::SystemConfig config = holdback_config(1);
+  config.condition =
+      std::make_shared<const AbsDiffCondition>("d", 0, 1, 1.0);
+  EXPECT_THROW((void)sim::run_holdback_system(config, 1.0),
+               std::invalid_argument);
+}
+
+TEST(HoldbackRun, NothingIsEverDropped) {
+  // Hold-back never discards: the displayed key set must equal the
+  // union of raised keys — i.e. the scheme is complete where AD-2 is
+  // not (its price is latency, not alerts).
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const sim::SystemConfig config = holdback_config(seed);
+    const auto result = sim::run_holdback_system(config, 1.0);
+    const auto ref = evaluate_trace(
+        config.condition,
+        check::combined_inputs(result.ce_inputs).front().second);
+    std::set<AlertKey> displayed;
+    for (const Alert& a : result.displayed) displayed.insert(a.key());
+    std::set<AlertKey> expected;
+    for (const Alert& a : ref) expected.insert(a.key());
+    EXPECT_EQ(displayed, expected) << "seed " << seed;
+  }
+}
+
+TEST(HoldbackRun, LargeTimeoutRestoresOrderSmallOneDoesNot) {
+  // With a timeout comfortably above the delay spread, reordering is
+  // always repaired; with a tiny timeout, late displays occur somewhere
+  // in the sweep.
+  std::size_t late_with_large = 0;
+  std::size_t late_with_tiny = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const sim::SystemConfig config = holdback_config(seed * 7);
+    late_with_large +=
+        sim::run_holdback_system(config, 5.0).late_displays;
+    late_with_tiny +=
+        sim::run_holdback_system(config, 0.01).late_displays;
+  }
+  EXPECT_EQ(late_with_large, 0u);
+  EXPECT_GT(late_with_tiny, 0u);
+}
+
+TEST(HoldbackRun, LatencyScalesWithTimeout) {
+  const sim::SystemConfig config = holdback_config(3);
+  auto mean_latency = [&](double timeout) {
+    const auto result = sim::run_holdback_system(config, timeout);
+    if (result.display_latency.empty()) return 0.0;
+    return std::accumulate(result.display_latency.begin(),
+                           result.display_latency.end(), 0.0) /
+           static_cast<double>(result.display_latency.size());
+  };
+  const double small = mean_latency(0.2);
+  const double large = mean_latency(3.0);
+  EXPECT_LT(small, large);
+  EXPECT_NEAR(large, 3.0, 0.5);  // latency is dominated by the timeout
+}
+
+}  // namespace
+}  // namespace rcm

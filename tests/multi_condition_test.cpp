@@ -1,0 +1,186 @@
+// Appendix D: multi-condition systems.
+//
+//   - Example 4: two interdependent conditions A ("x > y") and B
+//     ("y > x") on separate CEs can both fire on the same real-world
+//     change, confusing the user — even without replication.
+//   - The ConditionRouter realizes the separate-CEs configuration
+//     (Figure D-7(c)): one filter instance per condition stream.
+//   - The C = A OR B reduction handles the co-located configuration
+//     (Figures D-7(d) / D-8).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "check/properties.hpp"
+#include "core/builtin_conditions.hpp"
+#include "core/evaluator.hpp"
+#include "core/multi_condition.hpp"
+#include "sim/multi_condition.hpp"
+#include "trace/scripted.hpp"
+
+namespace rcm {
+namespace {
+
+constexpr VarId kX = 0;
+constexpr VarId kY = 1;
+
+ConditionPtr cond_a() {
+  return std::make_shared<const GreaterThanCondition>("A", kX, kY);
+}
+ConditionPtr cond_b() {
+  return std::make_shared<const GreaterThanCondition>("B", kY, kX);
+}
+
+// ----------------------------------------------------------- Example 4 ----
+
+TEST(Example4, InterdependentConditionsConflictEvenUnreplicated) {
+  // Both reactors at 2000, then both rise to 2100. The CE for A sees the
+  // x change first and triggers; the CE for B sees the y change first
+  // and triggers. The user gets both "x hotter than y" and "y hotter
+  // than x".
+  ConditionEvaluator ce_a{cond_a(), "CE-A"};
+  ConditionEvaluator ce_b{cond_b(), "CE-B"};
+
+  std::vector<Alert> alerts;
+  // CE-A's interleaving: 1x(2000), 1y(2000), 2x(2100), 2y(2100).
+  for (const Update& u : std::vector<Update>{
+           {kX, 1, 2000.0}, {kY, 1, 2000.0}, {kX, 2, 2100.0}, {kY, 2, 2100.0}})
+    if (auto a = ce_a.on_update(u)) alerts.push_back(*a);
+  // CE-B's interleaving: 1x, 1y, 2y, 2x.
+  for (const Update& u : std::vector<Update>{
+           {kX, 1, 2000.0}, {kY, 1, 2000.0}, {kY, 2, 2100.0}, {kX, 2, 2100.0}})
+    if (auto a = ce_b.on_update(u)) alerts.push_back(*a);
+
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(alerts[0].cond, "A");
+  EXPECT_EQ(alerts[1].cond, "B");
+  // A per-condition router passes both: the conflict is inherent to
+  // interdependent conditions, not an artifact of replication.
+  ConditionRouter router;
+  router.add_condition("A", std::make_unique<Ad1DuplicateFilter>());
+  router.add_condition("B", std::make_unique<Ad1DuplicateFilter>());
+  EXPECT_TRUE(router.on_alert(alerts[0]));
+  EXPECT_TRUE(router.on_alert(alerts[1]));
+}
+
+// ------------------------------------------------------ ConditionRouter ----
+
+Alert make_alert_for(const std::string& cond, SeqNo x) {
+  Alert a;
+  a.cond = cond;
+  a.histories.emplace(kX, std::vector<Update>{{kX, x, 1.0}});
+  return a;
+}
+
+TEST(ConditionRouter, RoutesToPerConditionFilters) {
+  ConditionRouter router;
+  router.add_condition("A", std::make_unique<Ad2OrderedFilter>(kX));
+  router.add_condition("B", std::make_unique<Ad2OrderedFilter>(kX));
+  // Out-of-order within A is dropped; B's filter state is independent.
+  EXPECT_TRUE(router.on_alert(make_alert_for("A", 5)));
+  EXPECT_FALSE(router.on_alert(make_alert_for("A", 3)));
+  EXPECT_TRUE(router.on_alert(make_alert_for("B", 3)));
+  EXPECT_EQ(router.displayed().size(), 2u);
+  EXPECT_EQ(router.displayed_for("A").size(), 1u);
+  EXPECT_EQ(router.displayed_for("B").size(), 1u);
+  EXPECT_EQ(router.arrived(), 3u);
+}
+
+TEST(ConditionRouter, UnknownConditionPolicy) {
+  ConditionRouter dropper{ConditionRouter::UnknownPolicy::kDrop};
+  EXPECT_FALSE(dropper.on_alert(make_alert_for("mystery", 1)));
+  ConditionRouter passer{ConditionRouter::UnknownPolicy::kPass};
+  EXPECT_TRUE(passer.on_alert(make_alert_for("mystery", 1)));
+}
+
+TEST(ConditionRouter, NullFilterThrows) {
+  ConditionRouter router;
+  EXPECT_THROW(router.add_condition("A", nullptr), std::invalid_argument);
+}
+
+TEST(ConditionRouter, ResetClearsEverything) {
+  ConditionRouter router;
+  router.add_condition("A", std::make_unique<Ad1DuplicateFilter>());
+  (void)router.on_alert(make_alert_for("A", 1));
+  router.reset();
+  EXPECT_TRUE(router.displayed().empty());
+  EXPECT_EQ(router.arrived(), 0u);
+  EXPECT_TRUE(router.on_alert(make_alert_for("A", 1)));  // filter reset
+}
+
+// -------------------------------------------------- simulated system ----
+
+trace::Trace temp_trace(VarId v, std::initializer_list<double> values) {
+  std::vector<std::pair<SeqNo, double>> pts;
+  SeqNo s = 1;
+  for (double val : values) pts.emplace_back(s++, val);
+  return trace::scripted(v, pts);
+}
+
+TEST(MultiConditionSystem, ValidatesConfig) {
+  sim::MultiConditionConfig config;
+  EXPECT_THROW((void)sim::run_multi_condition_system(config),
+               std::invalid_argument);
+  config.groups = {{cond_a(), 2, FilterKind::kAd5},
+                   {cond_a(), 2, FilterKind::kAd5}};  // duplicate name
+  config.dm_traces = {temp_trace(kX, {1.0}), temp_trace(kY, {1.0})};
+  EXPECT_THROW((void)sim::run_multi_condition_system(config),
+               std::invalid_argument);
+  config.groups = {{cond_a(), 2, FilterKind::kAd5}};
+  config.dm_traces = {temp_trace(kX, {1.0})};  // y missing
+  EXPECT_THROW((void)sim::run_multi_condition_system(config),
+               std::invalid_argument);
+}
+
+TEST(MultiConditionSystem, SeparateCesPerConditionRun) {
+  sim::MultiConditionConfig config;
+  config.groups = {{cond_a(), 2, FilterKind::kAd5},
+                   {cond_b(), 2, FilterKind::kAd5}};
+  config.dm_traces = {temp_trace(kX, {2000.0, 2100.0, 2050.0}),
+                      temp_trace(kY, {2000.0, 2040.0, 2090.0})};
+  config.seed = 9;
+  const auto result = sim::run_multi_condition_system(config);
+
+  // Per-condition streams individually obey AD-5's orderedness.
+  EXPECT_TRUE(
+      check::check_ordered(result.per_condition.at("A"), {kX, kY}));
+  EXPECT_TRUE(
+      check::check_ordered(result.per_condition.at("B"), {kX, kY}));
+  // Two replicas per condition recorded their inputs.
+  EXPECT_EQ(result.ce_inputs.at("A").size(), 2u);
+  EXPECT_EQ(result.ce_inputs.at("B").size(), 2u);
+}
+
+TEST(MultiConditionSystem, ColocatedReductionToDisjunction) {
+  // Figure D-8: C = A OR B monitored by one replicated fleet behaves as
+  // a single-condition system, so the single-condition machinery (and
+  // guarantees) applies directly.
+  auto c = std::make_shared<const DisjunctionCondition>(
+      "C", std::vector<ConditionPtr>{cond_a(), cond_b()});
+  sim::MultiConditionConfig config;
+  config.groups = {{c, 2, FilterKind::kAd5}};
+  config.dm_traces = {temp_trace(kX, {2000.0, 2100.0, 2050.0}),
+                      temp_trace(kY, {2010.0, 2040.0, 2090.0})};
+  config.seed = 10;
+  const auto result = sim::run_multi_condition_system(config);
+  EXPECT_TRUE(check::check_ordered(result.per_condition.at("C"), {kX, kY}));
+  // C fires whenever the temperatures differ at all, so alerts exist.
+  EXPECT_FALSE(result.per_condition.at("C").empty());
+}
+
+TEST(MultiConditionSystem, DisplayedIsMergeOfPerConditionStreams) {
+  sim::MultiConditionConfig config;
+  config.groups = {{cond_a(), 1, FilterKind::kAd1},
+                   {cond_b(), 1, FilterKind::kAd1}};
+  config.dm_traces = {temp_trace(kX, {2100.0, 1900.0}),
+                      temp_trace(kY, {2000.0, 2000.0})};
+  config.seed = 11;
+  const auto result = sim::run_multi_condition_system(config);
+  std::size_t total = 0;
+  for (const auto& [name, alerts] : result.per_condition)
+    total += alerts.size();
+  EXPECT_EQ(result.displayed.size(), total);
+}
+
+}  // namespace
+}  // namespace rcm

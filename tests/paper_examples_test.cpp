@@ -1,0 +1,367 @@
+// End-to-end reproduction of every worked example and proof
+// counterexample in the paper, with the run outcomes checked against the
+// exact property checkers:
+//
+//   - the §1 sharp-price-drop motivating anomaly,
+//   - Example 1 (§3): c1 with a lost update under AD-1,
+//   - Example 2 (§4.2): AD-2 sacrificing completeness,
+//   - Example 3 (§4.3): AD-3's Received/Missed conflict,
+//   - Theorem 2/3/4 proof counterexamples (unorderedness, conservative
+//     in/completeness, aggressive inconsistency),
+//   - Theorem 10's two-variable counterexample,
+//   - Lemma 6's incompleteness example under AD-5.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "check/completeness.hpp"
+#include "check/consistency.hpp"
+#include "check/properties.hpp"
+#include "core/builtin_conditions.hpp"
+#include "core/displayer.hpp"
+#include "core/evaluator.hpp"
+#include "core/filters.hpp"
+#include "trace/scripted.hpp"
+
+namespace rcm {
+namespace {
+
+constexpr VarId kX = 0;
+constexpr VarId kY = 1;
+
+ConditionPtr c1() {
+  return std::make_shared<const ThresholdCondition>("c1", kX, 3000.0);
+}
+ConditionPtr c2() {
+  return std::make_shared<const RiseCondition>("c2", kX, 200.0,
+                                               Triggering::kAggressive);
+}
+ConditionPtr c3() {
+  return std::make_shared<const RiseCondition>("c3", kX, 200.0,
+                                               Triggering::kConservative);
+}
+ConditionPtr cm() {
+  return std::make_shared<const AbsDiffCondition>("cm", kX, kY, 100.0);
+}
+
+std::vector<Alert> feed_all(ConditionEvaluator& ce,
+                            const std::vector<Update>& updates) {
+  std::vector<Alert> out;
+  for (const Update& u : updates)
+    if (auto a = ce.on_update(u)) out.push_back(std::move(*a));
+  return out;
+}
+
+check::SystemRun make_run(ConditionPtr cond,
+                          std::vector<std::vector<Update>> inputs,
+                          std::vector<Alert> displayed) {
+  check::SystemRun run;
+  run.condition = std::move(cond);
+  run.ce_inputs = std::move(inputs);
+  run.displayed = std::move(displayed);
+  return run;
+}
+
+// ------------------------------------------------------ §1 motivation ----
+
+TEST(IntroExample, SharpDropDoubleReportUnderAd1) {
+  // Quotes 100, 50, 52. CE1 sees all three and alerts on 100->50.
+  // CE2 misses the 50 and alerts on 100->52. AD-1 passes both: the user
+  // believes there were two sharp drops. AD-3 would block the second.
+  auto drop = std::make_shared<const RelativeDropCondition>("sharp", kX, 0.20);
+  const auto u = trace::updates_of(trace::intro_stock_updates(kX));
+
+  ConditionEvaluator ce1{drop, "CE1"};
+  ConditionEvaluator ce2{drop, "CE2"};
+  const auto a1 = feed_all(ce1, u);
+  const auto a2 = feed_all(ce2, {u[0], u[2]});  // quote 2 lost
+  ASSERT_EQ(a1.size(), 1u);
+  ASSERT_EQ(a2.size(), 1u);
+  EXPECT_EQ(a1[0].history_seqnos(kX), (std::vector<SeqNo>{1, 2}));
+  EXPECT_EQ(a2[0].history_seqnos(kX), (std::vector<SeqNo>{1, 3}));
+
+  Ad1DuplicateFilter ad1;
+  EXPECT_TRUE(ad1.offer(a1[0]));
+  EXPECT_TRUE(ad1.offer(a2[0]));  // "both will be reported to the user"
+
+  // The displayed pair is formally inconsistent: a1 demands quote 2
+  // received, a2 demands it missed.
+  const auto run = make_run(drop, {u, {u[0], u[2]}}, {a1[0], a2[0]});
+  const auto verdict = check::check_consistent(run);
+  EXPECT_FALSE(verdict.consistent);
+
+  // AD-3 blocks the conflicting second alert, restoring consistency.
+  Ad3ConsistentFilter ad3;
+  EXPECT_TRUE(ad3.offer(a1[0]));
+  EXPECT_FALSE(ad3.offer(a2[0]));
+}
+
+// ------------------------------------------------------------ Example 1 ----
+
+TEST(Example1, WalkthroughUnderAd1) {
+  // U = <1x(2900), 2x(3100), 3x(3200)>; U1 = U; U2 = <1x, 3x>.
+  const auto u = trace::updates_of(trace::example1_updates(kX));
+  ConditionEvaluator ce1{c1(), "CE1"};
+  ConditionEvaluator ce2{c1(), "CE2"};
+  const auto a_seq1 = feed_all(ce1, u);
+  const auto a_seq2 = feed_all(ce2, {u[0], u[2]});
+  ASSERT_EQ(a_seq1.size(), 2u);  // A1 = <a1, a2>, on 2x and 3x
+  ASSERT_EQ(a_seq2.size(), 1u);  // A2 = <a3>, on 3x
+
+  // Arrival order a1, a3, a2: "we will get A = <a1, a3>" — a2 is a
+  // duplicate of a3 (identical degree-1 history <3x>).
+  AlertDisplayer ad{std::make_unique<Ad1DuplicateFilter>()};
+  EXPECT_TRUE(ad.on_alert(a_seq1[0]));   // a1 (2x)
+  EXPECT_TRUE(ad.on_alert(a_seq2[0]));   // a3 (3x)
+  EXPECT_FALSE(ad.on_alert(a_seq1[1]));  // a2 filtered as duplicate
+  ASSERT_EQ(ad.displayed().size(), 2u);
+  EXPECT_EQ(ad.displayed()[0].seqno(kX), 2);
+  EXPECT_EQ(ad.displayed()[1].seqno(kX), 3);
+
+  // Non-historical lossy scenario: complete and consistent (Theorem 2),
+  // and this particular interleaving also happens to be ordered.
+  const auto run =
+      make_run(c1(), {u, {u[0], u[2]}}, ad.displayed());
+  const auto report = check::check_run(run);
+  EXPECT_EQ(report.complete, check::Verdict::kHolds);
+  EXPECT_EQ(report.consistent, check::Verdict::kHolds);
+  EXPECT_EQ(report.ordered, check::Verdict::kHolds);
+}
+
+// ------------------------------------------------------------ Example 2 ----
+
+TEST(Example2, Ad2SacrificesCompleteness) {
+  // U1 = <1x(3100)>, U2 = <2x(3200)>; a2 arrives before a1.
+  const std::vector<Update> u1 = {{kX, 1, 3100.0}};
+  const std::vector<Update> u2 = {{kX, 2, 3200.0}};
+  ConditionEvaluator ce1{c1(), "CE1"};
+  ConditionEvaluator ce2{c1(), "CE2"};
+  const auto a1 = feed_all(ce1, u1);
+  const auto a2 = feed_all(ce2, u2);
+  ASSERT_EQ(a1.size(), 1u);
+  ASSERT_EQ(a2.size(), 1u);
+
+  AlertDisplayer ad{std::make_unique<Ad2OrderedFilter>(kX)};
+  EXPECT_TRUE(ad.on_alert(a2[0]));
+  EXPECT_FALSE(ad.on_alert(a1[0]));  // "a1 will be filtered out"
+
+  // T(U1 ⊔ U2) = <a1, a2> has two alerts: the system is incomplete...
+  const auto run = make_run(c1(), {u1, u2}, ad.displayed());
+  EXPECT_EQ(check::check_complete(run), check::Verdict::kViolated);
+  // ...but ordered and consistent.
+  EXPECT_TRUE(check::check_ordered(run.displayed, {kX}));
+  EXPECT_TRUE(check::check_consistent(run).consistent);
+
+  // Under AD-1 the same arrivals would all display: complete but
+  // unordered (the Theorem 2 trade-off).
+  AlertDisplayer ad1{std::make_unique<Ad1DuplicateFilter>()};
+  (void)ad1.on_alert(a2[0]);
+  (void)ad1.on_alert(a1[0]);
+  const auto run1 = make_run(c1(), {u1, u2}, ad1.displayed());
+  EXPECT_EQ(check::check_complete(run1), check::Verdict::kHolds);
+  EXPECT_FALSE(check::check_ordered(run1.displayed, {kX}));
+}
+
+// ------------------------------------------------------------ Example 3 ----
+
+TEST(Example3, Ad3ConflictDetection) {
+  // Covered at the filter level in filters_test; here end-to-end with
+  // real CEs and the degree-2 aggressive condition.
+  ConditionEvaluator ce1{c2(), "CE1"};
+  ConditionEvaluator ce2{c2(), "CE2"};
+  // CE1 receives 1(100), 3(400): alert on window {1,3} (missed 2).
+  const auto a1 = feed_all(ce1, {{kX, 1, 100.0}, {kX, 3, 400.0}});
+  // CE2 receives 2(150), 3(400): alert on window {2,3}.
+  const auto a2 = feed_all(ce2, {{kX, 2, 150.0}, {kX, 3, 400.0}});
+  ASSERT_EQ(a1.size(), 1u);
+  ASSERT_EQ(a2.size(), 1u);
+
+  Ad3ConsistentFilter ad3;
+  EXPECT_TRUE(ad3.offer(a1[0]));
+  EXPECT_FALSE(ad3.offer(a2[0]));  // 2 already in Missed
+}
+
+// ----------------------------------------------- Theorem 2 counterexample ----
+
+TEST(Theorem2Counterexample, NonHistoricalUnordered) {
+  // U = <1(3100), 2(3500)>; U1 = U, U2 = <2>; alert 2 from CE2 arrives
+  // first: A = <2, 1> is unordered but complete.
+  const std::vector<Update> u1 = {{kX, 1, 3100.0}, {kX, 2, 3500.0}};
+  const std::vector<Update> u2 = {{kX, 2, 3500.0}};
+  ConditionEvaluator ce1{c1(), "CE1"};
+  ConditionEvaluator ce2{c1(), "CE2"};
+  const auto alerts1 = feed_all(ce1, u1);
+  const auto alerts2 = feed_all(ce2, u2);
+  ASSERT_EQ(alerts1.size(), 2u);
+  ASSERT_EQ(alerts2.size(), 1u);
+
+  AlertDisplayer ad{std::make_unique<Ad1DuplicateFilter>()};
+  (void)ad.on_alert(alerts2[0]);  // alert 2 first
+  (void)ad.on_alert(alerts1[0]);  // alert 1
+  (void)ad.on_alert(alerts1[1]);  // duplicate of alert 2
+  ASSERT_EQ(ad.displayed().size(), 2u);
+
+  const auto run = make_run(c1(), {u1, u2}, ad.displayed());
+  const auto report = check::check_run(run);
+  EXPECT_EQ(report.ordered, check::Verdict::kViolated);
+  EXPECT_EQ(report.complete, check::Verdict::kHolds);
+  EXPECT_EQ(report.consistent, check::Verdict::kHolds);
+}
+
+// ----------------------------------------------- Theorem 3 counterexample ----
+
+TEST(Theorem3Counterexample, ConservativeIncompleteUnordered) {
+  // c3 with U1 = <1(1000), 2(1500)>, U2 = <3(2000), 4(2500)>:
+  // A1 = <2>, A2 = <4>; T(U1 ⊔ U2) = <2, 3, 4>.
+  const auto u1 = trace::updates_of(trace::theorem3_u1(kX));
+  const auto u2 = trace::updates_of(trace::theorem3_u2(kX));
+  ConditionEvaluator ce1{c3(), "CE1"};
+  ConditionEvaluator ce2{c3(), "CE2"};
+  const auto alerts1 = feed_all(ce1, u1);
+  const auto alerts2 = feed_all(ce2, u2);
+  ASSERT_EQ(alerts1.size(), 1u);
+  EXPECT_EQ(alerts1[0].seqno(kX), 2);
+  ASSERT_EQ(alerts2.size(), 1u);
+  EXPECT_EQ(alerts2[0].seqno(kX), 4);
+
+  // Arrival order <4, 2>: unordered and incomplete, but consistent.
+  AlertDisplayer ad{std::make_unique<Ad1DuplicateFilter>()};
+  (void)ad.on_alert(alerts2[0]);
+  (void)ad.on_alert(alerts1[0]);
+  const auto run = make_run(c3(), {u1, u2}, ad.displayed());
+  const auto report = check::check_run(run);
+  EXPECT_EQ(report.ordered, check::Verdict::kViolated);
+  EXPECT_EQ(report.complete, check::Verdict::kViolated);
+  EXPECT_EQ(report.consistent, check::Verdict::kHolds);
+}
+
+// ----------------------------------------------- Theorem 4 counterexample ----
+
+TEST(Theorem4Counterexample, AggressiveInconsistent) {
+  // c2 with U = <1(400), 2(700), 3(720)>; U1 = U, U2 = <1, 3>.
+  // A1 = <2> (700-400 > 200); A2 = <3> (720-400 > 200, across the gap).
+  // No U' can contain update 2 (needed by alert 2) and miss it (needed
+  // by alert 3): inconsistent.
+  const auto u = trace::updates_of(trace::theorem4_updates(kX));
+  const std::vector<Update> u2 = {u[0], u[2]};
+  ConditionEvaluator ce1{c2(), "CE1"};
+  ConditionEvaluator ce2{c2(), "CE2"};
+  const auto alerts1 = feed_all(ce1, u);
+  const auto alerts2 = feed_all(ce2, u2);
+  ASSERT_EQ(alerts1.size(), 1u);
+  EXPECT_EQ(alerts1[0].seqno(kX), 2);
+  ASSERT_EQ(alerts2.size(), 1u);
+  EXPECT_EQ(alerts2[0].seqno(kX), 3);
+
+  AlertDisplayer ad{std::make_unique<Ad1DuplicateFilter>()};
+  (void)ad.on_alert(alerts1[0]);
+  (void)ad.on_alert(alerts2[0]);
+  ASSERT_EQ(ad.displayed().size(), 2u);  // AD-1 passes both
+
+  const auto run = make_run(c2(), {u, u2}, ad.displayed());
+  const auto verdict = check::check_consistent(run);
+  EXPECT_FALSE(verdict.consistent);
+  EXPECT_NE(verdict.reason.find("both received and missed"),
+            std::string::npos);
+
+  // AD-4 (and AD-3) restore consistency by blocking the second alert.
+  Ad4OrderedConsistentFilter ad4{kX};
+  EXPECT_TRUE(ad4.offer(alerts1[0]));
+  EXPECT_FALSE(ad4.offer(alerts2[0]));
+}
+
+// ---------------------------------------------- Theorem 10 counterexample ----
+
+TEST(Theorem10Counterexample, MultiVariableAd1Breaks) {
+  // Lossless links; CE1 sees <1x,2x,1y,2y>, CE2 sees <1y,2y,1x,2x>.
+  const auto ux = trace::updates_of(trace::theorem10_ux(kX));
+  const auto uy = trace::updates_of(trace::theorem10_uy(kY));
+  ConditionEvaluator ce1{cm(), "CE1"};
+  ConditionEvaluator ce2{cm(), "CE2"};
+  const auto alerts1 = feed_all(ce1, {ux[0], ux[1], uy[0], uy[1]});
+  const auto alerts2 = feed_all(ce2, {uy[0], uy[1], ux[0], ux[1]});
+  // A1 = <a(2x,1y)>: |1200-1050| = 150 > 100 when 1y arrives after 2x...
+  ASSERT_EQ(alerts1.size(), 1u);
+  EXPECT_EQ(alerts1[0].seqno(kX), 2);
+  EXPECT_EQ(alerts1[0].seqno(kY), 1);
+  // A2 = <a(1x,2y)>: |1000-1150| = 150 > 100.
+  ASSERT_EQ(alerts2.size(), 1u);
+  EXPECT_EQ(alerts2[0].seqno(kX), 1);
+  EXPECT_EQ(alerts2[0].seqno(kY), 2);
+
+  AlertDisplayer ad{std::make_unique<Ad1DuplicateFilter>()};
+  (void)ad.on_alert(alerts1[0]);
+  (void)ad.on_alert(alerts2[0]);
+  ASSERT_EQ(ad.displayed().size(), 2u);
+
+  check::SystemRun run;
+  run.condition = cm();
+  run.ce_inputs = {{ux[0], ux[1], uy[0], uy[1]}, {uy[0], uy[1], ux[0], ux[1]}};
+  run.displayed = ad.displayed();
+
+  // "such a system is unordered ... also inconsistent" (and incomplete).
+  EXPECT_FALSE(check::check_ordered(run.displayed, {kX, kY}));
+  const auto verdict = check::check_consistent(run);
+  EXPECT_FALSE(verdict.consistent);
+  EXPECT_NE(verdict.reason.find("cycle"), std::string::npos);
+  EXPECT_EQ(check::check_complete(run), check::Verdict::kViolated);
+
+  // AD-5 lets only the first of the two through (whichever arrives
+  // first), restoring orderedness.
+  Ad5MultiOrderedFilter ad5{{kX, kY}};
+  EXPECT_TRUE(ad5.offer(alerts1[0]));
+  EXPECT_FALSE(ad5.offer(alerts2[0]));
+}
+
+// --------------------------------------------------- Lemma 6 style case ----
+
+TEST(Lemma6Counterexample, Ad5Incomplete) {
+  // Condition satisfied only near the threshold: use cm (|x-y| > 100)
+  // with values crafted so exactly the windows (8x,2y), (8x,3y), (8x,4y)
+  // trigger. x8 = 1000; y2 = 880, y3 = 890, y4 = 895 (all diffs > 100);
+  // y5 = 950 (diff 50: quiet). Earlier updates keep |x-y| <= 100.
+  const std::vector<Update> ux = {{kX, 7, 900.0}, {kX, 8, 1000.0},
+                                  {kX, 9, 950.0}};
+  const std::vector<Update> uy = {{kY, 2, 880.0}, {kY, 3, 890.0},
+                                  {kY, 4, 895.0}, {kY, 5, 950.0}};
+
+  // CE1 sees <8x, 2y, 9x, 3y, 4y, ...> minus what it missed; per the
+  // lemma's spirit we hand each CE an interleaving directly.
+  ConditionEvaluator ce1{cm(), "CE1"};
+  const auto alerts1 =
+      feed_all(ce1, {ux[1], uy[0], ux[2], uy[1], uy[2], uy[3]});
+  // a(8x,2y) fires, then 9x makes |950-880| = 70: quiet afterwards.
+  ASSERT_FALSE(alerts1.empty());
+  EXPECT_EQ(alerts1[0].seqno(kX), 8);
+  EXPECT_EQ(alerts1[0].seqno(kY), 2);
+
+  ConditionEvaluator ce2{cm(), "CE2"};
+  const auto alerts2 =
+      feed_all(ce2, {uy[0], uy[1], ux[0], uy[2], ux[1], uy[3], ux[2]});
+  // 7x vs 2y/3y: |900-880|, |900-890| small; 4y: |900-895| small;
+  // 8x vs 4y: 105 > 100 -> a(8x,4y); 5y: |1000-950| = 50 quiet.
+  ASSERT_FALSE(alerts2.empty());
+  EXPECT_EQ(alerts2[0].seqno(kX), 8);
+  EXPECT_EQ(alerts2[0].seqno(kY), 4);
+
+  AlertDisplayer ad{std::make_unique<Ad5MultiOrderedFilter>(
+      std::vector<VarId>{kX, kY})};
+  (void)ad.on_alert(alerts1[0]);
+  (void)ad.on_alert(alerts2[0]);
+  ASSERT_EQ(ad.displayed().size(), 2u);  // AD-5 passes both (no inversion)
+
+  check::SystemRun run;
+  run.condition = cm();
+  run.ce_inputs = {{ux[1], uy[0], ux[2], uy[1], uy[2], uy[3]},
+                   {uy[0], uy[1], ux[0], uy[2], ux[1], uy[3], ux[2]}};
+  run.displayed = ad.displayed();
+
+  // Any interleaving generating both displayed alerts also generates
+  // a(8x,3y), which was not displayed: incomplete. But consistent.
+  EXPECT_EQ(check::check_complete(run), check::Verdict::kViolated);
+  EXPECT_TRUE(check::check_consistent(run).consistent);
+  EXPECT_TRUE(check::check_ordered(run.displayed, {kX, kY}));
+}
+
+}  // namespace
+}  // namespace rcm

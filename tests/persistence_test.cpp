@@ -1,0 +1,274 @@
+// Persistence features: the file-backed alert log (write-ahead records,
+// torn-tail recovery), trace file I/O, and evaluator state snapshots for
+// warm crash recovery.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "core/builtin_conditions.hpp"
+#include "core/evaluator.hpp"
+#include "store/file_log.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace_io.hpp"
+#include "util/rng.hpp"
+#include "wire/snapshot.hpp"
+
+namespace rcm {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// RAII temp file path (removed on destruction).
+class TempPath {
+ public:
+  explicit TempPath(const std::string& stem) {
+    static int counter = 0;
+    path_ = fs::temp_directory_path() /
+            (stem + "." + std::to_string(::getpid()) + "." +
+             std::to_string(counter++));
+    fs::remove(path_);
+  }
+  ~TempPath() { fs::remove(path_); }
+  [[nodiscard]] const fs::path& get() const noexcept { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+Alert make_alert(SeqNo s) {
+  Alert a;
+  a.cond = "c";
+  a.histories.emplace(0, std::vector<Update>{{0, s, static_cast<double>(s)}});
+  return a;
+}
+
+// -------------------------------------------------------- FileAlertLog ----
+
+TEST(FileAlertLog, FreshFileStartsEmpty) {
+  TempPath path{"rcm_log"};
+  store::FileAlertLog log{path.get()};
+  EXPECT_EQ(log.log().size(), 0u);
+  EXPECT_EQ(log.recovered_corrupt_frames(), 0u);
+}
+
+TEST(FileAlertLog, SurvivesReopen) {
+  TempPath path{"rcm_log"};
+  {
+    store::FileAlertLog log{path.get()};
+    EXPECT_EQ(log.append(make_alert(1)), 0u);
+    EXPECT_EQ(log.append(make_alert(2)), 1u);
+    log.ack(0);
+  }
+  store::FileAlertLog revived{path.get()};
+  EXPECT_EQ(revived.log().size(), 2u);
+  EXPECT_EQ(revived.log().ack_level(), 1u);
+  const auto pending = revived.log().pending();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].second.key(), make_alert(2).key());
+  // The revived log keeps appending where the old one stopped.
+  EXPECT_EQ(revived.append(make_alert(3)), 2u);
+}
+
+TEST(FileAlertLog, ManyReopensAccumulate) {
+  TempPath path{"rcm_log"};
+  for (SeqNo s = 1; s <= 5; ++s) {
+    store::FileAlertLog log{path.get()};
+    EXPECT_EQ(log.append(make_alert(s)), static_cast<std::uint64_t>(s - 1));
+  }
+  EXPECT_EQ(store::recover_log(path.get()).log.size(), 5u);
+}
+
+TEST(FileAlertLog, TornTailIsDetectedAndDropped) {
+  TempPath path{"rcm_log"};
+  {
+    store::FileAlertLog log{path.get()};
+    (void)log.append(make_alert(1));
+    (void)log.append(make_alert(2));
+  }
+  // Simulate a crash mid-write: truncate the last few bytes.
+  const auto size = fs::file_size(path.get());
+  fs::resize_file(path.get(), size - 3);
+
+  const auto recovered = store::recover_log(path.get());
+  EXPECT_EQ(recovered.log.size(), 1u);  // first record intact
+  // A torn tail is simply missing bytes, not necessarily a CRC failure;
+  // what matters is that the prefix survived and nothing bogus appeared.
+  EXPECT_EQ(recovered.log.at(0).key(), make_alert(1).key());
+}
+
+TEST(FileAlertLog, CorruptMiddleRecordIsSkipped) {
+  TempPath path{"rcm_log"};
+  {
+    store::FileAlertLog log{path.get()};
+    (void)log.append(make_alert(1));
+    (void)log.append(make_alert(2));
+    (void)log.append(make_alert(3));
+  }
+  // Flip one byte near the middle of the file.
+  std::fstream f{path.get(), std::ios::binary | std::ios::in | std::ios::out};
+  const auto size = static_cast<std::streamoff>(fs::file_size(path.get()));
+  f.seekp(size / 2);
+  char byte;
+  f.seekg(size / 2);
+  f.get(byte);
+  f.seekp(size / 2);
+  f.put(static_cast<char>(byte ^ 0x5a));
+  f.close();
+
+  const auto recovered = store::recover_log(path.get());
+  EXPECT_GE(recovered.corrupt_frames, 1u);
+  EXPECT_LT(recovered.log.size(), 3u);  // the damaged record is gone
+  for (std::size_t i = 0; i < recovered.log.size(); ++i) {
+    const SeqNo s = recovered.log.at(i).seqno(0);
+    EXPECT_TRUE(s >= 1 && s <= 3);  // never a fabricated record
+  }
+}
+
+TEST(FileAlertLog, MissingFileRecoversEmpty) {
+  TempPath path{"rcm_log_nonexistent"};
+  const auto recovered = store::recover_log(path.get());
+  EXPECT_EQ(recovered.log.size(), 0u);
+  EXPECT_EQ(recovered.records, 0u);
+}
+
+// ------------------------------------------------------------ trace IO ----
+
+TEST(TraceIo, RoundTripThroughText) {
+  util::Rng rng{5};
+  trace::ReactorParams p;
+  p.base.var = 3;
+  p.base.count = 50;
+  const trace::Trace original = trace::reactor_trace(p, rng);
+
+  std::ostringstream os;
+  trace::write_trace(os, original);
+  const trace::Trace parsed = trace::parse_trace(os.str());
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].update, original[i].update);
+    EXPECT_DOUBLE_EQ(parsed[i].time, original[i].time);
+  }
+}
+
+TEST(TraceIo, RoundTripThroughFile) {
+  TempPath path{"rcm_trace"};
+  util::Rng rng{6};
+  trace::UniformParams p;
+  p.base.count = 20;
+  const trace::Trace original = trace::uniform_trace(p, rng);
+  trace::save_trace(path.get(), original);
+  const trace::Trace loaded = trace::load_trace(path.get());
+  ASSERT_EQ(loaded.size(), 20u);
+  EXPECT_EQ(loaded[7].update, original[7].update);
+}
+
+TEST(TraceIo, CommentsAndBlanksIgnored) {
+  const auto t = trace::parse_trace(
+      "# header\n\n1.0 0 1 10.5\n  # indented comment\n2.0 0 2 11.0\n");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[1].update.seqno, 2);
+}
+
+TEST(TraceIo, MalformedLinesRejected) {
+  EXPECT_THROW((void)trace::parse_trace("1.0 0 1\n"), trace::TraceParseError);
+  EXPECT_THROW((void)trace::parse_trace("1.0 0 1 2.0 extra\n"),
+               trace::TraceParseError);
+  EXPECT_THROW((void)trace::parse_trace("abc 0 1 2.0\n"),
+               trace::TraceParseError);
+  EXPECT_THROW((void)trace::parse_trace("1.0 -2 1 2.0\n"),
+               trace::TraceParseError);
+}
+
+TEST(TraceIo, InvariantViolationsRejected) {
+  // Non-increasing times.
+  EXPECT_THROW((void)trace::parse_trace("2.0 0 1 1.0\n1.0 0 2 1.0\n"),
+               trace::TraceParseError);
+  // Non-increasing per-variable seqnos.
+  EXPECT_THROW((void)trace::parse_trace("1.0 0 2 1.0\n2.0 0 2 1.0\n"),
+               trace::TraceParseError);
+  // Different variables may interleave seqnos freely.
+  EXPECT_NO_THROW((void)trace::parse_trace("1.0 0 5 1.0\n2.0 1 1 1.0\n"));
+}
+
+TEST(TraceIo, ErrorCarriesLineNumber) {
+  try {
+    (void)trace::parse_trace("1.0 0 1 2.0\nbogus\n");
+    FAIL() << "expected TraceParseError";
+  } catch (const trace::TraceParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+// ---------------------------------------------------------- snapshots ----
+
+TEST(EvaluatorSnapshot, WarmRestartPreservesBehaviour) {
+  auto cond = std::make_shared<const RiseCondition>("rise", 0, 100.0,
+                                                    Triggering::kAggressive);
+  ConditionEvaluator original{cond, "CE1"};
+  (void)original.on_update({0, 1, 50.0});
+  (void)original.on_update({0, 2, 80.0});
+  const auto snapshot = wire::encode_evaluator_state(original);
+
+  // Cold restart misses the next alert (history must refill)...
+  ConditionEvaluator cold{cond, "CE1"};
+  EXPECT_FALSE(cold.on_update({0, 3, 200.0}).has_value());
+
+  // ...warm restart fires exactly like the uncrashed original.
+  ConditionEvaluator warm{cond, "CE1"};
+  wire::decode_evaluator_state(snapshot, warm);
+  ConditionEvaluator uncrashed{cond, "CE1"};
+  (void)uncrashed.on_update({0, 1, 50.0});
+  (void)uncrashed.on_update({0, 2, 80.0});
+  const auto from_warm = warm.on_update({0, 3, 200.0});
+  const auto from_uncrashed = uncrashed.on_update({0, 3, 200.0});
+  ASSERT_TRUE(from_warm.has_value());
+  ASSERT_TRUE(from_uncrashed.has_value());
+  EXPECT_EQ(from_warm->key(), from_uncrashed->key());
+}
+
+TEST(EvaluatorSnapshot, RestorePreservesStaleSeqnoDiscard) {
+  auto cond = std::make_shared<const ThresholdCondition>("t", 0, 10.0);
+  ConditionEvaluator original{cond};
+  (void)original.on_update({0, 5, 50.0});
+  const auto snapshot = wire::encode_evaluator_state(original);
+
+  ConditionEvaluator warm{cond};
+  wire::decode_evaluator_state(snapshot, warm);
+  EXPECT_FALSE(warm.would_accept({0, 5, 60.0}));  // watermark restored
+  EXPECT_FALSE(warm.would_accept({0, 3, 60.0}));
+  EXPECT_TRUE(warm.would_accept({0, 6, 60.0}));
+}
+
+TEST(EvaluatorSnapshot, RejectsMismatchedCondition) {
+  auto rise = std::make_shared<const RiseCondition>("r", 0, 1.0,
+                                                    Triggering::kAggressive);
+  auto threshold = std::make_shared<const ThresholdCondition>("t", 0, 1.0);
+  ConditionEvaluator a{rise};
+  (void)a.on_update({0, 1, 1.0});
+  const auto snapshot = wire::encode_evaluator_state(a);
+  ConditionEvaluator b{threshold};  // degree 1, snapshot says degree 2
+  EXPECT_THROW(wire::decode_evaluator_state(snapshot, b), wire::DecodeError);
+}
+
+TEST(EvaluatorSnapshot, RejectsGarbage) {
+  auto cond = std::make_shared<const ThresholdCondition>("t", 0, 1.0);
+  ConditionEvaluator ce{cond};
+  const std::vector<std::uint8_t> garbage{0x00, 0x01, 0x02};
+  EXPECT_THROW(wire::decode_evaluator_state(garbage, ce), wire::DecodeError);
+}
+
+TEST(EvaluatorSnapshot, EmptyStateRoundTrips) {
+  auto cond = std::make_shared<const ThresholdCondition>("t", 0, 1.0);
+  ConditionEvaluator fresh{cond};
+  const auto snapshot = wire::encode_evaluator_state(fresh);
+  ConditionEvaluator restored{cond};
+  EXPECT_NO_THROW(wire::decode_evaluator_state(snapshot, restored));
+  EXPECT_TRUE(restored.would_accept({0, 1, 5.0}));
+}
+
+}  // namespace
+}  // namespace rcm

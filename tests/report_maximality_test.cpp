@@ -1,0 +1,160 @@
+// Tests for check::describe_run (the human-readable report) and the
+// reusable local-maximality verifier.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "check/consistency.hpp"
+#include "check/maximality.hpp"
+#include "check/report.hpp"
+#include "core/builtin_conditions.hpp"
+#include "core/evaluator.hpp"
+#include "exp/scenarios.hpp"
+#include "sim/system.hpp"
+
+namespace rcm::check {
+namespace {
+
+Alert alert1(std::initializer_list<SeqNo> window) {
+  Alert a;
+  a.cond = "c";
+  std::vector<Update> w;
+  for (SeqNo s : window) w.push_back({0, s, static_cast<double>(s)});
+  a.histories.emplace(0, std::move(w));
+  return a;
+}
+
+// ------------------------------------------------------------- report ----
+
+TEST(DescribeRun, RendersAllSections) {
+  VariableRegistry vars;
+  const VarId temp = vars.intern("temp");
+  auto cond = std::make_shared<const RiseCondition>("spike", temp, 10.0,
+                                                    Triggering::kAggressive);
+  SystemRun run;
+  run.condition = cond;
+  run.ce_inputs = {
+      {{temp, 1, 10.0}, {temp, 2, 30.0}},
+      {{temp, 2, 30.0}},
+  };
+  run.displayed = evaluate_trace(cond, run.ce_inputs[0]);
+
+  const std::string report = describe_run(run, vars);
+  EXPECT_NE(report.find("condition spike"), std::string::npos);
+  EXPECT_NE(report.find("temp (degree 2)"), std::string::npos);
+  EXPECT_NE(report.find("aggressive triggering"), std::string::npos);
+  EXPECT_NE(report.find("CE1: 2 updates received"), std::string::npos);
+  EXPECT_NE(report.find("CE2: 1 updates received"), std::string::npos);
+  EXPECT_NE(report.find("ordered    : holds"), std::string::npos);
+  EXPECT_NE(report.find("consistent : holds"), std::string::npos);
+  EXPECT_NE(report.find("witness input"), std::string::npos);
+  EXPECT_NE(report.find("temp#1"), std::string::npos);
+}
+
+TEST(DescribeRun, ShowsViolationReason) {
+  // The Theorem 4 conflicting pair.
+  auto cond = std::make_shared<const RiseCondition>("rise", 0, 200.0,
+                                                    Triggering::kAggressive);
+  ConditionEvaluator ce1{cond, "CE1"}, ce2{cond, "CE2"};
+  std::vector<Alert> displayed;
+  (void)ce1.on_update({0, 1, 400.0});
+  if (auto a = ce1.on_update({0, 2, 700.0})) displayed.push_back(*a);
+  (void)ce2.on_update({0, 1, 400.0});
+  if (auto a = ce2.on_update({0, 3, 720.0})) displayed.push_back(*a);
+
+  SystemRun run;
+  run.condition = cond;
+  run.ce_inputs = {ce1.received(), ce2.received()};
+  run.displayed = displayed;
+
+  VariableRegistry vars;
+  vars.intern("x");
+  const std::string report = describe_run(run, vars);
+  EXPECT_NE(report.find("consistent : VIOLATED"), std::string::npos);
+  EXPECT_NE(report.find("both received and missed"), std::string::npos);
+}
+
+TEST(DescribeRun, TruncatesLongLists) {
+  auto cond = std::make_shared<const ThresholdCondition>("t", 0, 0.0);
+  SystemRun run;
+  run.condition = cond;
+  std::vector<Update> input;
+  for (SeqNo s = 1; s <= 50; ++s) input.push_back({0, s, 1.0});
+  run.ce_inputs = {input};
+  run.displayed = evaluate_trace(cond, input);
+  VariableRegistry vars;
+  ReportOptions options;
+  options.max_listed = 5;
+  const std::string report = describe_run(run, vars, options);
+  EXPECT_NE(report.find("... 45 more"), std::string::npos);
+}
+
+TEST(DescribeRun, UnknownVarIdsPrintPlaceholders) {
+  auto cond = std::make_shared<const ThresholdCondition>("t", 7, 0.0);
+  SystemRun run;
+  run.condition = cond;
+  run.ce_inputs = {{{7, 1, 1.0}}};
+  run.displayed = evaluate_trace(cond, run.ce_inputs[0]);
+  VariableRegistry empty;
+  EXPECT_NE(describe_run(run, empty).find("v7"), std::string::npos);
+}
+
+// --------------------------------------------------------- maximality ----
+
+TEST(VerifyLocallyMaximal, Ad2IsLocallyMaximalForOrderedness) {
+  // Out-of-order arrivals: every AD-2 suppression must be justified.
+  const std::vector<Alert> arrivals = {alert1({3}), alert1({1}), alert1({5}),
+                                       alert1({4}), alert1({6})};
+  Ad2OrderedFilter ad2{0};
+  const auto violations = verify_locally_maximal(
+      ad2, arrivals, {0}, [](std::span<const Alert> displayed, const Alert& c) {
+        // Would displaying c break non-decreasing order?
+        return !displayed.empty() && c.seqno(0) < displayed.back().seqno(0);
+      });
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(VerifyLocallyMaximal, DetectsOverSuppression) {
+  // DropAll suppresses everything; nothing justifies it.
+  const std::vector<Alert> arrivals = {alert1({1}), alert1({2})};
+  DropAllFilter drop;
+  const auto violations = verify_locally_maximal(
+      drop, arrivals, {0},
+      [](std::span<const Alert>, const Alert&) { return false; });
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].arrival_index, 0u);
+  EXPECT_EQ(violations[1].alert.seqno(0), 2);
+}
+
+TEST(VerifyLocallyMaximal, Ad3JustifiedByConsistencyOnRealRuns) {
+  const auto spec =
+      exp::single_var_scenario(exp::Scenario::kLossyAggressive);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    util::Rng trial{seed};
+    sim::SystemConfig config;
+    config.condition = spec.condition;
+    config.dm_traces = spec.make_traces(30, trial);
+    config.front.loss = spec.front_loss;
+    config.front.delay_max = 0.8;
+    config.back.delay_max = 0.8;
+    config.filter = FilterKind::kPassAll;
+    config.seed = seed * 73;
+    const auto r = sim::run_system(config);
+
+    Ad3ConsistentFilter ad3;
+    const auto violations = verify_locally_maximal(
+        ad3, r.arrived, spec.condition->variables(),
+        [&](std::span<const Alert> displayed, const Alert& c) {
+          SystemRun hypo;
+          hypo.condition = spec.condition;
+          hypo.ce_inputs = r.ce_inputs;
+          hypo.displayed.assign(displayed.begin(), displayed.end());
+          hypo.displayed.push_back(c);
+          return !check_consistent(hypo).consistent;
+        });
+    EXPECT_TRUE(violations.empty()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rcm::check

@@ -1,0 +1,117 @@
+// Run recording: byte-level round trips, file round trips, verdict
+// stability across save/load (an audit must reach the same conclusions
+// as the live checker), and robustness against corrupted record files.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include "check/consistency.hpp"
+#include "check/properties.hpp"
+#include "check/run_record.hpp"
+#include "core/builtin_conditions.hpp"
+#include "exp/scenarios.hpp"
+#include "sim/system.hpp"
+#include "wire/buffer.hpp"
+
+namespace rcm::check {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempPath {
+ public:
+  explicit TempPath(const std::string& stem) {
+    static int counter = 0;
+    path_ = fs::temp_directory_path() /
+            (stem + "." + std::to_string(::getpid()) + "." +
+             std::to_string(counter++));
+    fs::remove(path_);
+  }
+  ~TempPath() { fs::remove(path_); }
+  [[nodiscard]] const fs::path& get() const noexcept { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+SystemRun sample_run(std::uint64_t seed) {
+  const auto spec =
+      exp::single_var_scenario(exp::Scenario::kLossyAggressive);
+  util::Rng trial{seed};
+  sim::SystemConfig config;
+  config.condition = spec.condition;
+  config.dm_traces = spec.make_traces(30, trial);
+  config.front.loss = spec.front_loss;
+  config.filter = FilterKind::kAd1;
+  config.seed = seed * 3;
+  return sim::run_system(config).as_system_run(spec.condition);
+}
+
+TEST(RunRecord, BytesRoundTrip) {
+  const SystemRun original = sample_run(1);
+  const auto bytes = encode_system_run(original);
+  const SystemRun loaded = decode_system_run(bytes, original.condition);
+  EXPECT_EQ(loaded.ce_inputs, original.ce_inputs);
+  ASSERT_EQ(loaded.displayed.size(), original.displayed.size());
+  for (std::size_t i = 0; i < loaded.displayed.size(); ++i)
+    EXPECT_EQ(loaded.displayed[i].key(), original.displayed[i].key());
+}
+
+TEST(RunRecord, FileRoundTripPreservesVerdicts) {
+  TempPath path{"rcm_run"};
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const SystemRun original = sample_run(seed);
+    save_run(path.get(), original);
+    const SystemRun loaded = load_run(path.get(), original.condition);
+
+    const auto live = check_run(original);
+    const auto audited = check_run(loaded);
+    EXPECT_EQ(live.ordered, audited.ordered) << seed;
+    EXPECT_EQ(live.complete, audited.complete) << seed;
+    EXPECT_EQ(live.consistent, audited.consistent) << seed;
+  }
+}
+
+TEST(RunRecord, EmptyRunRoundTrips) {
+  SystemRun run;
+  run.condition = std::make_shared<const ThresholdCondition>("t", 0, 1.0);
+  const auto loaded =
+      decode_system_run(encode_system_run(run), run.condition);
+  EXPECT_TRUE(loaded.ce_inputs.empty());
+  EXPECT_TRUE(loaded.displayed.empty());
+}
+
+TEST(RunRecord, RejectsGarbageBytes) {
+  auto cond = std::make_shared<const ThresholdCondition>("t", 0, 1.0);
+  const std::vector<std::uint8_t> garbage{1, 2, 3};
+  EXPECT_THROW((void)decode_system_run(garbage, cond), wire::DecodeError);
+}
+
+TEST(RunRecord, CorruptedFileIsRejectedNotMisread) {
+  TempPath path{"rcm_run"};
+  const SystemRun original = sample_run(2);
+  save_run(path.get(), original);
+  // Flip a byte in the middle: the frame CRC must catch it.
+  std::fstream f{path.get(),
+                 std::ios::binary | std::ios::in | std::ios::out};
+  const auto size = static_cast<std::streamoff>(fs::file_size(path.get()));
+  char byte;
+  f.seekg(size / 2);
+  f.get(byte);
+  f.seekp(size / 2);
+  f.put(static_cast<char>(byte ^ 0x40));
+  f.close();
+  EXPECT_THROW((void)load_run(path.get(), original.condition),
+               wire::DecodeError);
+}
+
+TEST(RunRecord, MissingFileThrows) {
+  auto cond = std::make_shared<const ThresholdCondition>("t", 0, 1.0);
+  EXPECT_THROW((void)load_run("/nonexistent/run.rcmrun", cond),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rcm::check

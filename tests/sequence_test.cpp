@@ -1,0 +1,142 @@
+// Tests for the sequence calculus of paper §2.2: orderedness, the
+// subsequence relation ⊑, the ordered union ⊔ and the projection Π.
+// Includes the paper's own worked micro-examples plus randomized
+// property sweeps for the algebraic identities the proofs rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/sequence.hpp"
+#include "util/rng.hpp"
+
+namespace rcm {
+namespace {
+
+std::vector<SeqNo> seqs(std::initializer_list<SeqNo> xs) { return xs; }
+
+std::vector<Update> ups(VarId v, std::initializer_list<SeqNo> xs) {
+  std::vector<Update> out;
+  for (SeqNo s : xs) out.push_back({v, s, static_cast<double>(s) * 10});
+  return out;
+}
+
+TEST(Sequence, OrderedExamplesFromPaper) {
+  // "h3, 8, 100i and h2, 2i are ordered sequences, while h2, 1, 6i is not"
+  EXPECT_TRUE(is_ordered(std::span<const SeqNo>{seqs({3, 8, 100})}));
+  EXPECT_TRUE(is_ordered(std::span<const SeqNo>{seqs({2, 2})}));
+  EXPECT_FALSE(is_ordered(std::span<const SeqNo>{seqs({2, 1, 6})}));
+  EXPECT_TRUE(is_ordered(std::span<const SeqNo>{seqs({})}));
+}
+
+TEST(Sequence, SubsequenceBasics) {
+  EXPECT_TRUE(is_subsequence(seqs({}), seqs({1, 2, 3})));
+  EXPECT_TRUE(is_subsequence(seqs({1, 3}), seqs({1, 2, 3})));
+  EXPECT_TRUE(is_subsequence(seqs({1, 2, 3}), seqs({1, 2, 3})));
+  EXPECT_FALSE(is_subsequence(seqs({3, 1}), seqs({1, 2, 3})));
+  EXPECT_FALSE(is_subsequence(seqs({4}), seqs({1, 2, 3})));
+  EXPECT_FALSE(is_subsequence(seqs({1}), seqs({})));
+}
+
+TEST(Sequence, OrderedUnionExampleFromPaper) {
+  // "if S1 = h1, 4, 8i and S2 = h2, 4, 5i, then S1 t S2 = h1, 2, 4, 5, 8i"
+  EXPECT_EQ(ordered_union(seqs({1, 4, 8}), seqs({2, 4, 5})),
+            seqs({1, 2, 4, 5, 8}));
+}
+
+TEST(Sequence, OrderedUnionRemovesDuplicates) {
+  EXPECT_EQ(ordered_union(seqs({1, 2}), seqs({1, 2})), seqs({1, 2}));
+  EXPECT_EQ(ordered_union(seqs({}), seqs({})), seqs({}));
+  EXPECT_EQ(ordered_union(seqs({5}), seqs({})), seqs({5}));
+}
+
+TEST(Sequence, UpdateUnionMergesBySeqno) {
+  const auto u = ordered_union(std::span<const Update>{ups(0, {1, 4})},
+                               std::span<const Update>{ups(0, {2, 4})});
+  ASSERT_EQ(u.size(), 3u);
+  EXPECT_EQ(u[0].seqno, 1);
+  EXPECT_EQ(u[1].seqno, 2);
+  EXPECT_EQ(u[2].seqno, 4);
+}
+
+TEST(Sequence, ProjectionExampleFromPaper) {
+  // "given U = h2x, 6y, 1y, 3xi, Πx U = h2, 3i, and Πy U = h6, 1i"
+  std::vector<Update> u = {{0, 2, 0}, {1, 6, 0}, {1, 1, 0}, {0, 3, 0}};
+  EXPECT_EQ(project(std::span<const Update>{u}, 0), seqs({2, 3}));
+  EXPECT_EQ(project(std::span<const Update>{u}, 1), seqs({6, 1}));
+  EXPECT_TRUE(is_ordered(std::span<const Update>{u}, 0));
+  EXPECT_FALSE(is_ordered(std::span<const Update>{u}, 1));
+}
+
+TEST(Sequence, SplitByVarPreservesOrder) {
+  std::vector<Update> u = {{1, 6, 0}, {0, 2, 0}, {1, 7, 0}, {0, 3, 0}};
+  const auto split = split_by_var(std::span<const Update>{u});
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_EQ(split[0].first, 0u);
+  EXPECT_EQ(project(std::span<const Update>{split[0].second}, 0), seqs({2, 3}));
+  EXPECT_EQ(split[1].first, 1u);
+  EXPECT_EQ(project(std::span<const Update>{split[1].second}, 1), seqs({6, 7}));
+}
+
+// ------------------------- randomized properties -------------------------
+
+std::vector<SeqNo> random_ordered(util::Rng& rng, std::size_t max_len) {
+  std::vector<SeqNo> out;
+  SeqNo cur = 0;
+  const std::size_t len = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(max_len)));
+  for (std::size_t i = 0; i < len; ++i) {
+    cur += rng.uniform_int(1, 4);
+    out.push_back(cur);
+  }
+  return out;
+}
+
+class SequencePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SequencePropertyTest, UnionIsOrderedAndCoversBoth) {
+  util::Rng rng{GetParam()};
+  const auto a = random_ordered(rng, 20);
+  const auto b = random_ordered(rng, 20);
+  const auto u = ordered_union(std::span<const SeqNo>{a}, std::span<const SeqNo>{b});
+  EXPECT_TRUE(is_ordered(std::span<const SeqNo>{u}));
+  EXPECT_TRUE(is_subsequence(a, u));
+  EXPECT_TRUE(is_subsequence(b, u));
+  // No element outside a ∪ b.
+  for (SeqNo s : u) {
+    const bool in_a = std::find(a.begin(), a.end(), s) != a.end();
+    const bool in_b = std::find(b.begin(), b.end(), s) != b.end();
+    EXPECT_TRUE(in_a || in_b);
+  }
+  // No adjacent duplicates (Phi semantics).
+  for (std::size_t i = 1; i < u.size(); ++i) EXPECT_LT(u[i - 1], u[i]);
+}
+
+TEST_P(SequencePropertyTest, UnionIsIdempotentAndCommutative) {
+  util::Rng rng{GetParam()};
+  const auto a = random_ordered(rng, 20);
+  const auto b = random_ordered(rng, 20);
+  // Lemma 2: U ⊔ U = U.
+  EXPECT_EQ(ordered_union(std::span<const SeqNo>{a}, std::span<const SeqNo>{a}), a);
+  EXPECT_EQ(ordered_union(std::span<const SeqNo>{a}, std::span<const SeqNo>{b}),
+            ordered_union(std::span<const SeqNo>{b}, std::span<const SeqNo>{a}));
+}
+
+TEST_P(SequencePropertyTest, SubsequenceIsReflexiveAndTransitiveOnSamples) {
+  util::Rng rng{GetParam()};
+  const auto full = random_ordered(rng, 24);
+  // Sample a sub-subsequence chain full ⊒ mid ⊒ small.
+  std::vector<SeqNo> mid, small;
+  for (SeqNo s : full)
+    if (rng.bernoulli(0.7)) mid.push_back(s);
+  for (SeqNo s : mid)
+    if (rng.bernoulli(0.7)) small.push_back(s);
+  EXPECT_TRUE(is_subsequence(full, full));
+  EXPECT_TRUE(is_subsequence(mid, full));
+  EXPECT_TRUE(is_subsequence(small, mid));
+  EXPECT_TRUE(is_subsequence(small, full));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SequencePropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace rcm

@@ -1,0 +1,285 @@
+// Tests for the durable alert log, the store-and-forward outbox and the
+// disconnectable-displayer simulation: end-to-end losslessness of the
+// back-link path across AD outages, crash-durability of the log, and
+// retransmission/deduplication accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "core/builtin_conditions.hpp"
+#include "sim/disconnect.hpp"
+#include "store/alert_log.hpp"
+#include "store/outbox.hpp"
+#include "trace/generators.hpp"
+#include "trace/scripted.hpp"
+#include "wire/buffer.hpp"
+
+namespace rcm::store {
+namespace {
+
+Alert make_alert(SeqNo s) {
+  Alert a;
+  a.cond = "c";
+  a.histories.emplace(0, std::vector<Update>{{0, s, static_cast<double>(s)}});
+  return a;
+}
+
+// ----------------------------------------------------------- AlertLog ----
+
+TEST(AlertLog, AppendAssignsSequentialIndices) {
+  AlertLog log;
+  EXPECT_EQ(log.append(make_alert(1)), 0u);
+  EXPECT_EQ(log.append(make_alert(2)), 1u);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.next_index(), 2u);
+}
+
+TEST(AlertLog, PendingShrinksWithAcks) {
+  AlertLog log;
+  for (SeqNo s = 1; s <= 5; ++s) (void)log.append(make_alert(s));
+  EXPECT_EQ(log.pending().size(), 5u);
+  log.ack(1);
+  const auto pending = log.pending();
+  ASSERT_EQ(pending.size(), 3u);
+  EXPECT_EQ(pending.front().first, 2u);
+  log.ack(4);
+  EXPECT_TRUE(log.pending().empty());
+}
+
+TEST(AlertLog, AckIsIdempotentAndMonotone) {
+  AlertLog log;
+  (void)log.append(make_alert(1));
+  (void)log.append(make_alert(2));
+  log.ack(1);
+  log.ack(0);  // lower ack must not regress
+  EXPECT_TRUE(log.pending().empty());
+  log.ack(99);  // beyond the log: harmless
+  EXPECT_EQ(log.ack_level(), 2u);
+}
+
+TEST(AlertLog, AtBoundsChecked) {
+  AlertLog log;
+  (void)log.append(make_alert(7));
+  EXPECT_EQ(log.at(0).seqno(0), 7);
+  EXPECT_THROW((void)log.at(1), std::out_of_range);
+}
+
+TEST(AlertLog, SerializeRestoreRoundTrip) {
+  AlertLog log;
+  for (SeqNo s = 1; s <= 4; ++s) (void)log.append(make_alert(s));
+  log.ack(1);
+  const AlertLog restored = AlertLog::deserialize(log.serialize());
+  EXPECT_EQ(restored.size(), 4u);
+  EXPECT_EQ(restored.ack_level(), 2u);
+  EXPECT_EQ(restored.pending().size(), 2u);
+  EXPECT_EQ(restored.at(3).key(), make_alert(4).key());
+}
+
+TEST(AlertLog, DeserializeRejectsGarbage) {
+  const std::vector<std::uint8_t> garbage{0xff, 0xff, 0xff, 0x01};
+  EXPECT_THROW((void)AlertLog::deserialize(garbage), wire::DecodeError);
+}
+
+// --------------------------------------------------------- AlertOutbox ----
+
+struct SendRecorder {
+  std::vector<std::pair<AlertLog::Index, SeqNo>> sent;
+  AlertOutbox::SendFn fn() {
+    return [this](AlertLog::Index i, const Alert& a) {
+      sent.emplace_back(i, a.seqno(0));
+    };
+  }
+};
+
+TEST(AlertOutbox, NullSendThrows) {
+  EXPECT_THROW(AlertOutbox{nullptr}, std::invalid_argument);
+}
+
+TEST(AlertOutbox, SendsImmediatelyWhileConnected) {
+  SendRecorder rec;
+  AlertOutbox outbox{rec.fn()};
+  outbox.set_connected(true);
+  (void)outbox.submit(make_alert(1));
+  (void)outbox.submit(make_alert(2));
+  ASSERT_EQ(rec.sent.size(), 2u);
+  EXPECT_EQ(rec.sent[0], (std::pair<AlertLog::Index, SeqNo>{0, 1}));
+  EXPECT_EQ(outbox.retransmissions(), 0u);
+}
+
+TEST(AlertOutbox, BuffersWhileDisconnectedAndFlushesInOrder) {
+  SendRecorder rec;
+  AlertOutbox outbox{rec.fn()};
+  (void)outbox.submit(make_alert(1));
+  (void)outbox.submit(make_alert(2));
+  EXPECT_TRUE(rec.sent.empty());  // paper: CE logs, sends later
+  outbox.set_connected(true);
+  ASSERT_EQ(rec.sent.size(), 2u);
+  EXPECT_EQ(rec.sent[0].second, 1);
+  EXPECT_EQ(rec.sent[1].second, 2);
+  EXPECT_EQ(outbox.retransmissions(), 0u);  // first transmission, not re-
+}
+
+TEST(AlertOutbox, ReconnectRetransmitsUnackedOnly) {
+  SendRecorder rec;
+  AlertOutbox outbox{rec.fn()};
+  outbox.set_connected(true);
+  (void)outbox.submit(make_alert(1));
+  (void)outbox.submit(make_alert(2));
+  outbox.on_ack(0);  // alert 1 acknowledged
+  outbox.set_connected(false);
+  (void)outbox.submit(make_alert(3));  // buffered
+  rec.sent.clear();
+  outbox.set_connected(true);
+  ASSERT_EQ(rec.sent.size(), 2u);  // index 1 (retransmit) + index 2 (new)
+  EXPECT_EQ(rec.sent[0].first, 1u);
+  EXPECT_EQ(rec.sent[1].first, 2u);
+  EXPECT_EQ(outbox.retransmissions(), 1u);
+}
+
+TEST(AlertOutbox, RepeatedConnectWithoutNewsIsQuiet) {
+  SendRecorder rec;
+  AlertOutbox outbox{rec.fn()};
+  outbox.set_connected(true);
+  (void)outbox.submit(make_alert(1));
+  outbox.on_ack(0);
+  rec.sent.clear();
+  outbox.set_connected(true);  // already connected: no-op
+  outbox.set_connected(false);
+  outbox.set_connected(true);  // nothing pending: nothing sent
+  EXPECT_TRUE(rec.sent.empty());
+}
+
+TEST(AlertOutbox, RestoreAfterCrashKeepsDurableState) {
+  SendRecorder rec;
+  AlertOutbox outbox{rec.fn()};
+  outbox.set_connected(true);
+  (void)outbox.submit(make_alert(1));
+  (void)outbox.submit(make_alert(2));
+  outbox.on_ack(0);
+  const auto snapshot = outbox.log().serialize();
+
+  // Crash: a new outbox restored from the durable snapshot.
+  SendRecorder rec2;
+  AlertOutbox revived{rec2.fn()};
+  revived.restore(AlertLog::deserialize(snapshot));
+  EXPECT_FALSE(revived.connected());
+  revived.set_connected(true);
+  ASSERT_EQ(rec2.sent.size(), 1u);  // only the unacked entry resends
+  EXPECT_EQ(rec2.sent[0].first, 1u);
+}
+
+// ---------------------------------------------- disconnectable system ----
+
+sim::DisconnectConfig base_disconnect_config(std::uint64_t seed = 3) {
+  auto cond = std::make_shared<const ThresholdCondition>("hot", 0, 60.0);
+  sim::DisconnectConfig config;
+  config.base.condition = cond;
+  util::Rng rng{seed};
+  trace::UniformParams p;
+  p.base.var = 0;
+  p.base.count = 60;
+  p.lo = 0.0;
+  p.hi = 100.0;
+  config.base.dm_traces = {trace::uniform_trace(p, rng)};
+  config.base.num_ces = 2;
+  config.base.filter = FilterKind::kAd1;
+  config.base.seed = seed;
+  return config;
+}
+
+TEST(DisconnectableSystem, ValidatesWindows) {
+  auto config = base_disconnect_config();
+  config.ad_offline = {{10.0, 5.0}};
+  EXPECT_THROW((void)run_disconnectable_system(config),
+               std::invalid_argument);
+  config.ad_offline = {{5.0, 10.0}, {8.0, 12.0}};  // overlap
+  EXPECT_THROW((void)run_disconnectable_system(config),
+               std::invalid_argument);
+}
+
+TEST(DisconnectableSystem, NoOutageMatchesPlainRun) {
+  auto config = base_disconnect_config();
+  const auto result = sim::run_disconnectable_system(config);
+  EXPECT_EQ(result.retransmissions, 0u);
+  EXPECT_EQ(result.offline_drops, 0u);
+  EXPECT_EQ(result.duplicate_deliveries, 0u);
+  EXPECT_EQ(result.display_times.size(), result.run.displayed.size());
+  EXPECT_FALSE(result.run.displayed.empty());
+}
+
+TEST(DisconnectableSystem, AlertsSurviveOutage) {
+  // AD offline through the middle of the run; every alert any CE raised
+  // must still be displayed eventually (AD-1 dedups identical copies,
+  // so compare by key).
+  auto config = base_disconnect_config(5);
+  config.ad_offline = {{10.0, 40.0}};
+  const auto result = sim::run_disconnectable_system(config);
+
+  std::set<AlertKey> raised;
+  for (const auto& output : result.run.ce_outputs)
+    for (const Alert& a : output) raised.insert(a.key());
+  std::set<AlertKey> displayed;
+  for (const Alert& a : result.run.displayed) displayed.insert(a.key());
+  EXPECT_EQ(displayed, raised);
+  // Alerts raised during the outage were buffered and displayed only
+  // after reconnection at t = 40.
+  const bool some_late = std::any_of(result.display_times.begin(),
+                                     result.display_times.end(),
+                                     [](double t) { return t >= 40.0; });
+  EXPECT_TRUE(some_late);
+}
+
+TEST(DisconnectableSystem, OutageCoveringTraceEndStillDrains) {
+  auto config = base_disconnect_config(7);
+  config.ad_offline = {{30.0, 1e6}};  // offline long past the trace end
+  const auto result = sim::run_disconnectable_system(config);
+  std::set<AlertKey> raised;
+  for (const auto& output : result.run.ce_outputs)
+    for (const Alert& a : output) raised.insert(a.key());
+  std::set<AlertKey> displayed;
+  for (const Alert& a : result.run.displayed) displayed.insert(a.key());
+  EXPECT_EQ(displayed, raised);  // the final drain delivers the tail
+}
+
+TEST(DisconnectableSystem, DisplayLatencyReflectsOutage) {
+  // Alerts raised during the outage display only after reconnection.
+  auto config = base_disconnect_config(9);
+  config.ad_offline = {{10.0, 45.0}};
+  const auto result = sim::run_disconnectable_system(config);
+  for (double t : result.display_times) {
+    EXPECT_TRUE(t < 10.0 + 1.0 || t >= 45.0)
+        << "alert displayed at " << t << ", inside the offline window";
+  }
+}
+
+TEST(DisconnectableSystem, RepeatedOutagesDeduplicateByIndex) {
+  auto config = base_disconnect_config(11);
+  config.base.filter = FilterKind::kPassAll;  // count raw deliveries
+  config.ad_offline = {{5.0, 12.0}, {20.0, 30.0}, {40.0, 48.0}};
+  const auto result = sim::run_disconnectable_system(config);
+  // With PassAll, displayed must equal the union of raised entries
+  // exactly once per (replica, index): no duplicate displays.
+  std::size_t raised_total = 0;
+  for (const auto& output : result.run.ce_outputs)
+    raised_total += output.size();
+  EXPECT_EQ(result.run.displayed.size(), raised_total);
+}
+
+TEST(DisconnectableSystem, CrashedCeLosesAlertsButOtherCovers) {
+  auto config = base_disconnect_config(13);
+  config.base.ce_crashes = {{sim::CrashWindow{15.0, 45.0, true}}};
+  config.ad_offline = {{20.0, 35.0}};
+  const auto result = sim::run_disconnectable_system(config);
+  // CE1 was down 15-45: it received fewer updates than CE2.
+  EXPECT_LT(result.run.ce_inputs[0].size(), result.run.ce_inputs[1].size());
+  // Everything CE2 raised still displays despite the overlapping outage.
+  std::set<AlertKey> displayed;
+  for (const Alert& a : result.run.displayed) displayed.insert(a.key());
+  for (const Alert& a : result.run.ce_outputs[1])
+    EXPECT_TRUE(displayed.count(a.key())) << "lost alert " << a;
+}
+
+}  // namespace
+}  // namespace rcm::store

@@ -1,0 +1,173 @@
+// Tests for the workload generators: structural invariants (consecutive
+// seqnos from 1, strictly increasing emission times, value ranges),
+// determinism under a fixed RNG, and the scripted paper traces.
+#include <gtest/gtest.h>
+
+#include "trace/generators.hpp"
+#include "trace/scripted.hpp"
+
+namespace rcm::trace {
+namespace {
+
+void expect_well_formed(const Trace& t, VarId var, SeqNo first = 1) {
+  SeqNo expected = first;
+  double last_time = 0.0;
+  for (const TimedUpdate& tu : t) {
+    EXPECT_EQ(tu.update.var, var);
+    EXPECT_EQ(tu.update.seqno, expected++);
+    EXPECT_GT(tu.time, last_time);
+    last_time = tu.time;
+  }
+}
+
+TEST(Generators, ReactorTraceShape) {
+  util::Rng rng{1};
+  ReactorParams p;
+  p.base.var = 3;
+  p.base.count = 500;
+  const Trace t = reactor_trace(p, rng);
+  ASSERT_EQ(t.size(), 500u);
+  expect_well_formed(t, 3);
+  // Mean-reverting walk must mostly hover near the baseline...
+  std::size_t near_baseline = 0;
+  std::size_t excursions = 0;
+  for (const TimedUpdate& tu : t) {
+    if (std::abs(tu.update.value - p.baseline) < 4 * p.stddev) ++near_baseline;
+    if (tu.update.value > p.baseline + p.excursion_min) ++excursions;
+  }
+  EXPECT_GT(near_baseline, 350u);
+  // ...and with excursion_prob = 0.05 over 500 steps, excursions happen.
+  EXPECT_GT(excursions, 5u);
+}
+
+TEST(Generators, ReactorWithoutExcursionsStaysBounded) {
+  util::Rng rng{2};
+  ReactorParams p;
+  p.base.count = 1000;
+  p.excursion_prob = 0.0;
+  const Trace t = reactor_trace(p, rng);
+  for (const TimedUpdate& tu : t) {
+    EXPECT_GT(tu.update.value, p.baseline - 10 * p.stddev);
+    EXPECT_LT(tu.update.value, p.baseline + 10 * p.stddev);
+  }
+}
+
+TEST(Generators, StockTracePositivePrices) {
+  util::Rng rng{3};
+  StockParams p;
+  p.base.count = 1000;
+  const Trace t = stock_trace(p, rng);
+  ASSERT_EQ(t.size(), 1000u);
+  expect_well_formed(t, 0);
+  for (const TimedUpdate& tu : t) EXPECT_GT(tu.update.value, 0.0);
+}
+
+TEST(Generators, StockTraceHasSharpDrops) {
+  util::Rng rng{4};
+  StockParams p;
+  p.base.count = 2000;
+  p.crash_prob = 0.05;
+  p.drift = 0.03;  // offsets the crashes so the price stays off the floor
+  const Trace t = stock_trace(p, rng);
+  std::size_t sharp_drops = 0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    const double prev = t[i - 1].update.value;
+    const double cur = t[i].update.value;
+    if ((prev - cur) / prev > 0.14) ++sharp_drops;
+  }
+  EXPECT_GT(sharp_drops, 30u);  // ~100 expected
+}
+
+TEST(Generators, EventTraceRate) {
+  util::Rng rng{5};
+  EventParams p;
+  p.base.count = 10000;
+  p.event_prob = 0.2;
+  const Trace t = event_trace(p, rng);
+  std::size_t events = 0;
+  for (const TimedUpdate& tu : t) {
+    EXPECT_TRUE(tu.update.value == 0.0 || tu.update.value == 1.0);
+    if (tu.update.value == 1.0) ++events;
+  }
+  EXPECT_NEAR(static_cast<double>(events) / 10000.0, 0.2, 0.02);
+}
+
+TEST(Generators, UniformTraceRange) {
+  util::Rng rng{6};
+  UniformParams p;
+  p.base.count = 5000;
+  p.lo = -2.0;
+  p.hi = 7.0;
+  const Trace t = uniform_trace(p, rng);
+  for (const TimedUpdate& tu : t) {
+    EXPECT_GE(tu.update.value, -2.0);
+    EXPECT_LT(tu.update.value, 7.0);
+  }
+}
+
+TEST(Generators, DeterministicUnderSameRng) {
+  UniformParams p;
+  p.base.count = 100;
+  util::Rng r1{42}, r2{42};
+  const Trace a = uniform_trace(p, r1);
+  const Trace b = uniform_trace(p, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].update, b[i].update);
+    EXPECT_EQ(a[i].time, b[i].time);
+  }
+}
+
+TEST(Generators, CustomFirstSeqno) {
+  util::Rng rng{7};
+  UniformParams p;
+  p.base.count = 5;
+  p.base.first_seqno = 10;
+  const Trace t = uniform_trace(p, rng);
+  expect_well_formed(t, 0, 10);
+}
+
+TEST(Generators, UpdatesOfStripsTimes) {
+  util::Rng rng{8};
+  UniformParams p;
+  p.base.count = 7;
+  const Trace t = uniform_trace(p, rng);
+  const auto u = updates_of(t);
+  ASSERT_EQ(u.size(), 7u);
+  for (std::size_t i = 0; i < u.size(); ++i) EXPECT_EQ(u[i], t[i].update);
+}
+
+TEST(Scripted, BuildsExactPoints) {
+  const Trace t = scripted(4, {{2, 1.5}, {5, -3.0}});
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].update, (Update{4, 2, 1.5}));
+  EXPECT_EQ(t[1].update, (Update{4, 5, -3.0}));
+  EXPECT_LT(t[0].time, t[1].time);
+}
+
+TEST(Scripted, PaperTracesMatchThePaper) {
+  const auto e1 = example1_updates(0);
+  ASSERT_EQ(e1.size(), 3u);
+  EXPECT_EQ(e1[1].update, (Update{0, 2, 3100.0}));
+
+  const auto stock = intro_stock_updates(1);
+  ASSERT_EQ(stock.size(), 3u);
+  EXPECT_EQ(stock[0].update.value, 100.0);
+  EXPECT_EQ(stock[1].update.value, 50.0);
+  EXPECT_EQ(stock[2].update.value, 52.0);
+
+  const auto t3a = theorem3_u1(0), t3b = theorem3_u2(0);
+  EXPECT_EQ(t3a[0].update.seqno, 1);
+  EXPECT_EQ(t3b[0].update.seqno, 3);
+
+  const auto t4 = theorem4_updates(0);
+  ASSERT_EQ(t4.size(), 3u);
+  EXPECT_EQ(t4[2].update.value, 720.0);
+
+  const auto ux = theorem10_ux(0), uy = theorem10_uy(1);
+  EXPECT_EQ(ux[1].update.value, 1200.0);
+  EXPECT_EQ(uy[0].update.value, 1050.0);
+}
+
+}  // namespace
+}  // namespace rcm::trace

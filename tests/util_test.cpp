@@ -1,0 +1,250 @@
+// Unit tests for rcm::util: RNG determinism and distributions, statistics
+// accumulators, table rendering, flag parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rcm::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a{1}, b{2};
+  int differing = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() != b()) ++differing;
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, SmallConsecutiveSeedsAreWellMixed) {
+  // splitmix64 seeding should decorrelate seeds 0,1,2,...
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    Rng r{seed};
+    firsts.insert(r());
+  }
+  EXPECT_EQ(firsts.size(), 100u);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng r{7};
+  const auto first = r();
+  r.reseed(7);
+  EXPECT_EQ(r(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r{42};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r{42};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform(-5.0, 3.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng r{42};
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(r.uniform());
+  EXPECT_NEAR(acc.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r{42};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng r{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r{42};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (r.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r{42};
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(r.normal(10.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r{42};
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(r.exponential(2.0));
+  EXPECT_NEAR(acc.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, ForkIsDeterministicPerSalt) {
+  Rng a{5}, b{5};
+  Rng fa = a.fork(1), fb = b.fork(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa(), fb());
+}
+
+TEST(Rng, ForksWithDifferentSaltsDiffer) {
+  Rng a{5};
+  Rng f1 = a.fork(1);
+  Rng b{5};
+  Rng f2 = b.fork(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i)
+    if (f1() != f2()) ++differing;
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(4.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_EQ(acc.mean(), 4.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 4.0);
+  EXPECT_EQ(acc.max(), 4.0);
+}
+
+TEST(Accumulator, KnownStatistics) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.sum(), 40.0, 1e-12);
+}
+
+TEST(Ratio, Basics) {
+  Ratio r;
+  EXPECT_EQ(r.value(), 0.0);
+  r.add(true);
+  r.add(false);
+  r.add(true);
+  r.add(true);
+  EXPECT_DOUBLE_EQ(r.value(), 0.75);
+  EXPECT_EQ(r.hits(), 3u);
+  EXPECT_EQ(r.trials(), 4u);
+}
+
+TEST(Percentiles, NearestRank) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(static_cast<double>(i));
+  EXPECT_EQ(p.percentile(0.0), 1.0);
+  EXPECT_EQ(p.percentile(1.0), 100.0);
+  EXPECT_NEAR(p.percentile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(p.percentile(0.9), 90.0, 1.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"a", "longheader"});
+  t.add_row({"xx", "y"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("a   longheader"), std::string::npos);
+  EXPECT_NE(s.find("xx  y"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW(t.render());
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TableFormat, Helpers) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_percent(0.125, 1), "12.5%");
+  EXPECT_EQ(fmt_property(true), "yes");
+  EXPECT_EQ(fmt_property(false), "NO");
+}
+
+TEST(Args, DefaultsAndOverrides) {
+  Args args;
+  args.add_flag("runs", "100", "number of runs");
+  args.add_flag("loss", "0.2", "loss rate");
+  args.add_flag("verbose", "false", "chatty output");
+  const char* argv[] = {"prog", "--runs", "500", "--verbose"};
+  ASSERT_TRUE(args.parse(4, argv));
+  EXPECT_EQ(args.get_int("runs"), 500);
+  EXPECT_DOUBLE_EQ(args.get_double("loss"), 0.2);
+  EXPECT_TRUE(args.get_bool("verbose"));
+}
+
+TEST(Args, EqualsSyntax) {
+  Args args;
+  args.add_flag("seed", "1", "seed");
+  const char* argv[] = {"prog", "--seed=99"};
+  ASSERT_TRUE(args.parse(2, argv));
+  EXPECT_EQ(args.get_int("seed"), 99);
+}
+
+TEST(Args, UnknownFlagIsError) {
+  Args args;
+  args.add_flag("seed", "1", "seed");
+  const char* argv[] = {"prog", "--sed=99"};
+  EXPECT_FALSE(args.parse(2, argv));
+  EXPECT_NE(args.error().find("unknown flag"), std::string::npos);
+}
+
+TEST(Args, HelpRequested) {
+  Args args;
+  const char* argv[] = {"prog", "--help"};
+  ASSERT_TRUE(args.parse(2, argv));
+  EXPECT_TRUE(args.help_requested());
+  EXPECT_NE(args.usage("prog").find("usage: prog"), std::string::npos);
+}
+
+TEST(Args, UnregisteredGetThrows) {
+  Args args;
+  EXPECT_THROW((void)args.get("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rcm::util

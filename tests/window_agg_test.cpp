@@ -1,0 +1,105 @@
+// Window-aggregate intrinsics of the expression language: avg/sum/wmin/
+// wmax over the last k received values — realistic degree-k monitoring
+// conditions (e.g. "the 3-reading average exceeds the alarm level"),
+// kept finite-degree exactly as the paper's model requires.
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "core/expr/analysis.hpp"
+#include "core/expr/expression_condition.hpp"
+#include "core/expr/lexer.hpp"
+#include "core/expr/parser.hpp"
+
+namespace rcm::expr {
+namespace {
+
+HistorySet feed(const Condition& c, const std::vector<Update>& updates) {
+  HistorySet h = c.make_history_set();
+  for (const Update& u : updates) h.push(u);
+  return h;
+}
+
+TEST(WindowAgg, ParsesAndPrints) {
+  EXPECT_EQ(to_string(*parse("avg(x, 3) > 10")), "(avg(x, 3) > 10)");
+  EXPECT_EQ(to_string(*parse("sum(x, 2) + wmin(y, 4) < wmax(x, 2)")),
+            "((sum(x, 2) + wmin(y, 4)) < wmax(x, 2))");
+}
+
+TEST(WindowAgg, ParserRejectsBadWindows) {
+  EXPECT_THROW(parse("avg(x, 0) > 1"), SyntaxError);
+  EXPECT_THROW(parse("avg(x, -2) > 1"), SyntaxError);
+  EXPECT_THROW(parse("avg(x, 1.5) > 1"), SyntaxError);
+  EXPECT_THROW(parse("avg(x, y) > 1"), SyntaxError);
+  EXPECT_THROW(parse("avg(3, 2) > 1"), SyntaxError);
+  EXPECT_THROW(parse("avg(x) > 1"), SyntaxError);
+}
+
+TEST(WindowAgg, DegreeIsWindowSize) {
+  EXPECT_EQ(infer_degrees(*parse("avg(x, 5) > 1")).at("x"), 5);
+  // Mixed with explicit history refs: max wins.
+  EXPECT_EQ(infer_degrees(*parse("avg(x, 2) > x[-3]")).at("x"), 4);
+  EXPECT_EQ(infer_degrees(*parse("sum(x, 2) > x[-6]")).at("x"), 7);
+}
+
+TEST(WindowAgg, TypeIsNumeric) {
+  EXPECT_EQ(check_types(*parse("avg(x, 3)")), Type::kNumber);
+  EXPECT_THROW(check_types(*parse("avg(x, 3) && true")), AnalysisError);
+}
+
+TEST(WindowAgg, AggregatesAreConservativeOnlyWithGuard) {
+  EXPECT_FALSE(is_conservative(*parse("avg(x, 3) > 10")));
+  EXPECT_TRUE(is_conservative(*parse("avg(x, 3) > 10 && consecutive(x)")));
+}
+
+TEST(WindowAgg, EvaluatesAllFourOps) {
+  VariableRegistry vars;
+  auto cond = compile_condition(
+      "agg",
+      "avg(x, 3) == 20 && sum(x, 3) == 60 && wmin(x, 3) == 10 && "
+      "wmax(x, 3) == 30",
+      vars);
+  const VarId x = vars.intern("x");
+  EXPECT_TRUE(cond->evaluate(
+      feed(*cond, {{x, 1, 10.0}, {x, 2, 30.0}, {x, 3, 20.0}})));
+  EXPECT_FALSE(cond->evaluate(
+      feed(*cond, {{x, 1, 10.0}, {x, 2, 30.0}, {x, 3, 21.0}})));
+}
+
+TEST(WindowAgg, MovingAverageCondition) {
+  // "3-reading average above 3000": the smoothed variant of c1 that a
+  // real reactor deployment would use to avoid alerting on sensor blips.
+  VariableRegistry vars;
+  auto cond = compile_condition("smooth", "avg(temp, 3) > 3000", vars);
+  const VarId t = vars.intern("temp");
+  EXPECT_EQ(cond->degree(t), 3);
+
+  ConditionEvaluator ce{cond};
+  EXPECT_FALSE(ce.on_update({t, 1, 3500.0}).has_value());  // undefined
+  EXPECT_FALSE(ce.on_update({t, 2, 2000.0}).has_value());  // undefined
+  EXPECT_FALSE(ce.on_update({t, 3, 2600.0}).has_value());  // avg 2700
+  EXPECT_TRUE(ce.on_update({t, 4, 4500.0}).has_value());   // avg 3033
+  // The alert's window carries the full degree-3 history.
+  EXPECT_EQ(ce.emitted().back().history_seqnos(t),
+            (std::vector<SeqNo>{2, 3, 4}));
+}
+
+TEST(WindowAgg, WindowOfOneEqualsCurrentValue) {
+  VariableRegistry vars;
+  auto cond = compile_condition("one", "avg(x, 1) == x[0]", vars);
+  const VarId x = vars.intern("x");
+  EXPECT_EQ(cond->degree(x), 1);
+  EXPECT_TRUE(cond->evaluate(feed(*cond, {{x, 1, 42.0}})));
+}
+
+TEST(WindowAgg, MinMaxNamesDoNotCollideWithBinaryIntrinsics) {
+  // min/max remain the two-argument numeric intrinsics; wmin/wmax are
+  // the window forms.
+  VariableRegistry vars;
+  auto cond = compile_condition(
+      "mix", "min(x[0], wmax(x, 2)) == x[0]", vars);
+  const VarId x = vars.intern("x");
+  EXPECT_TRUE(cond->evaluate(feed(*cond, {{x, 1, 5.0}, {x, 2, 9.0}})));
+}
+
+}  // namespace
+}  // namespace rcm::expr

@@ -1,0 +1,164 @@
+// Witness extraction: consistent runs yield a witness input U' and
+// complete runs a witness interleaving UV. These tests validate the
+// witnesses *semantically* — by re-running the reference evaluator T
+// over them and checking the defining Phi relations — across randomized
+// single-, two- and three-variable runs. A checker whose witnesses
+// always verify cannot be silently over-approving.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "check/completeness.hpp"
+#include "check/consistency.hpp"
+#include "check/properties.hpp"
+#include "core/builtin_conditions.hpp"
+#include "core/evaluator.hpp"
+#include "core/filters.hpp"
+#include "core/sequence.hpp"
+#include "exp/scenarios.hpp"
+#include "sim/system.hpp"
+
+namespace rcm::check {
+namespace {
+
+std::set<AlertKey> key_set(const std::vector<Alert>& alerts) {
+  std::set<AlertKey> out;
+  for (const Alert& a : alerts) out.insert(a.key());
+  return out;
+}
+
+/// Witness must be ordered per variable (a legal input stream).
+void expect_valid_stream(const std::vector<Update>& witness,
+                         const std::vector<VarId>& vars) {
+  for (VarId v : vars)
+    EXPECT_TRUE(is_ordered(std::span<const Update>{witness}, v));
+}
+
+/// Witness per-variable projection must be a subsequence of the combined
+/// inputs' projection (U' ⊑ the replicas' combined knowledge).
+void expect_subsequence_of_union(
+    const std::vector<Update>& witness,
+    const std::vector<std::vector<Update>>& ce_inputs) {
+  const auto unions = combined_inputs(ce_inputs);
+  for (const auto& [var, seq] : unions) {
+    const auto wit_proj = project(std::span<const Update>{witness}, var);
+    const auto union_proj = project(std::span<const Update>{seq}, var);
+    EXPECT_TRUE(is_subsequence(wit_proj, union_proj));
+  }
+}
+
+class WitnessTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WitnessTest, ConsistencyWitnessVerifiesSingleVar) {
+  const auto spec =
+      exp::single_var_scenario(exp::Scenario::kLossyAggressive);
+  util::Rng trial{GetParam()};
+  sim::SystemConfig config;
+  config.condition = spec.condition;
+  config.dm_traces = spec.make_traces(25, trial);
+  config.front.loss = spec.front_loss;
+  config.front.delay_max = 0.8;
+  config.back.delay_max = 0.8;
+  config.filter = FilterKind::kAd3;  // consistent by construction
+  config.seed = GetParam() * 17;
+  const auto r = sim::run_system(config);
+  const auto run = r.as_system_run(spec.condition);
+
+  const auto result = check_consistent(run);
+  ASSERT_TRUE(result.consistent);
+  expect_valid_stream(result.witness, spec.condition->variables());
+  expect_subsequence_of_union(result.witness, run.ce_inputs);
+  // Phi(A) ⊆ Phi(T(witness)) — the definition of consistency.
+  const auto ref = key_set(evaluate_trace(spec.condition, result.witness));
+  for (const Alert& a : r.displayed)
+    EXPECT_TRUE(ref.count(a.key())) << "unexplained alert " << a;
+}
+
+TEST_P(WitnessTest, ConsistencyWitnessVerifiesMultiVar) {
+  const auto spec =
+      exp::multi_var_scenario(exp::Scenario::kLossyConservative);
+  util::Rng trial{GetParam() + 500};
+  sim::SystemConfig config;
+  config.condition = spec.condition;
+  config.dm_traces = spec.make_traces(10, trial);
+  config.front.loss = spec.front_loss;
+  config.front.delay_max = 2.0;
+  config.back.delay_max = 2.0;
+  config.filter = FilterKind::kAd6;
+  config.seed = GetParam() * 29;
+  const auto r = sim::run_system(config);
+  const auto run = r.as_system_run(spec.condition);
+
+  const auto result = check_consistent(run);
+  ASSERT_TRUE(result.consistent) << result.reason;
+  expect_valid_stream(result.witness, spec.condition->variables());
+  expect_subsequence_of_union(result.witness, run.ce_inputs);
+  const auto ref = key_set(evaluate_trace(spec.condition, result.witness));
+  for (const Alert& a : r.displayed)
+    EXPECT_TRUE(ref.count(a.key())) << "unexplained alert " << a;
+}
+
+TEST_P(WitnessTest, CompletenessWitnessVerifiesSingleVar) {
+  const auto spec =
+      exp::single_var_scenario(exp::Scenario::kLossyNonHistorical);
+  util::Rng trial{GetParam() + 1000};
+  sim::SystemConfig config;
+  config.condition = spec.condition;
+  config.dm_traces = spec.make_traces(25, trial);
+  config.front.loss = spec.front_loss;
+  config.filter = FilterKind::kAd1;  // complete for non-historical
+  config.seed = GetParam() * 37;
+  const auto r = sim::run_system(config);
+  const auto run = r.as_system_run(spec.condition);
+
+  std::vector<Update> witness;
+  ASSERT_EQ(check_complete(run, 200000, &witness), Verdict::kHolds);
+  // Phi(T(witness)) == Phi(A), exactly.
+  EXPECT_EQ(key_set(evaluate_trace(spec.condition, witness)),
+            key_set(r.displayed));
+}
+
+TEST_P(WitnessTest, CompletenessWitnessVerifiesMultiVar) {
+  const auto spec = exp::multi_var_scenario(exp::Scenario::kLossless);
+  util::Rng trial{GetParam() + 2000};
+  sim::SystemConfig config;
+  config.condition = spec.condition;
+  config.dm_traces = spec.make_traces(7, trial);
+  config.front.loss = 0.0;
+  config.front.delay_max = 2.0;
+  config.back.delay_max = 2.0;
+  config.filter = FilterKind::kAd5;
+  config.seed = GetParam() * 41;
+  const auto r = sim::run_system(config);
+  const auto run = r.as_system_run(spec.condition);
+
+  std::vector<Update> witness;
+  const Verdict v = check_complete(run, 400000, &witness);
+  if (v != Verdict::kHolds) return;  // incomplete runs have no witness
+  expect_valid_stream(witness, spec.condition->variables());
+  EXPECT_EQ(key_set(evaluate_trace(spec.condition, witness)),
+            key_set(r.displayed));
+  // A multi-variable completeness witness interleaves the FULL unions.
+  const auto unions = combined_inputs(run.ce_inputs);
+  std::size_t total = 0;
+  for (const auto& [var, seq] : unions) total += seq.size();
+  EXPECT_EQ(witness.size(), total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WitnessTest,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(WitnessTest, EmptyDisplayedHasEmptyConsistencyWitness) {
+  auto cond = std::make_shared<const ThresholdCondition>("t", 0, 50.0);
+  SystemRun run;
+  run.condition = cond;
+  run.ce_inputs = {{{0, 1, 10.0}}};
+  const auto result = check_consistent(run);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_TRUE(result.witness.empty());
+}
+
+}  // namespace
+}  // namespace rcm::check
