@@ -75,6 +75,20 @@ SystemRun decode_system_run(std::span<const std::uint8_t> bytes,
   return run;
 }
 
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t run_digest(const SystemRun& run) {
+  const auto bytes = encode_system_run(run);
+  return fnv1a(bytes);
+}
+
 void save_run(const std::filesystem::path& path, const SystemRun& run) {
   const auto framed = wire::frame(encode_system_run(run));
   std::ofstream out{path, std::ios::binary | std::ios::trunc};

@@ -32,4 +32,16 @@ void save_run(const std::filesystem::path& path, const SystemRun& run);
 [[nodiscard]] SystemRun load_run(const std::filesystem::path& path,
                                  ConditionPtr condition);
 
+/// FNV-1a 64-bit digest over arbitrary bytes; exposed so callers can fold
+/// additional observations (e.g. display timestamps) into a run digest
+/// with the same function. `seed` chains digests: pass a previous result.
+[[nodiscard]] std::uint64_t fnv1a(std::span<const std::uint8_t> bytes,
+                                  std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Stable fingerprint of a run: fnv1a over encode_system_run(run). Two
+/// runs have equal digests iff their serialized inputs and displayed
+/// alerts are bit-for-bit identical — the equality the swarm harness uses
+/// to certify that a replayed counterexample reproduced exactly.
+[[nodiscard]] std::uint64_t run_digest(const SystemRun& run);
+
 }  // namespace rcm::check

@@ -183,6 +183,23 @@ void Ad6MultiOrderedConsistentFilter::reset() {
   ledger_.clear();
 }
 
+// ------------------------------------------------- broken AD-2 (test) ----
+
+bool BrokenAd2Filter::accepts(const Alert& a) const {
+  // The real AD-2 compares a.seqno(var) against the last *displayed*
+  // sequence number and discards anything <=. This variant forgot the
+  // holdback entirely; it only absorbs an immediate exact repeat.
+  return !last_ || a.key() != *last_;
+}
+
+void BrokenAd2Filter::record(const Alert& a) { last_ = a.key(); }
+
+std::string_view BrokenAd2Filter::name() const noexcept {
+  return "AD-2(broken)";
+}
+
+void BrokenAd2Filter::reset() { last_.reset(); }
+
 // ------------------------------------------------------------ factory ----
 
 FilterPtr make_filter(FilterKind kind, const std::vector<VarId>& vars) {
@@ -210,6 +227,9 @@ FilterPtr make_filter(FilterKind kind, const std::vector<VarId>& vars) {
       return std::make_unique<Ad5MultiOrderedFilter>(vars);
     case FilterKind::kAd6:
       return std::make_unique<Ad6MultiOrderedConsistentFilter>(vars);
+    case FilterKind::kBrokenAd2:
+      (void)require_single_var("AD-2(broken)");
+      return std::make_unique<BrokenAd2Filter>();
   }
   throw std::invalid_argument("make_filter: unknown FilterKind");
 }
@@ -227,6 +247,8 @@ FilterKind parse_filter_kind(std::string_view name) {
   if (lower == "ad-4" || lower == "ad4") return FilterKind::kAd4;
   if (lower == "ad-5" || lower == "ad5") return FilterKind::kAd5;
   if (lower == "ad-6" || lower == "ad6") return FilterKind::kAd6;
+  if (lower == "ad-2-broken" || lower == "ad2-broken" || lower == "broken")
+    return FilterKind::kBrokenAd2;
   throw std::invalid_argument("unknown filter: " + std::string(name));
 }
 
@@ -240,6 +262,7 @@ std::string_view filter_kind_name(FilterKind kind) noexcept {
     case FilterKind::kAd4: return "AD-4";
     case FilterKind::kAd5: return "AD-5";
     case FilterKind::kAd6: return "AD-6";
+    case FilterKind::kBrokenAd2: return "AD-2(broken)";
   }
   return "?";
 }

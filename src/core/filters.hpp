@@ -25,6 +25,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <string_view>
@@ -216,7 +217,27 @@ class Ad6MultiOrderedConsistentFilter final : public AlertFilter {
   std::unordered_set<AlertKey, AlertKeyHash> seen_;
 };
 
-/// Names accepted by make_filter.
+/// TEST-ONLY broken variant of Algorithm AD-2: the holdback test against
+/// the last displayed sequence number is dropped, so the filter passes
+/// out-of-order alerts; only an exact duplicate of the *immediately
+/// preceding* display is suppressed. It claims AD-2's guarantees but
+/// delivers none of them — the swarm harness (src/swarm) injects it to
+/// prove its own detection and shrinking machinery works. Never use it
+/// in a real deployment.
+class BrokenAd2Filter final : public AlertFilter {
+ public:
+  [[nodiscard]] bool accepts(const Alert& a) const override;
+  void record(const Alert& a) override;
+  [[nodiscard]] std::string_view name() const noexcept override;
+  void reset() override;
+
+ private:
+  std::optional<AlertKey> last_;
+};
+
+/// Names accepted by make_filter. kBrokenAd2 is test-only (see
+/// BrokenAd2Filter); it exists so the swarm harness can validate that a
+/// filter which silently violates its guarantee table is caught.
 enum class FilterKind {
   kPassAll,
   kDropAll,
@@ -226,6 +247,7 @@ enum class FilterKind {
   kAd4,
   kAd5,
   kAd6,
+  kBrokenAd2,
 };
 
 /// Factory. `vars` is the condition's variable set; AD-2/AD-4 require

@@ -19,7 +19,9 @@ class Simulator {
   using Action = std::function<void()>;
 
   /// Schedules `action` at absolute virtual time `at`. Scheduling in the
-  /// past (before now()) clamps to now(): the action runs next.
+  /// past (before now()) clamps to now(): the action runs at the current
+  /// time, but AFTER any actions already queued at now() — ties are broken
+  /// first-scheduled-first-run, and clamping does not jump that queue.
   void schedule_at(double at, Action action);
 
   /// Schedules `action` `delay` seconds after the current virtual time.

@@ -1,0 +1,187 @@
+#include "swarm/fuzzer.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace rcm::swarm {
+namespace {
+
+/// Trace shapes the fuzzer draws from. All shapes keep values roughly in
+/// [0, 100] so the sampled condition parameters give useful (neither
+/// zero nor saturating) trigger rates.
+enum class TraceShape { kUniform, kDrift, kStock };
+
+trace::Trace make_trace(TraceShape shape, VarId var, std::size_t count,
+                        double jitter, util::Rng& rng) {
+  switch (shape) {
+    case TraceShape::kUniform: {
+      trace::UniformParams p;
+      p.base.var = var;
+      p.base.count = count;
+      p.base.period = 1.0;
+      p.base.jitter = jitter;
+      p.lo = 0.0;
+      p.hi = 100.0;
+      return trace::uniform_trace(p, rng);
+    }
+    case TraceShape::kDrift: {
+      trace::ReactorParams p;  // slow mean-reverting walk around 50
+      p.base.var = var;
+      p.base.count = count;
+      p.base.period = 1.0;
+      p.base.jitter = jitter;
+      p.baseline = 50.0;
+      p.stddev = 8.0;
+      p.reversion = 0.15;
+      p.excursion_prob = 0.04;
+      p.excursion_min = 20.0;
+      p.excursion_max = 45.0;
+      return trace::reactor_trace(p, rng);
+    }
+    case TraceShape::kStock: {
+      trace::StockParams p;  // multiplicative walk with sharp drops
+      p.base.var = var;
+      p.base.count = count;
+      p.base.period = 1.0;
+      p.base.jitter = jitter;
+      p.initial = 60.0;
+      p.volatility = 0.08;
+      p.crash_prob = 0.05;
+      return trace::stock_trace(p, rng);
+    }
+  }
+  return {};
+}
+
+ConditionKind sample_condition(bool multi, util::Rng& rng, double& param) {
+  if (!multi) {
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        param = rng.uniform(45.0, 70.0);
+        return ConditionKind::kThreshold;
+      case 1:
+        param = rng.uniform(15.0, 30.0);
+        return ConditionKind::kRiseAggressive;
+      default:
+        param = rng.uniform(15.0, 30.0);
+        return ConditionKind::kRiseConservative;
+    }
+  }
+  switch (rng.uniform_int(0, 3)) {
+    case 0:
+      param = rng.uniform(20.0, 40.0);
+      return ConditionKind::kAbsDiff;
+    case 1:
+      param = rng.uniform(20.0, 35.0);
+      return ConditionKind::kBand;
+    case 2:
+      param = rng.uniform(15.0, 30.0);
+      return ConditionKind::kRise2dAggressive;
+    default:
+      param = rng.uniform(15.0, 30.0);
+      return ConditionKind::kRise2dConservative;
+  }
+}
+
+FilterKind sample_filter(bool multi, util::Rng& rng) {
+  if (multi) {
+    // The paper states multi-variable claims for AD-1 (Theorem 10), AD-5
+    // (Table 3) and AD-6 (§5.2) only.
+    constexpr FilterKind kMulti[] = {FilterKind::kAd1, FilterKind::kAd5,
+                                     FilterKind::kAd6};
+    return kMulti[rng.uniform_int(0, 2)];
+  }
+  constexpr FilterKind kSingle[] = {FilterKind::kAd1, FilterKind::kAd2,
+                                    FilterKind::kAd3, FilterKind::kAd4};
+  return kSingle[rng.uniform_int(0, 3)];
+}
+
+}  // namespace
+
+SwarmSpec sample_spec(std::uint64_t master_seed, std::uint64_t index,
+                      const FuzzOptions& options) {
+  util::Rng master{master_seed};
+  util::Rng rng = master.fork(index + 1);
+
+  SwarmSpec spec;
+
+  // Filters pinned to a single-variable algorithm constrain the
+  // condition's arity; sample arity accordingly.
+  bool multi = rng.bernoulli(0.35);
+  if (options.force_filter) {
+    switch (*options.force_filter) {
+      case FilterKind::kAd2:
+      case FilterKind::kAd4:
+      case FilterKind::kBrokenAd2:
+        multi = false;
+        break;
+      default:
+        break;
+    }
+  }
+  spec.cond_kind = sample_condition(multi, rng, spec.cond_param);
+  spec.filter = options.force_filter ? *options.force_filter
+                                     : sample_filter(multi, rng);
+
+  const auto arity = condition_arity(spec.cond_kind);
+  const double jitter = rng.uniform(0.0, 0.45);
+  double horizon = 0.0;
+  for (VarId v = 0; v < arity; ++v) {
+    const std::size_t count = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(options.min_updates),
+        static_cast<std::int64_t>(options.max_updates)));
+    // Secondary variables drift slowly (the Lemma 6 shape that makes
+    // multi-variable anomalies observable); the primary one jumps.
+    const TraceShape shape =
+        v == 0 ? (rng.bernoulli(0.8) ? TraceShape::kUniform
+                                     : TraceShape::kStock)
+               : (rng.bernoulli(0.7) ? TraceShape::kDrift
+                                     : TraceShape::kUniform);
+    spec.traces.push_back(make_trace(shape, v, count, jitter, rng));
+    for (const auto& tu : spec.traces.back())
+      horizon = std::max(horizon, tu.time);
+  }
+
+  spec.num_ces = static_cast<std::uint32_t>(
+      rng.uniform_int(1, static_cast<std::int64_t>(
+                             std::max<std::uint32_t>(options.max_ces, 1))));
+
+  spec.front.loss =
+      rng.bernoulli(options.lossless_prob) ? 0.0 : rng.uniform(0.05, 0.35);
+  spec.front.delay_min = 0.01;
+  spec.front.delay_max = rng.uniform(0.1, 2.5);
+  spec.back.loss = 0.0;
+  spec.back.delay_min = 0.01;
+  spec.back.delay_max = rng.uniform(0.1, 2.5);
+
+  if (rng.bernoulli(options.crash_prob)) {
+    for (std::uint32_t ce = 0; ce < spec.num_ces; ++ce) {
+      std::vector<sim::CrashWindow> windows;
+      if (rng.bernoulli(0.5)) {
+        sim::CrashWindow cw;
+        cw.down_at = rng.uniform(0.0, std::max(horizon, 1.0));
+        cw.up_at = cw.down_at + rng.uniform(1.0, horizon / 2.0 + 2.0);
+        cw.lose_state = rng.bernoulli(0.5);
+        windows.push_back(cw);
+      }
+      spec.crashes.push_back(std::move(windows));
+    }
+  }
+
+  if (rng.bernoulli(options.offline_prob)) {
+    const int count = static_cast<int>(rng.uniform_int(1, 2));
+    double at = 0.0;
+    for (int i = 0; i < count; ++i) {
+      const double from = at + rng.uniform(0.5, horizon / 2.0 + 1.0);
+      const double to = from + rng.uniform(1.0, horizon / 2.0 + 2.0);
+      spec.ad_offline.emplace_back(from, to);
+      at = to;
+    }
+  }
+
+  spec.seed = rng();
+  return spec;
+}
+
+}  // namespace rcm::swarm

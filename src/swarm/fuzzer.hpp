@@ -1,0 +1,47 @@
+// Seeded configuration fuzzer: samples SwarmSpecs across the whole
+// scenario space of the paper — condition degree and triggering class,
+// trace shape, replica count, filter algorithm, loss/delay spreads, CE
+// crash schedules and AD offline windows.
+//
+// Sampling is a pure function of (master seed, run index): run i of a
+// swarm with seed s is the same spec on every machine, every time, which
+// is what makes a failing run index reportable and the whole batch
+// replayable from two integers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "swarm/spec.hpp"
+
+namespace rcm::swarm {
+
+/// Knobs restricting the sampled space. Defaults cover everything.
+struct FuzzOptions {
+  /// Force every spec to use this filter (it must be compatible with the
+  /// sampled condition arity; incompatible combinations re-sample the
+  /// condition as single-variable). Used to aim the swarm at one
+  /// algorithm — e.g. the broken test-only filter.
+  std::optional<FilterKind> force_filter;
+
+  /// Bounds on trace length per variable.
+  std::size_t min_updates = 8;
+  std::size_t max_updates = 50;
+
+  /// Maximum replica count (>= 1).
+  std::uint32_t max_ces = 4;
+
+  /// Probability that a spec is lossless / has crashes / has AD offline
+  /// windows.
+  double lossless_prob = 0.3;
+  double crash_prob = 0.4;
+  double offline_prob = 0.25;
+};
+
+/// Samples the spec for run `index` of the swarm seeded with
+/// `master_seed`.
+[[nodiscard]] SwarmSpec sample_spec(std::uint64_t master_seed,
+                                    std::uint64_t index,
+                                    const FuzzOptions& options = {});
+
+}  // namespace rcm::swarm

@@ -1,0 +1,119 @@
+#include "swarm/record.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "check/run_record.hpp"
+#include "wire/buffer.hpp"
+#include "wire/frame.hpp"
+
+namespace rcm::swarm {
+namespace {
+
+constexpr std::uint8_t kRecordTag = 0x57;  // 'W'
+constexpr std::uint8_t kVersion = 1;
+
+}  // namespace
+
+CounterexampleRecord make_record(const SwarmSpec& spec, const RunCheck& chk) {
+  CounterexampleRecord record;
+  record.spec = spec;
+  record.violation_kinds = chk.violation_kinds;
+  record.digest = chk.digest;
+  const Execution exec = execute(spec);
+  record.run_bytes = check::encode_system_run(exec.result.as_system_run(
+      build_condition(spec.cond_kind, spec.cond_param)));
+  return record;
+}
+
+std::vector<std::uint8_t> encode_record(const CounterexampleRecord& record) {
+  wire::Writer w;
+  w.u8(kRecordTag);
+  w.u8(kVersion);
+  encode_spec(w, record.spec);
+  w.varint(record.violation_kinds.size());
+  for (ViolationKind k : record.violation_kinds)
+    w.u8(static_cast<std::uint8_t>(k));
+  w.u64(record.digest);
+  w.varint(record.run_bytes.size());
+  w.raw(record.run_bytes);
+  return w.take();
+}
+
+CounterexampleRecord decode_record(std::span<const std::uint8_t> bytes) {
+  wire::Reader r{bytes};
+  if (r.u8() != kRecordTag)
+    throw wire::DecodeError("not a swarm counterexample record");
+  if (r.u8() != kVersion)
+    throw wire::DecodeError("unsupported swarm record version");
+  CounterexampleRecord record;
+  record.spec = decode_spec(r);
+  const std::uint64_t kinds = r.varint();
+  if (kinds > 64) throw wire::DecodeError("too many violation kinds");
+  for (std::uint64_t i = 0; i < kinds; ++i) {
+    const std::uint8_t k = r.u8();
+    if (k > static_cast<std::uint8_t>(ViolationKind::kNonDeterminism))
+      throw wire::DecodeError("unknown violation kind");
+    record.violation_kinds.push_back(static_cast<ViolationKind>(k));
+  }
+  record.digest = r.u64();
+  const std::uint64_t len = r.varint();
+  if (len > (1u << 26)) throw wire::DecodeError("run record too large");
+  // Reserve conservatively: `len` is attacker-controlled until the reads
+  // below prove the bytes exist.
+  record.run_bytes.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(len, 4096)));
+  for (std::uint64_t i = 0; i < len; ++i) record.run_bytes.push_back(r.u8());
+  r.expect_done();
+  // The embedded run must itself decode (condition identity is carried by
+  // the spec); rejecting here keeps corrupt records from surfacing later.
+  (void)check::decode_system_run(
+      record.run_bytes,
+      build_condition(record.spec.cond_kind, record.spec.cond_param));
+  return record;
+}
+
+void save_record(const std::filesystem::path& path,
+                 const CounterexampleRecord& record) {
+  const auto framed = wire::frame(encode_record(record));
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out.is_open())
+    throw std::runtime_error("save_record: cannot open " + path.string());
+  out.write(reinterpret_cast<const char*>(framed.data()),
+            static_cast<std::streamsize>(framed.size()));
+  if (!out.good())
+    throw std::runtime_error("save_record: write failed on " + path.string());
+}
+
+CounterexampleRecord load_record(const std::filesystem::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in.is_open())
+    throw std::runtime_error("load_record: cannot open " + path.string());
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  wire::FrameCursor cursor;
+  cursor.feed(bytes);
+  const auto payload = cursor.next();
+  if (!payload)
+    throw wire::DecodeError("load_record: no complete frame in file");
+  return decode_record(*payload);
+}
+
+ReplayResult replay(const CounterexampleRecord& record,
+                    const CheckOptions& options) {
+  ReplayResult out;
+  out.check = execute_and_check(record.spec, options);
+
+  const Execution exec = execute(record.spec);
+  const auto fresh_bytes = check::encode_system_run(exec.result.as_system_run(
+      build_condition(record.spec.cond_kind, record.spec.cond_param)));
+  out.digest_matched =
+      out.check.digest == record.digest && fresh_bytes == record.run_bytes;
+
+  out.violations_matched = std::all_of(
+      record.violation_kinds.begin(), record.violation_kinds.end(),
+      [&](ViolationKind k) { return out.check.has_kind(k); });
+  out.reproduced = out.digest_matched && out.violations_matched;
+  return out;
+}
+
+}  // namespace rcm::swarm

@@ -1,0 +1,63 @@
+// Replayable swarm counterexample records.
+//
+// A record packages everything needed to reproduce and audit one failing
+// run: the (shrunk) SwarmSpec, the violation kinds observed, the digest
+// of the observed execution, and the observed run itself serialized via
+// check::encode_system_run. Replaying re-executes the spec on the
+// deterministic simulator and compares the fresh execution bit-for-bit
+// (digest and serialized run bytes) against the recorded one, then
+// re-checks the violations — so a record is simultaneously a regression
+// test and an incident report.
+//
+// On-disk format: one CRC frame (wire/frame.hpp) containing
+//   tag 'W' | version | spec | #kinds | kinds | digest |
+//   run-record bytes (length-prefixed, check::encode_system_run format)
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "swarm/runner.hpp"
+#include "swarm/spec.hpp"
+
+namespace rcm::swarm {
+
+/// One packaged counterexample.
+struct CounterexampleRecord {
+  SwarmSpec spec;
+  std::vector<ViolationKind> violation_kinds;
+  std::uint64_t digest = 0;            ///< execution_digest of the run
+  std::vector<std::uint8_t> run_bytes; ///< check::encode_system_run bytes
+};
+
+/// Builds the record for a spec whose execution produced `chk`.
+/// Re-executes once to capture the run bytes.
+[[nodiscard]] CounterexampleRecord make_record(const SwarmSpec& spec,
+                                               const RunCheck& chk);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_record(
+    const CounterexampleRecord& record);
+[[nodiscard]] CounterexampleRecord decode_record(
+    std::span<const std::uint8_t> bytes);
+
+/// File conveniences (framed, CRC-checked). save overwrites.
+void save_record(const std::filesystem::path& path,
+                 const CounterexampleRecord& record);
+[[nodiscard]] CounterexampleRecord load_record(
+    const std::filesystem::path& path);
+
+/// Outcome of replaying a record.
+struct ReplayResult {
+  bool reproduced = false;     ///< digest matched AND violations re-observed
+  bool digest_matched = false; ///< fresh execution == recorded, bit-for-bit
+  bool violations_matched = false;  ///< every recorded kind re-observed
+  RunCheck check;              ///< the fresh execution's verdicts
+};
+
+/// Re-executes the record's spec and compares against the recording.
+[[nodiscard]] ReplayResult replay(const CounterexampleRecord& record,
+                                  const CheckOptions& options = {});
+
+}  // namespace rcm::swarm

@@ -1,0 +1,132 @@
+#include "swarm/runner.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <sstream>
+
+#include "check/run_record.hpp"
+#include "sim/disconnect.hpp"
+#include "wire/buffer.hpp"
+
+namespace rcm::swarm {
+
+std::string_view violation_kind_name(ViolationKind k) noexcept {
+  switch (k) {
+    case ViolationKind::kOrderedness: return "orderedness";
+    case ViolationKind::kCompleteness: return "completeness";
+    case ViolationKind::kConsistency: return "consistency";
+    case ViolationKind::kUnraisedAlert: return "unraised-alert";
+    case ViolationKind::kNonMonotoneDisplay: return "non-monotone-display";
+    case ViolationKind::kNonDeterminism: return "non-determinism";
+  }
+  return "?";
+}
+
+bool RunCheck::has_kind(ViolationKind k) const {
+  return std::find(violation_kinds.begin(), violation_kinds.end(), k) !=
+         violation_kinds.end();
+}
+
+Execution execute(const SwarmSpec& spec) {
+  Execution exec;
+  if (spec.ad_offline.empty()) {
+    exec.result = sim::run_system(spec.to_system_config());
+    exec.display_times = exec.result.display_times;
+  } else {
+    sim::DisconnectConfig config;
+    config.base = spec.to_system_config();
+    config.ad_offline = spec.ad_offline;
+    sim::DisconnectResult r = sim::run_disconnectable_system(config);
+    exec.display_times = r.display_times;
+    exec.result = std::move(r.run);
+  }
+  return exec;
+}
+
+std::uint64_t execution_digest(const Execution& exec,
+                               const ConditionPtr& condition) {
+  std::uint64_t h =
+      check::run_digest(exec.result.as_system_run(condition));
+  for (double t : exec.display_times) {
+    std::uint8_t bits[sizeof(double)];
+    std::memcpy(bits, &t, sizeof(double));
+    h = check::fnv1a(bits, h);
+  }
+  return h;
+}
+
+RunCheck execute_and_check(const SwarmSpec& spec,
+                           const CheckOptions& options) {
+  RunCheck out;
+  const Execution exec = execute(spec);
+  const sim::RunResult& r = exec.result;
+
+  const ConditionPtr condition = build_condition(spec.cond_kind,
+                                                 spec.cond_param);
+  const check::SystemRun run = r.as_system_run(condition);
+  out.report = check::check_run(run, options.interleaving_budget);
+  out.digest = execution_digest(exec, condition);
+  out.displayed = r.displayed.size();
+  for (const auto& alerts : r.ce_outputs) out.raised += alerts.size();
+  out.had_alerts = out.raised > 0;
+
+  auto violate = [&out](ViolationKind kind, const std::string& what) {
+    out.violation_kinds.push_back(kind);
+    out.violations.push_back(what);
+  };
+
+  // Guaranteed table cells. Violations of properties the paper does NOT
+  // claim for this cell are expected behaviour, not findings.
+  const exp::PaperClaim claim = guaranteed_properties(spec);
+  const std::string cell = std::string(filter_kind_name(spec.filter)) +
+                           " / " + exp::scenario_name(classify_scenario(spec));
+  if (claim.ordered && out.report.ordered == check::Verdict::kViolated)
+    violate(ViolationKind::kOrderedness,
+            "orderedness violated in guaranteed cell " + cell);
+  if (claim.complete && out.report.complete == check::Verdict::kViolated)
+    violate(ViolationKind::kCompleteness,
+            "completeness violated in guaranteed cell " + cell);
+  if (claim.consistent && out.report.consistent == check::Verdict::kViolated)
+    violate(ViolationKind::kConsistency,
+            "consistency violated in guaranteed cell " + cell);
+
+  // Cross-replica invariants, checked on every run regardless of cell.
+  {
+    std::set<AlertKey> raised_keys;
+    for (const auto& alerts : r.ce_outputs)
+      for (const Alert& a : alerts) raised_keys.insert(a.key());
+    for (const Alert& a : r.displayed)
+      if (!raised_keys.count(a.key())) {
+        std::ostringstream what;
+        what << "displayed alert raised by no replica: " << a;
+        violate(ViolationKind::kUnraisedAlert, what.str());
+        break;
+      }
+  }
+  if (exec.display_times.size() != r.displayed.size()) {
+    violate(ViolationKind::kNonMonotoneDisplay,
+            "display timestamp count mismatch");
+  } else {
+    double prev = 0.0;
+    for (double t : exec.display_times) {
+      if (t < prev) {
+        violate(ViolationKind::kNonMonotoneDisplay,
+                "display timestamps regressed");
+        break;
+      }
+      prev = t;
+    }
+  }
+
+  if (options.check_determinism) {
+    const Execution again = execute(spec);
+    if (execution_digest(again, condition) != out.digest)
+      violate(ViolationKind::kNonDeterminism,
+              "re-execution of the same spec produced a different run");
+  }
+
+  return out;
+}
+
+}  // namespace rcm::swarm

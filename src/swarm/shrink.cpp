@@ -1,0 +1,152 @@
+#include "swarm/shrink.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rcm::swarm {
+namespace {
+
+/// One shrink session; carries the predicate state.
+class Shrinker {
+ public:
+  Shrinker(ViolationKind kind, const CheckOptions& options,
+           std::size_t max_attempts)
+      : kind_(kind), options_(options), max_attempts_(max_attempts) {}
+
+  /// True iff `candidate` still fails with the preserved kind. Malformed
+  /// candidates (e.g. a variable left with no producing trace) count as
+  /// non-failing.
+  bool still_fails(const SwarmSpec& candidate) {
+    if (attempts_ >= max_attempts_) return false;
+    ++attempts_;
+    try {
+      return execute_and_check(candidate, options_).has_kind(kind_);
+    } catch (const std::invalid_argument&) {
+      return false;
+    }
+  }
+
+  [[nodiscard]] bool budget_left() const noexcept {
+    return attempts_ < max_attempts_;
+  }
+  [[nodiscard]] std::size_t attempts() const noexcept { return attempts_; }
+
+ private:
+  ViolationKind kind_;
+  CheckOptions options_;
+  std::size_t max_attempts_;
+  std::size_t attempts_ = 0;
+};
+
+/// ddmin-style pass over one trace: try removing chunks of size
+/// |trace|/2, then /4, ... down to 1. Returns true if anything was
+/// removed from `spec.traces[ti]`.
+bool shrink_trace(SwarmSpec& spec, std::size_t ti, Shrinker& sh) {
+  bool any = false;
+  std::size_t chunk = std::max<std::size_t>(spec.traces[ti].size() / 2, 1);
+  while (chunk >= 1 && sh.budget_left()) {
+    bool removed_at_this_granularity = false;
+    std::size_t start = 0;
+    while (start < spec.traces[ti].size() && sh.budget_left()) {
+      SwarmSpec candidate = spec;
+      auto& t = candidate.traces[ti];
+      const std::size_t end = std::min(start + chunk, t.size());
+      t.erase(t.begin() + static_cast<std::ptrdiff_t>(start),
+              t.begin() + static_cast<std::ptrdiff_t>(end));
+      if (sh.still_fails(candidate)) {
+        spec = std::move(candidate);
+        any = removed_at_this_granularity = true;
+        // Same start now names the next chunk; do not advance.
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1 && !removed_at_this_granularity) break;
+    if (!removed_at_this_granularity) chunk = std::max<std::size_t>(chunk / 2, 1);
+  }
+  return any;
+}
+
+bool shrink_crashes(SwarmSpec& spec, Shrinker& sh) {
+  bool any = false;
+  for (std::size_t ce = 0; ce < spec.crashes.size() && sh.budget_left();
+       ++ce) {
+    std::size_t w = 0;
+    while (w < spec.crashes[ce].size() && sh.budget_left()) {
+      SwarmSpec candidate = spec;
+      candidate.crashes[ce].erase(candidate.crashes[ce].begin() +
+                                  static_cast<std::ptrdiff_t>(w));
+      if (sh.still_fails(candidate)) {
+        spec = std::move(candidate);
+        any = true;
+      } else {
+        ++w;
+      }
+    }
+  }
+  // Empty trailing rows are free to drop (no size change, but keeps the
+  // spec tidy); only drop truly empty ones so size never increases.
+  while (!spec.crashes.empty() && spec.crashes.back().empty())
+    spec.crashes.pop_back();
+  return any;
+}
+
+bool shrink_offline(SwarmSpec& spec, Shrinker& sh) {
+  bool any = false;
+  std::size_t w = 0;
+  while (w < spec.ad_offline.size() && sh.budget_left()) {
+    SwarmSpec candidate = spec;
+    candidate.ad_offline.erase(candidate.ad_offline.begin() +
+                               static_cast<std::ptrdiff_t>(w));
+    if (sh.still_fails(candidate)) {
+      spec = std::move(candidate);
+      any = true;
+    } else {
+      ++w;
+    }
+  }
+  return any;
+}
+
+bool shrink_replicas(SwarmSpec& spec, Shrinker& sh) {
+  bool any = false;
+  while (spec.num_ces > 1 && sh.budget_left()) {
+    SwarmSpec candidate = spec;
+    --candidate.num_ces;
+    if (candidate.crashes.size() > candidate.num_ces)
+      candidate.crashes.resize(candidate.num_ces);
+    if (!sh.still_fails(candidate)) break;
+    spec = std::move(candidate);
+    any = true;
+  }
+  return any;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const SwarmSpec& failing, ViolationKind kind,
+                    const CheckOptions& options, std::size_t max_attempts) {
+  Shrinker sh{kind, options, max_attempts};
+  ShrinkResult out;
+  out.spec = failing;
+
+  bool progress = true;
+  while (progress && sh.budget_left()) {
+    progress = false;
+    // Cheapest structural reductions first: fewer replicas and fewer
+    // fault windows make every subsequent trace-shrink re-execution
+    // cheaper.
+    progress |= shrink_replicas(out.spec, sh);
+    progress |= shrink_crashes(out.spec, sh);
+    progress |= shrink_offline(out.spec, sh);
+    for (std::size_t ti = 0; ti < out.spec.traces.size(); ++ti)
+      progress |= shrink_trace(out.spec, ti, sh);
+  }
+
+  out.attempts = sh.attempts();
+  // Every accepted edit removed at least one size unit.
+  out.accepted = failing.size() - out.spec.size();
+  return out;
+}
+
+}  // namespace rcm::swarm

@@ -1,0 +1,263 @@
+#include "swarm/spec.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "trace/trace_io.hpp"
+#include "wire/buffer.hpp"
+
+namespace rcm::sim {
+
+bool operator==(const CrashWindow& a, const CrashWindow& b) {
+  return a.down_at == b.down_at && a.up_at == b.up_at &&
+         a.lose_state == b.lose_state;
+}
+
+}  // namespace rcm::sim
+
+namespace rcm::swarm {
+namespace {
+
+constexpr VarId kX = 0;
+constexpr VarId kY = 1;
+constexpr std::uint8_t kSpecVersion = 1;
+constexpr std::uint64_t kMaxCount = 1u << 16;
+
+ConditionPtr band_condition(double param) {
+  return std::make_shared<const PredicateCondition>(
+      "swarm.band", std::vector<std::pair<VarId, int>>{{kX, 1}, {kY, 1}},
+      Triggering::kAggressive, [param](const HistorySet& h) {
+        const double d = std::abs(h.of(kX).at(0).value - h.of(kY).at(0).value);
+        return d > param && d < param + 25.0;
+      });
+}
+
+ConditionPtr rise2d_condition(double param, Triggering trig) {
+  const char* name = trig == Triggering::kConservative ? "swarm.rise2d.cons"
+                                                       : "swarm.rise2d.aggr";
+  return std::make_shared<const PredicateCondition>(
+      name, std::vector<std::pair<VarId, int>>{{kX, 2}, {kY, 2}}, trig,
+      [param](const HistorySet& h) {
+        const double dx = h.of(kX).at(0).value - h.of(kX).at(-1).value;
+        const double dy = h.of(kY).at(0).value - h.of(kY).at(-1).value;
+        return dx + dy > param;
+      });
+}
+
+}  // namespace
+
+std::size_t condition_arity(ConditionKind kind) {
+  switch (kind) {
+    case ConditionKind::kThreshold:
+    case ConditionKind::kRiseAggressive:
+    case ConditionKind::kRiseConservative:
+      return 1;
+    case ConditionKind::kAbsDiff:
+    case ConditionKind::kBand:
+    case ConditionKind::kRise2dAggressive:
+    case ConditionKind::kRise2dConservative:
+      return 2;
+  }
+  throw std::invalid_argument("condition_arity: unknown kind");
+}
+
+ConditionPtr build_condition(ConditionKind kind, double param) {
+  switch (kind) {
+    case ConditionKind::kThreshold:
+      return std::make_shared<const ThresholdCondition>("swarm.over", kX,
+                                                        param);
+    case ConditionKind::kRiseAggressive:
+      return std::make_shared<const RiseCondition>("swarm.rise.aggr", kX,
+                                                   param,
+                                                   Triggering::kAggressive);
+    case ConditionKind::kRiseConservative:
+      return std::make_shared<const RiseCondition>("swarm.rise.cons", kX,
+                                                   param,
+                                                   Triggering::kConservative);
+    case ConditionKind::kAbsDiff:
+      return std::make_shared<const AbsDiffCondition>("swarm.diff", kX, kY,
+                                                      param);
+    case ConditionKind::kBand:
+      return band_condition(param);
+    case ConditionKind::kRise2dAggressive:
+      return rise2d_condition(param, Triggering::kAggressive);
+    case ConditionKind::kRise2dConservative:
+      return rise2d_condition(param, Triggering::kConservative);
+  }
+  throw std::invalid_argument("build_condition: unknown kind");
+}
+
+sim::SystemConfig SwarmSpec::to_system_config() const {
+  sim::SystemConfig config;
+  config.condition = build_condition(cond_kind, cond_param);
+  config.dm_traces = traces;
+  config.num_ces = num_ces;
+  config.front = front;
+  config.back = back;
+  config.filter = filter;
+  config.ce_crashes = crashes;
+  config.seed = seed;
+  return config;
+}
+
+std::size_t SwarmSpec::size() const {
+  std::size_t n = total_updates();
+  for (const auto& windows : crashes) n += windows.size();
+  n += ad_offline.size();
+  n += num_ces > 0 ? num_ces - 1 : 0;
+  return n;
+}
+
+std::size_t SwarmSpec::total_updates() const {
+  std::size_t n = 0;
+  for (const auto& trace : traces) n += trace.size();
+  return n;
+}
+
+bool operator==(const SwarmSpec& a, const SwarmSpec& b) {
+  auto trace_eq = [](const trace::Trace& x, const trace::Trace& y) {
+    if (x.size() != y.size()) return false;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      if (x[i].time != y[i].time || !(x[i].update == y[i].update))
+        return false;
+    return true;
+  };
+  if (a.traces.size() != b.traces.size()) return false;
+  for (std::size_t i = 0; i < a.traces.size(); ++i)
+    if (!trace_eq(a.traces[i], b.traces[i])) return false;
+  return a.cond_kind == b.cond_kind && a.cond_param == b.cond_param &&
+         a.num_ces == b.num_ces &&
+         a.front.delay_min == b.front.delay_min &&
+         a.front.delay_max == b.front.delay_max &&
+         a.front.loss == b.front.loss &&
+         a.back.delay_min == b.back.delay_min &&
+         a.back.delay_max == b.back.delay_max && a.back.loss == b.back.loss &&
+         a.filter == b.filter && a.crashes == b.crashes &&
+         a.ad_offline == b.ad_offline && a.seed == b.seed;
+}
+
+exp::Scenario classify_scenario(const SwarmSpec& spec) {
+  bool crashes_anywhere = false;
+  for (const auto& windows : spec.crashes)
+    crashes_anywhere = crashes_anywhere || !windows.empty();
+  if (spec.front.loss == 0.0 && !crashes_anywhere)
+    return exp::Scenario::kLossless;
+  switch (spec.cond_kind) {
+    case ConditionKind::kThreshold:
+    case ConditionKind::kAbsDiff:
+    case ConditionKind::kBand:
+      return exp::Scenario::kLossyNonHistorical;
+    case ConditionKind::kRiseConservative:
+    case ConditionKind::kRise2dConservative:
+      return exp::Scenario::kLossyConservative;
+    case ConditionKind::kRiseAggressive:
+    case ConditionKind::kRise2dAggressive:
+      return exp::Scenario::kLossyAggressive;
+  }
+  throw std::invalid_argument("classify_scenario: unknown kind");
+}
+
+exp::PaperClaim guaranteed_properties(const SwarmSpec& spec) {
+  const bool multi = condition_arity(spec.cond_kind) > 1;
+  const FilterKind claimed = spec.filter == FilterKind::kBrokenAd2
+                                 ? FilterKind::kAd2
+                                 : spec.filter;
+  return exp::paper_claim(claimed, classify_scenario(spec), multi);
+}
+
+void encode_spec(wire::Writer& w, const SwarmSpec& spec) {
+  w.u8(kSpecVersion);
+  w.u8(static_cast<std::uint8_t>(spec.cond_kind));
+  w.f64(spec.cond_param);
+  w.varint(spec.traces.size());
+  for (const auto& trace : spec.traces) trace::encode_trace(w, trace);
+  w.varint(spec.num_ces);
+  for (const sim::LinkParams* p : {&spec.front, &spec.back}) {
+    w.f64(p->delay_min);
+    w.f64(p->delay_max);
+    w.f64(p->loss);
+  }
+  w.u8(static_cast<std::uint8_t>(spec.filter));
+  w.varint(spec.crashes.size());
+  for (const auto& windows : spec.crashes) {
+    w.varint(windows.size());
+    for (const sim::CrashWindow& cw : windows) {
+      w.f64(cw.down_at);
+      w.f64(cw.up_at);
+      w.u8(cw.lose_state ? 1 : 0);
+    }
+  }
+  w.varint(spec.ad_offline.size());
+  for (const auto& [from, to] : spec.ad_offline) {
+    w.f64(from);
+    w.f64(to);
+  }
+  w.u64(spec.seed);
+}
+
+SwarmSpec decode_spec(wire::Reader& r) {
+  if (r.u8() != kSpecVersion)
+    throw wire::DecodeError("unsupported swarm spec version");
+  SwarmSpec spec;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(ConditionKind::kRise2dConservative))
+    throw wire::DecodeError("unknown condition kind");
+  spec.cond_kind = static_cast<ConditionKind>(kind);
+  spec.cond_param = r.f64();
+  if (!std::isfinite(spec.cond_param))
+    throw wire::DecodeError("condition parameter not finite");
+  const std::uint64_t num_traces = r.varint();
+  if (num_traces > 16) throw wire::DecodeError("too many traces");
+  for (std::uint64_t i = 0; i < num_traces; ++i)
+    spec.traces.push_back(trace::decode_trace(r, kMaxCount));
+  const std::uint64_t ces = r.varint();
+  if (ces == 0 || ces > 64) throw wire::DecodeError("bad replica count");
+  spec.num_ces = static_cast<std::uint32_t>(ces);
+  for (sim::LinkParams* p : {&spec.front, &spec.back}) {
+    p->delay_min = r.f64();
+    p->delay_max = r.f64();
+    p->loss = r.f64();
+    if (!(p->delay_min >= 0.0) || !(p->delay_max >= p->delay_min) ||
+        !(p->loss >= 0.0) || !(p->loss <= 1.0))
+      throw wire::DecodeError("bad link parameters");
+  }
+  if (spec.back.loss != 0.0)
+    throw wire::DecodeError("back links must be lossless");
+  const std::uint8_t filter = r.u8();
+  if (filter > static_cast<std::uint8_t>(FilterKind::kBrokenAd2))
+    throw wire::DecodeError("unknown filter kind");
+  spec.filter = static_cast<FilterKind>(filter);
+  const std::uint64_t crash_rows = r.varint();
+  if (crash_rows > 64) throw wire::DecodeError("too many crash rows");
+  for (std::uint64_t i = 0; i < crash_rows; ++i) {
+    const std::uint64_t count = r.varint();
+    if (count > kMaxCount) throw wire::DecodeError("too many crash windows");
+    std::vector<sim::CrashWindow> windows;
+    for (std::uint64_t j = 0; j < count; ++j) {
+      sim::CrashWindow cw;
+      cw.down_at = r.f64();
+      cw.up_at = r.f64();
+      cw.lose_state = r.u8() != 0;
+      if (!(cw.down_at >= 0.0) || !(cw.up_at >= cw.down_at))
+        throw wire::DecodeError("bad crash window");
+      windows.push_back(cw);
+    }
+    spec.crashes.push_back(std::move(windows));
+  }
+  const std::uint64_t offline = r.varint();
+  if (offline > kMaxCount) throw wire::DecodeError("too many offline windows");
+  double last = -1.0;
+  for (std::uint64_t i = 0; i < offline; ++i) {
+    const double from = r.f64();
+    const double to = r.f64();
+    if (!(from >= 0.0) || !(to > from) || !(from > last))
+      throw wire::DecodeError("bad offline window");
+    last = to;
+    spec.ad_offline.emplace_back(from, to);
+  }
+  spec.seed = r.u64();
+  return spec;
+}
+
+}  // namespace rcm::swarm

@@ -1,0 +1,114 @@
+// SwarmSpec: a fully self-contained, serializable description of one
+// randomized simulation run — the unit the swarm harness generates,
+// executes, shrinks, and replays.
+//
+// Everything the deterministic simulator needs is value data here: the
+// condition is named by a closed enum (plus one numeric parameter) rather
+// than a ConditionPtr, and the DM traces are materialized update lists
+// rather than generator seeds. That is what makes a spec (a) byte-
+// serializable into a replayable counterexample record and (b) shrinkable
+// by structural edits (drop an update, drop a crash window, drop a
+// replica) with the failure re-checked after every edit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/builtin_conditions.hpp"
+#include "core/filters.hpp"
+#include "exp/scenarios.hpp"
+#include "exp/table_experiment.hpp"
+#include "sim/system.hpp"
+#include "trace/generators.hpp"
+
+namespace rcm::wire {
+class Writer;
+class Reader;
+}  // namespace rcm::wire
+
+namespace rcm::sim {
+// In sim's namespace so ADL finds it from std::vector's operator==.
+bool operator==(const CrashWindow& a, const CrashWindow& b);
+}  // namespace rcm::sim
+
+namespace rcm::swarm {
+
+/// Closed set of condition shapes the fuzzer samples. Each kind, together
+/// with `cond_param`, deterministically rebuilds the same Condition — the
+/// serialization property ConditionPtr itself cannot offer. The kinds
+/// cover the paper's whole taxonomy: single/multi variable, degree 1/2,
+/// conservative/aggressive triggering.
+enum class ConditionKind : std::uint8_t {
+  kThreshold = 0,       ///< v0 > p                  (single, non-historical)
+  kRiseAggressive = 1,  ///< v0 - v(-1) > p          (single, hist. aggr.)
+  kRiseConservative = 2,///< same with consecutive() (single, hist. cons.)
+  kAbsDiff = 3,         ///< |x - y| > p             (multi, non-historical)
+  kBand = 4,            ///< p < |x - y| < p + 25    (multi, non-historical)
+  kRise2dAggressive = 5,///< dx + dy > p             (multi, hist. aggr.)
+  kRise2dConservative = 6,  ///< same, both guarded  (multi, hist. cons.)
+};
+
+/// Number of variables the condition kind monitors (1 or 2).
+[[nodiscard]] std::size_t condition_arity(ConditionKind kind);
+
+/// Builds the condition for (kind, param). Variable ids are fixed: 0 for
+/// single-variable kinds, {0, 1} for two-variable kinds.
+[[nodiscard]] ConditionPtr build_condition(ConditionKind kind, double param);
+
+/// One fuzzed system configuration. All fields are plain values.
+struct SwarmSpec {
+  ConditionKind cond_kind = ConditionKind::kThreshold;
+  double cond_param = 60.0;
+
+  /// One trace per condition variable, index == VarId.
+  std::vector<trace::Trace> traces;
+
+  std::uint32_t num_ces = 2;
+  sim::LinkParams front{0.01, 0.5, 0.0};
+  sim::LinkParams back{0.01, 0.5, 0.0};  ///< loss must stay 0
+  FilterKind filter = FilterKind::kAd1;
+
+  /// Crash windows per CE (outer index = replica, like SystemConfig).
+  std::vector<std::vector<sim::CrashWindow>> crashes;
+
+  /// AD offline windows; non-empty selects the store-and-forward
+  /// disconnectable runner instead of the plain one.
+  std::vector<std::pair<double, double>> ad_offline;
+
+  /// Master seed for the simulated links.
+  std::uint64_t seed = 1;
+
+  /// Materializes the sim::SystemConfig (condition included).
+  [[nodiscard]] sim::SystemConfig to_system_config() const;
+
+  /// Shrink metric: total trace updates + crash windows + offline windows
+  /// + extra replicas. The shrinker only accepts edits that strictly
+  /// decrease this, which both bounds its runtime and makes "minimal"
+  /// well-defined.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Total updates across all traces (the headline minimality number).
+  [[nodiscard]] std::size_t total_updates() const;
+
+  friend bool operator==(const SwarmSpec&, const SwarmSpec&);
+};
+
+/// The paper-table cell this spec falls into: lossless only when the
+/// front links are lossless AND no CE ever crashes (a crash window makes
+/// a replica miss updates exactly like link loss does). Otherwise the
+/// lossy row matching the condition's class.
+[[nodiscard]] exp::Scenario classify_scenario(const SwarmSpec& spec);
+
+/// The properties the paper guarantees for this spec's (filter, scenario)
+/// cell — the swarm's oracle. kBrokenAd2 inherits AD-2's claims (that is
+/// the point of injecting it). Properties the table does NOT guarantee
+/// are never treated as violations when absent.
+[[nodiscard]] exp::PaperClaim guaranteed_properties(const SwarmSpec& spec);
+
+/// Binary serialization (wire::Writer/Reader). decode throws
+/// wire::DecodeError on malformed bytes, unknown enum values, lossy back
+/// links, or out-of-range counts.
+void encode_spec(wire::Writer& w, const SwarmSpec& spec);
+[[nodiscard]] SwarmSpec decode_spec(wire::Reader& r);
+
+}  // namespace rcm::swarm

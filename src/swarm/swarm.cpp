@@ -1,0 +1,91 @@
+#include "swarm/swarm.hpp"
+
+#include <chrono>
+#include <sstream>
+
+namespace rcm::swarm {
+
+SwarmReport run_swarm(const SwarmOptions& options, const ProgressFn& progress) {
+  SwarmReport report;
+  const auto started = std::chrono::steady_clock::now();
+
+  for (std::uint64_t i = 0; i < options.runs; ++i) {
+    if (options.time_budget_seconds > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - started;
+      if (elapsed.count() >= options.time_budget_seconds) {
+        report.time_budget_exhausted = true;
+        break;
+      }
+    }
+
+    const SwarmSpec spec = sample_spec(options.seed, i, options.fuzz);
+    const RunCheck chk = execute_and_check(spec, options.check);
+
+    ++report.runs_executed;
+    if (chk.had_alerts) ++report.runs_with_alerts;
+    {
+      const std::string cell =
+          std::string(filter_kind_name(spec.filter)) + " / " +
+          exp::scenario_name(classify_scenario(spec));
+      ++report.cell_runs[cell];
+    }
+
+    if (chk.failed()) {
+      ++report.failures;
+      if (report.counterexamples.size() < SwarmReport::kMaxRecorded) {
+        Counterexample ce;
+        ce.run_index = i;
+        ce.original = spec;
+        ce.violations = chk.violations;
+
+        SwarmSpec minimal = spec;
+        RunCheck minimal_chk = chk;
+        if (options.do_shrink) {
+          const ShrinkResult shrunk =
+              shrink(spec, chk.violation_kinds.front(), options.check,
+                     options.shrink_attempts);
+          ce.shrink_attempts = shrunk.attempts;
+          minimal = shrunk.spec;
+          minimal_chk = execute_and_check(minimal, options.check);
+        }
+        ce.record = make_record(minimal, minimal_chk);
+        report.counterexamples.push_back(std::move(ce));
+      }
+    }
+
+    if (progress && !progress(i, chk)) {
+      report.time_budget_exhausted = true;
+      break;
+    }
+  }
+  return report;
+}
+
+std::string describe_counterexample(const Counterexample& ce) {
+  std::ostringstream out;
+  const SwarmSpec& s = ce.record.spec;
+  out << "run #" << ce.run_index << ": "
+      << filter_kind_name(s.filter) << " / "
+      << exp::scenario_name(classify_scenario(s)) << "\n";
+  for (const std::string& v : ce.violations) out << "  - " << v << "\n";
+  out << "  original: " << ce.original.total_updates() << " updates, "
+      << ce.original.num_ces << " CEs (size " << ce.original.size() << ")\n";
+  out << "  shrunk:   " << s.total_updates() << " updates, " << s.num_ces
+      << " CEs (size " << s.size() << "; " << ce.shrink_attempts
+      << " shrink executions)\n";
+  out << "  traces:";
+  for (const auto& trace : s.traces) {
+    out << " [";
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      if (i) out << ' ';
+      out << trace[i].update.seqno << '('
+          << trace[i].update.value << ')';
+    }
+    out << ']';
+  }
+  out << "\n  digest: 0x" << std::hex << ce.record.digest << std::dec;
+  return out.str();
+}
+
+}  // namespace rcm::swarm

@@ -2,9 +2,12 @@
 
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <sstream>
+
+#include "wire/buffer.hpp"
 
 namespace rcm::trace {
 
@@ -81,6 +84,45 @@ Trace load_trace(const std::filesystem::path& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return parse_trace(buffer.str());
+}
+
+void encode_trace(wire::Writer& w, const Trace& trace) {
+  w.varint(trace.size());
+  for (const TimedUpdate& tu : trace) {
+    w.f64(tu.time);
+    w.varint(tu.update.var);
+    w.svarint(tu.update.seqno);
+    w.f64(tu.update.value);
+  }
+}
+
+Trace decode_trace(wire::Reader& r, std::size_t max_updates) {
+  const std::uint64_t count = r.varint();
+  if (count > max_updates) throw wire::DecodeError("trace too long");
+  Trace out;
+  out.reserve(static_cast<std::size_t>(count));
+  std::map<VarId, SeqNo> last_seqno;
+  double last_time = -std::numeric_limits<double>::infinity();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TimedUpdate tu;
+    tu.time = r.f64();
+    const std::uint64_t var = r.varint();
+    if (var > UINT32_MAX) throw wire::DecodeError("variable id out of range");
+    tu.update.var = static_cast<VarId>(var);
+    tu.update.seqno = r.svarint();
+    tu.update.value = r.f64();
+    // The comparisons are written to reject NaN times as well.
+    if (!(tu.time > last_time))
+      throw wire::DecodeError("trace times must be strictly increasing");
+    auto it = last_seqno.find(tu.update.var);
+    if (it != last_seqno.end() && tu.update.seqno <= it->second)
+      throw wire::DecodeError(
+          "trace seqnos must be strictly increasing per variable");
+    last_seqno[tu.update.var] = tu.update.seqno;
+    last_time = tu.time;
+    out.push_back(tu);
+  }
+  return out;
 }
 
 }  // namespace rcm::trace

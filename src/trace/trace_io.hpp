@@ -1,7 +1,7 @@
 // Trace file I/O: save generated workloads and replay them later, so
 // experiments are shareable and re-runnable without the generator seeds.
 //
-// Format: plain text, one update per line,
+// Text format: plain text, one update per line,
 //
 //   # comment lines and blank lines are ignored
 //   <time> <var> <seqno> <value>
@@ -9,6 +9,11 @@
 // e.g. "1.25 0 7 3000.5". Times must be strictly increasing per file;
 // seqnos strictly increasing per variable (parse_trace enforces both —
 // they are the invariants every consumer in this library relies on).
+//
+// A compact binary encoding (wire::Writer/Reader based) is also provided
+// for embedding traces inside other records — the swarm counterexample
+// records carry the full DM traces of a failing run this way. The binary
+// decoder enforces the same two invariants as the text parser.
 #pragma once
 
 #include <filesystem>
@@ -17,6 +22,11 @@
 #include <string_view>
 
 #include "trace/generators.hpp"
+
+namespace rcm::wire {
+class Writer;
+class Reader;
+}  // namespace rcm::wire
 
 namespace rcm::trace {
 
@@ -43,5 +53,16 @@ void write_trace(std::ostream& os, const Trace& trace);
 /// std::runtime_error if the file cannot be read.
 void save_trace(const std::filesystem::path& path, const Trace& trace);
 [[nodiscard]] Trace load_trace(const std::filesystem::path& path);
+
+/// Appends the binary encoding of `trace` to `w`: count, then per update
+/// (time f64, var varint, seqno svarint, value f64).
+void encode_trace(wire::Writer& w, const Trace& trace);
+
+/// Reads one binary-encoded trace. Throws wire::DecodeError on truncated
+/// or malformed bytes, on more than `max_updates` entries, and on
+/// violations of the trace invariants (strictly increasing times;
+/// strictly increasing seqnos per variable).
+[[nodiscard]] Trace decode_trace(wire::Reader& r,
+                                 std::size_t max_updates = 1u << 20);
 
 }  // namespace rcm::trace

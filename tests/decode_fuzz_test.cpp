@@ -10,6 +10,9 @@
 #include "core/builtin_conditions.hpp"
 #include "core/evaluator.hpp"
 #include "store/alert_log.hpp"
+#include "swarm/fuzzer.hpp"
+#include "swarm/record.hpp"
+#include "swarm/runner.hpp"
 #include "util/rng.hpp"
 #include "wire/codec.hpp"
 #include "wire/frame.hpp"
@@ -124,6 +127,25 @@ TEST(DecodeFuzz, RunRecord) {
         (void)check::decode_system_run(b, run.condition);
       },
       valid, 7, 300);
+}
+
+TEST(DecodeFuzz, SwarmCounterexampleRecord) {
+  // Build a genuine record (a spec the swarm would sample, executed and
+  // packaged), round-trip it, then fuzz the decoder: corrupted or
+  // truncated records must throw DecodeError, never crash.
+  const swarm::SwarmSpec spec = swarm::sample_spec(11, 0);
+  const swarm::RunCheck chk = swarm::execute_and_check(spec);
+  const swarm::CounterexampleRecord record = swarm::make_record(spec, chk);
+
+  const auto valid = swarm::encode_record(record);
+  const swarm::CounterexampleRecord back = swarm::decode_record(valid);
+  EXPECT_TRUE(back.spec == record.spec);
+  EXPECT_EQ(back.digest, record.digest);
+  EXPECT_EQ(back.run_bytes, record.run_bytes);
+
+  fuzz_decoder(
+      [](const std::vector<std::uint8_t>& b) { (void)swarm::decode_record(b); },
+      valid, 9, 300);
 }
 
 TEST(DecodeFuzz, FrameCursorOnGarbageStreams) {

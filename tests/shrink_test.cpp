@@ -1,0 +1,93 @@
+// Shrinker unit tests: determinism (same failing spec always minimizes to
+// the same spec), monotone size decrease, preservation of the violation
+// kind, budget exhaustion safety, and replay-equivalence of the shrunk
+// record.
+#include <gtest/gtest.h>
+
+#include "swarm/fuzzer.hpp"
+#include "swarm/record.hpp"
+#include "swarm/shrink.hpp"
+
+namespace rcm::swarm {
+namespace {
+
+// First spec in the seed-7 broken-filter batch that fails. Deterministic,
+// so every test minimizes the exact same counterexample.
+struct Failing {
+  SwarmSpec spec;
+  ViolationKind kind;
+};
+
+Failing first_failing_spec() {
+  FuzzOptions fuzz;
+  fuzz.force_filter = FilterKind::kBrokenAd2;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const SwarmSpec spec = sample_spec(7, i, fuzz);
+    const RunCheck chk = execute_and_check(spec);
+    if (chk.failed()) return {spec, chk.violation_kinds.front()};
+  }
+  throw std::logic_error("seed 7 no longer trips the broken filter");
+}
+
+TEST(Shrink, IsDeterministic) {
+  const Failing f = first_failing_spec();
+  const ShrinkResult a = shrink(f.spec, f.kind);
+  const ShrinkResult b = shrink(f.spec, f.kind);
+  EXPECT_TRUE(a.spec == b.spec);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.accepted, b.accepted);
+}
+
+TEST(Shrink, StrictlyDecreasesConfigSize) {
+  const Failing f = first_failing_spec();
+  const ShrinkResult result = shrink(f.spec, f.kind);
+  ASSERT_GT(result.accepted, 0u) << "nothing shrank a ~30-update spec";
+  EXPECT_LT(result.spec.size(), f.spec.size());
+  // Every accepted edit removed at least one size unit.
+  EXPECT_LE(result.spec.size() + result.accepted, f.spec.size());
+  // Shrinking composes edits; it never grows any dimension.
+  EXPECT_LE(result.spec.total_updates(), f.spec.total_updates());
+  EXPECT_LE(result.spec.num_ces, f.spec.num_ces);
+  EXPECT_LE(result.spec.ad_offline.size(), f.spec.ad_offline.size());
+}
+
+TEST(Shrink, PreservesTheViolationKind) {
+  const Failing f = first_failing_spec();
+  const ShrinkResult result = shrink(f.spec, f.kind);
+  const RunCheck chk = execute_and_check(result.spec);
+  ASSERT_TRUE(chk.failed());
+  EXPECT_TRUE(chk.has_kind(f.kind));
+}
+
+TEST(Shrink, ShrunkSpecIsLocallyMinimalForReplicaCount) {
+  // Orderedness needs interleaving, so the shrinker can never go below
+  // two replicas for this counterexample.
+  const Failing f = first_failing_spec();
+  const ShrinkResult result = shrink(f.spec, f.kind);
+  EXPECT_GE(result.spec.num_ces, 2u);
+}
+
+TEST(Shrink, ExhaustedBudgetStillReturnsAFailingSpec) {
+  const Failing f = first_failing_spec();
+  for (std::size_t budget : {0u, 1u, 5u}) {
+    const ShrinkResult result = shrink(f.spec, f.kind, {}, budget);
+    EXPECT_LE(result.attempts, budget);
+    const RunCheck chk = execute_and_check(result.spec);
+    EXPECT_TRUE(chk.has_kind(f.kind));
+  }
+}
+
+TEST(Shrink, ShrunkRecordReplaysToTheSameVerdict) {
+  const Failing f = first_failing_spec();
+  const ShrinkResult result = shrink(f.spec, f.kind);
+  const RunCheck chk = execute_and_check(result.spec);
+  const CounterexampleRecord record = make_record(result.spec, chk);
+
+  const ReplayResult replayed = replay(record);
+  EXPECT_TRUE(replayed.reproduced);
+  EXPECT_TRUE(replayed.check.has_kind(f.kind));
+  EXPECT_EQ(replayed.check.digest, chk.digest);
+}
+
+}  // namespace
+}  // namespace rcm::swarm

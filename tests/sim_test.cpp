@@ -62,6 +62,23 @@ TEST(Simulator, PastSchedulingClampsToNow) {
   EXPECT_DOUBLE_EQ(when, 5.0);
 }
 
+TEST(Simulator, PastSchedulingDoesNotJumpTheNowQueue) {
+  // A clamped action lands at now() but keeps its insertion order: actions
+  // already queued at now() (and anything THEY chain at now()) run first.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_at(5.0, [&] { order.push_back(1); });  // already "at now"
+    sim.schedule_at(0.0, [&] {                          // past -> clamped
+      order.push_back(2);
+      sim.schedule_at(2.0, [&] { order.push_back(3); });  // past again
+    });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);  // clamping never rewinds time
+}
+
 TEST(Simulator, RunUntilLeavesFutureEventsQueued) {
   Simulator sim;
   int fired = 0;
