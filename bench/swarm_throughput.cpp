@@ -1,0 +1,152 @@
+// Swarm throughput bench: serial vs parallel batch execution.
+//
+// Runs the same fixed-seed swarm batch twice — once with --jobs 1 and
+// once with --jobs N — times both, and cross-checks that the parallel
+// executor reproduced the serial batch bit-for-bit (per-run digests,
+// violation descriptions, and the aggregate report). Emits a JSON
+// artifact (BENCH_swarm_throughput.json by default) with runs/sec for
+// both modes and the rcm::obs per-phase latency histograms.
+//
+// Exit status is 0 iff the parallel batch is bit-identical to the serial
+// one. The speedup is reported but not gated: it depends on the host's
+// core count (recorded in the artifact as hardware_concurrency).
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+#include "swarm/swarm.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+struct BatchResult {
+  rcm::swarm::SwarmReport report;
+  std::vector<std::uint64_t> digests;
+  std::vector<std::string> violations;  ///< flattened, in run order
+  double seconds = 0.0;
+  std::string metrics_json;
+};
+
+BatchResult run_batch(const rcm::swarm::SwarmOptions& base, std::size_t jobs) {
+  rcm::swarm::SwarmOptions options = base;
+  options.jobs = jobs;
+
+  BatchResult out;
+  out.digests.reserve(options.runs);
+  rcm::obs::registry().reset();
+  const auto start = std::chrono::steady_clock::now();
+  out.report = rcm::swarm::run_swarm(
+      options, [&](std::uint64_t, const rcm::swarm::RunCheck& check) {
+        out.digests.push_back(check.digest);
+        out.violations.insert(out.violations.end(), check.violations.begin(),
+                              check.violations.end());
+        return true;
+      });
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  out.metrics_json = rcm::obs::registry().snapshot_json();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rcm::util::Args args;
+  args.add_flag("runs", "200", "swarm runs per batch");
+  args.add_flag("seed", "1", "swarm master seed");
+  args.add_flag("jobs", "0",
+                "worker threads for the parallel batch "
+                "(0 = hardware concurrency)");
+  args.add_flag("out", "BENCH_swarm_throughput.json",
+                "path for the JSON artifact ('' = skip writing)");
+  if (!args.parse(argc, argv)) {
+    std::cerr << args.error() << "\n" << args.usage("swarm_throughput");
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage("swarm_throughput");
+    return 0;
+  }
+
+  rcm::swarm::SwarmOptions options;
+  options.runs = static_cast<std::size_t>(args.get_int("runs"));
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  const std::size_t jobs = rcm::runtime::ThreadPool::resolve_jobs(
+      static_cast<std::size_t>(args.get_int("jobs")));
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::cout << "swarm_throughput: " << options.runs << " runs, seed "
+            << options.seed << ", parallel jobs " << jobs
+            << " (hardware_concurrency " << hw << ")\n";
+
+  const BatchResult serial = run_batch(options, 1);
+  std::cout << "  serial:   " << serial.seconds << " s  ("
+            << serial.report.runs_executed / serial.seconds << " runs/s)\n";
+
+  const BatchResult parallel = run_batch(options, jobs);
+  std::cout << "  parallel: " << parallel.seconds << " s  ("
+            << parallel.report.runs_executed / parallel.seconds
+            << " runs/s)\n";
+
+  const bool digests_match = serial.digests == parallel.digests;
+  const bool violations_match = serial.violations == parallel.violations;
+  const bool report_matches =
+      serial.report.runs_executed == parallel.report.runs_executed &&
+      serial.report.runs_with_alerts == parallel.report.runs_with_alerts &&
+      serial.report.failures == parallel.report.failures &&
+      serial.report.cell_runs == parallel.report.cell_runs;
+  const double speedup =
+      parallel.seconds > 0.0 ? serial.seconds / parallel.seconds : 0.0;
+
+  std::cout << "  speedup:  " << speedup << "x\n"
+            << "  digests "
+            << (digests_match ? "MATCH" : "DIFFER (determinism bug)")
+            << ", violations " << (violations_match ? "match" : "DIFFER")
+            << ", report " << (report_matches ? "matches" : "DIFFERS") << "\n";
+
+  const std::string out_path = args.get("out");
+  if (!out_path.empty()) {
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"bench\": \"swarm_throughput\",\n"
+         << "  \"runs\": " << options.runs << ",\n"
+         << "  \"seed\": " << options.seed << ",\n"
+         << "  \"hardware_concurrency\": " << hw << ",\n"
+         << "  \"jobs_parallel\": " << jobs << ",\n"
+         << "  \"serial_seconds\": " << serial.seconds << ",\n"
+         << "  \"parallel_seconds\": " << parallel.seconds << ",\n"
+         << "  \"serial_runs_per_sec\": "
+         << serial.report.runs_executed / serial.seconds << ",\n"
+         << "  \"parallel_runs_per_sec\": "
+         << parallel.report.runs_executed / parallel.seconds << ",\n"
+         << "  \"speedup\": " << speedup << ",\n"
+         << "  \"digests_match\": " << (digests_match ? "true" : "false")
+         << ",\n"
+         << "  \"violations_match\": " << (violations_match ? "true" : "false")
+         << ",\n"
+         << "  \"report_matches\": " << (report_matches ? "true" : "false")
+         << ",\n"
+         << "  \"failures\": " << serial.report.failures << ",\n"
+         << "  \"serial_metrics\": " << serial.metrics_json << ",\n"
+         << "  \"parallel_metrics\": " << parallel.metrics_json << "\n"
+         << "}\n";
+    std::ofstream out(out_path);
+    out << json.str();
+    if (!out) {
+      std::cerr << "failed to write " << out_path << "\n";
+      return 2;
+    }
+    std::cout << "  wrote " << out_path << "\n";
+  }
+
+  return (digests_match && violations_match && report_matches) ? 0 : 1;
+}

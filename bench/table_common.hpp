@@ -26,6 +26,9 @@ inline int run_table_bench(const std::string& title, FilterKind filter,
                 "updates per variable per run");
   args.add_flag("loss", "0.2", "front-link loss for the lossy rows");
   args.add_flag("seed", "42", "master seed");
+  args.add_flag("jobs", "1",
+                "worker threads (1 = serial, 0 = hardware concurrency); "
+                "the measured counts are identical for every value");
   if (!args.parse(argc, argv)) {
     std::cerr << args.error() << "\n" << args.usage(title);
     return 2;
@@ -39,6 +42,7 @@ inline int run_table_bench(const std::string& title, FilterKind filter,
   params.runs = static_cast<std::size_t>(args.get_int("runs"));
   params.updates_per_var = static_cast<std::size_t>(args.get_int("updates"));
   params.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  params.jobs = static_cast<std::size_t>(args.get_int("jobs"));
 
   std::cout << title << "\n"
             << "(" << params.runs << " randomized runs per row, "

@@ -2,17 +2,30 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace rcm {
 
 AlertDisplayer::AlertDisplayer(FilterPtr filter,
                                std::function<void(const Alert&)> sink)
     : filter_(std::move(filter)), sink_(std::move(sink)) {
   if (!filter_) throw std::invalid_argument("AlertDisplayer: null filter");
+#if RCM_METRICS_ENABLED
+  // Per-AD-kind decision counters, resolved once per displayer so the
+  // per-alert cost is a single relaxed increment.
+  const std::string prefix = "filter." + std::string{filter_->name()};
+  passed_metric_ = &obs::registry().counter(prefix + ".pass");
+  suppressed_metric_ = &obs::registry().counter(prefix + ".suppress");
+#endif
 }
 
 bool AlertDisplayer::on_alert(const Alert& a) {
   arrived_.push_back(a);
-  if (!filter_->offer(a)) return false;
+  if (!filter_->offer(a)) {
+    if (suppressed_metric_) suppressed_metric_->inc();
+    return false;
+  }
+  if (passed_metric_) passed_metric_->inc();
   displayed_.push_back(a);
   if (sink_) sink_(a);
   return true;

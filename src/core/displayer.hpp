@@ -11,6 +11,10 @@
 #include "core/alert.hpp"
 #include "core/filters.hpp"
 
+namespace rcm::obs {
+class Counter;
+}  // namespace rcm::obs
+
 namespace rcm {
 
 /// One Alert Displayer instance. Thread-compatible (externally
@@ -52,6 +56,10 @@ class AlertDisplayer {
   std::function<void(const Alert&)> sink_;
   std::vector<Alert> arrived_;
   std::vector<Alert> displayed_;
+  // Per-AD-kind pass/suppress counters (obs layer); null when metrics
+  // are compiled out.
+  obs::Counter* passed_metric_ = nullptr;
+  obs::Counter* suppressed_metric_ = nullptr;
 };
 
 /// Replays an arrival interleaving through a fresh filter and returns the

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace rcm {
 
 ConditionEvaluator::ConditionEvaluator(ConditionPtr condition,
@@ -21,11 +23,13 @@ bool ConditionEvaluator::would_accept(const Update& u) const {
 
 std::optional<Alert> ConditionEvaluator::on_update(const Update& u) {
   if (!would_accept(u)) return std::nullopt;
+  RCM_COUNT("evaluator.updates_processed");
   last_seen_[u.var] = u.seqno;
   received_.push_back(u);
   histories_.push(u);
   if (!histories_.all_defined()) return std::nullopt;
   if (!cond_->evaluate(histories_)) return std::nullopt;
+  RCM_COUNT("evaluator.alerts_raised");
   Alert a = make_alert(std::string{cond_->name()}, histories_);
   emitted_.push_back(a);
   return a;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace rcm {
 
 HoldbackDisplayer::HoldbackDisplayer(VarId var, double timeout)
@@ -17,6 +19,12 @@ std::vector<Alert> HoldbackDisplayer::on_alert(const Alert& a, double now) {
     return {};
   }
   buffer_.push_back(Held{a, now + timeout_});
+  // Queue depth in held alerts; the wait-time histogram below measures
+  // how long each one actually sat (both in the caller's time unit —
+  // virtual seconds under the simulator).
+  RCM_OBSERVE_WITH("holdback.queue_depth",
+                   ({1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
+                   buffer_.size());
   return on_time(now);
 }
 
@@ -25,6 +33,8 @@ std::vector<Alert> HoldbackDisplayer::on_time(double now) {
   // order, so expired entries form a prefix of the buffer.
   std::vector<Alert> batch;
   while (!buffer_.empty() && buffer_.front().deadline <= now) {
+    RCM_OBSERVE("holdback.wait_time",
+                now - (buffer_.front().deadline - timeout_));
     batch.push_back(std::move(buffer_.front().alert));
     buffer_.pop_front();
   }
@@ -37,6 +47,7 @@ std::vector<Alert> HoldbackDisplayer::on_time(double now) {
   for (const Alert& a : batch) threshold = std::max(threshold, a.seqno(var_));
   for (auto it = buffer_.begin(); it != buffer_.end();) {
     if (it->alert.seqno(var_) <= threshold) {
+      RCM_OBSERVE("holdback.wait_time", now - (it->deadline - timeout_));
       batch.push_back(std::move(it->alert));
       it = buffer_.erase(it);
     } else {

@@ -28,6 +28,12 @@ struct SweepParams {
   /// State budget for the multi-variable completeness search; runs whose
   /// search exhausts it count as "unknown", never as violations.
   std::size_t interleaving_budget = 400000;
+  /// Worker threads: 1 = serial, 0 = hardware concurrency. Trial RNG
+  /// streams are derived up front in run order (each fork of the master
+  /// advances it, so derivation order is part of the published numbers),
+  /// then trials execute on any worker: every jobs value reproduces the
+  /// serial sweep's counts exactly.
+  std::size_t jobs = 1;
 };
 
 /// Violation tallies for one (scenario, filter) cell row.

@@ -1,0 +1,231 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace rcm::obs {
+namespace {
+
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double x) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (x < cur && !target.compare_exchange_weak(cur, x,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double x) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (x > cur && !target.compare_exchange_weak(cur, x,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+void json_escape_into(std::ostringstream& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+}
+
+// Doubles in snapshots: shortest round-trippable-enough form. Metric
+// values are counts, seconds and bucket bounds; 12 significant digits
+// cover them without printing 0.30000000000000004-style noise.
+std::string json_double(double x) {
+  std::ostringstream out;
+  out.precision(12);
+  out << x;
+  return out.str();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty())
+    throw std::invalid_argument("Histogram: need at least one bucket bound");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end())
+    throw std::invalid_argument(
+        "Histogram: bounds must be strictly increasing");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  reset();
+}
+
+std::vector<double> Histogram::exponential_bounds(double lo, double factor,
+                                                  std::size_t count) {
+  if (lo <= 0.0 || factor <= 1.0 || count == 0)
+    throw std::invalid_argument("Histogram::exponential_bounds: bad ladder");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = lo;
+  for (std::size_t i = 0; i < count; ++i, b *= factor) bounds.push_back(b);
+  return bounds;
+}
+
+void Histogram::record(double x) noexcept {
+#if !defined(RCM_NO_METRICS)
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, x);
+  atomic_min(min_, x);
+  atomic_max(max_, x);
+#else
+  (void)x;
+#endif
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const noexcept {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::observed_min() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::observed_max() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::percentile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) return observed_min();
+  if (q == 1.0) return observed_max();
+  // Nearest-rank: the smallest bucket whose cumulative count covers
+  // ceil(q * n) observations.
+  const auto rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= target) return bounds_[i];
+  }
+  return observed_max();  // rank lands in the overflow bucket
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i < bounds_.size() + 1; ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+std::shared_ptr<MetricsRegistry::Impl> MetricsRegistry::make_impl() {
+  return std::make_shared<Impl>();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock{impl_->mutex};
+  auto& slot = impl_->counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard lock{impl_->mutex};
+  auto& slot = impl_->histograms[name];
+  if (!slot) {
+    if (upper_bounds.empty())
+      upper_bounds = Histogram::exponential_bounds(1e-7, 4.0, 16);
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return *slot;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::lock_guard lock{impl_->mutex};
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : impl_->counters) {
+    out << (first ? "\n" : ",\n") << "    \"";
+    json_escape_into(out, name);
+    out << "\": " << c->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : impl_->histograms) {
+    out << (first ? "\n" : ",\n") << "    \"";
+    json_escape_into(out, name);
+    out << "\": {\"count\": " << h->count()
+        << ", \"sum\": " << json_double(h->sum())
+        << ", \"mean\": " << json_double(h->mean())
+        << ", \"min\": " << json_double(h->observed_min())
+        << ", \"max\": " << json_double(h->observed_max())
+        << ", \"p50\": " << json_double(h->percentile(0.50))
+        << ", \"p95\": " << json_double(h->percentile(0.95))
+        << ", \"p99\": " << json_double(h->percentile(0.99))
+        << ", \"buckets\": [";
+    const std::vector<std::uint64_t> counts = h->bucket_counts();
+    const std::vector<double>& bounds = h->bounds();
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] == 0) continue;  // sparse: elide empty buckets
+      out << (first_bucket ? "" : ", ") << "{\"le\": "
+          << (i < bounds.size() ? json_double(bounds[i]) : "\"+inf\"")
+          << ", \"count\": " << counts[i] << "}";
+      first_bucket = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock{impl_->mutex};
+  for (auto& [name, c] : impl_->counters) c->reset();
+  for (auto& [name, h] : impl_->histograms) h->reset();
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+}  // namespace rcm::obs

@@ -1,0 +1,237 @@
+// rcm::obs — lightweight observability substrate: named atomic counters,
+// fixed-bucket latency histograms, scoped timers, and a JSON snapshot
+// exporter.
+//
+// Design constraints, in order:
+//   1. Hot-path cost must be a handful of relaxed atomic ops (counters)
+//      or one atomic increment into a pre-sized bucket array (histograms).
+//      Metric *lookup* (a map probe on the name) happens once, at
+//      registration time; instrumented components cache the returned
+//      reference, which stays valid for the registry's lifetime.
+//   2. Recording must never perturb the systems being measured: metrics
+//      observe, they do not participate. Simulated runs remain pure
+//      functions of their configuration whether or not metrics are on.
+//   3. Compiling with -DRCM_NO_METRICS turns every mutation into an
+//      inline no-op with the identical API, so instrumented call sites
+//      need no #ifdefs and the optimizer deletes them entirely.
+//
+// Thread safety: Counter::inc and Histogram::record are safe from any
+// number of threads (the parallel swarm executor hammers them from every
+// worker); registration is mutex-guarded; snapshot() gives a consistent-
+// enough view for reporting (counts are read with acquire loads, but a
+// snapshot taken mid-run is not a linearizable cut — don't diff two
+// snapshots closer together than the thing you are measuring).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rcm::obs {
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+#if !defined(RCM_NO_METRICS)
+    v_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Fixed-bucket histogram. Buckets are defined by their inclusive upper
+/// bounds; an implicit overflow bucket catches everything above the last
+/// bound. Percentiles are estimated by nearest-rank over the cumulative
+/// bucket counts and reported as the matching bucket's upper bound — an
+/// overestimate by at most one bucket width, which is the standard
+/// fixed-bucket trade (Prometheus histograms make the same one).
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// Geometric bucket ladder: `count` bounds from `lo` multiplying by
+  /// `factor` (> 1). The default metrics cover ~7 decades of seconds.
+  [[nodiscard]] static std::vector<double> exponential_bounds(
+      double lo, double factor, std::size_t count);
+
+  void record(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
+  /// Mean of recorded values; 0 when empty.
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double observed_min() const noexcept;
+  [[nodiscard]] double observed_max() const noexcept;
+
+  /// Nearest-rank percentile estimate, q in [0, 1] (clamped). Returns 0
+  /// for an empty histogram. q = 0 reports the observed minimum and
+  /// q = 1 the observed maximum exactly (they are tracked separately);
+  /// interior quantiles report a bucket upper bound.
+  [[nodiscard]] double percentile(double q) const noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Per-bucket counts, index-aligned with bounds(); the final extra
+  /// entry is the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds()+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Records wall-clock seconds between construction and destruction into a
+/// histogram. Under RCM_NO_METRICS the clock is never read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h) noexcept
+      : h_(h)
+#if !defined(RCM_NO_METRICS)
+        ,
+        t0_(std::chrono::steady_clock::now())
+#endif
+  {
+  }
+  ~ScopedTimer() {
+#if !defined(RCM_NO_METRICS)
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0_;
+    h_.record(dt.count());
+#endif
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  [[maybe_unused]] Histogram& h_;
+#if !defined(RCM_NO_METRICS)
+  std::chrono::steady_clock::time_point t0_;
+#endif
+};
+
+/// Name → metric registry. Lookup registers on first use and returns a
+/// stable reference; instrumented components resolve their metrics once
+/// and keep the reference off the hot path.
+class MetricsRegistry {
+ public:
+  /// Metric names are dotted paths ("swarm.runs", "filter.AD-2.pass").
+  [[nodiscard]] Counter& counter(const std::string& name);
+
+  /// First caller's `upper_bounds` win; later callers get the existing
+  /// histogram regardless of bounds. Empty bounds select the default
+  /// latency ladder (100ns .. ~100s, ×4 steps).
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::vector<double> upper_bounds = {});
+
+  /// JSON object: {"counters": {name: value, ...},
+  ///               "histograms": {name: {count, sum, mean, min, max,
+  ///                                     p50, p95, p99,
+  ///                                     buckets: [{le, count}, ...]}}}
+  /// Keys are emitted in name order, so snapshots diff cleanly.
+  [[nodiscard]] std::string snapshot_json() const;
+
+  /// Zeroes every registered metric (references stay valid). Benches use
+  /// this between phases.
+  void reset();
+
+ private:
+  struct Impl;
+  // Leaked-singleton storage semantics live in registry(); the registry
+  // itself is immovable so cached references never dangle.
+  std::shared_ptr<Impl> impl_ = make_impl();
+  static std::shared_ptr<Impl> make_impl();
+};
+
+/// The process-wide registry every built-in instrumentation point uses.
+[[nodiscard]] MetricsRegistry& registry();
+
+}  // namespace rcm::obs
+
+/// 1 when metrics are compiled in; 0 under -DRCM_NO_METRICS.
+#if defined(RCM_NO_METRICS)
+#define RCM_METRICS_ENABLED 0
+#else
+#define RCM_METRICS_ENABLED 1
+#endif
+
+// Hot-path instrumentation helpers. Each expands to a function-local
+// static reference (one registry lookup ever, per call site) plus one
+// relaxed atomic op — or to nothing at all under RCM_NO_METRICS, so
+// disabled builds carry neither the atomic nor the static's guard.
+// `name` must be a string literal (one metric per call site).
+#if RCM_METRICS_ENABLED
+#define RCM_COUNT(name)                                             \
+  do {                                                              \
+    static ::rcm::obs::Counter& rcm_obs_c =                         \
+        ::rcm::obs::registry().counter(name);                       \
+    rcm_obs_c.inc();                                                \
+  } while (0)
+#define RCM_COUNT_N(name, n)                                        \
+  do {                                                              \
+    static ::rcm::obs::Counter& rcm_obs_c =                         \
+        ::rcm::obs::registry().counter(name);                       \
+    rcm_obs_c.inc(static_cast<std::uint64_t>(n));                   \
+  } while (0)
+#define RCM_OBSERVE(name, x)                                        \
+  do {                                                              \
+    static ::rcm::obs::Histogram& rcm_obs_h =                       \
+        ::rcm::obs::registry().histogram(name);                     \
+    rcm_obs_h.record(static_cast<double>(x));                       \
+  } while (0)
+// As RCM_OBSERVE, with explicit bucket bounds (a braced initializer or
+// vector expression) for non-latency quantities such as queue depths.
+#define RCM_OBSERVE_WITH(name, bounds, x)                           \
+  do {                                                              \
+    static ::rcm::obs::Histogram& rcm_obs_h =                       \
+        ::rcm::obs::registry().histogram(name,                      \
+                                         std::vector<double> bounds); \
+    rcm_obs_h.record(static_cast<double>(x));                       \
+  } while (0)
+// Declares a scoped wall-clock timer named `var` recording into
+// histogram `name` when the enclosing scope exits.
+#define RCM_SCOPED_TIMER(var, name)                                 \
+  static ::rcm::obs::Histogram& var##_histogram =                   \
+      ::rcm::obs::registry().histogram(name);                       \
+  ::rcm::obs::ScopedTimer var { var##_histogram }
+#else
+#define RCM_COUNT(name) \
+  do {                  \
+  } while (0)
+#define RCM_COUNT_N(name, n) \
+  do {                       \
+    (void)(n);               \
+  } while (0)
+#define RCM_OBSERVE(name, x) \
+  do {                       \
+    (void)(x);               \
+  } while (0)
+#define RCM_OBSERVE_WITH(name, bounds, x) \
+  do {                                    \
+    (void)(x);                            \
+  } while (0)
+#define RCM_SCOPED_TIMER(var, name) \
+  do {                              \
+  } while (0)
+#endif

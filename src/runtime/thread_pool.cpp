@@ -1,0 +1,97 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rcm::runtime {
+
+ThreadPool::ThreadPool(std::size_t workers, std::size_t queue_capacity)
+    : queue_(queue_capacity) {
+  const std::size_t n = std::max<std::size_t>(workers, 1);
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  try {
+    join();
+  } catch (...) {
+    // Destructor must not throw; an unjoined pool drops its task
+    // exception (still visible via failed_tasks() before destruction).
+  }
+}
+
+bool ThreadPool::submit(Task task) {
+  {
+    // Count the task as in flight *before* it becomes visible to a
+    // worker, so wait() can never observe a popped-but-uncounted task.
+    std::lock_guard lock{mutex_};
+    ++in_flight_;
+  }
+  if (!queue_.push(std::move(task))) {
+    std::lock_guard lock{mutex_};
+    --in_flight_;
+    if (in_flight_ == 0) idle_cv_.notify_all();
+    return false;
+  }
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  while (std::optional<Task> task = queue_.pop()) {
+    std::exception_ptr error;
+    try {
+      (*task)();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard lock{mutex_};
+    if (error) {
+      ++failed_;
+      if (!first_error_) first_error_ = error;
+    }
+    if (--in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock{mutex_};
+  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::join() {
+  {
+    std::lock_guard lock{mutex_};
+    if (joined_) {
+      // Already joined; still surface an exception captured since the
+      // last rethrow (possible only if a previous join was interrupted).
+      if (!first_error_) return;
+    }
+    joined_ = true;
+  }
+  queue_.close();
+  for (std::thread& t : threads_)
+    if (t.joinable()) t.join();
+  std::lock_guard lock{mutex_};
+  if (first_error_)
+    std::rethrow_exception(std::exchange(first_error_, nullptr));
+}
+
+std::size_t ThreadPool::failed_tasks() const {
+  std::lock_guard lock{mutex_};
+  return failed_;
+}
+
+std::size_t ThreadPool::resolve_jobs(std::size_t n) {
+  if (n > 0) return n;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace rcm::runtime

@@ -1,0 +1,90 @@
+// Fixed-size worker pool over a bounded MPMC task queue.
+//
+// The pool exists to parallelize *independent, deterministic* work —
+// swarm runs and Monte-Carlo sweep trials — so its contract is shaped by
+// that use:
+//
+//   - submit() blocks when the queue is full (backpressure; a producer
+//     enumerating a million run indices must not materialize a million
+//     closures);
+//   - wait() is a barrier: it returns once every task submitted so far
+//     has finished, and the pool is reusable afterwards — callers
+//     process results in deterministic order between batches;
+//   - a task that throws does not kill its worker; the first exception
+//     is captured and rethrown from the next wait()/join() on the
+//     submitting thread, the rest are counted and dropped (independent
+//     tasks have no ordering that would make "first" ambiguous across
+//     workers — any captured one is reported);
+//   - join() closes the queue (draining what was accepted), joins the
+//     workers, and rethrows any captured exception. After join(),
+//     submit() returns false. The destructor joins but never throws.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/queue.hpp"
+
+namespace rcm::runtime {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `workers` threads (minimum 1). `queue_capacity` bounds the
+  /// number of queued-but-unstarted tasks before submit() blocks.
+  explicit ThreadPool(std::size_t workers, std::size_t queue_capacity = 256);
+
+  /// Joins without throwing; prefer an explicit join() so task
+  /// exceptions are not silently dropped.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; blocks while the queue is full. Returns false —
+  /// and does not run the task — once the pool is closed.
+  bool submit(Task task);
+
+  /// Blocks until every task accepted so far has completed, then
+  /// rethrows the first captured task exception, if any. The pool
+  /// remains open for further submissions.
+  void wait();
+
+  /// Closes the queue (subsequent submits are rejected), runs every
+  /// already-accepted task to completion, joins the workers, and
+  /// rethrows the first captured task exception. Idempotent.
+  void join();
+
+  [[nodiscard]] std::size_t workers() const noexcept {
+    return threads_.size();
+  }
+
+  /// Tasks whose exceptions were captured-or-dropped so far (the first
+  /// is rethrown by wait()/join(); the rest only count here).
+  [[nodiscard]] std::size_t failed_tasks() const;
+
+  /// `n` if n > 0, else std::thread::hardware_concurrency() (minimum 1).
+  /// The shared "--jobs 0 means auto" convention of the CLIs and benches.
+  [[nodiscard]] static std::size_t resolve_jobs(std::size_t n);
+
+ private:
+  void worker_loop();
+  void rethrow_if_failed();
+
+  BoundedBlockingQueue<Task> queue_;
+  std::vector<std::thread> threads_;
+
+  mutable std::mutex mutex_;          // guards the fields below
+  std::condition_variable idle_cv_;   // signalled when in_flight_ hits 0
+  std::size_t in_flight_ = 0;         // accepted but not yet finished
+  std::size_t failed_ = 0;
+  std::exception_ptr first_error_;
+  bool joined_ = false;
+};
+
+}  // namespace rcm::runtime

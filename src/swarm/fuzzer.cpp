@@ -101,8 +101,11 @@ FilterKind sample_filter(bool multi, util::Rng& rng) {
 
 SwarmSpec sample_spec(std::uint64_t master_seed, std::uint64_t index,
                       const FuzzOptions& options) {
-  util::Rng master{master_seed};
-  util::Rng rng = master.fork(index + 1);
+  // Stateless derivation (bit-compatible with the historical
+  // Rng{seed}.fork(index + 1)): run i's stream does not depend on which
+  // runs were sampled before it, so parallel executors sharding a batch
+  // across workers sample exactly the serial batch.
+  util::Rng rng = util::Rng::derive(master_seed, index);
 
   SwarmSpec spec;
 

@@ -51,6 +51,9 @@ int main(int argc, char** argv) {
                 "number of fuzzed runs (0 = unlimited, use --time-budget)");
   args.add_flag("time-budget", "0",
                 "wall-clock budget in seconds (0 = none)");
+  args.add_flag("jobs", "0",
+                "worker threads (0 = hardware concurrency, 1 = serial); "
+                "any value yields bit-identical digests and verdicts");
   args.add_flag("replay", "", "replay a counterexample record and exit");
   args.add_flag("save", "",
                 "directory to write counterexample records into");
@@ -85,6 +88,7 @@ int main(int argc, char** argv) {
       }
       options.runs = static_cast<std::size_t>(-1);  // budget-bounded
     }
+    options.jobs = static_cast<std::size_t>(args.get_int("jobs"));
     options.do_shrink = !args.get_bool("no-shrink");
     options.check.check_determinism = !args.get_bool("no-determinism");
     if (!args.get("filter").empty())

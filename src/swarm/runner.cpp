@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "check/run_record.hpp"
+#include "obs/metrics.hpp"
 #include "sim/disconnect.hpp"
 #include "wire/buffer.hpp"
 
@@ -29,6 +30,7 @@ bool RunCheck::has_kind(ViolationKind k) const {
 }
 
 Execution execute(const SwarmSpec& spec) {
+  RCM_SCOPED_TIMER(timer, "swarm.phase.execute_seconds");
   Execution exec;
   if (spec.ad_offline.empty()) {
     exec.result = sim::run_system(spec.to_system_config());
@@ -65,7 +67,10 @@ RunCheck execute_and_check(const SwarmSpec& spec,
   const ConditionPtr condition = build_condition(spec.cond_kind,
                                                  spec.cond_param);
   const check::SystemRun run = r.as_system_run(condition);
-  out.report = check::check_run(run, options.interleaving_budget);
+  {
+    RCM_SCOPED_TIMER(timer, "swarm.phase.check_seconds");
+    out.report = check::check_run(run, options.interleaving_budget);
+  }
   out.digest = execution_digest(exec, condition);
   out.displayed = r.displayed.size();
   for (const auto& alerts : r.ce_outputs) out.raised += alerts.size();

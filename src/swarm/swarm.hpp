@@ -27,7 +27,20 @@ struct SwarmOptions {
   std::uint64_t seed = 1;
   std::size_t runs = 100;
 
-  /// Wall-clock budget in seconds; 0 = unlimited. Checked between runs.
+  /// Worker threads executing runs: 1 = serial (the default for library
+  /// callers), 0 = hardware concurrency, N = N workers. Parallel
+  /// execution is sharded deterministically: run i is sampled with the
+  /// stateless util::Rng::derive(seed, i) and simulated in isolation, so
+  /// any jobs value produces bit-for-bit the per-run digests, verdicts,
+  /// and report of the serial executor (shrinking and the progress
+  /// callback always happen on the calling thread, in run-index order).
+  /// Only a time budget or an early-stopping callback can make jobs
+  /// matter: both truncate the batch, and the parallel executor checks
+  /// the budget between blocks of runs rather than between runs.
+  std::size_t jobs = 1;
+
+  /// Wall-clock budget in seconds; 0 = unlimited. Checked between runs
+  /// (serial) or between blocks of runs (parallel).
   double time_budget_seconds = 0.0;
 
   /// Minimize failures before recording them.

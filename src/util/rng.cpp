@@ -87,4 +87,9 @@ Rng Rng::fork(std::uint64_t salt) noexcept {
   return Rng{splitmix64(state)};
 }
 
+Rng Rng::derive(std::uint64_t seed, std::uint64_t index) noexcept {
+  Rng master{seed};
+  return master.fork(index + 1);
+}
+
 }  // namespace rcm::util

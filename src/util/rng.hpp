@@ -66,7 +66,21 @@ class Rng {
   /// Derives an independent child generator; the pair (parent seed, salt)
   /// fully determines the child stream. Used to give each simulated link
   /// and each Monte-Carlo trial its own stream.
+  ///
+  /// NOTE: fork() advances the parent stream, so forked children depend
+  /// on how many draws (and forks) preceded them. For batch work items
+  /// that must be derivable out of order — e.g. run i of a swarm batch
+  /// executed on any worker thread — use the stateless derive() instead.
   [[nodiscard]] Rng fork(std::uint64_t salt) noexcept;
+
+  /// Stateless per-run stream derivation: the stream for work item
+  /// `index` of a batch seeded with `seed`, as a pure function of the
+  /// pair. Bit-compatible with `Rng{seed}.fork(index + 1)` — the
+  /// derivation the swarm fuzzer has always used — so parallel executors
+  /// sharding a batch across threads sample exactly the runs the serial
+  /// executor would.
+  [[nodiscard]] static Rng derive(std::uint64_t seed,
+                                  std::uint64_t index) noexcept;
 
  private:
   std::uint64_t s_[4]{};

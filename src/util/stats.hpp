@@ -61,7 +61,10 @@ class Ratio {
 /// every observation is fine.
 class Percentiles {
  public:
-  void add(double x) { samples_.push_back(x); }
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;  // a past query's sort is stale now
+  }
   /// q in [0,1]; returns 0 for an empty sample.
   [[nodiscard]] double percentile(double q) const;
   [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }

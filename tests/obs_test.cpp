@@ -1,0 +1,290 @@
+// Tests for the rcm::obs metrics layer: counter/histogram correctness
+// (including the empty / single-sample / all-equal percentile edges),
+// JSON snapshot round-trip, and lossless concurrent increments.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rcm::obs {
+namespace {
+
+// Minimal JSON well-formedness check: balanced {}/[] outside strings and
+// properly terminated strings. Not a full parser, but it catches every
+// emitter bug a missing comma/brace/escape could introduce.
+bool json_well_formed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(HistogramTest, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({3.0, 2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(HistogramTest, ExponentialBounds) {
+  const std::vector<double> b = Histogram::exponential_bounds(1.0, 2.0, 4);
+  EXPECT_EQ(b, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  EXPECT_THROW(Histogram::exponential_bounds(0.0, 2.0, 4),
+               std::invalid_argument);
+  EXPECT_THROW(Histogram::exponential_bounds(1.0, 1.0, 4),
+               std::invalid_argument);
+  EXPECT_THROW(Histogram::exponential_bounds(1.0, 2.0, 0),
+               std::invalid_argument);
+}
+
+TEST(HistogramTest, EmptyHistogramEdgeCases) {
+  Histogram h({1.0, 10.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.observed_min(), 0.0);
+  EXPECT_EQ(h.observed_max(), 0.0);
+  EXPECT_EQ(h.percentile(0.0), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  EXPECT_EQ(h.percentile(1.0), 0.0);
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.record(5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 5.0);
+  EXPECT_EQ(h.mean(), 5.0);
+  EXPECT_EQ(h.observed_min(), 5.0);
+  EXPECT_EQ(h.observed_max(), 5.0);
+  // q = 0 and q = 1 are exact; interior quantiles report the covering
+  // bucket's upper bound.
+  EXPECT_EQ(h.percentile(0.0), 5.0);
+  EXPECT_EQ(h.percentile(1.0), 5.0);
+  EXPECT_EQ(h.percentile(0.5), 10.0);
+  EXPECT_EQ(h.percentile(0.99), 10.0);
+}
+
+TEST(HistogramTest, AllEqualSamples) {
+  Histogram h({1.0, 10.0, 100.0});
+  for (int i = 0; i < 100; ++i) h.record(7.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.mean(), 7.0);
+  EXPECT_EQ(h.observed_min(), 7.0);
+  EXPECT_EQ(h.observed_max(), 7.0);
+  EXPECT_EQ(h.percentile(0.5), 10.0);
+  EXPECT_EQ(h.percentile(0.95), 10.0);
+  EXPECT_EQ(h.percentile(0.99), 10.0);
+  EXPECT_EQ(h.percentile(0.0), 7.0);
+  EXPECT_EQ(h.percentile(1.0), 7.0);
+}
+
+TEST(HistogramTest, BucketBoundsAreInclusiveUpper) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.record(1.0);    // lands in the le=1 bucket, not le=10
+  h.record(10.0);   // lands in the le=10 bucket
+  h.record(10.5);   // lands in the le=100 bucket
+  h.record(1000.0); // overflow
+  const std::vector<std::uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(HistogramTest, PercentileSpreadAndOverflow) {
+  Histogram h({1.0, 10.0, 100.0});
+  // 90 samples <= 1, 9 samples <= 10, 1 sample in the overflow bucket.
+  for (int i = 0; i < 90; ++i) h.record(0.5);
+  for (int i = 0; i < 9; ++i) h.record(5.0);
+  h.record(12345.0);
+  EXPECT_EQ(h.percentile(0.50), 1.0);
+  EXPECT_EQ(h.percentile(0.90), 1.0);
+  EXPECT_EQ(h.percentile(0.95), 10.0);
+  // The 0.999 rank lands in the overflow bucket, which has no upper
+  // bound; the observed maximum is reported instead.
+  EXPECT_EQ(h.percentile(0.999), 12345.0);
+  EXPECT_EQ(h.percentile(1.0), 12345.0);
+  // Out-of-range quantiles clamp.
+  EXPECT_EQ(h.percentile(-0.5), 0.5);
+  EXPECT_EQ(h.percentile(1.5), 12345.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h({1.0, 10.0});
+  h.record(3.0);
+  h.record(30.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.observed_min(), 0.0);
+  EXPECT_EQ(h.observed_max(), 0.0);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{0, 0, 0}));
+  h.record(2.0);  // usable after reset
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.observed_min(), 2.0);
+  EXPECT_EQ(h.observed_max(), 2.0);
+}
+
+TEST(ScopedTimerTest, RecordsOneNonNegativeSample) {
+  Histogram h(Histogram::exponential_bounds(1e-9, 10.0, 12));
+  {
+    ScopedTimer t{h};
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.observed_min(), 0.0);
+}
+
+TEST(MetricsRegistryTest, LookupIsStableAndNamesAreIndependent) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("a");
+  Counter& b = reg.counter("b");
+  EXPECT_NE(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(reg.counter("a").value(), 3u);  // same metric on re-lookup
+  EXPECT_EQ(&reg.counter("a"), &a);
+  EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(MetricsRegistryTest, FirstHistogramBoundsWin) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {1.0, 2.0, 3.0});
+  Histogram& again = reg.histogram("h", {99.0});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.bounds(), (std::vector<double>{1.0, 2.0, 3.0}));
+  // Empty bounds select the default latency ladder.
+  Histogram& lat = reg.histogram("latency");
+  EXPECT_EQ(lat.bounds().size(), 16u);
+  EXPECT_DOUBLE_EQ(lat.bounds().front(), 1e-7);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonRoundTrip) {
+  MetricsRegistry reg;
+  reg.counter("swarm.runs").inc(200);
+  reg.counter("with\"quote").inc(1);
+  Histogram& h = reg.histogram("lat", {1.0, 10.0});
+  h.record(0.5);
+  h.record(0.5);
+  h.record(100.0);
+
+  const std::string json = reg.snapshot_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  // Exact values survive the trip into the snapshot.
+  EXPECT_NE(json.find("\"swarm.runs\": 200"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"with\\\"quote\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sum\": 101"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max\": 100"), std::string::npos) << json;
+  // The overflow bucket is emitted with le = "+inf".
+  EXPECT_NE(json.find("{\"le\": \"+inf\", \"count\": 1}"), std::string::npos)
+      << json;
+  // Empty buckets are elided: the le=10 bucket holds nothing.
+  EXPECT_EQ(json.find("\"le\": 10,"), std::string::npos) << json;
+
+  // reset() zeroes the snapshot but keeps references valid.
+  reg.reset();
+  const std::string zeroed = reg.snapshot_json();
+  EXPECT_TRUE(json_well_formed(zeroed)) << zeroed;
+  EXPECT_NE(zeroed.find("\"swarm.runs\": 0"), std::string::npos) << zeroed;
+  EXPECT_NE(zeroed.find("\"count\": 0"), std::string::npos) << zeroed;
+  reg.counter("swarm.runs").inc();
+  EXPECT_EQ(reg.counter("swarm.runs").value(), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotOfEmptyRegistryIsWellFormed) {
+  MetricsRegistry reg;
+  const std::string json = reg.snapshot_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"counters\": {}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\": {}"), std::string::npos) << json;
+}
+
+TEST(ObsConcurrencyTest, EightThreadsLoseNoCounts) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 10000;
+
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("conc", {0.0, 1.0, 2.0, 3.0});
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &h, t] {
+      // Mix registration (map probe) with hot-path increments, as the
+      // instrumentation macros do on their first execution.
+      Counter& c = reg.counter("conc.counter");
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.record(static_cast<double>((t + i) % 4));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(reg.counter("conc.counter").value(), kThreads * kPerThread);
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : h.bucket_counts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+  EXPECT_EQ(h.observed_min(), 0.0);
+  EXPECT_EQ(h.observed_max(), 3.0);
+  EXPECT_EQ(h.sum(), static_cast<double>(kThreads * kPerThread) * 1.5);
+}
+
+TEST(ObsMacrosTest, MacrosFeedTheGlobalRegistry) {
+#if RCM_METRICS_ENABLED
+  const std::uint64_t before =
+      registry().counter("obs_test.macro_counter").value();
+  for (int i = 0; i < 5; ++i) RCM_COUNT("obs_test.macro_counter");
+  RCM_COUNT_N("obs_test.macro_counter", 10);
+  EXPECT_EQ(registry().counter("obs_test.macro_counter").value(),
+            before + 15);
+
+  Histogram& h =
+      registry().histogram("obs_test.macro_histogram", {1.0, 2.0, 4.0});
+  const std::uint64_t h_before = h.count();
+  RCM_OBSERVE_WITH("obs_test.macro_histogram", ({1.0, 2.0, 4.0}), 3);
+  EXPECT_EQ(h.count(), h_before + 1);
+#else
+  RCM_COUNT("obs_test.macro_counter");  // must still compile
+#endif
+}
+
+}  // namespace
+}  // namespace rcm::obs

@@ -1,0 +1,152 @@
+// The parallel swarm executor must be bit-for-bit identical to the
+// serial one: same per-run digests, same violation sets, same aggregate
+// report, for any jobs value. These tests pin that contract with a
+// fixed-seed 200-run batch, plus the analogous guarantee for the
+// Monte-Carlo table sweeps (exp::sweep_scenario).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/scenarios.hpp"
+#include "exp/table_experiment.hpp"
+#include "swarm/swarm.hpp"
+#include "util/rng.hpp"
+
+namespace rcm {
+namespace {
+
+struct BatchTrace {
+  std::vector<std::uint64_t> indices;
+  std::vector<std::uint64_t> digests;
+  std::vector<std::string> violations;  ///< flattened, in run order
+  swarm::SwarmReport report;
+};
+
+BatchTrace run_batch(std::uint64_t seed, std::size_t runs, std::size_t jobs) {
+  swarm::SwarmOptions options;
+  options.seed = seed;
+  options.runs = runs;
+  options.jobs = jobs;
+  // Shrinking failed runs is orthogonal to executor determinism and
+  // dominates wall-clock when a violation shows up; keep the test fast.
+  options.do_shrink = false;
+
+  BatchTrace trace;
+  trace.report = swarm::run_swarm(
+      options, [&](std::uint64_t index, const swarm::RunCheck& check) {
+        trace.indices.push_back(index);
+        trace.digests.push_back(check.digest);
+        trace.violations.insert(trace.violations.end(),
+                                check.violations.begin(),
+                                check.violations.end());
+        return true;
+      });
+  return trace;
+}
+
+void expect_identical(const BatchTrace& a, const BatchTrace& b) {
+  EXPECT_EQ(a.indices, b.indices);
+  EXPECT_EQ(a.digests, b.digests);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.report.runs_executed, b.report.runs_executed);
+  EXPECT_EQ(a.report.runs_with_alerts, b.report.runs_with_alerts);
+  EXPECT_EQ(a.report.failures, b.report.failures);
+  EXPECT_EQ(a.report.cell_runs, b.report.cell_runs);
+  ASSERT_EQ(a.report.counterexamples.size(), b.report.counterexamples.size());
+  for (std::size_t i = 0; i < a.report.counterexamples.size(); ++i) {
+    EXPECT_EQ(a.report.counterexamples[i].run_index,
+              b.report.counterexamples[i].run_index);
+    EXPECT_EQ(a.report.counterexamples[i].violations,
+              b.report.counterexamples[i].violations);
+  }
+}
+
+TEST(ParallelDeterminismTest, Jobs8MatchesSerialOn200Runs) {
+  const BatchTrace serial = run_batch(/*seed=*/1, /*runs=*/200, /*jobs=*/1);
+  const BatchTrace parallel = run_batch(/*seed=*/1, /*runs=*/200, /*jobs=*/8);
+
+  ASSERT_EQ(serial.report.runs_executed, 200u);
+  // Progress fires once per run, in run-index order, in both modes.
+  ASSERT_EQ(serial.indices.size(), 200u);
+  for (std::size_t i = 0; i < serial.indices.size(); ++i)
+    EXPECT_EQ(serial.indices[i], i);
+
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelDeterminismTest, OddJobCountsAgreeToo) {
+  // Block boundaries (jobs * 4) land differently for different jobs
+  // values; none of them may change the observable batch.
+  const BatchTrace serial = run_batch(/*seed=*/99, /*runs=*/60, /*jobs=*/1);
+  for (std::size_t jobs : {2u, 3u, 5u}) {
+    const BatchTrace parallel = run_batch(/*seed=*/99, /*runs=*/60, jobs);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelDeterminismTest, EarlyStopViaProgressStillStops) {
+  // Returning false from the progress callback must stop the parallel
+  // batch too (possibly a block later than serial, never earlier than
+  // the requested index).
+  swarm::SwarmOptions options;
+  options.seed = 5;
+  options.runs = 100;
+  options.jobs = 4;
+  options.do_shrink = false;
+
+  std::size_t seen = 0;
+  const swarm::SwarmReport report = swarm::run_swarm(
+      options, [&](std::uint64_t, const swarm::RunCheck&) {
+        return ++seen < 10;
+      });
+  EXPECT_GE(seen, 10u);
+  EXPECT_LT(seen, 100u);
+  EXPECT_EQ(report.runs_executed, seen);
+  EXPECT_TRUE(report.time_budget_exhausted);
+}
+
+TEST(ParallelDeterminismTest, DeriveIsStatelessAndForkCompatible) {
+  // derive(seed, i) must equal the historical per-run derivation — a
+  // fresh master forked once: Rng{seed}.fork(i + 1). That equivalence is
+  // what keeps old swarm seeds reproducing the same batches. It must
+  // also be order-independent (stateless), unlike sequential forks from
+  // one long-lived master.
+  std::vector<std::uint64_t> forked;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    util::Rng master{1234};
+    forked.push_back(master.fork(i + 1)());
+  }
+  for (std::uint64_t i = 8; i-- > 0;) {  // reverse order: stateless
+    util::Rng derived = util::Rng::derive(1234, i);
+    EXPECT_EQ(derived(), forked[i]) << "index " << i;
+  }
+  // Distinct indices give distinct streams.
+  EXPECT_NE(util::Rng::derive(1234, 0)(), util::Rng::derive(1234, 1)());
+}
+
+TEST(ParallelDeterminismTest, SweepScenarioCountsIdenticalAcrossJobs) {
+  const exp::ScenarioSpec spec =
+      exp::single_var_scenario(exp::Scenario::kLossyAggressive, 0.2);
+
+  exp::SweepParams params;
+  params.runs = 40;
+  params.seed = 42;
+
+  params.jobs = 1;
+  const exp::PropertyCounts serial =
+      exp::sweep_scenario(spec, FilterKind::kAd1, params);
+  params.jobs = 4;
+  const exp::PropertyCounts parallel =
+      exp::sweep_scenario(spec, FilterKind::kAd1, params);
+
+  EXPECT_EQ(serial.runs, parallel.runs);
+  EXPECT_EQ(serial.ordered_violations, parallel.ordered_violations);
+  EXPECT_EQ(serial.complete_violations, parallel.complete_violations);
+  EXPECT_EQ(serial.consistent_violations, parallel.consistent_violations);
+  EXPECT_EQ(serial.complete_unknown, parallel.complete_unknown);
+}
+
+}  // namespace
+}  // namespace rcm

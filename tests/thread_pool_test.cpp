@@ -1,0 +1,185 @@
+// Tests for runtime::ThreadPool and the bounded MPMC queue beneath it:
+// exactly-once execution, exception propagation to join()/wait(),
+// deterministic shutdown, and a stress case well past the queue capacity.
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/queue.hpp"
+
+namespace rcm::runtime {
+namespace {
+
+TEST(BoundedBlockingQueueTest, PushPopRoundTrip) {
+  BoundedBlockingQueue<int> queue(4);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  auto a = queue.pop();
+  auto b = queue.pop();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*b, 2);
+}
+
+TEST(BoundedBlockingQueueTest, DrainsAfterClose) {
+  BoundedBlockingQueue<int> queue(8);
+  ASSERT_TRUE(queue.push(7));
+  ASSERT_TRUE(queue.push(8));
+  queue.close();
+  EXPECT_FALSE(queue.push(9));  // rejected after close
+  auto a = queue.pop();
+  auto b = queue.pop();
+  auto end = queue.pop();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, 7);
+  EXPECT_EQ(*b, 8);
+  EXPECT_FALSE(end.has_value());  // closed and empty
+}
+
+TEST(BoundedBlockingQueueTest, PushBlocksUntilPopMakesRoom) {
+  BoundedBlockingQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(queue.push(2));  // must block until the consumer pops
+    second_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(queue.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(queue.pop().value(), 2);
+}
+
+TEST(ThreadPoolTest, TasksExecuteExactlyOnce) {
+  constexpr std::size_t kTasks = 500;
+  std::vector<std::atomic<int>> executed(kTasks);
+  {
+    ThreadPool pool(4);
+    for (std::size_t i = 0; i < kTasks; ++i)
+      ASSERT_TRUE(pool.submit([&executed, i] { ++executed[i]; }));
+    pool.join();
+  }
+  for (std::size_t i = 0; i < kTasks; ++i)
+    EXPECT_EQ(executed[i].load(), 1) << "task " << i;
+}
+
+TEST(ThreadPoolTest, WaitIsABarrierAndPoolStaysUsable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 16; ++i) ASSERT_TRUE(pool.submit([&] { ++count; }));
+  pool.wait();
+  EXPECT_EQ(count.load(), 16);
+  // The pool accepts work again after a wait() barrier.
+  for (int i = 0; i < 16; ++i) ASSERT_TRUE(pool.submit([&] { ++count; }));
+  pool.wait();
+  EXPECT_EQ(count.load(), 32);
+  pool.join();
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToJoin) {
+  ThreadPool pool(2);
+  std::atomic<int> survivors{0};
+  ASSERT_TRUE(
+      pool.submit([] { throw std::runtime_error("task failed on purpose"); }));
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(pool.submit([&] { ++survivors; }));
+  EXPECT_THROW(pool.join(), std::runtime_error);
+  // The failing task did not take down its worker: the rest still ran.
+  EXPECT_EQ(survivors.load(), 8);
+  EXPECT_EQ(pool.failed_tasks(), 1u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToWaitOnce) {
+  ThreadPool pool(2);
+  ASSERT_TRUE(pool.submit([] { throw std::invalid_argument("boom"); }));
+  EXPECT_THROW(pool.wait(), std::invalid_argument);
+  // The error is delivered exactly once; a second barrier is clean.
+  pool.wait();
+  pool.join();
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionIsRethrown) {
+  ThreadPool pool(1);  // single worker: deterministic task order
+  ASSERT_TRUE(pool.submit([] { throw std::runtime_error("first"); }));
+  ASSERT_TRUE(pool.submit([] { throw std::logic_error("second"); }));
+  try {
+    pool.join();
+    FAIL() << "join() should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  EXPECT_EQ(pool.failed_tasks(), 2u);
+}
+
+TEST(ThreadPoolTest, SubmitAfterJoinIsRejected) {
+  ThreadPool pool(2);
+  pool.join();
+  EXPECT_FALSE(pool.submit([] {}));
+  pool.join();  // idempotent
+}
+
+TEST(ThreadPoolTest, DeterministicShutdownRunsEverySubmittedTask) {
+  // join() must drain the queue, not abandon it: every accepted task runs
+  // even when the pool is torn down immediately after the last submit.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    ThreadPool pool(3, /*queue_capacity=*/4);
+    for (int i = 0; i < 64; ++i) ASSERT_TRUE(pool.submit([&] { ++count; }));
+    pool.join();
+    EXPECT_EQ(count.load(), 64) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, ResolveJobs) {
+  EXPECT_EQ(ThreadPool::resolve_jobs(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve_jobs(7), 7u);
+  EXPECT_GE(ThreadPool::resolve_jobs(0), 1u);  // hardware concurrency, >= 1
+}
+
+TEST(ThreadPoolTest, StressManyTasksFewWorkers) {
+  // >= 10k tasks through 8 workers with a small queue, from multiple
+  // producer threads, checking exactly-once execution of every task.
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 3000;
+  constexpr std::size_t kTasks = kProducers * kPerProducer;  // 12000
+
+  std::vector<std::atomic<int>> executed(kTasks);
+  std::atomic<std::size_t> accepted{0};
+  {
+    ThreadPool pool(8, /*queue_capacity=*/64);
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (std::size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (std::size_t i = 0; i < kPerProducer; ++i) {
+          const std::size_t id = p * kPerProducer + i;
+          if (pool.submit([&executed, id] { ++executed[id]; })) ++accepted;
+        }
+      });
+    }
+    for (std::thread& t : producers) t.join();
+    pool.join();
+  }
+  EXPECT_EQ(accepted.load(), kTasks);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(executed[i].load(), 1) << "task " << i;
+    total += static_cast<std::size_t>(executed[i].load());
+  }
+  EXPECT_EQ(total, kTasks);
+}
+
+}  // namespace
+}  // namespace rcm::runtime

@@ -182,6 +182,47 @@ TEST(Percentiles, NearestRank) {
   EXPECT_NEAR(p.percentile(0.9), 90.0, 1.0);
 }
 
+// Regression pins for the exact boundary behavior: rank is
+// round(q * (n - 1)), so p0/p100 always return the extremes, every q maps
+// to an actual sample (never an interpolated value), and out-of-range
+// quantiles clamp. Benches compare percentile columns across runs, so
+// these must not drift.
+TEST(Percentiles, BoundaryBehaviorPins) {
+  Percentiles empty;
+  EXPECT_EQ(empty.percentile(0.0), 0.0);
+  EXPECT_EQ(empty.percentile(0.5), 0.0);
+  EXPECT_EQ(empty.percentile(1.0), 0.0);
+
+  Percentiles one;
+  one.add(42.0);
+  EXPECT_EQ(one.percentile(0.0), 42.0);
+  EXPECT_EQ(one.percentile(0.5), 42.0);
+  EXPECT_EQ(one.percentile(1.0), 42.0);
+
+  Percentiles p;  // added out of order: percentile() must sort
+  p.add(30.0);
+  p.add(10.0);
+  p.add(40.0);
+  p.add(20.0);
+  EXPECT_EQ(p.percentile(0.0), 10.0);
+  EXPECT_EQ(p.percentile(1.0), 40.0);
+  // rank = round(q * 3): q just below 0.5 rounds down to sample index 1,
+  // q = 0.5 lands exactly on index 2 (1.5 + 0.5 = 2.0).
+  EXPECT_EQ(p.percentile(0.49), 20.0);
+  EXPECT_EQ(p.percentile(0.5), 30.0);
+  EXPECT_EQ(p.percentile(1.0 / 3.0), 20.0);
+  EXPECT_EQ(p.percentile(2.0 / 3.0), 30.0);
+  // Out-of-range quantiles clamp to the extremes instead of indexing out
+  // of bounds.
+  EXPECT_EQ(p.percentile(-1.0), 10.0);
+  EXPECT_EQ(p.percentile(2.0), 40.0);
+
+  // Adding after a query re-sorts before the next query.
+  p.add(5.0);
+  EXPECT_EQ(p.percentile(0.0), 5.0);
+  EXPECT_EQ(p.percentile(1.0), 40.0);
+}
+
 TEST(Table, RendersAlignedColumns) {
   Table t({"a", "longheader"});
   t.add_row({"xx", "y"});
