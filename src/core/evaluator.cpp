@@ -46,6 +46,13 @@ void ConditionEvaluator::restore_state(HistorySet h,
   last_seen_ = std::move(last);
 }
 
+bool ConditionEvaluator::replay_update(const Update& u) {
+  if (!would_accept(u)) return false;
+  last_seen_[u.var] = u.seqno;
+  histories_.push(u);
+  return true;
+}
+
 std::vector<Alert> evaluate_trace(const ConditionPtr& condition,
                                   std::span<const Update> u) {
   ConditionEvaluator ce{condition, "T"};

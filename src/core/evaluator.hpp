@@ -75,6 +75,13 @@ class ConditionEvaluator {
   /// for this evaluator's condition.
   void restore_state(HistorySet h, std::map<VarId, SeqNo> last);
 
+  /// Applies `u` to the volatile state exactly like on_update, but
+  /// without appending to the received/emitted logs: the WAL-replay
+  /// half of crash recovery, where the update was already observed (and
+  /// its alert, if any, already delivered) by a previous incarnation.
+  /// Returns whether the update was accepted.
+  bool replay_update(const Update& u);
+
  private:
   ConditionPtr cond_;
   std::string id_;

@@ -21,12 +21,9 @@ namespace {
 
 using namespace std::chrono_literals;
 
-// END-of-stream datagram payload (framed like every other message).
-const std::vector<std::uint8_t> kEndPayload{0x45, 0x4E, 0x44};  // "END"
-
-bool is_end(const std::vector<std::uint8_t>& payload) {
-  return payload == kEndPayload;
-}
+// END-of-stream datagram payload prefix ("END"), followed by a varint DM
+// index so a receiver counts *distinct* finished DMs, not END datagrams.
+constexpr std::uint8_t kEndMagic[3] = {0x45, 0x4E, 0x44};
 
 void sleep_until_trace_time(double trace_time, double time_scale,
                             std::chrono::steady_clock::time_point start) {
@@ -38,6 +35,28 @@ void sleep_until_trace_time(double trace_time, double time_scale,
 
 }  // namespace
 
+std::vector<std::uint8_t> encode_end_marker(std::size_t dm_index) {
+  wire::Writer w;
+  for (std::uint8_t b : kEndMagic) w.u8(b);
+  w.varint(dm_index);
+  return w.take();
+}
+
+std::optional<std::size_t> decode_end_marker(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() < sizeof(kEndMagic)) return std::nullopt;
+  for (std::size_t i = 0; i < sizeof(kEndMagic); ++i)
+    if (payload[i] != kEndMagic[i]) return std::nullopt;
+  try {
+    wire::Reader r{payload.subspan(sizeof(kEndMagic))};
+    const std::uint64_t dm = r.varint();
+    r.expect_done();
+    return static_cast<std::size_t>(dm);
+  } catch (const wire::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
 sim::RunResult run_networked(const NetworkConfig& config) {
   if (!config.condition)
     throw std::invalid_argument("run_networked: null condition");
@@ -45,6 +64,8 @@ sim::RunResult run_networked(const NetworkConfig& config) {
     throw std::invalid_argument("run_networked: need at least one CE");
   if (config.dm_traces.empty())
     throw std::invalid_argument("run_networked: need at least one DM");
+  if (!(config.end_timeout_seconds > 0.0))
+    throw std::invalid_argument("run_networked: end timeout must be > 0");
   // One DM per variable (paper §2): two sources minting seqnos for the
   // same variable would break the per-variable counter model.
   {
@@ -79,6 +100,7 @@ sim::RunResult run_networked(const NetworkConfig& config) {
   runtime::BlockingQueue<Alert> ad_queue;
   std::atomic<std::size_t> front_drops{0};
   std::atomic<std::size_t> corrupt_frames{0};
+  std::atomic<std::size_t> end_timeouts{0};
 
   // --- CE threads: UDP receive -> evaluate -> TCP send --------------------
   std::vector<std::thread> ce_threads;
@@ -86,25 +108,33 @@ sim::RunResult run_networked(const NetworkConfig& config) {
     ce_threads.emplace_back([&, c] {
       TcpStream to_ad = TcpStream::connect(ad_listener.port());
       wire::FrameCursor cursor;
-      std::size_t ends_seen = 0;
-      // Defensive liveness bound: UDP gives no delivery guarantee even
-      // on loopback, so an END marker could in principle be dropped
-      // under extreme memory pressure. A long idle timeout turns that
-      // would-be hang into a clean finish.
+      // Per-DM END markers: a set, not a counter, so a duplicated or
+      // re-sent END can never finish the CE early, and a CE that joins
+      // (or in the service, restarts) late still terminates on the
+      // re-sent markers. If the markers are genuinely lost — UDP gives
+      // no delivery guarantee even on loopback — the idle timeout turns
+      // the would-be hang into a finish that the caller can see in
+      // RunResult::ce_end_timeouts.
+      std::set<std::size_t> dm_ends;
+      const auto end_timeout =
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(config.end_timeout_seconds));
       auto last_traffic = std::chrono::steady_clock::now();
-      while (ends_seen < config.dm_traces.size()) {
+      while (dm_ends.size() < config.dm_traces.size()) {
         const auto datagram = ce_sockets[c]->receive(100ms);
         if (!datagram) {
           if (std::chrono::steady_clock::now() - last_traffic >
-              std::chrono::seconds(5))
+              end_timeout) {
+            ++end_timeouts;
             break;
+          }
           continue;
         }
         last_traffic = std::chrono::steady_clock::now();
         cursor.feed(*datagram);
         while (auto payload = cursor.next()) {
-          if (is_end(*payload)) {
-            ++ends_seen;
+          if (auto dm = decode_end_marker(*payload)) {
+            if (*dm < config.dm_traces.size()) dm_ends.insert(*dm);
             continue;
           }
           Update update;
@@ -187,7 +217,7 @@ sim::RunResult run_networked(const NetworkConfig& config) {
           sender.send_to(ce_socket->port(), framed);
         }
       }
-      const auto end_frame = wire::frame(kEndPayload);
+      const auto end_frame = wire::frame(encode_end_marker(d));
       for (auto& ce_socket : ce_sockets)
         sender.send_to(ce_socket->port(), end_frame);
     });
@@ -211,6 +241,7 @@ sim::RunResult run_networked(const NetworkConfig& config) {
     result.dm_emitted.push_back(trace::updates_of(trace));
   result.front_messages_dropped = front_drops.load();
   result.wire_corrupt_frames = corrupt_frames.load();
+  result.ce_end_timeouts = end_timeouts.load();
   return result;
 }
 

@@ -6,9 +6,14 @@
 //     datagram links (loopback UDP itself does not drop);
 //   - back links: one TCP stream per CE carrying framed alerts; stream
 //     framing + CRC handle TCP's byte-stream semantics;
-//   - end-of-stream: each DM sends an END datagram to every CE (never
-//     subject to injected loss); a CE finishes when every DM has said
-//     END, then half-closes its TCP stream so the AD sees EOF.
+//   - end-of-stream: each DM sends an END datagram (tagged with the DM's
+//     index, so duplicates are idempotent) to every CE; a CE finishes
+//     when every *distinct* DM has said END, then half-closes its TCP
+//     stream so the AD sees EOF. A CE that starts — or, in the service,
+//     restarts — after some DM already said END can therefore never hang
+//     on a re-sent END, and a CE whose END datagrams were genuinely lost
+//     finishes via a configurable idle timeout that is surfaced in
+//     RunResult::ce_end_timeouts instead of blocking forever.
 //
 // Produces the same observables as the simulator and threaded runtime,
 // so the property checkers apply unchanged to a run that crossed the
@@ -16,6 +21,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "core/condition.hpp"
@@ -35,7 +42,20 @@ struct NetworkConfig {
   std::uint64_t seed = 1;
   /// Wall-clock seconds per trace-time second; 0 = replay at full speed.
   double time_scale = 0.0;
+  /// How long a CE waits with no traffic before concluding the END
+  /// markers it is missing will never arrive (surfaced as
+  /// RunResult::ce_end_timeouts, never a hang). Must be > 0.
+  double end_timeout_seconds = 5.0;
 };
+
+/// Framed datagram payload marking end-of-stream for DM `dm_index`.
+/// Exposed so the service's feeders speak the same ingest protocol.
+[[nodiscard]] std::vector<std::uint8_t> encode_end_marker(
+    std::size_t dm_index);
+
+/// Decodes an END marker payload; nullopt if `payload` is not one.
+[[nodiscard]] std::optional<std::size_t> decode_end_marker(
+    std::span<const std::uint8_t> payload);
 
 /// Runs the networked system to completion (all traces sent, all TCP
 /// streams drained, all threads joined). Throws std::invalid_argument on

@@ -61,7 +61,7 @@ void FdHandle::reset() noexcept {
   fd_ = -1;
 }
 
-UdpSocket::UdpSocket() {
+UdpSocket::UdpSocket(std::uint16_t port) {
   fd_ = FdHandle{::socket(AF_INET, SOCK_DGRAM, 0)};
   if (!fd_.valid()) throw_errno("socket(UDP)");
   // Full-speed trace replay can burst thousands of datagrams before the
@@ -70,7 +70,7 @@ UdpSocket::UdpSocket() {
   const int rcvbuf = 4 << 20;
   (void)::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVBUF, &rcvbuf,
                      sizeof(rcvbuf));
-  const sockaddr_in addr = loopback(0);
+  const sockaddr_in addr = loopback(port);
   if (::bind(fd_.get(), reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) < 0)
     throw_errno("bind(UDP)");

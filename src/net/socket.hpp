@@ -43,11 +43,16 @@ class FdHandle {
   int fd_ = -1;
 };
 
-/// UDP socket bound to an ephemeral loopback port.
+/// UDP socket bound to a loopback port.
 class UdpSocket {
  public:
   /// Binds to 127.0.0.1:0 (ephemeral).
-  UdpSocket();
+  UdpSocket() : UdpSocket(0) {}
+
+  /// Binds to 127.0.0.1:`port` (0 = ephemeral). A restarting service
+  /// replica uses this to reclaim the port its producers already know;
+  /// throws std::system_error if the port is taken.
+  explicit UdpSocket(std::uint16_t port);
 
   /// The port the kernel assigned.
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }

@@ -1,0 +1,106 @@
+#include "service/admin.hpp"
+
+#include "wire/buffer.hpp"
+
+namespace rcm::service {
+namespace {
+
+constexpr std::uint8_t kOk = 0x4f;     // 'O'
+constexpr std::uint8_t kError = 0x45;  // 'E'
+
+void encode_status(wire::Writer& w, const ServiceStatus& s) {
+  w.varint(s.ingested_datagrams);
+  w.varint(s.displayed);
+  w.varint(s.subscribers);
+  w.varint(s.dm_ends);
+  w.varint(s.replicas.size());
+  for (const ReplicaStatus& r : s.replicas) {
+    w.u8(static_cast<std::uint8_t>(r.state));
+    w.varint(r.port);
+    w.varint(r.incarnation);
+    w.varint(r.accepted);
+    w.varint(r.wal_records);
+    w.varint(r.checkpoints);
+    w.varint(r.recovered_wal);
+  }
+}
+
+ServiceStatus decode_status(wire::Reader& r) {
+  ServiceStatus s;
+  s.ingested_datagrams = r.varint();
+  s.displayed = r.varint();
+  s.subscribers = r.varint();
+  s.dm_ends = r.varint();
+  const std::uint64_t n = r.varint();
+  if (n > 4096) throw wire::DecodeError("admin status: replica count");
+  s.replicas.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ReplicaStatus rs;
+    const std::uint8_t state = r.u8();
+    if (state > static_cast<std::uint8_t>(ReplicaState::kDown))
+      throw wire::DecodeError("admin status: replica state");
+    rs.state = static_cast<ReplicaState>(state);
+    const std::uint64_t port = r.varint();
+    if (port > 0xffff) throw wire::DecodeError("admin status: port");
+    rs.port = static_cast<std::uint16_t>(port);
+    rs.incarnation = r.varint();
+    rs.accepted = r.varint();
+    rs.wal_records = r.varint();
+    rs.checkpoints = r.varint();
+    rs.recovered_wal = r.varint();
+    s.replicas.push_back(rs);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_admin_request(const AdminRequest& req) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(req.command));
+  w.varint(req.replica);
+  return w.take();
+}
+
+AdminRequest decode_admin_request(std::span<const std::uint8_t> payload) {
+  wire::Reader r{payload};
+  AdminRequest req;
+  const std::uint8_t cmd = r.u8();
+  if (cmd > static_cast<std::uint8_t>(AdminCommand::kDrain))
+    throw wire::DecodeError("admin request: unknown command");
+  req.command = static_cast<AdminCommand>(cmd);
+  req.replica = r.varint();
+  r.expect_done();
+  return req;
+}
+
+std::vector<std::uint8_t> encode_admin_response(const AdminResponse& resp) {
+  wire::Writer w;
+  w.u8(resp.ok ? kOk : kError);
+  w.string(resp.error);
+  w.u8(resp.status.has_value() ? 1 : 0);
+  if (resp.status) encode_status(w, *resp.status);
+  return w.take();
+}
+
+AdminResponse decode_admin_response(std::span<const std::uint8_t> payload) {
+  wire::Reader r{payload};
+  AdminResponse resp;
+  const std::uint8_t status = r.u8();
+  if (status == kOk) {
+    resp.ok = true;
+  } else if (status == kError) {
+    resp.ok = false;
+  } else {
+    throw wire::DecodeError("admin response: bad status byte");
+  }
+  resp.error = r.string();
+  const std::uint8_t has_status = r.u8();
+  if (has_status > 1)
+    throw wire::DecodeError("admin response: bad status flag");
+  if (has_status == 1) resp.status = decode_status(r);
+  r.expect_done();
+  return resp;
+}
+
+}  // namespace rcm::service

@@ -1,0 +1,87 @@
+// Framed admin protocol for the alert service: status, replica
+// kill/restart, checkpoint trigger, drain.
+//
+// One TCP connection carries any number of request/response exchanges;
+// each message is one CRC frame (wire/frame.hpp) holding:
+//
+//   request  := cmd:u8 | varint(replica)          (replica is 0 unless
+//                                                  the command targets one)
+//   response := status:u8 ('O' ok / 'E' error)
+//               | string(error)                    (empty when ok)
+//               | u8(has_status)
+//               | service-status                   (when has_status = 1)
+//
+// The codec is symmetric and exhaustive so rcm_service_client, the
+// tests, and the fuzz harness all speak exactly the same bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rcm::service {
+
+/// Admin commands, in wire order.
+enum class AdminCommand : std::uint8_t {
+  kStatus = 0,      ///< report ServiceStatus
+  kKill = 1,        ///< crash replica `replica` (loses volatile state)
+  kRestart = 2,     ///< restart replica `replica` now, skipping backoff
+  kCheckpoint = 3,  ///< ask replica `replica` to checkpoint (async)
+  kDrain = 4,       ///< request graceful shutdown of the whole service
+};
+
+/// One admin request.
+struct AdminRequest {
+  AdminCommand command = AdminCommand::kStatus;
+  std::uint64_t replica = 0;  ///< target for kKill/kRestart/kCheckpoint
+};
+
+/// Lifecycle state of one replica slot.
+enum class ReplicaState : std::uint8_t {
+  kRunning = 0,
+  kDown = 1,  ///< killed/crashed; supervisor restart may be pending
+};
+
+/// Per-replica slice of a status report.
+struct ReplicaStatus {
+  ReplicaState state = ReplicaState::kRunning;
+  std::uint16_t port = 0;          ///< UDP ingest port (stable across restarts)
+  std::uint64_t incarnation = 0;   ///< 1-based; incarnation-1 = restarts
+  std::uint64_t accepted = 0;      ///< updates accepted by live incarnation
+  std::uint64_t wal_records = 0;   ///< WAL records since last checkpoint
+  std::uint64_t checkpoints = 0;   ///< checkpoints taken by live incarnation
+  std::uint64_t recovered_wal = 0; ///< WAL records replayed at last recovery
+};
+
+/// Whole-service status report.
+struct ServiceStatus {
+  std::uint64_t ingested_datagrams = 0;
+  std::uint64_t displayed = 0;    ///< alerts passed by the AD filter
+  std::uint64_t subscribers = 0;  ///< live alert subscriber connections
+  std::uint64_t dm_ends = 0;      ///< distinct DM END markers seen
+  std::vector<ReplicaStatus> replicas;
+};
+
+/// One admin response. `status` is present for kStatus requests.
+struct AdminResponse {
+  bool ok = true;
+  std::string error;  ///< non-empty iff !ok
+  std::optional<ServiceStatus> status;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_admin_request(
+    const AdminRequest& req);
+/// Throws wire::DecodeError on malformed input (including unknown
+/// commands — the protocol has no forward-compat story yet).
+[[nodiscard]] AdminRequest decode_admin_request(
+    std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_admin_response(
+    const AdminResponse& resp);
+/// Throws wire::DecodeError on malformed input.
+[[nodiscard]] AdminResponse decode_admin_response(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace rcm::service

@@ -1,0 +1,512 @@
+#include "service/alert_service.hpp"
+
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include "net/deployment.hpp"  // encode_end_marker / decode_end_marker
+#include "obs/metrics.hpp"
+#include "wire/buffer.hpp"
+#include "wire/frame.hpp"
+
+namespace rcm::service {
+namespace {
+
+constexpr std::chrono::milliseconds kAcceptPoll{50};
+constexpr std::chrono::milliseconds kMonitorTick{5};
+
+}  // namespace
+
+AlertService::AlertService(ServiceConfig config)
+    : config_(std::move(config)),
+      supervisor_(config_.backoff, config_.num_replicas),
+      displayer_(make_filter(config_.filter,
+                             config_.condition
+                                 ? config_.condition->variables()
+                                 : std::vector<VarId>{})) {
+  if (!config_.condition)
+    throw std::invalid_argument("AlertService: null condition");
+  if (config_.num_replicas == 0)
+    throw std::invalid_argument("AlertService: num_replicas must be >= 1");
+  if (config_.data_dir.empty())
+    throw std::invalid_argument("AlertService: data_dir required");
+  if (config_.poll_interval.count() <= 0)
+    throw std::invalid_argument("AlertService: poll_interval must be > 0");
+  std::filesystem::create_directories(config_.data_dir);
+
+  load_dm_ends();
+  ends_out_.open(ends_path(), std::ios::binary | std::ios::app);
+  if (!ends_out_.is_open())
+    throw std::runtime_error("AlertService: cannot open " +
+                             ends_path().string());
+
+  // Bind every replica's ingest port up front so clients can be handed a
+  // stable endpoint list before any worker runs.
+  for (std::size_t i = 0; i < config_.num_replicas; ++i) {
+    auto slot = std::make_unique<ReplicaSlot>();
+    slot->pending_socket = std::make_unique<net::UdpSocket>();
+    slot->port = slot->pending_socket->port();
+    slots_.push_back(std::move(slot));
+  }
+
+  try {
+    displayer_thread_ = std::thread(&AlertService::displayer_loop, this);
+    acceptor_thread_ = std::thread(&AlertService::acceptor_loop, this);
+    admin_thread_ = std::thread(&AlertService::admin_loop, this);
+    {
+      std::lock_guard g{lifecycle_mutex_};
+      for (std::size_t i = 0; i < slots_.size(); ++i) start_worker_locked(i);
+    }
+    monitor_thread_ = std::thread(&AlertService::monitor_loop, this);
+  } catch (...) {
+    try {
+      drain();
+    } catch (...) {
+    }
+    throw;
+  }
+}
+
+AlertService::~AlertService() {
+  try {
+    drain();
+  } catch (...) {
+    // Destructors must not throw; drain failures here mean the process
+    // is going down anyway.
+  }
+}
+
+// ---- endpoints ---------------------------------------------------------
+
+std::uint16_t AlertService::replica_port(std::size_t i) const {
+  return slots_.at(i)->port;
+}
+
+std::vector<std::uint16_t> AlertService::replica_ports() const {
+  std::vector<std::uint16_t> ports;
+  ports.reserve(slots_.size());
+  for (const auto& slot : slots_) ports.push_back(slot->port);
+  return ports;
+}
+
+std::uint16_t AlertService::subscriber_port() const noexcept {
+  return sub_listener_.port();
+}
+
+std::uint16_t AlertService::admin_port() const noexcept {
+  return admin_listener_.port();
+}
+
+// ---- replica lifecycle -------------------------------------------------
+
+void AlertService::start_worker_locked(std::size_t i) {
+  ReplicaSlot& slot = *slots_[i];
+  slot.ctl = std::make_shared<WorkerControl>();
+  slot.failed.store(false, std::memory_order_release);
+  ++slot.incarnations;
+  slot.up = true;
+  slot.up_since = std::chrono::steady_clock::now();
+  slot.thread = std::thread(&AlertService::worker_loop, this, i, slot.ctl,
+                            std::move(slot.pending_socket));
+}
+
+void AlertService::stop_worker_locked(std::size_t i, bool graceful) {
+  ReplicaSlot& slot = *slots_[i];
+  if (!slot.up) return;
+  slot.ctl->graceful.store(graceful, std::memory_order_release);
+  slot.ctl->stop.store(true, std::memory_order_release);
+  if (slot.thread.joinable()) slot.thread.join();
+  slot.up = false;
+  const auto uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - slot.up_since);
+  supervisor_.note_healthy(i, uptime);
+}
+
+void AlertService::kill_replica(std::size_t i) {
+  if (i >= slots_.size())
+    throw std::out_of_range("kill_replica: no such replica");
+  std::lock_guard g{lifecycle_mutex_};
+  ReplicaSlot& slot = *slots_[i];
+  if (!slot.up) return;  // already down: killing a corpse is idempotent
+  stop_worker_locked(i, /*graceful=*/false);
+  slot.restart_at =
+      std::chrono::steady_clock::now() + supervisor_.next_delay(i);
+  RCM_COUNT("service.replica.kills");
+}
+
+void AlertService::restart_replica(std::size_t i) {
+  if (i >= slots_.size())
+    throw std::out_of_range("restart_replica: no such replica");
+  std::lock_guard g{lifecycle_mutex_};
+  ReplicaSlot& slot = *slots_[i];
+  if (slot.up) return;
+  start_worker_locked(i);
+  RCM_COUNT("service.replica.restarts");
+}
+
+void AlertService::request_checkpoint(std::size_t i) {
+  if (i >= slots_.size())
+    throw std::out_of_range("request_checkpoint: no such replica");
+  std::lock_guard g{lifecycle_mutex_};
+  ReplicaSlot& slot = *slots_[i];
+  if (!slot.up) throw std::runtime_error("request_checkpoint: replica down");
+  slot.ctl->checkpoint_requested.store(true, std::memory_order_release);
+}
+
+std::size_t AlertService::replica_restarts(std::size_t i) const {
+  std::lock_guard g{lifecycle_mutex_};
+  // incarnations counts starts; the first one is not a restart.
+  const std::uint64_t inc = slots_.at(i)->incarnations;
+  return inc > 0 ? static_cast<std::size_t>(inc - 1) : 0;
+}
+
+void AlertService::monitor_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(kMonitorTick);
+    std::lock_guard g{lifecycle_mutex_};
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      ReplicaSlot& slot = *slots_[i];
+      if (slot.up && slot.failed.load(std::memory_order_acquire)) {
+        // Worker died on its own (bind failure, I/O error, ...): treat
+        // like a crash and schedule a backed-off restart.
+        stop_worker_locked(i, /*graceful=*/false);
+        slot.restart_at = now + supervisor_.next_delay(i);
+        RCM_COUNT("service.replica.failures");
+      }
+      if (!slot.up && config_.auto_restart && !draining_.load() &&
+          now >= slot.restart_at) {
+        start_worker_locked(i);
+        RCM_COUNT("service.replica.restarts");
+      }
+    }
+  }
+}
+
+// ---- ingest workers ----------------------------------------------------
+
+DurabilityOptions AlertService::durability_options() const {
+  DurabilityOptions opts;
+  opts.dir = config_.data_dir;
+  opts.checkpoint_every = config_.checkpoint_every;
+  opts.record_journal = config_.record_journal;
+  return opts;
+}
+
+void AlertService::worker_loop(std::size_t index,
+                               std::shared_ptr<WorkerControl> ctl,
+                               std::unique_ptr<net::UdpSocket> socket) {
+  ReplicaSlot& slot = *slots_[index];
+  try {
+    // Recover durable state FIRST, then (re)bind: once the port is open
+    // we must be ready to accept, and the stable port is what lets a
+    // restarted incarnation rejoin the live stream unannounced.
+    DurableReplica replica{config_.condition, index, durability_options()};
+    slot.recovered_wal.store(replica.recovery().wal_replayed,
+                             std::memory_order_relaxed);
+    slot.accepted.store(0, std::memory_order_relaxed);
+    slot.wal_records.store(replica.wal_records(), std::memory_order_relaxed);
+    slot.checkpoints.store(0, std::memory_order_relaxed);
+    if (!socket) socket = std::make_unique<net::UdpSocket>(slot.port);
+
+    wire::FrameCursor cursor;
+    while (!ctl->stop.load(std::memory_order_acquire)) {
+      if (ctl->checkpoint_requested.exchange(false,
+                                             std::memory_order_acq_rel)) {
+        replica.checkpoint();
+        slot.checkpoints.store(replica.checkpoints_taken(),
+                               std::memory_order_relaxed);
+      }
+      auto datagram = socket->receive(config_.poll_interval);
+      if (!datagram) continue;
+      RCM_COUNT("service.ingest.datagrams");
+      ingested_.fetch_add(1, std::memory_order_relaxed);
+      cursor.feed(*datagram);
+      while (auto payload = cursor.next()) {
+        if (auto dm = net::decode_end_marker(*payload)) {
+          note_dm_end(*dm);
+          continue;
+        }
+        Update u;
+        try {
+          u = wire::decode_update(*payload);
+        } catch (const wire::DecodeError&) {
+          RCM_COUNT("service.ingest.corrupt_frames");
+          continue;
+        }
+        if (auto alert = replica.on_update(u)) {
+          RCM_COUNT("service.alerts.raised");
+          alert_queue_.push(std::move(*alert));
+        }
+      }
+      slot.accepted.store(replica.accepted_live(), std::memory_order_relaxed);
+      slot.wal_records.store(replica.wal_records(),
+                             std::memory_order_relaxed);
+      slot.checkpoints.store(replica.checkpoints_taken(),
+                             std::memory_order_relaxed);
+    }
+    // Graceful stop (drain): compact state so the next start is a pure
+    // checkpoint load. A kill skips this on purpose — that's the crash.
+    if (ctl->graceful.load(std::memory_order_acquire)) replica.checkpoint();
+  } catch (const std::exception&) {
+    slot.failed.store(true, std::memory_order_release);
+  }
+}
+
+// ---- display + fan-out -------------------------------------------------
+
+void AlertService::displayer_loop() {
+  while (auto a = alert_queue_.pop()) {
+    bool shown;
+    {
+      std::lock_guard g{display_mutex_};
+      shown = displayer_.on_alert(*a);
+    }
+    if (!shown) continue;
+    RCM_COUNT("service.alerts.displayed");
+    displayed_count_.fetch_add(1, std::memory_order_relaxed);
+    fanout(*a);
+  }
+}
+
+void AlertService::fanout(const Alert& a) {
+  RCM_SCOPED_TIMER(timer, "service.fanout.seconds");
+  const auto framed =
+      wire::frame(wire::encode_alert(a, config_.subscriber_encoding));
+  std::lock_guard g{subscriber_mutex_};
+  for (auto it = subscribers_.begin(); it != subscribers_.end();) {
+    try {
+      it->write_all(framed);
+      ++it;
+    } catch (const std::system_error&) {
+      it = subscribers_.erase(it);  // peer went away mid-write
+      RCM_COUNT("service.subscribers.dropped");
+    }
+  }
+}
+
+void AlertService::acceptor_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    auto stream = sub_listener_.accept(kAcceptPoll);
+    if (!stream) continue;
+    std::lock_guard g{subscriber_mutex_};
+    subscribers_.push_back(std::move(*stream));
+    RCM_COUNT("service.subscribers.connected");
+  }
+}
+
+// ---- admin -------------------------------------------------------------
+
+void AlertService::admin_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    auto conn = admin_listener_.accept(kAcceptPoll);
+    if (!conn) continue;
+    try {
+      serve_admin(*conn);
+    } catch (const std::system_error&) {
+      // Connection died mid-exchange; go back to accepting.
+    }
+  }
+}
+
+void AlertService::serve_admin(net::TcpStream& conn) {
+  wire::FrameCursor cursor;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    auto bytes = conn.read_some(kAcceptPoll);
+    if (!bytes) continue;      // idle; re-check stopping_
+    if (bytes->empty()) return;  // orderly EOF
+    cursor.feed(*bytes);
+    while (auto payload = cursor.next()) {
+      const AdminResponse resp = dispatch_admin(*payload);
+      conn.write_all(wire::frame(encode_admin_response(resp)));
+    }
+  }
+}
+
+AdminResponse AlertService::dispatch_admin(
+    std::span<const std::uint8_t> payload) {
+  AdminResponse resp;
+  try {
+    const AdminRequest req = decode_admin_request(payload);
+    const auto replica = static_cast<std::size_t>(req.replica);
+    switch (req.command) {
+      case AdminCommand::kStatus:
+        resp.status = status();
+        break;
+      case AdminCommand::kKill:
+        kill_replica(replica);
+        break;
+      case AdminCommand::kRestart:
+        restart_replica(replica);
+        break;
+      case AdminCommand::kCheckpoint:
+        request_checkpoint(replica);
+        break;
+      case AdminCommand::kDrain: {
+        drain_requested_.store(true, std::memory_order_release);
+        std::lock_guard g{drain_request_mutex_};
+        drain_request_cv_.notify_all();
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    resp.ok = false;
+    resp.error = e.what();
+    resp.status.reset();
+  }
+  return resp;
+}
+
+ServiceStatus AlertService::status() {
+  ServiceStatus s;
+  s.ingested_datagrams = ingested_.load(std::memory_order_relaxed);
+  s.displayed = displayed_count_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard g{subscriber_mutex_};
+    s.subscribers = subscribers_.size();
+  }
+  {
+    std::lock_guard g{ends_mutex_};
+    s.dm_ends = dm_ends_.size();
+  }
+  std::lock_guard g{lifecycle_mutex_};
+  for (const auto& slot : slots_) {
+    ReplicaStatus rs;
+    rs.state = slot->up ? ReplicaState::kRunning : ReplicaState::kDown;
+    rs.port = slot->port;
+    rs.incarnation = slot->incarnations;
+    rs.accepted = slot->accepted.load(std::memory_order_relaxed);
+    rs.wal_records = slot->wal_records.load(std::memory_order_relaxed);
+    rs.checkpoints = slot->checkpoints.load(std::memory_order_relaxed);
+    rs.recovered_wal = slot->recovered_wal.load(std::memory_order_relaxed);
+    s.replicas.push_back(rs);
+  }
+  return s;
+}
+
+// ---- drain -------------------------------------------------------------
+
+bool AlertService::drain_requested() const noexcept {
+  return drain_requested_.load(std::memory_order_acquire);
+}
+
+bool AlertService::await_drain_request(std::chrono::milliseconds timeout) {
+  std::unique_lock g{drain_request_mutex_};
+  return drain_request_cv_.wait_for(
+      g, timeout, [&] { return drain_requested_.load(); });
+}
+
+void AlertService::drain() {
+  std::lock_guard g{drain_mutex_};
+  if (drain_done_) return;
+  draining_.store(true, std::memory_order_release);   // stop auto-restarts
+  stopping_.store(true, std::memory_order_release);   // stop service loops
+  if (monitor_thread_.joinable()) monitor_thread_.join();
+  {
+    std::lock_guard g2{lifecycle_mutex_};
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+      stop_worker_locked(i, /*graceful=*/true);
+  }
+  // Workers are gone: nothing pushes anymore. Close and let the
+  // displayer drain the remainder through the filter and fan-out.
+  alert_queue_.close();
+  if (displayer_thread_.joinable()) displayer_thread_.join();
+  {
+    std::lock_guard g2{subscriber_mutex_};
+    for (auto& sub : subscribers_) {
+      try {
+        sub.shutdown_write();
+      } catch (const std::system_error&) {
+      }
+    }
+    subscribers_.clear();
+  }
+  if (acceptor_thread_.joinable()) acceptor_thread_.join();
+  if (admin_thread_.joinable()) admin_thread_.join();
+  drain_done_ = true;
+}
+
+// ---- stream bookkeeping ------------------------------------------------
+
+std::filesystem::path AlertService::ends_path() const {
+  return config_.data_dir / "ends.log";
+}
+
+void AlertService::load_dm_ends() {
+  std::ifstream in{ends_path(), std::ios::binary};
+  if (!in.is_open()) return;
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  wire::FrameCursor cursor;
+  cursor.feed(bytes);
+  while (auto payload = cursor.next()) {
+    try {
+      wire::Reader r{*payload};
+      dm_ends_.insert(static_cast<std::size_t>(r.varint()));
+    } catch (const wire::DecodeError&) {
+      // Torn tail: the END it recorded will be re-sent or re-observed.
+    }
+  }
+}
+
+void AlertService::note_dm_end(std::size_t dm) {
+  std::lock_guard g{ends_mutex_};
+  if (!dm_ends_.insert(dm).second) return;  // duplicate END: idempotent
+  wire::Writer w;
+  w.varint(dm);
+  const auto framed = wire::frame(w.bytes());
+  ends_out_.write(reinterpret_cast<const char*>(framed.data()),
+                  static_cast<std::streamsize>(framed.size()));
+  ends_out_.flush();
+  RCM_COUNT("service.dm_ends");
+  ends_cv_.notify_all();
+}
+
+bool AlertService::await_dm_ends(std::size_t count,
+                                 std::chrono::milliseconds timeout) {
+  std::unique_lock g{ends_mutex_};
+  return ends_cv_.wait_for(g, timeout,
+                           [&] { return dm_ends_.size() >= count; });
+}
+
+std::uint64_t AlertService::activity_counter() const {
+  std::uint64_t n = ingested_.load(std::memory_order_relaxed) +
+                    displayed_count_.load(std::memory_order_relaxed);
+  std::lock_guard g{lifecycle_mutex_};
+  for (const auto& slot : slots_)
+    n += slot->accepted.load(std::memory_order_relaxed);
+  return n;
+}
+
+bool AlertService::await_idle(std::chrono::milliseconds idle,
+                              std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  auto last_change = std::chrono::steady_clock::now();
+  std::uint64_t last = activity_counter();
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{10});
+    const std::uint64_t cur = activity_counter();
+    if (cur != last) {
+      last = cur;
+      last_change = std::chrono::steady_clock::now();
+    } else if (std::chrono::steady_clock::now() - last_change >= idle) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---- instrumentation ---------------------------------------------------
+
+std::vector<Alert> AlertService::displayed() const {
+  std::lock_guard g{display_mutex_};
+  return displayer_.displayed();
+}
+
+std::vector<Update> AlertService::replica_journal(std::size_t i) const {
+  if (i >= slots_.size())
+    throw std::out_of_range("replica_journal: no such replica");
+  return DurableReplica::read_journal(config_.data_dir, i);
+}
+
+}  // namespace rcm::service

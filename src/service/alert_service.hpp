@@ -1,0 +1,237 @@
+// rcm::service::AlertService — a long-running replicated alert service
+// over the net/ substrate.
+//
+// Topology (one process, threads as actors):
+//
+//   DM streams ──UDP──▶ replica worker 0..N-1 ──queue──▶ AD thread ──▶
+//     (unbounded)        (DurableReplica each)            filter + fan-out
+//                                                            │
+//   subscribers ◀──TCP── framed alerts ◀────────────────────┘
+//   admin tool  ◀──TCP── framed admin protocol (service/admin.hpp)
+//
+// Each replica worker owns a DurableReplica (checkpoint + WAL, see
+// durable_replica.hpp) and a UDP socket on a port that stays stable
+// across restarts, so data managers never re-discover endpoints. A kill
+// models a crash: the worker exits without a final checkpoint, its
+// socket closes (datagrams sent while down are lost — the paper's lossy
+// front link), and its volatile evaluator state is gone. On restart the
+// new incarnation recovers checkpoint + WAL, and its durable last-seen
+// watermarks make live catch-up safe: replayed state rejects everything
+// it already incorporated, so rejoin never violates the AD filter
+// guarantees (the filter only ever sees alert streams that are T of
+// some update subsequence).
+//
+// Restarts are driven by a monitor thread using ReplicaSupervisor's
+// exponential backoff (admin restart skips the backoff). END-of-stream
+// markers from data managers are recorded durably (ends.log) and
+// idempotently, so a replica restarted after a DM finished still knows
+// the stream ended and drain does not hang.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/condition.hpp"
+#include "core/displayer.hpp"
+#include "core/filters.hpp"
+#include "net/socket.hpp"
+#include "runtime/queue.hpp"
+#include "service/admin.hpp"
+#include "service/durable_replica.hpp"
+#include "service/supervisor.hpp"
+#include "wire/codec.hpp"
+
+namespace rcm::service {
+
+/// Configuration of one alert service instance.
+struct ServiceConfig {
+  ConditionPtr condition;            ///< required
+  std::size_t num_replicas = 2;
+  FilterKind filter = FilterKind::kAd1;
+  std::filesystem::path data_dir;    ///< required; created if missing
+
+  std::size_t checkpoint_every = 256;  ///< see DurabilityOptions
+  bool record_journal = false;         ///< see DurabilityOptions
+
+  /// Monitor thread restarts crashed/killed replicas after backoff.
+  /// Turn off for tests that want manual kill/restart control.
+  bool auto_restart = true;
+  BackoffPolicy backoff;
+
+  wire::AlertEncoding subscriber_encoding =
+      wire::AlertEncoding::kFullHistories;
+
+  /// Worker receive timeout: bounds kill/checkpoint reaction latency.
+  std::chrono::milliseconds poll_interval{20};
+};
+
+/// The service. Thread-safe public interface; owns all worker threads.
+/// The destructor drains.
+class AlertService {
+ public:
+  explicit AlertService(ServiceConfig config);
+  ~AlertService();
+  AlertService(const AlertService&) = delete;
+  AlertService& operator=(const AlertService&) = delete;
+
+  // ---- endpoints -------------------------------------------------------
+  /// UDP ingest port of replica `i` (stable across restarts).
+  [[nodiscard]] std::uint16_t replica_port(std::size_t i) const;
+  [[nodiscard]] std::vector<std::uint16_t> replica_ports() const;
+  /// TCP port alert subscribers connect to.
+  [[nodiscard]] std::uint16_t subscriber_port() const noexcept;
+  /// TCP port the admin protocol is served on.
+  [[nodiscard]] std::uint16_t admin_port() const noexcept;
+
+  // ---- replica lifecycle ----------------------------------------------
+  /// Crashes replica `i`: stops its worker WITHOUT a final checkpoint and
+  /// joins it. Blocks until the worker has exited (its socket is closed,
+  /// so subsequent datagrams are dropped). With auto_restart the monitor
+  /// brings it back after the supervisor's backoff delay.
+  void kill_replica(std::size_t i);
+
+  /// Restarts a down replica immediately, skipping any pending backoff.
+  /// No-op if the replica is running.
+  void restart_replica(std::size_t i);
+
+  /// Asks replica `i`'s worker to checkpoint between datagrams (async;
+  /// takes effect within ~poll_interval).
+  void request_checkpoint(std::size_t i);
+
+  // ---- service lifecycle ----------------------------------------------
+  [[nodiscard]] ServiceStatus status();
+
+  /// Graceful shutdown: stops ingest (each live worker takes a final
+  /// checkpoint), drains the alert queue through the filter and fan-out,
+  /// closes subscriber connections, stops all threads. Idempotent.
+  void drain();
+
+  /// True once an admin kDrain request has been received. The process
+  /// hosting the service (rcm_service main) polls/awaits this and then
+  /// calls drain() — the admin thread cannot drain synchronously because
+  /// drain() joins it.
+  [[nodiscard]] bool drain_requested() const noexcept;
+  bool await_drain_request(std::chrono::milliseconds timeout);
+
+  // ---- stream bookkeeping ---------------------------------------------
+  /// Waits until at least `count` distinct DM END markers have been seen
+  /// (across restarts — the set is durable). False on timeout.
+  bool await_dm_ends(std::size_t count, std::chrono::milliseconds timeout);
+
+  /// Waits until no datagram was ingested and no alert displayed for a
+  /// contiguous `idle` window. False if `timeout` elapses first.
+  bool await_idle(std::chrono::milliseconds idle,
+                  std::chrono::milliseconds timeout);
+
+  // ---- instrumentation (tests / checkers) ------------------------------
+  /// Snapshot of the displayed-alert sequence so far.
+  [[nodiscard]] std::vector<Alert> displayed() const;
+  /// Replica `i`'s full accepted-update journal across incarnations
+  /// (requires record_journal).
+  [[nodiscard]] std::vector<Update> replica_journal(std::size_t i) const;
+  /// Restarts performed for replica `i` (supervisor + admin).
+  [[nodiscard]] std::size_t replica_restarts(std::size_t i) const;
+
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct WorkerControl {
+    std::atomic<bool> stop{false};
+    std::atomic<bool> graceful{false};  ///< checkpoint before exiting
+    std::atomic<bool> checkpoint_requested{false};
+  };
+
+  struct ReplicaSlot {
+    std::uint16_t port = 0;
+    /// Socket pre-bound by the constructor for the first incarnation;
+    /// later incarnations re-bind `port` themselves.
+    std::unique_ptr<net::UdpSocket> pending_socket;
+    std::thread thread;
+    std::shared_ptr<WorkerControl> ctl;
+    bool up = false;  ///< worker started and not yet joined
+    std::chrono::steady_clock::time_point up_since{};
+    std::chrono::steady_clock::time_point restart_at{};
+    std::uint64_t incarnations = 0;
+    std::atomic<bool> failed{false};  ///< worker exited on its own
+    // Live mirrors the worker publishes for status().
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> wal_records{0};
+    std::atomic<std::uint64_t> checkpoints{0};
+    std::atomic<std::uint64_t> recovered_wal{0};
+  };
+
+  void worker_loop(std::size_t index, std::shared_ptr<WorkerControl> ctl,
+                   std::unique_ptr<net::UdpSocket> socket);
+  void displayer_loop();
+  void fanout(const Alert& a);
+  void acceptor_loop();
+  void admin_loop();
+  void serve_admin(net::TcpStream& conn);
+  [[nodiscard]] AdminResponse dispatch_admin(
+      std::span<const std::uint8_t> payload);
+  void monitor_loop();
+
+  /// Starts a new incarnation of replica `i`. Caller holds lifecycle_mutex_.
+  void start_worker_locked(std::size_t i);
+  /// Stops and joins replica `i`'s worker. Caller holds lifecycle_mutex_.
+  void stop_worker_locked(std::size_t i, bool graceful);
+
+  void note_dm_end(std::size_t dm);
+  void load_dm_ends();
+  [[nodiscard]] std::filesystem::path ends_path() const;
+  [[nodiscard]] DurabilityOptions durability_options() const;
+  [[nodiscard]] std::uint64_t activity_counter() const;
+
+  ServiceConfig config_;
+
+  // Lifecycle of replica workers + the monitor's restart schedule.
+  mutable std::mutex lifecycle_mutex_;
+  std::vector<std::unique_ptr<ReplicaSlot>> slots_;
+  ReplicaSupervisor supervisor_;
+
+  runtime::BlockingQueue<Alert> alert_queue_;
+  mutable std::mutex display_mutex_;
+  AlertDisplayer displayer_;
+  std::atomic<std::uint64_t> displayed_count_{0};
+
+  net::TcpListener sub_listener_;
+  std::mutex subscriber_mutex_;
+  std::vector<net::TcpStream> subscribers_;
+
+  net::TcpListener admin_listener_;
+
+  // Durable, idempotent END-marker set.
+  mutable std::mutex ends_mutex_;
+  std::condition_variable ends_cv_;
+  std::set<std::size_t> dm_ends_;
+  std::ofstream ends_out_;
+
+  std::atomic<std::uint64_t> ingested_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+
+  std::atomic<bool> drain_requested_{false};
+  std::mutex drain_request_mutex_;
+  std::condition_variable drain_request_cv_;
+
+  std::mutex drain_mutex_;
+  bool drain_done_ = false;
+
+  std::thread displayer_thread_;
+  std::thread acceptor_thread_;
+  std::thread admin_thread_;
+  std::thread monitor_thread_;
+};
+
+}  // namespace rcm::service

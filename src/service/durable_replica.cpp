@@ -1,0 +1,149 @@
+#include "service/durable_replica.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "wire/frame.hpp"
+#include "wire/snapshot.hpp"
+
+namespace rcm::service {
+namespace {
+
+std::string replica_stem(std::size_t index) {
+  return "ce" + std::to_string(index);
+}
+
+}  // namespace
+
+std::filesystem::path DurableReplica::checkpoint_path(
+    const std::filesystem::path& dir, std::size_t index) {
+  return dir / (replica_stem(index) + ".ckpt");
+}
+
+std::filesystem::path DurableReplica::wal_path(
+    const std::filesystem::path& dir, std::size_t index) {
+  return dir / (replica_stem(index) + ".wal");
+}
+
+std::filesystem::path DurableReplica::journal_path(
+    const std::filesystem::path& dir, std::size_t index) {
+  return dir / (replica_stem(index) + ".journal");
+}
+
+std::vector<Update> DurableReplica::read_journal(
+    const std::filesystem::path& dir, std::size_t index) {
+  return store::recover_updates(journal_path(dir, index)).updates;
+}
+
+DurableReplica::DurableReplica(ConditionPtr condition, std::size_t index,
+                               DurabilityOptions opts)
+    : condition_(std::move(condition)),
+      index_(index),
+      opts_(std::move(opts)),
+      ce_(condition_, "CE" + std::to_string(index + 1)) {
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    RCM_SCOPED_TIMER(timer, "service.recovery.seconds");
+
+    // 1. Latest checkpoint, if any survives a CRC check. A torn tail or
+    // a corrupt frame means the checkpoint write itself crashed; the
+    // rename protocol makes that unlikely, but the WAL of the previous
+    // checkpoint epoch would then still be on disk, so falling back to
+    // a cold evaluator remains correct, only slower.
+    std::ifstream ckpt{checkpoint_path(opts_.dir, index_), std::ios::binary};
+    if (ckpt.is_open()) {
+      std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(ckpt),
+                                      std::istreambuf_iterator<char>()};
+      wire::FrameCursor cursor;
+      cursor.feed(bytes);
+      while (auto payload = cursor.next()) {
+        try {
+          wire::decode_evaluator_state(*payload, ce_);
+          recovery_.had_checkpoint = true;
+        } catch (const wire::DecodeError&) {
+          ++recovery_.corrupt_frames;
+        }
+      }
+      recovery_.corrupt_frames += cursor.corrupt_frames();
+    }
+
+    // 2. WAL replay over it. replay_update both rebuilds state and
+    // deduplicates: records already covered by the checkpoint (a crash
+    // between checkpoint rename and WAL truncate leaves them behind)
+    // fail the watermark test and are skipped.
+    store::RecoveredUpdates wal = store::recover_updates(
+        wal_path(opts_.dir, index_));
+    recovery_.corrupt_frames += wal.corrupt_frames;
+    for (const Update& u : wal.updates) {
+      if (ce_.replay_update(u)) ++recovery_.wal_replayed;
+    }
+  }
+
+  wal_ = std::make_unique<store::FileUpdateLog>(wal_path(opts_.dir, index_));
+  if (opts_.record_journal) {
+    journal_ = std::make_unique<store::FileUpdateLog>(
+        journal_path(opts_.dir, index_));
+  }
+
+  // Compact what we just replayed so the NEXT restart is a pure
+  // checkpoint load.
+  if (recovery_.wal_replayed > 0) checkpoint();
+
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  recovery_.seconds = dt.count();
+}
+
+std::optional<Alert> DurableReplica::on_update(const Update& u) {
+  if (!ce_.would_accept(u)) {
+    // Stale or foreign-variable update: the paper's out-of-order discard
+    // (and, after a restart, the dedup that makes live catch-up safe).
+    RCM_COUNT("service.ingest.stale_dropped");
+    return std::nullopt;
+  }
+  wal_->append(u);
+  RCM_COUNT("service.wal.appends");
+  if (journal_) journal_->append(u);
+  std::optional<Alert> alert = ce_.on_update(u);
+  ++accepted_live_;
+  if (opts_.checkpoint_every > 0 &&
+      ++since_checkpoint_ >= opts_.checkpoint_every) {
+    checkpoint();
+  }
+  return alert;
+}
+
+void DurableReplica::write_checkpoint_file() {
+  const std::filesystem::path final_path = checkpoint_path(opts_.dir, index_);
+  const std::filesystem::path tmp_path =
+      final_path.parent_path() / (final_path.filename().string() + ".tmp");
+  const auto framed = wire::frame(wire::encode_evaluator_state(ce_));
+  {
+    std::ofstream out{tmp_path, std::ios::binary | std::ios::trunc};
+    if (!out.is_open())
+      throw std::runtime_error("DurableReplica: cannot open " +
+                               tmp_path.string());
+    out.write(reinterpret_cast<const char*>(framed.data()),
+              static_cast<std::streamsize>(framed.size()));
+    out.flush();
+    if (!out.good())
+      throw std::runtime_error("DurableReplica: checkpoint write failed on " +
+                               tmp_path.string());
+  }
+  std::filesystem::rename(tmp_path, final_path);
+}
+
+void DurableReplica::checkpoint() {
+  RCM_SCOPED_TIMER(timer, "service.checkpoint.seconds");
+  write_checkpoint_file();
+  wal_->truncate();  // everything it held is now inside the checkpoint
+  since_checkpoint_ = 0;
+  ++checkpoints_;
+  RCM_COUNT("service.checkpoints");
+}
+
+}  // namespace rcm::service

@@ -1,0 +1,131 @@
+// A CE replica worker with durable state: the unit the alert service
+// supervises, kills, and restarts.
+//
+// Volatile evaluator state (history windows + per-variable accepted-seqno
+// watermarks) is persisted as
+//
+//   checkpoint  ce<i>.ckpt — one CRC frame holding a wire/snapshot.hpp
+//               evaluator-state snapshot, written to a temp file and
+//               renamed so the file is always either the old or the new
+//               checkpoint, never a half-written one;
+//   WAL         ce<i>.wal  — a store::FileUpdateLog of every update
+//               accepted since that checkpoint, appended and flushed
+//               BEFORE the evaluator transitions.
+//
+// Recovery is checkpoint + WAL replay: decode the snapshot (a torn or
+// corrupt checkpoint falls back to a cold start — it is a cache of the
+// WAL-reachable state, so correctness never depends on it), then replay
+// the WAL's recovered prefix through ConditionEvaluator::replay_update,
+// which rebuilds histories and watermarks without re-emitting alerts the
+// previous incarnation already delivered. The durable last-seen
+// watermarks then make live catch-up safe: anything the restarted
+// replica already incorporated is dropped as stale, exactly the paper's
+// out-of-order discard rule.
+//
+// An optional journal (ce<i>.journal) additionally records every
+// accepted update forever (never truncated). It is instrumentation for
+// the property checkers — U_i across all incarnations — not part of the
+// recovery contract.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+
+#include "core/evaluator.hpp"
+#include "store/file_log.hpp"
+
+namespace rcm::service {
+
+/// Durability knobs shared by every replica of a service.
+struct DurabilityOptions {
+  std::filesystem::path dir;  ///< data directory (must exist)
+
+  /// Accepted updates between automatic checkpoints; 0 = only explicit
+  /// checkpoint() calls. Small values trade WAL-replay time for
+  /// checkpoint write amplification (bench/crash_recovery measures it).
+  std::size_t checkpoint_every = 256;
+
+  /// Record every accepted update to the never-truncated journal (test /
+  /// checker instrumentation; off in production).
+  bool record_journal = false;
+};
+
+/// What the constructor's recovery pass observed.
+struct RecoveryStats {
+  bool had_checkpoint = false;   ///< a valid checkpoint frame was decoded
+  std::size_t wal_replayed = 0;  ///< WAL updates accepted during replay
+  std::size_t corrupt_frames = 0;///< torn/corrupt frames skipped (ckpt+WAL)
+  double seconds = 0.0;          ///< wall-clock recovery duration
+};
+
+/// One durable CE replica. Not thread-safe: owned and driven by a single
+/// worker thread.
+class DurableReplica {
+ public:
+  /// Opens (recovering if files exist) replica `index` in `opts.dir`.
+  /// Recovery replays checkpoint + WAL and, when anything was replayed,
+  /// takes a fresh checkpoint so the next restart starts compact.
+  DurableReplica(ConditionPtr condition, std::size_t index,
+                 DurabilityOptions opts);
+
+  /// Durably logs and then evaluates one update: WAL append (flushed),
+  /// journal append (if enabled), evaluator transition. Returns the
+  /// alert if the condition fired. Rejected (stale / foreign-variable)
+  /// updates touch no file.
+  std::optional<Alert> on_update(const Update& u);
+
+  /// Snapshots the evaluator state and truncates the WAL. Crash-safe in
+  /// either order of failure: the WAL is only truncated after the new
+  /// checkpoint is durably in place, and replaying a stale WAL over a
+  /// newer checkpoint is idempotent (watermarks drop the duplicates).
+  void checkpoint();
+
+  [[nodiscard]] const ConditionEvaluator& evaluator() const noexcept {
+    return ce_;
+  }
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+  [[nodiscard]] const RecoveryStats& recovery() const noexcept {
+    return recovery_;
+  }
+  /// Updates accepted by THIS incarnation (excludes WAL replay).
+  [[nodiscard]] std::size_t accepted_live() const noexcept {
+    return accepted_live_;
+  }
+  [[nodiscard]] std::size_t checkpoints_taken() const noexcept {
+    return checkpoints_;
+  }
+  [[nodiscard]] std::size_t wal_records() const noexcept {
+    return wal_->appended();
+  }
+
+  // Durable file locations, shared with tests and the recovery bench.
+  [[nodiscard]] static std::filesystem::path checkpoint_path(
+      const std::filesystem::path& dir, std::size_t index);
+  [[nodiscard]] static std::filesystem::path wal_path(
+      const std::filesystem::path& dir, std::size_t index);
+  [[nodiscard]] static std::filesystem::path journal_path(
+      const std::filesystem::path& dir, std::size_t index);
+
+  /// Reads replica `index`'s journal: every update it ever accepted, in
+  /// acceptance order, across all incarnations (requires record_journal).
+  [[nodiscard]] static std::vector<Update> read_journal(
+      const std::filesystem::path& dir, std::size_t index);
+
+ private:
+  void write_checkpoint_file();
+
+  ConditionPtr condition_;
+  std::size_t index_;
+  DurabilityOptions opts_;
+  ConditionEvaluator ce_;
+  std::unique_ptr<store::FileUpdateLog> wal_;
+  std::unique_ptr<store::FileUpdateLog> journal_;
+  RecoveryStats recovery_;
+  std::size_t accepted_live_ = 0;
+  std::size_t since_checkpoint_ = 0;
+  std::size_t checkpoints_ = 0;
+};
+
+}  // namespace rcm::service

@@ -1,0 +1,209 @@
+// rcm_service_client — companion tool for rcm_service: admin commands,
+// a synthetic DM feeder, and an alert subscriber.
+//
+//   rcm_service_client --cmd status   --admin-port P
+//   rcm_service_client --cmd kill     --admin-port P --replica 1
+//   rcm_service_client --cmd restart  --admin-port P --replica 1
+//   rcm_service_client --cmd checkpoint --admin-port P --replica 0
+//   rcm_service_client --cmd drain    --admin-port P
+//   rcm_service_client --cmd feed     --ports P1,P2 --updates 1000 --seed 7
+//   rcm_service_client --cmd subscribe --sub-port P
+//
+// Exit codes: 0 = ok, 1 = service reported an error, 2 = usage/IO error.
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/deployment.hpp"
+#include "net/socket.hpp"
+#include "service/admin.hpp"
+#include "trace/generators.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "wire/codec.hpp"
+#include "wire/frame.hpp"
+
+namespace {
+
+using namespace rcm;
+
+std::vector<std::uint16_t> parse_ports(const std::string& csv) {
+  std::vector<std::uint16_t> ports;
+  std::stringstream ss{csv};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    ports.push_back(static_cast<std::uint16_t>(std::stoul(item)));
+  }
+  return ports;
+}
+
+service::AdminResponse admin_exchange(std::uint16_t port,
+                                      const service::AdminRequest& req) {
+  net::TcpStream conn = net::TcpStream::connect(port);
+  conn.write_all(wire::frame(service::encode_admin_request(req)));
+  wire::FrameCursor cursor;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds{5};
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto bytes = conn.read_some(std::chrono::milliseconds{200});
+    if (!bytes) continue;
+    if (bytes->empty()) break;  // EOF before a full response
+    cursor.feed(*bytes);
+    if (auto payload = cursor.next())
+      return service::decode_admin_response(*payload);
+  }
+  throw std::runtime_error("admin response timed out");
+}
+
+void print_status(const service::ServiceStatus& s) {
+  std::printf("datagrams in: %llu   displayed: %llu   subscribers: %llu   "
+              "dm-ends: %llu\n",
+              static_cast<unsigned long long>(s.ingested_datagrams),
+              static_cast<unsigned long long>(s.displayed),
+              static_cast<unsigned long long>(s.subscribers),
+              static_cast<unsigned long long>(s.dm_ends));
+  for (std::size_t i = 0; i < s.replicas.size(); ++i) {
+    const service::ReplicaStatus& r = s.replicas[i];
+    std::printf("replica %zu: %s  port %u  incarnation %llu  accepted %llu  "
+                "wal %llu  ckpts %llu  recovered-wal %llu\n",
+                i,
+                r.state == service::ReplicaState::kRunning ? "RUNNING"
+                                                           : "DOWN",
+                r.port, static_cast<unsigned long long>(r.incarnation),
+                static_cast<unsigned long long>(r.accepted),
+                static_cast<unsigned long long>(r.wal_records),
+                static_cast<unsigned long long>(r.checkpoints),
+                static_cast<unsigned long long>(r.recovered_wal));
+  }
+}
+
+int run_admin(service::AdminCommand command, std::uint16_t port,
+              std::uint64_t replica) {
+  service::AdminRequest req;
+  req.command = command;
+  req.replica = replica;
+  const service::AdminResponse resp = admin_exchange(port, req);
+  if (!resp.ok) {
+    std::fprintf(stderr, "service error: %s\n", resp.error.c_str());
+    return 1;
+  }
+  if (resp.status) print_status(*resp.status);
+  else std::printf("ok\n");
+  return 0;
+}
+
+int run_feed(const std::vector<std::uint16_t>& ports, std::size_t updates,
+             std::uint64_t seed, double rate) {
+  if (ports.empty()) {
+    std::fprintf(stderr, "--cmd feed requires --ports\n");
+    return 2;
+  }
+  trace::UniformParams params;
+  params.base.var = 0;
+  params.base.count = updates;
+  params.lo = 0.0;
+  params.hi = 100.0;
+  util::Rng rng{seed};
+  const trace::Trace t = trace::uniform_trace(params, rng);
+
+  net::UdpSocket socket;
+  const auto gap =
+      rate > 0 ? std::chrono::microseconds{
+                     static_cast<long long>(1e6 / rate)}
+               : std::chrono::microseconds{0};
+  for (const trace::TimedUpdate& tu : t) {
+    const auto framed = wire::frame(wire::encode_update(tu.update));
+    for (const std::uint16_t p : ports) socket.send_to(p, framed);
+    if (gap.count() > 0) std::this_thread::sleep_for(gap);
+  }
+  const auto end = wire::frame(net::encode_end_marker(0));
+  for (const std::uint16_t p : ports) socket.send_to(p, end);
+  std::printf("fed %zu updates (+END) to %zu replica port(s)\n", t.size(),
+              ports.size());
+  return 0;
+}
+
+int run_subscribe(std::uint16_t port) {
+  net::TcpStream conn = net::TcpStream::connect(port);
+  wire::FrameCursor cursor;
+  std::size_t alerts = 0;
+  for (;;) {
+    auto bytes = conn.read_some(std::chrono::milliseconds{500});
+    if (!bytes) continue;
+    if (bytes->empty()) break;  // service drained: orderly EOF
+    cursor.feed(*bytes);
+    while (auto payload = cursor.next()) {
+      try {
+        const wire::DecodedAlert decoded = wire::decode_alert(*payload);
+        ++alerts;
+        std::printf("alert %zu: %s\n", alerts, decoded.alert.cond.c_str());
+      } catch (const wire::DecodeError&) {
+        std::fprintf(stderr, "subscribe: corrupt alert frame\n");
+      }
+    }
+  }
+  std::printf("subscription closed after %zu alert(s)\n", alerts);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args;
+  args.add_flag("cmd", "status",
+                "status | kill | restart | checkpoint | drain | feed | "
+                "subscribe");
+  args.add_flag("admin-port", "0", "service admin TCP port");
+  args.add_flag("replica", "0", "target replica for kill/restart/checkpoint");
+  args.add_flag("ports", "", "comma-separated replica UDP ports (feed)");
+  args.add_flag("updates", "1000", "updates to feed");
+  args.add_flag("seed", "1", "feeder RNG seed");
+  args.add_flag("rate", "0", "feed rate in updates/sec (0 = full speed)");
+  args.add_flag("sub-port", "0", "service subscriber TCP port (subscribe)");
+
+  if (!args.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", args.error().c_str(),
+                 args.usage(argv[0]).c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::printf("%s", args.usage(argv[0]).c_str());
+    return 0;
+  }
+
+  try {
+    const std::string cmd = args.get("cmd");
+    const auto admin_port =
+        static_cast<std::uint16_t>(args.get_int("admin-port"));
+    const auto replica = static_cast<std::uint64_t>(args.get_int("replica"));
+    if (cmd == "status")
+      return run_admin(service::AdminCommand::kStatus, admin_port, replica);
+    if (cmd == "kill")
+      return run_admin(service::AdminCommand::kKill, admin_port, replica);
+    if (cmd == "restart")
+      return run_admin(service::AdminCommand::kRestart, admin_port, replica);
+    if (cmd == "checkpoint")
+      return run_admin(service::AdminCommand::kCheckpoint, admin_port,
+                       replica);
+    if (cmd == "drain")
+      return run_admin(service::AdminCommand::kDrain, admin_port, replica);
+    if (cmd == "feed")
+      return run_feed(parse_ports(args.get("ports")),
+                      static_cast<std::size_t>(args.get_int("updates")),
+                      static_cast<std::uint64_t>(args.get_int("seed")),
+                      args.get_double("rate"));
+    if (cmd == "subscribe")
+      return run_subscribe(
+          static_cast<std::uint16_t>(args.get_int("sub-port")));
+    std::fprintf(stderr, "unknown --cmd %s\n", cmd.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rcm_service_client: %s\n", e.what());
+    return 2;
+  }
+}

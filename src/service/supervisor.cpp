@@ -1,0 +1,47 @@
+#include "service/supervisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rcm::service {
+
+ReplicaSupervisor::ReplicaSupervisor(BackoffPolicy policy,
+                                     std::size_t replicas)
+    : policy_(policy), consecutive_(replicas, 0), total_(replicas, 0) {
+  if (policy_.initial.count() <= 0)
+    throw std::invalid_argument("ReplicaSupervisor: initial must be > 0");
+  if (policy_.factor < 1.0)
+    throw std::invalid_argument("ReplicaSupervisor: factor must be >= 1");
+  if (policy_.max < policy_.initial)
+    throw std::invalid_argument("ReplicaSupervisor: max < initial");
+}
+
+std::chrono::milliseconds ReplicaSupervisor::next_delay(std::size_t replica) {
+  std::size_t& streak = consecutive_.at(replica);
+  ++streak;
+  ++total_.at(replica);
+  // initial * factor^(streak-1), saturating at max without overflow:
+  // stop multiplying as soon as the ceiling is reached.
+  double ms = static_cast<double>(policy_.initial.count());
+  const double cap = static_cast<double>(policy_.max.count());
+  for (std::size_t i = 1; i < streak && ms < cap; ++i) ms *= policy_.factor;
+  ms = std::min(ms, cap);
+  return std::chrono::milliseconds{static_cast<long long>(std::llround(ms))};
+}
+
+void ReplicaSupervisor::note_healthy(std::size_t replica,
+                                     std::chrono::milliseconds uptime) {
+  if (uptime >= policy_.reset_after) consecutive_.at(replica) = 0;
+}
+
+std::size_t ReplicaSupervisor::restarts(std::size_t replica) const {
+  return total_.at(replica);
+}
+
+std::size_t ReplicaSupervisor::consecutive_failures(
+    std::size_t replica) const {
+  return consecutive_.at(replica);
+}
+
+}  // namespace rcm::service

@@ -1,0 +1,54 @@
+// Restart policy for replica workers: exponential backoff per replica,
+// reset after a healthy stretch of uptime.
+//
+// Kept deterministic and clock-free (callers pass uptimes in) so the
+// policy itself is unit-testable without sleeping.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+namespace rcm::service {
+
+/// Backoff schedule for restarting a crashed replica.
+struct BackoffPolicy {
+  std::chrono::milliseconds initial{10};  ///< delay after first failure
+  double factor = 2.0;                    ///< growth per consecutive failure
+  std::chrono::milliseconds max{2000};    ///< delay ceiling
+  /// A replica that stays up at least this long is considered healthy
+  /// again: its next failure starts back at `initial`.
+  std::chrono::milliseconds reset_after{1000};
+};
+
+/// Tracks consecutive failures per replica and hands out restart delays.
+class ReplicaSupervisor {
+ public:
+  ReplicaSupervisor(BackoffPolicy policy, std::size_t replicas);
+
+  /// Records a failure of `replica` and returns how long to wait before
+  /// restarting it: initial * factor^(consecutive_failures - 1), capped
+  /// at max.
+  [[nodiscard]] std::chrono::milliseconds next_delay(std::size_t replica);
+
+  /// Records that `replica` ran for `uptime` since its last (re)start.
+  /// Uptimes >= reset_after clear the consecutive-failure streak.
+  void note_healthy(std::size_t replica, std::chrono::milliseconds uptime);
+
+  /// Total restarts handed out for `replica` over the supervisor's life.
+  [[nodiscard]] std::size_t restarts(std::size_t replica) const;
+
+  /// Current consecutive-failure streak for `replica`.
+  [[nodiscard]] std::size_t consecutive_failures(std::size_t replica) const;
+
+  [[nodiscard]] const BackoffPolicy& policy() const noexcept {
+    return policy_;
+  }
+
+ private:
+  BackoffPolicy policy_;
+  std::vector<std::size_t> consecutive_;
+  std::vector<std::size_t> total_;
+};
+
+}  // namespace rcm::service

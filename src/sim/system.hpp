@@ -62,6 +62,11 @@ struct RunResult {
   /// Frames the threaded runtime's decoders rejected (0 for simulator
   /// runs and for healthy transports; nonzero indicates corruption).
   std::size_t wire_corrupt_frames = 0;
+  /// CEs that gave up waiting for the per-DM END markers and finished on
+  /// the idle timeout instead (socket deployments only; see
+  /// net/deployment.hpp). Nonzero means the run's end-of-stream signal
+  /// was lost, not that data was — the observables are still usable.
+  std::size_t ce_end_timeouts = 0;
 
   /// Packages the run for the property checkers.
   [[nodiscard]] check::SystemRun as_system_run(ConditionPtr condition) const;

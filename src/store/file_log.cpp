@@ -87,4 +87,54 @@ void FileAlertLog::write_record(std::uint8_t type,
                              path_.string());
 }
 
+RecoveredUpdates recover_updates(const std::filesystem::path& path) {
+  RecoveredUpdates out;
+  std::ifstream in{path, std::ios::binary};
+  if (!in.is_open()) return out;  // no file yet: empty WAL
+
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  if (in.bad()) throw std::runtime_error("recover_updates: read error");
+
+  wire::FrameCursor cursor;
+  cursor.feed(bytes);
+  while (auto payload = cursor.next()) {
+    try {
+      out.updates.push_back(wire::decode_update(*payload));
+    } catch (const wire::DecodeError&) {
+      ++out.corrupt_frames;
+    }
+  }
+  out.corrupt_frames += cursor.corrupt_frames();
+  return out;
+}
+
+FileUpdateLog::FileUpdateLog(std::filesystem::path path)
+    : path_(std::move(path)) {
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_.is_open())
+    throw std::runtime_error("FileUpdateLog: cannot open " + path_.string());
+}
+
+void FileUpdateLog::append(const Update& u) {
+  const auto framed = wire::frame(wire::encode_update(u));
+  out_.write(reinterpret_cast<const char*>(framed.data()),
+             static_cast<std::streamsize>(framed.size()));
+  out_.flush();
+  if (!out_.good())
+    throw std::runtime_error("FileUpdateLog: write failed on " +
+                             path_.string());
+  ++appended_;
+}
+
+void FileUpdateLog::truncate() {
+  out_.close();
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_.is_open())
+    throw std::runtime_error("FileUpdateLog: truncate failed on " +
+                             path_.string());
+  out_.flush();
+  appended_ = 0;
+}
+
 }  // namespace rcm::store

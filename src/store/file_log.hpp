@@ -1,4 +1,4 @@
-// File-backed durable alert log.
+// File-backed durable logs.
 //
 // AlertLog (alert_log.hpp) keeps the in-memory state; FileAlertLog adds
 // a write-ahead file so the log survives real process crashes, matching
@@ -9,14 +9,24 @@
 //   type 'A' (0x41): body = wire-encoded alert (appended entry)
 //   type 'K' (0x4b): body = varint(upto)      (cumulative ack)
 //
+// FileUpdateLog is the same contract for data updates: the service's CE
+// replicas use it as the write-ahead log of updates accepted since the
+// last evaluator-state checkpoint (wire/snapshot.hpp), so a killed
+// replica recovers as checkpoint + WAL replay. Each record is one
+// framed wire-encoded update; truncate() empties the file after a new
+// checkpoint supersedes it.
+//
 // Recovery scans the file with FrameCursor semantics: a torn or corrupt
 // tail (e.g. a crash mid-write) is detected by the CRC and everything
-// before it is recovered — the standard write-ahead-log contract.
+// before it is recovered — the standard write-ahead-log contract. A
+// truncation at ANY byte offset therefore recovers a strict prefix of
+// the appended records, never garbage (pinned by tests).
 #pragma once
 
 #include <filesystem>
 #include <fstream>
 
+#include "core/types.hpp"
 #include "store/alert_log.hpp"
 
 namespace rcm::store {
@@ -63,6 +73,43 @@ class FileAlertLog {
   std::ofstream out_;
   AlertLog log_;
   std::size_t recovered_corrupt_ = 0;
+};
+
+/// Result of scanning an update WAL file.
+struct RecoveredUpdates {
+  std::vector<Update> updates;      ///< the recovered prefix, in order
+  std::size_t corrupt_frames = 0;   ///< CRC failures / torn tail frames
+};
+
+/// Reads an update WAL. A missing file recovers to an empty sequence.
+/// Throws std::runtime_error only on I/O errors, never on corruption.
+[[nodiscard]] RecoveredUpdates recover_updates(
+    const std::filesystem::path& path);
+
+/// Durable update write-ahead log: every append is framed and flushed to
+/// `path` before it returns.
+class FileUpdateLog {
+ public:
+  /// Opens (creating if needed) `path` for appending. Does NOT read the
+  /// file — call recover_updates first when recovering, then construct.
+  explicit FileUpdateLog(std::filesystem::path path);
+
+  /// Durably appends one update.
+  void append(const Update& u);
+
+  /// Empties the file: the updates it held are now covered by a
+  /// checkpoint. Durable before return.
+  void truncate();
+
+  [[nodiscard]] std::size_t appended() const noexcept { return appended_; }
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+
+ private:
+  std::filesystem::path path_;
+  std::ofstream out_;
+  std::size_t appended_ = 0;  ///< records appended since open/truncate
 };
 
 }  // namespace rcm::store

@@ -4,6 +4,8 @@
 //   rcm_swarm --runs 0 --time-budget 60      # fuzz until the budget ends
 //   rcm_swarm --filter ad-2-broken --save .  # catch the planted bug
 //   rcm_swarm --replay swarm-ce-17.bin       # re-execute a counterexample
+//   rcm_swarm --service-fuzz --runs 200      # kill/restart fuzz against
+//                                            # the real AlertService
 //
 // Exit codes: 0 = no violations (or replay reproduced), 1 = violations
 // found (or replay did not reproduce), 2 = usage/IO error.
@@ -11,6 +13,7 @@
 #include <exception>
 #include <string>
 
+#include "swarm/service_fuzz.hpp"
 #include "swarm/swarm.hpp"
 #include "util/args.hpp"
 
@@ -62,6 +65,11 @@ int main(int argc, char** argv) {
   args.add_flag("no-shrink", "false", "record failures without minimizing");
   args.add_flag("no-determinism", "false",
                 "skip the re-execution determinism check (halves the cost)");
+  args.add_flag("service-fuzz", "false",
+                "crash-recovery fuzz of the real AlertService instead of "
+                "simulator runs (uses --runs, --seed, --scratch-dir)");
+  args.add_flag("scratch-dir", "",
+                "service-fuzz scratch root (default: system temp)");
   args.add_flag("verbose", "false", "print a line per run");
 
   if (!args.parse(argc, argv)) {
@@ -76,6 +84,27 @@ int main(int argc, char** argv) {
 
   try {
     if (!args.get("replay").empty()) return replay_file(args.get("replay"));
+
+    if (args.get_bool("service-fuzz")) {
+      swarm::ServiceFuzzOptions options;
+      options.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+      options.runs = static_cast<std::size_t>(args.get_int("runs"));
+      options.scratch_dir = args.get("scratch-dir");
+      options.verbose = args.get_bool("verbose");
+      const swarm::ServiceFuzzReport report =
+          swarm::run_service_fuzz(options);
+      std::printf("service-fuzz: %zu runs (%zu with kills, %zu with "
+                  "alerts), %zu kill(s), %zu restart(s), %zu violation(s)\n",
+                  report.runs_executed, report.runs_with_kills,
+                  report.runs_with_alerts, report.total_kills,
+                  report.total_restarts, report.violations.size());
+      for (const swarm::ServiceFuzzViolation& v : report.violations)
+        std::printf("  run %zu (seed %llu): %s\n    state kept: %s\n",
+                    v.run_index,
+                    static_cast<unsigned long long>(v.seed),
+                    v.description.c_str(), v.data_dir.string().c_str());
+      return report.failed() ? 1 : 0;
+    }
 
     swarm::SwarmOptions options;
     options.seed = static_cast<std::uint64_t>(args.get_int("seed"));

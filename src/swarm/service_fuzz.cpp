@@ -1,0 +1,353 @@
+#include "swarm/service_fuzz.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include "check/properties.hpp"
+#include "core/evaluator.hpp"
+#include "exp/table_experiment.hpp"
+#include "net/deployment.hpp"
+#include "net/socket.hpp"
+#include "service/alert_service.hpp"
+#include "swarm/spec.hpp"
+#include "util/rng.hpp"
+#include "wire/codec.hpp"
+#include "wire/frame.hpp"
+
+namespace rcm::swarm {
+namespace {
+
+// Condition kinds with the trigger parameter each gets when values are
+// uniform in [0, 100] — hot enough that alerts (and thus filter
+// decisions) actually happen in short runs.
+struct KindChoice {
+  ConditionKind kind;
+  double param;
+  exp::Scenario lossy_row;
+};
+constexpr KindChoice kKinds[] = {
+    {ConditionKind::kThreshold, 60.0, exp::Scenario::kLossyNonHistorical},
+    {ConditionKind::kRiseAggressive, 20.0, exp::Scenario::kLossyAggressive},
+    {ConditionKind::kRiseConservative, 20.0,
+     exp::Scenario::kLossyConservative},
+    {ConditionKind::kAbsDiff, 30.0, exp::Scenario::kLossyNonHistorical},
+    {ConditionKind::kBand, 30.0, exp::Scenario::kLossyNonHistorical},
+    {ConditionKind::kRise2dAggressive, 25.0,
+     exp::Scenario::kLossyAggressive},
+    {ConditionKind::kRise2dConservative, 25.0,
+     exp::Scenario::kLossyConservative},
+};
+
+// Filters with a paper-claim table for the arity (see exp::paper_claim).
+constexpr FilterKind kSingleVarFilters[] = {FilterKind::kAd1, FilterKind::kAd2,
+                                            FilterKind::kAd3,
+                                            FilterKind::kAd4};
+constexpr FilterKind kMultiVarFilters[] = {FilterKind::kAd1, FilterKind::kAd5,
+                                           FilterKind::kAd6};
+
+struct KillEvent {
+  std::size_t at_step = 0;       ///< feed position the kill fires before
+  std::size_t replica = 0;
+  std::size_t restart_after = 0; ///< steps until a manual restart (manual
+                                 ///< mode only)
+};
+
+struct RunPlan {
+  KindChoice choice{};
+  std::size_t replicas = 2;
+  FilterKind filter = FilterKind::kAd1;
+  std::size_t checkpoint_every = 8;
+  std::size_t updates_per_var = 60;
+  bool auto_restart = false;
+  double dup_prob = 0.0;
+  std::vector<KillEvent> kills;
+  std::vector<Update> feed;  ///< interleaved across variables
+};
+
+RunPlan make_plan(util::Rng& rng) {
+  RunPlan plan;
+  plan.choice = kKinds[static_cast<std::size_t>(
+      rng.uniform_int(0, std::size(kKinds) - 1))];
+  const std::size_t arity = condition_arity(plan.choice.kind);
+  if (arity == 1) {
+    plan.filter = kSingleVarFilters[static_cast<std::size_t>(
+        rng.uniform_int(0, std::size(kSingleVarFilters) - 1))];
+  } else {
+    plan.filter = kMultiVarFilters[static_cast<std::size_t>(
+        rng.uniform_int(0, std::size(kMultiVarFilters) - 1))];
+  }
+  plan.replicas = static_cast<std::size_t>(rng.uniform_int(1, 3));
+  constexpr std::size_t kCheckpointChoices[] = {1, 3, 8, 32, 117};
+  plan.checkpoint_every = kCheckpointChoices[static_cast<std::size_t>(
+      rng.uniform_int(0, std::size(kCheckpointChoices) - 1))];
+  plan.updates_per_var = static_cast<std::size_t>(rng.uniform_int(30, 120));
+  plan.auto_restart = rng.bernoulli(0.5);
+  plan.dup_prob = rng.bernoulli(0.5) ? 0.05 : 0.0;
+
+  // Interleaved feed: per-variable seqnos ascend; the interleaving across
+  // variables is random.
+  std::vector<SeqNo> next_seqno(arity, 1);
+  std::vector<std::size_t> remaining(arity, plan.updates_per_var);
+  std::size_t total = arity * plan.updates_per_var;
+  plan.feed.reserve(total);
+  while (total > 0) {
+    std::size_t var;
+    do {
+      var = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(arity) - 1));
+    } while (remaining[var] == 0);
+    plan.feed.push_back(Update{static_cast<VarId>(var), next_seqno[var]++,
+                               rng.uniform(0.0, 100.0)});
+    --remaining[var];
+    --total;
+  }
+
+  const std::size_t kill_count =
+      static_cast<std::size_t>(rng.uniform_int(0, 3));
+  for (std::size_t k = 0; k < kill_count; ++k) {
+    KillEvent e;
+    e.at_step = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(plan.feed.size()) - 1));
+    e.replica = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(plan.replicas) - 1));
+    e.restart_after = static_cast<std::size_t>(rng.uniform_int(1, 20));
+    plan.kills.push_back(e);
+  }
+  std::sort(plan.kills.begin(), plan.kills.end(),
+            [](const KillEvent& a, const KillEvent& b) {
+              return a.at_step < b.at_step;
+            });
+  return plan;
+}
+
+void send_ignoring_errors(net::UdpSocket& socket, std::uint16_t port,
+                          std::span<const std::uint8_t> bytes) {
+  try {
+    socket.send_to(port, bytes);
+  } catch (const std::system_error&) {
+    // A closed replica port can surface as ECONNREFUSED on a later send
+    // (ICMP unreachable); that IS the lossy link, not an error.
+  }
+}
+
+/// One violation list for one executed plan; empty = clean.
+std::vector<std::string> check_run(const RunPlan& plan,
+                                   const std::vector<Update>& sent,
+                                   std::vector<std::vector<Update>> journals,
+                                   std::vector<Alert> displayed,
+                                   std::size_t kills) {
+  std::vector<std::string> violations;
+  const ConditionPtr condition =
+      build_condition(plan.choice.kind, plan.choice.param);
+  const std::size_t arity = condition_arity(plan.choice.kind);
+
+  // Index the sent stream: (var, seqno) -> value.
+  std::map<std::pair<VarId, SeqNo>, double> sent_index;
+  for (const Update& u : sent) sent_index[{u.var, u.seqno}] = u.value;
+
+  // Invariant 1: journals are per-variable strictly-increasing
+  // subsequences of the sent stream.
+  for (std::size_t i = 0; i < journals.size(); ++i) {
+    std::map<VarId, SeqNo> last;
+    for (const Update& u : journals[i]) {
+      const auto it = sent_index.find({u.var, u.seqno});
+      if (it == sent_index.end() || it->second != u.value) {
+        std::ostringstream out;
+        out << "journal " << i << " contains update (var " << u.var
+            << ", seq " << u.seqno << ") that was never sent";
+        violations.push_back(out.str());
+        continue;
+      }
+      const auto lit = last.find(u.var);
+      if (lit != last.end() && u.seqno <= lit->second) {
+        std::ostringstream out;
+        out << "journal " << i << " not strictly increasing for var "
+            << u.var << " at seq " << u.seqno;
+        violations.push_back(out.str());
+      }
+      last[u.var] = u.seqno;
+    }
+  }
+
+  // Invariant 2: every displayed alert was raised by some incarnation of
+  // some replica — displayed keys ⊆ ∪_i keys(T(journal_i)).
+  std::set<AlertKey> raised;
+  std::size_t raised_count = 0;
+  for (const auto& journal : journals) {
+    for (const Alert& a : evaluate_trace(condition, journal)) {
+      raised.insert(a.key());
+      ++raised_count;
+    }
+  }
+  for (const Alert& a : displayed) {
+    if (!raised.contains(a.key())) {
+      violations.push_back("displayed alert no replica raised: " +
+                           a.key().cond);
+      break;
+    }
+  }
+
+  // Paper-table oracle for the observed scenario. A replica that
+  // accepted every sent update makes no difference from a lossless one,
+  // whether or not it was killed; any miss puts the run in the lossy row
+  // of the condition's class.
+  bool missed = false;
+  for (const auto& journal : journals)
+    if (journal.size() != sent.size()) missed = true;
+  const exp::Scenario scenario =
+      missed ? plan.choice.lossy_row : exp::Scenario::kLossless;
+  const exp::PaperClaim claim =
+      exp::paper_claim(plan.filter, scenario, arity > 1);
+
+  check::SystemRun run;
+  run.condition = condition;
+  run.ce_inputs = std::move(journals);
+  run.displayed = std::move(displayed);
+  const check::PropertyReport report = check::check_run(run);
+
+  const auto note = [&](const char* property, bool claimed,
+                        check::Verdict verdict) {
+    if (claimed && verdict == check::Verdict::kViolated) {
+      std::ostringstream out;
+      out << "guaranteed " << property << " violated ("
+          << std::string(filter_kind_name(plan.filter)) << ", "
+          << exp::scenario_name(scenario) << ", " << kills << " kill(s), "
+          << raised_count << " raised)";
+      violations.push_back(out.str());
+    }
+  };
+  note("orderedness", claim.ordered, report.ordered);
+  note("completeness", claim.complete, report.complete);
+  note("consistency", claim.consistent, report.consistent);
+  return violations;
+}
+
+}  // namespace
+
+ServiceFuzzReport run_service_fuzz(const ServiceFuzzOptions& options) {
+  ServiceFuzzReport report;
+  const std::filesystem::path scratch =
+      options.scratch_dir.empty()
+          ? std::filesystem::temp_directory_path() / "rcm_service_fuzz"
+          : options.scratch_dir;
+  std::filesystem::create_directories(scratch);
+
+  for (std::size_t i = 0; i < options.runs; ++i) {
+    util::Rng rng = util::Rng::derive(options.seed, i);
+    const RunPlan plan = make_plan(rng);
+    const std::size_t arity = condition_arity(plan.choice.kind);
+    const std::filesystem::path data_dir =
+        scratch / ("run-" + std::to_string(options.seed) + "-" +
+                   std::to_string(i));
+    std::filesystem::remove_all(data_dir);
+
+    service::ServiceConfig config;
+    config.condition = build_condition(plan.choice.kind, plan.choice.param);
+    config.num_replicas = plan.replicas;
+    config.filter = plan.filter;
+    config.data_dir = data_dir;
+    config.checkpoint_every = plan.checkpoint_every;
+    config.record_journal = true;
+    config.auto_restart = plan.auto_restart;
+    config.backoff.initial = std::chrono::milliseconds{1};
+    config.backoff.max = std::chrono::milliseconds{50};
+    config.backoff.reset_after = std::chrono::milliseconds{1};
+    config.poll_interval = std::chrono::milliseconds{5};
+
+    std::size_t kills_done = 0;
+    std::vector<std::vector<Update>> journals;
+    std::vector<Alert> displayed;
+    std::size_t restarts = 0;
+    {
+      service::AlertService svc{std::move(config)};
+      const std::vector<std::uint16_t> ports = svc.replica_ports();
+      net::UdpSocket feeder;
+
+      // (step -> pending manual restarts) computed as we go.
+      std::vector<std::pair<std::size_t, std::size_t>> manual_restarts;
+      std::size_t next_kill = 0;
+      for (std::size_t step = 0; step < plan.feed.size(); ++step) {
+        while (next_kill < plan.kills.size() &&
+               plan.kills[next_kill].at_step == step) {
+          const KillEvent& e = plan.kills[next_kill++];
+          svc.kill_replica(e.replica);
+          ++kills_done;
+          if (!plan.auto_restart)
+            manual_restarts.emplace_back(step + e.restart_after, e.replica);
+        }
+        for (auto it = manual_restarts.begin();
+             it != manual_restarts.end();) {
+          if (it->first <= step) {
+            svc.restart_replica(it->second);
+            it = manual_restarts.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        const auto framed =
+            wire::frame(wire::encode_update(plan.feed[step]));
+        for (const std::uint16_t port : ports)
+          send_ignoring_errors(feeder, port, framed);
+        if (plan.dup_prob > 0 && rng.bernoulli(plan.dup_prob))
+          send_ignoring_errors(
+              feeder,
+              ports[static_cast<std::size_t>(rng.uniform_int(
+                  0, static_cast<std::int64_t>(ports.size()) - 1))],
+              framed);
+      }
+
+      // Bring everyone back so the END markers land somewhere durable,
+      // then repeat them (idempotent) until the service has them all.
+      for (std::size_t r = 0; r < plan.replicas; ++r) svc.restart_replica(r);
+      for (int attempt = 0; attempt < 40; ++attempt) {
+        for (std::size_t var = 0; var < arity; ++var) {
+          const auto end = wire::frame(net::encode_end_marker(var));
+          for (const std::uint16_t port : ports)
+            send_ignoring_errors(feeder, port, end);
+        }
+        if (svc.await_dm_ends(arity, std::chrono::milliseconds{100})) break;
+      }
+      (void)svc.await_idle(std::chrono::milliseconds{60},
+                           std::chrono::milliseconds{5000});
+      svc.drain();
+
+      displayed = svc.displayed();
+      for (std::size_t r = 0; r < plan.replicas; ++r) {
+        journals.push_back(svc.replica_journal(r));
+        restarts += svc.replica_restarts(r);
+      }
+    }
+
+    ++report.runs_executed;
+    report.total_kills += kills_done;
+    report.total_restarts += restarts;
+    if (kills_done > 0) ++report.runs_with_kills;
+    if (!displayed.empty()) ++report.runs_with_alerts;
+
+    const std::vector<std::string> violations = check_run(
+        plan, plan.feed, std::move(journals), std::move(displayed),
+        kills_done);
+    if (options.verbose) {
+      std::printf("service-fuzz run %zu: %zu updates, %zu kill(s), "
+                  "%zu restart(s)%s\n",
+                  i, plan.feed.size(), kills_done, restarts,
+                  violations.empty() ? "" : "  ** VIOLATION **");
+    }
+    if (violations.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(data_dir, ec);  // clean run: no debris
+    } else {
+      for (const std::string& v : violations)
+        report.violations.push_back(
+            ServiceFuzzViolation{i, options.seed, v, data_dir});
+    }
+  }
+  return report;
+}
+
+}  // namespace rcm::swarm

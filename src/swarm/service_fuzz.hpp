@@ -1,0 +1,67 @@
+// Crash-recovery fuzz mode: randomized kill/restart schedules against a
+// REAL AlertService (kernel sockets, worker threads, durable files) —
+// the service-layer sibling of the simulator-based swarm harness.
+//
+// Each seeded iteration builds a service in a scratch directory with
+// journals enabled, feeds randomized update streams over UDP while
+// killing and restarting replicas at random points, drains, and then
+// checks the observables against two layers of oracle:
+//
+//   1. Mechanical invariants that hold for every run:
+//      - each replica's journal is, per variable, a strictly-increasing-
+//        seqno subsequence of the sent stream (durability never invents
+//        or reorders updates, across any number of incarnations);
+//      - every displayed alert was raised by some replica, i.e. its key
+//        appears in T(journal_i) for some i (recovery never re-emits or
+//        fabricates alerts).
+//   2. The paper's property table for the run's (filter, scenario) cell,
+//      where the scenario is classified from the OBSERVED journals: if
+//      every replica accepted every sent update the run is lossless;
+//      otherwise it is the lossy row of the condition's class (a kill's
+//      downtime loss is exactly the paper's lossy front link).
+//
+// Unlike SwarmSpec runs, these executions are wall-clock nondeterministic
+// (real threads and sockets), so there is no digest or shrinking — the
+// per-iteration seed is reported instead so a failure can be re-run.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace rcm::swarm {
+
+struct ServiceFuzzOptions {
+  std::uint64_t seed = 1;
+  std::size_t runs = 200;
+  /// Scratch root for per-run data dirs; empty = system temp. Each run's
+  /// directory is removed after a clean check, kept on violation.
+  std::filesystem::path scratch_dir;
+  bool verbose = false;
+};
+
+struct ServiceFuzzViolation {
+  std::size_t run_index = 0;
+  std::uint64_t seed = 0;  ///< batch seed; run_index re-derives the run
+  std::string description;
+  std::filesystem::path data_dir;  ///< durable state kept for post-mortem
+};
+
+struct ServiceFuzzReport {
+  std::size_t runs_executed = 0;
+  std::size_t runs_with_kills = 0;
+  std::size_t runs_with_alerts = 0;
+  std::size_t total_kills = 0;
+  std::size_t total_restarts = 0;
+  std::vector<ServiceFuzzViolation> violations;
+
+  [[nodiscard]] bool failed() const noexcept { return !violations.empty(); }
+};
+
+/// Runs the batch. Throws std::runtime_error on environment errors
+/// (scratch dir not writable); violations are reported, not thrown.
+[[nodiscard]] ServiceFuzzReport run_service_fuzz(
+    const ServiceFuzzOptions& options);
+
+}  // namespace rcm::swarm

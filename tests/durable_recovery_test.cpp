@@ -1,0 +1,280 @@
+// Durable CE recovery: store::FileUpdateLog composed with
+// wire/snapshot.hpp checkpoints (service::DurableReplica).
+//
+// The load-bearing property, pinned byte-by-byte here: a crash that
+// truncates the WAL at ANY byte offset recovers a strict prefix of the
+// appended updates, and checkpoint + WAL-prefix replay reconstructs
+// exactly the evaluator state that accepted those updates (snapshot
+// bytes are compared, so equality is total, not sampled).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "service/durable_replica.hpp"
+#include "store/file_log.hpp"
+#include "swarm/spec.hpp"
+#include "wire/codec.hpp"
+#include "wire/frame.hpp"
+#include "wire/snapshot.hpp"
+
+namespace rcm::service {
+namespace {
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / ("rcm_durable_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+ConditionPtr threshold_condition() {
+  return swarm::build_condition(swarm::ConditionKind::kThreshold, 50.0);
+}
+
+ConditionPtr aggressive_condition() {
+  return swarm::build_condition(swarm::ConditionKind::kRiseAggressive, 10.0);
+}
+
+std::vector<Update> make_updates(SeqNo first, std::size_t count) {
+  std::vector<Update> updates;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Values alternate around the thresholds so alerts actually fire.
+    updates.push_back(Update{0, first + static_cast<SeqNo>(i),
+                             (i % 2 == 0) ? 80.0 : 20.0});
+  }
+  return updates;
+}
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  return std::vector<std::uint8_t>{std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::filesystem::path& path,
+                std::span<const std::uint8_t> bytes) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Snapshot bytes of the state an evaluator reaches replaying `updates`.
+std::vector<std::uint8_t> reference_state(const ConditionPtr& cond,
+                                          const std::vector<Update>& updates) {
+  ConditionEvaluator ce{cond};
+  for (const Update& u : updates) ce.on_update(u);
+  return wire::encode_evaluator_state(ce);
+}
+
+TEST(FileUpdateLog, TruncateAtEveryByteOffsetRecoversStrictPrefix) {
+  const auto dir = fresh_dir("every_offset");
+  const std::vector<Update> updates = make_updates(1, 5);
+
+  store::FileUpdateLog log{dir / "u.wal"};
+  std::vector<std::size_t> frame_ends;  // cumulative byte size per record
+  std::size_t total = 0;
+  for (const Update& u : updates) {
+    log.append(u);
+    total += wire::frame(wire::encode_update(u)).size();
+    frame_ends.push_back(total);
+  }
+  const std::vector<std::uint8_t> bytes = read_file(dir / "u.wal");
+  ASSERT_EQ(bytes.size(), total);
+
+  for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+    const std::filesystem::path truncated = dir / "truncated.wal";
+    write_file(truncated,
+               std::span<const std::uint8_t>{bytes.data(), cut});
+    const store::RecoveredUpdates rec = store::recover_updates(truncated);
+
+    // Exactly the records whose frames are fully contained in the cut.
+    std::size_t expect = 0;
+    while (expect < frame_ends.size() && frame_ends[expect] <= cut)
+      ++expect;
+    ASSERT_EQ(rec.updates.size(), expect) << "cut at byte " << cut;
+    for (std::size_t k = 0; k < expect; ++k) {
+      EXPECT_EQ(rec.updates[k].seqno, updates[k].seqno);
+      EXPECT_EQ(rec.updates[k].value, updates[k].value);
+    }
+  }
+}
+
+TEST(DurableReplica, CheckpointPlusWalTruncatedAtEveryOffsetIsAPrefixState) {
+  const auto base = fresh_dir("ckpt_plus_wal");
+  const ConditionPtr cond = aggressive_condition();
+
+  // Build the durable files: 6 checkpointed updates + 5 WAL updates.
+  const std::vector<Update> checkpointed = make_updates(1, 6);
+  const std::vector<Update> walled = make_updates(7, 5);
+  DurabilityOptions opts;
+  opts.dir = base;
+  opts.checkpoint_every = 0;  // manual only
+  {
+    DurableReplica replica{cond, 0, opts};
+    for (const Update& u : checkpointed) replica.on_update(u);
+    replica.checkpoint();
+    for (const Update& u : walled) replica.on_update(u);
+  }
+  const auto wal_bytes = read_file(DurableReplica::wal_path(base, 0));
+  const auto ckpt_bytes =
+      read_file(DurableReplica::checkpoint_path(base, 0));
+  ASSERT_FALSE(wal_bytes.empty());
+  ASSERT_FALSE(ckpt_bytes.empty());
+
+  std::vector<std::size_t> frame_ends;
+  std::size_t total = 0;
+  for (const Update& u : walled) {
+    total += wire::frame(wire::encode_update(u)).size();
+    frame_ends.push_back(total);
+  }
+  ASSERT_EQ(total, wal_bytes.size());
+
+  for (std::size_t cut = 0; cut <= wal_bytes.size(); ++cut) {
+    const auto dir = fresh_dir("ckpt_plus_wal_cut");
+    write_file(DurableReplica::checkpoint_path(dir, 0), ckpt_bytes);
+    write_file(DurableReplica::wal_path(dir, 0),
+               std::span<const std::uint8_t>{wal_bytes.data(), cut});
+
+    std::size_t prefix = 0;
+    while (prefix < frame_ends.size() && frame_ends[prefix] <= cut)
+      ++prefix;
+    std::vector<Update> expect = checkpointed;
+    expect.insert(expect.end(), walled.begin(),
+                  walled.begin() + static_cast<std::ptrdiff_t>(prefix));
+
+    DurabilityOptions cut_opts = opts;
+    cut_opts.dir = dir;
+    DurableReplica recovered{cond, 0, cut_opts};
+    EXPECT_TRUE(recovered.recovery().had_checkpoint);
+    EXPECT_EQ(recovered.recovery().wal_replayed, prefix)
+        << "cut at byte " << cut;
+    EXPECT_EQ(wire::encode_evaluator_state(recovered.evaluator()),
+              reference_state(cond, expect))
+        << "cut at byte " << cut;
+  }
+}
+
+TEST(DurableReplica, TornCheckpointFallsBackToWalOnlyRecovery) {
+  const ConditionPtr cond = threshold_condition();
+  const std::vector<Update> updates = make_updates(1, 4);
+  const auto state = reference_state(cond, updates);
+
+  // Two failure shapes: a checkpoint torn mid-write (incomplete tail
+  // frame) and a bit-flipped one (complete frame, CRC mismatch). Both
+  // must be ignored in favor of WAL-only recovery.
+  for (const bool bit_flip : {false, true}) {
+    const auto dir = fresh_dir(bit_flip ? "flipped_ckpt" : "torn_ckpt");
+    DurabilityOptions opts;
+    opts.dir = dir;
+    opts.checkpoint_every = 0;
+    {
+      DurableReplica replica{cond, 0, opts};
+      for (const Update& u : updates) replica.on_update(u);
+      // No checkpoint: everything is in the WAL.
+    }
+    auto bad = wire::frame(state);
+    if (bit_flip)
+      bad[bad.size() / 2] ^= 0x40;
+    else
+      bad.resize(bad.size() / 2);
+    write_file(DurableReplica::checkpoint_path(dir, 0), bad);
+
+    DurableReplica recovered{cond, 0, opts};
+    EXPECT_FALSE(recovered.recovery().had_checkpoint);
+    if (bit_flip) {
+      EXPECT_GE(recovered.recovery().corrupt_frames, 1u);
+    }
+    EXPECT_EQ(recovered.recovery().wal_replayed, updates.size());
+    EXPECT_EQ(wire::encode_evaluator_state(recovered.evaluator()), state);
+  }
+}
+
+TEST(DurableReplica, StaleWalAfterCheckpointReplaysIdempotently) {
+  // Crash window between checkpoint rename and WAL truncate: the WAL
+  // still holds updates the checkpoint already covers. Replay must drop
+  // them via the recovered watermarks.
+  const auto dir = fresh_dir("stale_wal");
+  const ConditionPtr cond = aggressive_condition();
+  const std::vector<Update> updates = make_updates(1, 6);
+  DurabilityOptions opts;
+  opts.dir = dir;
+  opts.checkpoint_every = 0;
+  {
+    DurableReplica replica{cond, 0, opts};
+    for (const Update& u : updates) replica.on_update(u);
+    replica.checkpoint();
+  }
+  {
+    // Re-append the already-checkpointed tail, simulating the un-truncated
+    // WAL the crash would have left behind.
+    store::FileUpdateLog wal{DurableReplica::wal_path(dir, 0)};
+    for (const Update& u : updates) wal.append(u);
+  }
+  DurableReplica recovered{cond, 0, opts};
+  EXPECT_TRUE(recovered.recovery().had_checkpoint);
+  EXPECT_EQ(recovered.recovery().wal_replayed, 0u);
+  EXPECT_EQ(wire::encode_evaluator_state(recovered.evaluator()),
+            reference_state(cond, updates));
+}
+
+TEST(DurableReplica, RecoveryCompactsSoNextStartIsCheckpointOnly) {
+  const auto dir = fresh_dir("compact");
+  const ConditionPtr cond = threshold_condition();
+  DurabilityOptions opts;
+  opts.dir = dir;
+  opts.checkpoint_every = 0;
+  {
+    DurableReplica replica{cond, 0, opts};
+    for (const Update& u : make_updates(1, 5)) replica.on_update(u);
+  }
+  {
+    DurableReplica first{cond, 0, opts};
+    EXPECT_EQ(first.recovery().wal_replayed, 5u);
+  }
+  DurableReplica second{cond, 0, opts};
+  EXPECT_TRUE(second.recovery().had_checkpoint);
+  EXPECT_EQ(second.recovery().wal_replayed, 0u);
+}
+
+TEST(DurableReplica, JournalAccumulatesAcrossIncarnations) {
+  const auto dir = fresh_dir("journal");
+  const ConditionPtr cond = threshold_condition();
+  DurabilityOptions opts;
+  opts.dir = dir;
+  opts.checkpoint_every = 2;
+  opts.record_journal = true;
+  {
+    DurableReplica replica{cond, 0, opts};
+    for (const Update& u : make_updates(1, 4)) replica.on_update(u);
+  }
+  {
+    DurableReplica replica{cond, 0, opts};
+    // Stale resend is NOT journaled; fresh updates are.
+    replica.on_update(Update{0, 2, 99.0});
+    for (const Update& u : make_updates(5, 3)) replica.on_update(u);
+  }
+  const std::vector<Update> journal = DurableReplica::read_journal(dir, 0);
+  ASSERT_EQ(journal.size(), 7u);
+  for (std::size_t i = 0; i < journal.size(); ++i)
+    EXPECT_EQ(journal[i].seqno, static_cast<SeqNo>(i + 1));
+}
+
+TEST(DurableReplica, AutoCheckpointEveryNAcceptedUpdates) {
+  const auto dir = fresh_dir("auto_ckpt");
+  const ConditionPtr cond = threshold_condition();
+  DurabilityOptions opts;
+  opts.dir = dir;
+  opts.checkpoint_every = 3;
+  DurableReplica replica{cond, 0, opts};
+  for (const Update& u : make_updates(1, 7)) replica.on_update(u);
+  EXPECT_EQ(replica.checkpoints_taken(), 2u);
+  EXPECT_EQ(replica.wal_records(), 1u);  // 7 = 3 + 3 + 1
+}
+
+}  // namespace
+}  // namespace rcm::service

@@ -1,0 +1,474 @@
+// rcm::service — replicated alert service over real sockets.
+//
+// The end-to-end test here is the PR's acceptance gate: kill a CE
+// replica mid-stream, restart it, and require the exact checkers in
+// src/check/ to report the SAME completeness/consistency verdicts as
+// the corresponding non-replicated run, for both AD-1 and AD-4.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "check/properties.hpp"
+#include "core/displayer.hpp"
+#include "core/evaluator.hpp"
+#include "core/filters.hpp"
+#include "net/deployment.hpp"
+#include "net/socket.hpp"
+#include "service/admin.hpp"
+#include "service/alert_service.hpp"
+#include "service/supervisor.hpp"
+#include "swarm/spec.hpp"
+#include "wire/codec.hpp"
+#include "wire/frame.hpp"
+
+namespace rcm::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / ("rcm_service_" + name);
+  std::filesystem::remove_all(dir);
+  return dir;  // the service creates it
+}
+
+ConditionPtr threshold_condition() {
+  return swarm::build_condition(swarm::ConditionKind::kThreshold, 50.0);
+}
+
+/// Single-variable trace; every even index fires the threshold alert.
+std::vector<Update> make_trace(std::size_t n) {
+  std::vector<Update> trace;
+  for (std::size_t i = 0; i < n; ++i)
+    trace.push_back(Update{0, static_cast<SeqNo>(i + 1),
+                           (i % 2 == 0) ? 80.0 : 20.0});
+  return trace;
+}
+
+/// Sends one framed payload to every port. Datagrams to a killed
+/// replica's closed port may surface ECONNREFUSED (the ICMP echo of the
+/// paper's lossy link) — that loss is exactly what we are testing.
+void send_frame(net::UdpSocket& udp, const std::vector<std::uint16_t>& ports,
+                std::span<const std::uint8_t> payload) {
+  const std::vector<std::uint8_t> framed = wire::frame(payload);
+  for (std::uint16_t port : ports) {
+    try {
+      udp.send_to(port, framed);
+    } catch (const std::system_error&) {
+    }
+  }
+}
+
+/// Sends END markers until the service acknowledges them durably.
+void deliver_ends(net::UdpSocket& udp, AlertService& svc,
+                  const std::vector<std::uint16_t>& ports) {
+  const std::vector<std::uint8_t> marker = net::encode_end_marker(0);
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    send_frame(udp, ports, marker);
+    if (svc.await_dm_ends(1, 100ms)) return;
+  }
+  FAIL() << "END marker never acknowledged";
+}
+
+/// The non-replicated reference: one CE, one AD, the full stream.
+check::PropertyReport reference_verdicts(const ConditionPtr& cond,
+                                         FilterKind filter,
+                                         const std::vector<Update>& trace) {
+  ConditionEvaluator ce{cond};
+  AlertDisplayer ad{make_filter(filter, {0})};
+  for (const Update& u : trace)
+    if (auto alert = ce.on_update(u)) ad.on_alert(*alert);
+  check::SystemRun run;
+  run.condition = cond;
+  run.ce_inputs = {trace};
+  run.displayed = ad.displayed();
+  return check::check_run(run);
+}
+
+// ---- supervisor ---------------------------------------------------------
+
+TEST(ReplicaSupervisor, BackoffDoublesAndCaps) {
+  BackoffPolicy policy;
+  policy.initial = 10ms;
+  policy.factor = 2.0;
+  policy.max = 80ms;
+  policy.reset_after = 100ms;
+  ReplicaSupervisor sup{policy, 2};
+
+  EXPECT_EQ(sup.next_delay(0), 10ms);
+  EXPECT_EQ(sup.next_delay(0), 20ms);
+  EXPECT_EQ(sup.next_delay(0), 40ms);
+  EXPECT_EQ(sup.next_delay(0), 80ms);
+  EXPECT_EQ(sup.next_delay(0), 80ms);  // capped
+  EXPECT_EQ(sup.consecutive_failures(0), 5u);
+  EXPECT_EQ(sup.restarts(0), 5u);
+
+  // Replica 1's streak is independent.
+  EXPECT_EQ(sup.next_delay(1), 10ms);
+
+  // A short uptime does not clear the streak; a healthy one does.
+  sup.note_healthy(0, 50ms);
+  EXPECT_EQ(sup.next_delay(0), 80ms);
+  sup.note_healthy(0, 100ms);
+  EXPECT_EQ(sup.consecutive_failures(0), 0u);
+  EXPECT_EQ(sup.next_delay(0), 10ms);
+  EXPECT_EQ(sup.restarts(0), 7u);
+}
+
+TEST(ReplicaSupervisor, RejectsDegeneratePolicies) {
+  BackoffPolicy zero;
+  zero.initial = 0ms;
+  EXPECT_THROW((ReplicaSupervisor{zero, 1}), std::invalid_argument);
+
+  BackoffPolicy shrink;
+  shrink.factor = 0.5;
+  EXPECT_THROW((ReplicaSupervisor{shrink, 1}), std::invalid_argument);
+
+  BackoffPolicy inverted;
+  inverted.initial = 100ms;
+  inverted.max = 10ms;
+  EXPECT_THROW((ReplicaSupervisor{inverted, 1}), std::invalid_argument);
+}
+
+// ---- admin codec --------------------------------------------------------
+
+TEST(AdminCodec, RequestRoundTripsEveryCommand) {
+  for (AdminCommand cmd :
+       {AdminCommand::kStatus, AdminCommand::kKill, AdminCommand::kRestart,
+        AdminCommand::kCheckpoint, AdminCommand::kDrain}) {
+    AdminRequest req;
+    req.command = cmd;
+    req.replica = 7;
+    const AdminRequest back = decode_admin_request(encode_admin_request(req));
+    EXPECT_EQ(back.command, cmd);
+    EXPECT_EQ(back.replica, 7u);
+  }
+}
+
+TEST(AdminCodec, ResponseRoundTripsFullStatus) {
+  AdminResponse resp;
+  resp.ok = true;
+  ServiceStatus status;
+  status.ingested_datagrams = 1234;
+  status.displayed = 56;
+  status.subscribers = 2;
+  status.dm_ends = 3;
+  ReplicaStatus r0;
+  r0.state = ReplicaState::kRunning;
+  r0.port = 40001;
+  r0.incarnation = 1;
+  r0.accepted = 600;
+  r0.wal_records = 88;
+  r0.checkpoints = 2;
+  ReplicaStatus r1;
+  r1.state = ReplicaState::kDown;
+  r1.port = 40002;
+  r1.incarnation = 3;
+  r1.recovered_wal = 17;
+  status.replicas = {r0, r1};
+  resp.status = status;
+
+  const AdminResponse back =
+      decode_admin_response(encode_admin_response(resp));
+  ASSERT_TRUE(back.ok);
+  ASSERT_TRUE(back.status.has_value());
+  EXPECT_EQ(back.status->ingested_datagrams, 1234u);
+  EXPECT_EQ(back.status->displayed, 56u);
+  EXPECT_EQ(back.status->subscribers, 2u);
+  EXPECT_EQ(back.status->dm_ends, 3u);
+  ASSERT_EQ(back.status->replicas.size(), 2u);
+  EXPECT_EQ(back.status->replicas[0].state, ReplicaState::kRunning);
+  EXPECT_EQ(back.status->replicas[0].port, 40001);
+  EXPECT_EQ(back.status->replicas[0].accepted, 600u);
+  EXPECT_EQ(back.status->replicas[0].wal_records, 88u);
+  EXPECT_EQ(back.status->replicas[0].checkpoints, 2u);
+  EXPECT_EQ(back.status->replicas[1].state, ReplicaState::kDown);
+  EXPECT_EQ(back.status->replicas[1].incarnation, 3u);
+  EXPECT_EQ(back.status->replicas[1].recovered_wal, 17u);
+}
+
+TEST(AdminCodec, ErrorResponseRoundTrips) {
+  AdminResponse resp;
+  resp.ok = false;
+  resp.error = "no such replica";
+  const AdminResponse back =
+      decode_admin_response(encode_admin_response(resp));
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.error, "no such replica");
+  EXPECT_FALSE(back.status.has_value());
+}
+
+TEST(AdminCodec, RejectsMalformedInput) {
+  EXPECT_THROW((void)decode_admin_request({}), wire::DecodeError);
+
+  std::vector<std::uint8_t> unknown_cmd = {9, 0};
+  EXPECT_THROW((void)decode_admin_request(unknown_cmd), wire::DecodeError);
+
+  std::vector<std::uint8_t> trailing =
+      encode_admin_request(AdminRequest{AdminCommand::kStatus, 0});
+  trailing.push_back(0xff);
+  EXPECT_THROW((void)decode_admin_request(trailing), wire::DecodeError);
+
+  std::vector<std::uint8_t> bad_status =
+      encode_admin_response(AdminResponse{});
+  bad_status[0] = 'X';
+  EXPECT_THROW((void)decode_admin_response(bad_status), wire::DecodeError);
+
+  std::vector<std::uint8_t> short_resp = {'O'};
+  EXPECT_THROW((void)decode_admin_response(short_resp), wire::DecodeError);
+}
+
+// ---- end-to-end crash recovery (ISSUE acceptance test) ------------------
+
+TEST(AlertServiceE2E, KillRestartMatchesNonReplicatedVerdicts) {
+  const ConditionPtr cond = threshold_condition();
+  const std::vector<Update> trace = make_trace(40);
+
+  for (FilterKind filter : {FilterKind::kAd1, FilterKind::kAd4}) {
+    const std::string tag =
+        std::string(filter_kind_name(filter));
+    SCOPED_TRACE(tag);
+
+    ServiceConfig cfg;
+    cfg.condition = cond;
+    cfg.num_replicas = 2;
+    cfg.filter = filter;
+    cfg.data_dir = fresh_dir("e2e_" + tag);
+    cfg.checkpoint_every = 4;
+    cfg.record_journal = true;
+    cfg.auto_restart = false;
+    cfg.poll_interval = 5ms;
+    AlertService svc{cfg};
+    const std::vector<std::uint16_t> ports = svc.replica_ports();
+
+    net::UdpSocket udp{0};
+    for (std::size_t k = 0; k < trace.size(); ++k) {
+      if (k == 15) svc.kill_replica(1);   // crash mid-stream
+      if (k == 25) svc.restart_replica(1);  // rejoin from checkpoint+WAL
+      send_frame(udp, ports, wire::encode_update(trace[k]));
+      // Pace the stream so live replicas keep up in lockstep; the AD-4
+      // verdict comparison assumes no cross-replica alert reordering.
+      std::this_thread::sleep_for(2ms);
+    }
+    deliver_ends(udp, svc, ports);
+    ASSERT_TRUE(svc.await_idle(80ms, 5s));
+    svc.drain();
+
+    // The killed replica restarted once and demonstrably lost stream.
+    EXPECT_EQ(svc.replica_restarts(1), 1u);
+    std::vector<std::vector<Update>> journals = {svc.replica_journal(0),
+                                                 svc.replica_journal(1)};
+    ASSERT_EQ(journals[0].size(), trace.size())
+        << "surviving replica must have seen the whole stream";
+    EXPECT_LT(journals[1].size(), trace.size())
+        << "killed replica must have missed its downtime window";
+    EXPECT_GT(journals[1].size(), 0u);
+
+    const std::vector<Alert> displayed = svc.displayed();
+    ASSERT_FALSE(displayed.empty());
+
+    check::SystemRun run;
+    run.condition = cond;
+    run.ce_inputs = journals;
+    run.displayed = displayed;
+    const check::PropertyReport replicated = check::check_run(run);
+    const check::PropertyReport reference =
+        reference_verdicts(cond, filter, trace);
+
+    // The acceptance bar: replication + crash + recovery must be
+    // invisible to the paper's exact property checkers.
+    EXPECT_EQ(replicated.complete, reference.complete);
+    EXPECT_EQ(replicated.consistent, reference.consistent);
+    EXPECT_EQ(replicated.ordered, check::Verdict::kHolds);
+    EXPECT_EQ(reference.ordered, check::Verdict::kHolds);
+    // For a threshold condition both filters guarantee these outright.
+    EXPECT_EQ(replicated.complete, check::Verdict::kHolds);
+    EXPECT_EQ(replicated.consistent, check::Verdict::kHolds);
+
+    std::filesystem::remove_all(cfg.data_dir);
+  }
+}
+
+// ---- subscribers --------------------------------------------------------
+
+TEST(AlertService, SubscriberReceivesEveryDisplayedAlertFramed) {
+  ServiceConfig cfg;
+  cfg.condition = threshold_condition();
+  cfg.num_replicas = 1;
+  cfg.filter = FilterKind::kAd1;
+  cfg.data_dir = fresh_dir("subscriber");
+  cfg.auto_restart = false;
+  cfg.poll_interval = 5ms;
+  AlertService svc{cfg};
+
+  net::TcpStream sub = net::TcpStream::connect(svc.subscriber_port());
+  // The acceptor polls at 50ms; wait until the service has the fan-out
+  // registered before feeding, so no alert misses the subscriber.
+  for (int i = 0; i < 100 && svc.status().subscribers == 0; ++i)
+    std::this_thread::sleep_for(10ms);
+  ASSERT_EQ(svc.status().subscribers, 1u);
+
+  const std::vector<Update> trace = make_trace(20);
+  const std::vector<std::uint16_t> ports = svc.replica_ports();
+  net::UdpSocket udp{0};
+  for (const Update& u : trace) send_frame(udp, ports, wire::encode_update(u));
+  deliver_ends(udp, svc, ports);
+  ASSERT_TRUE(svc.await_idle(80ms, 5s));
+  svc.drain();  // closes subscriber connections -> EOF below
+
+  const std::vector<Alert> displayed = svc.displayed();
+  ASSERT_FALSE(displayed.empty());
+
+  wire::FrameCursor cursor;
+  std::vector<Alert> received;
+  for (;;) {
+    const auto chunk = sub.read_some(2s);
+    ASSERT_TRUE(chunk.has_value()) << "subscriber read timed out";
+    if (chunk->empty()) break;  // EOF
+    cursor.feed(*chunk);
+    while (auto payload = cursor.next())
+      received.push_back(wire::decode_alert(*payload).alert);
+  }
+  ASSERT_EQ(received.size(), displayed.size());
+  for (std::size_t i = 0; i < received.size(); ++i)
+    EXPECT_EQ(received[i].key(), displayed[i].key());
+}
+
+// ---- durable END markers ------------------------------------------------
+
+TEST(AlertService, EndMarkersSurviveWholeServiceRestart) {
+  const auto dir = fresh_dir("ends");
+  ServiceConfig cfg;
+  cfg.condition = threshold_condition();
+  cfg.num_replicas = 1;
+  cfg.data_dir = dir;
+  cfg.auto_restart = false;
+  cfg.poll_interval = 5ms;
+  {
+    AlertService svc{cfg};
+    net::UdpSocket udp{0};
+    deliver_ends(udp, svc, svc.replica_ports());
+    svc.drain();
+  }
+  AlertService revived{cfg};
+  // Loaded from ends.log before any datagram arrives.
+  EXPECT_TRUE(revived.await_dm_ends(1, 0ms));
+  revived.drain();
+  std::filesystem::remove_all(dir);
+}
+
+// ---- admin protocol over a live socket ----------------------------------
+
+AdminResponse admin_exchange(net::TcpStream& conn, const AdminRequest& req) {
+  conn.write_all(wire::frame(encode_admin_request(req)));
+  wire::FrameCursor cursor;
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  for (;;) {
+    if (auto payload = cursor.next())
+      return decode_admin_response(*payload);
+    if (std::chrono::steady_clock::now() > deadline)
+      throw std::runtime_error("admin response timed out");
+    const auto chunk = conn.read_some(1s);
+    if (chunk && chunk->empty())
+      throw std::runtime_error("admin connection closed");
+    if (chunk) cursor.feed(*chunk);
+  }
+}
+
+TEST(AlertService, AdminProtocolDrivesReplicaLifecycle) {
+  ServiceConfig cfg;
+  cfg.condition = threshold_condition();
+  cfg.num_replicas = 2;
+  cfg.data_dir = fresh_dir("admin");
+  cfg.auto_restart = false;
+  cfg.poll_interval = 5ms;
+  AlertService svc{cfg};
+
+  net::TcpStream conn = net::TcpStream::connect(svc.admin_port());
+
+  AdminResponse resp =
+      admin_exchange(conn, AdminRequest{AdminCommand::kStatus, 0});
+  ASSERT_TRUE(resp.ok);
+  ASSERT_TRUE(resp.status.has_value());
+  ASSERT_EQ(resp.status->replicas.size(), 2u);
+  EXPECT_EQ(resp.status->replicas[0].state, ReplicaState::kRunning);
+  EXPECT_EQ(resp.status->replicas[1].state, ReplicaState::kRunning);
+  EXPECT_EQ(resp.status->replicas[0].port, svc.replica_port(0));
+  EXPECT_EQ(resp.status->replicas[1].port, svc.replica_port(1));
+
+  resp = admin_exchange(conn, AdminRequest{AdminCommand::kKill, 1});
+  ASSERT_TRUE(resp.ok);
+  resp = admin_exchange(conn, AdminRequest{AdminCommand::kStatus, 0});
+  ASSERT_TRUE(resp.ok && resp.status);
+  EXPECT_EQ(resp.status->replicas[1].state, ReplicaState::kDown);
+
+  resp = admin_exchange(conn, AdminRequest{AdminCommand::kRestart, 1});
+  ASSERT_TRUE(resp.ok);
+  resp = admin_exchange(conn, AdminRequest{AdminCommand::kStatus, 0});
+  ASSERT_TRUE(resp.ok && resp.status);
+  EXPECT_EQ(resp.status->replicas[1].state, ReplicaState::kRunning);
+  EXPECT_EQ(resp.status->replicas[1].incarnation, 2u);
+
+  resp = admin_exchange(conn, AdminRequest{AdminCommand::kCheckpoint, 0});
+  EXPECT_TRUE(resp.ok);
+
+  // Out-of-range replica comes back as a protocol error, not a crash.
+  resp = admin_exchange(conn, AdminRequest{AdminCommand::kKill, 9});
+  EXPECT_FALSE(resp.ok);
+  EXPECT_FALSE(resp.error.empty());
+
+  EXPECT_FALSE(svc.drain_requested());
+  resp = admin_exchange(conn, AdminRequest{AdminCommand::kDrain, 0});
+  ASSERT_TRUE(resp.ok);
+  EXPECT_TRUE(svc.await_drain_request(2s));
+  svc.drain();
+  std::filesystem::remove_all(cfg.data_dir);
+}
+
+// ---- duplicate-delivery idempotence -------------------------------------
+
+TEST(AlertService, RestartedServiceDropsDuplicateStream) {
+  const auto dir = fresh_dir("dup");
+  ServiceConfig cfg;
+  cfg.condition = threshold_condition();
+  cfg.num_replicas = 1;
+  cfg.data_dir = dir;
+  cfg.record_journal = true;
+  cfg.auto_restart = false;
+  cfg.poll_interval = 5ms;
+  const std::vector<Update> trace = make_trace(16);
+
+  std::vector<Alert> first_displayed;
+  {
+    AlertService svc{cfg};
+    net::UdpSocket udp{0};
+    for (const Update& u : trace)
+      send_frame(udp, svc.replica_ports(), wire::encode_update(u));
+    deliver_ends(udp, svc, svc.replica_ports());
+    ASSERT_TRUE(svc.await_idle(80ms, 5s));
+    svc.drain();
+    first_displayed = svc.displayed();
+    ASSERT_EQ(svc.replica_journal(0).size(), trace.size());
+  }
+  {
+    // Same data dir: the durable watermarks must reject the entire
+    // replayed stream, journaling nothing and displaying nothing new.
+    AlertService svc{cfg};
+    net::UdpSocket udp{0};
+    for (const Update& u : trace)
+      send_frame(udp, svc.replica_ports(), wire::encode_update(u));
+    ASSERT_TRUE(svc.await_idle(80ms, 5s));
+    svc.drain();
+    EXPECT_TRUE(svc.displayed().empty());
+    EXPECT_EQ(svc.replica_journal(0).size(), trace.size());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rcm::service
