@@ -1,0 +1,46 @@
+# bench_smoke.cmake — run one bench binary with tiny iteration counts and
+# validate that the JSON artifact it emits actually parses. Invoked by the
+# `bench_smoke`-labelled ctest entries (see bench/CMakeLists.txt) as
+#
+#   cmake -DBENCH_EXE=... -DBENCH_ARGS="--runs 10" -DBENCH_JSON=...
+#         -DBENCH_WORKDIR=... -P bench_smoke.cmake
+#
+# Fails (FATAL_ERROR) if the binary exits nonzero, writes no artifact, or
+# writes an artifact that is not valid JSON.
+if(NOT DEFINED BENCH_EXE OR NOT DEFINED BENCH_JSON OR NOT DEFINED BENCH_WORKDIR)
+  message(FATAL_ERROR "bench_smoke: BENCH_EXE, BENCH_JSON and BENCH_WORKDIR are required")
+endif()
+
+separate_arguments(bench_args NATIVE_COMMAND "${BENCH_ARGS}")
+
+file(MAKE_DIRECTORY "${BENCH_WORKDIR}")
+file(REMOVE "${BENCH_JSON}")
+
+execute_process(
+  COMMAND "${BENCH_EXE}" ${bench_args}
+  WORKING_DIRECTORY "${BENCH_WORKDIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE run_output
+  ERROR_VARIABLE run_output)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR
+    "bench_smoke: ${BENCH_EXE} ${BENCH_ARGS} exited ${exit_code}\n${run_output}")
+endif()
+
+if(NOT EXISTS "${BENCH_JSON}")
+  message(FATAL_ERROR
+    "bench_smoke: ${BENCH_EXE} did not write ${BENCH_JSON}\n${run_output}")
+endif()
+
+file(READ "${BENCH_JSON}" json_content)
+string(JSON root_type ERROR_VARIABLE json_error TYPE "${json_content}")
+if(json_error)
+  message(FATAL_ERROR
+    "bench_smoke: ${BENCH_JSON} is not valid JSON: ${json_error}")
+endif()
+if(NOT root_type STREQUAL "OBJECT")
+  message(FATAL_ERROR
+    "bench_smoke: ${BENCH_JSON} root is ${root_type}, expected OBJECT")
+endif()
+
+message(STATUS "bench_smoke: ${BENCH_JSON} ok (${root_type})")

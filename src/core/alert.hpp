@@ -43,6 +43,12 @@ struct Alert {
   std::string cond;
   std::map<VarId, std::vector<Update>> histories;
 
+  /// Observability correlation id (rcm::obs::trace) of the update that
+  /// triggered this alert. NOT part of the alert's identity: excluded
+  /// from key(), checksum(), operator== and the wire encodings, so
+  /// tracing can never perturb filter decisions or run digests.
+  std::uint64_t trace_id = 0;
+
   /// a.seqno.x of the paper: the sequence number of the last v-update
   /// received when the alert was triggered, i.e. H_v[0].seqno.
   /// Precondition: v is in `histories` and its window is non-empty.

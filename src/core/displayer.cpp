@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rcm {
 
@@ -20,11 +21,32 @@ AlertDisplayer::AlertDisplayer(FilterPtr filter,
 }
 
 bool AlertDisplayer::on_alert(const Alert& a) {
+  // Filter verdicts are a hop of the alert's end-to-end trace: adopt the
+  // alert's trace id for the span recorded below.
+  obs::trace::ContextScope tscope{
+      obs::trace::TraceContext{a.trace_id, 0}};
+  RCM_TRACE_SPAN(span, "ad.filter");
+
   arrived_.push_back(a);
-  if (!filter_->offer(a)) {
+  const FilterDecision decision = filter_->decide(a);
+  span.reason(decision.reason);
+
+  AlertProvenance prov;
+  prov.arrival_index = arrived_.size() - 1;
+  prov.trace_id = a.trace_id;
+  prov.cond = a.cond;
+  for (const auto& [var, window] : a.histories)
+    for (const Update& u : window) prov.triggers.emplace_back(var, u.seqno);
+  prov.filter = std::string{filter_->name()};
+  prov.displayed = decision.accept;
+  prov.reason = decision.reason;
+  provenance_.push_back(std::move(prov));
+
+  if (!decision.accept) {
     if (suppressed_metric_) suppressed_metric_->inc();
     return false;
   }
+  filter_->record(a);
   if (passed_metric_) passed_metric_->inc();
   displayed_.push_back(a);
   if (sink_) sink_(a);
@@ -34,6 +56,7 @@ bool AlertDisplayer::on_alert(const Alert& a) {
 void AlertDisplayer::reset() {
   arrived_.clear();
   displayed_.clear();
+  provenance_.clear();
   filter_->reset();
 }
 

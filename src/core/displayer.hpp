@@ -3,9 +3,12 @@
 // and delivers the surviving alerts to the end user (a sink callback).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/alert.hpp"
@@ -16,6 +19,23 @@ class Counter;
 }  // namespace rcm::obs
 
 namespace rcm {
+
+/// Provenance of one AD arrival: which (var, seq) updates triggered the
+/// alert, which filter judged it, and the verdict with its reason. One
+/// record per arrival (displayed or suppressed), in arrival order — the
+/// "why was/wasn't this alert shown" audit trail the swarm fuzzer checks
+/// against the journal invariants.
+struct AlertProvenance {
+  std::size_t arrival_index = 0;     ///< position in arrived()
+  std::uint64_t trace_id = 0;        ///< Alert::trace_id (0 if untraced)
+  std::string cond;                  ///< condition name
+  /// The triggering updates: every (var, seqno) in the alert's history
+  /// windows, i.e. the flattened AlertKey signature.
+  std::vector<std::pair<VarId, SeqNo>> triggers;
+  std::string filter;                ///< judging filter ("AD-4", ...)
+  bool displayed = false;
+  const char* reason = "";           ///< FilterDecision reason (literal)
+};
 
 /// One Alert Displayer instance. Thread-compatible (externally
 /// synchronized); the threaded runtime wraps it in an actor with a queue.
@@ -46,6 +66,13 @@ class AlertDisplayer {
     return arrived_.size() - displayed_.size();
   }
 
+  /// One provenance record per arrival, in arrival order (parallel to
+  /// arrived()).
+  [[nodiscard]] const std::vector<AlertProvenance>& provenance()
+      const noexcept {
+    return provenance_;
+  }
+
   [[nodiscard]] const AlertFilter& filter() const noexcept { return *filter_; }
 
   /// Clears collected sequences and resets the filter.
@@ -56,6 +83,7 @@ class AlertDisplayer {
   std::function<void(const Alert&)> sink_;
   std::vector<Alert> arrived_;
   std::vector<Alert> displayed_;
+  std::vector<AlertProvenance> provenance_;
   // Per-AD-kind pass/suppress counters (obs layer); null when metrics
   // are compiled out.
   obs::Counter* passed_metric_ = nullptr;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rcm {
 
@@ -24,6 +25,8 @@ bool ConditionEvaluator::would_accept(const Update& u) const {
 std::optional<Alert> ConditionEvaluator::on_update(const Update& u) {
   if (!would_accept(u)) return std::nullopt;
   RCM_COUNT("evaluator.updates_processed");
+  RCM_TRACE_SPAN(span, "ce.evaluate");
+  span.var(u.var).seq(u.seqno);
   last_seen_[u.var] = u.seqno;
   received_.push_back(u);
   histories_.push(u);
@@ -31,6 +34,9 @@ std::optional<Alert> ConditionEvaluator::on_update(const Update& u) {
   if (!cond_->evaluate(histories_)) return std::nullopt;
   RCM_COUNT("evaluator.alerts_raised");
   Alert a = make_alert(std::string{cond_->name()}, histories_);
+  // The alert inherits the trace of the update that triggered it (set by
+  // the ingest path's ContextScope); a zero id means untraced.
+  a.trace_id = obs::trace::current_context().trace_id;
   emitted_.push_back(a);
   return a;
 }

@@ -6,6 +6,25 @@
 
 namespace rcm {
 
+namespace {
+
+// Shared verdict literals so composite filters (AD-4, AD-6) report the
+// same reason as the sub-filter that fired. Keep these in sync with the
+// decide() implementations below; provenance records store the pointers.
+constexpr const char* kAccepted = "accepted";
+constexpr const char* kDuplicate =
+    "duplicate: identical history set already displayed";
+constexpr const char* kOutOfOrder =
+    "out-of-order: seqno not above last displayed";
+constexpr const char* kInconsistent =
+    "inconsistent: contradicts the received/missed ledger";
+constexpr const char* kMultiInversion =
+    "out-of-order: would invert display order in a variable";
+constexpr const char* kMultiDuplicate =
+    "duplicate: equals the last display in every variable";
+
+}  // namespace
+
 // ----------------------------------------------------------- trivial ----
 
 std::string_view PassAllFilter::name() const noexcept { return "pass"; }
@@ -15,6 +34,11 @@ std::string_view DropAllFilter::name() const noexcept { return "drop"; }
 
 bool Ad1DuplicateFilter::accepts(const Alert& a) const {
   return seen_.count(a.key()) == 0;
+}
+
+FilterDecision Ad1DuplicateFilter::decide(const Alert& a) const {
+  return accepts(a) ? FilterDecision{true, kAccepted}
+                    : FilterDecision{false, kDuplicate};
 }
 
 void Ad1DuplicateFilter::record(const Alert& a) { seen_.insert(a.key()); }
@@ -27,6 +51,11 @@ void Ad1DuplicateFilter::reset() { seen_.clear(); }
 
 bool Ad2OrderedFilter::accepts(const Alert& a) const {
   return a.seqno(var_) > last_;
+}
+
+FilterDecision Ad2OrderedFilter::decide(const Alert& a) const {
+  return accepts(a) ? FilterDecision{true, kAccepted}
+                    : FilterDecision{false, kOutOfOrder};
 }
 
 void Ad2OrderedFilter::record(const Alert& a) { last_ = a.seqno(var_); }
@@ -92,6 +121,12 @@ bool Ad3ConsistentFilter::accepts(const Alert& a) const {
   return !ledger_.conflicts(a);
 }
 
+FilterDecision Ad3ConsistentFilter::decide(const Alert& a) const {
+  if (seen_.count(a.key())) return {false, kDuplicate};
+  if (ledger_.conflicts(a)) return {false, kInconsistent};
+  return {true, kAccepted};
+}
+
 void Ad3ConsistentFilter::record(const Alert& a) {
   seen_.insert(a.key());
   ledger_.update(a);
@@ -108,6 +143,12 @@ void Ad3ConsistentFilter::reset() {
 
 bool Ad4OrderedConsistentFilter::accepts(const Alert& a) const {
   return ad2_.accepts(a) && ad3_.accepts(a);
+}
+
+FilterDecision Ad4OrderedConsistentFilter::decide(const Alert& a) const {
+  const FilterDecision d2 = ad2_.decide(a);
+  if (!d2.accept) return d2;
+  return ad3_.decide(a);
 }
 
 void Ad4OrderedConsistentFilter::record(const Alert& a) {
@@ -144,6 +185,18 @@ bool Ad5MultiOrderedFilter::accepts(const Alert& a) const {
   return !all_equal;  // equal in every variable == duplicate
 }
 
+FilterDecision Ad5MultiOrderedFilter::decide(const Alert& a) const {
+  bool all_equal = true;
+  for (VarId v : vars_) {
+    const SeqNo s = a.seqno(v);
+    const SeqNo last = last_.at(v);
+    if (s < last) return {false, kMultiInversion};
+    if (s != last) all_equal = false;
+  }
+  if (all_equal) return {false, kMultiDuplicate};
+  return {true, kAccepted};
+}
+
 void Ad5MultiOrderedFilter::record(const Alert& a) {
   for (VarId v : vars_) last_[v] = a.seqno(v);
 }
@@ -165,6 +218,14 @@ Ad6MultiOrderedConsistentFilter::Ad6MultiOrderedConsistentFilter(
 bool Ad6MultiOrderedConsistentFilter::accepts(const Alert& a) const {
   if (seen_.count(a.key())) return false;
   return ad5_.accepts(a) && !ledger_.conflicts(a);
+}
+
+FilterDecision Ad6MultiOrderedConsistentFilter::decide(const Alert& a) const {
+  if (seen_.count(a.key())) return {false, kDuplicate};
+  const FilterDecision d5 = ad5_.decide(a);
+  if (!d5.accept) return d5;
+  if (ledger_.conflicts(a)) return {false, kInconsistent};
+  return {true, kAccepted};
 }
 
 void Ad6MultiOrderedConsistentFilter::record(const Alert& a) {
@@ -190,6 +251,13 @@ bool BrokenAd2Filter::accepts(const Alert& a) const {
   // sequence number and discards anything <=. This variant forgot the
   // holdback entirely; it only absorbs an immediate exact repeat.
   return !last_ || a.key() != *last_;
+}
+
+FilterDecision BrokenAd2Filter::decide(const Alert& a) const {
+  return accepts(a)
+             ? FilterDecision{true, kAccepted}
+             : FilterDecision{false,
+                              "duplicate: immediate repeat of last display"};
 }
 
 void BrokenAd2Filter::record(const Alert& a) { last_ = a.key(); }

@@ -37,6 +37,14 @@
 
 namespace rcm {
 
+/// A filter verdict with the reason behind it, feeding the alert
+/// provenance records (core/displayer.hpp). `reason` is always a string
+/// literal so verdicts are allocation-free and safe to keep forever.
+struct FilterDecision {
+  bool accept = true;
+  const char* reason = "accepted";
+};
+
 /// Interface of an AD filtering algorithm.
 class AlertFilter {
  public:
@@ -45,6 +53,15 @@ class AlertFilter {
   /// Would this alert be displayed, given the filter's current state?
   /// Pure: does not change state.
   [[nodiscard]] virtual bool accepts(const Alert& a) const = 0;
+
+  /// accepts() with a reason attached. Invariant (pinned by
+  /// tests/filters_test.cpp): decide(a).accept == accepts(a) in every
+  /// state. Filters override this to explain *which* test failed; the
+  /// default wraps accepts() with generic reasons.
+  [[nodiscard]] virtual FilterDecision decide(const Alert& a) const {
+    return accepts(a) ? FilterDecision{true, "accepted"}
+                      : FilterDecision{false, "suppressed"};
+  }
 
   /// Transitions the state as if `a` had been displayed. Precondition:
   /// accepts(a) is true (composite filters depend on this).
@@ -87,6 +104,9 @@ class PassAllFilter final : public AlertFilter {
 class DropAllFilter final : public AlertFilter {
  public:
   [[nodiscard]] bool accepts(const Alert&) const override { return false; }
+  [[nodiscard]] FilterDecision decide(const Alert&) const override {
+    return {false, "drop-all: this filter displays nothing"};
+  }
   void record(const Alert&) override {}
   [[nodiscard]] std::string_view name() const noexcept override;
   void reset() override {}
@@ -98,6 +118,7 @@ class DropAllFilter final : public AlertFilter {
 class Ad1DuplicateFilter final : public AlertFilter {
  public:
   [[nodiscard]] bool accepts(const Alert& a) const override;
+  [[nodiscard]] FilterDecision decide(const Alert& a) const override;
   void record(const Alert& a) override;
   [[nodiscard]] std::string_view name() const noexcept override;
   void reset() override;
@@ -115,6 +136,7 @@ class Ad2OrderedFilter final : public AlertFilter {
   explicit Ad2OrderedFilter(VarId var) : var_(var) {}
 
   [[nodiscard]] bool accepts(const Alert& a) const override;
+  [[nodiscard]] FilterDecision decide(const Alert& a) const override;
   void record(const Alert& a) override;
   [[nodiscard]] std::string_view name() const noexcept override;
   void reset() override;
@@ -155,6 +177,7 @@ class ReceivedMissedLedger {
 class Ad3ConsistentFilter final : public AlertFilter {
  public:
   [[nodiscard]] bool accepts(const Alert& a) const override;
+  [[nodiscard]] FilterDecision decide(const Alert& a) const override;
   void record(const Alert& a) override;
   [[nodiscard]] std::string_view name() const noexcept override;
   void reset() override;
@@ -172,6 +195,7 @@ class Ad4OrderedConsistentFilter final : public AlertFilter {
   explicit Ad4OrderedConsistentFilter(VarId var) : ad2_(var) {}
 
   [[nodiscard]] bool accepts(const Alert& a) const override;
+  [[nodiscard]] FilterDecision decide(const Alert& a) const override;
   void record(const Alert& a) override;
   [[nodiscard]] std::string_view name() const noexcept override;
   void reset() override;
@@ -190,6 +214,7 @@ class Ad5MultiOrderedFilter final : public AlertFilter {
   explicit Ad5MultiOrderedFilter(std::vector<VarId> vars);
 
   [[nodiscard]] bool accepts(const Alert& a) const override;
+  [[nodiscard]] FilterDecision decide(const Alert& a) const override;
   void record(const Alert& a) override;
   [[nodiscard]] std::string_view name() const noexcept override;
   void reset() override;
@@ -207,6 +232,7 @@ class Ad6MultiOrderedConsistentFilter final : public AlertFilter {
   explicit Ad6MultiOrderedConsistentFilter(std::vector<VarId> vars);
 
   [[nodiscard]] bool accepts(const Alert& a) const override;
+  [[nodiscard]] FilterDecision decide(const Alert& a) const override;
   void record(const Alert& a) override;
   [[nodiscard]] std::string_view name() const noexcept override;
   void reset() override;
@@ -227,6 +253,7 @@ class Ad6MultiOrderedConsistentFilter final : public AlertFilter {
 class BrokenAd2Filter final : public AlertFilter {
  public:
   [[nodiscard]] bool accepts(const Alert& a) const override;
+  [[nodiscard]] FilterDecision decide(const Alert& a) const override;
   void record(const Alert& a) override;
   [[nodiscard]] std::string_view name() const noexcept override;
   void reset() override;

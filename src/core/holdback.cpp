@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rcm {
 
@@ -80,6 +81,9 @@ std::optional<double> HoldbackDisplayer::next_deadline() const {
 
 void HoldbackDisplayer::display(const Alert& a) {
   const SeqNo s = a.seqno(var_);
+  obs::trace::ContextScope tscope{obs::trace::TraceContext{a.trace_id, 0}};
+  RCM_TRACE_SPAN(span, "holdback.release");
+  span.var(var_).seq(s);
   if (s < last_displayed_) ++late_;
   last_displayed_ = std::max(last_displayed_, s);
   displayed_.push_back(a);

@@ -11,6 +11,8 @@
 #include "core/displayer.hpp"
 #include "core/evaluator.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/queue.hpp"
 #include "util/rng.hpp"
 #include "wire/codec.hpp"
@@ -126,6 +128,7 @@ sim::RunResult run_networked(const NetworkConfig& config) {
           if (std::chrono::steady_clock::now() - last_traffic >
               end_timeout) {
             ++end_timeouts;
+            RCM_COUNT("net.ce.end_timeouts");
             break;
           }
           continue;
@@ -137,14 +140,20 @@ sim::RunResult run_networked(const NetworkConfig& config) {
             if (*dm < config.dm_traces.size()) dm_ends.insert(*dm);
             continue;
           }
-          Update update;
+          wire::UpdateMessage msg;
           try {
-            update = wire::decode_update(*payload);
+            msg = wire::decode_update_message(*payload);
           } catch (const wire::DecodeError&) {
             ++corrupt_frames;
             continue;
           }
-          if (auto alert = evaluators[c]->on_update(update)) {
+          // Adopt the sender's trace context for this hop; the alert (if
+          // any) inherits the trace id inside the evaluator.
+          obs::trace::ContextScope tscope{msg.trace};
+          RCM_TRACE_SPAN(ingest_span, "ce.ingest");
+          ingest_span.var(msg.update.var).seq(msg.update.seqno);
+          if (auto alert = evaluators[c]->on_update(msg.update)) {
+            RCM_TRACE_SPAN(fanout_span, "ce.alert_send");
             to_ad.write_all(wire::frame(wire::encode_alert(
                 *alert, wire::AlertEncoding::kFullHistories)));
           }
@@ -208,7 +217,15 @@ sim::RunResult run_networked(const NetworkConfig& config) {
       util::Rng rng = dm_rngs[d];
       for (const trace::TimedUpdate& tu : config.dm_traces[d]) {
         sleep_until_trace_time(tu.time, config.time_scale, start);
-        const auto framed = wire::frame(wire::encode_update(tu.update));
+        // Allocate the per-update trace context here, at the source: a
+        // deterministic function of (var, seqno), carried on the wire.
+        const obs::trace::TraceContext ctx{
+            obs::trace::derive_trace_id(tu.update.var, tu.update.seqno), 0};
+        obs::trace::ContextScope tscope{ctx};
+        RCM_TRACE_SPAN(emit_span, "dm.emit");
+        emit_span.var(tu.update.var).seq(tu.update.seqno);
+        const auto framed = wire::frame(wire::encode_update(
+            tu.update, obs::trace::current_context()));
         for (auto& ce_socket : ce_sockets) {
           if (rng.bernoulli(config.front_loss)) {
             ++front_drops;

@@ -1,0 +1,317 @@
+#include "obs/trace.hpp"
+
+#if RCM_TRACING_ENABLED
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace rcm::obs::trace {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+thread_local TraceContext t_context{};
+
+std::uint64_t now_ns() noexcept {
+  // Relative to a process epoch so exported timestamps stay small.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+// One ring slot. Fields are individually atomic (relaxed) so a reader
+// racing the single producer copies torn-free values; the `version`
+// seqlock (odd = write in progress) tells the reader whether the copy
+// is a consistent record.
+struct Slot {
+  std::atomic<std::uint32_t> version{0};
+  std::atomic<std::uint64_t> trace_id{0};
+  std::atomic<std::uint64_t> span_id{0};
+  std::atomic<std::uint64_t> parent_id{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<const char*> reason{nullptr};
+  std::atomic<std::int64_t> var{-1};
+  std::atomic<std::int64_t> seq{0};
+  std::atomic<std::uint64_t> start_ns{0};
+  std::atomic<std::uint64_t> dur_ns{0};
+};
+
+struct ThreadRing {
+  explicit ThreadRing(std::uint32_t tid_in) : tid(tid_in) {}
+
+  std::uint32_t tid;
+  std::unique_ptr<Slot[]> slots{new Slot[kRingCapacity]};
+  // Total spans ever pushed; slot index is head % capacity. Written by
+  // the producer, read by export.
+  std::atomic<std::uint64_t> head{0};
+  std::mutex name_mutex;
+  std::string name;
+
+  void push(std::uint64_t trace_id, std::uint64_t span_id,
+            std::uint64_t parent_id, const char* name_lit,
+            const char* reason_lit, std::int64_t var, std::int64_t seq,
+            std::uint64_t start_ns, std::uint64_t dur_ns) noexcept {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    Slot& s = slots[h % kRingCapacity];
+    const std::uint32_t v = s.version.load(std::memory_order_relaxed);
+    s.version.store(v + 1, std::memory_order_release);  // odd: in progress
+    s.trace_id.store(trace_id, std::memory_order_relaxed);
+    s.span_id.store(span_id, std::memory_order_relaxed);
+    s.parent_id.store(parent_id, std::memory_order_relaxed);
+    s.name.store(name_lit, std::memory_order_relaxed);
+    s.reason.store(reason_lit, std::memory_order_relaxed);
+    s.var.store(var, std::memory_order_relaxed);
+    s.seq.store(seq, std::memory_order_relaxed);
+    s.start_ns.store(start_ns, std::memory_order_relaxed);
+    s.dur_ns.store(dur_ns, std::memory_order_relaxed);
+    s.version.store(v + 2, std::memory_order_release);  // even: stable
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  /// Copies every stable slot into `out` (unordered). A slot being
+  /// written concurrently is skipped, never torn.
+  void snapshot(std::vector<SpanRecord>& out) const {
+    const std::uint64_t h = head.load(std::memory_order_acquire);
+    const std::uint64_t n = std::min<std::uint64_t>(h, kRingCapacity);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Slot& s = slots[i];
+      const std::uint32_t v1 = s.version.load(std::memory_order_acquire);
+      if (v1 == 0 || (v1 & 1u) != 0) continue;
+      SpanRecord r;
+      r.trace_id = s.trace_id.load(std::memory_order_relaxed);
+      r.span_id = s.span_id.load(std::memory_order_relaxed);
+      r.parent_id = s.parent_id.load(std::memory_order_relaxed);
+      r.name = s.name.load(std::memory_order_relaxed);
+      r.reason = s.reason.load(std::memory_order_relaxed);
+      r.var = s.var.load(std::memory_order_relaxed);
+      r.seq = s.seq.load(std::memory_order_relaxed);
+      r.start_ns = s.start_ns.load(std::memory_order_relaxed);
+      r.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+      r.tid = tid;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.version.load(std::memory_order_relaxed) != v1) continue;
+      if (r.name == nullptr) continue;
+      out.push_back(r);
+    }
+  }
+
+  void reset() noexcept {
+    // Quiescent-point operation (bench phase boundaries, tests): mark
+    // every slot unwritten and rewind the counter.
+    for (std::size_t i = 0; i < kRingCapacity; ++i) {
+      slots[i].version.store(0, std::memory_order_relaxed);
+      slots[i].name.store(nullptr, std::memory_order_relaxed);
+    }
+    head.store(0, std::memory_order_release);
+  }
+};
+
+struct Registry {
+  std::mutex mutex;
+  // Every ring ever created; exited threads' rings stay here (their
+  // spans remain exportable) until a new thread recycles them.
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  std::vector<std::shared_ptr<ThreadRing>> free_rings;
+  std::uint32_t next_tid = 1;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // immortal: threads may outlive main
+  return *r;
+}
+
+std::shared_ptr<ThreadRing> acquire_ring() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (!reg.free_rings.empty()) {
+    std::shared_ptr<ThreadRing> ring = std::move(reg.free_rings.back());
+    reg.free_rings.pop_back();
+    ring->reset();
+    {
+      std::lock_guard<std::mutex> nl(ring->name_mutex);
+      ring->name.clear();
+    }
+    return ring;
+  }
+  auto ring = std::make_shared<ThreadRing>(reg.next_tid++);
+  reg.rings.push_back(ring);
+  return ring;
+}
+
+// Lazily binds a ring to the thread on first recorded span and returns
+// it to the free list on thread exit.
+struct RingHolder {
+  std::shared_ptr<ThreadRing> ring;
+
+  ~RingHolder() {
+    if (!ring) return;
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.free_rings.push_back(std::move(ring));
+  }
+};
+
+ThreadRing& local_ring() {
+  thread_local RingHolder holder;
+  if (!holder.ring) holder.ring = acquire_ring();
+  return *holder.ring;
+}
+
+void append_event_json(std::string& out, const SpanRecord& r) {
+  char buf[320];
+  // Complete ("X") event; ts/dur in microseconds as Chrome expects.
+  const double ts_us = static_cast<double>(r.start_ns) / 1000.0;
+  const double dur_us = static_cast<double>(r.dur_ns) / 1000.0;
+  int n = std::snprintf(
+      buf, sizeof(buf),
+      "{\"name\": \"%s\", \"cat\": \"rcm\", \"ph\": \"X\", "
+      "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %" PRIu32
+      ", \"args\": {\"trace_id\": \"%016" PRIx64 "\", \"span_id\": %" PRIu64
+      ", \"parent_id\": %" PRIu64,
+      r.name, ts_us, dur_us, r.tid, r.trace_id, r.span_id, r.parent_id);
+  out.append(buf, static_cast<std::size_t>(n));
+  if (r.var >= 0) {
+    n = std::snprintf(buf, sizeof(buf),
+                      ", \"var\": %" PRId64 ", \"seq\": %" PRId64, r.var,
+                      r.seq);
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  if (r.reason != nullptr) {
+    out += ", \"reason\": \"";
+    out += r.reason;  // reasons are fixed literals, no escaping needed
+    out += '"';
+  }
+  out += "}}";
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+const TraceContext& current_context() noexcept { return t_context; }
+
+void set_current_context(const TraceContext& ctx) noexcept {
+  t_context = ctx;
+}
+
+ContextScope::ContextScope(const TraceContext& ctx) noexcept
+    : saved_(t_context) {
+  t_context = ctx;
+}
+
+ContextScope::~ContextScope() { t_context = saved_; }
+
+void set_thread_name(const std::string& name) {
+  if (!enabled()) return;
+  ThreadRing& ring = local_ring();
+  std::lock_guard<std::mutex> lock(ring.name_mutex);
+  ring.name = name;
+}
+
+Span::Span(const char* name) noexcept : active_(enabled()), name_(name) {
+  if (!active_) return;
+  span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  start_ns_ = now_ns();
+  prev_ = t_context;
+  t_context.span_id = span_id_;  // children of this span nest under it
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::uint64_t end_ns = now_ns();
+  t_context = prev_;
+  local_ring().push(prev_.trace_id, span_id_, prev_.span_id, name_, reason_,
+                    var_, seq_, start_ns_,
+                    end_ns > start_ns_ ? end_ns - start_ns_ : 0);
+}
+
+std::uint64_t total_spans() noexcept {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::uint64_t total = 0;
+  for (const auto& ring : reg.rings) {
+    total += ring->head.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+void clear() noexcept {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& ring : reg.rings) ring->reset();
+}
+
+std::string export_chrome_json(std::size_t max_bytes) {
+  std::vector<SpanRecord> records;
+  std::vector<std::pair<std::uint32_t, std::string>> names;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto& ring : reg.rings) {
+      ring->snapshot(records);
+      std::lock_guard<std::mutex> nl(ring->name_mutex);
+      if (!ring->name.empty()) names.emplace_back(ring->tid, ring->name);
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns < b.start_ns;
+            });
+
+  std::string events;
+  events.reserve(records.size() * 180);
+  bool truncated = false;
+  // Newest spans win under a byte budget: walk backwards, prepending.
+  std::vector<std::string> chunks;
+  std::size_t used = 0;
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    std::string one;
+    append_event_json(one, *it);
+    if (max_bytes > 0 && used + one.size() + 2 > max_bytes) {
+      truncated = true;
+      break;
+    }
+    used += one.size() + 2;
+    chunks.push_back(std::move(one));
+  }
+  for (auto it = chunks.rbegin(); it != chunks.rend(); ++it) {
+    if (!events.empty()) events += ",\n";
+    events += *it;
+  }
+  for (const auto& [tid, name] : names) {
+    char buf[160];
+    const int n = std::snprintf(
+        buf, sizeof(buf),
+        "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"tid\": %" PRIu32 ", \"args\": {\"name\": \"%s\"}}",
+        tid, name.c_str());
+    if (n < 0 || static_cast<std::size_t>(n) >= sizeof(buf)) continue;
+    if (!events.empty()) events += ",\n";
+    events.append(buf, static_cast<std::size_t>(n));
+  }
+
+  std::string out = "{\"displayTimeUnit\": \"ns\",\n";
+  if (truncated) out += "\"truncated\": true,\n";
+  out += "\"traceEvents\": [\n";
+  out += events;
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace rcm::obs::trace
+
+#endif  // RCM_TRACING_ENABLED

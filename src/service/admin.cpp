@@ -8,11 +8,17 @@ namespace {
 constexpr std::uint8_t kOk = 0x4f;     // 'O'
 constexpr std::uint8_t kError = 0x45;  // 'E'
 
+// Bulk response bodies (metrics snapshots, trace dumps) must still fit
+// in one CRC frame (wire::kMaxFramePayload, 1 MiB) together with the
+// response envelope.
+constexpr std::size_t kMaxBodyBytes = 1u << 20;
+
 void encode_status(wire::Writer& w, const ServiceStatus& s) {
   w.varint(s.ingested_datagrams);
   w.varint(s.displayed);
   w.varint(s.subscribers);
   w.varint(s.dm_ends);
+  w.varint(s.end_timeouts);
   w.varint(s.replicas.size());
   for (const ReplicaStatus& r : s.replicas) {
     w.u8(static_cast<std::uint8_t>(r.state));
@@ -31,6 +37,7 @@ ServiceStatus decode_status(wire::Reader& r) {
   s.displayed = r.varint();
   s.subscribers = r.varint();
   s.dm_ends = r.varint();
+  s.end_timeouts = r.varint();
   const std::uint64_t n = r.varint();
   if (n > 4096) throw wire::DecodeError("admin status: replica count");
   s.replicas.reserve(n);
@@ -66,7 +73,7 @@ AdminRequest decode_admin_request(std::span<const std::uint8_t> payload) {
   wire::Reader r{payload};
   AdminRequest req;
   const std::uint8_t cmd = r.u8();
-  if (cmd > static_cast<std::uint8_t>(AdminCommand::kDrain))
+  if (cmd > static_cast<std::uint8_t>(AdminCommand::kTraceDump))
     throw wire::DecodeError("admin request: unknown command");
   req.command = static_cast<AdminCommand>(cmd);
   req.replica = r.varint();
@@ -80,6 +87,8 @@ std::vector<std::uint8_t> encode_admin_response(const AdminResponse& resp) {
   w.string(resp.error);
   w.u8(resp.status.has_value() ? 1 : 0);
   if (resp.status) encode_status(w, *resp.status);
+  w.u8(resp.body.has_value() ? 1 : 0);
+  if (resp.body) w.string(*resp.body);
   return w.take();
 }
 
@@ -99,6 +108,9 @@ AdminResponse decode_admin_response(std::span<const std::uint8_t> payload) {
   if (has_status > 1)
     throw wire::DecodeError("admin response: bad status flag");
   if (has_status == 1) resp.status = decode_status(r);
+  const std::uint8_t has_body = r.u8();
+  if (has_body > 1) throw wire::DecodeError("admin response: bad body flag");
+  if (has_body == 1) resp.body = r.string(kMaxBodyBytes);
   r.expect_done();
   return resp;
 }

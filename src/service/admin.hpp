@@ -10,9 +10,16 @@
 //               | string(error)                    (empty when ok)
 //               | u8(has_status)
 //               | service-status                   (when has_status = 1)
+//               | u8(has_body)
+//               | string(body)                     (when has_body = 1)
+//
+// `body` carries bulk text payloads: the live metrics snapshot
+// (kMetrics) and the Chrome trace JSON (kTraceDump).
 //
 // The codec is symmetric and exhaustive so rcm_service_client, the
 // tests, and the fuzz harness all speak exactly the same bytes.
+// Unknown commands are decode errors by design (see docs/SERVICE.md,
+// "Admin protocol"): there is exactly one deployed version at a time.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +37,8 @@ enum class AdminCommand : std::uint8_t {
   kRestart = 2,     ///< restart replica `replica` now, skipping backoff
   kCheckpoint = 3,  ///< ask replica `replica` to checkpoint (async)
   kDrain = 4,       ///< request graceful shutdown of the whole service
+  kMetrics = 5,     ///< live obs::registry().snapshot_json() in `body`
+  kTraceDump = 6,   ///< Chrome trace_event JSON export in `body`
 };
 
 /// One admin request.
@@ -61,14 +70,20 @@ struct ServiceStatus {
   std::uint64_t displayed = 0;    ///< alerts passed by the AD filter
   std::uint64_t subscribers = 0;  ///< live alert subscriber connections
   std::uint64_t dm_ends = 0;      ///< distinct DM END markers seen
+  /// CE receive loops that gave up waiting for END markers (process-wide
+  /// obs counter `net.ce.end_timeouts`; 0 under -DRCM_NO_METRICS).
+  std::uint64_t end_timeouts = 0;
   std::vector<ReplicaStatus> replicas;
 };
 
-/// One admin response. `status` is present for kStatus requests.
+/// One admin response. `status` is present for kStatus requests; `body`
+/// for kMetrics (JSON metrics snapshot) and kTraceDump (Chrome trace
+/// JSON).
 struct AdminResponse {
   bool ok = true;
   std::string error;  ///< non-empty iff !ok
   std::optional<ServiceStatus> status;
+  std::optional<std::string> body;
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode_admin_request(

@@ -6,6 +6,7 @@
 
 #include "net/deployment.hpp"  // encode_end_marker / decode_end_marker
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "wire/buffer.hpp"
 #include "wire/frame.hpp"
 
@@ -14,6 +15,10 @@ namespace {
 
 constexpr std::chrono::milliseconds kAcceptPoll{50};
 constexpr std::chrono::milliseconds kMonitorTick{5};
+
+// trace-dump bodies ride in one admin response frame; leave headroom
+// under wire::kMaxFramePayload (1 MiB) for the response envelope.
+constexpr std::size_t kTraceDumpBudget = 900u * 1024;
 
 }  // namespace
 
@@ -197,6 +202,7 @@ void AlertService::worker_loop(std::size_t index,
                                std::shared_ptr<WorkerControl> ctl,
                                std::unique_ptr<net::UdpSocket> socket) {
   ReplicaSlot& slot = *slots_[index];
+  obs::trace::set_thread_name("replica-" + std::to_string(index));
   try {
     // Recover durable state FIRST, then (re)bind: once the port is open
     // we must be ready to accept, and the stable port is what lets a
@@ -227,14 +233,19 @@ void AlertService::worker_loop(std::size_t index,
           note_dm_end(*dm);
           continue;
         }
-        Update u;
+        wire::UpdateMessage msg;
         try {
-          u = wire::decode_update(*payload);
+          msg = wire::decode_update_message(*payload);
         } catch (const wire::DecodeError&) {
           RCM_COUNT("service.ingest.corrupt_frames");
           continue;
         }
-        if (auto alert = replica.on_update(u)) {
+        // Adopt the DM's trace context for this update's hops (ingest →
+        // WAL → evaluate); the raised alert carries the trace id onward.
+        obs::trace::ContextScope tscope{msg.trace};
+        RCM_TRACE_SPAN(ingest_span, "service.ingest");
+        ingest_span.var(msg.update.var).seq(msg.update.seqno);
+        if (auto alert = replica.on_update(msg.update)) {
           RCM_COUNT("service.alerts.raised");
           alert_queue_.push(std::move(*alert));
         }
@@ -256,7 +267,12 @@ void AlertService::worker_loop(std::size_t index,
 // ---- display + fan-out -------------------------------------------------
 
 void AlertService::displayer_loop() {
+  obs::trace::set_thread_name("ad");
   while (auto a = alert_queue_.pop()) {
+    // Re-enter the alert's trace on this side of the queue; the
+    // displayer records the filter-verdict span itself.
+    obs::trace::ContextScope tscope{
+        obs::trace::TraceContext{a->trace_id, 0}};
     bool shown;
     {
       std::lock_guard g{display_mutex_};
@@ -271,6 +287,7 @@ void AlertService::displayer_loop() {
 
 void AlertService::fanout(const Alert& a) {
   RCM_SCOPED_TIMER(timer, "service.fanout.seconds");
+  RCM_TRACE_SPAN(span, "service.fanout");
   const auto framed =
       wire::frame(wire::encode_alert(a, config_.subscriber_encoding));
   std::lock_guard g{subscriber_mutex_};
@@ -348,11 +365,18 @@ AdminResponse AlertService::dispatch_admin(
         drain_request_cv_.notify_all();
         break;
       }
+      case AdminCommand::kMetrics:
+        resp.body = obs::registry().snapshot_json();
+        break;
+      case AdminCommand::kTraceDump:
+        resp.body = obs::trace::export_chrome_json(kTraceDumpBudget);
+        break;
     }
   } catch (const std::exception& e) {
     resp.ok = false;
     resp.error = e.what();
     resp.status.reset();
+    resp.body.reset();
   }
   return resp;
 }
@@ -369,6 +393,11 @@ ServiceStatus AlertService::status() {
     std::lock_guard g{ends_mutex_};
     s.dm_ends = dm_ends_.size();
   }
+#if RCM_METRICS_ENABLED
+  // Process-wide END-timeout count (satellite of the obs layer): covers
+  // every CE loop in this process, not just this service instance.
+  s.end_timeouts = obs::registry().counter("net.ce.end_timeouts").value();
+#endif
   std::lock_guard g{lifecycle_mutex_};
   for (const auto& slot : slots_) {
     ReplicaStatus rs;
@@ -501,6 +530,11 @@ bool AlertService::await_idle(std::chrono::milliseconds idle,
 std::vector<Alert> AlertService::displayed() const {
   std::lock_guard g{display_mutex_};
   return displayer_.displayed();
+}
+
+std::vector<AlertProvenance> AlertService::provenance() const {
+  std::lock_guard g{display_mutex_};
+  return displayer_.provenance();
 }
 
 std::vector<Update> AlertService::replica_journal(std::size_t i) const {

@@ -135,6 +135,9 @@ class AlertService {
   // ---- instrumentation (tests / checkers) ------------------------------
   /// Snapshot of the displayed-alert sequence so far.
   [[nodiscard]] std::vector<Alert> displayed() const;
+  /// Snapshot of the AD provenance records so far (one per arrival:
+  /// triggering (var, seq) updates, judging filter, verdict + reason).
+  [[nodiscard]] std::vector<AlertProvenance> provenance() const;
   /// Replica `i`'s full accepted-update journal across incarnations
   /// (requires record_journal).
   [[nodiscard]] std::vector<Update> replica_journal(std::size_t i) const;

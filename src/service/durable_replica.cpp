@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "wire/frame.hpp"
 #include "wire/snapshot.hpp"
 
@@ -105,7 +106,11 @@ std::optional<Alert> DurableReplica::on_update(const Update& u) {
     RCM_COUNT("service.ingest.stale_dropped");
     return std::nullopt;
   }
-  wal_->append(u);
+  {
+    RCM_TRACE_SPAN(span, "wal.append");
+    span.var(u.var).seq(u.seqno);
+    wal_->append(u);
+  }
   RCM_COUNT("service.wal.appends");
   if (journal_) journal_->append(u);
   std::optional<Alert> alert = ce_.on_update(u);

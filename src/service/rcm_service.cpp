@@ -11,6 +11,7 @@
 #include <exception>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "service/alert_service.hpp"
 #include "swarm/spec.hpp"
 #include "util/args.hpp"
@@ -52,6 +53,9 @@ int main(int argc, char** argv) {
                 "do not restart killed replicas automatically");
   args.add_flag("duration", "0",
                 "seconds to serve before draining (0 = until admin drain)");
+  args.add_flag("no-tracing", "false",
+                "disable rcm::obs::trace span recording (admin trace-dump "
+                "will be empty)");
 
   if (!args.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", args.error().c_str(),
@@ -64,6 +68,10 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Live service default: traceable. The rings are fixed-size and the
+    // hot-path cost is one ring write per span (bench/trace_overhead).
+    obs::trace::set_enabled(!args.get_bool("no-tracing"));
+
     service::ServiceConfig config;
     config.condition = swarm::build_condition(
         parse_condition_kind(args.get("condition")),

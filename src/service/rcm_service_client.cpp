@@ -1,18 +1,26 @@
 // rcm_service_client — companion tool for rcm_service: admin commands,
 // a synthetic DM feeder, and an alert subscriber.
 //
-//   rcm_service_client --cmd status   --admin-port P
+//   rcm_service_client --cmd status   --admin-port P [--json]
 //   rcm_service_client --cmd kill     --admin-port P --replica 1
 //   rcm_service_client --cmd restart  --admin-port P --replica 1
 //   rcm_service_client --cmd checkpoint --admin-port P --replica 0
 //   rcm_service_client --cmd drain    --admin-port P
+//   rcm_service_client --cmd metrics  --admin-port P
+//   rcm_service_client --cmd trace-dump --admin-port P [--out trace.json]
 //   rcm_service_client --cmd feed     --ports P1,P2 --updates 1000 --seed 7
 //   rcm_service_client --cmd subscribe --sub-port P
+//
+// `metrics` prints the service's live obs registry snapshot (JSON);
+// `trace-dump` fetches the Chrome trace_event export — load the file in
+// chrome://tracing or https://ui.perfetto.dev. `--json` makes `status`
+// machine-readable for CI and the swarm fuzzer.
 //
 // Exit codes: 0 = ok, 1 = service reported an error, 2 = usage/IO error.
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -20,6 +28,7 @@
 
 #include "net/deployment.hpp"
 #include "net/socket.hpp"
+#include "obs/trace.hpp"
 #include "service/admin.hpp"
 #include "trace/generators.hpp"
 #include "util/args.hpp"
@@ -62,11 +71,12 @@ service::AdminResponse admin_exchange(std::uint16_t port,
 
 void print_status(const service::ServiceStatus& s) {
   std::printf("datagrams in: %llu   displayed: %llu   subscribers: %llu   "
-              "dm-ends: %llu\n",
+              "dm-ends: %llu   end-timeouts: %llu\n",
               static_cast<unsigned long long>(s.ingested_datagrams),
               static_cast<unsigned long long>(s.displayed),
               static_cast<unsigned long long>(s.subscribers),
-              static_cast<unsigned long long>(s.dm_ends));
+              static_cast<unsigned long long>(s.dm_ends),
+              static_cast<unsigned long long>(s.end_timeouts));
   for (std::size_t i = 0; i < s.replicas.size(); ++i) {
     const service::ReplicaStatus& r = s.replicas[i];
     std::printf("replica %zu: %s  port %u  incarnation %llu  accepted %llu  "
@@ -82,8 +92,37 @@ void print_status(const service::ServiceStatus& s) {
   }
 }
 
+// One status line as a JSON object, stable keys, for scraping.
+void print_status_json(const service::ServiceStatus& s) {
+  std::printf("{\"ingested_datagrams\": %llu, \"displayed\": %llu, "
+              "\"subscribers\": %llu, \"dm_ends\": %llu, "
+              "\"end_timeouts\": %llu, \"replicas\": [",
+              static_cast<unsigned long long>(s.ingested_datagrams),
+              static_cast<unsigned long long>(s.displayed),
+              static_cast<unsigned long long>(s.subscribers),
+              static_cast<unsigned long long>(s.dm_ends),
+              static_cast<unsigned long long>(s.end_timeouts));
+  for (std::size_t i = 0; i < s.replicas.size(); ++i) {
+    const service::ReplicaStatus& r = s.replicas[i];
+    std::printf("%s{\"index\": %zu, \"state\": \"%s\", \"port\": %u, "
+                "\"incarnation\": %llu, \"accepted\": %llu, "
+                "\"wal_records\": %llu, \"checkpoints\": %llu, "
+                "\"recovered_wal\": %llu}",
+                i == 0 ? "" : ", ", i,
+                r.state == service::ReplicaState::kRunning ? "running"
+                                                           : "down",
+                r.port, static_cast<unsigned long long>(r.incarnation),
+                static_cast<unsigned long long>(r.accepted),
+                static_cast<unsigned long long>(r.wal_records),
+                static_cast<unsigned long long>(r.checkpoints),
+                static_cast<unsigned long long>(r.recovered_wal));
+  }
+  std::printf("]}\n");
+}
+
 int run_admin(service::AdminCommand command, std::uint16_t port,
-              std::uint64_t replica) {
+              std::uint64_t replica, bool json,
+              const std::string& out_path) {
   service::AdminRequest req;
   req.command = command;
   req.replica = replica;
@@ -92,8 +131,26 @@ int run_admin(service::AdminCommand command, std::uint16_t port,
     std::fprintf(stderr, "service error: %s\n", resp.error.c_str());
     return 1;
   }
-  if (resp.status) print_status(*resp.status);
-  else std::printf("ok\n");
+  if (resp.status) {
+    if (json) print_status_json(*resp.status);
+    else print_status(*resp.status);
+  } else if (resp.body) {
+    if (out_path.empty()) {
+      std::fputs(resp.body->c_str(), stdout);
+    } else {
+      std::ofstream out{out_path, std::ios::binary | std::ios::trunc};
+      if (!out.is_open()) {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        return 2;
+      }
+      out.write(resp.body->data(),
+                static_cast<std::streamsize>(resp.body->size()));
+      std::fprintf(stderr, "wrote %zu bytes to %s\n", resp.body->size(),
+                   out_path.c_str());
+    }
+  } else {
+    std::printf("ok\n");
+  }
   return 0;
 }
 
@@ -117,7 +174,11 @@ int run_feed(const std::vector<std::uint16_t>& ports, std::size_t updates,
                      static_cast<long long>(1e6 / rate)}
                : std::chrono::microseconds{0};
   for (const trace::TimedUpdate& tu : t) {
-    const auto framed = wire::frame(wire::encode_update(tu.update));
+    // Attach the deterministic trace context at the source so a
+    // subsequent `--cmd trace-dump` correlates spans across the service.
+    const obs::trace::TraceContext ctx{
+        obs::trace::derive_trace_id(tu.update.var, tu.update.seqno), 0};
+    const auto framed = wire::frame(wire::encode_update(tu.update, ctx));
     for (const std::uint16_t p : ports) socket.send_to(p, framed);
     if (gap.count() > 0) std::this_thread::sleep_for(gap);
   }
@@ -156,10 +217,12 @@ int run_subscribe(std::uint16_t port) {
 int main(int argc, char** argv) {
   util::Args args;
   args.add_flag("cmd", "status",
-                "status | kill | restart | checkpoint | drain | feed | "
-                "subscribe");
+                "status | kill | restart | checkpoint | drain | metrics | "
+                "trace-dump | feed | subscribe");
   args.add_flag("admin-port", "0", "service admin TCP port");
   args.add_flag("replica", "0", "target replica for kill/restart/checkpoint");
+  args.add_flag("json", "false", "machine-readable status output");
+  args.add_flag("out", "", "write metrics/trace-dump body to this file");
   args.add_flag("ports", "", "comma-separated replica UDP ports (feed)");
   args.add_flag("updates", "1000", "updates to feed");
   args.add_flag("seed", "1", "feeder RNG seed");
@@ -181,17 +244,29 @@ int main(int argc, char** argv) {
     const auto admin_port =
         static_cast<std::uint16_t>(args.get_int("admin-port"));
     const auto replica = static_cast<std::uint64_t>(args.get_int("replica"));
+    const bool json = args.get_bool("json");
+    const std::string out = args.get("out");
     if (cmd == "status")
-      return run_admin(service::AdminCommand::kStatus, admin_port, replica);
+      return run_admin(service::AdminCommand::kStatus, admin_port, replica,
+                       json, out);
     if (cmd == "kill")
-      return run_admin(service::AdminCommand::kKill, admin_port, replica);
+      return run_admin(service::AdminCommand::kKill, admin_port, replica,
+                       json, out);
     if (cmd == "restart")
-      return run_admin(service::AdminCommand::kRestart, admin_port, replica);
+      return run_admin(service::AdminCommand::kRestart, admin_port, replica,
+                       json, out);
     if (cmd == "checkpoint")
       return run_admin(service::AdminCommand::kCheckpoint, admin_port,
-                       replica);
+                       replica, json, out);
     if (cmd == "drain")
-      return run_admin(service::AdminCommand::kDrain, admin_port, replica);
+      return run_admin(service::AdminCommand::kDrain, admin_port, replica,
+                       json, out);
+    if (cmd == "metrics")
+      return run_admin(service::AdminCommand::kMetrics, admin_port, replica,
+                       json, out);
+    if (cmd == "trace-dump")
+      return run_admin(service::AdminCommand::kTraceDump, admin_port,
+                       replica, json, out);
     if (cmd == "feed")
       return run_feed(parse_ports(args.get("ports")),
                       static_cast<std::size_t>(args.get_int("updates")),

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "check/properties.hpp"
+#include "core/displayer.hpp"
 #include "core/evaluator.hpp"
 #include "exp/table_experiment.hpp"
 #include "net/deployment.hpp"
@@ -136,11 +137,10 @@ void send_ignoring_errors(net::UdpSocket& socket, std::uint16_t port,
 }
 
 /// One violation list for one executed plan; empty = clean.
-std::vector<std::string> check_run(const RunPlan& plan,
-                                   const std::vector<Update>& sent,
-                                   std::vector<std::vector<Update>> journals,
-                                   std::vector<Alert> displayed,
-                                   std::size_t kills) {
+std::vector<std::string> check_run(
+    const RunPlan& plan, const std::vector<Update>& sent,
+    std::vector<std::vector<Update>> journals, std::vector<Alert> displayed,
+    const std::vector<AlertProvenance>& provenance, std::size_t kills) {
   std::vector<std::string> violations;
   const ConditionPtr condition =
       build_condition(plan.choice.kind, plan.choice.param);
@@ -188,6 +188,57 @@ std::vector<std::string> check_run(const RunPlan& plan,
     if (!raised.contains(a.key())) {
       violations.push_back("displayed alert no replica raised: " +
                            a.key().cond);
+      break;
+    }
+  }
+
+  // Invariant 3: provenance records stay consistent with the journal
+  // invariants — every displayed alert has exactly one displayed=true
+  // record (in order) whose triggering (var, seq) updates all appear in
+  // at least one replica journal, i.e. provenance never names an update
+  // the durable layer does not know about.
+  std::set<std::pair<VarId, SeqNo>> journaled;
+  for (const auto& journal : journals)
+    for (const Update& u : journal) journaled.emplace(u.var, u.seqno);
+  std::vector<const AlertProvenance*> shown;
+  for (const AlertProvenance& p : provenance)
+    if (p.displayed) shown.push_back(&p);
+  if (shown.size() != displayed.size()) {
+    std::ostringstream out;
+    out << "provenance shows " << shown.size() << " displayed record(s) but "
+        << displayed.size() << " alert(s) were displayed";
+    violations.push_back(out.str());
+  } else {
+    for (std::size_t k = 0; k < displayed.size(); ++k) {
+      const AlertProvenance& p = *shown[k];
+      std::vector<std::pair<VarId, SeqNo>> expect;
+      for (const auto& [var, seqs] : displayed[k].key().signature)
+        for (SeqNo s : seqs) expect.emplace_back(var, s);
+      if (p.cond != displayed[k].cond || p.triggers != expect) {
+        std::ostringstream out;
+        out << "provenance record " << p.arrival_index
+            << " does not match displayed alert " << k << " ("
+            << displayed[k].cond << ")";
+        violations.push_back(out.str());
+        break;
+      }
+      bool unjournaled = false;
+      for (const auto& trig : p.triggers)
+        if (!journaled.contains(trig)) unjournaled = true;
+      if (unjournaled) {
+        std::ostringstream out;
+        out << "provenance of displayed alert " << k
+            << " names a trigger absent from every replica journal";
+        violations.push_back(out.str());
+        break;
+      }
+    }
+  }
+  for (const AlertProvenance& p : provenance) {
+    if (p.reason == nullptr || p.reason[0] == '\0' ||
+        p.filter != std::string(filter_kind_name(plan.filter))) {
+      violations.push_back("provenance record missing verdict reason or "
+                           "filter name");
       break;
     }
   }
@@ -262,6 +313,7 @@ ServiceFuzzReport run_service_fuzz(const ServiceFuzzOptions& options) {
     std::size_t kills_done = 0;
     std::vector<std::vector<Update>> journals;
     std::vector<Alert> displayed;
+    std::vector<AlertProvenance> provenance;
     std::size_t restarts = 0;
     {
       service::AlertService svc{std::move(config)};
@@ -317,6 +369,7 @@ ServiceFuzzReport run_service_fuzz(const ServiceFuzzOptions& options) {
       svc.drain();
 
       displayed = svc.displayed();
+      provenance = svc.provenance();
       for (std::size_t r = 0; r < plan.replicas; ++r) {
         journals.push_back(svc.replica_journal(r));
         restarts += svc.replica_restarts(r);
@@ -331,7 +384,7 @@ ServiceFuzzReport run_service_fuzz(const ServiceFuzzOptions& options) {
 
     const std::vector<std::string> violations = check_run(
         plan, plan.feed, std::move(journals), std::move(displayed),
-        kills_done);
+        provenance, kills_done);
     if (options.verbose) {
       std::printf("service-fuzz run %zu: %zu updates, %zu kill(s), "
                   "%zu restart(s)%s\n",

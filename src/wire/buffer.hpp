@@ -72,6 +72,14 @@ class Reader {
   /// Reads a varint length then that many bytes. `max_len` guards against
   /// hostile lengths.
   [[nodiscard]] std::string string(std::size_t max_len = 4096);
+  /// Consumes the next `n` bytes and returns a view into the input (valid
+  /// while the underlying buffer lives).
+  [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t n) {
+    need(n);
+    auto out = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
 
   [[nodiscard]] std::size_t remaining() const noexcept {
     return bytes_.size() - pos_;

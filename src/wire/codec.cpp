@@ -12,6 +12,36 @@ constexpr std::uint8_t kAlertTag = 0x61;   // 'a'
 constexpr std::size_t kMaxVariables = 1024;
 constexpr std::size_t kMaxWindow = 4096;
 
+// Update-message extensions: after the fixed fields, any number of
+// `tag (u8) | varint payload-len | payload` blocks. Decoders skip tags
+// they don't know, which is what makes the trace context deployable
+// next to old binaries.
+constexpr std::uint8_t kTraceExtTag = 0x54;  // 'T'
+constexpr std::size_t kMaxExtensionLen = 256;
+
+UpdateMessage decode_update_impl(std::span<const std::uint8_t> bytes) {
+  Reader r{bytes};
+  if (r.u8() != kUpdateTag) throw DecodeError("not an update message");
+  UpdateMessage msg;
+  msg.update.var = static_cast<VarId>(r.varint());
+  msg.update.seqno = r.svarint();
+  msg.update.value = r.f64();
+  while (!r.done()) {
+    const std::uint8_t ext_tag = r.u8();
+    const std::uint64_t len = r.varint();
+    if (len > kMaxExtensionLen) throw DecodeError("oversized update extension");
+    const auto payload = r.bytes(static_cast<std::size_t>(len));
+    if (ext_tag == kTraceExtTag) {
+      Reader ext{payload};
+      msg.trace.trace_id = ext.varint();
+      msg.trace.span_id = ext.varint();
+      ext.expect_done();
+    }
+    // Unknown tags: skipped. Truncated extensions still throw (r.bytes).
+  }
+  return msg;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> encode_update(const Update& u) {
@@ -23,15 +53,30 @@ std::vector<std::uint8_t> encode_update(const Update& u) {
   return w.take();
 }
 
+std::vector<std::uint8_t> encode_update(const Update& u,
+                                        const obs::trace::TraceContext& ctx) {
+  Writer w;
+  w.u8(kUpdateTag);
+  w.varint(u.var);
+  w.svarint(u.seqno);
+  w.f64(u.value);
+  if (ctx.trace_id != 0) {
+    Writer ext;
+    ext.varint(ctx.trace_id);
+    ext.varint(ctx.span_id);
+    w.u8(kTraceExtTag);
+    w.varint(ext.size());
+    w.raw(ext.bytes());
+  }
+  return w.take();
+}
+
 Update decode_update(std::span<const std::uint8_t> bytes) {
-  Reader r{bytes};
-  if (r.u8() != kUpdateTag) throw DecodeError("not an update message");
-  Update u;
-  u.var = static_cast<VarId>(r.varint());
-  u.seqno = r.svarint();
-  u.value = r.f64();
-  r.expect_done();
-  return u;
+  return decode_update_impl(bytes).update;
+}
+
+UpdateMessage decode_update_message(std::span<const std::uint8_t> bytes) {
+  return decode_update_impl(bytes);
 }
 
 std::vector<std::uint8_t> encode_alert(const Alert& a,

@@ -25,6 +25,7 @@
 
 #include "core/alert.hpp"
 #include "core/types.hpp"
+#include "obs/trace.hpp"
 #include "wire/buffer.hpp"
 
 namespace rcm::wire {
@@ -39,8 +40,29 @@ enum class AlertEncoding : std::uint8_t {
 /// Encodes one data update.
 [[nodiscard]] std::vector<std::uint8_t> encode_update(const Update& u);
 
-/// Decodes one data update; throws DecodeError on malformed input.
+/// Encodes one data update carrying a trace context as a tagged
+/// extension. A zero trace id encodes byte-identically to the plain
+/// form, and decoders that predate extensions skip the tag unharmed
+/// (decode_update tolerates any trailing `tag | varint len | bytes`
+/// extension after the value).
+[[nodiscard]] std::vector<std::uint8_t> encode_update(
+    const Update& u, const obs::trace::TraceContext& ctx);
+
+/// Decodes one data update, skipping any tagged extensions; throws
+/// DecodeError on malformed input.
 [[nodiscard]] Update decode_update(std::span<const std::uint8_t> bytes);
+
+/// Result of decoding an update together with its extensions.
+struct UpdateMessage {
+  Update update;
+  /// Propagated trace context; zero ids when the sender attached none.
+  obs::trace::TraceContext trace;
+};
+
+/// Decodes one data update plus its trace-context extension (if
+/// present); throws DecodeError on malformed input.
+[[nodiscard]] UpdateMessage decode_update_message(
+    std::span<const std::uint8_t> bytes);
 
 /// Encodes one alert at the chosen fidelity.
 [[nodiscard]] std::vector<std::uint8_t> encode_alert(const Alert& a,

@@ -313,6 +313,92 @@ TEST(AlertDisplayer, ResetRestoresInitialState) {
   EXPECT_TRUE(ad.on_alert(alert1({1})));  // filter state reset too
 }
 
+// ---- decide(): verdicts with reasons (the provenance layer) -------------
+
+TEST(FilterDecide, AgreesWithAcceptsInEveryReachableState) {
+  // A stream with duplicates, reversals, and repeats. For every filter
+  // kind, decide(a).accept must equal accepts(a) at every step — the
+  // invariant the provenance records depend on.
+  std::vector<Alert> single;
+  for (SeqNo s : {1, 3, 2, 3, 5, 4, 5, 7, 6, 7})
+    single.push_back(alert1({s, s + 1}));
+  // AD-5/AD-6 read every variable of their set from each alert, so their
+  // stream carries both variables in every alert.
+  std::vector<Alert> multi;
+  for (SeqNo s : {1, 2, 2, 1, 4, 3, 4, 6, 5, 6})
+    multi.push_back(alert2(s, s + 1));
+
+  const struct {
+    FilterKind kind;
+    std::vector<VarId> vars;
+    const std::vector<Alert>* stream;
+  } cases[] = {
+      {FilterKind::kPassAll, {0}, &single},
+      {FilterKind::kDropAll, {0}, &single},
+      {FilterKind::kAd1, {0}, &single},
+      {FilterKind::kAd2, {0}, &single},
+      {FilterKind::kAd3, {0}, &single},
+      {FilterKind::kAd4, {0}, &single},
+      {FilterKind::kAd5, {0, 1}, &multi},
+      {FilterKind::kAd6, {0, 1}, &multi},
+      {FilterKind::kBrokenAd2, {0}, &single},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(filter_kind_name(c.kind));
+    FilterPtr f = make_filter(c.kind, c.vars);
+    for (const Alert& a : *c.stream) {
+      const FilterDecision d = f->decide(a);
+      EXPECT_EQ(d.accept, f->accepts(a));
+      ASSERT_NE(d.reason, nullptr);
+      EXPECT_FALSE(std::string_view{d.reason}.empty());
+      if (d.accept) EXPECT_EQ(std::string_view{d.reason}, "accepted");
+      (void)f->offer(a);
+    }
+  }
+}
+
+TEST(FilterDecide, ReasonsNameTheFailedTest) {
+  Ad1DuplicateFilter ad1;
+  ASSERT_TRUE(ad1.offer(alert1({2, 3})));
+  EXPECT_EQ(std::string_view{ad1.decide(alert1({2, 3})).reason},
+            "duplicate: identical history set already displayed");
+
+  Ad2OrderedFilter ad2{0};
+  ASSERT_TRUE(ad2.offer(alert1({5})));
+  EXPECT_EQ(std::string_view{ad2.decide(alert1({4})).reason},
+            "out-of-order: seqno not above last displayed");
+
+  DropAllFilter drop;
+  const FilterDecision d = drop.decide(alert1({1}));
+  EXPECT_FALSE(d.accept);
+  EXPECT_EQ(std::string_view{d.reason},
+            "drop-all: this filter displays nothing");
+}
+
+TEST(FilterDecide, CompositeAd4SurfacesTheSubFilterReason) {
+  // AD-4 = AD-2 then AD-3: an out-of-order arrival must carry AD-2's
+  // reason, not a generic composite verdict.
+  Ad4OrderedConsistentFilter ad4{0};
+  ASSERT_TRUE(ad4.offer(alert1({5})));
+  const FilterDecision d = ad4.decide(alert1({4}));
+  EXPECT_FALSE(d.accept);
+  EXPECT_EQ(std::string_view{d.reason},
+            "out-of-order: seqno not above last displayed");
+}
+
+TEST(FilterDecide, Ad5ReasonsDistinguishInversionFromDuplicate) {
+  Ad5MultiOrderedFilter ad5{{0, 1}};
+  ASSERT_TRUE(ad5.offer(alert2(2, 2)));
+  const FilterDecision inversion = ad5.decide(alert2(1, 3));
+  EXPECT_FALSE(inversion.accept);
+  EXPECT_EQ(std::string_view{inversion.reason},
+            "out-of-order: would invert display order in a variable");
+  const FilterDecision duplicate = ad5.decide(alert2(2, 2));
+  EXPECT_FALSE(duplicate.accept);
+  EXPECT_EQ(std::string_view{duplicate.reason},
+            "duplicate: equals the last display in every variable");
+}
+
 TEST(RunFilter, ReplaysInterleaving) {
   Ad2OrderedFilter f{0};
   const std::vector<Alert> arrivals = {alert1({2}), alert1({1}), alert1({3})};

@@ -147,6 +147,61 @@ TEST(HistogramTest, PercentileSpreadAndOverflow) {
   EXPECT_EQ(h.percentile(1.5), 12345.0);
 }
 
+TEST(HistogramTest, AllSamplesInOverflowBucket) {
+  Histogram h({1.0, 10.0});
+  // Every sample exceeds the largest bound, so every rank — not just the
+  // tail — resolves to the +inf bucket. The bucket has no upper bound to
+  // report, so every interior percentile must pin to the observed max
+  // rather than inventing a bound or reading past the bucket array.
+  h.record(50.0);
+  h.record(75.0);
+  h.record(99.0);
+  const std::vector<std::uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 3u);
+  EXPECT_EQ(h.percentile(0.0), 50.0);  // observed min, exact
+  EXPECT_EQ(h.percentile(0.50), 99.0);
+  EXPECT_EQ(h.percentile(0.99), 99.0);
+  EXPECT_EQ(h.percentile(1.0), 99.0);
+}
+
+TEST(HistogramTest, ResetDuringConcurrentRecordStaysCoherent) {
+  // reset() racing record() must never corrupt the histogram: after the
+  // writers finish, a final reset() must land it back at a pristine
+  // state, and mid-race snapshots must never see more bucket entries
+  // than records issued. (Counts may be torn *across* fields during the
+  // race — that is documented — but each atomic field stays valid.)
+  Histogram h({1.0, 2.0, 4.0});
+  constexpr std::size_t kWriters = 4;
+  constexpr std::size_t kPerThread = 5000;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (std::size_t t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&h] {
+      for (std::size_t i = 0; i < kPerThread; ++i)
+        h.record(static_cast<double>(i % 5));
+    });
+  }
+  for (int r = 0; r < 100; ++r) {
+    h.reset();
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t b : h.bucket_counts()) bucket_total += b;
+    EXPECT_LE(bucket_total, kWriters * kPerThread);
+  }
+  for (std::thread& t : writers) t.join();
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{0, 0, 0, 0}));
+  h.record(3.0);  // still fully usable
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.observed_min(), 3.0);
+  EXPECT_EQ(h.observed_max(), 3.0);
+}
+
 TEST(HistogramTest, ResetClearsEverything) {
   Histogram h({1.0, 10.0});
   h.record(3.0);

@@ -1,0 +1,225 @@
+// Tests for rcm::obs::trace: span recording, context propagation and
+// nesting, deterministic trace ids, ring wrap, concurrent export under a
+// live producer, and the Chrome trace_event JSON shape (including the
+// newest-wins byte budget). Every test is a no-op-but-compiles check
+// when the tracer is compiled out.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rcm::obs::trace {
+namespace {
+
+#if RCM_TRACING_ENABLED
+
+// Tests share the process-global tracer; serialize them through a
+// fixture that leaves it disabled and empty.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clear();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    clear();
+    set_current_context(TraceContext{});
+  }
+};
+
+TEST_F(TraceTest, DeriveTraceIdIsDeterministicAndNeverZero) {
+  static_assert(derive_trace_id(0, 0) == derive_trace_id(0, 0));
+  static_assert(derive_trace_id(0, 0) != 0);
+  EXPECT_EQ(derive_trace_id(3, 41), derive_trace_id(3, 41));
+  EXPECT_NE(derive_trace_id(3, 41), derive_trace_id(3, 42));
+  EXPECT_NE(derive_trace_id(3, 41), derive_trace_id(4, 41));
+  // var and seqno feed distinct hash words: (0, 1) must not collide
+  // with (1, 0).
+  EXPECT_NE(derive_trace_id(0, 1), derive_trace_id(1, 0));
+}
+
+TEST_F(TraceTest, SpanRecordsOnlyWhileEnabled) {
+  const std::uint64_t before = total_spans();
+  { RCM_TRACE_SPAN(span, "test.enabled"); }
+  EXPECT_EQ(total_spans(), before + 1);
+
+  set_enabled(false);
+  { RCM_TRACE_SPAN(span, "test.disabled"); }
+  EXPECT_EQ(total_spans(), before + 1);
+  EXPECT_EQ(export_chrome_json().find("test.disabled"), std::string::npos);
+}
+
+TEST_F(TraceTest, ContextScopeInstallsAndRestores) {
+  EXPECT_EQ(current_context(), TraceContext{});
+  {
+    ContextScope outer{TraceContext{7, 0}};
+    EXPECT_EQ(current_context().trace_id, 7u);
+    {
+      ContextScope inner{TraceContext{9, 3}};
+      EXPECT_EQ(current_context().trace_id, 9u);
+      EXPECT_EQ(current_context().span_id, 3u);
+    }
+    EXPECT_EQ(current_context().trace_id, 7u);
+  }
+  EXPECT_EQ(current_context(), TraceContext{});
+}
+
+TEST_F(TraceTest, NestedSpansFormAParentChain) {
+  const TraceContext ctx{derive_trace_id(1, 1), 0};
+  ContextScope scope{ctx};
+  {
+    RCM_TRACE_SPAN(parent, "test.parent");
+    // The open parent became the current context's span id, so a nested
+    // span must report it as parent (checked via the export below: both
+    // spans carry the same trace id).
+    EXPECT_EQ(current_context().trace_id, ctx.trace_id);
+    EXPECT_NE(current_context().span_id, 0u);
+    { RCM_TRACE_SPAN(child, "test.child"); }
+  }
+  const std::string json = export_chrome_json();
+  EXPECT_NE(json.find("\"test.parent\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.child\""), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, SpanCarriesVarSeqAndReason) {
+  {
+    RCM_TRACE_SPAN(span, "test.fields");
+    span.var(5).seq(12).reason("accepted");
+  }
+  const std::string json = export_chrome_json();
+  EXPECT_NE(json.find("\"test.fields\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"var\": 5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"seq\": 12"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"reason\": \"accepted\""), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, ClearDropsRecordedSpans) {
+  { RCM_TRACE_SPAN(span, "test.cleared"); }
+  EXPECT_GT(total_spans(), 0u);
+  clear();
+  EXPECT_EQ(total_spans(), 0u);
+  EXPECT_EQ(export_chrome_json().find("test.cleared"), std::string::npos);
+}
+
+TEST_F(TraceTest, RingWrapKeepsNewestSpans) {
+  for (std::size_t i = 0; i < kRingCapacity + 16; ++i) {
+    RCM_TRACE_SPAN(span, "test.wrap");
+    span.var(0).seq(static_cast<std::int64_t>(i));
+  }
+  // total_spans counts every record ever pushed; the ring retains only
+  // the newest kRingCapacity of them.
+  EXPECT_EQ(total_spans(), kRingCapacity + 16);
+  const std::string json = export_chrome_json();
+  const auto last_seq =
+      "\"seq\": " + std::to_string(kRingCapacity + 15);
+  EXPECT_NE(json.find(last_seq), std::string::npos);
+  EXPECT_EQ(json.find("\"seq\": 2}"), std::string::npos);  // overwritten
+}
+
+TEST_F(TraceTest, ExportIsChromeTraceShape) {
+  set_thread_name("trace-test");
+  {
+    ContextScope scope{TraceContext{derive_trace_id(2, 7), 0}};
+    RCM_TRACE_SPAN(span, "test.shape");
+  }
+  const std::string json = export_chrome_json();
+  EXPECT_EQ(json.find("{\"displayTimeUnit\""), 0u) << json;
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trace-test\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"truncated\""), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, ExportBudgetKeepsNewestAndMarksTruncation) {
+  for (int i = 0; i < 64; ++i) {
+    RCM_TRACE_SPAN(span, "test.budget");
+    span.var(0).seq(i);
+  }
+  const std::string json = export_chrome_json(1024);
+  EXPECT_LE(json.size(), 1024u + 256u);  // budget plus envelope slack
+  EXPECT_NE(json.find("\"truncated\": true"), std::string::npos) << json;
+  // Newest span survives the cut, the oldest does not.
+  EXPECT_NE(json.find("\"seq\": 63"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"seq\": 0}"), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, ExportWhileProducerRunsSeesOnlyWholeSpans) {
+  std::atomic<bool> stop{false};
+  std::thread producer{[&] {
+    set_thread_name("producer");
+    std::int64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      RCM_TRACE_SPAN(span, "test.live");
+      span.var(1).seq(i++).reason("accepted");
+    }
+  }};
+  // Concurrent dumps must stay well formed and never surface a torn
+  // record (a span with the right name but a garbage pointer would
+  // crash the exporter; mixed fields would fail the seqlock re-check).
+  for (int i = 0; i < 50; ++i) {
+    const std::string json = export_chrome_json();
+    EXPECT_EQ(json.find("(null)"), std::string::npos);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  }
+  stop.store(true);
+  producer.join();
+}
+
+TEST_F(TraceTest, SpansFromManyThreadsAllLand) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 100;
+  clear();
+  // Hold every worker at a barrier until all have bound their rings:
+  // otherwise a worker that finishes before the next one starts donates
+  // its ring to the free list and the counts collapse onto one ring
+  // (which is the recycling design working, but not what this test
+  // wants to observe).
+  std::atomic<std::size_t> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &ready] {
+      set_thread_name("worker-" + std::to_string(t));  // binds the ring
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      ContextScope scope{TraceContext{derive_trace_id(t, 0), 0}};
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        RCM_TRACE_SPAN(span, "test.multi");
+        span.seq(static_cast<std::int64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(total_spans(), kThreads * kPerThread);
+  const std::string json = export_chrome_json();
+  for (std::size_t t = 0; t < kThreads; ++t)
+    EXPECT_NE(json.find("worker-" + std::to_string(t)), std::string::npos);
+}
+
+#else  // RCM_TRACING_ENABLED
+
+TEST(TraceCompiledOutTest, ApiIsANoOp) {
+  set_enabled(true);
+  EXPECT_FALSE(enabled());
+  ContextScope scope{TraceContext{1, 2}};
+  {
+    RCM_TRACE_SPAN(span, "noop");
+    span.var(1).seq(2).reason("accepted");
+  }
+  EXPECT_EQ(total_spans(), 0u);
+  EXPECT_EQ(export_chrome_json(), "{\"traceEvents\": []}\n");
+}
+
+#endif  // RCM_TRACING_ENABLED
+
+}  // namespace
+}  // namespace rcm::obs::trace

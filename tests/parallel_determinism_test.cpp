@@ -11,6 +11,7 @@
 
 #include "exp/scenarios.hpp"
 #include "exp/table_experiment.hpp"
+#include "obs/trace.hpp"
 #include "swarm/swarm.hpp"
 #include "util/rng.hpp"
 
@@ -74,6 +75,30 @@ TEST(ParallelDeterminismTest, Jobs8MatchesSerialOn200Runs) {
     EXPECT_EQ(serial.indices[i], i);
 
   expect_identical(serial, parallel);
+}
+
+TEST(ParallelDeterminismTest, TracingOnLeavesDigestsBitIdentical) {
+  // Tracing observes, never participates: the same batch with span
+  // recording enabled must reproduce the tracing-off digests exactly,
+  // serial and parallel alike (trace ids are pure functions of
+  // (var, seqno), and alert identity excludes the trace id).
+  const BatchTrace off = run_batch(/*seed=*/7, /*runs=*/60, /*jobs=*/1);
+
+  obs::trace::clear();
+  obs::trace::set_enabled(true);
+  const BatchTrace on_serial = run_batch(/*seed=*/7, /*runs=*/60, /*jobs=*/1);
+  const BatchTrace on_parallel =
+      run_batch(/*seed=*/7, /*runs=*/60, /*jobs=*/4);
+  obs::trace::set_enabled(false);
+
+#if RCM_TRACING_ENABLED
+  EXPECT_GT(obs::trace::total_spans(), 0u)
+      << "the batch must actually have recorded spans";
+#endif
+  obs::trace::clear();
+
+  expect_identical(off, on_serial);
+  expect_identical(off, on_parallel);
 }
 
 TEST(ParallelDeterminismTest, OddJobCountsAgreeToo) {

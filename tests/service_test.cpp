@@ -6,8 +6,10 @@
 // the corresponding non-replicated run, for both AD-1 and AD-4.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <string_view>
 #include <system_error>
 #include <thread>
 #include <vector>
@@ -18,6 +20,7 @@
 #include "core/filters.hpp"
 #include "net/deployment.hpp"
 #include "net/socket.hpp"
+#include "obs/trace.hpp"
 #include "service/admin.hpp"
 #include "service/alert_service.hpp"
 #include "service/supervisor.hpp"
@@ -140,7 +143,8 @@ TEST(ReplicaSupervisor, RejectsDegeneratePolicies) {
 TEST(AdminCodec, RequestRoundTripsEveryCommand) {
   for (AdminCommand cmd :
        {AdminCommand::kStatus, AdminCommand::kKill, AdminCommand::kRestart,
-        AdminCommand::kCheckpoint, AdminCommand::kDrain}) {
+        AdminCommand::kCheckpoint, AdminCommand::kDrain,
+        AdminCommand::kMetrics, AdminCommand::kTraceDump}) {
     AdminRequest req;
     req.command = cmd;
     req.replica = 7;
@@ -190,6 +194,34 @@ TEST(AdminCodec, ResponseRoundTripsFullStatus) {
   EXPECT_EQ(back.status->replicas[1].state, ReplicaState::kDown);
   EXPECT_EQ(back.status->replicas[1].incarnation, 3u);
   EXPECT_EQ(back.status->replicas[1].recovered_wal, 17u);
+}
+
+TEST(AdminCodec, BodyResponseRoundTrips) {
+  AdminResponse resp;
+  resp.ok = true;
+  resp.body = "{\"counters\": {\"a\": 1}}";
+  const AdminResponse back =
+      decode_admin_response(encode_admin_response(resp));
+  ASSERT_TRUE(back.ok);
+  EXPECT_FALSE(back.status.has_value());
+  ASSERT_TRUE(back.body.has_value());
+  EXPECT_EQ(*back.body, "{\"counters\": {\"a\": 1}}");
+
+  // Absent body stays absent (the has_body flag round-trips).
+  AdminResponse plain;
+  plain.ok = true;
+  const AdminResponse plain_back =
+      decode_admin_response(encode_admin_response(plain));
+  EXPECT_TRUE(plain_back.ok);
+  EXPECT_FALSE(plain_back.body.has_value());
+}
+
+TEST(AdminCodec, RejectsOversizedBody) {
+  AdminResponse resp;
+  resp.ok = true;
+  resp.body = std::string((1u << 20) + 1, 'x');
+  EXPECT_THROW((void)decode_admin_response(encode_admin_response(resp)),
+               wire::DecodeError);
 }
 
 TEST(AdminCodec, ErrorResponseRoundTrips) {
@@ -428,6 +460,95 @@ TEST(AlertService, AdminProtocolDrivesReplicaLifecycle) {
   EXPECT_TRUE(svc.await_drain_request(2s));
   svc.drain();
   std::filesystem::remove_all(cfg.data_dir);
+}
+
+// ---- live telemetry + alert provenance ----------------------------------
+
+TEST(AlertService, MetricsTraceDumpAndProvenanceEndToEnd) {
+  obs::trace::clear();
+  obs::trace::set_enabled(true);
+
+  ServiceConfig cfg;
+  cfg.condition = threshold_condition();
+  cfg.num_replicas = 1;
+  cfg.filter = FilterKind::kAd1;
+  cfg.data_dir = fresh_dir("telemetry");
+  cfg.record_journal = true;
+  cfg.auto_restart = false;
+  cfg.poll_interval = 5ms;
+  AlertService svc{cfg};
+
+  // Feed with trace contexts attached, the way rcm_service_client does.
+  const std::vector<Update> trace = make_trace(20);
+  net::UdpSocket udp{0};
+  for (const Update& u : trace) {
+    const obs::trace::TraceContext ctx{
+        obs::trace::derive_trace_id(u.var, u.seqno), 0};
+    send_frame(udp, svc.replica_ports(), wire::encode_update(u, ctx));
+  }
+  deliver_ends(udp, svc, svc.replica_ports());
+  ASSERT_TRUE(svc.await_idle(80ms, 5s));
+
+  // Live admin telemetry, queried before drain.
+  net::TcpStream conn = net::TcpStream::connect(svc.admin_port());
+  AdminResponse metrics =
+      admin_exchange(conn, AdminRequest{AdminCommand::kMetrics, 0});
+  ASSERT_TRUE(metrics.ok);
+  ASSERT_TRUE(metrics.body.has_value());
+  EXPECT_NE(metrics.body->find("\"counters\""), std::string::npos);
+  EXPECT_NE(metrics.body->find("service.wal.appends"), std::string::npos);
+
+  AdminResponse dump =
+      admin_exchange(conn, AdminRequest{AdminCommand::kTraceDump, 0});
+  ASSERT_TRUE(dump.ok);
+  ASSERT_TRUE(dump.body.has_value());
+  EXPECT_NE(dump.body->find("\"traceEvents\""), std::string::npos);
+  // Every hop of the ingest→WAL→evaluate→filter→fan-out path shows up.
+  for (const char* span : {"service.ingest", "wal.append", "ce.evaluate",
+                           "ad.filter", "service.fanout"}) {
+    EXPECT_NE(dump.body->find(span), std::string::npos)
+        << "span missing from trace dump: " << span;
+  }
+
+  svc.drain();
+  obs::trace::set_enabled(false);
+
+  // Provenance: every emitted alert names the (var, seq) updates that
+  // triggered it, the filter that judged it, and the verdict path.
+  const std::vector<Alert> displayed = svc.displayed();
+  ASSERT_FALSE(displayed.empty());
+  const std::vector<AlertProvenance> prov = svc.provenance();
+  ASSERT_GE(prov.size(), displayed.size());
+
+  const std::vector<Update> journal = svc.replica_journal(0);
+  std::size_t shown = 0;
+  for (const AlertProvenance& p : prov) {
+    EXPECT_EQ(p.filter, "AD-1");
+    ASSERT_NE(p.reason, nullptr);
+    EXPECT_NE(std::string_view{p.reason}, "");
+    ASSERT_FALSE(p.triggers.empty());
+    for (const auto& [var, seq] : p.triggers) {
+      const bool journaled =
+          std::any_of(journal.begin(), journal.end(), [&](const Update& u) {
+            return u.var == var && u.seqno == seq;
+          });
+      EXPECT_TRUE(journaled)
+          << "provenance trigger (" << var << ", " << seq
+          << ") not in the accepted-update journal";
+    }
+    if (!p.displayed) continue;
+    ASSERT_LT(shown, displayed.size());
+    const Alert& a = displayed[shown];
+    EXPECT_EQ(p.cond, a.cond);
+    EXPECT_EQ(p.trace_id, a.trace_id);
+    EXPECT_NE(p.trace_id, 0u)
+        << "fed with trace contexts, so the alert must carry one";
+    ++shown;
+  }
+  EXPECT_EQ(shown, displayed.size());
+
+  std::filesystem::remove_all(cfg.data_dir);
+  obs::trace::clear();
 }
 
 // ---- duplicate-delivery idempotence -------------------------------------

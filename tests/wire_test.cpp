@@ -114,6 +114,67 @@ TEST(Codec, UpdateRejectsAlertBytes) {
   EXPECT_THROW((void)decode_update(bytes), DecodeError);
 }
 
+TEST(Codec, UpdateTraceExtensionRoundTrips) {
+  const Update u{42, 123456789, 2999.75};
+  const obs::trace::TraceContext ctx{
+      obs::trace::derive_trace_id(42, 123456789), 77};
+  const auto bytes = encode_update(u, ctx);
+
+  const UpdateMessage msg = decode_update_message(bytes);
+  EXPECT_EQ(msg.update, u);
+  EXPECT_EQ(msg.trace, ctx);
+
+  // Old decoders skip the extension and see the same update.
+  EXPECT_EQ(decode_update(bytes), u);
+}
+
+TEST(Codec, ZeroTraceContextEncodesIdenticallyToLegacy) {
+  const Update u{7, 21, 1.5};
+  EXPECT_EQ(encode_update(u, obs::trace::TraceContext{}), encode_update(u));
+  const UpdateMessage msg = decode_update_message(encode_update(u));
+  EXPECT_EQ(msg.update, u);
+  EXPECT_EQ(msg.trace, obs::trace::TraceContext{});
+}
+
+TEST(Codec, UnknownUpdateExtensionIsSkipped) {
+  // A future extension block (tag 0x7a, 3 payload bytes) appended after
+  // the trace extension: both decoders ignore it, the trace survives.
+  const Update u{3, 9, 0.25};
+  const obs::trace::TraceContext ctx{obs::trace::derive_trace_id(3, 9), 0};
+  auto bytes = encode_update(u, ctx);
+  bytes.push_back(0x7a);
+  bytes.push_back(3);
+  bytes.insert(bytes.end(), {0xde, 0xad, 0xbf});
+
+  EXPECT_EQ(decode_update(bytes), u);
+  const UpdateMessage msg = decode_update_message(bytes);
+  EXPECT_EQ(msg.update, u);
+  EXPECT_EQ(msg.trace, ctx);
+}
+
+TEST(Codec, TruncatedOrOversizedExtensionThrows) {
+  const Update u{3, 9, 0.25};
+  // Length byte promises more payload than the buffer holds.
+  auto truncated = encode_update(u);
+  truncated.push_back(0x7a);
+  truncated.push_back(5);
+  truncated.push_back(0x01);
+  EXPECT_THROW((void)decode_update(truncated), DecodeError);
+  EXPECT_THROW((void)decode_update_message(truncated), DecodeError);
+
+  // Declared extension length above the per-extension cap.
+  auto oversized = encode_update(u);
+  oversized.push_back(0x7a);
+  {
+    Writer w;
+    w.varint(1000);
+    const auto len = w.take();
+    oversized.insert(oversized.end(), len.begin(), len.end());
+  }
+  oversized.resize(oversized.size() + 1000, 0);
+  EXPECT_THROW((void)decode_update(oversized), DecodeError);
+}
+
 Alert sample_alert() {
   Alert a;
   a.cond = "rise";
