@@ -27,6 +27,17 @@ std::vector<std::pair<VarId, std::vector<Update>>> combined_inputs(
   return {acc.begin(), acc.end()};
 }
 
+std::vector<Alert> restrict_to_seqnos(std::span<const Alert> a, VarId v,
+                                      const std::set<SeqNo>& seqnos) {
+  std::vector<Alert> out;
+  for (const Alert& alert : a) {
+    const auto it = alert.histories.find(v);
+    if (it == alert.histories.end() || it->second.empty()) continue;
+    if (seqnos.count(alert.seqno(v))) out.push_back(alert);
+  }
+  return out;
+}
+
 PropertyReport check_run(const SystemRun& run,
                          std::size_t interleaving_budget) {
   PropertyReport report;

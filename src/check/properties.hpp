@@ -21,6 +21,7 @@
 #pragma once
 
 #include <optional>
+#include <set>
 #include <span>
 #include <vector>
 
@@ -55,6 +56,13 @@ struct PropertyReport {
 /// knowledge of the replicas, ascending by VarId.
 [[nodiscard]] std::vector<std::pair<VarId, std::vector<Update>>>
 combined_inputs(const std::vector<std::vector<Update>>& ce_inputs);
+
+/// The alerts of `a` whose triggering update for `v` — the latest
+/// history sequence number, a.seqno(v) — lies in `seqnos`: the slice of
+/// a display stream owned by one traffic source. Alerts without a
+/// v-history are never in any slice.
+[[nodiscard]] std::vector<Alert> restrict_to_seqnos(
+    std::span<const Alert> a, VarId v, const std::set<SeqNo>& seqnos);
 
 /// Evaluates all three properties of a run. `interleaving_budget` bounds
 /// the multi-variable completeness search (see completeness.hpp).

@@ -69,6 +69,13 @@ std::string scenario_name(Scenario s) {
   return "?";
 }
 
+Scenario lossy_scenario(bool historical, Triggering triggering) {
+  if (!historical) return Scenario::kLossyNonHistorical;
+  return triggering == Triggering::kConservative
+             ? Scenario::kLossyConservative
+             : Scenario::kLossyAggressive;
+}
+
 std::vector<trace::Trace> ScenarioSpec::make_traces(
     std::size_t updates_per_var, util::Rng& rng) const {
   std::vector<trace::Trace> traces;

@@ -41,6 +41,12 @@ inline constexpr Scenario kAllScenarios[] = {
 /// Row label as printed in the paper's tables.
 [[nodiscard]] std::string scenario_name(Scenario s);
 
+/// The lossy table row for a condition class: the scenario a system falls
+/// into once ANY mechanism (link loss, a CE crash window, a front-link
+/// partition) can make replicas miss updates. Non-historical conditions
+/// land in the non-historical row regardless of triggering.
+[[nodiscard]] Scenario lossy_scenario(bool historical, Triggering triggering);
+
 /// A runnable scenario: condition + DM trace recipe.
 struct ScenarioSpec {
   Scenario scenario;

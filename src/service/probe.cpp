@@ -1,0 +1,213 @@
+#include "service/probe.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "core/expr/expression_condition.hpp"
+#include "wire/codec.hpp"
+#include "wire/frame.hpp"
+
+namespace rcm::service {
+namespace {
+
+/// Renders the dogfooded condition source, e.g. "probe_latency[0] > 0.25".
+std::string latency_source(double budget) {
+  std::ostringstream out;
+  out << "probe_latency[0] > " << std::setprecision(17) << budget;
+  return out.str();
+}
+
+ConditionPtr latency_condition(double budget, VariableRegistry& vars) {
+  return expr::compile_condition("probe.latency.exceeded",
+                                 latency_source(budget), vars);
+}
+
+}  // namespace
+
+// ---- ProbeMonitor -------------------------------------------------------
+
+ProbeMonitor::ProbeMonitor(Options options)
+    : options_(options),
+      latency_var_(vars_.intern("probe_latency")),
+      ce_(latency_condition(options.latency_budget, vars_), "probe") {}
+
+void ProbeMonitor::on_probe_sent(SeqNo seq, double at) {
+  if (!saw_send_) {
+    first_send_ = at;
+    saw_send_ = true;
+  }
+  last_time_ = std::max(last_time_, at);
+  pending_.emplace(seq, at);
+  ++sent_;
+}
+
+void ProbeMonitor::on_answer(SeqNo seq, double at) {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  last_time_ = std::max(last_time_, at);
+  const double latency = at - it->second;
+  ++answered_;
+  max_latency_ = std::max(max_latency_, latency);
+  // A probe already declared late fed its (over-budget) sample then; the
+  // CE would stale-drop a second update with the same seqno anyway.
+  if (!late_.contains(seq)) feed_sample(seq, latency);
+  if (latency <= options_.latency_budget) {
+    if (window_open_) {
+      windows_.back().to = at;
+      windows_.back().closed = true;
+      window_open_ = false;
+    }
+  } else {
+    open_window(it->second);
+  }
+  late_.erase(seq);
+  pending_.erase(it);
+}
+
+void ProbeMonitor::on_time(double now) {
+  last_time_ = std::max(last_time_, now);
+  for (const auto& [seq, sent_at] : pending_) {
+    if (now - sent_at <= options_.latency_budget) continue;
+    if (late_.contains(seq)) continue;
+    late_.insert(seq);
+    feed_sample(seq, now - sent_at);
+    open_window(sent_at);
+  }
+}
+
+ProbeReport ProbeMonitor::report() const {
+  ProbeReport out;
+  out.probes_sent = sent_;
+  out.probes_answered = answered_;
+  out.max_latency = max_latency_;
+  out.windows = windows_;
+  if (window_open_ && !out.windows.empty())
+    out.windows.back().to = std::max(last_time_, out.windows.back().from);
+  double unavailable = 0.0;
+  for (const UnavailabilityWindow& w : out.windows)
+    unavailable += std::max(w.duration(), 0.0);
+  const double span = saw_send_ ? last_time_ - first_send_ : 0.0;
+  out.availability =
+      span > 0.0 ? std::clamp(1.0 - unavailable / span, 0.0, 1.0) : 1.0;
+  out.latency_alerts = ce_.emitted();
+  return out;
+}
+
+void ProbeMonitor::feed_sample(SeqNo seq, double latency) {
+  // Probe seqs ascend, so the CE accepts samples in probe order and
+  // stale-drops reordered answers — exactly the paper's receiver rule.
+  (void)ce_.on_update(Update{latency_var_, seq, latency});
+}
+
+void ProbeMonitor::open_window(double from) {
+  if (window_open_) return;
+  windows_.push_back(UnavailabilityWindow{from, from, false});
+  window_open_ = true;
+}
+
+// ---- AvailabilityProbe --------------------------------------------------
+
+AvailabilityProbe::AvailabilityProbe(AlertService& service,
+                                     ProbeOptions options)
+    : service_(service),
+      options_(options),
+      monitor_(ProbeMonitor::Options{options.latency_budget}) {}
+
+AvailabilityProbe::~AvailabilityProbe() { stop(); }
+
+void AvailabilityProbe::start() {
+  if (started_.exchange(true)) throw std::logic_error("probe started twice");
+  epoch_ = std::chrono::steady_clock::now();
+  const std::uint64_t before = service_.status().subscribers;
+  subscription_ = net::TcpStream::connect(service_.subscriber_port());
+  // The service's acceptor polls; wait for the fan-out registration so
+  // probes sent from now on cannot race past the subscriber list.
+  for (int i = 0; i < 400; ++i) {
+    if (service_.status().subscribers > before) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  }
+  if (service_.status().subscribers <= before)
+    throw std::runtime_error("probe subscriber never registered");
+  running_.store(true);
+  thread_ = std::thread([this] { run(); });
+}
+
+void AvailabilityProbe::stop() {
+  running_.store(false);
+  if (thread_.joinable()) thread_.join();
+  if (subscription_) subscription_.reset();
+  if (started_.load()) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    monitor_.on_time(now());
+  }
+}
+
+ProbeReport AvailabilityProbe::report() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return monitor_.report();
+}
+
+double AvailabilityProbe::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void AvailabilityProbe::run() {
+  const double interval =
+      std::chrono::duration<double>(options_.interval).count();
+  wire::FrameCursor cursor;
+  net::UdpSocket udp;
+  SeqNo next_seq = options_.first_seqno;
+  double next_send = now();
+
+  try {
+    while (running_.load()) {
+      if (now() >= next_send) {
+        const SeqNo seq = next_seq++;
+        const Update probe{options_.var, seq, options_.trigger_value};
+        const auto framed = wire::frame(wire::encode_update(probe));
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          monitor_.on_probe_sent(seq, now());
+        }
+        for (const std::uint16_t port : service_.replica_ports()) {
+          try {
+            udp.send_to(port, framed);
+          } catch (const std::system_error&) {
+            // A killed replica's port refusing datagrams IS the outage
+            // being measured, not a probe failure.
+          }
+        }
+        next_send += interval;
+      }
+
+      const auto chunk =
+          subscription_->read_some(std::chrono::milliseconds{5});
+      if (chunk) {
+        if (chunk->empty()) break;  // service drained: no more answers
+        cursor.feed(*chunk);
+        while (const auto payload = cursor.next()) {
+          const wire::DecodedAlert decoded = wire::decode_alert(*payload);
+          const auto hist = decoded.alert.histories.find(options_.var);
+          if (hist == decoded.alert.histories.end() || hist->second.empty())
+            continue;
+          const SeqNo seq = decoded.alert.seqno(options_.var);
+          if (seq < options_.first_seqno) continue;  // real traffic, not ours
+          const std::lock_guard<std::mutex> lock(mutex_);
+          monitor_.on_answer(seq, now());
+        }
+      }
+
+      const std::lock_guard<std::mutex> lock(mutex_);
+      monitor_.on_time(now());
+    }
+  } catch (const std::exception&) {
+    // Socket teardown mid-shutdown; the monitor keeps what it saw.
+  }
+}
+
+}  // namespace rcm::service

@@ -1,0 +1,179 @@
+// Self-monitoring availability probe for the alert service, in the style
+// of FoundationDB's monitored metrics: an external agent injects a synthetic
+// "probe" update at a fixed interval and measures how long the service
+// takes to turn it into a displayed alert. Probes whose end-to-end latency
+// exceeds a budget open an *unavailability window*; the window closes when
+// a later probe is answered within budget again.
+//
+// The probe dogfoods the system it watches: every finalized latency sample
+// is fed as an update into an ordinary ConditionEvaluator running the
+// rcm condition-language expression
+//
+//   probe.latency.exceeded:  probe_latency[0] > <budget>
+//
+// so "the service is slow" is itself an rcm alert, produced by the same
+// evaluation machinery the service runs (paper §2's T mapping).
+//
+// Two layers:
+//   ProbeMonitor      — pure, clockless bookkeeping: feed it probe sends,
+//                       answers and time ticks; fully unit-testable.
+//   AvailabilityProbe — a live thread driving a ProbeMonitor against a
+//                       running AlertService over real sockets (UDP probe
+//                       updates in, TCP subscriber alerts out).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/types.hpp"
+#include "net/socket.hpp"
+#include "service/alert_service.hpp"
+
+namespace rcm::service {
+
+/// A contiguous span of wall time during which the service was not
+/// answering probes within budget. `from` is the send time of the first
+/// over-budget probe; `to` is the answer time of the probe that recovered
+/// (or the observation end, if the window never closed).
+struct UnavailabilityWindow {
+  double from = 0.0;
+  double to = 0.0;
+  bool closed = false;
+
+  [[nodiscard]] double duration() const noexcept { return to - from; }
+};
+
+/// Snapshot of everything the probe measured.
+struct ProbeReport {
+  std::size_t probes_sent = 0;
+  std::size_t probes_answered = 0;
+  double max_latency = 0.0;  ///< seconds, over answered probes
+  /// Fraction of the observed span not covered by unavailability
+  /// windows; 1.0 when nothing was observed.
+  double availability = 1.0;
+  std::vector<UnavailabilityWindow> windows;
+  /// Alerts emitted by the dogfooded "probe.latency.exceeded" CE, one
+  /// per probe whose latency sample exceeded the budget.
+  std::vector<Alert> latency_alerts;
+};
+
+/// Pure probe bookkeeping. All times are seconds on one caller-chosen
+/// monotone clock; calls must carry non-decreasing times. Deterministic:
+/// the report is a function of the call sequence.
+class ProbeMonitor {
+ public:
+  struct Options {
+    /// A probe answered later than this (seconds) counts as unavailable.
+    double latency_budget = 0.25;
+  };
+
+  explicit ProbeMonitor(Options options);
+
+  /// Records that probe `seq` was sent at time `at`.
+  void on_probe_sent(SeqNo seq, double at);
+
+  /// Records that the alert answering probe `seq` was observed at `at`.
+  /// Unknown or duplicate seqs are ignored.
+  void on_answer(SeqNo seq, double at);
+
+  /// Advances the observation clock: any outstanding probe older than
+  /// the budget is declared late (opening a window if none is open) and
+  /// its running latency is fed to the latency CE once.
+  void on_time(double now);
+
+  /// Finalizes and returns the report as of the latest observed time.
+  /// A still-open window is reported with closed=false.
+  [[nodiscard]] ProbeReport report() const;
+
+  [[nodiscard]] double latency_budget() const noexcept {
+    return options_.latency_budget;
+  }
+
+ private:
+  void feed_sample(SeqNo seq, double latency);
+  void open_window(double from);
+
+  Options options_;
+  VariableRegistry vars_;
+  VarId latency_var_ = 0;
+  ConditionEvaluator ce_;
+
+  std::map<SeqNo, double> pending_;  ///< outstanding probes: seq -> send time
+  std::set<SeqNo> late_;             ///< already declared late (sample fed)
+  std::vector<UnavailabilityWindow> windows_;
+  bool window_open_ = false;
+  std::size_t sent_ = 0;
+  std::size_t answered_ = 0;
+  double max_latency_ = 0.0;
+  double first_send_ = 0.0;
+  double last_time_ = 0.0;
+  bool saw_send_ = false;
+};
+
+/// Live-probe configuration.
+struct ProbeOptions {
+  /// Variable the probe updates carry. Must be a variable of the
+  /// service's condition, with a value that makes it trigger, so every
+  /// probe surfaces as a displayed alert.
+  VarId var = 0;
+  double trigger_value = 100.0;
+
+  /// Probe sequence numbers start here, far above any real traffic, so
+  /// probe-triggered alerts are recognizable by alert.seqno(var).
+  SeqNo first_seqno = 1'000'000;
+
+  std::chrono::milliseconds interval{20};
+  double latency_budget = 0.25;  ///< seconds
+};
+
+/// Drives a ProbeMonitor against a live AlertService: one background
+/// thread sends a framed probe update to every replica port each
+/// interval (send errors while a replica is down are the lossy front
+/// link, not failures) and reads the service's subscriber stream,
+/// matching probe-triggered alerts back to their send by sequence
+/// number. start() blocks until the subscriber connection is
+/// registered, so no probe's answer can be missed.
+class AvailabilityProbe {
+ public:
+  AvailabilityProbe(AlertService& service, ProbeOptions options);
+  ~AvailabilityProbe();
+
+  AvailabilityProbe(const AvailabilityProbe&) = delete;
+  AvailabilityProbe& operator=(const AvailabilityProbe&) = delete;
+
+  /// Connects the subscriber stream and starts probing. Call once.
+  void start();
+
+  /// Stops probing, joins the thread and drains remaining answers.
+  /// Idempotent.
+  void stop();
+
+  /// Report as of the latest observation. Callable during the run or
+  /// after stop().
+  [[nodiscard]] ProbeReport report() const;
+
+ private:
+  void run();
+  [[nodiscard]] double now() const;
+
+  AlertService& service_;
+  ProbeOptions options_;
+
+  mutable std::mutex mutex_;
+  ProbeMonitor monitor_;
+  std::optional<net::TcpStream> subscription_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> started_{false};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace rcm::service

@@ -130,11 +130,14 @@ DisconnectResult run_disconnectable_system(const DisconnectConfig& config) {
 
   std::vector<std::unique_ptr<Link<Update>>> front_links;
   for (auto& dm : dms) {
-    for (auto& ce : ces) {
-      StoredEvaluatorNode* target = ce.get();
+    for (std::size_t c = 0; c < ces.size(); ++c) {
+      StoredEvaluatorNode* target = ces[c].get();
+      const LinkShaping shaping = c < base.front_shaping.size()
+                                      ? base.front_shaping[c]
+                                      : LinkShaping{};
       front_links.push_back(std::make_unique<Link<Update>>(
           sim, base.front, master.fork(++salt),
-          [target](const Update& u) { target->on_update(u); }));
+          [target](const Update& u) { target->on_update(u); }, shaping));
       dm->attach(front_links.back().get());
     }
   }

@@ -18,6 +18,7 @@
 #include <functional>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -31,6 +32,25 @@ struct LinkParams {
   double loss = 0.0;         ///< per-message drop probability
 };
 
+/// Degradations layered on top of LinkParams by fault-injecting
+/// workloads: a constant extra delay (a slow / lagging receiver) and
+/// send-time outage windows during which every message is dropped (an
+/// asymmetric partition of this link only). Kept out of LinkParams so a
+/// shaped link consumes exactly the same RNG stream as an unshaped one
+/// outside the outage windows: outage drops are decided before any
+/// random draw, and the extra delay is deterministic.
+struct LinkShaping {
+  double extra_delay = 0.0;  ///< seconds, added to every delivery
+  /// Messages *sent* at time t with from <= t < to are dropped.
+  std::vector<std::pair<double, double>> outages;
+
+  [[nodiscard]] bool cuts(double at) const noexcept {
+    for (const auto& [from, to] : outages)
+      if (at >= from && at < to) return true;
+    return false;
+  }
+};
+
 /// In-order, optionally lossy, unidirectional message channel carrying
 /// messages of type M. Delivery happens via the callback passed at
 /// construction; the Link must outlive the simulation run.
@@ -39,15 +59,22 @@ class Link {
  public:
   using Deliver = std::function<void(const M&)>;
 
-  Link(Simulator& sim, LinkParams params, util::Rng rng, Deliver deliver)
+  Link(Simulator& sim, LinkParams params, util::Rng rng, Deliver deliver,
+       LinkShaping shaping = {})
       : sim_(sim),
         params_(params),
+        shaping_(std::move(shaping)),
         rng_(rng),
         deliver_(std::move(deliver)) {
     if (params_.delay_min < 0 || params_.delay_max < params_.delay_min)
       throw std::invalid_argument("Link: bad delay range");
     if (params_.loss < 0.0 || params_.loss > 1.0)
       throw std::invalid_argument("Link: loss must be in [0,1]");
+    if (shaping_.extra_delay < 0.0)
+      throw std::invalid_argument("Link: extra delay must be >= 0");
+    for (const auto& [from, to] : shaping_.outages)
+      if (!(from >= 0.0) || !(to >= from))
+        throw std::invalid_argument("Link: bad outage window");
     if (!deliver_) throw std::invalid_argument("Link: null deliver callback");
   }
 
@@ -59,11 +86,18 @@ class Link {
   /// earlier than the previously scheduled delivery (FIFO order).
   void send(const M& message) {
     ++sent_;
+    // Outage drops come first and consume no randomness, so the loss and
+    // delay pattern outside the windows is the same as without shaping.
+    if (shaping_.cuts(sim_.now())) {
+      ++dropped_;
+      return;
+    }
     if (rng_.bernoulli(params_.loss)) {
       ++dropped_;
       return;
     }
-    const double delay = rng_.uniform(params_.delay_min, params_.delay_max);
+    const double delay = shaping_.extra_delay +
+                         rng_.uniform(params_.delay_min, params_.delay_max);
     double at = sim_.now() + delay;
     // Enforce in-order delivery: never before the last scheduled arrival.
     at = std::max(at, last_delivery_ + kOrderingEpsilon);
@@ -83,6 +117,7 @@ class Link {
 
   Simulator& sim_;
   LinkParams params_;
+  LinkShaping shaping_;
   util::Rng rng_;
   Deliver deliver_;
   double last_delivery_ = 0.0;

@@ -74,11 +74,14 @@ RunResult run_system(const SystemConfig& config) {
   std::vector<std::unique_ptr<Link<Alert>>> back_links;
   std::uint64_t salt = 0;
   for (auto& dm : dms) {
-    for (auto& ce : ces) {
-      EvaluatorNode* target = ce.get();
+    for (std::size_t c = 0; c < ces.size(); ++c) {
+      EvaluatorNode* target = ces[c].get();
+      const LinkShaping shaping = c < config.front_shaping.size()
+                                      ? config.front_shaping[c]
+                                      : LinkShaping{};
       front_links.push_back(std::make_unique<Link<Update>>(
           sim, config.front, master.fork(++salt),
-          [target](const Update& u) { target->on_update(u); }));
+          [target](const Update& u) { target->on_update(u); }, shaping));
       dm->attach(front_links.back().get());
     }
   }

@@ -42,6 +42,12 @@ struct SystemConfig {
   /// num_ces, remaining CEs never crash).
   std::vector<std::vector<CrashWindow>> ce_crashes;
 
+  /// Per-CE degradation of every front link INTO that replica (index =
+  /// replica; may be shorter than num_ces, remaining links unshaped):
+  /// extra delay models a slow/lagging replica, outage windows an
+  /// asymmetric front-link partition. Back links are never shaped.
+  std::vector<LinkShaping> front_shaping;
+
   /// Master seed; every link forks its own stream from it.
   std::uint64_t seed = 1;
 };

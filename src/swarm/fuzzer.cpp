@@ -1,6 +1,7 @@
 #include "swarm/fuzzer.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "util/rng.hpp"
 
@@ -97,16 +98,10 @@ FilterKind sample_filter(bool multi, util::Rng& rng) {
   return kSingle[rng.uniform_int(0, 3)];
 }
 
-}  // namespace
-
-SwarmSpec sample_spec(std::uint64_t master_seed, std::uint64_t index,
-                      const FuzzOptions& options) {
-  // Stateless derivation (bit-compatible with the historical
-  // Rng{seed}.fork(index + 1)): run i's stream does not depend on which
-  // runs were sampled before it, so parallel executors sharding a batch
-  // across workers sample exactly the serial batch.
-  util::Rng rng = util::Rng::derive(master_seed, index);
-
+/// Samples one base spec from an already-positioned run stream. Factored
+/// out so sample_composed can consume exactly the same prefix of draws
+/// and keep the base bit-identical to sample_spec.
+SwarmSpec sample_base(util::Rng& rng, const FuzzOptions& options) {
   SwarmSpec spec;
 
   // Filters pinned to a single-variable algorithm constrain the
@@ -184,6 +179,99 @@ SwarmSpec sample_spec(std::uint64_t master_seed, std::uint64_t index,
   }
 
   spec.seed = rng();
+  return spec;
+}
+
+/// Samples one workload unit sized to the base spec's shape.
+WorkloadSpec sample_unit(util::Rng& rng, const SwarmSpec& base,
+                         double horizon, const FuzzOptions& options) {
+  WorkloadSpec unit;
+  unit.kind = options.force_workload
+                  ? *options.force_workload
+                  : kAllWorkloadKinds[rng.uniform_int(
+                        0, static_cast<std::int64_t>(
+                               std::size(kAllWorkloadKinds)) -
+                               1)];
+  unit.salt = rng();
+  switch (unit.kind) {
+    case WorkloadKind::kFlashCrowd:
+      unit.count = static_cast<std::uint32_t>(rng.uniform_int(4, 12));
+      unit.start = rng.uniform(0.0, horizon * 0.7);
+      unit.duration = rng.uniform(0.5, 3.0);
+      unit.magnitude = rng.uniform(60.0, 95.0);
+      break;
+    case WorkloadKind::kSlowReplica:
+      unit.replica = static_cast<std::uint32_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(base.num_ces) - 1));
+      unit.magnitude = rng.uniform(0.5, 3.0);
+      break;
+    case WorkloadKind::kPartition:
+      unit.replica = static_cast<std::uint32_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(base.num_ces) - 1));
+      unit.start = rng.uniform(0.0, horizon * 0.7);
+      unit.duration = rng.uniform(1.0, horizon / 2.0 + 2.0);
+      break;
+    case WorkloadKind::kClockSkew:
+      unit.count = static_cast<std::uint32_t>(rng.uniform_int(4, 12));
+      unit.start = rng.uniform(0.0, horizon * 0.7);
+      unit.duration = rng.uniform(1.0, 4.0);
+      unit.magnitude = rng.uniform(-1.5, 1.5);
+      break;
+    case WorkloadKind::kCheapFleet:
+      unit.count = static_cast<std::uint32_t>(rng.uniform_int(64, 1024));
+      unit.updates = static_cast<std::uint32_t>(rng.uniform_int(6, 20));
+      unit.start = rng.uniform(0.0, horizon * 0.5);
+      unit.duration = rng.uniform(2.0, horizon + 1.0);
+      break;
+    case WorkloadKind::kAdaptiveHoldback:
+      unit.count = static_cast<std::uint32_t>(rng.uniform_int(8, 24));
+      unit.start = rng.uniform(0.0, horizon * 0.5);
+      unit.duration = rng.uniform(2.0, 6.0);
+      unit.magnitude = rng.uniform(0.1, 1.0);
+      break;
+  }
+  return unit;
+}
+
+}  // namespace
+
+SwarmSpec sample_spec(std::uint64_t master_seed, std::uint64_t index,
+                      const FuzzOptions& options) {
+  // Stateless derivation (bit-compatible with the historical
+  // Rng{seed}.fork(index + 1)): run i's stream does not depend on which
+  // runs were sampled before it, so parallel executors sharding a batch
+  // across workers sample exactly the serial batch.
+  util::Rng rng = util::Rng::derive(master_seed, index);
+  return sample_base(rng, options);
+}
+
+ComposedSpec sample_composed(std::uint64_t master_seed, std::uint64_t index,
+                             const FuzzOptions& options) {
+  util::Rng rng = util::Rng::derive(master_seed, index);
+  ComposedSpec spec;
+  spec.base = sample_base(rng, options);
+
+  double horizon = 1.0;
+  for (const trace::Trace& tr : spec.base.traces)
+    for (const trace::TimedUpdate& tu : tr)
+      horizon = std::max(horizon, tu.time);
+
+  std::size_t n = 0;
+  if (options.force_workload) {
+    n = 1;
+  } else if (options.max_workloads > 0) {
+    const std::size_t hi =
+        std::max(options.max_workloads, options.min_workloads);
+    if (options.min_workloads > 0)
+      n = static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::int64_t>(options.min_workloads),
+                          static_cast<std::int64_t>(hi)));
+    else if (rng.bernoulli(options.workload_prob))
+      n = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(hi)));
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    spec.units.push_back(sample_unit(rng, spec.base, horizon, options));
   return spec;
 }
 

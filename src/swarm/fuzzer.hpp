@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "swarm/spec.hpp"
+#include "swarm/workload.hpp"
 
 namespace rcm::swarm {
 
@@ -36,6 +37,16 @@ struct FuzzOptions {
   double lossless_prob = 0.3;
   double crash_prob = 0.4;
   double offline_prob = 0.25;
+
+  /// Workload composition (sample_composed only). When no workload is
+  /// forced, a spec gets units with probability `workload_prob`, uniformly
+  /// 1..max_workloads of them; min_workloads > 0 instead guarantees at
+  /// least that many on every spec. force_workload pins every spec to
+  /// exactly one unit of that kind (the per-kind smoke/meta-test mode).
+  double workload_prob = 0.35;
+  std::size_t min_workloads = 0;
+  std::size_t max_workloads = 3;
+  std::optional<WorkloadKind> force_workload;
 };
 
 /// Samples the spec for run `index` of the swarm seeded with
@@ -43,5 +54,12 @@ struct FuzzOptions {
 [[nodiscard]] SwarmSpec sample_spec(std::uint64_t master_seed,
                                     std::uint64_t index,
                                     const FuzzOptions& options = {});
+
+/// Samples the composed spec (base + workload units) for run `index`.
+/// The base is bit-identical to sample_spec with the same arguments: the
+/// workload draws happen strictly after the base's on the run's stream.
+[[nodiscard]] ComposedSpec sample_composed(std::uint64_t master_seed,
+                                           std::uint64_t index,
+                                           const FuzzOptions& options = {});
 
 }  // namespace rcm::swarm

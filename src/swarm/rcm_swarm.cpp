@@ -22,11 +22,16 @@ namespace {
 int replay_file(const std::string& path) {
   using namespace rcm;
   const swarm::CounterexampleRecord record = swarm::load_record(path);
-  std::printf("replaying %s: %s, %zu updates, %u CEs, seed %llu\n",
+  std::printf("replaying %s: %s, %zu updates, %u CEs, %zu workload "
+              "unit(s), seed %llu\n",
               path.c_str(),
-              std::string(filter_kind_name(record.spec.filter)).c_str(),
-              record.spec.total_updates(), record.spec.num_ces,
-              static_cast<unsigned long long>(record.spec.seed));
+              std::string(filter_kind_name(record.spec.base.filter)).c_str(),
+              record.spec.total_updates(), record.spec.base.num_ces,
+              record.spec.units.size(),
+              static_cast<unsigned long long>(record.spec.base.seed));
+  for (const swarm::WorkloadSpec& unit : record.spec.units)
+    std::printf("  workload: %s\n",
+                std::string(swarm::workload_kind_name(unit.kind)).c_str());
   for (swarm::ViolationKind k : record.violation_kinds)
     std::printf("  recorded violation: %s\n",
                 std::string(swarm::violation_kind_name(k)).c_str());
@@ -62,6 +67,14 @@ int main(int argc, char** argv) {
                 "directory to write counterexample records into");
   args.add_flag("filter", "",
                 "restrict every run to one filter (AD-1..AD-6, ad-2-broken)");
+  args.add_flag("workload", "",
+                "give every run exactly one workload unit of this kind "
+                "(flash-crowd, slow-replica, partition, clock-skew, "
+                "cheap-fleet, adaptive-holdback)");
+  args.add_flag("min-workloads", "0",
+                "guarantee at least this many workload units per run");
+  args.add_flag("max-workloads", "3",
+                "cap on workload units per run (0 = plain base specs)");
   args.add_flag("no-shrink", "false", "record failures without minimizing");
   args.add_flag("no-determinism", "false",
                 "skip the re-execution determinism check (halves the cost)");
@@ -122,6 +135,13 @@ int main(int argc, char** argv) {
     options.check.check_determinism = !args.get_bool("no-determinism");
     if (!args.get("filter").empty())
       options.fuzz.force_filter = parse_filter_kind(args.get("filter"));
+    if (!args.get("workload").empty())
+      options.fuzz.force_workload =
+          swarm::parse_workload_kind(args.get("workload"));
+    options.fuzz.min_workloads =
+        static_cast<std::size_t>(args.get_int("min-workloads"));
+    options.fuzz.max_workloads =
+        static_cast<std::size_t>(args.get_int("max-workloads"));
 
     const bool verbose = args.get_bool("verbose");
     const swarm::SwarmReport report = swarm::run_swarm(

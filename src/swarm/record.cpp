@@ -11,26 +11,34 @@ namespace rcm::swarm {
 namespace {
 
 constexpr std::uint8_t kRecordTag = 0x57;  // 'W'
-constexpr std::uint8_t kVersion = 1;
+// Version 1: base spec only. Version 2: workload units follow the spec.
+constexpr std::uint8_t kVersion = 2;
 
 }  // namespace
 
-CounterexampleRecord make_record(const SwarmSpec& spec, const RunCheck& chk) {
+CounterexampleRecord make_record(const ComposedSpec& spec,
+                                 const RunCheck& chk) {
   CounterexampleRecord record;
   record.spec = spec;
   record.violation_kinds = chk.violation_kinds;
   record.digest = chk.digest;
   const Execution exec = execute(spec);
   record.run_bytes = check::encode_system_run(exec.result.as_system_run(
-      build_condition(spec.cond_kind, spec.cond_param)));
+      build_condition(spec.base.cond_kind, spec.base.cond_param)));
   return record;
+}
+
+CounterexampleRecord make_record(const SwarmSpec& spec, const RunCheck& chk) {
+  return make_record(ComposedSpec{spec, {}}, chk);
 }
 
 std::vector<std::uint8_t> encode_record(const CounterexampleRecord& record) {
   wire::Writer w;
   w.u8(kRecordTag);
   w.u8(kVersion);
-  encode_spec(w, record.spec);
+  encode_spec(w, record.spec.base);
+  w.varint(record.spec.units.size());
+  for (const WorkloadSpec& unit : record.spec.units) encode_workload(w, unit);
   w.varint(record.violation_kinds.size());
   for (ViolationKind k : record.violation_kinds)
     w.u8(static_cast<std::uint8_t>(k));
@@ -44,15 +52,26 @@ CounterexampleRecord decode_record(std::span<const std::uint8_t> bytes) {
   wire::Reader r{bytes};
   if (r.u8() != kRecordTag)
     throw wire::DecodeError("not a swarm counterexample record");
-  if (r.u8() != kVersion)
+  const std::uint8_t version = r.u8();
+  if (version < 1 || version > kVersion)
     throw wire::DecodeError("unsupported swarm record version");
   CounterexampleRecord record;
-  record.spec = decode_spec(r);
+  record.spec.base = decode_spec(r);
+  if (version >= 2) {
+    const std::uint64_t units = r.varint();
+    if (units > 64) throw wire::DecodeError("too many workload units");
+    for (std::uint64_t i = 0; i < units; ++i)
+      record.spec.units.push_back(decode_workload(r));
+  }
+  // kWorkload needs a unit section, so it only exists in v2 records.
+  const ViolationKind max_kind = version >= 2
+                                     ? ViolationKind::kWorkload
+                                     : ViolationKind::kNonDeterminism;
   const std::uint64_t kinds = r.varint();
   if (kinds > 64) throw wire::DecodeError("too many violation kinds");
   for (std::uint64_t i = 0; i < kinds; ++i) {
     const std::uint8_t k = r.u8();
-    if (k > static_cast<std::uint8_t>(ViolationKind::kNonDeterminism))
+    if (k > static_cast<std::uint8_t>(max_kind))
       throw wire::DecodeError("unknown violation kind");
     record.violation_kinds.push_back(static_cast<ViolationKind>(k));
   }
@@ -68,7 +87,8 @@ CounterexampleRecord decode_record(std::span<const std::uint8_t> bytes) {
   // the spec); rejecting here keeps corrupt records from surfacing later.
   (void)check::decode_system_run(
       record.run_bytes,
-      build_condition(record.spec.cond_kind, record.spec.cond_param));
+      build_condition(record.spec.base.cond_kind,
+                      record.spec.base.cond_param));
   return record;
 }
 
@@ -105,7 +125,8 @@ ReplayResult replay(const CounterexampleRecord& record,
 
   const Execution exec = execute(record.spec);
   const auto fresh_bytes = check::encode_system_run(exec.result.as_system_run(
-      build_condition(record.spec.cond_kind, record.spec.cond_param)));
+      build_condition(record.spec.base.cond_kind,
+                      record.spec.base.cond_param)));
   out.digest_matched =
       out.check.digest == record.digest && fresh_bytes == record.run_bytes;
 

@@ -10,8 +10,12 @@
 // test and an incident report.
 //
 // On-disk format: one CRC frame (wire/frame.hpp) containing
-//   tag 'W' | version | spec | #kinds | kinds | digest |
-//   run-record bytes (length-prefixed, check::encode_system_run format)
+//   tag 'W' | version | base spec | #units | units (v2+) | #kinds | kinds |
+//   digest | run-record bytes (length-prefixed, check::encode_system_run
+//   format)
+// Version 1 records (written before workload composition existed) have no
+// unit section; they decode to a ComposedSpec with an empty unit list and
+// replay exactly as recorded.
 #pragma once
 
 #include <cstdint>
@@ -26,7 +30,7 @@ namespace rcm::swarm {
 
 /// One packaged counterexample.
 struct CounterexampleRecord {
-  SwarmSpec spec;
+  ComposedSpec spec;
   std::vector<ViolationKind> violation_kinds;
   std::uint64_t digest = 0;            ///< execution_digest of the run
   std::vector<std::uint8_t> run_bytes; ///< check::encode_system_run bytes
@@ -34,6 +38,8 @@ struct CounterexampleRecord {
 
 /// Builds the record for a spec whose execution produced `chk`.
 /// Re-executes once to capture the run bytes.
+[[nodiscard]] CounterexampleRecord make_record(const ComposedSpec& spec,
+                                               const RunCheck& chk);
 [[nodiscard]] CounterexampleRecord make_record(const SwarmSpec& spec,
                                                const RunCheck& chk);
 

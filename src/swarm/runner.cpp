@@ -20,6 +20,7 @@ std::string_view violation_kind_name(ViolationKind k) noexcept {
     case ViolationKind::kUnraisedAlert: return "unraised-alert";
     case ViolationKind::kNonMonotoneDisplay: return "non-monotone-display";
     case ViolationKind::kNonDeterminism: return "non-determinism";
+    case ViolationKind::kWorkload: return "workload";
   }
   return "?";
 }
@@ -29,21 +30,37 @@ bool RunCheck::has_kind(ViolationKind k) const {
          violation_kinds.end();
 }
 
-Execution execute(const SwarmSpec& spec) {
+namespace {
+
+/// Runs an already-materialized spec: the single execution path shared by
+/// the plain and composed entry points.
+Execution execute_materialized(const MaterializedRun& mat) {
   RCM_SCOPED_TIMER(timer, "swarm.phase.execute_seconds");
   Execution exec;
-  if (spec.ad_offline.empty()) {
-    exec.result = sim::run_system(spec.to_system_config());
+  sim::SystemConfig base = mat.spec.to_system_config();
+  base.front_shaping = mat.front_shaping;
+  if (mat.spec.ad_offline.empty()) {
+    exec.result = sim::run_system(base);
     exec.display_times = exec.result.display_times;
   } else {
     sim::DisconnectConfig config;
-    config.base = spec.to_system_config();
-    config.ad_offline = spec.ad_offline;
+    config.base = std::move(base);
+    config.ad_offline = mat.spec.ad_offline;
     sim::DisconnectResult r = sim::run_disconnectable_system(config);
     exec.display_times = r.display_times;
     exec.result = std::move(r.run);
   }
   return exec;
+}
+
+}  // namespace
+
+Execution execute(const ComposedSpec& spec) {
+  return execute_materialized(materialize(spec));
+}
+
+Execution execute(const SwarmSpec& spec) {
+  return execute(ComposedSpec{spec, {}});
 }
 
 std::uint64_t execution_digest(const Execution& exec,
@@ -58,14 +75,15 @@ std::uint64_t execution_digest(const Execution& exec,
   return h;
 }
 
-RunCheck execute_and_check(const SwarmSpec& spec,
+RunCheck execute_and_check(const ComposedSpec& spec,
                            const CheckOptions& options) {
   RunCheck out;
-  const Execution exec = execute(spec);
+  const MaterializedRun mat = materialize(spec);
+  const Execution exec = execute_materialized(mat);
   const sim::RunResult& r = exec.result;
 
-  const ConditionPtr condition = build_condition(spec.cond_kind,
-                                                 spec.cond_param);
+  const ConditionPtr condition =
+      build_condition(mat.spec.cond_kind, mat.spec.cond_param);
   const check::SystemRun run = r.as_system_run(condition);
   {
     RCM_SCOPED_TIMER(timer, "swarm.phase.check_seconds");
@@ -84,7 +102,7 @@ RunCheck execute_and_check(const SwarmSpec& spec,
   // Guaranteed table cells. Violations of properties the paper does NOT
   // claim for this cell are expected behaviour, not findings.
   const exp::PaperClaim claim = guaranteed_properties(spec);
-  const std::string cell = std::string(filter_kind_name(spec.filter)) +
+  const std::string cell = std::string(filter_kind_name(spec.base.filter)) +
                            " / " + exp::scenario_name(classify_scenario(spec));
   if (claim.ordered && out.report.ordered == check::Verdict::kViolated)
     violate(ViolationKind::kOrderedness,
@@ -124,6 +142,13 @@ RunCheck execute_and_check(const SwarmSpec& spec,
     }
   }
 
+  // Per-unit workload checkers: each unit verifies its own slice of the
+  // guarantee tables on top of the global invariants above.
+  for (std::size_t i = 0; i < spec.units.size(); ++i) {
+    const std::string msg = check_workload(spec, mat, r, i);
+    if (!msg.empty()) violate(ViolationKind::kWorkload, msg);
+  }
+
   if (options.check_determinism) {
     const Execution again = execute(spec);
     if (execution_digest(again, condition) != out.digest)
@@ -132,6 +157,11 @@ RunCheck execute_and_check(const SwarmSpec& spec,
   }
 
   return out;
+}
+
+RunCheck execute_and_check(const SwarmSpec& spec,
+                           const CheckOptions& options) {
+  return execute_and_check(ComposedSpec{spec, {}}, options);
 }
 
 }  // namespace rcm::swarm

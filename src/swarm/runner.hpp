@@ -21,6 +21,7 @@
 #include "check/properties.hpp"
 #include "sim/system.hpp"
 #include "swarm/spec.hpp"
+#include "swarm/workload.hpp"
 
 namespace rcm::swarm {
 
@@ -34,6 +35,7 @@ enum class ViolationKind : std::uint8_t {
   kUnraisedAlert = 3,   ///< displayed alert no replica raised
   kNonMonotoneDisplay = 4,  ///< display timestamps regressed
   kNonDeterminism = 5,  ///< re-execution diverged from first execution
+  kWorkload = 6,        ///< a workload unit's own checker failed
 };
 
 [[nodiscard]] std::string_view violation_kind_name(ViolationKind k) noexcept;
@@ -65,7 +67,11 @@ struct RunCheck {
 /// Runs the spec once (twice with check_determinism) and checks it.
 /// Propagates std::invalid_argument from malformed specs — the shrinker
 /// treats that as "candidate rejected", and the fuzzer never produces
-/// them.
+/// them. The composed overload additionally runs every workload unit's
+/// own checker (violations surface as kWorkload); the SwarmSpec overload
+/// is exactly the composed one with no units.
+[[nodiscard]] RunCheck execute_and_check(const ComposedSpec& spec,
+                                         const CheckOptions& options = {});
 [[nodiscard]] RunCheck execute_and_check(const SwarmSpec& spec,
                                          const CheckOptions& options = {});
 
@@ -75,6 +81,7 @@ struct Execution {
   sim::RunResult result;
   std::vector<double> display_times;
 };
+[[nodiscard]] Execution execute(const ComposedSpec& spec);
 [[nodiscard]] Execution execute(const SwarmSpec& spec);
 
 /// Fingerprint of an execution: check::run_digest over the SystemRun,

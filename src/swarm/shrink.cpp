@@ -16,7 +16,7 @@ class Shrinker {
   /// True iff `candidate` still fails with the preserved kind. Malformed
   /// candidates (e.g. a variable left with no producing trace) count as
   /// non-failing.
-  bool still_fails(const SwarmSpec& candidate) {
+  bool still_fails(const ComposedSpec& candidate) {
     if (attempts_ >= max_attempts_) return false;
     ++attempts_;
     try {
@@ -38,18 +38,61 @@ class Shrinker {
   std::size_t attempts_ = 0;
 };
 
-/// ddmin-style pass over one trace: try removing chunks of size
-/// |trace|/2, then /4, ... down to 1. Returns true if anything was
-/// removed from `spec.traces[ti]`.
-bool shrink_trace(SwarmSpec& spec, std::size_t ti, Shrinker& sh) {
+/// Drop whole workload units: the coarsest edit, tried first — a unit
+/// irrelevant to the failure disappears in one accepted candidate.
+bool shrink_units(ComposedSpec& spec, Shrinker& sh) {
   bool any = false;
-  std::size_t chunk = std::max<std::size_t>(spec.traces[ti].size() / 2, 1);
+  std::size_t i = 0;
+  while (i < spec.units.size() && sh.budget_left()) {
+    ComposedSpec candidate = spec;
+    candidate.units.erase(candidate.units.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    if (sh.still_fails(candidate)) {
+      spec = std::move(candidate);
+      any = true;
+    } else {
+      ++i;
+    }
+  }
+  return any;
+}
+
+/// Halve the traffic of surviving units (count for bursty kinds, updates
+/// for the fleet). Only fields that feed traffic_count() are shrunk, so
+/// every accepted edit strictly decreases ComposedSpec::size().
+bool shrink_unit_traffic(ComposedSpec& spec, Shrinker& sh) {
+  bool any = false;
+  for (std::size_t i = 0; i < spec.units.size() && sh.budget_left(); ++i) {
+    for (std::uint32_t WorkloadSpec::*field :
+         {&WorkloadSpec::count, &WorkloadSpec::updates}) {
+      while (spec.units[i].*field > 0 && sh.budget_left()) {
+        ComposedSpec candidate = spec;
+        candidate.units[i].*field /= 2;
+        if (candidate.units[i].traffic_count() >=
+            spec.units[i].traffic_count())
+          break;  // field does not feed this kind's traffic
+        if (!sh.still_fails(candidate)) break;
+        spec = std::move(candidate);
+        any = true;
+      }
+    }
+  }
+  return any;
+}
+
+/// ddmin-style pass over one base trace: try removing chunks of size
+/// |trace|/2, then /4, ... down to 1. Returns true if anything was
+/// removed from `spec.base.traces[ti]`.
+bool shrink_trace(ComposedSpec& spec, std::size_t ti, Shrinker& sh) {
+  bool any = false;
+  std::size_t chunk =
+      std::max<std::size_t>(spec.base.traces[ti].size() / 2, 1);
   while (chunk >= 1 && sh.budget_left()) {
     bool removed_at_this_granularity = false;
     std::size_t start = 0;
-    while (start < spec.traces[ti].size() && sh.budget_left()) {
-      SwarmSpec candidate = spec;
-      auto& t = candidate.traces[ti];
+    while (start < spec.base.traces[ti].size() && sh.budget_left()) {
+      ComposedSpec candidate = spec;
+      auto& t = candidate.base.traces[ti];
       const std::size_t end = std::min(start + chunk, t.size());
       t.erase(t.begin() + static_cast<std::ptrdiff_t>(start),
               t.begin() + static_cast<std::ptrdiff_t>(end));
@@ -62,20 +105,21 @@ bool shrink_trace(SwarmSpec& spec, std::size_t ti, Shrinker& sh) {
       }
     }
     if (chunk == 1 && !removed_at_this_granularity) break;
-    if (!removed_at_this_granularity) chunk = std::max<std::size_t>(chunk / 2, 1);
+    if (!removed_at_this_granularity)
+      chunk = std::max<std::size_t>(chunk / 2, 1);
   }
   return any;
 }
 
-bool shrink_crashes(SwarmSpec& spec, Shrinker& sh) {
+bool shrink_crashes(ComposedSpec& spec, Shrinker& sh) {
   bool any = false;
-  for (std::size_t ce = 0; ce < spec.crashes.size() && sh.budget_left();
+  for (std::size_t ce = 0; ce < spec.base.crashes.size() && sh.budget_left();
        ++ce) {
     std::size_t w = 0;
-    while (w < spec.crashes[ce].size() && sh.budget_left()) {
-      SwarmSpec candidate = spec;
-      candidate.crashes[ce].erase(candidate.crashes[ce].begin() +
-                                  static_cast<std::ptrdiff_t>(w));
+    while (w < spec.base.crashes[ce].size() && sh.budget_left()) {
+      ComposedSpec candidate = spec;
+      candidate.base.crashes[ce].erase(candidate.base.crashes[ce].begin() +
+                                       static_cast<std::ptrdiff_t>(w));
       if (sh.still_fails(candidate)) {
         spec = std::move(candidate);
         any = true;
@@ -86,18 +130,18 @@ bool shrink_crashes(SwarmSpec& spec, Shrinker& sh) {
   }
   // Empty trailing rows are free to drop (no size change, but keeps the
   // spec tidy); only drop truly empty ones so size never increases.
-  while (!spec.crashes.empty() && spec.crashes.back().empty())
-    spec.crashes.pop_back();
+  while (!spec.base.crashes.empty() && spec.base.crashes.back().empty())
+    spec.base.crashes.pop_back();
   return any;
 }
 
-bool shrink_offline(SwarmSpec& spec, Shrinker& sh) {
+bool shrink_offline(ComposedSpec& spec, Shrinker& sh) {
   bool any = false;
   std::size_t w = 0;
-  while (w < spec.ad_offline.size() && sh.budget_left()) {
-    SwarmSpec candidate = spec;
-    candidate.ad_offline.erase(candidate.ad_offline.begin() +
-                               static_cast<std::ptrdiff_t>(w));
+  while (w < spec.base.ad_offline.size() && sh.budget_left()) {
+    ComposedSpec candidate = spec;
+    candidate.base.ad_offline.erase(candidate.base.ad_offline.begin() +
+                                    static_cast<std::ptrdiff_t>(w));
     if (sh.still_fails(candidate)) {
       spec = std::move(candidate);
       any = true;
@@ -108,13 +152,13 @@ bool shrink_offline(SwarmSpec& spec, Shrinker& sh) {
   return any;
 }
 
-bool shrink_replicas(SwarmSpec& spec, Shrinker& sh) {
+bool shrink_replicas(ComposedSpec& spec, Shrinker& sh) {
   bool any = false;
-  while (spec.num_ces > 1 && sh.budget_left()) {
-    SwarmSpec candidate = spec;
-    --candidate.num_ces;
-    if (candidate.crashes.size() > candidate.num_ces)
-      candidate.crashes.resize(candidate.num_ces);
+  while (spec.base.num_ces > 1 && sh.budget_left()) {
+    ComposedSpec candidate = spec;
+    --candidate.base.num_ces;
+    if (candidate.base.crashes.size() > candidate.base.num_ces)
+      candidate.base.crashes.resize(candidate.base.num_ces);
     if (!sh.still_fails(candidate)) break;
     spec = std::move(candidate);
     any = true;
@@ -124,7 +168,7 @@ bool shrink_replicas(SwarmSpec& spec, Shrinker& sh) {
 
 }  // namespace
 
-ShrinkResult shrink(const SwarmSpec& failing, ViolationKind kind,
+ShrinkResult shrink(const ComposedSpec& failing, ViolationKind kind,
                     const CheckOptions& options, std::size_t max_attempts) {
   Shrinker sh{kind, options, max_attempts};
   ShrinkResult out;
@@ -133,13 +177,15 @@ ShrinkResult shrink(const SwarmSpec& failing, ViolationKind kind,
   bool progress = true;
   while (progress && sh.budget_left()) {
     progress = false;
-    // Cheapest structural reductions first: fewer replicas and fewer
-    // fault windows make every subsequent trace-shrink re-execution
-    // cheaper.
+    // Coarsest structural reductions first: dropping a workload unit,
+    // a replica, or a fault window makes every subsequent trace-shrink
+    // re-execution cheaper.
+    progress |= shrink_units(out.spec, sh);
     progress |= shrink_replicas(out.spec, sh);
     progress |= shrink_crashes(out.spec, sh);
     progress |= shrink_offline(out.spec, sh);
-    for (std::size_t ti = 0; ti < out.spec.traces.size(); ++ti)
+    progress |= shrink_unit_traffic(out.spec, sh);
+    for (std::size_t ti = 0; ti < out.spec.base.traces.size(); ++ti)
       progress |= shrink_trace(out.spec, ti, sh);
   }
 
@@ -147,6 +193,11 @@ ShrinkResult shrink(const SwarmSpec& failing, ViolationKind kind,
   // Every accepted edit removed at least one size unit.
   out.accepted = failing.size() - out.spec.size();
   return out;
+}
+
+ShrinkResult shrink(const SwarmSpec& failing, ViolationKind kind,
+                    const CheckOptions& options, std::size_t max_attempts) {
+  return shrink(ComposedSpec{failing, {}}, kind, options, max_attempts);
 }
 
 }  // namespace rcm::swarm

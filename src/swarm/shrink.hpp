@@ -1,13 +1,14 @@
 // Greedy counterexample shrinker.
 //
-// Given a failing SwarmSpec and the violation kind to preserve, repeatedly
-// tries structural edits — remove a chunk of a trace (ddmin-style: halves,
-// then quarters, ... down to single updates), drop a crash window, drop an
+// Given a failing ComposedSpec and the violation kind to preserve,
+// repeatedly tries structural edits — drop a whole workload unit, halve a
+// unit's traffic, remove a chunk of a trace (ddmin-style: halves, then
+// quarters, ... down to single updates), drop a crash window, drop an
 // AD offline window, drop the last replica — keeping an edit only if the
 // edited spec still exhibits the same violation kind. Every kept edit
-// strictly decreases SwarmSpec::size(), so the process terminates, and the
-// edit order is fixed with no randomness, so shrinking is deterministic:
-// the same failing spec always minimizes to the same spec.
+// strictly decreases ComposedSpec::size(), so the process terminates, and
+// the edit order is fixed with no randomness, so shrinking is
+// deterministic: the same failing spec always minimizes to the same spec.
 //
 // The result is locally minimal: no single remaining edit from the move
 // set preserves the failure. (Global minimality is NP-hard and not
@@ -22,15 +23,20 @@
 namespace rcm::swarm {
 
 struct ShrinkResult {
-  SwarmSpec spec;            ///< the minimized failing spec
+  ComposedSpec spec;         ///< the minimized failing spec
   std::size_t attempts = 0;  ///< candidate re-executions performed
-  std::size_t accepted = 0;  ///< edits kept
+  std::size_t accepted = 0;  ///< size units removed by kept edits
 };
 
 /// Minimizes `failing` while preserving a violation of kind `kind`.
 /// Precondition: executing `failing` exhibits `kind`. `max_attempts`
 /// bounds the candidate executions (the greedy loop stops early if
-/// exhausted; the spec returned is still failing).
+/// exhausted; the spec returned is still failing). The SwarmSpec overload
+/// shrinks the spec as a unit-less composition.
+[[nodiscard]] ShrinkResult shrink(const ComposedSpec& failing,
+                                  ViolationKind kind,
+                                  const CheckOptions& options = {},
+                                  std::size_t max_attempts = 3000);
 [[nodiscard]] ShrinkResult shrink(const SwarmSpec& failing,
                                   ViolationKind kind,
                                   const CheckOptions& options = {},

@@ -143,19 +143,23 @@ exp::Scenario classify_scenario(const SwarmSpec& spec) {
     crashes_anywhere = crashes_anywhere || !windows.empty();
   if (spec.front.loss == 0.0 && !crashes_anywhere)
     return exp::Scenario::kLossless;
-  switch (spec.cond_kind) {
+  return lossy_row(spec.cond_kind);
+}
+
+exp::Scenario lossy_row(ConditionKind kind) {
+  switch (kind) {
     case ConditionKind::kThreshold:
     case ConditionKind::kAbsDiff:
     case ConditionKind::kBand:
-      return exp::Scenario::kLossyNonHistorical;
+      return exp::lossy_scenario(false, Triggering::kAggressive);
     case ConditionKind::kRiseConservative:
     case ConditionKind::kRise2dConservative:
-      return exp::Scenario::kLossyConservative;
+      return exp::lossy_scenario(true, Triggering::kConservative);
     case ConditionKind::kRiseAggressive:
     case ConditionKind::kRise2dAggressive:
-      return exp::Scenario::kLossyAggressive;
+      return exp::lossy_scenario(true, Triggering::kAggressive);
   }
-  throw std::invalid_argument("classify_scenario: unknown kind");
+  throw std::invalid_argument("lossy_row: unknown kind");
 }
 
 exp::PaperClaim guaranteed_properties(const SwarmSpec& spec) {

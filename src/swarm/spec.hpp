@@ -99,6 +99,10 @@ struct SwarmSpec {
 /// lossy row matching the condition's class.
 [[nodiscard]] exp::Scenario classify_scenario(const SwarmSpec& spec);
 
+/// The lossy table row a condition kind falls into once any mechanism can
+/// make replicas miss updates (exp::lossy_scenario over the kind's class).
+[[nodiscard]] exp::Scenario lossy_row(ConditionKind kind);
+
 /// The properties the paper guarantees for this spec's (filter, scenario)
 /// cell — the swarm's oracle. kBrokenAd2 inherits AD-2's claims (that is
 /// the point of injecting it). Properties the table does NOT guarantee

@@ -14,7 +14,7 @@ namespace {
 
 /// What one executed run contributes to the report, before aggregation.
 struct RunOutcome {
-  SwarmSpec spec;
+  ComposedSpec spec;
   RunCheck check;
 };
 
@@ -24,7 +24,7 @@ struct RunOutcome {
 /// matter which thread runs them, in what order.
 RunOutcome run_one(const SwarmOptions& options, std::uint64_t index) {
   RunOutcome out;
-  out.spec = sample_spec(options.seed, index, options.fuzz);
+  out.spec = sample_composed(options.seed, index, options.fuzz);
   out.check = execute_and_check(out.spec, options.check);
   return out;
 }
@@ -35,14 +35,14 @@ RunOutcome run_one(const SwarmOptions& options, std::uint64_t index) {
 bool aggregate_run(const SwarmOptions& options, std::uint64_t index,
                    RunOutcome outcome, SwarmReport& report,
                    const ProgressFn& progress) {
-  const SwarmSpec& spec = outcome.spec;
+  const ComposedSpec& spec = outcome.spec;
   const RunCheck& chk = outcome.check;
 
   RCM_COUNT("swarm.runs");
   ++report.runs_executed;
   if (chk.had_alerts) ++report.runs_with_alerts;
   {
-    const std::string cell = std::string(filter_kind_name(spec.filter)) +
+    const std::string cell = std::string(filter_kind_name(spec.base.filter)) +
                              " / " +
                              exp::scenario_name(classify_scenario(spec));
     ++report.cell_runs[cell];
@@ -57,7 +57,7 @@ bool aggregate_run(const SwarmOptions& options, std::uint64_t index,
       ce.original = spec;
       ce.violations = chk.violations;
 
-      SwarmSpec minimal = spec;
+      ComposedSpec minimal = spec;
       RunCheck minimal_chk = chk;
       if (options.do_shrink) {
         const ShrinkResult shrunk =
@@ -151,16 +151,24 @@ SwarmReport run_swarm(const SwarmOptions& options, const ProgressFn& progress) {
 
 std::string describe_counterexample(const Counterexample& ce) {
   std::ostringstream out;
-  const SwarmSpec& s = ce.record.spec;
+  const ComposedSpec& c = ce.record.spec;
+  const SwarmSpec& s = c.base;
   out << "run #" << ce.run_index << ": "
       << filter_kind_name(s.filter) << " / "
-      << exp::scenario_name(classify_scenario(s)) << "\n";
+      << exp::scenario_name(classify_scenario(c)) << "\n";
   for (const std::string& v : ce.violations) out << "  - " << v << "\n";
   out << "  original: " << ce.original.total_updates() << " updates, "
-      << ce.original.num_ces << " CEs (size " << ce.original.size() << ")\n";
-  out << "  shrunk:   " << s.total_updates() << " updates, " << s.num_ces
-      << " CEs (size " << s.size() << "; " << ce.shrink_attempts
-      << " shrink executions)\n";
+      << ce.original.base.num_ces << " CEs, " << ce.original.units.size()
+      << " workload units (size " << ce.original.size() << ")\n";
+  out << "  shrunk:   " << c.total_updates() << " updates, " << s.num_ces
+      << " CEs, " << c.units.size() << " workload units (size " << c.size()
+      << "; " << ce.shrink_attempts << " shrink executions)\n";
+  if (!c.units.empty()) {
+    out << "  workloads:";
+    for (const WorkloadSpec& unit : c.units)
+      out << ' ' << workload_kind_name(unit.kind);
+    out << '\n';
+  }
   out << "  traces:";
   for (const auto& trace : s.traces) {
     out << " [";

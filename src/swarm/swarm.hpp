@@ -54,7 +54,7 @@ struct SwarmOptions {
 /// One found-and-processed failure.
 struct Counterexample {
   std::uint64_t run_index = 0;     ///< index within the batch
-  SwarmSpec original;              ///< as sampled
+  ComposedSpec original;           ///< as sampled
   CounterexampleRecord record;     ///< shrunk spec + observed run
   std::vector<std::string> violations;  ///< original descriptions
   std::size_t shrink_attempts = 0;

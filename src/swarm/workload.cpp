@@ -1,0 +1,620 @@
+#include "swarm/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "check/properties.hpp"
+#include "core/evaluator.hpp"
+#include "util/rng.hpp"
+#include "wire/buffer.hpp"
+
+namespace rcm::swarm {
+namespace {
+
+constexpr std::uint64_t kMaxWorkloadCount = 1u << 16;
+
+/// Emission time of every (var, seqno) in the materialized traces — the
+/// fault checkers need to know when an update left its DM.
+std::map<std::pair<VarId, SeqNo>, double> emission_times(
+    const SwarmSpec& spec) {
+  std::map<std::pair<VarId, SeqNo>, double> times;
+  for (const trace::Trace& tr : spec.traces)
+    for (const trace::TimedUpdate& tu : tr)
+      times[{tu.update.var, tu.update.seqno}] = tu.time;
+  return times;
+}
+
+std::string violation(const WorkloadSpec& unit, std::size_t unit_index,
+                      const std::string& msg) {
+  std::ostringstream out;
+  out << "workload[" << unit_index << "] " << workload_kind_name(unit.kind)
+      << ": " << msg;
+  return out.str();
+}
+
+/// Slice completeness: in cells where the paper guarantees completeness
+/// and the reference T(U) is exact (single variable, lossless scenario),
+/// every reference alert triggered by an update this unit emitted must
+/// have been displayed. A projection of the global completeness equality
+/// onto the unit's own traffic — sound whenever that equality is claimed.
+std::string check_traffic_slice(const ComposedSpec& spec,
+                                const MaterializedRun& mat,
+                                const sim::RunResult& result,
+                                std::size_t unit_index) {
+  const SwarmSpec& run_spec = mat.spec;
+  if (condition_arity(run_spec.cond_kind) != 1) return "";
+  if (classify_scenario(spec) != exp::Scenario::kLossless) return "";
+  if (!guaranteed_properties(spec).complete) return "";
+  if (mat.owner.empty() || run_spec.traces.empty()) return "";
+
+  std::set<SeqNo> slice;
+  for (std::size_t k = 0; k < mat.owner.size(); ++k)
+    if (mat.owner[k] == unit_index) slice.insert(static_cast<SeqNo>(k) + 1);
+  if (slice.empty()) return "";
+
+  const ConditionPtr condition =
+      build_condition(run_spec.cond_kind, run_spec.cond_param);
+  const std::vector<Update> u = trace::updates_of(run_spec.traces[0]);
+  const std::vector<Alert> reference = evaluate_trace(condition, u);
+  const std::vector<Alert> expected =
+      check::restrict_to_seqnos(reference, 0, slice);
+
+  std::set<AlertKey> displayed;
+  for (const Alert& a : result.displayed) displayed.insert(a.key());
+  std::size_t missing = 0;
+  SeqNo first_missing = kNoSeqNo;
+  for (const Alert& a : expected) {
+    if (displayed.count(a.key())) continue;
+    ++missing;
+    if (first_missing == kNoSeqNo) first_missing = a.seqno(0);
+  }
+  if (missing == 0) return "";
+  std::ostringstream out;
+  out << "slice incompleteness: " << missing << " of " << expected.size()
+      << " reference alerts owned by this unit were never displayed (first"
+         " missing trigger seqno "
+      << first_missing << ")";
+  return out.str();
+}
+
+/// Materialization invariant for clock-skewed traffic: the merge must
+/// keep the unit's updates in generated (emission-time) order with their
+/// values intact — the skew moves the whole stream, it must not shuffle
+/// or rewrite it.
+std::string check_skew_order(const WorkloadSpec& unit,
+                             const MaterializedRun& mat,
+                             std::size_t unit_index) {
+  const trace::Trace generated = workload_traffic(unit);
+  std::vector<const trace::TimedUpdate*> owned;
+  if (!mat.spec.traces.empty()) {
+    const trace::Trace& primary = mat.spec.traces[0];
+    for (std::size_t k = 0; k < mat.owner.size() && k < primary.size(); ++k)
+      if (mat.owner[k] == unit_index) owned.push_back(&primary[k]);
+  }
+  if (owned.size() != generated.size()) {
+    std::ostringstream out;
+    out << "materialized slice has " << owned.size() << " updates, the unit"
+        << " generated " << generated.size();
+    return out.str();
+  }
+  for (std::size_t j = 0; j < owned.size(); ++j) {
+    if (owned[j]->time == generated[j].time &&
+        owned[j]->update.value == generated[j].update.value)
+      continue;
+    std::ostringstream out;
+    out << "materialized update " << j << " diverges from the generated"
+        << " stream (time " << owned[j]->time << " vs " << generated[j].time
+        << ", value " << owned[j]->update.value << " vs "
+        << generated[j].update.value << ")";
+    return out.str();
+  }
+  return "";
+}
+
+/// Slow replica: extra delay must never lose or reorder anything. With a
+/// lossless composed scenario (no link loss, no crashes, no effective
+/// partitions) and FIFO links, the delayed replica's per-variable input
+/// must be exactly the full emitted trace of that variable.
+std::string check_slow_replica(const ComposedSpec& spec,
+                               const MaterializedRun& mat,
+                               const sim::RunResult& result,
+                               const WorkloadSpec& unit) {
+  const SwarmSpec& run_spec = mat.spec;
+  if (unit.replica >= run_spec.num_ces) return "";  // inert unit
+  if (classify_scenario(spec) != exp::Scenario::kLossless) return "";
+  if (unit.replica >= result.ce_inputs.size())
+    return "replica missing from the run result";
+  const std::vector<Update>& got = result.ce_inputs[unit.replica];
+  for (VarId v = 0; v < run_spec.traces.size(); ++v) {
+    const std::vector<Update> want = trace::updates_of(run_spec.traces[v]);
+    std::vector<Update> got_v;
+    for (const Update& u : got)
+      if (u.var == v) got_v.push_back(u);
+    if (got_v == want) continue;
+    std::ostringstream out;
+    out << "delayed replica " << unit.replica << " received " << got_v.size()
+        << "/" << want.size() << " var-" << v
+        << " updates or saw them reordered; constant delay must lose nothing";
+    return out.str();
+  }
+  return "";
+}
+
+/// Partition: no update emitted inside the outage window may reach the
+/// partitioned replica — the link drops at send time, so an in-window
+/// arrival is a hole in the fault injection itself.
+std::string check_partition(const MaterializedRun& mat,
+                            const sim::RunResult& result,
+                            const WorkloadSpec& unit) {
+  const SwarmSpec& run_spec = mat.spec;
+  if (unit.replica >= run_spec.num_ces) return "";  // inert unit
+  if (unit.replica >= result.ce_inputs.size()) return "";
+  const double from = std::max(unit.start, 0.0);
+  const double to = from + std::max(unit.duration, 0.0);
+  const auto times = emission_times(run_spec);
+  for (const Update& u : result.ce_inputs[unit.replica]) {
+    const auto it = times.find({u.var, u.seqno});
+    if (it == times.end()) continue;
+    if (it->second < from || it->second >= to) continue;
+    std::ostringstream out;
+    out << "partitioned replica " << unit.replica << " received (var "
+        << u.var << ", seq " << u.seqno << ") emitted at t=" << it->second
+        << " inside the outage [" << from << ", " << to << ")";
+    return out.str();
+  }
+  return "";
+}
+
+/// Cheap fleet: sweep a fleet of `count` threshold conditions over what
+/// CE0 received. The per-threshold trigger counts are computed directly
+/// (values above the threshold) and cross-checked against the real
+/// evaluator on a sample of the fleet. Skipped when CE0 has crash
+/// windows: a reborn CE legitimately re-accepts sequence numbers, which
+/// makes the raw input log non-monotone.
+std::string check_cheap_fleet(const MaterializedRun& mat,
+                              const sim::RunResult& result,
+                              const WorkloadSpec& unit) {
+  const SwarmSpec& run_spec = mat.spec;
+  if (result.ce_inputs.empty()) return "";
+  const bool ce0_crashes =
+      !run_spec.crashes.empty() && !run_spec.crashes[0].empty();
+  if (ce0_crashes) return "";
+
+  std::vector<Update> var0;
+  for (const Update& u : result.ce_inputs[0])
+    if (u.var == 0) var0.push_back(u);
+  SeqNo last = kNoSeqNo;
+  for (const Update& u : var0) {
+    if (u.seqno > last) {
+      last = u.seqno;
+      continue;
+    }
+    std::ostringstream out;
+    out << "CE0 logged a stale var-0 update (seq " << u.seqno
+        << " after seq " << last << ") without any crash window";
+    return out.str();
+  }
+
+  double lo = 0.0;
+  double hi = 100.0;
+  if (!var0.empty()) {
+    lo = hi = var0[0].value;
+    for (const Update& u : var0) {
+      lo = std::min(lo, u.value);
+      hi = std::max(hi, u.value);
+    }
+  }
+  lo -= 1.0;
+  hi += 1.0;
+
+  const std::size_t fleet = std::max<std::size_t>(
+      1, std::min<std::uint64_t>(unit.count, kMaxWorkloadCount));
+  std::vector<std::size_t> direct(fleet, 0);
+  for (std::size_t j = 0; j < fleet; ++j) {
+    const double p =
+        lo + (hi - lo) * (static_cast<double>(j) + 0.5) /
+                 static_cast<double>(fleet);
+    for (const Update& u : var0)
+      if (u.value > p) ++direct[j];
+  }
+  // Deep-check a sample of the fleet against the real evaluator; the
+  // direct counts above give the fleet-scale sweep, the evaluator runs
+  // confirm the cheap model matches T.
+  const std::size_t stride = std::max<std::size_t>(1, fleet / 32);
+  for (std::size_t j = 0; j < fleet; j += stride) {
+    const double p =
+        lo + (hi - lo) * (static_cast<double>(j) + 0.5) /
+                 static_cast<double>(fleet);
+    const ConditionPtr cond =
+        std::make_shared<const ThresholdCondition>("workload.fleet", 0, p);
+    const std::size_t via_evaluator =
+        evaluate_trace(cond, std::span<const Update>{var0}).size();
+    if (via_evaluator == direct[j]) continue;
+    std::ostringstream out;
+    out << "fleet condition " << j << " (v0 > " << p << ") triggered "
+        << via_evaluator << " times via the evaluator but " << direct[j]
+        << " times by direct count";
+    return out.str();
+  }
+  return "";
+}
+
+/// Adaptive holdback: (a) the AD's arrival stream must carry every alert
+/// any CE ever logged exactly once (lossless back links; the disconnect
+/// runner dedups redeliveries), and (b) replaying the arrivals through
+/// the adaptive controller must release every alert with the timeout
+/// staying inside its clamp — the controller retunes, it never drops.
+std::string check_adaptive_holdback(const MaterializedRun& mat,
+                                    const sim::RunResult& result,
+                                    const WorkloadSpec& unit) {
+  std::map<AlertKey, long> delta;
+  for (const std::vector<Alert>& outputs : result.ce_outputs)
+    for (const Alert& a : outputs) ++delta[a.key()];
+  for (const Alert& a : result.arrived) --delta[a.key()];
+  for (const auto& [key, n] : delta) {
+    if (n == 0) continue;
+    return n > 0 ? "an alert a CE emitted never arrived at the AD"
+                 : "an alert arrived at the AD that no CE emitted";
+  }
+
+  AdaptiveHoldback::Params params;
+  if (unit.magnitude > 0.0) params.initial_timeout = unit.magnitude;
+  AdaptiveHoldback holdback(0, params);
+  // The checker has no arrival clock, so it drives the controller with
+  // the emission time of each alert's primary trigger, made monotone.
+  const auto times = emission_times(mat.spec);
+  double now = 0.0;
+  std::map<AlertKey, long> balance;
+  for (const Alert& a : result.arrived) {
+    const auto h = a.histories.find(0);
+    if (h != a.histories.end() && !h->second.empty()) {
+      const auto it = times.find({0, a.seqno(0)});
+      if (it != times.end()) now = std::max(now, it->second);
+    }
+    ++balance[a.key()];
+    for (const Alert& released : holdback.on_alert(a, now))
+      --balance[released.key()];
+    if (holdback.timeout() < params.min_timeout ||
+        holdback.timeout() > params.max_timeout) {
+      std::ostringstream out;
+      out << "holdback timeout retuned to " << holdback.timeout()
+          << ", outside [" << params.min_timeout << ", "
+          << params.max_timeout << "]";
+      return out.str();
+    }
+  }
+  for (const Alert& released : holdback.flush()) --balance[released.key()];
+  for (const auto& [key, n] : balance)
+    if (n != 0)
+      return "the adaptive holdback dropped or duplicated an alert";
+  return "";
+}
+
+}  // namespace
+
+std::string_view workload_kind_name(WorkloadKind k) noexcept {
+  switch (k) {
+    case WorkloadKind::kFlashCrowd: return "flash-crowd";
+    case WorkloadKind::kSlowReplica: return "slow-replica";
+    case WorkloadKind::kPartition: return "partition";
+    case WorkloadKind::kClockSkew: return "clock-skew";
+    case WorkloadKind::kCheapFleet: return "cheap-fleet";
+    case WorkloadKind::kAdaptiveHoldback: return "adaptive-holdback";
+  }
+  return "?";
+}
+
+WorkloadKind parse_workload_kind(std::string_view name) {
+  for (WorkloadKind k : kAllWorkloadKinds)
+    if (workload_kind_name(k) == name) return k;
+  throw std::invalid_argument("unknown workload kind: " + std::string(name));
+}
+
+std::size_t WorkloadSpec::traffic_count() const noexcept {
+  switch (kind) {
+    case WorkloadKind::kFlashCrowd:
+    case WorkloadKind::kClockSkew:
+    case WorkloadKind::kAdaptiveHoldback:
+      return count;
+    case WorkloadKind::kCheapFleet:
+      return updates;
+    case WorkloadKind::kSlowReplica:
+    case WorkloadKind::kPartition:
+      return 0;
+  }
+  return 0;
+}
+
+trace::Trace workload_traffic(const WorkloadSpec& unit) {
+  trace::Trace out;
+  const std::size_t n = unit.traffic_count();
+  if (n == 0) return out;
+  // The unit's private stream: a pure function of (salt, kind), blind to
+  // every other unit and to the unit's position in the list.
+  util::Rng rng =
+      util::Rng::derive(unit.salt, static_cast<std::uint64_t>(unit.kind));
+  const double window = std::max(unit.duration, 1e-6);
+  const auto emit = [&out](double time, double value) {
+    out.push_back({std::max(time, 0.0),
+                   Update{0, 0, std::clamp(value, 0.0, 100.0)}});
+  };
+  switch (unit.kind) {
+    case WorkloadKind::kFlashCrowd:
+      // A burst of near-`magnitude` values inside the window.
+      for (std::size_t i = 0; i < n; ++i)
+        emit(unit.start + rng.uniform(0.0, window),
+             rng.uniform(unit.magnitude - 10.0, unit.magnitude + 10.0));
+      break;
+    case WorkloadKind::kClockSkew:
+      // Nominal times in the window, emitted on a clock offset by
+      // `magnitude` (which may be negative; times clamp at 0).
+      for (std::size_t i = 0; i < n; ++i)
+        emit(unit.start + rng.uniform(0.0, window) + unit.magnitude,
+             rng.uniform(0.0, 100.0));
+      break;
+    case WorkloadKind::kCheapFleet:
+      for (std::size_t i = 0; i < n; ++i)
+        emit(unit.start + rng.uniform(0.0, window), rng.uniform(0.0, 100.0));
+      break;
+    case WorkloadKind::kAdaptiveHoldback:
+      // Front-loaded: half the updates land in the first fifth of the
+      // window so the alert rate genuinely spikes, then tails off.
+      for (std::size_t i = 0; i < n; ++i) {
+        const double span = i < (n + 1) / 2 ? 0.2 * window : window;
+        emit(unit.start + rng.uniform(0.0, span), rng.uniform(55.0, 100.0));
+      }
+      break;
+    case WorkloadKind::kSlowReplica:
+    case WorkloadKind::kPartition:
+      break;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const trace::TimedUpdate& a, const trace::TimedUpdate& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+std::size_t ComposedSpec::size() const {
+  std::size_t n = base.size();
+  for (const WorkloadSpec& unit : units) n += unit.size();
+  return n;
+}
+
+std::size_t ComposedSpec::total_updates() const {
+  std::size_t n = base.total_updates();
+  for (const WorkloadSpec& unit : units) n += unit.traffic_count();
+  return n;
+}
+
+MaterializedRun materialize(const ComposedSpec& spec) {
+  MaterializedRun m;
+  m.spec = spec.base;
+
+  // Fault units become front-link shaping on their target replica. Units
+  // aimed at a replica the base does not have are inert.
+  for (const WorkloadSpec& unit : spec.units) {
+    if (unit.replica >= spec.base.num_ces) continue;
+    if (unit.kind == WorkloadKind::kSlowReplica) {
+      if (m.front_shaping.size() <= unit.replica)
+        m.front_shaping.resize(unit.replica + 1);
+      m.front_shaping[unit.replica].extra_delay += std::max(unit.magnitude, 0.0);
+    } else if (unit.kind == WorkloadKind::kPartition) {
+      if (m.front_shaping.size() <= unit.replica)
+        m.front_shaping.resize(unit.replica + 1);
+      const double from = std::max(unit.start, 0.0);
+      m.front_shaping[unit.replica].outages.emplace_back(
+          from, from + std::max(unit.duration, 0.0));
+    }
+  }
+
+  // Traffic units merge into the primary (var 0) trace. The tie-break key
+  // is (time, salt, index-within-unit) — never the unit's list position —
+  // so reordering the unit list cannot change the merge.
+  struct Entry {
+    double time;
+    double value;
+    std::uint64_t tie;
+    std::uint32_t idx;
+    std::uint32_t owner;
+  };
+  std::vector<Entry> entries;
+  bool any_unit_traffic = false;
+  for (std::size_t i = 0; i < spec.units.size(); ++i) {
+    const trace::Trace tr = workload_traffic(spec.units[i]);
+    for (std::size_t k = 0; k < tr.size(); ++k)
+      entries.push_back({tr[k].time, tr[k].update.value, spec.units[i].salt,
+                         static_cast<std::uint32_t>(k),
+                         static_cast<std::uint32_t>(i)});
+    any_unit_traffic = any_unit_traffic || !tr.empty();
+  }
+  // With no unit traffic the base traces (sequence numbers included) are
+  // left byte-identical — legacy specs replay to their recorded digests.
+  if (!any_unit_traffic) return m;
+
+  if (m.spec.traces.empty()) m.spec.traces.resize(1);
+  const trace::Trace& base_primary = spec.base.traces.empty()
+                                         ? m.spec.traces[0]
+                                         : spec.base.traces[0];
+  for (std::size_t k = 0; k < base_primary.size(); ++k)
+    entries.push_back({base_primary[k].time, base_primary[k].update.value, 0,
+                       static_cast<std::uint32_t>(k), kBaseTraffic});
+
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     if (a.tie != b.tie) return a.tie < b.tie;
+                     return a.idx < b.idx;
+                   });
+
+  trace::Trace merged;
+  merged.reserve(entries.size());
+  m.owner.reserve(entries.size());
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    merged.push_back({entries[k].time,
+                      Update{0, static_cast<SeqNo>(k) + 1, entries[k].value}});
+    m.owner.push_back(entries[k].owner);
+  }
+  m.spec.traces[0] = std::move(merged);
+  return m;
+}
+
+exp::Scenario classify_scenario(const ComposedSpec& spec) {
+  const exp::Scenario base = classify_scenario(spec.base);
+  if (base != exp::Scenario::kLossless) return base;
+  for (const WorkloadSpec& unit : spec.units) {
+    if (unit.kind != WorkloadKind::kPartition) continue;
+    if (unit.replica >= spec.base.num_ces || unit.duration <= 0.0) continue;
+    // A partition loses updates exactly like link loss or a crash window.
+    return lossy_row(spec.base.cond_kind);
+  }
+  return base;
+}
+
+exp::PaperClaim guaranteed_properties(const ComposedSpec& spec) {
+  const bool multi = condition_arity(spec.base.cond_kind) > 1;
+  const FilterKind claimed = spec.base.filter == FilterKind::kBrokenAd2
+                                 ? FilterKind::kAd2
+                                 : spec.base.filter;
+  return exp::paper_claim(claimed, classify_scenario(spec), multi);
+}
+
+std::string check_workload(const ComposedSpec& spec,
+                           const MaterializedRun& mat,
+                           const sim::RunResult& result,
+                           std::size_t unit_index) {
+  const WorkloadSpec& unit = spec.units.at(unit_index);
+  std::string msg;
+  switch (unit.kind) {
+    case WorkloadKind::kFlashCrowd:
+      msg = check_traffic_slice(spec, mat, result, unit_index);
+      break;
+    case WorkloadKind::kClockSkew:
+      msg = check_skew_order(unit, mat, unit_index);
+      if (msg.empty()) msg = check_traffic_slice(spec, mat, result, unit_index);
+      break;
+    case WorkloadKind::kSlowReplica:
+      msg = check_slow_replica(spec, mat, result, unit);
+      break;
+    case WorkloadKind::kPartition:
+      msg = check_partition(mat, result, unit);
+      break;
+    case WorkloadKind::kCheapFleet:
+      msg = check_cheap_fleet(mat, result, unit);
+      if (msg.empty()) msg = check_traffic_slice(spec, mat, result, unit_index);
+      break;
+    case WorkloadKind::kAdaptiveHoldback:
+      msg = check_adaptive_holdback(mat, result, unit);
+      if (msg.empty()) msg = check_traffic_slice(spec, mat, result, unit_index);
+      break;
+  }
+  return msg.empty() ? msg : violation(unit, unit_index, msg);
+}
+
+void encode_workload(wire::Writer& w, const WorkloadSpec& unit) {
+  w.u8(static_cast<std::uint8_t>(unit.kind));
+  w.u64(unit.salt);
+  w.varint(unit.replica);
+  w.varint(unit.count);
+  w.varint(unit.updates);
+  w.f64(unit.start);
+  w.f64(unit.duration);
+  w.f64(unit.magnitude);
+}
+
+WorkloadSpec decode_workload(wire::Reader& r) {
+  WorkloadSpec unit;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(WorkloadKind::kAdaptiveHoldback))
+    throw wire::DecodeError("unknown workload kind");
+  unit.kind = static_cast<WorkloadKind>(kind);
+  unit.salt = r.u64();
+  const std::uint64_t replica = r.varint();
+  if (replica > 64) throw wire::DecodeError("bad workload replica");
+  unit.replica = static_cast<std::uint32_t>(replica);
+  const std::uint64_t count = r.varint();
+  if (count > kMaxWorkloadCount)
+    throw wire::DecodeError("workload count too large");
+  unit.count = static_cast<std::uint32_t>(count);
+  const std::uint64_t updates = r.varint();
+  if (updates > kMaxWorkloadCount)
+    throw wire::DecodeError("workload updates too large");
+  unit.updates = static_cast<std::uint32_t>(updates);
+  unit.start = r.f64();
+  unit.duration = r.f64();
+  unit.magnitude = r.f64();
+  if (!(unit.start >= 0.0) || !(unit.duration >= 0.0) ||
+      !std::isfinite(unit.magnitude))
+    throw wire::DecodeError("bad workload window");
+  if (unit.kind != WorkloadKind::kClockSkew && unit.magnitude < 0.0)
+    throw wire::DecodeError("bad workload magnitude");
+  return unit;
+}
+
+AdaptiveHoldback::AdaptiveHoldback(VarId var, const Params& params)
+    : var_(var),
+      params_(params),
+      timeout_(std::clamp(params.initial_timeout, params.min_timeout,
+                          params.max_timeout)) {}
+
+std::vector<Alert> AdaptiveHoldback::release_due(double now) {
+  std::vector<Alert> out;
+  std::vector<std::pair<Alert, double>> keep;
+  for (auto& [alert, deadline] : buffer_) {
+    if (deadline <= now)
+      out.push_back(std::move(alert));
+    else
+      keep.emplace_back(std::move(alert), deadline);
+  }
+  buffer_ = std::move(keep);
+  // §4.2 holdback semantics: release in primary-seqno order so the AD
+  // output stays ordered even when the arrival interleaving was not.
+  std::stable_sort(out.begin(), out.end(),
+                   [this](const Alert& a, const Alert& b) {
+                     return a.seqno(var_) < b.seqno(var_);
+                   });
+  released_.insert(released_.end(), out.begin(), out.end());
+  return out;
+}
+
+std::vector<Alert> AdaptiveHoldback::on_alert(const Alert& a, double now) {
+  last_now_ = std::max(last_now_, now);
+  std::vector<Alert> out = release_due(last_now_);
+  buffer_.emplace_back(a, last_now_ + timeout_);
+  ++fed_in_window_;
+  maybe_retune(last_now_);
+  return out;
+}
+
+std::vector<Alert> AdaptiveHoldback::flush() {
+  std::vector<Alert> out;
+  for (auto& [alert, deadline] : buffer_) out.push_back(std::move(alert));
+  buffer_.clear();
+  std::stable_sort(out.begin(), out.end(),
+                   [this](const Alert& a, const Alert& b) {
+                     return a.seqno(var_) < b.seqno(var_);
+                   });
+  released_.insert(released_.end(), out.begin(), out.end());
+  return out;
+}
+
+void AdaptiveHoldback::maybe_retune(double now) {
+  if (fed_in_window_ < params_.window) return;
+  const double span = std::max(now - window_started_, 1e-9);
+  const double rate = static_cast<double>(fed_in_window_) / span;
+  // Faster than the AD can absorb -> lengthen the holdback so bursts
+  // coalesce; slower -> shorten it toward responsiveness. One window's
+  // evidence moves the timeout at most 2x either way.
+  const double factor = std::clamp(rate / params_.target_rate, 0.5, 2.0);
+  timeout_ = std::clamp(timeout_ * factor, params_.min_timeout,
+                        params_.max_timeout);
+  ++retunes_;
+  fed_in_window_ = 0;
+  window_started_ = now;
+}
+
+}  // namespace rcm::swarm

@@ -1,0 +1,198 @@
+// Composable workload library (FoundationDB-style).
+//
+// A WorkloadSpec is one independent, serializable unit of traffic or
+// fault injection that composes with a base SwarmSpec into a single run:
+//
+//   flash-crowd        a burst of high-valued updates in a time window
+//   slow-replica       constant extra delay on every front link into one CE
+//   partition          asymmetric front-link outage into one CE for a window
+//   clock-skew         a DM whose emission clock is offset by a constant
+//   cheap-fleet        modest traffic plus a fleet of thousands of cheap
+//                      threshold conditions evaluated over what CE0 received
+//   adaptive-holdback  burst traffic driving a holdback displayer whose
+//                      timeout is retuned from the observed alert rate
+//
+// Each unit's traffic is a pure function of (kind, params, salt) via the
+// stateless util::Rng::derive — reordering the unit list never changes
+// any unit's sampled updates — and each unit carries its own check()
+// verifying its slice of the paper's guarantee tables on top of the
+// cross-replica invariants the runner always checks. A ComposedSpec (base
+// + units) is what the swarm samples, executes, shrinks (the shrinker can
+// drop a whole unit) and serializes into counterexample records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/system.hpp"
+#include "swarm/spec.hpp"
+
+namespace rcm::swarm {
+
+/// Closed set of workload unit kinds. Wire-stable: values are serialized
+/// in counterexample records; append only.
+enum class WorkloadKind : std::uint8_t {
+  kFlashCrowd = 0,
+  kSlowReplica = 1,
+  kPartition = 2,
+  kClockSkew = 3,
+  kCheapFleet = 4,
+  kAdaptiveHoldback = 5,
+};
+
+inline constexpr WorkloadKind kAllWorkloadKinds[] = {
+    WorkloadKind::kFlashCrowd,   WorkloadKind::kSlowReplica,
+    WorkloadKind::kPartition,    WorkloadKind::kClockSkew,
+    WorkloadKind::kCheapFleet,   WorkloadKind::kAdaptiveHoldback,
+};
+
+[[nodiscard]] std::string_view workload_kind_name(WorkloadKind k) noexcept;
+/// Parses the CLI spelling ("flash-crowd", "slow-replica", ...). Throws
+/// std::invalid_argument on unknown names.
+[[nodiscard]] WorkloadKind parse_workload_kind(std::string_view name);
+
+/// One workload unit. Plain values only, like SwarmSpec. The fields are
+/// shared across kinds; which ones matter depends on `kind`:
+///
+///   kind              replica  count        updates  start/duration  magnitude
+///   flash-crowd       -        #updates     -        burst window    value level
+///   slow-replica      target   -            -        -               extra delay (s)
+///   partition         target   -            -        outage window   -
+///   clock-skew        -        #updates     -        nominal window  clock offset (s)
+///   cheap-fleet       -        #conditions  #updates traffic window  -
+///   adaptive-holdback -        #updates     -        burst window    initial timeout (s)
+struct WorkloadSpec {
+  WorkloadKind kind = WorkloadKind::kFlashCrowd;
+
+  /// Private RNG stream id: the unit's traffic is a pure function of
+  /// (kind, params, salt) via util::Rng::derive(salt, ...), independent
+  /// of the unit's position in the list and of every other unit.
+  std::uint64_t salt = 1;
+
+  std::uint32_t replica = 0;
+  std::uint32_t count = 0;
+  std::uint32_t updates = 0;
+  double start = 0.0;
+  double duration = 1.0;
+  double magnitude = 0.0;
+
+  /// Updates this unit merges into the primary (var 0) trace.
+  [[nodiscard]] std::size_t traffic_count() const noexcept;
+
+  /// Shrink weight: 1 for existing plus the traffic contributed, so
+  /// dropping a unit always strictly decreases ComposedSpec::size().
+  [[nodiscard]] std::size_t size() const noexcept {
+    return 1 + traffic_count();
+  }
+
+  friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
+};
+
+/// The unit's traffic on variable 0, sorted by emission time (clock skew
+/// already applied). Sequence numbers are NOT assigned here — they come
+/// from the merge in materialize(). Pure function of the spec.
+[[nodiscard]] trace::Trace workload_traffic(const WorkloadSpec& unit);
+
+/// A base spec plus the workload units composed onto it. The unit the
+/// swarm pipeline samples, executes, shrinks, and records. An empty unit
+/// list behaves exactly like the base SwarmSpec alone.
+struct ComposedSpec {
+  SwarmSpec base;
+  std::vector<WorkloadSpec> units;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t total_updates() const;
+
+  friend bool operator==(const ComposedSpec&, const ComposedSpec&) = default;
+};
+
+/// Owner sentinel for base-spec traffic in MaterializedRun::owner.
+inline constexpr std::uint32_t kBaseTraffic = 0xffffffffu;
+
+/// The runnable form of a ComposedSpec: unit traffic merged into the
+/// primary trace (sequence numbers renumbered 1..N in emission order when
+/// any unit contributed traffic), fault units turned into per-replica
+/// front-link shaping, and a provenance map assigning every primary-
+/// variable sequence number to the unit that emitted it.
+struct MaterializedRun {
+  SwarmSpec spec;
+  std::vector<sim::LinkShaping> front_shaping;  ///< index = CE replica
+  /// owner[s - 1] = unit index owning var-0 seqno s, or kBaseTraffic.
+  std::vector<std::uint32_t> owner;
+};
+
+[[nodiscard]] MaterializedRun materialize(const ComposedSpec& spec);
+
+/// Scenario / guarantee classification of the composed run: the base
+/// cell, downgraded to the matching lossy row when any partition unit
+/// can actually drop traffic (a partition loses updates exactly like
+/// link loss or a crash window does).
+[[nodiscard]] exp::Scenario classify_scenario(const ComposedSpec& spec);
+[[nodiscard]] exp::PaperClaim guaranteed_properties(const ComposedSpec& spec);
+
+/// Per-unit checker: verifies unit `unit_index`'s slice of the paper's
+/// guarantee tables against the observed run. Returns an empty string
+/// when the unit is satisfied, otherwise a violation description. Every
+/// check is gated so it is sound for ANY spec the fuzzer can sample; a
+/// non-empty return is a real bug (or a planted one), never noise.
+[[nodiscard]] std::string check_workload(const ComposedSpec& spec,
+                                         const MaterializedRun& mat,
+                                         const sim::RunResult& result,
+                                         std::size_t unit_index);
+
+/// Serialization of one unit (used inside counterexample records).
+/// decode throws wire::DecodeError on unknown kinds ("unknown workload
+/// kind"), non-finite or out-of-range parameters.
+void encode_workload(wire::Writer& w, const WorkloadSpec& unit);
+[[nodiscard]] WorkloadSpec decode_workload(wire::Reader& r);
+
+/// The §4.2 holdback displayer with its timeout retuned from the
+/// observed alert rate: every `window` alerts, the timeout is scaled
+/// toward `target_rate` alerts per second and clamped to
+/// [min_timeout, max_timeout]. Deterministic; never drops an alert.
+/// The adaptive-holdback workload replays the run's arrival stream
+/// through one of these and checks the controller's guarantees.
+class AdaptiveHoldback {
+ public:
+  struct Params {
+    double initial_timeout = 0.5;  ///< seconds; clamped into [min, max]
+    double min_timeout = 0.05;
+    double max_timeout = 2.0;
+    double target_rate = 2.0;      ///< alerts per second the AD can absorb
+    std::size_t window = 8;        ///< alerts per retune
+  };
+
+  AdaptiveHoldback(VarId var, const Params& params);
+
+  /// Feeds one arriving alert at time `now` (non-decreasing) and returns
+  /// whatever the holdback released.
+  std::vector<Alert> on_alert(const Alert& a, double now);
+  /// Releases everything still buffered (end of stream).
+  std::vector<Alert> flush();
+
+  [[nodiscard]] double timeout() const noexcept { return timeout_; }
+  [[nodiscard]] std::size_t retunes() const noexcept { return retunes_; }
+  [[nodiscard]] const std::vector<Alert>& released() const noexcept {
+    return released_;
+  }
+
+ private:
+  std::vector<Alert> release_due(double now);
+  void maybe_retune(double now);
+
+  VarId var_;
+  Params params_;
+  double timeout_;
+  std::size_t retunes_ = 0;
+  std::size_t fed_in_window_ = 0;
+  double window_started_ = 0.0;
+  std::vector<Alert> released_;
+  /// (alert, release deadline); the deadline is fixed at arrival with the
+  /// then-current timeout, so a retune affects only later arrivals.
+  std::vector<std::pair<Alert, double>> buffer_;
+  double last_now_ = 0.0;
+};
+
+}  // namespace rcm::swarm

@@ -148,6 +148,82 @@ TEST(DecodeFuzz, SwarmCounterexampleRecord) {
       valid, 9, 300);
 }
 
+TEST(DecodeFuzz, SwarmRecordWithWorkloadUnits) {
+  // The v2 record path: a composed spec's workload units ride inside the
+  // record. Round-trip, then fuzz the decoder over the larger format.
+  swarm::FuzzOptions fuzz;
+  fuzz.min_workloads = 2;
+  const swarm::ComposedSpec spec = swarm::sample_composed(11, 0, fuzz);
+  ASSERT_GE(spec.units.size(), 2u);
+  const swarm::RunCheck chk = swarm::execute_and_check(spec);
+  const swarm::CounterexampleRecord record = swarm::make_record(spec, chk);
+
+  const auto valid = swarm::encode_record(record);
+  const swarm::CounterexampleRecord back = swarm::decode_record(valid);
+  EXPECT_TRUE(back.spec == record.spec);
+  EXPECT_EQ(back.spec.units, spec.units);
+
+  fuzz_decoder(
+      [](const std::vector<std::uint8_t>& b) { (void)swarm::decode_record(b); },
+      valid, 10, 300);
+}
+
+TEST(DecodeFuzz, LegacyV1SwarmRecordStillDecodesAndReplays) {
+  // Records written before workload units existed (version 1, no unit
+  // section) must keep decoding — to an empty unit list — and keep
+  // replaying bit-for-bit.
+  const swarm::SwarmSpec spec = swarm::sample_spec(11, 0);
+  const swarm::RunCheck chk = swarm::execute_and_check(spec);
+  const swarm::CounterexampleRecord record = swarm::make_record(spec, chk);
+
+  Writer w;
+  w.u8(0x57);  // record tag
+  w.u8(1);     // version 1: spec | violation kinds | digest | run bytes
+  swarm::encode_spec(w, record.spec.base);
+  w.varint(record.violation_kinds.size());
+  for (swarm::ViolationKind k : record.violation_kinds)
+    w.u8(static_cast<std::uint8_t>(k));
+  w.u64(record.digest);
+  w.varint(record.run_bytes.size());
+  w.raw(record.run_bytes);
+
+  const swarm::CounterexampleRecord legacy = swarm::decode_record(w.bytes());
+  EXPECT_TRUE(legacy.spec.units.empty());
+  EXPECT_TRUE(legacy.spec.base == record.spec.base);
+  EXPECT_EQ(legacy.digest, record.digest);
+  EXPECT_TRUE(swarm::replay(legacy).reproduced);
+
+  // A v1 record cannot carry the kWorkload violation kind: its value is
+  // only meaningful once a unit section exists.
+  Writer bad;
+  bad.u8(0x57);
+  bad.u8(1);
+  swarm::encode_spec(bad, record.spec.base);
+  bad.varint(1);
+  bad.u8(static_cast<std::uint8_t>(swarm::ViolationKind::kWorkload));
+  bad.u64(record.digest);
+  bad.varint(record.run_bytes.size());
+  bad.raw(record.run_bytes);
+  EXPECT_THROW((void)swarm::decode_record(bad.bytes()), DecodeError);
+}
+
+TEST(DecodeFuzz, RecordWithUnknownWorkloadKindIsRejected) {
+  const swarm::SwarmSpec spec = swarm::sample_spec(11, 0);
+  const swarm::RunCheck chk = swarm::execute_and_check(spec);
+  const swarm::CounterexampleRecord record = swarm::make_record(spec, chk);
+
+  Writer w;
+  w.u8(0x57);
+  w.u8(2);  // version 2: a unit section follows the spec
+  swarm::encode_spec(w, record.spec.base);
+  w.varint(1);
+  w.u8(6);  // one past kAdaptiveHoldback: unknown workload kind
+  swarm::WorkloadSpec filler;
+  swarm::encode_workload(w, filler);  // plausible trailing bytes
+  w.u64(record.digest);
+  EXPECT_THROW((void)swarm::decode_record(w.bytes()), DecodeError);
+}
+
 TEST(DecodeFuzz, FrameCursorOnGarbageStreams) {
   // The cursor must terminate and never emit a CRC-invalid payload,
   // whatever bytes arrive.

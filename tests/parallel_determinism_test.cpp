@@ -25,11 +25,13 @@ struct BatchTrace {
   swarm::SwarmReport report;
 };
 
-BatchTrace run_batch(std::uint64_t seed, std::size_t runs, std::size_t jobs) {
+BatchTrace run_batch(std::uint64_t seed, std::size_t runs, std::size_t jobs,
+                     std::size_t min_workloads = 0) {
   swarm::SwarmOptions options;
   options.seed = seed;
   options.runs = runs;
   options.jobs = jobs;
+  options.fuzz.min_workloads = min_workloads;
   // Shrinking failed runs is orthogonal to executor determinism and
   // dominates wall-clock when a violation shows up; keep the test fast.
   options.do_shrink = false;
@@ -107,6 +109,26 @@ TEST(ParallelDeterminismTest, OddJobCountsAgreeToo) {
   const BatchTrace serial = run_batch(/*seed=*/99, /*runs=*/60, /*jobs=*/1);
   for (std::size_t jobs : {2u, 3u, 5u}) {
     const BatchTrace parallel = run_batch(/*seed=*/99, /*runs=*/60, jobs);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelDeterminismTest, ComposedWorkloadBatchesStayBitIdentical) {
+  // Every run carries at least three workload units (traffic merges,
+  // front-link shaping, per-unit checkers, the lossy-row downgrade); the
+  // whole composed pipeline must still be a pure function of (seed, i).
+  const BatchTrace serial =
+      run_batch(/*seed=*/13, /*runs=*/60, /*jobs=*/1, /*min_workloads=*/3);
+  std::size_t with_units = 0;
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    swarm::FuzzOptions fuzz;
+    fuzz.min_workloads = 3;
+    if (swarm::sample_composed(13, i, fuzz).units.size() >= 3) ++with_units;
+  }
+  EXPECT_EQ(with_units, 60u);
+  for (std::size_t jobs : {2u, 4u}) {
+    const BatchTrace parallel =
+        run_batch(/*seed=*/13, /*runs=*/60, jobs, /*min_workloads=*/3);
     expect_identical(serial, parallel);
   }
 }

@@ -1,0 +1,219 @@
+// Availability probe tests.
+//
+// ProbeMonitor is pure, so its window/latency semantics are pinned with
+// hand-driven clocks. The live test is the acceptance gate: run a real
+// AlertService, kill its only replica for a window, and require the probe
+// to (a) report an unavailability window covering the outage and (b)
+// surface "the service is slow" as an alert produced by rcm's own
+// condition language ("probe.latency.exceeded"), evaluated by an ordinary
+// ConditionEvaluator over the latency samples.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "service/alert_service.hpp"
+#include "service/probe.hpp"
+#include "swarm/spec.hpp"
+
+namespace rcm::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+ProbeMonitor::Options budget(double seconds) {
+  ProbeMonitor::Options o;
+  o.latency_budget = seconds;
+  return o;
+}
+
+TEST(ProbeMonitor, AllAnswersInBudgetMeansFullAvailability) {
+  ProbeMonitor m{budget(0.25)};
+  for (SeqNo seq = 1; seq <= 5; ++seq) {
+    const double at = 0.1 * static_cast<double>(seq);
+    m.on_probe_sent(seq, at);
+    m.on_answer(seq, at + 0.05);
+  }
+  m.on_time(1.0);
+  const ProbeReport r = m.report();
+  EXPECT_EQ(r.probes_sent, 5u);
+  EXPECT_EQ(r.probes_answered, 5u);
+  EXPECT_NEAR(r.max_latency, 0.05, 1e-12);
+  EXPECT_EQ(r.availability, 1.0);
+  EXPECT_TRUE(r.windows.empty());
+  EXPECT_TRUE(r.latency_alerts.empty());
+}
+
+TEST(ProbeMonitor, LateProbeOpensAWindowAndRecoveryClosesIt) {
+  ProbeMonitor m{budget(0.1)};
+  m.on_probe_sent(1, 0.0);
+  m.on_time(0.5);  // probe 1 is now 0.4s overdue
+  m.on_probe_sent(2, 0.5);
+  m.on_answer(2, 0.55);  // in budget: the service recovered
+  m.on_time(1.0);
+
+  const ProbeReport r = m.report();
+  ASSERT_EQ(r.windows.size(), 1u);
+  EXPECT_TRUE(r.windows[0].closed);
+  EXPECT_EQ(r.windows[0].from, 0.0);  // the bad probe's send time
+  EXPECT_EQ(r.windows[0].to, 0.55);   // the recovering probe's answer
+  EXPECT_LT(r.availability, 1.0);
+  EXPECT_GT(r.availability, 0.0);
+
+  // The dogfooded alert: raised by the condition-language CE, once.
+  ASSERT_EQ(r.latency_alerts.size(), 1u);
+  EXPECT_EQ(r.latency_alerts[0].cond, "probe.latency.exceeded");
+}
+
+TEST(ProbeMonitor, LateAnswerCountsOnceAndDoesNotCloseTheWindow) {
+  ProbeMonitor m{budget(0.1)};
+  m.on_probe_sent(1, 0.0);
+  m.on_time(0.5);
+  m.on_answer(1, 0.6);  // answered, but 0.6s late: still unavailable
+  m.on_time(1.0);
+  const ProbeReport r = m.report();
+  EXPECT_EQ(r.probes_answered, 1u);
+  EXPECT_NEAR(r.max_latency, 0.6, 1e-12);
+  ASSERT_EQ(r.windows.size(), 1u);
+  EXPECT_FALSE(r.windows[0].closed);
+  EXPECT_EQ(r.windows[0].to, 1.0);  // open windows extend to the horizon
+  EXPECT_EQ(r.latency_alerts.size(), 1u);  // late-mark fed the sample once
+}
+
+TEST(ProbeMonitor, BackToBackOutagesYieldSeparateWindows) {
+  ProbeMonitor m{budget(0.1)};
+  m.on_probe_sent(1, 0.0);
+  m.on_time(0.3);
+  m.on_probe_sent(2, 0.3);
+  m.on_answer(2, 0.35);  // closes window 1
+  m.on_probe_sent(3, 0.5);
+  m.on_time(0.9);
+  m.on_probe_sent(4, 0.9);
+  m.on_answer(4, 0.95);  // closes window 2
+  const ProbeReport r = m.report();
+  ASSERT_EQ(r.windows.size(), 2u);
+  EXPECT_TRUE(r.windows[0].closed);
+  EXPECT_TRUE(r.windows[1].closed);
+  EXPECT_EQ(r.windows[1].from, 0.5);
+  EXPECT_EQ(r.latency_alerts.size(), 2u);
+}
+
+TEST(ProbeMonitor, ReportIsDeterministicForACallSequence) {
+  const auto drive = [] {
+    ProbeMonitor m{budget(0.2)};
+    for (SeqNo seq = 1; seq <= 20; ++seq) {
+      const double at = 0.05 * static_cast<double>(seq);
+      m.on_probe_sent(seq, at);
+      if (seq % 3) m.on_answer(seq, at + (seq % 5 ? 0.01 : 0.5));
+      m.on_time(at + 0.02);
+    }
+    m.on_time(2.0);
+    return m.report();
+  };
+  const ProbeReport a = drive();
+  const ProbeReport b = drive();
+  EXPECT_EQ(a.probes_sent, b.probes_sent);
+  EXPECT_EQ(a.probes_answered, b.probes_answered);
+  EXPECT_EQ(a.availability, b.availability);
+  ASSERT_EQ(a.windows.size(), b.windows.size());
+  for (std::size_t i = 0; i < a.windows.size(); ++i) {
+    EXPECT_EQ(a.windows[i].from, b.windows[i].from);
+    EXPECT_EQ(a.windows[i].to, b.windows[i].to);
+  }
+  EXPECT_EQ(a.latency_alerts.size(), b.latency_alerts.size());
+}
+
+// ---- live: probe against a real service with an injected kill window ----
+
+TEST(AvailabilityProbe, ReportsTheInjectedKillWindow) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "rcm_probe_kill";
+  std::filesystem::remove_all(dir);
+
+  ServiceConfig cfg;
+  cfg.condition = swarm::build_condition(swarm::ConditionKind::kThreshold, 50.0);
+  cfg.num_replicas = 1;
+  cfg.filter = FilterKind::kAd1;
+  cfg.data_dir = dir;
+  cfg.auto_restart = false;
+  cfg.poll_interval = 5ms;
+  AlertService svc{cfg};
+
+  ProbeOptions options;
+  options.var = 0;
+  options.trigger_value = 100.0;  // every probe trips the threshold
+  options.interval = 25ms;
+  options.latency_budget = 0.2;
+  AvailabilityProbe probe{svc, options};
+  probe.start();
+
+  std::this_thread::sleep_for(400ms);  // healthy baseline
+  svc.kill_replica(0);
+  std::this_thread::sleep_for(800ms);  // outage: 4x the budget
+  svc.restart_replica(0);
+  std::this_thread::sleep_for(500ms);  // recovery
+  probe.stop();
+
+  const ProbeReport report = probe.report();
+  EXPECT_GT(report.probes_sent, 20u);
+  EXPECT_GT(report.probes_answered, 0u);
+
+  // The kill window must surface as at least one unavailability window of
+  // roughly the outage's length (the probe can only observe it once the
+  // budget expires, so the bound is conservative).
+  ASSERT_FALSE(report.windows.empty());
+  double longest = 0.0;
+  for (const UnavailabilityWindow& w : report.windows)
+    longest = std::max(longest, w.duration());
+  EXPECT_GE(longest, 0.3);
+  EXPECT_LT(report.availability, 1.0);
+
+  // ...and as the dogfooded condition-language alert.
+  ASSERT_FALSE(report.latency_alerts.empty());
+  EXPECT_EQ(report.latency_alerts.front().cond, "probe.latency.exceeded");
+
+  svc.drain();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AvailabilityProbe, HealthyServiceShowsNoWindows) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "rcm_probe_healthy";
+  std::filesystem::remove_all(dir);
+
+  ServiceConfig cfg;
+  cfg.condition = swarm::build_condition(swarm::ConditionKind::kThreshold, 50.0);
+  cfg.num_replicas = 1;
+  cfg.filter = FilterKind::kAd1;
+  cfg.data_dir = dir;
+  cfg.auto_restart = false;
+  cfg.poll_interval = 5ms;
+  AlertService svc{cfg};
+
+  ProbeOptions options;
+  options.var = 0;
+  options.trigger_value = 100.0;
+  options.interval = 25ms;
+  // Generous budget: loopback round trips are well under a second even on
+  // a loaded CI box, so a healthy service must never look unavailable.
+  options.latency_budget = 1.0;
+  AvailabilityProbe probe{svc, options};
+  probe.start();
+  std::this_thread::sleep_for(500ms);
+  probe.stop();
+
+  const ProbeReport report = probe.report();
+  EXPECT_GT(report.probes_sent, 5u);
+  EXPECT_GT(report.probes_answered, 0u);
+  EXPECT_TRUE(report.windows.empty());
+  EXPECT_TRUE(report.latency_alerts.empty());
+  EXPECT_EQ(report.availability, 1.0);
+
+  svc.drain();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rcm::service

@@ -47,8 +47,8 @@ TEST(Shrink, StrictlyDecreasesConfigSize) {
   EXPECT_LE(result.spec.size() + result.accepted, f.spec.size());
   // Shrinking composes edits; it never grows any dimension.
   EXPECT_LE(result.spec.total_updates(), f.spec.total_updates());
-  EXPECT_LE(result.spec.num_ces, f.spec.num_ces);
-  EXPECT_LE(result.spec.ad_offline.size(), f.spec.ad_offline.size());
+  EXPECT_LE(result.spec.base.num_ces, f.spec.num_ces);
+  EXPECT_LE(result.spec.base.ad_offline.size(), f.spec.ad_offline.size());
 }
 
 TEST(Shrink, PreservesTheViolationKind) {
@@ -64,7 +64,7 @@ TEST(Shrink, ShrunkSpecIsLocallyMinimalForReplicaCount) {
   // two replicas for this counterexample.
   const Failing f = first_failing_spec();
   const ShrinkResult result = shrink(f.spec, f.kind);
-  EXPECT_GE(result.spec.num_ces, 2u);
+  EXPECT_GE(result.spec.base.num_ces, 2u);
 }
 
 TEST(Shrink, ExhaustedBudgetStillReturnsAFailingSpec) {

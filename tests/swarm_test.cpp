@@ -79,7 +79,7 @@ TEST(Swarm, BrokenFilterIsCaughtAndShrunkSmall) {
   // The minimized spec is tiny compared to the sampled one.
   EXPECT_LE(ce.record.spec.total_updates(), 10u);
   EXPECT_LT(ce.record.spec.size(), ce.original.size());
-  EXPECT_GE(ce.record.spec.num_ces, 2u)
+  EXPECT_GE(ce.record.spec.base.num_ces, 2u)
       << "single-replica runs cannot interleave; the shrinker must keep "
          "at least two CEs for an orderedness break";
 }
@@ -117,8 +117,8 @@ TEST(Swarm, CleanFiltersPassWhereBrokenOneFails) {
   // real AD-2: the violation comes from the planted bug, not the harness.
   const SwarmReport report = run_swarm(broken_filter_options());
   ASSERT_FALSE(report.counterexamples.empty());
-  SwarmSpec fixed = report.counterexamples.front().record.spec;
-  fixed.filter = FilterKind::kAd2;
+  ComposedSpec fixed = report.counterexamples.front().record.spec;
+  fixed.base.filter = FilterKind::kAd2;
   const RunCheck chk = execute_and_check(fixed);
   EXPECT_FALSE(chk.failed())
       << (chk.violations.empty() ? std::string{} : chk.violations[0]);
