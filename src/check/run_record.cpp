@@ -109,6 +109,7 @@ SystemRun load_run(const std::filesystem::path& path,
                                   std::istreambuf_iterator<char>()};
   wire::FrameCursor cursor;
   cursor.feed(bytes);
+  cursor.finish();
   const auto payload = cursor.next();
   if (!payload)
     throw wire::DecodeError("load_run: no complete frame in file");

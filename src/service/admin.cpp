@@ -60,12 +60,30 @@ ServiceStatus decode_status(wire::Reader& r) {
   return s;
 }
 
+wire::VersionHeader parse_version_ext(std::span<const std::uint8_t> payload,
+                                      const char* format) {
+  wire::Reader vr{payload};
+  const wire::VersionHeader v =
+      wire::decode_version(vr, format, kAdminMinMajor, kAdminMaxMajor);
+  vr.expect_done();
+  return v;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> encode_admin_request(const AdminRequest& req) {
   wire::Writer w;
-  w.u8(static_cast<std::uint8_t>(req.command));
+  w.u8(req.known ? static_cast<std::uint8_t>(req.command) : req.raw_command);
   w.varint(req.replica);
+  wire::Extension version_ext;
+  version_ext.tag = kAdminVersionExtTag;
+  {
+    wire::Writer vw;
+    wire::encode_version(vw, kAdminVersion);
+    version_ext.payload = vw.take();
+  }
+  const wire::Extension exts[] = {version_ext};
+  wire::encode_extension_section(w, exts);
   return w.take();
 }
 
@@ -73,11 +91,29 @@ AdminRequest decode_admin_request(std::span<const std::uint8_t> payload) {
   wire::Reader r{payload};
   AdminRequest req;
   const std::uint8_t cmd = r.u8();
-  if (cmd > static_cast<std::uint8_t>(AdminCommand::kTraceDump))
-    throw wire::DecodeError("admin request: unknown command");
-  req.command = static_cast<AdminCommand>(cmd);
+  req.raw_command = cmd;
   req.replica = r.varint();
-  r.expect_done();
+  bool has_version = false;
+  if (!r.done()) {
+    // v2+ peer: an extension section follows the fixed fields.
+    (void)wire::decode_extension_section(
+        r, [&](std::uint8_t tag, std::span<const std::uint8_t> ext) {
+          if (tag != kAdminVersionExtTag) return;  // skip unknown tags
+          req.version = parse_version_ext(ext, "admin request");
+          has_version = true;
+        });
+    r.expect_done();
+  }
+  if (cmd > static_cast<std::uint8_t>(AdminCommand::kTraceDump)) {
+    // A version-declaring peer with a compatible major gets a structured
+    // unsupported reply from the dispatcher; a legacy (version-less)
+    // peer keeps the v1 contract.
+    if (!has_version)
+      throw wire::DecodeError("admin request: unknown command");
+    req.known = false;
+    return req;
+  }
+  req.command = static_cast<AdminCommand>(cmd);
   return req;
 }
 
@@ -89,6 +125,22 @@ std::vector<std::uint8_t> encode_admin_response(const AdminResponse& resp) {
   if (resp.status) encode_status(w, *resp.status);
   w.u8(resp.body.has_value() ? 1 : 0);
   if (resp.body) w.string(*resp.body);
+  // The extension section appears only when there is something to say:
+  // plain responses stay byte-identical to v1, which is what lets a v1
+  // client keep talking to this server during a rolling upgrade.
+  if (resp.unsupported) {
+    wire::Extension ext;
+    ext.tag = kAdminUnsupportedExtTag;
+    wire::Writer ew;
+    ew.u8(resp.unsupported->command);
+    wire::encode_version(ew, resp.unsupported->server_version);
+    ew.u8(resp.unsupported->min_major);
+    ew.u8(resp.unsupported->max_major);
+    ew.u8(resp.unsupported->max_command);
+    ext.payload = ew.take();
+    const wire::Extension exts[] = {ext};
+    wire::encode_extension_section(w, exts);
+  }
   return w.take();
 }
 
@@ -111,6 +163,22 @@ AdminResponse decode_admin_response(std::span<const std::uint8_t> payload) {
   const std::uint8_t has_body = r.u8();
   if (has_body > 1) throw wire::DecodeError("admin response: bad body flag");
   if (has_body == 1) resp.body = r.string(kMaxBodyBytes);
+  if (!r.done()) {
+    (void)wire::decode_extension_section(
+        r, [&](std::uint8_t tag, std::span<const std::uint8_t> ext) {
+          if (tag != kAdminUnsupportedExtTag) return;  // skip unknown tags
+          wire::Reader er{ext};
+          AdminUnsupported u;
+          u.command = er.u8();
+          u.server_version.major = er.u8();
+          u.server_version.minor = er.u8();
+          u.min_major = er.u8();
+          u.max_major = er.u8();
+          u.max_command = er.u8();
+          er.expect_done();
+          resp.unsupported = u;
+        });
+  }
   r.expect_done();
   return resp;
 }

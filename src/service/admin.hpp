@@ -5,21 +5,33 @@
 // each message is one CRC frame (wire/frame.hpp) holding:
 //
 //   request  := cmd:u8 | varint(replica)          (replica is 0 unless
-//                                                  the command targets one)
+//              | [extension section]               the command targets one)
 //   response := status:u8 ('O' ok / 'E' error)
 //               | string(error)                    (empty when ok)
 //               | u8(has_status)
 //               | service-status                   (when has_status = 1)
 //               | u8(has_body)
 //               | string(body)                     (when has_body = 1)
+//               | [extension section]              (only when non-empty)
 //
 // `body` carries bulk text payloads: the live metrics snapshot
 // (kMetrics) and the Chrome trace JSON (kTraceDump).
 //
 // The codec is symmetric and exhaustive so rcm_service_client, the
 // tests, and the fuzz harness all speak exactly the same bytes.
-// Unknown commands are decode errors by design (see docs/SERVICE.md,
-// "Admin protocol"): there is exactly one deployed version at a time.
+//
+// Mixed-version stance (docs/SERVICE.md, "Format versioning & rolling
+// upgrades"): a rolling fleet upgrade briefly runs two versions side by
+// side, so "unknown command = decode error" is no longer acceptable.
+// Requests since v2 carry the sender's protocol version as a skippable
+// extension (kAdminVersionExtTag). A server receiving an unknown
+// command from a peer that declared a compatible major answers with a
+// structured `unsupported` reply naming its own version range and
+// highest known command — the connection survives and the caller can
+// downgrade its request. Version-less requests (v1 peers) keep the
+// legacy contract: unknown commands are decode errors, answered as an
+// error reply by the dispatcher. A declared major outside the supported
+// range raises wire::UnsupportedVersion.
 #pragma once
 
 #include <cstdint>
@@ -28,7 +40,19 @@
 #include <string>
 #include <vector>
 
+#include "wire/version.hpp"
+
 namespace rcm::service {
+
+/// Admin protocol version spoken by this binary; v1 is the pre-extension
+/// protocol (no version tag on requests, no response extensions).
+inline constexpr wire::VersionHeader kAdminVersion{2, 0};
+inline constexpr std::uint8_t kAdminMinMajor = 1;
+inline constexpr std::uint8_t kAdminMaxMajor = 2;
+
+/// Extension tags used by the admin codec.
+inline constexpr std::uint8_t kAdminVersionExtTag = 0x56;      // 'V'
+inline constexpr std::uint8_t kAdminUnsupportedExtTag = 0x55;  // 'U'
 
 /// Admin commands, in wire order.
 enum class AdminCommand : std::uint8_t {
@@ -45,6 +69,14 @@ enum class AdminCommand : std::uint8_t {
 struct AdminRequest {
   AdminCommand command = AdminCommand::kStatus;
   std::uint64_t replica = 0;  ///< target for kKill/kRestart/kCheckpoint
+  /// False when the wire held a command this binary does not know but
+  /// the peer declared a compatible version; `raw_command` then holds
+  /// the wire byte and `command` is meaningless.
+  bool known = true;
+  std::uint8_t raw_command = 0;  ///< the command byte as received/sent
+  /// The sender's declared protocol version; {1, 0} when the request
+  /// carried no version extension (a v1 peer).
+  wire::VersionHeader version{1, 0};
 };
 
 /// Lifecycle state of one replica slot.
@@ -76,26 +108,47 @@ struct ServiceStatus {
   std::vector<ReplicaStatus> replicas;
 };
 
+/// Structured "I don't speak that" reply block: the server's version
+/// and the envelope of what it accepts, so a newer client can downgrade
+/// instead of treating the error as fatal.
+struct AdminUnsupported {
+  std::uint8_t command = 0;  ///< the rejected command byte
+  wire::VersionHeader server_version{1, 0};
+  std::uint8_t min_major = 1;    ///< majors the server accepts
+  std::uint8_t max_major = 1;
+  std::uint8_t max_command = 0;  ///< highest command byte the server knows
+};
+
 /// One admin response. `status` is present for kStatus requests; `body`
 /// for kMetrics (JSON metrics snapshot) and kTraceDump (Chrome trace
-/// JSON).
+/// JSON); `unsupported` when the server rejected the command or version.
 struct AdminResponse {
   bool ok = true;
   std::string error;  ///< non-empty iff !ok
   std::optional<ServiceStatus> status;
   std::optional<std::string> body;
+  std::optional<AdminUnsupported> unsupported;
 };
 
+/// Encodes a request at kAdminVersion (the version rides as a skippable
+/// extension, so v1 servers reject it cleanly and v2+ servers can tell
+/// a versioned peer from a legacy one).
 [[nodiscard]] std::vector<std::uint8_t> encode_admin_request(
     const AdminRequest& req);
-/// Throws wire::DecodeError on malformed input (including unknown
-/// commands — the protocol has no forward-compat story yet).
+/// Decodes a request. An unknown command from a version-declaring peer
+/// with a compatible major yields `known == false` (no throw); a
+/// declared major outside [kAdminMinMajor, kAdminMaxMajor] throws
+/// wire::UnsupportedVersion; an unknown command from a version-less
+/// (v1) peer throws wire::DecodeError, as v1 always did.
 [[nodiscard]] AdminRequest decode_admin_request(
     std::span<const std::uint8_t> payload);
 
+/// Encodes a response. Responses without extension content are
+/// byte-identical to v1 so legacy clients keep decoding them.
 [[nodiscard]] std::vector<std::uint8_t> encode_admin_response(
     const AdminResponse& resp);
-/// Throws wire::DecodeError on malformed input.
+/// Throws wire::DecodeError on malformed input; skips unknown response
+/// extensions.
 [[nodiscard]] AdminResponse decode_admin_response(
     std::span<const std::uint8_t> payload);
 

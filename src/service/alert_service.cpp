@@ -343,8 +343,26 @@ void AlertService::serve_admin(net::TcpStream& conn) {
 AdminResponse AlertService::dispatch_admin(
     std::span<const std::uint8_t> payload) {
   AdminResponse resp;
+  const auto unsupported_block = [](std::uint8_t command) {
+    AdminUnsupported u;
+    u.command = command;
+    u.server_version = kAdminVersion;
+    u.min_major = kAdminMinMajor;
+    u.max_major = kAdminMaxMajor;
+    u.max_command = static_cast<std::uint8_t>(AdminCommand::kTraceDump);
+    return u;
+  };
   try {
     const AdminRequest req = decode_admin_request(payload);
+    if (!req.known) {
+      // A versioned peer sent a command newer than this binary: tell it
+      // what we do speak instead of killing the exchange.
+      resp.ok = false;
+      resp.error = "unsupported admin command " +
+                   std::to_string(static_cast<unsigned>(req.raw_command));
+      resp.unsupported = unsupported_block(req.raw_command);
+      return resp;
+    }
     const auto replica = static_cast<std::size_t>(req.replica);
     switch (req.command) {
       case AdminCommand::kStatus:
@@ -372,6 +390,15 @@ AdminResponse AlertService::dispatch_admin(
         resp.body = obs::trace::export_chrome_json(kTraceDumpBudget);
         break;
     }
+  } catch (const wire::UnsupportedVersion& e) {
+    // Incompatible peer major: still a clean error reply, now with the
+    // range the peer would need to downgrade into.
+    resp.ok = false;
+    resp.error = e.what();
+    resp.status.reset();
+    resp.body.reset();
+    resp.unsupported = unsupported_block(
+        payload.empty() ? std::uint8_t{0} : payload[0]);
   } catch (const std::exception& e) {
     resp.ok = false;
     resp.error = e.what();
@@ -468,6 +495,7 @@ void AlertService::load_dm_ends() {
                                   std::istreambuf_iterator<char>()};
   wire::FrameCursor cursor;
   cursor.feed(bytes);
+  cursor.finish();
   while (auto payload = cursor.next()) {
     try {
       wire::Reader r{*payload};

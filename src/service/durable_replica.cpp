@@ -61,6 +61,7 @@ DurableReplica::DurableReplica(ConditionPtr condition, std::size_t index,
                                       std::istreambuf_iterator<char>()};
       wire::FrameCursor cursor;
       cursor.feed(bytes);
+      cursor.finish();
       while (auto payload = cursor.next()) {
         try {
           wire::decode_evaluator_state(*payload, ce_);

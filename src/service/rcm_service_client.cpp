@@ -129,6 +129,18 @@ int run_admin(service::AdminCommand command, std::uint16_t port,
   const service::AdminResponse resp = admin_exchange(port, req);
   if (!resp.ok) {
     std::fprintf(stderr, "service error: %s\n", resp.error.c_str());
+    if (resp.unsupported) {
+      const auto& u = *resp.unsupported;
+      std::fprintf(stderr,
+                   "server is admin protocol v%u.%u (accepts majors %u..%u, "
+                   "commands 0..%u); command %u is not supported\n",
+                   static_cast<unsigned>(u.server_version.major),
+                   static_cast<unsigned>(u.server_version.minor),
+                   static_cast<unsigned>(u.min_major),
+                   static_cast<unsigned>(u.max_major),
+                   static_cast<unsigned>(u.max_command),
+                   static_cast<unsigned>(u.command));
+    }
     return 1;
   }
   if (resp.status) {

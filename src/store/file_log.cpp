@@ -10,26 +10,63 @@
 namespace rcm::store {
 namespace {
 
-constexpr std::uint8_t kAlertRecord = 0x41;  // 'A'
-constexpr std::uint8_t kAckRecord = 0x4b;    // 'K'
+// First byte of an encoded update (wire/codec.cpp's kUpdateTag): in a
+// versioned WAL it distinguishes "corrupt update record" from "unknown
+// future record type".
+constexpr std::uint8_t kUpdateTag = 0x75;  // 'u'
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path,
+                                    const char* who, bool& existed) {
+  std::ifstream in{path, std::ios::binary};
+  existed = in.is_open();
+  if (!existed) return {};
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  if (in.bad())
+    throw std::runtime_error(std::string{who} + ": read error");
+  return bytes;
+}
+
+/// Parses a 'V' header payload (after the type byte). Throws
+/// UnsupportedVersion on a future major, DecodeError on malformation or
+/// a format id that does not match this log kind.
+wire::VersionHeader parse_log_header(wire::Reader& r, std::uint8_t format_id,
+                                     const char* format_name) {
+  if (r.u8() != format_id)
+    throw wire::DecodeError("log header: wrong format id");
+  const wire::VersionHeader v =
+      wire::decode_version(r, format_name, kLogMinMajor, kLogMaxMajor);
+  (void)wire::decode_extension_section(r, nullptr);
+  r.expect_done();
+  return v;
+}
 
 }  // namespace
 
-RecoveredLog recover_log(const std::filesystem::path& path) {
+std::vector<std::uint8_t> encode_log_header(std::uint8_t format_id,
+                                            wire::VersionHeader version) {
+  wire::Writer w;
+  w.u8(kVersionRecord);
+  w.u8(format_id);
+  wire::encode_version(w, version);
+  wire::encode_extension_section(w, {});
+  return w.take();
+}
+
+RecoveredLog recover_log_bytes(std::span<const std::uint8_t> bytes) {
   RecoveredLog out;
-  std::ifstream in{path, std::ios::binary};
-  if (!in.is_open()) return out;  // no file yet: empty log
-
-  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
-                                  std::istreambuf_iterator<char>()};
-  if (in.bad()) throw std::runtime_error("recover_log: read error");
-
   wire::FrameCursor cursor;
   cursor.feed(bytes);
+  cursor.finish();
   while (auto payload = cursor.next()) {
     try {
       wire::Reader r{*payload};
       const std::uint8_t type = r.u8();
+      if (type == kVersionRecord) {
+        out.version = parse_log_header(r, kAlertLogFormatId, "alert log");
+        out.versioned = true;
+        continue;
+      }
       if (type == kAlertRecord) {
         // The remainder of the payload is one encoded alert.
         const std::span<const std::uint8_t> rest{
@@ -37,17 +74,29 @@ RecoveredLog recover_log(const std::filesystem::path& path) {
         (void)out.log.append(wire::decode_alert(rest).alert);
       } else if (type == kAckRecord) {
         out.log.ack(r.varint());
+      } else if (out.versioned) {
+        ++out.skipped_records;  // some v2.x record type we don't know
+        continue;
       } else {
-        ++out.corrupt_frames;  // unknown record type
+        ++out.corrupt_frames;  // v1 file: unknown record type is corruption
         continue;
       }
       ++out.records;
+    } catch (const wire::UnsupportedVersion&) {
+      throw;  // deliberate incompatibility, not corruption
     } catch (const wire::DecodeError&) {
       ++out.corrupt_frames;
     }
   }
   out.corrupt_frames += cursor.corrupt_frames();
   return out;
+}
+
+RecoveredLog recover_log(const std::filesystem::path& path) {
+  bool existed = false;
+  const auto bytes = read_file(path, "recover_log", existed);
+  if (!existed) return {};  // no file yet: empty log
+  return recover_log_bytes(bytes);
 }
 
 FileAlertLog::FileAlertLog(std::filesystem::path path)
@@ -58,6 +107,18 @@ FileAlertLog::FileAlertLog(std::filesystem::path path)
   out_.open(path_, std::ios::binary | std::ios::app);
   if (!out_.is_open())
     throw std::runtime_error("FileAlertLog: cannot open " + path_.string());
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path_, ec);
+  if (!ec && size == 0) {
+    const auto framed = wire::frame(
+        encode_log_header(kAlertLogFormatId, kLogFormatVersion));
+    out_.write(reinterpret_cast<const char*>(framed.data()),
+               static_cast<std::streamsize>(framed.size()));
+    out_.flush();
+    if (!out_.good())
+      throw std::runtime_error("FileAlertLog: header write failed on " +
+                               path_.string());
+  }
 }
 
 AlertLog::Index FileAlertLog::append(const Alert& a) {
@@ -87,26 +148,44 @@ void FileAlertLog::write_record(std::uint8_t type,
                              path_.string());
 }
 
-RecoveredUpdates recover_updates(const std::filesystem::path& path) {
+RecoveredUpdates recover_update_bytes(std::span<const std::uint8_t> bytes) {
   RecoveredUpdates out;
-  std::ifstream in{path, std::ios::binary};
-  if (!in.is_open()) return out;  // no file yet: empty WAL
-
-  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
-                                  std::istreambuf_iterator<char>()};
-  if (in.bad()) throw std::runtime_error("recover_updates: read error");
-
   wire::FrameCursor cursor;
   cursor.feed(bytes);
+  cursor.finish();
   while (auto payload = cursor.next()) {
+    if (!payload->empty() && (*payload)[0] == kVersionRecord) {
+      try {
+        wire::Reader r{*payload};
+        (void)r.u8();  // type
+        out.version = parse_log_header(r, kUpdateLogFormatId, "update WAL");
+        out.versioned = true;
+      } catch (const wire::UnsupportedVersion&) {
+        throw;  // deliberate incompatibility, not corruption
+      } catch (const wire::DecodeError&) {
+        ++out.corrupt_frames;
+      }
+      continue;
+    }
     try {
       out.updates.push_back(wire::decode_update(*payload));
     } catch (const wire::DecodeError&) {
-      ++out.corrupt_frames;
+      if (out.versioned && !payload->empty() && (*payload)[0] != kUpdateTag) {
+        ++out.skipped_records;  // some v2.x record type we don't know
+      } else {
+        ++out.corrupt_frames;
+      }
     }
   }
   out.corrupt_frames += cursor.corrupt_frames();
   return out;
+}
+
+RecoveredUpdates recover_updates(const std::filesystem::path& path) {
+  bool existed = false;
+  const auto bytes = read_file(path, "recover_updates", existed);
+  if (!existed) return {};  // no file yet: empty WAL
+  return recover_update_bytes(bytes);
 }
 
 FileUpdateLog::FileUpdateLog(std::filesystem::path path)
@@ -114,6 +193,21 @@ FileUpdateLog::FileUpdateLog(std::filesystem::path path)
   out_.open(path_, std::ios::binary | std::ios::app);
   if (!out_.is_open())
     throw std::runtime_error("FileUpdateLog: cannot open " + path_.string());
+  write_header_if_empty();
+}
+
+void FileUpdateLog::write_header_if_empty() {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path_, ec);
+  if (ec || size != 0) return;
+  const auto framed =
+      wire::frame(encode_log_header(kUpdateLogFormatId, kLogFormatVersion));
+  out_.write(reinterpret_cast<const char*>(framed.data()),
+             static_cast<std::streamsize>(framed.size()));
+  out_.flush();
+  if (!out_.good())
+    throw std::runtime_error("FileUpdateLog: header write failed on " +
+                             path_.string());
 }
 
 void FileUpdateLog::append(const Update& u) {
@@ -135,6 +229,7 @@ void FileUpdateLog::truncate() {
                              path_.string());
   out_.flush();
   appended_ = 0;
+  write_header_if_empty();
 }
 
 }  // namespace rcm::store

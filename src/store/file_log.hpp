@@ -6,6 +6,8 @@
 // delivery. The file is a stream of CRC-framed records (wire/frame.hpp):
 //
 //   record := frame( type:u8 | body )
+//   type 'V' (0x56): body = format_id:u8 | major:u8 | minor:u8 |
+//                    extension section            (file format header)
 //   type 'A' (0x41): body = wire-encoded alert (appended entry)
 //   type 'K' (0x4b): body = varint(upto)      (cumulative ack)
 //
@@ -16,6 +18,17 @@
 // framed wire-encoded update; truncate() empties the file after a new
 // checkpoint supersedes it.
 //
+// Versioning (docs/SERVICE.md, "Format versioning & rolling upgrades"):
+// a v2+ file begins with a 'V' header record naming its format and
+// version. Headerless files are v1 — everything a pre-versioning binary
+// wrote — and recover exactly as before. In a versioned file, unknown
+// record types are counted in skipped_records and skipped (a v2 reader
+// rolls past v2.x record types it doesn't know); in a v1 file they
+// count as corruption, as they always did. A header with a major beyond
+// the supported range throws wire::UnsupportedVersion — the one case
+// where recovery throws on file *content*, because silently replaying a
+// half-understood future format would be worse than stopping.
+//
 // Recovery scans the file with FrameCursor semantics: a torn or corrupt
 // tail (e.g. a crash mid-write) is detected by the CRC and everything
 // before it is recovered — the standard write-ahead-log contract. A
@@ -25,26 +38,55 @@
 
 #include <filesystem>
 #include <fstream>
+#include <span>
 
 #include "core/types.hpp"
 #include "store/alert_log.hpp"
+#include "wire/version.hpp"
 
 namespace rcm::store {
+
+/// Record type tags (first payload byte of each frame).
+inline constexpr std::uint8_t kVersionRecord = 0x56;  // 'V'
+inline constexpr std::uint8_t kAlertRecord = 0x41;    // 'A'
+inline constexpr std::uint8_t kAckRecord = 0x4b;      // 'K'
+
+/// Format ids carried inside a 'V' header record.
+inline constexpr std::uint8_t kAlertLogFormatId = 0x41;  // 'A'
+inline constexpr std::uint8_t kUpdateLogFormatId = 0x55;  // 'U'
+
+/// Version written by this binary; v1 is the headerless legacy layout.
+inline constexpr wire::VersionHeader kLogFormatVersion{2, 0};
+inline constexpr std::uint8_t kLogMinMajor = 1;
+inline constexpr std::uint8_t kLogMaxMajor = 2;
+
+/// Builds the (unframed) payload of a 'V' file-format header record.
+[[nodiscard]] std::vector<std::uint8_t> encode_log_header(
+    std::uint8_t format_id, wire::VersionHeader version);
 
 /// Result of scanning a log file.
 struct RecoveredLog {
   AlertLog log;
   std::size_t records = 0;          ///< applied records
   std::size_t corrupt_frames = 0;   ///< CRC failures / torn tail frames
+  std::size_t skipped_records = 0;  ///< unknown record types in a v2+ file
+  wire::VersionHeader version{1, 0};  ///< from the header record, if any
+  bool versioned = false;             ///< file carried a header record
 };
 
 /// Reads and replays a log file. A missing file recovers to an empty
-/// log. Throws std::runtime_error only on I/O errors (not corruption —
-/// corruption is expected after a crash and is reported in the result).
+/// log. Throws std::runtime_error only on I/O errors and
+/// wire::UnsupportedVersion only on a header record from a future major
+/// — never on corruption, which is expected after a crash and reported
+/// in the result.
 [[nodiscard]] RecoveredLog recover_log(const std::filesystem::path& path);
+/// Same recovery over an in-memory file image (fuzzing and tests).
+[[nodiscard]] RecoveredLog recover_log_bytes(
+    std::span<const std::uint8_t> bytes);
 
 /// Durable alert log: every mutation is framed, appended and flushed to
-/// `path` before the in-memory state changes.
+/// `path` before the in-memory state changes. A newly created (or
+/// empty) file gets a 'V' format header record first.
 class FileAlertLog {
  public:
   /// Opens (creating if needed) and recovers `path`. The recovered
@@ -79,15 +121,25 @@ class FileAlertLog {
 struct RecoveredUpdates {
   std::vector<Update> updates;      ///< the recovered prefix, in order
   std::size_t corrupt_frames = 0;   ///< CRC failures / torn tail frames
+  std::size_t skipped_records = 0;  ///< unknown record types in a v2+ file
+  wire::VersionHeader version{1, 0};  ///< from the header record, if any
+  bool versioned = false;             ///< file carried a header record
 };
 
 /// Reads an update WAL. A missing file recovers to an empty sequence.
-/// Throws std::runtime_error only on I/O errors, never on corruption.
+/// Throws std::runtime_error only on I/O errors and
+/// wire::UnsupportedVersion only on a future-major header record, never
+/// on corruption.
 [[nodiscard]] RecoveredUpdates recover_updates(
     const std::filesystem::path& path);
+/// Same recovery over an in-memory file image (fuzzing and tests).
+[[nodiscard]] RecoveredUpdates recover_update_bytes(
+    std::span<const std::uint8_t> bytes);
 
 /// Durable update write-ahead log: every append is framed and flushed to
-/// `path` before it returns.
+/// `path` before it returns. A newly created (or empty) file gets a 'V'
+/// format header record first; appends to an existing v1 file keep it
+/// headerless so a not-yet-upgraded reader can still replay it.
 class FileUpdateLog {
  public:
   /// Opens (creating if needed) `path` for appending. Does NOT read the
@@ -98,15 +150,19 @@ class FileUpdateLog {
   void append(const Update& u);
 
   /// Empties the file: the updates it held are now covered by a
-  /// checkpoint. Durable before return.
+  /// checkpoint. Durable before return. Rewrites the format header.
   void truncate();
 
+  /// Update records appended since open/truncate (the header record is
+  /// format plumbing, not an appended record, and is not counted).
   [[nodiscard]] std::size_t appended() const noexcept { return appended_; }
   [[nodiscard]] const std::filesystem::path& path() const noexcept {
     return path_;
   }
 
  private:
+  void write_header_if_empty();
+
   std::filesystem::path path_;
   std::ofstream out_;
   std::size_t appended_ = 0;  ///< records appended since open/truncate

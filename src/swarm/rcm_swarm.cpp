@@ -6,6 +6,9 @@
 //   rcm_swarm --replay swarm-ce-17.bin       # re-execute a counterexample
 //   rcm_swarm --service-fuzz --runs 200      # kill/restart fuzz against
 //                                            # the real AlertService
+//   rcm_swarm --upgrade-fuzz --runs 100      # mixed-version restarting
+//                                            # fuzz across the v1/v2
+//                                            # durable-format boundary
 //
 // Exit codes: 0 = no violations (or replay reproduced), 1 = violations
 // found (or replay did not reproduce), 2 = usage/IO error.
@@ -14,6 +17,7 @@
 #include <string>
 
 #include "swarm/service_fuzz.hpp"
+#include "swarm/upgrade_fuzz.hpp"
 #include "swarm/swarm.hpp"
 #include "util/args.hpp"
 
@@ -81,6 +85,10 @@ int main(int argc, char** argv) {
   args.add_flag("service-fuzz", "false",
                 "crash-recovery fuzz of the real AlertService instead of "
                 "simulator runs (uses --runs, --seed, --scratch-dir)");
+  args.add_flag("upgrade-fuzz", "false",
+                "mixed-version restarting fuzz: recover v1-transcoded "
+                "durable state with the current binary under kills and "
+                "duplicate resends (uses --runs, --seed, --scratch-dir)");
   args.add_flag("scratch-dir", "",
                 "service-fuzz scratch root (default: system temp)");
   args.add_flag("verbose", "false", "print a line per run");
@@ -112,6 +120,31 @@ int main(int argc, char** argv) {
                   report.runs_with_alerts, report.total_kills,
                   report.total_restarts, report.violations.size());
       for (const swarm::ServiceFuzzViolation& v : report.violations)
+        std::printf("  run %zu (seed %llu): %s\n    state kept: %s\n",
+                    v.run_index,
+                    static_cast<unsigned long long>(v.seed),
+                    v.description.c_str(), v.data_dir.string().c_str());
+      return report.failed() ? 1 : 0;
+    }
+
+    if (args.get_bool("upgrade-fuzz")) {
+      swarm::UpgradeFuzzOptions options;
+      options.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+      options.runs = static_cast<std::size_t>(args.get_int("runs"));
+      options.scratch_dir = args.get("scratch-dir");
+      options.verbose = args.get_bool("verbose");
+      const swarm::UpgradeFuzzReport report =
+          swarm::run_upgrade_fuzz(options);
+      std::printf("upgrade-fuzz: %zu runs (%zu with kills, %zu with "
+                  "alerts), %zu kill(s), %zu restart(s), %zu file(s) "
+                  "transcoded to v1, %zu torn tail(s), %zu stale WAL "
+                  "record(s), %zu duplicate resend(s), %zu violation(s)\n",
+                  report.runs_executed, report.runs_with_kills,
+                  report.runs_with_alerts, report.total_kills,
+                  report.total_restarts, report.transcoded_files,
+                  report.torn_tails_injected, report.stale_wal_records,
+                  report.duplicate_resends, report.violations.size());
+      for (const swarm::UpgradeFuzzViolation& v : report.violations)
         std::printf("  run %zu (seed %llu): %s\n    state kept: %s\n",
                     v.run_index,
                     static_cast<unsigned long long>(v.seed),

@@ -6,6 +6,7 @@
 #include "check/run_record.hpp"
 #include "wire/buffer.hpp"
 #include "wire/frame.hpp"
+#include "wire/version.hpp"
 
 namespace rcm::swarm {
 namespace {
@@ -54,7 +55,8 @@ CounterexampleRecord decode_record(std::span<const std::uint8_t> bytes) {
     throw wire::DecodeError("not a swarm counterexample record");
   const std::uint8_t version = r.u8();
   if (version < 1 || version > kVersion)
-    throw wire::DecodeError("unsupported swarm record version");
+    throw wire::UnsupportedVersion("swarm counterexample record",
+                                   {version, 0}, 1, kVersion);
   CounterexampleRecord record;
   record.spec.base = decode_spec(r);
   if (version >= 2) {
@@ -112,6 +114,7 @@ CounterexampleRecord load_record(const std::filesystem::path& path) {
                                   std::istreambuf_iterator<char>()};
   wire::FrameCursor cursor;
   cursor.feed(bytes);
+  cursor.finish();
   const auto payload = cursor.next();
   if (!payload)
     throw wire::DecodeError("load_record: no complete frame in file");

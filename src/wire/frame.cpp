@@ -74,6 +74,11 @@ std::optional<std::vector<std::uint8_t>> FrameCursor::next() {
         resync(start_ + 2);
         continue;
       }
+      if (finished_) {  // truncated length at end-of-stream
+        ++corrupt_;
+        resync(start_ + 2);
+        continue;
+      }
       return std::nullopt;  // need more bytes
     }
     if (len > kMaxFramePayload) {
@@ -82,7 +87,18 @@ std::optional<std::vector<std::uint8_t>> FrameCursor::next() {
       continue;
     }
     const std::size_t frame_end = pos + static_cast<std::size_t>(len) + 4;
-    if (frame_end > buffer_.size()) return std::nullopt;  // incomplete
+    if (frame_end > buffer_.size()) {
+      if (finished_) {
+        // The stream is over, so this frame can never complete. Either a
+        // torn tail (count and stop) or a corrupted length varint that
+        // swallowed following bytes — which may include the magic of a
+        // real frame — so resync from inside the bad header.
+        ++corrupt_;
+        resync(start_ + 2);
+        continue;
+      }
+      return std::nullopt;  // incomplete
+    }
     const std::span<const std::uint8_t> payload{buffer_.data() + pos,
                                                 static_cast<std::size_t>(len)};
     std::uint32_t stored = 0;

@@ -9,7 +9,13 @@
 //   payload bytes | CRC-32 of the payload (fixed 4 bytes)
 //
 // FrameCursor incrementally extracts frames from a byte stream and can
-// resynchronize after corruption by scanning for the next magic.
+// resynchronize after corruption by scanning for the next magic. A
+// corrupted length varint can decode to a plausible length, making a
+// truncated stream look like an incomplete frame forever — and the
+// corrupted bytes themselves may contain the magic pair of a real frame.
+// finish() marks end-of-stream so next() treats such pending frames as
+// corrupt and resyncs at any embedded magic instead of stalling; every
+// file-recovery path calls it after feeding the whole file.
 #pragma once
 
 #include <cstdint>
@@ -34,9 +40,16 @@ class FrameCursor {
   /// Appends raw bytes received from the transport.
   void feed(std::span<const std::uint8_t> bytes);
 
+  /// Declares the stream complete: no more feed() calls will arrive.
+  /// Subsequent next() calls treat an incomplete trailing frame as
+  /// corrupt and resync past it (recovering any frame whose magic was
+  /// swallowed by a corrupted length varint) instead of waiting.
+  void finish() noexcept { finished_ = true; }
+
   /// Extracts the next complete, CRC-valid frame payload, or nullopt if
-  /// more bytes are needed. Corrupt frames are skipped (counted in
-  /// corrupt_frames()) by scanning to the next magic.
+  /// more bytes are needed (or, after finish(), if none remain). Corrupt
+  /// frames are skipped (counted in corrupt_frames()) by scanning to the
+  /// next magic.
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> next();
 
   [[nodiscard]] std::size_t corrupt_frames() const noexcept {
@@ -54,6 +67,7 @@ class FrameCursor {
   std::vector<std::uint8_t> buffer_;
   std::size_t start_ = 0;   // first unconsumed byte
   std::size_t corrupt_ = 0;
+  bool finished_ = false;
 };
 
 inline constexpr std::uint8_t kFrameMagic0 = 0xCE;

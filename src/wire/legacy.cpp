@@ -1,0 +1,41 @@
+#include "wire/legacy.hpp"
+
+#include "wire/codec.hpp"
+#include "wire/frame.hpp"
+#include "wire/snapshot.hpp"
+
+namespace rcm::wire::legacy {
+namespace {
+
+constexpr std::uint8_t kSnapshotTagV1 = 0x73;  // 's'
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_evaluator_state_v1(
+    const ConditionEvaluator& ce) {
+  Writer w;
+  w.u8(kSnapshotTagV1);
+  detail::encode_snapshot_body(w, ce);
+  return w.take();
+}
+
+void decode_evaluator_state_v1(std::span<const std::uint8_t> bytes,
+                               ConditionEvaluator& ce) {
+  Reader r{bytes};
+  if (r.u8() != kSnapshotTagV1) throw DecodeError("not an evaluator snapshot");
+  detail::SnapshotBody body = detail::decode_snapshot_body(r, ce);
+  r.expect_done();
+  ce.restore_state(std::move(body.histories), std::move(body.last_seen));
+}
+
+std::vector<std::uint8_t> encode_update_log_v1(
+    std::span<const Update> updates) {
+  std::vector<std::uint8_t> out;
+  for (const Update& u : updates) {
+    const auto framed = frame(encode_update(u));
+    out.insert(out.end(), framed.begin(), framed.end());
+  }
+  return out;
+}
+
+}  // namespace rcm::wire::legacy

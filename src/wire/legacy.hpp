@@ -1,0 +1,45 @@
+// Frozen v1 codecs for mixed-version testing.
+//
+// Two jobs, both about the version BOUNDARY rather than the current
+// format:
+//
+//   * Writers emit byte-exact v1 encodings — what a pre-versioning
+//     binary wrote to disk. The restarting harness (tests/restarting/)
+//     and `rcm_swarm --upgrade-fuzz` use them to manufacture v1 durable
+//     state that the current binary must recover.
+//   * Readers simulate a pre-versioning binary decoding bytes: strict
+//     v1-only parsers that reject anything newer with DecodeError. The
+//     forward-compat tests use them to prove a v(N) reader fails CLEANLY
+//     (typed error, no crash, no misparse) on v(N+1) output.
+//
+// These are deliberately independent re-implementations of the v1 byte
+// layout, pinned by the golden corpus under tests/data/v1/ — if the
+// current codecs drift, the corpus catches it; if these drift, the
+// corpus catches that too.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/types.hpp"
+#include "wire/buffer.hpp"
+
+namespace rcm::wire::legacy {
+
+/// Byte-exact v1 evaluator snapshot ('s' tag, no header, no extensions).
+[[nodiscard]] std::vector<std::uint8_t> encode_evaluator_state_v1(
+    const ConditionEvaluator& ce);
+
+/// Simulated v1 reader: restores a v1 snapshot into `ce`, rejecting v2+
+/// bytes ('S' tag) with DecodeError exactly as the old binary did.
+void decode_evaluator_state_v1(std::span<const std::uint8_t> bytes,
+                               ConditionEvaluator& ce);
+
+/// Byte-exact v1 WAL/journal file image: one CRC frame per update, no
+/// header record (pre-versioning files start directly with update
+/// frames).
+[[nodiscard]] std::vector<std::uint8_t> encode_update_log_v1(
+    std::span<const Update> updates);
+
+}  // namespace rcm::wire::legacy

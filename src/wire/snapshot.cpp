@@ -1,20 +1,18 @@
 #include "wire/snapshot.hpp"
 
 #include <algorithm>
-#include <map>
 
 namespace rcm::wire {
 namespace {
 
-constexpr std::uint8_t kSnapshotTag = 0x73;  // 's'
+constexpr std::uint8_t kSnapshotTagV1 = 0x73;  // 's'
+constexpr std::uint8_t kSnapshotTagV2 = 0x53;  // 'S'
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_evaluator_state(
-    const ConditionEvaluator& ce) {
-  Writer w;
-  w.u8(kSnapshotTag);
+namespace detail {
 
+void encode_snapshot_body(Writer& w, const ConditionEvaluator& ce) {
   const auto& last_seen = ce.last_seen();
   w.varint(last_seen.size());
   for (const auto& [var, seqno] : last_seen) {
@@ -39,14 +37,9 @@ std::vector<std::uint8_t> encode_evaluator_state(
       w.f64(u.value);
     }
   }
-  return w.take();
 }
 
-void decode_evaluator_state(std::span<const std::uint8_t> bytes,
-                            ConditionEvaluator& ce) {
-  Reader r{bytes};
-  if (r.u8() != kSnapshotTag) throw DecodeError("not an evaluator snapshot");
-
+SnapshotBody decode_snapshot_body(Reader& r, const ConditionEvaluator& ce) {
   std::map<VarId, SeqNo> last_seen;
   const std::uint64_t watermarks = r.varint();
   if (watermarks > 4096) throw DecodeError("too many watermarks");
@@ -83,8 +76,39 @@ void decode_evaluator_state(std::span<const std::uint8_t> bytes,
       h.push(u);
     }
   }
+  return SnapshotBody{std::move(h), std::move(last_seen)};
+}
+
+}  // namespace detail
+
+std::vector<std::uint8_t> encode_evaluator_state(
+    const ConditionEvaluator& ce) {
+  Writer w;
+  w.u8(kSnapshotTagV2);
+  encode_version(w, kSnapshotVersion);
+  detail::encode_snapshot_body(w, ce);
+  encode_extension_section(w, {});  // none yet; room for v2.x fields
+  return w.take();
+}
+
+void decode_evaluator_state(std::span<const std::uint8_t> bytes,
+                            ConditionEvaluator& ce) {
+  Reader r{bytes};
+  const std::uint8_t tag = r.u8();
+  if (tag == kSnapshotTagV1) {
+    // Legacy headerless snapshot: body is the whole message.
+    detail::SnapshotBody body = detail::decode_snapshot_body(r, ce);
+    r.expect_done();
+    ce.restore_state(std::move(body.histories), std::move(body.last_seen));
+    return;
+  }
+  if (tag != kSnapshotTagV2) throw DecodeError("not an evaluator snapshot");
+  (void)decode_version(r, "evaluator snapshot", kSnapshotMinMajor,
+                       kSnapshotMaxMajor);
+  detail::SnapshotBody body = detail::decode_snapshot_body(r, ce);
+  (void)decode_extension_section(r, nullptr);  // skip unknown v2.x fields
   r.expect_done();
-  ce.restore_state(std::move(h), std::move(last_seen));
+  ce.restore_state(std::move(body.histories), std::move(body.last_seen));
 }
 
 }  // namespace rcm::wire

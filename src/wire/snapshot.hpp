@@ -7,24 +7,60 @@
 // code/configuration, not state — so restore must target an evaluator
 // built for the same condition (same variable set and degrees; this is
 // validated and a DecodeError is thrown on mismatch).
+//
+// Versioning (docs/SERVICE.md, "Format versioning & rolling upgrades"):
+//
+//   v1 := 's' | body                      (headerless; written by pre-
+//                                          versioning binaries)
+//   v2 := 'S' | major:u8 | minor:u8 | body | extension section
+//
+// The encoder writes v2. The decoder accepts both: v1 bytes restore
+// exactly as before, v2 bytes may carry unknown trailing extensions
+// (skipped), and a major outside [1, 2] raises UnsupportedVersion so
+// callers can tell an incompatible file from a corrupt one.
 #pragma once
 
+#include <map>
 #include <span>
 #include <vector>
 
 #include "core/evaluator.hpp"
 #include "wire/buffer.hpp"
+#include "wire/version.hpp"
 
 namespace rcm::wire {
 
-/// Serializes the evaluator's volatile state.
+/// Version written by encode_evaluator_state.
+inline constexpr VersionHeader kSnapshotVersion{2, 0};
+/// Major range decode_evaluator_state accepts (1 = legacy 's' tag).
+inline constexpr std::uint8_t kSnapshotMinMajor = 1;
+inline constexpr std::uint8_t kSnapshotMaxMajor = 2;
+
+/// Serializes the evaluator's volatile state (current version).
 [[nodiscard]] std::vector<std::uint8_t> encode_evaluator_state(
     const ConditionEvaluator& ce);
 
-/// Restores a snapshot into `ce`. Throws DecodeError on malformed bytes
-/// or if the snapshot's variable set / degrees do not match the
-/// evaluator's condition.
+/// Restores a snapshot into `ce`. Accepts v1 and v2 bytes; skips unknown
+/// v2 extensions. Throws UnsupportedVersion on a major outside the
+/// supported range, DecodeError on malformed bytes or if the snapshot's
+/// variable set / degrees do not match the evaluator's condition. `ce`
+/// is only mutated after the whole input validated.
 void decode_evaluator_state(std::span<const std::uint8_t> bytes,
                             ConditionEvaluator& ce);
+
+namespace detail {
+
+/// A parsed-but-not-applied snapshot body, shared by the v1 and v2
+/// codecs (and the legacy writer in wire/legacy.hpp).
+struct SnapshotBody {
+  HistorySet histories;
+  std::map<VarId, SeqNo> last_seen;
+};
+
+void encode_snapshot_body(Writer& w, const ConditionEvaluator& ce);
+[[nodiscard]] SnapshotBody decode_snapshot_body(Reader& r,
+                                                const ConditionEvaluator& ce);
+
+}  // namespace detail
 
 }  // namespace rcm::wire

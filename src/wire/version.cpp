@@ -1,0 +1,66 @@
+#include "wire/version.hpp"
+
+namespace rcm::wire {
+namespace {
+
+std::string describe(const std::string& format, VersionHeader got,
+                     std::uint8_t min_major, std::uint8_t max_major) {
+  return format + ": unsupported version " + std::to_string(got.major) + "." +
+         std::to_string(got.minor) + " (this reader supports majors " +
+         std::to_string(min_major) + ".." + std::to_string(max_major) + ")";
+}
+
+}  // namespace
+
+UnsupportedVersion::UnsupportedVersion(std::string format, VersionHeader got,
+                                       std::uint8_t min_major,
+                                       std::uint8_t max_major)
+    : DecodeError(describe(format, got, min_major, max_major)),
+      format_(std::move(format)),
+      got_(got),
+      min_major_(min_major),
+      max_major_(max_major) {}
+
+void encode_version(Writer& w, VersionHeader v) {
+  w.u8(v.major);
+  w.u8(v.minor);
+}
+
+VersionHeader decode_version(Reader& r, const char* format,
+                             std::uint8_t min_major, std::uint8_t max_major) {
+  VersionHeader v;
+  v.major = r.u8();
+  v.minor = r.u8();
+  if (v.major < min_major || v.major > max_major)
+    throw UnsupportedVersion(format, v, min_major, max_major);
+  return v;
+}
+
+void encode_extension_section(Writer& w, std::span<const Extension> exts) {
+  w.varint(exts.size());
+  for (const Extension& e : exts) {
+    w.u8(e.tag);
+    w.varint(e.payload.size());
+    w.raw(e.payload);
+  }
+}
+
+std::size_t decode_extension_section(
+    Reader& r,
+    const std::function<void(std::uint8_t tag,
+                             std::span<const std::uint8_t> payload)>& fn) {
+  const std::uint64_t count = r.varint();
+  if (count > kMaxExtensionEntries)
+    throw DecodeError("extension section: too many entries");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint8_t tag = r.u8();
+    const std::uint64_t len = r.varint();
+    if (len > kMaxExtensionPayloadBytes)
+      throw DecodeError("extension section: oversized payload");
+    const auto payload = r.bytes(static_cast<std::size_t>(len));
+    if (fn) fn(tag, payload);
+  }
+  return static_cast<std::size_t>(count);
+}
+
+}  // namespace rcm::wire

@@ -1,0 +1,94 @@
+// Format versioning for durable and on-wire encodings.
+//
+// Every versioned format carries a two-byte header — major, then minor —
+// plus a trailing *extension section* of skippable tagged blocks:
+//
+//   header    := major:u8 | minor:u8
+//   extension := varint(count) | count * (tag:u8 | varint(len) | bytes)
+//
+// The compatibility contract (docs/SERVICE.md, "Format versioning &
+// rolling upgrades"):
+//
+//   * A reader accepts any minor of a major it knows: minors only ever
+//     add extension tags, and unknown tags are skipped by construction.
+//   * A reader rejects a major outside its supported range with
+//     UnsupportedVersion — a typed error carrying the format name, the
+//     version found, and the reader's supported range — so callers can
+//     distinguish "incompatible peer/file" from "corrupt bytes".
+//
+// UnsupportedVersion derives from DecodeError: code that treats any
+// decode failure as corruption (torn WAL tails, fuzzing) keeps working,
+// while upgrade-aware callers can catch the subclass first.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "wire/buffer.hpp"
+
+namespace rcm::wire {
+
+/// A format version. Majors gate compatibility; minors are informative.
+struct VersionHeader {
+  std::uint8_t major = 1;
+  std::uint8_t minor = 0;
+
+  friend bool operator==(VersionHeader a, VersionHeader b) {
+    return a.major == b.major && a.minor == b.minor;
+  }
+};
+
+/// Typed rejection of a version a reader cannot understand. The message
+/// names the format, the version found, and the supported major range.
+class UnsupportedVersion : public DecodeError {
+ public:
+  UnsupportedVersion(std::string format, VersionHeader got,
+                     std::uint8_t min_major, std::uint8_t max_major);
+
+  [[nodiscard]] const std::string& format() const noexcept { return format_; }
+  [[nodiscard]] VersionHeader got() const noexcept { return got_; }
+  [[nodiscard]] std::uint8_t min_major() const noexcept { return min_major_; }
+  [[nodiscard]] std::uint8_t max_major() const noexcept { return max_major_; }
+
+ private:
+  std::string format_;
+  VersionHeader got_;
+  std::uint8_t min_major_;
+  std::uint8_t max_major_;
+};
+
+/// Writes the two-byte version header.
+void encode_version(Writer& w, VersionHeader v);
+
+/// Reads a version header and enforces the reader's supported major
+/// range [min_major, max_major]. Throws UnsupportedVersion outside it,
+/// DecodeError on truncation. Any minor is accepted.
+[[nodiscard]] VersionHeader decode_version(Reader& r, const char* format,
+                                           std::uint8_t min_major,
+                                           std::uint8_t max_major);
+
+/// One tagged extension block.
+struct Extension {
+  std::uint8_t tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+inline constexpr std::size_t kMaxExtensionEntries = 64;
+inline constexpr std::size_t kMaxExtensionPayloadBytes = 4096;
+
+/// Writes an extension section (count followed by tagged blocks).
+void encode_extension_section(Writer& w, std::span<const Extension> exts);
+
+/// Reads an extension section, invoking `fn` (when non-null) for each
+/// entry. Unknown tags are the caller's business — ignoring an entry in
+/// `fn` IS the skip. Returns the entry count. Throws DecodeError on
+/// malformed sections or hostile counts/lengths.
+std::size_t decode_extension_section(
+    Reader& r,
+    const std::function<void(std::uint8_t tag,
+                             std::span<const std::uint8_t> payload)>& fn);
+
+}  // namespace rcm::wire

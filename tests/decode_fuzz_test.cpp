@@ -9,7 +9,9 @@
 #include "check/run_record.hpp"
 #include "core/builtin_conditions.hpp"
 #include "core/evaluator.hpp"
+#include "service/admin.hpp"
 #include "store/alert_log.hpp"
+#include "store/file_log.hpp"
 #include "swarm/fuzzer.hpp"
 #include "swarm/record.hpp"
 #include "swarm/runner.hpp"
@@ -17,6 +19,7 @@
 #include "wire/codec.hpp"
 #include "wire/frame.hpp"
 #include "wire/snapshot.hpp"
+#include "wire/version.hpp"
 
 namespace rcm::wire {
 namespace {
@@ -222,6 +225,161 @@ TEST(DecodeFuzz, RecordWithUnknownWorkloadKindIsRejected) {
   swarm::encode_workload(w, filler);  // plausible trailing bytes
   w.u64(record.digest);
   EXPECT_THROW((void)swarm::decode_record(w.bytes()), DecodeError);
+}
+
+TEST(DecodeFuzz, VersionedSnapshotHeader) {
+  // The v2 snapshot opens with 'S' | major | minor and closes with an
+  // extension section. Three contracts under fuzzing: a future major is
+  // a TYPED rejection, unknown extensions are skipped losslessly, and
+  // no mutation of the header bytes can crash the decoder (covered for
+  // the whole message by EvaluatorSnapshot above).
+  auto cond = std::make_shared<const RiseCondition>("r", 0, 1.0,
+                                                    Triggering::kAggressive);
+  ConditionEvaluator ce{cond};
+  (void)ce.on_update({0, 1, 1.0});
+  (void)ce.on_update({0, 2, 5.0});
+  const auto valid = encode_evaluator_state(ce);
+  ASSERT_EQ(valid[0], 0x53);  // 'S'
+
+  for (std::uint8_t major : {3, 99, 255}) {
+    auto future = valid;
+    future[1] = major;
+    ConditionEvaluator scratch{cond};
+    EXPECT_THROW(decode_evaluator_state(future, scratch),
+                 UnsupportedVersion);
+  }
+
+  // Unknown extension tags — any tag, any payload — must be skipped
+  // without disturbing the decoded state.
+  util::Rng rng{21};
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<std::uint8_t> extended{valid.begin(), valid.end() - 1};
+    Writer w;
+    w.varint(1);
+    w.u8(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+    const auto blob = random_bytes(rng, 16);
+    w.varint(blob.size());
+    w.raw(blob);
+    const auto section = w.bytes();
+    extended.insert(extended.end(), section.begin(), section.end());
+    ConditionEvaluator scratch{cond};
+    decode_evaluator_state(extended, scratch);
+    EXPECT_EQ(encode_evaluator_state(scratch), valid);
+  }
+}
+
+TEST(DecodeFuzz, AdminRequest) {
+  // A v2 request (with the version extension) and an unknown-command
+  // request both fuzz clean. Semantically: unknown command + declared
+  // version decodes to known=false; unknown command WITHOUT a version
+  // (a v1 peer) stays a DecodeError, preserving the v1 contract.
+  service::AdminRequest req;
+  req.command = service::AdminCommand::kRestart;
+  req.replica = 3;
+  fuzz_decoder(
+      [](const std::vector<std::uint8_t>& b) {
+        (void)service::decode_admin_request(b);
+      },
+      service::encode_admin_request(req), 22);
+
+  service::AdminRequest unknown;
+  unknown.known = false;
+  unknown.raw_command = 0x42;
+  const auto bytes = service::encode_admin_request(unknown);
+  const service::AdminRequest back = service::decode_admin_request(bytes);
+  EXPECT_FALSE(back.known);
+  EXPECT_EQ(back.raw_command, 0x42);
+  EXPECT_EQ(back.version, service::kAdminVersion);
+  fuzz_decoder(
+      [](const std::vector<std::uint8_t>& b) {
+        (void)service::decode_admin_request(b);
+      },
+      bytes, 23);
+
+  EXPECT_THROW((void)service::decode_admin_request(
+                   std::vector<std::uint8_t>{0x42, 0x00}),
+               DecodeError);
+}
+
+TEST(DecodeFuzz, AdminResponseWithUnsupportedBlock) {
+  service::AdminResponse resp;
+  resp.ok = false;
+  resp.error = "unsupported command";
+  service::AdminUnsupported u;
+  u.command = 0x42;
+  u.server_version = service::kAdminVersion;
+  u.min_major = service::kAdminMinMajor;
+  u.max_major = service::kAdminMaxMajor;
+  u.max_command =
+      static_cast<std::uint8_t>(service::AdminCommand::kTraceDump);
+  resp.unsupported = u;
+  const auto valid = service::encode_admin_response(resp);
+  const service::AdminResponse back = service::decode_admin_response(valid);
+  ASSERT_TRUE(back.unsupported.has_value());
+  EXPECT_EQ(back.unsupported->max_command, u.max_command);
+  fuzz_decoder(
+      [](const std::vector<std::uint8_t>& b) {
+        (void)service::decode_admin_response(b);
+      },
+      valid, 24);
+}
+
+TEST(DecodeFuzz, LogRecoveryNeverThrowsExceptOnFutureMajor) {
+  // recover_update_bytes / recover_log_bytes treat corruption as data
+  // (counted, never thrown) — the ONLY exception that may escape is
+  // UnsupportedVersion from a well-formed future-major header record.
+  std::vector<std::uint8_t> wal = frame(store::encode_log_header(
+      store::kUpdateLogFormatId, store::kLogFormatVersion));
+  for (SeqNo s = 1; s <= 4; ++s) {
+    const auto f = frame(encode_update({0, s, 1.0 * static_cast<double>(s)}));
+    wal.insert(wal.end(), f.begin(), f.end());
+  }
+  std::vector<std::uint8_t> alog = frame(store::encode_log_header(
+      store::kAlertLogFormatId, store::kLogFormatVersion));
+  {
+    Writer rec;
+    rec.u8(store::kAlertRecord);
+    rec.raw(encode_alert(sample_alert(), AlertEncoding::kFullHistories));
+    const auto f = frame(rec.bytes());
+    alog.insert(alog.end(), f.begin(), f.end());
+  }
+
+  util::Rng rng{25};
+  const auto fuzz_recovery = [&](auto&& recover,
+                                 const std::vector<std::uint8_t>& valid) {
+    for (int i = 0; i < 300; ++i) {
+      const auto bytes = random_bytes(rng, 128);
+      try {
+        (void)recover(bytes);
+      } catch (const UnsupportedVersion&) {
+      }
+    }
+    for (std::size_t len = 0; len < valid.size(); ++len) {
+      try {
+        (void)recover({valid.begin(),
+                       valid.begin() + static_cast<std::ptrdiff_t>(len)});
+      } catch (const UnsupportedVersion&) {
+      }
+    }
+    for (std::size_t i = 0; i < valid.size(); ++i) {
+      for (std::uint8_t delta : {0x01, 0x80, 0xff}) {
+        auto mutated = valid;
+        mutated[i] ^= delta;
+        try {
+          (void)recover(mutated);
+        } catch (const UnsupportedVersion&) {
+        }
+      }
+    }
+  };
+  fuzz_recovery(
+      [](std::vector<std::uint8_t> b) {
+        return store::recover_update_bytes(b);
+      },
+      wal);
+  fuzz_recovery(
+      [](std::vector<std::uint8_t> b) { return store::recover_log_bytes(b); },
+      alog);
 }
 
 TEST(DecodeFuzz, FrameCursorOnGarbageStreams) {

@@ -77,7 +77,11 @@ TEST(FileUpdateLog, TruncateAtEveryByteOffsetRecoversStrictPrefix) {
 
   store::FileUpdateLog log{dir / "u.wal"};
   std::vector<std::size_t> frame_ends;  // cumulative byte size per record
-  std::size_t total = 0;
+  // A fresh WAL starts with the framed 'V' format header record.
+  std::size_t total =
+      wire::frame(store::encode_log_header(store::kUpdateLogFormatId,
+                                           store::kLogFormatVersion))
+          .size();
   for (const Update& u : updates) {
     log.append(u);
     total += wire::frame(wire::encode_update(u)).size();
@@ -127,7 +131,11 @@ TEST(DurableReplica, CheckpointPlusWalTruncatedAtEveryOffsetIsAPrefixState) {
   ASSERT_FALSE(ckpt_bytes.empty());
 
   std::vector<std::size_t> frame_ends;
-  std::size_t total = 0;
+  // truncate() rewrites the framed 'V' format header before the records.
+  std::size_t total =
+      wire::frame(store::encode_log_header(store::kUpdateLogFormatId,
+                                           store::kLogFormatVersion))
+          .size();
   for (const Update& u : walled) {
     total += wire::frame(wire::encode_update(u)).size();
     frame_ends.push_back(total);

@@ -1,0 +1,78 @@
+// Regenerates (or verifies) the checked-in v1 durable-format corpus
+// under tests/data/v1/.
+//
+//   rcm_make_v1_corpus <dir>          # (re)write every fixture
+//   rcm_make_v1_corpus --check <dir>  # fail if any fixture differs
+//
+// --check is wired into ctest (label `restarting`): a change to any
+// encoder that would alter the v1 bytes fails CI instead of silently
+// rewriting history. Exit codes: 0 = ok, 1 = mismatch, 2 = usage/IO.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "v1_corpus.hpp"
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  return std::vector<std::uint8_t>{std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  const char* dir_arg = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (dir_arg == nullptr) {
+      dir_arg = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--check] <dir>\n", argv[0]);
+      return 2;
+    }
+  }
+  if (dir_arg == nullptr) {
+    std::fprintf(stderr, "usage: %s [--check] <dir>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path dir{dir_arg};
+
+  try {
+    int mismatches = 0;
+    if (!check) std::filesystem::create_directories(dir);
+    for (const rcm::testing::V1Fixture& fixture :
+         rcm::testing::build_v1_corpus()) {
+      const std::filesystem::path path = dir / fixture.name;
+      if (check) {
+        if (read_file(path) != fixture.bytes) {
+          std::fprintf(stderr,
+                       "v1 corpus drift: %s regenerates with different "
+                       "bytes (the v1 format is frozen — fix the encoder, "
+                       "do not regenerate the fixture)\n",
+                       path.string().c_str());
+          ++mismatches;
+        }
+      } else {
+        std::ofstream out{path, std::ios::binary | std::ios::trunc};
+        out.write(reinterpret_cast<const char*>(fixture.bytes.data()),
+                  static_cast<std::streamsize>(fixture.bytes.size()));
+        if (!out.good()) {
+          std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+          return 2;
+        }
+        std::printf("wrote %s (%zu bytes)\n", path.string().c_str(),
+                    fixture.bytes.size());
+      }
+    }
+    return mismatches == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rcm_make_v1_corpus: %s\n", e.what());
+    return 2;
+  }
+}

@@ -357,6 +357,60 @@ TEST(Frame, SingleByteMutationNeverYieldsWrongPayload) {
   }
 }
 
+TEST(Frame, FinishRecoversFrameWhoseMagicHidesInACorruptLengthVarint) {
+  // Regression: a corrupted length varint can decode to a plausible
+  // length that "swallows" the bytes after it — bytes that contain the
+  // magic pair of a real frame. A streaming cursor rightly waits for
+  // more input, but at end-of-stream the pending frame can never
+  // complete; finish() must turn it into a corrupt frame and resync at
+  // the embedded magic so the real frame is recovered.
+  const std::vector<std::uint8_t> payload{42, 43, 44};
+  const auto good = frame(payload);
+  // magic | varint 0xCE 0x01 (= length 206, far past the stream end);
+  // those two varint bytes are themselves a magic pair.
+  std::vector<std::uint8_t> stream{kFrameMagic0, kFrameMagic1,
+                                   kFrameMagic0, kFrameMagic1};
+  stream.insert(stream.end(), good.begin(), good.end());
+
+  FrameCursor cursor;
+  cursor.feed(stream);
+  EXPECT_FALSE(cursor.next().has_value());  // streaming: still waiting
+  cursor.finish();
+  const auto out = cursor.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload);
+  EXPECT_GE(cursor.corrupt_frames(), 1u);
+  EXPECT_FALSE(cursor.next().has_value());  // and terminates
+}
+
+TEST(Frame, FinishCountsTornTailAsCorrupt) {
+  const auto good = frame(std::vector<std::uint8_t>{9, 9});
+  auto torn = frame(std::vector<std::uint8_t>{1, 2, 3, 4});
+  torn.resize(torn.size() / 2);
+
+  FrameCursor cursor;
+  cursor.feed(good);
+  cursor.feed(torn);
+  cursor.finish();
+  const auto out = cursor.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->size(), 2u);
+  EXPECT_FALSE(cursor.next().has_value());
+  EXPECT_GE(cursor.corrupt_frames(), 1u);
+}
+
+TEST(Frame, FinishOnCleanStreamChangesNothing) {
+  const std::vector<std::uint8_t> payload{5, 6, 7};
+  FrameCursor cursor;
+  cursor.feed(frame(payload));
+  cursor.finish();
+  const auto out = cursor.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload);
+  EXPECT_FALSE(cursor.next().has_value());
+  EXPECT_EQ(cursor.corrupt_frames(), 0u);
+}
+
 TEST(Frame, RandomizedStreamWithInterspersedNoise) {
   util::Rng rng{23};
   FrameCursor cursor;
