@@ -1,6 +1,7 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -163,8 +164,60 @@ std::optional<std::vector<std::uint8_t>> TcpStream::read_some(
   return buf;
 }
 
+void TcpStream::set_nonblocking(bool enabled) {
+  const int flags = ::fcntl(fd_.get(), F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int wanted = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted != flags && ::fcntl(fd_.get(), F_SETFL, wanted) < 0)
+    throw_errno("fcntl(F_SETFL)");
+}
+
+std::size_t TcpStream::write_some(std::span<const std::uint8_t> bytes) {
+  while (true) {
+    const ssize_t n =
+        ::send(fd_.get(), bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    throw_errno("send");
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> TcpStream::read_available() {
+  std::vector<std::uint8_t> buf(65536);
+  while (true) {
+    const ssize_t n = ::recv(fd_.get(), buf.data(), buf.size(), MSG_DONTWAIT);
+    if (n >= 0) {
+      buf.resize(static_cast<std::size_t>(n));  // empty == orderly EOF
+      return buf;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+    throw_errno("recv");
+  }
+}
+
 void TcpStream::shutdown_write() {
   if (fd_.valid()) (void)::shutdown(fd_.get(), SHUT_WR);
+}
+
+WakePipe::WakePipe() {
+  int fds[2];
+  if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) < 0) throw_errno("pipe2");
+  read_ = FdHandle{fds[0]};
+  write_ = FdHandle{fds[1]};
+}
+
+void WakePipe::wake() noexcept {
+  const std::uint8_t byte = 1;
+  // A full pipe already guarantees the loop will wake; EAGAIN is fine.
+  (void)::write(write_.get(), &byte, 1);
+}
+
+void WakePipe::drain() noexcept {
+  std::uint8_t buf[256];
+  while (::read(read_.get(), buf, sizeof(buf)) > 0) {
+  }
 }
 
 }  // namespace rcm::net

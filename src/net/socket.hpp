@@ -101,13 +101,49 @@ class TcpStream {
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> read_some(
       std::chrono::milliseconds timeout);
 
+  /// Switches the socket in or out of non-blocking mode (for
+  /// readiness-driven event loops that poll() the raw fd).
+  void set_nonblocking(bool enabled);
+
+  /// Writes as much as the kernel will take without blocking. Returns
+  /// the byte count written — 0 when the send buffer is full (EAGAIN,
+  /// meaningful only in non-blocking mode). Throws on a broken peer.
+  [[nodiscard]] std::size_t write_some(std::span<const std::uint8_t> bytes);
+
+  /// Reads whatever is already buffered without blocking. Returns
+  /// nullopt when nothing is available (EAGAIN) and an empty vector on
+  /// orderly EOF.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> read_available();
+
   /// Half-closes the write side (sends FIN; the peer sees EOF).
   void shutdown_write();
+
+  /// The raw fd, for poll()-style readiness loops. Ownership stays here.
+  [[nodiscard]] int native_handle() const noexcept { return fd_.get(); }
 
  private:
   friend class TcpListener;
   explicit TcpStream(FdHandle fd) noexcept : fd_(std::move(fd)) {}
   FdHandle fd_;
+};
+
+/// Self-pipe for waking a poll()-based event loop from another thread.
+class WakePipe {
+ public:
+  WakePipe();
+
+  /// Makes the read end readable (idempotent while undrained; safe from
+  /// any thread, async-signal-safe write).
+  void wake() noexcept;
+
+  /// Consumes all pending wake bytes.
+  void drain() noexcept;
+
+  [[nodiscard]] int read_fd() const noexcept { return read_.get(); }
+
+ private:
+  FdHandle read_;
+  FdHandle write_;
 };
 
 }  // namespace rcm::net

@@ -60,6 +60,58 @@ ServiceStatus decode_status(wire::Reader& r) {
   return s;
 }
 
+// Session entries ride one extension payload
+// (wire::kMaxExtensionPayloadBytes); leave headroom for the count
+// prefix so encoding never produces an undecodable section.
+constexpr std::size_t kSessionExtBudget = 3900;
+
+std::vector<std::uint8_t> encode_sessions_ext(const ServiceStatus& s) {
+  wire::Writer w;
+  w.varint(s.total_sessions != 0 ? s.total_sessions : s.sessions.size());
+  wire::Writer entries;
+  std::uint64_t count = 0;
+  for (const SessionStatus& e : s.sessions) {
+    wire::Writer one;
+    one.string(e.id);
+    one.varint(e.acked);
+    one.varint(e.framed);
+    one.varint(e.lag);
+    one.varint(e.backlog);
+    one.u8(static_cast<std::uint8_t>((e.connected ? 1 : 0) |
+                                     (e.evicted ? 2 : 0)));
+    if (entries.size() + one.size() > kSessionExtBudget) break;
+    entries.raw(one.bytes());
+    ++count;
+  }
+  w.varint(count);
+  w.raw(entries.bytes());
+  return w.take();
+}
+
+void decode_sessions_ext(std::span<const std::uint8_t> payload,
+                         ServiceStatus& s) {
+  wire::Reader r{payload};
+  s.total_sessions = r.varint();
+  const std::uint64_t count = r.varint();
+  if (count > 4096) throw wire::DecodeError("admin sessions: count");
+  s.sessions.clear();
+  s.sessions.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    SessionStatus e;
+    e.id = r.string();
+    e.acked = r.varint();
+    e.framed = r.varint();
+    e.lag = r.varint();
+    e.backlog = r.varint();
+    const std::uint8_t flags = r.u8();
+    if (flags > 3) throw wire::DecodeError("admin sessions: flags");
+    e.connected = (flags & 1) != 0;
+    e.evicted = (flags & 2) != 0;
+    s.sessions.push_back(std::move(e));
+  }
+  r.expect_done();
+}
+
 wire::VersionHeader parse_version_ext(std::span<const std::uint8_t> payload,
                                       const char* format) {
   wire::Reader vr{payload};
@@ -104,7 +156,7 @@ AdminRequest decode_admin_request(std::span<const std::uint8_t> payload) {
         });
     r.expect_done();
   }
-  if (cmd > static_cast<std::uint8_t>(AdminCommand::kTraceDump)) {
+  if (cmd > static_cast<std::uint8_t>(AdminCommand::kSessions)) {
     // A version-declaring peer with a compatible major gets a structured
     // unsupported reply from the dispatcher; a legacy (version-less)
     // peer keeps the v1 contract.
@@ -128,6 +180,7 @@ std::vector<std::uint8_t> encode_admin_response(const AdminResponse& resp) {
   // The extension section appears only when there is something to say:
   // plain responses stay byte-identical to v1, which is what lets a v1
   // client keep talking to this server during a rolling upgrade.
+  std::vector<wire::Extension> exts;
   if (resp.unsupported) {
     wire::Extension ext;
     ext.tag = kAdminUnsupportedExtTag;
@@ -138,9 +191,16 @@ std::vector<std::uint8_t> encode_admin_response(const AdminResponse& resp) {
     ew.u8(resp.unsupported->max_major);
     ew.u8(resp.unsupported->max_command);
     ext.payload = ew.take();
-    const wire::Extension exts[] = {ext};
-    wire::encode_extension_section(w, exts);
+    exts.push_back(std::move(ext));
   }
+  if (resp.status &&
+      (!resp.status->sessions.empty() || resp.status->total_sessions != 0)) {
+    wire::Extension ext;
+    ext.tag = kAdminSessionsExtTag;
+    ext.payload = encode_sessions_ext(*resp.status);
+    exts.push_back(std::move(ext));
+  }
+  if (!exts.empty()) wire::encode_extension_section(w, exts);
   return w.take();
 }
 
@@ -166,6 +226,12 @@ AdminResponse decode_admin_response(std::span<const std::uint8_t> payload) {
   if (!r.done()) {
     (void)wire::decode_extension_section(
         r, [&](std::uint8_t tag, std::span<const std::uint8_t> ext) {
+          if (tag == kAdminSessionsExtTag) {
+            // Session entries attach to the status block; a session
+            // extension without one has nothing to attach to.
+            if (resp.status) decode_sessions_ext(ext, *resp.status);
+            return;
+          }
           if (tag != kAdminUnsupportedExtTag) return;  // skip unknown tags
           wire::Reader er{ext};
           AdminUnsupported u;

@@ -45,14 +45,16 @@
 namespace rcm::service {
 
 /// Admin protocol version spoken by this binary; v1 is the pre-extension
-/// protocol (no version tag on requests, no response extensions).
-inline constexpr wire::VersionHeader kAdminVersion{2, 0};
+/// protocol (no version tag on requests, no response extensions). 2.1
+/// added kSessions and the per-session status response extension.
+inline constexpr wire::VersionHeader kAdminVersion{2, 1};
 inline constexpr std::uint8_t kAdminMinMajor = 1;
 inline constexpr std::uint8_t kAdminMaxMajor = 2;
 
 /// Extension tags used by the admin codec.
 inline constexpr std::uint8_t kAdminVersionExtTag = 0x56;      // 'V'
 inline constexpr std::uint8_t kAdminUnsupportedExtTag = 0x55;  // 'U'
+inline constexpr std::uint8_t kAdminSessionsExtTag = 0x53;     // 'S'
 
 /// Admin commands, in wire order.
 enum class AdminCommand : std::uint8_t {
@@ -63,6 +65,7 @@ enum class AdminCommand : std::uint8_t {
   kDrain = 4,       ///< request graceful shutdown of the whole service
   kMetrics = 5,     ///< live obs::registry().snapshot_json() in `body`
   kTraceDump = 6,   ///< Chrome trace_event JSON export in `body`
+  kSessions = 7,    ///< per-session cursor/lag/backlog JSON in `body`
 };
 
 /// One admin request.
@@ -96,6 +99,18 @@ struct ReplicaStatus {
   std::uint64_t recovered_wal = 0; ///< WAL records replayed at last recovery
 };
 
+/// Per-session slice of a status report (rides a skippable response
+/// extension so v1/v2.0 clients keep decoding plain status responses).
+struct SessionStatus {
+  std::string id;
+  std::uint64_t acked = 0;    ///< durable cursor: entries [0, acked) acked
+  std::uint64_t framed = 0;   ///< entries fully written to a peer socket
+  std::uint64_t lag = 0;      ///< alert-log end − acked
+  std::uint64_t backlog = 0;  ///< entries not yet handed to the kernel
+  bool connected = false;
+  bool evicted = false;
+};
+
 /// Whole-service status report.
 struct ServiceStatus {
   std::uint64_t ingested_datagrams = 0;
@@ -106,6 +121,12 @@ struct ServiceStatus {
   /// obs counter `net.ce.end_timeouts`; 0 under -DRCM_NO_METRICS).
   std::uint64_t end_timeouts = 0;
   std::vector<ReplicaStatus> replicas;
+  /// Per-session cursors (2.1+ servers; empty from older ones). The
+  /// extension payload is bounded, so a huge fleet is truncated to the
+  /// `total_sessions` highest-lag entries that fit — never silently:
+  /// total_sessions always reports the real count.
+  std::vector<SessionStatus> sessions;
+  std::uint64_t total_sessions = 0;
 };
 
 /// Structured "I don't speak that" reply block: the server's version

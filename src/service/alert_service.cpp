@@ -1,5 +1,7 @@
 #include "service/alert_service.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <system_error>
 #include <utility>
@@ -44,6 +46,11 @@ AlertService::AlertService(ServiceConfig config)
   if (!ends_out_.is_open())
     throw std::runtime_error("AlertService: cannot open " +
                              ends_path().string());
+
+  // The session layer recovers its durable alert log + cursors before
+  // any thread can publish or accept.
+  sessions_ = std::make_unique<SessionManager>(
+      config_.data_dir, config_.subscriber_encoding, config_.session_limits);
 
   // Bind every replica's ingest port up front so clients can be handed a
   // stable endpoint list before any worker runs.
@@ -288,27 +295,16 @@ void AlertService::displayer_loop() {
 void AlertService::fanout(const Alert& a) {
   RCM_SCOPED_TIMER(timer, "service.fanout.seconds");
   RCM_TRACE_SPAN(span, "service.fanout");
-  const auto framed =
-      wire::frame(wire::encode_alert(a, config_.subscriber_encoding));
-  std::lock_guard g{subscriber_mutex_};
-  for (auto it = subscribers_.begin(); it != subscribers_.end();) {
-    try {
-      it->write_all(framed);
-      ++it;
-    } catch (const std::system_error&) {
-      it = subscribers_.erase(it);  // peer went away mid-write
-      RCM_COUNT("service.subscribers.dropped");
-    }
-  }
+  // Durable append + wake of the session event loop; never blocks on a
+  // subscriber socket, so one stalled peer cannot stall the AD thread.
+  sessions_->publish(a);
 }
 
 void AlertService::acceptor_loop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     auto stream = sub_listener_.accept(kAcceptPoll);
     if (!stream) continue;
-    std::lock_guard g{subscriber_mutex_};
-    subscribers_.push_back(std::move(*stream));
-    RCM_COUNT("service.subscribers.connected");
+    sessions_->adopt(std::move(*stream));
   }
 }
 
@@ -349,7 +345,7 @@ AdminResponse AlertService::dispatch_admin(
     u.server_version = kAdminVersion;
     u.min_major = kAdminMinMajor;
     u.max_major = kAdminMaxMajor;
-    u.max_command = static_cast<std::uint8_t>(AdminCommand::kTraceDump);
+    u.max_command = static_cast<std::uint8_t>(AdminCommand::kSessions);
     return u;
   };
   try {
@@ -389,6 +385,9 @@ AdminResponse AlertService::dispatch_admin(
       case AdminCommand::kTraceDump:
         resp.body = obs::trace::export_chrome_json(kTraceDumpBudget);
         break;
+      case AdminCommand::kSessions:
+        resp.body = sessions_json();
+        break;
     }
   } catch (const wire::UnsupportedVersion& e) {
     // Incompatible peer major: still a clean error reply, now with the
@@ -408,13 +407,71 @@ AdminResponse AlertService::dispatch_admin(
   return resp;
 }
 
+std::string AlertService::sessions_json() const {
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c) & 0xff);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  };
+  std::string out = "{\"log_end\": " +
+                    std::to_string(sessions_->log_end()) +
+                    ", \"sessions\": [";
+  bool first = true;
+  for (const SessionInfo& info : sessions_->sessions()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"id\": \"" + escape(info.id) +
+           "\", \"acked\": " + std::to_string(info.acked) +
+           ", \"framed\": " + std::to_string(info.framed) +
+           ", \"lag\": " + std::to_string(info.lag) +
+           ", \"backlog\": " + std::to_string(info.backlog) +
+           ", \"connected\": " + (info.connected ? "true" : "false") +
+           ", \"evicted\": " + (info.evicted ? "true" : "false") + "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
 ServiceStatus AlertService::status() {
   ServiceStatus s;
   s.ingested_datagrams = ingested_.load(std::memory_order_relaxed);
   s.displayed = displayed_count_.load(std::memory_order_relaxed);
+  s.subscribers = sessions_->connections();
   {
-    std::lock_guard g{subscriber_mutex_};
-    s.subscribers = subscribers_.size();
+    std::vector<SessionInfo> infos = sessions_->sessions();
+    // The response extension is size-bounded; ship the worst laggards
+    // first and let total_sessions report the real count.
+    std::sort(infos.begin(), infos.end(),
+              [](const SessionInfo& a, const SessionInfo& b) {
+                return a.lag > b.lag;
+              });
+    s.total_sessions = infos.size();
+    for (SessionInfo& info : infos) {
+      SessionStatus e;
+      e.id = std::move(info.id);
+      e.acked = info.acked;
+      e.framed = info.framed;
+      e.lag = info.lag;
+      e.backlog = info.backlog;
+      e.connected = info.connected;
+      e.evicted = info.evicted;
+      s.sessions.push_back(std::move(e));
+    }
   }
   {
     std::lock_guard g{ends_mutex_};
@@ -467,16 +524,8 @@ void AlertService::drain() {
   // displayer drain the remainder through the filter and fan-out.
   alert_queue_.close();
   if (displayer_thread_.joinable()) displayer_thread_.join();
-  {
-    std::lock_guard g2{subscriber_mutex_};
-    for (auto& sub : subscribers_) {
-      try {
-        sub.shutdown_write();
-      } catch (const std::system_error&) {
-      }
-    }
-    subscribers_.clear();
-  }
+  // Publishes are over; give sessions a bounded flush, then FIN them.
+  if (sessions_) sessions_->stop(std::chrono::milliseconds{500});
   if (acceptor_thread_.joinable()) acceptor_thread_.join();
   if (admin_thread_.joinable()) admin_thread_.join();
   drain_done_ = true;

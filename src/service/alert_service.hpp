@@ -47,6 +47,7 @@
 #include "runtime/queue.hpp"
 #include "service/admin.hpp"
 #include "service/durable_replica.hpp"
+#include "service/session.hpp"
 #include "service/supervisor.hpp"
 #include "wire/codec.hpp"
 
@@ -69,6 +70,11 @@ struct ServiceConfig {
 
   wire::AlertEncoding subscriber_encoding =
       wire::AlertEncoding::kFullHistories;
+
+  /// Bounds/budgets of the durable subscriber-session layer
+  /// (service/session.hpp): backlog before eviction, in-memory replay
+  /// window, lag-alert budget.
+  SessionLimits session_limits;
 
   /// Worker receive timeout: bounds kill/checkpoint reaction latency.
   std::chrono::milliseconds poll_interval{20};
@@ -144,6 +150,14 @@ class AlertService {
   /// Restarts performed for replica `i` (supervisor + admin).
   [[nodiscard]] std::size_t replica_restarts(std::size_t i) const;
 
+  /// The durable subscriber-session layer: cursors, replay, lag alerts.
+  [[nodiscard]] SessionManager& session_manager() noexcept {
+    return *sessions_;
+  }
+  [[nodiscard]] const SessionManager& session_manager() const noexcept {
+    return *sessions_;
+  }
+
   [[nodiscard]] const ServiceConfig& config() const noexcept {
     return config_;
   }
@@ -183,6 +197,7 @@ class AlertService {
   void serve_admin(net::TcpStream& conn);
   [[nodiscard]] AdminResponse dispatch_admin(
       std::span<const std::uint8_t> payload);
+  [[nodiscard]] std::string sessions_json() const;
   void monitor_loop();
 
   /// Starts a new incarnation of replica `i`. Caller holds lifecycle_mutex_.
@@ -209,8 +224,7 @@ class AlertService {
   std::atomic<std::uint64_t> displayed_count_{0};
 
   net::TcpListener sub_listener_;
-  std::mutex subscriber_mutex_;
-  std::vector<net::TcpStream> subscribers_;
+  std::unique_ptr<SessionManager> sessions_;
 
   net::TcpListener admin_listener_;
 

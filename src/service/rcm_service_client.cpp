@@ -10,11 +10,20 @@
 //   rcm_service_client --cmd trace-dump --admin-port P [--out trace.json]
 //   rcm_service_client --cmd feed     --ports P1,P2 --updates 1000 --seed 7
 //   rcm_service_client --cmd subscribe --sub-port P
+//   rcm_service_client --cmd subscribe --sub-port P --session worker-3 \
+//                      [--from 17]
+//   rcm_service_client --cmd sessions --admin-port P
 //
 // `metrics` prints the service's live obs registry snapshot (JSON);
 // `trace-dump` fetches the Chrome trace_event export — load the file in
 // chrome://tracing or https://ui.perfetto.dev. `--json` makes `status`
 // machine-readable for CI and the swarm fuzzer.
+//
+// `subscribe --session` opens a durable session (service/session.hpp):
+// the service replays every alert from `--from` (or the session's
+// durable cursor) before the live stream, and the client acks as it
+// consumes, so killing and rerunning the same command never loses an
+// alert. `sessions` lists per-session cursor/lag/backlog as JSON.
 //
 // Exit codes: 0 = ok, 1 = service reported an error, 2 = usage/IO error.
 #include <chrono>
@@ -35,6 +44,7 @@
 #include "util/rng.hpp"
 #include "wire/codec.hpp"
 #include "wire/frame.hpp"
+#include "wire/session.hpp"
 
 namespace {
 
@@ -90,6 +100,21 @@ void print_status(const service::ServiceStatus& s) {
                 static_cast<unsigned long long>(r.checkpoints),
                 static_cast<unsigned long long>(r.recovered_wal));
   }
+  if (s.total_sessions > 0) {
+    std::printf("sessions: %llu%s\n",
+                static_cast<unsigned long long>(s.total_sessions),
+                s.sessions.size() <
+                        static_cast<std::size_t>(s.total_sessions)
+                    ? " (highest-lag shown)"
+                    : "");
+    for (const service::SessionStatus& e : s.sessions)
+      std::printf("  %s: acked %llu  lag %llu  backlog %llu  %s%s\n",
+                  e.id.c_str(), static_cast<unsigned long long>(e.acked),
+                  static_cast<unsigned long long>(e.lag),
+                  static_cast<unsigned long long>(e.backlog),
+                  e.connected ? "CONNECTED" : "DETACHED",
+                  e.evicted ? " EVICTED" : "");
+  }
 }
 
 // One status line as a JSON object, stable keys, for scraping.
@@ -116,6 +141,21 @@ void print_status_json(const service::ServiceStatus& s) {
                 static_cast<unsigned long long>(r.wal_records),
                 static_cast<unsigned long long>(r.checkpoints),
                 static_cast<unsigned long long>(r.recovered_wal));
+  }
+  std::printf("], \"total_sessions\": %llu, \"sessions\": [",
+              static_cast<unsigned long long>(s.total_sessions));
+  for (std::size_t i = 0; i < s.sessions.size(); ++i) {
+    const service::SessionStatus& e = s.sessions[i];
+    std::printf("%s{\"id\": \"%s\", \"acked\": %llu, \"framed\": %llu, "
+                "\"lag\": %llu, \"backlog\": %llu, \"connected\": %s, "
+                "\"evicted\": %s}",
+                i == 0 ? "" : ", ", e.id.c_str(),
+                static_cast<unsigned long long>(e.acked),
+                static_cast<unsigned long long>(e.framed),
+                static_cast<unsigned long long>(e.lag),
+                static_cast<unsigned long long>(e.backlog),
+                e.connected ? "true" : "false",
+                e.evicted ? "true" : "false");
   }
   std::printf("]}\n");
 }
@@ -224,13 +264,96 @@ int run_subscribe(std::uint16_t port) {
   return 0;
 }
 
+int run_session_subscribe(std::uint16_t port, const std::string& session,
+                          std::int64_t from) {
+  net::TcpStream conn = net::TcpStream::connect(port);
+  wire::SessionHello hello;
+  hello.session_id = session;
+  if (from >= 0) hello.from = static_cast<std::uint64_t>(from);
+  conn.write_all(wire::frame(wire::encode_session_hello(hello)));
+
+  wire::FrameCursor cursor;
+  bool welcomed = false;
+  std::size_t alerts = 0;
+  std::uint64_t last_index = 0;
+  bool have_index = false;
+  for (;;) {
+    auto bytes = conn.read_some(std::chrono::milliseconds{500});
+    if (!bytes) continue;
+    if (bytes->empty()) break;  // service drained: orderly EOF
+    cursor.feed(*bytes);
+    while (auto payload = cursor.next()) {
+      if (!welcomed) {
+        // Live plain-alert frames published before the hello was
+        // processed are not part of the session stream; skip them.
+        if (!payload->empty() && (*payload)[0] == wire::kSessionWelcomeTag) {
+          const auto w = wire::decode_session_welcome(*payload);
+          welcomed = true;
+          switch (w.status) {
+            case wire::SessionWelcomeStatus::kOk:
+              std::printf("session %s: replay from %llu (log end %llu)\n",
+                          session.c_str(),
+                          static_cast<unsigned long long>(w.start_index),
+                          static_cast<unsigned long long>(w.log_end));
+              break;
+            case wire::SessionWelcomeStatus::kTruncated:
+              std::printf(
+                  "session %s: TRUNCATED, lost alerts [%llu, %llu); "
+                  "resuming at %llu\n",
+                  session.c_str(),
+                  static_cast<unsigned long long>(w.lost_from),
+                  static_cast<unsigned long long>(w.lost_to),
+                  static_cast<unsigned long long>(w.start_index));
+              break;
+            case wire::SessionWelcomeStatus::kBadCursor:
+              std::printf("session %s: cursor beyond log end %llu; "
+                          "resuming live\n",
+                          session.c_str(),
+                          static_cast<unsigned long long>(w.log_end));
+              break;
+          }
+        }
+        continue;
+      }
+      try {
+        const wire::SessionRecord rec = wire::decode_session_record(*payload);
+        if (rec.kind == wire::SessionRecord::Kind::kEvicted) {
+          std::fprintf(stderr,
+                       "session %s: EVICTED at index %llu (lag %llu); "
+                       "reconnect for a truncated resume\n",
+                       session.c_str(),
+                       static_cast<unsigned long long>(rec.index),
+                       static_cast<unsigned long long>(rec.lag));
+          std::printf("subscription closed after %zu alert(s)\n", alerts);
+          return 1;
+        }
+        ++alerts;
+        last_index = rec.index;
+        have_index = true;
+        std::printf("alert #%llu: %s\n",
+                    static_cast<unsigned long long>(rec.index),
+                    rec.alert.alert.cond.c_str());
+        conn.write_all(
+            wire::frame(wire::encode_session_ack(rec.index + 1)));
+      } catch (const wire::DecodeError&) {
+        std::fprintf(stderr, "subscribe: corrupt session frame\n");
+      }
+    }
+  }
+  std::printf("subscription closed after %zu alert(s)%s\n", alerts,
+              have_index ? (" (last index " + std::to_string(last_index) +
+                            ")").c_str()
+                         : "");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Args args;
   args.add_flag("cmd", "status",
                 "status | kill | restart | checkpoint | drain | metrics | "
-                "trace-dump | feed | subscribe");
+                "trace-dump | feed | subscribe | sessions");
   args.add_flag("admin-port", "0", "service admin TCP port");
   args.add_flag("replica", "0", "target replica for kill/restart/checkpoint");
   args.add_flag("json", "false", "machine-readable status output");
@@ -240,6 +363,11 @@ int main(int argc, char** argv) {
   args.add_flag("seed", "1", "feeder RNG seed");
   args.add_flag("rate", "0", "feed rate in updates/sec (0 = full speed)");
   args.add_flag("sub-port", "0", "service subscriber TCP port (subscribe)");
+  args.add_flag("session", "",
+                "durable session id (subscribe); empty = legacy stream");
+  args.add_flag("from", "-1",
+                "replay from this alert index (subscribe --session); "
+                "-1 = resume from the durable cursor");
 
   if (!args.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", args.error().c_str(),
@@ -284,9 +412,19 @@ int main(int argc, char** argv) {
                       static_cast<std::size_t>(args.get_int("updates")),
                       static_cast<std::uint64_t>(args.get_int("seed")),
                       args.get_double("rate"));
-    if (cmd == "subscribe")
-      return run_subscribe(
-          static_cast<std::uint16_t>(args.get_int("sub-port")));
+    if (cmd == "subscribe") {
+      const auto sub_port =
+          static_cast<std::uint16_t>(args.get_int("sub-port"));
+      const std::string session = args.get("session");
+      if (!session.empty())
+        return run_session_subscribe(
+            sub_port, session,
+            static_cast<std::int64_t>(args.get_int("from")));
+      return run_subscribe(sub_port);
+    }
+    if (cmd == "sessions")
+      return run_admin(service::AdminCommand::kSessions, admin_port, replica,
+                       json, out);
     std::fprintf(stderr, "unknown --cmd %s\n", cmd.c_str());
     return 2;
   } catch (const std::exception& e) {

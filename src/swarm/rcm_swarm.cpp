@@ -119,6 +119,14 @@ int main(int argc, char** argv) {
                   report.runs_executed, report.runs_with_kills,
                   report.runs_with_alerts, report.total_kills,
                   report.total_restarts, report.violations.size());
+      std::printf("  sessions: %zu run(s) with subscribers, %zu welcomed "
+                  "conn(s), %zu subscriber kill(s), %zu truncation(s), "
+                  "%zu eviction(s), %zu bad cursor(s), %zu lag alert(s), "
+                  "%zu reopen leg(s)\n",
+                  report.runs_with_subscribers, report.subscriber_conns,
+                  report.subscriber_kills, report.session_truncations,
+                  report.session_evictions, report.session_bad_cursors,
+                  report.session_lag_alerts, report.service_reopens);
       for (const swarm::ServiceFuzzViolation& v : report.violations)
         std::printf("  run %zu (seed %llu): %s\n    state kept: %s\n",
                     v.run_index,

@@ -20,6 +20,21 @@
 //      otherwise it is the lossy row of the condition's class (a kill's
 //      downtime loss is exactly the paper's lossy front link).
 //
+// Most runs additionally attach durable-session subscribers
+// (wire/session.hpp) and inject subscriber faults: abrupt kills
+// mid-stream (the server sees a peer die with a frame half-written),
+// stale cursors (always rejoin from 0), garbage cursors (from far
+// beyond the log end), slow readers (tiny session limits make them
+// evictable), and duplicate session ids fighting over one slot. A third
+// oracle layer then asserts the session contract: every received alert
+// matches the displayed alert at its log index, indices within a
+// connection ascend contiguously from the welcome's start_index, an
+// exact-resume welcome starts exactly at the requested index, and every
+// skipped range was explicitly named by a kTruncated welcome — gaps are
+// typed, never silent. Some runs reopen the service on the same durable
+// state afterwards and replay a session cursor across the restart
+// boundary (kills of BOTH ends of the session).
+//
 // Unlike SwarmSpec runs, these executions are wall-clock nondeterministic
 // (real threads and sockets), so there is no digest or shrinking — the
 // per-iteration seed is reported instead so a failure can be re-run.
@@ -39,6 +54,9 @@ struct ServiceFuzzOptions {
   /// directory is removed after a clean check, kept on violation.
   std::filesystem::path scratch_dir;
   bool verbose = false;
+  /// Attach durable-session subscribers with injected faults (kills,
+  /// stale/garbage cursors, slow readers, duplicate ids) to most runs.
+  bool subscriber_faults = true;
 };
 
 struct ServiceFuzzViolation {
@@ -54,6 +72,15 @@ struct ServiceFuzzReport {
   std::size_t runs_with_alerts = 0;
   std::size_t total_kills = 0;
   std::size_t total_restarts = 0;
+  // Durable-session fault coverage (see header comment).
+  std::size_t runs_with_subscribers = 0;
+  std::size_t subscriber_conns = 0;      ///< welcomed session connections
+  std::size_t subscriber_kills = 0;      ///< client-initiated abrupt closes
+  std::size_t session_truncations = 0;   ///< kTruncated welcomes observed
+  std::size_t session_evictions = 0;     ///< evicted notices observed
+  std::size_t session_bad_cursors = 0;   ///< kBadCursor welcomes observed
+  std::size_t session_lag_alerts = 0;    ///< dogfooded CE lag alerts fired
+  std::size_t service_reopens = 0;       ///< cross-restart replay legs
   std::vector<ServiceFuzzViolation> violations;
 
   [[nodiscard]] bool failed() const noexcept { return !violations.empty(); }

@@ -1,0 +1,211 @@
+#include "wire/session.hpp"
+
+#include "wire/frame.hpp"
+
+namespace rcm::wire {
+namespace {
+
+// Cursor-file record type tags (same 'V'-header convention as
+// store/file_log.hpp; 'C' is the cursor record).
+constexpr std::uint8_t kCursorVersionRecord = 0x56;  // 'V'
+constexpr std::uint8_t kCursorRecordTag = 0x43;      // 'C'
+
+/// Parses a cursor-file 'V' header payload (after the type byte).
+VersionHeader parse_cursor_header(Reader& r) {
+  if (r.u8() != kCursorFormatId)
+    throw DecodeError("cursor file header: wrong format id");
+  const VersionHeader v =
+      decode_version(r, "session cursor file", kCursorMinMajor,
+                     kCursorMaxMajor);
+  (void)decode_extension_section(r, nullptr);
+  r.expect_done();
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_session_hello(const SessionHello& hello) {
+  Writer w;
+  w.u8(kSessionHelloTag);
+  encode_version(w, hello.version);
+  w.string(hello.session_id);
+  w.u8(hello.from.has_value() ? 1 : 0);
+  if (hello.from) w.varint(*hello.from);
+  encode_extension_section(w, {});
+  return w.take();
+}
+
+SessionHello decode_session_hello(std::span<const std::uint8_t> payload) {
+  Reader r{payload};
+  if (r.u8() != kSessionHelloTag)
+    throw DecodeError("not a session hello");
+  SessionHello hello;
+  hello.version = decode_version(r, "session hello", kSessionMinMajor,
+                                 kSessionMaxMajor);
+  hello.session_id = r.string(kMaxSessionIdLen);
+  if (hello.session_id.empty())
+    throw DecodeError("session hello: empty session id");
+  const std::uint8_t has_from = r.u8();
+  if (has_from > 1) throw DecodeError("session hello: bad from flag");
+  if (has_from == 1) hello.from = r.varint();
+  (void)decode_extension_section(r, nullptr);
+  r.expect_done();
+  return hello;
+}
+
+std::vector<std::uint8_t> encode_session_welcome(
+    const SessionWelcome& welcome) {
+  Writer w;
+  w.u8(kSessionWelcomeTag);
+  encode_version(w, welcome.version);
+  w.u8(static_cast<std::uint8_t>(welcome.status));
+  w.varint(welcome.start_index);
+  w.varint(welcome.log_end);
+  if (welcome.status == SessionWelcomeStatus::kTruncated) {
+    w.varint(welcome.lost_from);
+    w.varint(welcome.lost_to);
+  }
+  encode_extension_section(w, {});
+  return w.take();
+}
+
+SessionWelcome decode_session_welcome(std::span<const std::uint8_t> payload) {
+  Reader r{payload};
+  if (r.u8() != kSessionWelcomeTag)
+    throw DecodeError("not a session welcome");
+  SessionWelcome welcome;
+  welcome.version = decode_version(r, "session welcome", kSessionMinMajor,
+                                   kSessionMaxMajor);
+  const std::uint8_t raw_status = r.u8();
+  if (raw_status > static_cast<std::uint8_t>(SessionWelcomeStatus::kBadCursor))
+    throw DecodeError("session welcome: unknown status");
+  welcome.status = static_cast<SessionWelcomeStatus>(raw_status);
+  welcome.start_index = r.varint();
+  welcome.log_end = r.varint();
+  if (welcome.status == SessionWelcomeStatus::kTruncated) {
+    welcome.lost_from = r.varint();
+    welcome.lost_to = r.varint();
+    if (welcome.lost_from >= welcome.lost_to)
+      throw DecodeError("session welcome: empty truncation range");
+  }
+  (void)decode_extension_section(r, nullptr);
+  r.expect_done();
+  return welcome;
+}
+
+std::vector<std::uint8_t> encode_session_alert(
+    std::uint64_t index, std::span<const std::uint8_t> alert_bytes) {
+  Writer w;
+  w.u8(kSessionAlertTag);
+  w.varint(index);
+  w.raw(alert_bytes);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_session_evicted(std::uint64_t next_index,
+                                                 std::uint64_t lag) {
+  Writer w;
+  w.u8(kSessionEvictedTag);
+  w.varint(next_index);
+  w.varint(lag);
+  return w.take();
+}
+
+SessionRecord decode_session_record(std::span<const std::uint8_t> payload) {
+  Reader r{payload};
+  const std::uint8_t tag = r.u8();
+  SessionRecord rec;
+  if (tag == kSessionAlertTag) {
+    rec.kind = SessionRecord::Kind::kAlert;
+    rec.index = r.varint();
+    // The remainder of the payload is one wire-encoded alert.
+    rec.alert = decode_alert(r.bytes(r.remaining()));
+    return rec;
+  }
+  if (tag == kSessionEvictedTag) {
+    rec.kind = SessionRecord::Kind::kEvicted;
+    rec.index = r.varint();
+    rec.lag = r.varint();
+    r.expect_done();
+    return rec;
+  }
+  throw DecodeError("unknown session record tag");
+}
+
+std::vector<std::uint8_t> encode_session_ack(std::uint64_t upto) {
+  Writer w;
+  w.u8(kSessionAckTag);
+  w.varint(upto);
+  return w.take();
+}
+
+std::uint64_t decode_session_ack(std::span<const std::uint8_t> payload) {
+  Reader r{payload};
+  if (r.u8() != kSessionAckTag) throw DecodeError("not a session ack");
+  const std::uint64_t upto = r.varint();
+  r.expect_done();
+  return upto;
+}
+
+std::vector<std::uint8_t> encode_cursor_file_header() {
+  Writer w;
+  w.u8(kCursorVersionRecord);
+  w.u8(kCursorFormatId);
+  encode_version(w, kCursorFormatVersion);
+  encode_extension_section(w, {});
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_cursor_record(const std::string& session_id,
+                                               const CursorEntry& entry) {
+  Writer w;
+  w.u8(kCursorRecordTag);
+  w.string(session_id);
+  w.varint(entry.acked);
+  w.u8(entry.evicted ? 1 : 0);
+  return w.take();
+}
+
+RecoveredCursors recover_cursor_bytes(std::span<const std::uint8_t> bytes) {
+  RecoveredCursors out;
+  FrameCursor cursor;
+  cursor.feed(bytes);
+  cursor.finish();
+  while (auto payload = cursor.next()) {
+    try {
+      Reader r{*payload};
+      const std::uint8_t type = r.u8();
+      if (type == kCursorVersionRecord) {
+        out.version = parse_cursor_header(r);
+        out.versioned = true;
+        continue;
+      }
+      if (type == kCursorRecordTag) {
+        const std::string id = r.string(kMaxSessionIdLen);
+        CursorEntry entry;
+        entry.acked = r.varint();
+        const std::uint8_t evicted = r.u8();
+        if (evicted > 1)
+          throw DecodeError("cursor record: bad evicted flag");
+        entry.evicted = evicted == 1;
+        r.expect_done();
+        out.cursors[id] = entry;  // last writer wins
+      } else if (out.versioned) {
+        ++out.skipped_records;  // some v1.x record type we don't know
+        continue;
+      } else {
+        ++out.corrupt_frames;  // headerless file: unknown type is corruption
+        continue;
+      }
+      ++out.records;
+    } catch (const UnsupportedVersion&) {
+      throw;  // deliberate incompatibility, not corruption
+    } catch (const DecodeError&) {
+      ++out.corrupt_frames;
+    }
+  }
+  out.corrupt_frames += cursor.corrupt_frames();
+  return out;
+}
+
+}  // namespace rcm::wire

@@ -1,0 +1,190 @@
+// Subscriber-session wire protocol + durable cursor-file format.
+//
+// The alert fan-out edge used to be a dumb TCP sink: a subscriber that
+// dropped or stalled silently lost alerts, betraying the AD's
+// completeness guarantees at the last hop. Sessions fix that with
+// BDR-replication-slot semantics: the service appends every AD-accepted
+// alert to its durable alert log (store/file_log.hpp, format 'A'), keeps
+// a durable per-session cursor into it, and a reconnecting subscriber
+// presents its session id + last-received index to get exact, gap-free
+// replay before rejoining the live stream.
+//
+// Handshake (all messages are CRC frames, wire/frame.hpp):
+//
+//   client → server, first frame after connect:
+//     hello   := 'H' | major | minor | string(session_id)
+//                | u8(has_from) | varint(from)        (when has_from = 1)
+//                | extension section
+//   server → client, exactly one reply per hello:
+//     welcome := 'W' | major | minor | u8(status)
+//                | varint(start_index) | varint(log_end)
+//                | varint(lost_from) | varint(lost_to) (status=kTruncated)
+//                | extension section
+//
+// `from` is the first log index the subscriber wants (last received + 1);
+// absent `from` means "resume from the server's durable cursor" (or the
+// live tail, for a brand-new session id). Welcome statuses:
+//
+//   kOk        — replay starts exactly at `from` (or the resolved cursor);
+//   kTruncated — the session was evicted and the log no longer retains
+//                [lost_from, lost_to); replay resumes at start_index.
+//                Never silent: the lost range is named, typed, and the
+//                caller decides whether a gap is tolerable;
+//   kBadCursor — `from` was beyond log_end; the session resumes live at
+//                log_end (a cursor from the future names nothing real).
+//
+// After the welcome, the server streams indexed records and the client
+// may send cumulative acks at any time:
+//
+//   alert record := 'A' | varint(index) | wire-encoded alert
+//   evicted note := 'E' | varint(next_index) | varint(lag)   (then close)
+//   ack          := 'K' | varint(upto)      (client → server, cumulative)
+//
+// Legacy compatibility: a subscriber that connects and sends nothing
+// gets the pre-session live stream — plain framed alerts, byte-identical
+// to the cursorless protocol (alert frames start with 'a', so a session
+// client can always tell live-legacy frames from session records).
+//
+// Cursor file ("alongside the log", PR 7 v-header conventions): a stream
+// of CRC-framed records, torn-tail tolerant, duplicate records resolved
+// last-writer-wins:
+//
+//   record := frame( type:u8 | body )
+//   type 'V': body = format_id 'c' | major | minor | extension section
+//   type 'C': body = string(session_id) | varint(acked) | u8(evicted)
+//
+// A future-major header throws wire::UnsupportedVersion (typed), never
+// silent misreads; unknown record types in a versioned file are skipped.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/alert.hpp"
+#include "wire/codec.hpp"
+#include "wire/version.hpp"
+
+namespace rcm::wire {
+
+/// Session protocol version spoken by this binary.
+inline constexpr VersionHeader kSessionVersion{1, 0};
+inline constexpr std::uint8_t kSessionMinMajor = 1;
+inline constexpr std::uint8_t kSessionMaxMajor = 1;
+
+/// Record/message type tags (first payload byte of each frame).
+inline constexpr std::uint8_t kSessionHelloTag = 0x48;    // 'H'
+inline constexpr std::uint8_t kSessionWelcomeTag = 0x57;  // 'W'
+inline constexpr std::uint8_t kSessionAlertTag = 0x41;    // 'A'
+inline constexpr std::uint8_t kSessionAckTag = 0x4b;      // 'K'
+inline constexpr std::uint8_t kSessionEvictedTag = 0x45;  // 'E'
+
+inline constexpr std::size_t kMaxSessionIdLen = 128;
+
+/// Cursor-file format id carried inside its 'V' header record.
+inline constexpr std::uint8_t kCursorFormatId = 0x63;  // 'c'
+inline constexpr VersionHeader kCursorFormatVersion{1, 0};
+inline constexpr std::uint8_t kCursorMinMajor = 1;
+inline constexpr std::uint8_t kCursorMaxMajor = 1;
+
+// ---- handshake ---------------------------------------------------------
+
+/// Client hello: session identity plus the first log index wanted.
+struct SessionHello {
+  VersionHeader version = kSessionVersion;
+  std::string session_id;
+  /// First index the subscriber wants (last received + 1). Absent =
+  /// resume from the server's durable cursor (live tail for new ids).
+  std::optional<std::uint64_t> from;
+};
+
+enum class SessionWelcomeStatus : std::uint8_t {
+  kOk = 0,
+  kTruncated = 1,  ///< lost [lost_from, lost_to); resuming at start_index
+  kBadCursor = 2,  ///< `from` was beyond log_end; resuming live
+};
+
+/// Server reply to a hello.
+struct SessionWelcome {
+  VersionHeader version = kSessionVersion;
+  SessionWelcomeStatus status = SessionWelcomeStatus::kOk;
+  std::uint64_t start_index = 0;  ///< first index that will be streamed
+  std::uint64_t log_end = 0;      ///< next index the log will assign
+  std::uint64_t lost_from = 0;    ///< kTruncated only
+  std::uint64_t lost_to = 0;      ///< kTruncated only (exclusive)
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_session_hello(
+    const SessionHello& hello);
+/// Throws UnsupportedVersion on a future major, DecodeError otherwise.
+[[nodiscard]] SessionHello decode_session_hello(
+    std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_session_welcome(
+    const SessionWelcome& welcome);
+[[nodiscard]] SessionWelcome decode_session_welcome(
+    std::span<const std::uint8_t> payload);
+
+// ---- stream records ----------------------------------------------------
+
+/// One record of the post-welcome server stream, as a client decodes it.
+struct SessionRecord {
+  enum class Kind : std::uint8_t { kAlert, kEvicted };
+  Kind kind = Kind::kAlert;
+  std::uint64_t index = 0;  ///< kAlert: log index; kEvicted: next_index
+  DecodedAlert alert;       ///< kAlert only
+  std::uint64_t lag = 0;    ///< kEvicted only
+};
+
+/// `alert_bytes` is a wire-encoded alert (wire::encode_alert output).
+[[nodiscard]] std::vector<std::uint8_t> encode_session_alert(
+    std::uint64_t index, std::span<const std::uint8_t> alert_bytes);
+[[nodiscard]] std::vector<std::uint8_t> encode_session_evicted(
+    std::uint64_t next_index, std::uint64_t lag);
+/// Decodes either stream record; throws DecodeError on malformed input
+/// or an unknown tag.
+[[nodiscard]] SessionRecord decode_session_record(
+    std::span<const std::uint8_t> payload);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_session_ack(
+    std::uint64_t upto);
+/// Returns the cumulative `upto` index; throws DecodeError otherwise.
+[[nodiscard]] std::uint64_t decode_session_ack(
+    std::span<const std::uint8_t> payload);
+
+// ---- cursor file -------------------------------------------------------
+
+/// Durable per-session state, one record per write, last-writer-wins.
+struct CursorEntry {
+  std::uint64_t acked = 0;  ///< entries [0, acked) confirmed processed
+  bool evicted = false;
+
+  friend bool operator==(const CursorEntry&, const CursorEntry&) = default;
+};
+
+/// Builds the (unframed) payload of the cursor file's 'V' header record.
+[[nodiscard]] std::vector<std::uint8_t> encode_cursor_file_header();
+/// Builds one (unframed) 'C' cursor record payload.
+[[nodiscard]] std::vector<std::uint8_t> encode_cursor_record(
+    const std::string& session_id, const CursorEntry& entry);
+
+/// Result of scanning a cursor file image.
+struct RecoveredCursors {
+  std::map<std::string, CursorEntry> cursors;  ///< last writer wins
+  std::size_t records = 0;          ///< applied cursor records
+  std::size_t corrupt_frames = 0;   ///< CRC failures / torn tail frames
+  std::size_t skipped_records = 0;  ///< unknown record types (versioned)
+  VersionHeader version{1, 0};
+  bool versioned = false;
+};
+
+/// Replays a cursor file image: torn tails and CRC failures are counted,
+/// duplicate session records resolve last-writer-wins. Throws
+/// UnsupportedVersion only on a future-major header record.
+[[nodiscard]] RecoveredCursors recover_cursor_bytes(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace rcm::wire

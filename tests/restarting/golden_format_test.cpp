@@ -19,6 +19,7 @@
 #include "v1_corpus.hpp"
 #include "wire/frame.hpp"
 #include "wire/legacy.hpp"
+#include "wire/session.hpp"
 #include "wire/snapshot.hpp"
 
 namespace rcm::testing {
@@ -146,6 +147,20 @@ TEST(GoldenFormat, PlainAdminResponseStaysByteIdenticalToV1) {
   // The compatibility keystone: the current encoder emits EXACTLY the v1
   // bytes for a plain response, so v1 clients keep decoding v2 servers.
   EXPECT_EQ(service::encode_admin_response(service::AdminResponse{}), v1);
+}
+
+TEST(GoldenFormat, CursorFileReplaysLastWriterWins) {
+  const wire::RecoveredCursors rec =
+      wire::recover_cursor_bytes(fixture_bytes("cursors.v1.bin"));
+  EXPECT_TRUE(rec.versioned);
+  EXPECT_EQ(rec.version, (wire::VersionHeader{1, 0}));
+  EXPECT_EQ(rec.records, 3u);
+  EXPECT_EQ(rec.corrupt_frames, 0u);
+  EXPECT_EQ(rec.skipped_records, 0u);
+  ASSERT_EQ(rec.cursors.size(), 2u);
+  // worker-1 was written twice; the later record (acked 7, evicted) wins.
+  EXPECT_EQ(rec.cursors.at("worker-1"), (wire::CursorEntry{7, true}));
+  EXPECT_EQ(rec.cursors.at("worker-2"), (wire::CursorEntry{1, false}));
 }
 
 TEST(GoldenFormat, SwarmRecordDecodesWithEmptyUnitSection) {

@@ -9,6 +9,7 @@
 #include "wire/codec.hpp"
 #include "wire/frame.hpp"
 #include "wire/legacy.hpp"
+#include "wire/session.hpp"
 
 namespace rcm::testing {
 namespace {
@@ -94,6 +95,22 @@ std::vector<std::uint8_t> build_swarm_record_fixture() {
   return wire::frame(w.bytes());
 }
 
+std::vector<std::uint8_t> build_cursor_file_fixture() {
+  // A v1 session cursor file: versioned header, then per-session records
+  // with a duplicate for worker-1 (last writer wins: acked 7, evicted).
+  // Pins both the byte layout and the LWW replay semantics.
+  std::vector<std::uint8_t> file;
+  const auto append = [&file](std::span<const std::uint8_t> payload) {
+    const auto framed = wire::frame(payload);
+    file.insert(file.end(), framed.begin(), framed.end());
+  };
+  append(wire::encode_cursor_file_header());
+  append(wire::encode_cursor_record("worker-1", {3, false}));
+  append(wire::encode_cursor_record("worker-2", {1, false}));
+  append(wire::encode_cursor_record("worker-1", {7, true}));
+  return file;
+}
+
 }  // namespace
 
 ConditionPtr corpus_condition() {
@@ -125,6 +142,7 @@ std::vector<V1Fixture> build_v1_corpus() {
   // the v2 encoder MUST keep plain responses byte-identical to this.
   corpus.push_back({"admin_response_ok.v1.bin", {0x4F, 0x00, 0x00, 0x00}});
   corpus.push_back({"swarm_record.v1.bin", build_swarm_record_fixture()});
+  corpus.push_back({"cursors.v1.bin", build_cursor_file_fixture()});
   return corpus;
 }
 

@@ -1,0 +1,503 @@
+// Durable subscriber sessions (wire/session.hpp + service/session.hpp):
+// wire codec round-trips and typed rejections, cursor-file crash safety
+// (torn tails, last-writer-wins duplicates, future-major rejection), and
+// live SessionManager behavior — exact gap-free resume after a mid-frame
+// kill, durable-cursor resume, typed truncation, and the acceptance
+// pin: a stalled consumer triggers the dogfooded lag alert and bounded
+// eviction without stalling a healthy session.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/alert.hpp"
+#include "net/socket.hpp"
+#include "service/admin.hpp"
+#include "service/session.hpp"
+#include "wire/codec.hpp"
+#include "wire/frame.hpp"
+#include "wire/session.hpp"
+#include "wire/version.hpp"
+
+namespace rcm::service {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / ("rcm_session_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+Alert small_alert(std::uint64_t n) {
+  Alert a;
+  a.cond = "session.test";
+  a.histories[0] = {Update{0, static_cast<SeqNo>(n + 1), 42.0}};
+  return a;
+}
+
+/// ~16 KiB encoded: fills socket buffers fast so a stalled reader's
+/// pipeline jams within a few dozen alerts.
+Alert big_alert(std::uint64_t n) {
+  Alert a;
+  a.cond = "session.test.big";
+  std::vector<Update>& h = a.histories[0];
+  for (SeqNo s = 1; s <= 1000; ++s)
+    h.push_back(Update{0, static_cast<SeqNo>(n * 1000 + s), 1.0});
+  return a;
+}
+
+/// Blocking test-side session subscriber.
+struct TestSubscriber {
+  net::TcpStream stream;
+  wire::FrameCursor frames;
+  wire::SessionWelcome welcome;
+  bool welcomed = false;
+  std::vector<wire::SessionRecord> records;  ///< alert records, in order
+  bool evicted = false;
+
+  static TestSubscriber connect(std::uint16_t port, const std::string& id,
+                                std::optional<std::uint64_t> from) {
+    TestSubscriber sub{net::TcpStream::connect(port)};
+    wire::SessionHello hello;
+    hello.session_id = id;
+    hello.from = from;
+    sub.stream.write_all(wire::frame(wire::encode_session_hello(hello)));
+    return sub;
+  }
+
+  /// Reads until `count` alert records arrived (ack-ing each), EOF, or
+  /// the deadline. Returns false on timeout.
+  bool read_alerts(std::size_t count, std::chrono::milliseconds deadline,
+                   bool ack = true) {
+    const auto until = Clock::now() + deadline;
+    while (records.size() < count && Clock::now() < until) {
+      const auto chunk = stream.read_some(100ms);
+      if (!chunk) continue;
+      if (chunk->empty()) return records.size() >= count;  // EOF
+      frames.feed(*chunk);
+      while (auto payload = frames.next()) {
+        if (payload->empty()) continue;
+        if (!welcomed) {
+          if ((*payload)[0] != wire::kSessionWelcomeTag) continue;
+          welcome = wire::decode_session_welcome(*payload);
+          welcomed = true;
+          continue;
+        }
+        const wire::SessionRecord rec =
+            wire::decode_session_record(*payload);
+        if (rec.kind == wire::SessionRecord::Kind::kEvicted) {
+          evicted = true;
+          continue;
+        }
+        records.push_back(rec);
+        if (ack)
+          stream.write_all(
+              wire::frame(wire::encode_session_ack(rec.index + 1)));
+      }
+    }
+    return records.size() >= count;
+  }
+
+  bool await_welcome(std::chrono::milliseconds deadline) {
+    (void)read_alerts(0, 0ms);  // drain anything already buffered
+    const auto until = Clock::now() + deadline;
+    while (!welcomed && Clock::now() < until) {
+      const auto chunk = stream.read_some(100ms);
+      if (!chunk) continue;
+      if (chunk->empty()) return welcomed;
+      frames.feed(*chunk);
+      while (auto payload = frames.next()) {
+        if (payload->empty()) continue;
+        if (!welcomed) {
+          if ((*payload)[0] != wire::kSessionWelcomeTag) continue;
+          welcome = wire::decode_session_welcome(*payload);
+          welcomed = true;
+        }
+      }
+    }
+    return welcomed;
+  }
+
+ private:
+  explicit TestSubscriber(net::TcpStream s) : stream(std::move(s)) {}
+};
+
+/// Connects a session subscriber and hands its server side to `manager`.
+TestSubscriber connect_session(net::TcpListener& listener,
+                               SessionManager& manager,
+                               const std::string& id,
+                               std::optional<std::uint64_t> from) {
+  TestSubscriber sub = TestSubscriber::connect(listener.port(), id, from);
+  auto accepted = listener.accept(1000ms);
+  EXPECT_TRUE(accepted.has_value());
+  if (accepted) manager.adopt(std::move(*accepted));
+  return sub;
+}
+
+// ---- wire codec --------------------------------------------------------
+
+TEST(SessionWire, HelloRoundTripsWithAndWithoutFrom) {
+  wire::SessionHello hello;
+  hello.session_id = "worker-7";
+  hello.from = 123;
+  const wire::SessionHello back =
+      wire::decode_session_hello(wire::encode_session_hello(hello));
+  EXPECT_EQ(back.session_id, "worker-7");
+  ASSERT_TRUE(back.from.has_value());
+  EXPECT_EQ(*back.from, 123u);
+
+  hello.from.reset();
+  const wire::SessionHello bare =
+      wire::decode_session_hello(wire::encode_session_hello(hello));
+  EXPECT_FALSE(bare.from.has_value());
+}
+
+TEST(SessionWire, HelloRejectsEmptySessionId) {
+  wire::SessionHello hello;
+  hello.session_id = "";
+  EXPECT_THROW((void)wire::decode_session_hello(
+                   wire::encode_session_hello(hello)),
+               wire::DecodeError);
+}
+
+TEST(SessionWire, HelloFutureMajorIsTypedRejection) {
+  wire::SessionHello hello;
+  hello.session_id = "x";
+  std::vector<std::uint8_t> bytes = wire::encode_session_hello(hello);
+  bytes[1] = wire::kSessionMaxMajor + 1;  // tag | major | minor | ...
+  EXPECT_THROW((void)wire::decode_session_hello(bytes),
+               wire::UnsupportedVersion);
+}
+
+TEST(SessionWire, WelcomeRoundTripsEveryStatus) {
+  wire::SessionWelcome w;
+  w.status = wire::SessionWelcomeStatus::kTruncated;
+  w.start_index = 40;
+  w.log_end = 100;
+  w.lost_from = 10;
+  w.lost_to = 40;
+  const wire::SessionWelcome back =
+      wire::decode_session_welcome(wire::encode_session_welcome(w));
+  EXPECT_EQ(back.status, wire::SessionWelcomeStatus::kTruncated);
+  EXPECT_EQ(back.start_index, 40u);
+  EXPECT_EQ(back.log_end, 100u);
+  EXPECT_EQ(back.lost_from, 10u);
+  EXPECT_EQ(back.lost_to, 40u);
+
+  w.status = wire::SessionWelcomeStatus::kBadCursor;
+  w.lost_from = w.lost_to = 0;
+  EXPECT_EQ(wire::decode_session_welcome(wire::encode_session_welcome(w))
+                .status,
+            wire::SessionWelcomeStatus::kBadCursor);
+}
+
+TEST(SessionWire, WelcomeRejectsEmptyTruncationRange) {
+  wire::SessionWelcome w;
+  w.status = wire::SessionWelcomeStatus::kTruncated;
+  w.start_index = 10;
+  w.log_end = 20;
+  w.lost_from = 10;
+  w.lost_to = 10;  // empty range: names nothing
+  EXPECT_THROW((void)wire::decode_session_welcome(
+                   wire::encode_session_welcome(w)),
+               wire::DecodeError);
+}
+
+TEST(SessionWire, AlertAndEvictedRecordsRoundTrip) {
+  const Alert a = small_alert(3);
+  const auto alert_bytes =
+      wire::encode_alert(a, wire::AlertEncoding::kFullHistories);
+  const wire::SessionRecord rec = wire::decode_session_record(
+      wire::encode_session_alert(17, alert_bytes));
+  EXPECT_EQ(rec.kind, wire::SessionRecord::Kind::kAlert);
+  EXPECT_EQ(rec.index, 17u);
+  EXPECT_EQ(rec.alert.alert.key(), a.key());
+
+  const wire::SessionRecord ev =
+      wire::decode_session_record(wire::encode_session_evicted(90, 1234));
+  EXPECT_EQ(ev.kind, wire::SessionRecord::Kind::kEvicted);
+  EXPECT_EQ(ev.index, 90u);
+  EXPECT_EQ(ev.lag, 1234u);
+
+  EXPECT_EQ(wire::decode_session_ack(wire::encode_session_ack(41)), 41u);
+}
+
+// ---- cursor-file crash safety ------------------------------------------
+
+std::vector<std::uint8_t> framed(std::span<const std::uint8_t> payload) {
+  return wire::frame(payload);
+}
+
+void append(std::vector<std::uint8_t>& file,
+            std::span<const std::uint8_t> payload) {
+  const auto f = framed(payload);
+  file.insert(file.end(), f.begin(), f.end());
+}
+
+TEST(CursorFile, TornTailIsIgnoredAndCounted) {
+  std::vector<std::uint8_t> file;
+  append(file, wire::encode_cursor_file_header());
+  append(file, wire::encode_cursor_record("a", {5, false}));
+  // The crash cut a second record mid-frame.
+  const auto torn = framed(wire::encode_cursor_record("a", {9, false}));
+  file.insert(file.end(), torn.begin(),
+              torn.begin() + static_cast<std::ptrdiff_t>(torn.size() / 2));
+
+  const wire::RecoveredCursors rec = wire::recover_cursor_bytes(file);
+  EXPECT_EQ(rec.corrupt_frames, 1u);
+  ASSERT_TRUE(rec.cursors.contains("a"));
+  EXPECT_EQ(rec.cursors.at("a").acked, 5u);  // torn write changed nothing
+}
+
+TEST(CursorFile, DuplicateRecordsResolveLastWriterWins) {
+  std::vector<std::uint8_t> file;
+  append(file, wire::encode_cursor_file_header());
+  append(file, wire::encode_cursor_record("a", {3, false}));
+  append(file, wire::encode_cursor_record("b", {1, false}));
+  append(file, wire::encode_cursor_record("a", {7, true}));
+
+  const wire::RecoveredCursors rec = wire::recover_cursor_bytes(file);
+  EXPECT_EQ(rec.records, 3u);
+  EXPECT_EQ(rec.cursors.size(), 2u);
+  EXPECT_EQ(rec.cursors.at("a"), (wire::CursorEntry{7, true}));
+  EXPECT_EQ(rec.cursors.at("b"), (wire::CursorEntry{1, false}));
+}
+
+TEST(CursorFile, FutureMajorHeaderIsTypedRejection) {
+  // A 'V' header claiming a future cursor-format major: this (v1)
+  // reader must refuse with the typed error, never misread.
+  std::vector<std::uint8_t> header = wire::encode_cursor_file_header();
+  header[2] = wire::kCursorMaxMajor + 1;  // 'V' | 'c' | major | minor ...
+  std::vector<std::uint8_t> file;
+  append(file, header);
+  append(file, wire::encode_cursor_record("a", {3, false}));
+  EXPECT_THROW((void)wire::recover_cursor_bytes(file),
+               wire::UnsupportedVersion);
+}
+
+TEST(CursorFile, UnknownRecordTypesAreSkippedInVersionedFiles) {
+  std::vector<std::uint8_t> file;
+  append(file, wire::encode_cursor_file_header());
+  const std::vector<std::uint8_t> unknown{0x5a, 1, 2, 3};  // future type
+  append(file, unknown);
+  append(file, wire::encode_cursor_record("a", {2, false}));
+
+  const wire::RecoveredCursors rec = wire::recover_cursor_bytes(file);
+  EXPECT_EQ(rec.skipped_records, 1u);
+  EXPECT_EQ(rec.corrupt_frames, 0u);
+  EXPECT_EQ(rec.cursors.at("a").acked, 2u);
+}
+
+// ---- admin sessions extension ------------------------------------------
+
+TEST(AdminSessions, StatusExtensionRoundTripsAndStaysOptional) {
+  AdminResponse resp;
+  resp.ok = true;
+  resp.status = ServiceStatus{};
+  resp.status->sessions.push_back(
+      SessionStatus{"worker-1", 10, 12, 5, 2, true, false});
+  resp.status->sessions.push_back(
+      SessionStatus{"worker-2", 0, 0, 15, 0, false, true});
+  resp.status->total_sessions = 7;  // more exist than the budget carried
+
+  const AdminResponse back =
+      decode_admin_response(encode_admin_response(resp));
+  ASSERT_TRUE(back.status.has_value());
+  EXPECT_EQ(back.status->total_sessions, 7u);
+  ASSERT_EQ(back.status->sessions.size(), 2u);
+  EXPECT_EQ(back.status->sessions[0].id, "worker-1");
+  EXPECT_EQ(back.status->sessions[0].lag, 5u);
+  EXPECT_TRUE(back.status->sessions[0].connected);
+  EXPECT_TRUE(back.status->sessions[1].evicted);
+
+  // No sessions -> the extension is absent entirely, so the encoding
+  // matches a status response produced before sessions existed.
+  AdminResponse plain;
+  plain.ok = true;
+  plain.status = ServiceStatus{};
+  const AdminResponse plain_back =
+      decode_admin_response(encode_admin_response(plain));
+  ASSERT_TRUE(plain_back.status.has_value());
+  EXPECT_TRUE(plain_back.status->sessions.empty());
+  EXPECT_EQ(plain_back.status->total_sessions, 0u);
+}
+
+// ---- live SessionManager -----------------------------------------------
+
+SessionLimits roomy_limits() {
+  SessionLimits limits;
+  limits.max_backlog = 1 << 16;
+  limits.retention = 1 << 16;
+  limits.lag_alert_budget = 0;
+  return limits;
+}
+
+TEST(SessionManager, MidFrameKillResumesGapFree) {
+  const auto dir = fresh_dir("midframe");
+  SessionManager manager{dir, wire::AlertEncoding::kFullHistories,
+                         roomy_limits()};
+  net::TcpListener listener;
+
+  {
+    auto sub = connect_session(listener, manager, "w", 0);
+    for (std::uint64_t i = 0; i < 8; ++i) manager.publish(small_alert(i));
+    ASSERT_TRUE(sub.read_alerts(8, 5000ms));
+    // Kill mid-stream: more alerts are being framed for this connection
+    // while the socket dies with whatever was in flight.
+    for (std::uint64_t i = 8; i < 16; ++i) manager.publish(small_alert(i));
+    // sub.stream closes abruptly here (destructor, no FIN handshake
+    // consumed by the server before the frames drained).
+  }
+
+  // Reconnect asking for exactly the next index: replay must be exact
+  // and gap-free — the server's framed/acked bookkeeping survived the
+  // torn write.
+  auto sub2 = connect_session(listener, manager, "w", 8);
+  ASSERT_TRUE(sub2.read_alerts(8, 5000ms));
+  ASSERT_TRUE(sub2.welcomed);
+  EXPECT_EQ(sub2.welcome.status, wire::SessionWelcomeStatus::kOk);
+  EXPECT_EQ(sub2.welcome.start_index, 8u);
+  for (std::size_t k = 0; k < sub2.records.size(); ++k)
+    EXPECT_EQ(sub2.records[k].index, 8 + k);
+
+  manager.stop(500ms);
+}
+
+TEST(SessionManager, DurableCursorResumesWithoutExplicitFrom) {
+  const auto dir = fresh_dir("cursor_resume");
+  {
+    SessionManager manager{dir, wire::AlertEncoding::kFullHistories,
+                           roomy_limits()};
+    net::TcpListener listener;
+    auto sub = connect_session(listener, manager, "w", 0);
+
+    for (std::uint64_t i = 0; i < 6; ++i) manager.publish(small_alert(i));
+    ASSERT_TRUE(sub.read_alerts(6, 5000ms));  // acks 0..5
+    // Wait until the durable cursor reflects the acks.
+    const auto until = Clock::now() + 5s;
+    bool acked = false;
+    while (!acked && Clock::now() < until) {
+      for (const SessionInfo& info : manager.sessions())
+        if (info.id == "w" && info.acked == 6) acked = true;
+      std::this_thread::sleep_for(5ms);
+    }
+    ASSERT_TRUE(acked);
+    manager.stop(500ms);
+  }
+
+  // A fresh manager on the same directory recovers log + cursors; a
+  // hello WITHOUT `from` resumes from the durable cursor.
+  SessionManager manager{dir, wire::AlertEncoding::kFullHistories,
+                         roomy_limits()};
+  EXPECT_EQ(manager.log_end(), 6u);
+  EXPECT_EQ(manager.recovered_sessions(), 1u);
+  net::TcpListener listener;
+  auto sub = connect_session(listener, manager, "w", std::nullopt);
+  manager.publish(small_alert(6));
+  ASSERT_TRUE(sub.read_alerts(1, 5000ms));
+  ASSERT_TRUE(sub.welcomed);
+  EXPECT_EQ(sub.welcome.status, wire::SessionWelcomeStatus::kOk);
+  EXPECT_EQ(sub.welcome.start_index, 6u);
+  EXPECT_EQ(sub.records.front().index, 6u);
+  manager.stop(500ms);
+}
+
+TEST(SessionManager, OutrunCursorGetsTypedTruncation) {
+  const auto dir = fresh_dir("truncated");
+  SessionLimits limits;
+  limits.max_backlog = 4;
+  limits.retention = 5;
+  limits.lag_alert_budget = 0;
+  SessionManager manager{dir, wire::AlertEncoding::kFullHistories, limits};
+  for (std::uint64_t i = 0; i < 20; ++i) manager.publish(small_alert(i));
+
+  net::TcpListener listener;
+  auto sub = connect_session(listener, manager, "late", 0);
+  ASSERT_TRUE(sub.read_alerts(5, 5000ms));
+  ASSERT_TRUE(sub.welcomed);
+  EXPECT_EQ(sub.welcome.status, wire::SessionWelcomeStatus::kTruncated);
+  EXPECT_EQ(sub.welcome.lost_from, 0u);
+  EXPECT_EQ(sub.welcome.lost_to, 15u);   // window keeps [15, 20)
+  EXPECT_EQ(sub.welcome.start_index, 15u);
+  EXPECT_EQ(sub.welcome.log_end, 20u);
+  for (std::size_t k = 0; k < sub.records.size(); ++k)
+    EXPECT_EQ(sub.records[k].index, 15 + k);
+  manager.stop(500ms);
+}
+
+TEST(SessionManager, FutureFromGetsBadCursor) {
+  const auto dir = fresh_dir("badcursor");
+  SessionManager manager{dir, wire::AlertEncoding::kFullHistories,
+                         roomy_limits()};
+  for (std::uint64_t i = 0; i < 3; ++i) manager.publish(small_alert(i));
+  net::TcpListener listener;
+  auto sub = connect_session(listener, manager, "w", 999);
+  ASSERT_TRUE(sub.await_welcome(5000ms));
+  EXPECT_EQ(sub.welcome.status, wire::SessionWelcomeStatus::kBadCursor);
+  EXPECT_EQ(sub.welcome.start_index, 3u);  // resumes live at log end
+  manager.stop(500ms);
+}
+
+// The PR's acceptance pin: a stalled consumer triggers the dogfooded
+// lag alert and bounded eviction, and a healthy session keeps receiving
+// the full stream — publish() and the fast peer never stall behind the
+// stuck one.
+TEST(SessionManager, StalledConsumerIsEvictedWithoutStallingOthers) {
+  const auto dir = fresh_dir("slowfast");
+  SessionLimits limits;
+  limits.max_backlog = 8;
+  limits.retention = 1 << 16;  // fast peer can always be replayed
+  limits.lag_alert_budget = 4;
+  SessionManager manager{dir, wire::AlertEncoding::kFullHistories, limits};
+  net::TcpListener listener;
+
+  auto fast = connect_session(listener, manager, "fast", 0);
+  auto slow = connect_session(listener, manager, "slow", 0);
+  ASSERT_TRUE(slow.await_welcome(5000ms));  // upgraded; now it stalls
+
+  // Publish big alerts, paced by the fast subscriber, until the stalled
+  // peer's pipeline jams and the backlog bound evicts it.
+  bool evicted = false;
+  std::uint64_t published = 0;
+  const std::uint64_t cap = 2000;
+  while (!evicted && published < cap) {
+    manager.publish(big_alert(published));
+    ++published;
+    ASSERT_TRUE(fast.read_alerts(published, 10000ms))
+        << "fast subscriber stalled behind the stuck one at alert "
+        << published;
+    for (const SessionInfo& info : manager.sessions())
+      if (info.id == "slow" && info.evicted) evicted = true;
+  }
+  ASSERT_TRUE(evicted) << "stalled consumer was never evicted";
+
+  // The healthy session received the complete gap-free prefix.
+  ASSERT_EQ(fast.records.size(), published);
+  for (std::size_t k = 0; k < fast.records.size(); ++k)
+    EXPECT_EQ(fast.records[k].index, k);
+
+  // The dogfooded condition-language lag alert fired for the slot.
+  const std::vector<Alert> lag_alerts = manager.lag_alerts();
+  ASSERT_FALSE(lag_alerts.empty());
+  EXPECT_EQ(lag_alerts.front().cond, "service.session.lag_exceeded");
+
+  // The stalled peer's durable cursor carries the eviction mark.
+  bool marked = false;
+  for (const SessionInfo& info : manager.sessions())
+    if (info.id == "slow") marked = info.evicted;
+  EXPECT_TRUE(marked);
+
+  manager.stop(500ms);
+}
+
+}  // namespace
+}  // namespace rcm::service
