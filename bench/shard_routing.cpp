@@ -1,0 +1,240 @@
+// Shard-routing bench: ingest throughput and alert latency vs shard
+// count, for a cross-shard (degree-2) condition whose updates route
+// through the consistent-hash map and join at the merge tier.
+//
+// For each shard count N in the sweep, builds a ShardedCluster on a
+// scratch directory (|x - y| > 30, one replica per shard, merge tier
+// evaluating the global condition) and measures:
+//
+//   updates/sec   — wall time to route `--updates` updates through the
+//                   shard map and drain every queue (await_idle), i.e.
+//                   the full admit → forward → merge-evaluate pipeline;
+//   alert latency — `--probes` rounds of: send one triggering pair to
+//                   the owning shards, poll the evaluating instance's
+//                   displayed counter until the alert lands. Reported as
+//                   mean/max milliseconds — the price of the extra
+//                   cross-shard hop, visible next to the N=1 row.
+//
+// Exit status is 1 if any sweep point times out or displays nothing
+// (the bench doubles as a routing correctness check). Emits a JSON
+// artifact (BENCH_shard_routing.json); `ctest -L bench_smoke` runs a
+// tiny sweep.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/builtin_conditions.hpp"
+#include "net/socket.hpp"
+#include "service/shard_cluster.hpp"
+#include "util/args.hpp"
+#include "wire/codec.hpp"
+#include "wire/frame.hpp"
+#include "wire/shard.hpp"
+
+namespace {
+
+using namespace rcm;
+using Clock = std::chrono::steady_clock;
+
+struct SweepRow {
+  std::size_t shards = 0;
+  std::size_t updates = 0;
+  double ingest_seconds = 0.0;
+  std::size_t probes = 0;
+  double mean_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  std::uint64_t displayed = 0;
+  bool complete = false;
+};
+
+std::vector<std::size_t> parse_counts(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::stringstream ss{csv};
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(std::stoul(item));
+  return out;
+}
+
+/// Sends `u` to every replica port of its owner shard, routed by the
+/// wire map like an external feeder.
+void send_routed(net::UdpSocket& udp, const wire::ShardMap& map,
+                 service::ShardedCluster& cluster, const Update& u) {
+  const std::uint32_t owner = cluster.owner(u.var);
+  const auto framed = wire::frame(wire::encode_update(u));
+  for (const wire::ShardMapEntry& e : map.shards) {
+    if (e.shard_id != owner) continue;
+    for (const std::uint16_t port : e.replica_ports) {
+      try {
+        udp.send_to(port, framed);
+      } catch (const std::system_error&) {
+      }
+    }
+  }
+}
+
+SweepRow run_sweep_point(std::size_t shards, std::size_t updates,
+                         std::size_t probes,
+                         const std::filesystem::path& scratch) {
+  SweepRow row;
+  row.shards = shards;
+  row.updates = updates;
+  row.probes = probes;
+
+  const std::filesystem::path dir =
+      scratch / ("n" + std::to_string(shards));
+  std::filesystem::remove_all(dir);
+
+  service::ShardClusterConfig cfg;
+  cfg.condition =
+      std::make_shared<AbsDiffCondition>("bench.absdiff", 0, 1, 30.0);
+  cfg.filter = FilterKind::kPassAll;  // measure the pipeline, not the AD
+  cfg.num_shards = shards;
+  cfg.replicas_per_shard = 1;
+  cfg.merge_replicas = 1;
+  cfg.data_dir = dir;
+  cfg.checkpoint_every = 1u << 20;  // no mid-run checkpoints
+  cfg.poll_interval = std::chrono::milliseconds{2};
+  service::ShardedCluster cluster{std::move(cfg)};
+  const wire::ShardMap map = cluster.shard_map();
+
+  net::UdpSocket udp;
+  SeqNo seq = 0;
+
+  // Ingest phase: alternating triggering pairs, routed by the map.
+  const auto ingest_start = Clock::now();
+  for (std::size_t i = 0; i < updates; i += 2) {
+    ++seq;
+    send_routed(udp, map, cluster, Update{0, seq, 90.0});
+    send_routed(udp, map, cluster, Update{1, seq, 10.0});
+  }
+  const bool idle = cluster.await_idle(std::chrono::milliseconds{20},
+                                       std::chrono::seconds{60});
+  row.ingest_seconds =
+      std::chrono::duration<double>(Clock::now() - ingest_start).count();
+
+  // Latency probes: one triggering pair, then poll the evaluating
+  // instance's displayed counter until the alert surfaces.
+  double total_ms = 0.0;
+  std::size_t landed = 0;
+  for (std::size_t p = 0; p < probes; ++p) {
+    const std::uint64_t before =
+        cluster.evaluating_service().status().displayed;
+    ++seq;
+    const auto probe_start = Clock::now();
+    send_routed(udp, map, cluster, Update{0, seq, 90.0});
+    send_routed(udp, map, cluster, Update{1, seq, 10.0});
+    const auto deadline = Clock::now() + std::chrono::seconds{5};
+    while (cluster.evaluating_service().status().displayed <= before &&
+           Clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::microseconds{50});
+    const double ms = std::chrono::duration<double, std::milli>(
+                          Clock::now() - probe_start)
+                          .count();
+    if (cluster.evaluating_service().status().displayed > before) {
+      ++landed;
+      total_ms += ms;
+      row.max_latency_ms = std::max(row.max_latency_ms, ms);
+    }
+  }
+  if (landed > 0) row.mean_latency_ms = total_ms / static_cast<double>(landed);
+
+  row.displayed = cluster.evaluating_service().status().displayed;
+  row.complete = idle && landed == probes && row.displayed > 0;
+  cluster.drain();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rcm::util::Args args;
+  args.add_flag("shards", "1,2,4,8", "comma-separated shard counts");
+  args.add_flag("updates", "20000", "updates per sweep point");
+  args.add_flag("probes", "20", "alert-latency probe rounds per point");
+  args.add_flag("scratch", "", "scratch dir (default: system temp)");
+  args.add_flag("out", "BENCH_shard_routing.json",
+                "path for the JSON artifact ('' = skip writing)");
+  if (!args.parse(argc, argv)) {
+    std::cerr << args.error() << "\n" << args.usage("shard_routing");
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage("shard_routing");
+    return 0;
+  }
+
+  const std::vector<std::size_t> counts = parse_counts(args.get("shards"));
+  const auto updates = static_cast<std::size_t>(args.get_int("updates"));
+  const auto probes = static_cast<std::size_t>(args.get_int("probes"));
+  const std::filesystem::path scratch =
+      args.get("scratch").empty()
+          ? std::filesystem::temp_directory_path() / "rcm_bench_shard"
+          : std::filesystem::path{args.get("scratch")};
+  std::filesystem::create_directories(scratch);
+
+  std::cout << "shard_routing: " << updates << " updates per point, "
+            << probes << " latency probes\n"
+            << "  shards   k-updates/s   mean-lat ms   max-lat ms"
+            << "   complete\n";
+
+  std::vector<SweepRow> rows;
+  bool all_complete = true;
+  for (const std::size_t n : counts) {
+    if (n == 0) continue;
+    const SweepRow row = run_sweep_point(n, updates, probes, scratch);
+    rows.push_back(row);
+    all_complete = all_complete && row.complete;
+    std::printf("  %6zu   %11.1f   %11.3f   %10.3f   %s\n", row.shards,
+                row.ingest_seconds > 0
+                    ? static_cast<double>(row.updates) /
+                          row.ingest_seconds / 1e3
+                    : 0.0,
+                row.mean_latency_ms, row.max_latency_ms,
+                row.complete ? "yes" : "NO");
+  }
+
+  const std::string out_path = args.get("out");
+  if (!out_path.empty()) {
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"bench\": \"shard_routing\",\n"
+         << "  \"updates\": " << updates << ",\n"
+         << "  \"probes\": " << probes << ",\n"
+         << "  \"rows\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const SweepRow& r = rows[i];
+      json << (i == 0 ? "\n" : ",\n")
+           << "    {\"shards\": " << r.shards
+           << ", \"ingest_seconds\": " << r.ingest_seconds
+           << ", \"updates_per_sec\": "
+           << (r.ingest_seconds > 0
+                   ? static_cast<double>(r.updates) / r.ingest_seconds
+                   : 0.0)
+           << ", \"mean_latency_ms\": " << r.mean_latency_ms
+           << ", \"max_latency_ms\": " << r.max_latency_ms
+           << ", \"displayed\": " << r.displayed
+           << ", \"complete\": " << (r.complete ? "true" : "false") << "}";
+    }
+    json << "\n  ]\n}\n";
+    std::ofstream out(out_path);
+    out << json.str();
+    if (!out) {
+      std::cerr << "failed to write " << out_path << "\n";
+      return 2;
+    }
+    std::cout << "  wrote " << out_path << "\n";
+  }
+
+  return all_complete ? 0 : 1;
+}

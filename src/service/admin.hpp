@@ -40,14 +40,16 @@
 #include <string>
 #include <vector>
 
+#include "core/types.hpp"
 #include "wire/version.hpp"
 
 namespace rcm::service {
 
 /// Admin protocol version spoken by this binary; v1 is the pre-extension
 /// protocol (no version tag on requests, no response extensions). 2.1
-/// added kSessions and the per-session status response extension.
-inline constexpr wire::VersionHeader kAdminVersion{2, 1};
+/// added kSessions and the per-session status response extension; 2.2
+/// added kShardMap and the shard identity status extension.
+inline constexpr wire::VersionHeader kAdminVersion{2, 2};
 inline constexpr std::uint8_t kAdminMinMajor = 1;
 inline constexpr std::uint8_t kAdminMaxMajor = 2;
 
@@ -55,6 +57,7 @@ inline constexpr std::uint8_t kAdminMaxMajor = 2;
 inline constexpr std::uint8_t kAdminVersionExtTag = 0x56;      // 'V'
 inline constexpr std::uint8_t kAdminUnsupportedExtTag = 0x55;  // 'U'
 inline constexpr std::uint8_t kAdminSessionsExtTag = 0x53;     // 'S'
+inline constexpr std::uint8_t kAdminShardExtTag = 0x48;        // 'H'
 
 /// Admin commands, in wire order.
 enum class AdminCommand : std::uint8_t {
@@ -66,6 +69,7 @@ enum class AdminCommand : std::uint8_t {
   kMetrics = 5,     ///< live obs::registry().snapshot_json() in `body`
   kTraceDump = 6,   ///< Chrome trace_event JSON export in `body`
   kSessions = 7,    ///< per-session cursor/lag/backlog JSON in `body`
+  kShardMap = 8,    ///< versioned wire::ShardMap bytes in `body`
 };
 
 /// One admin request.
@@ -111,6 +115,18 @@ struct SessionStatus {
   bool evicted = false;
 };
 
+/// Shard identity of a sharded service instance (rides a skippable
+/// response extension; absent from unsharded services and pre-2.2
+/// servers). `owned` is the ascending set of condition variables this
+/// shard currently serves — bounded in the encoding, with `total_owned`
+/// always reporting the real count.
+struct ShardStatus {
+  std::uint32_t shard_id = 0;
+  std::uint64_t epoch = 0;  ///< shard-map epoch the instance serves
+  std::vector<VarId> owned;
+  std::uint64_t total_owned = 0;
+};
+
 /// Whole-service status report.
 struct ServiceStatus {
   std::uint64_t ingested_datagrams = 0;
@@ -127,6 +143,8 @@ struct ServiceStatus {
   /// total_sessions always reports the real count.
   std::vector<SessionStatus> sessions;
   std::uint64_t total_sessions = 0;
+  /// Shard identity (2.2+ sharded servers only).
+  std::optional<ShardStatus> shard;
 };
 
 /// Structured "I don't speak that" reply block: the server's version

@@ -8,6 +8,7 @@
 
 #include "net/deployment.hpp"  // encode_end_marker / decode_end_marker
 #include "obs/metrics.hpp"
+#include "service/shard_ring.hpp"  // kDefaultVnodes for the trivial map
 #include "obs/trace.hpp"
 #include "wire/buffer.hpp"
 #include "wire/frame.hpp"
@@ -252,9 +253,19 @@ void AlertService::worker_loop(std::size_t index,
         obs::trace::ContextScope tscope{msg.trace};
         RCM_TRACE_SPAN(ingest_span, "service.ingest");
         ingest_span.var(msg.update.var).seq(msg.update.seqno);
+        // Decide acceptance up front so the on_accept hook (shard →
+        // merge-tier forwarding) fires only for updates that were
+        // journaled + applied, and only after they durably were.
+        const bool will_accept =
+            config_.on_accept &&
+            replica.evaluator().would_accept(msg.update);
         if (auto alert = replica.on_update(msg.update)) {
           RCM_COUNT("service.alerts.raised");
           alert_queue_.push(std::move(*alert));
+        }
+        if (will_accept) {
+          RCM_COUNT("service.shard.forwarded");
+          config_.on_accept(msg.update);
         }
       }
       slot.accepted.store(replica.accepted_live(), std::memory_order_relaxed);
@@ -345,7 +356,7 @@ AdminResponse AlertService::dispatch_admin(
     u.server_version = kAdminVersion;
     u.min_major = kAdminMinMajor;
     u.max_major = kAdminMaxMajor;
-    u.max_command = static_cast<std::uint8_t>(AdminCommand::kSessions);
+    u.max_command = static_cast<std::uint8_t>(AdminCommand::kShardMap);
     return u;
   };
   try {
@@ -388,6 +399,17 @@ AdminResponse AlertService::dispatch_admin(
       case AdminCommand::kSessions:
         resp.body = sessions_json();
         break;
+      case AdminCommand::kShardMap: {
+        // Binary-safe: the map bytes ride the length-prefixed body
+        // string. An unsharded service serves a trivial one-shard map so
+        // a router pointed at any instance always resolves.
+        const wire::ShardMap map = config_.shard_map_provider
+                                       ? config_.shard_map_provider()
+                                       : default_shard_map();
+        const auto bytes = wire::encode_shard_map(map);
+        resp.body = std::string(bytes.begin(), bytes.end());
+        break;
+      }
     }
   } catch (const wire::UnsupportedVersion& e) {
     // Incompatible peer major: still a clean error reply, now with the
@@ -429,8 +451,14 @@ std::string AlertService::sessions_json() const {
     return out;
   };
   std::string out = "{\"log_end\": " +
-                    std::to_string(sessions_->log_end()) +
-                    ", \"sessions\": [";
+                    std::to_string(sessions_->log_end());
+  if (config_.shard) {
+    // Every session on this instance is attached to this shard; name it
+    // so fleet tooling can aggregate per-shard subscriber state.
+    out += ", \"shard\": " + std::to_string(config_.shard->shard_id) +
+           ", \"shard_epoch\": " + std::to_string(config_.shard->epoch);
+  }
+  out += ", \"sessions\": [";
   bool first = true;
   for (const SessionInfo& info : sessions_->sessions()) {
     if (!first) out += ", ";
@@ -445,6 +473,17 @@ std::string AlertService::sessions_json() const {
   }
   out += "]}\n";
   return out;
+}
+
+wire::ShardMap AlertService::default_shard_map() const {
+  wire::ShardMap map;
+  map.epoch = 0;
+  wire::ShardMapEntry entry;
+  entry.shard_id = config_.shard ? config_.shard->shard_id : 0;
+  entry.vnodes = kDefaultVnodes;
+  entry.replica_ports = replica_ports();
+  map.shards.push_back(std::move(entry));
+  return map;
 }
 
 ServiceStatus AlertService::status() {
@@ -476,6 +515,14 @@ ServiceStatus AlertService::status() {
   {
     std::lock_guard g{ends_mutex_};
     s.dm_ends = dm_ends_.size();
+  }
+  if (config_.shard) {
+    ShardStatus st;
+    st.shard_id = config_.shard->shard_id;
+    st.epoch = config_.shard->epoch;
+    st.owned = config_.condition->variables();
+    st.total_owned = st.owned.size();
+    s.shard = std::move(st);
   }
 #if RCM_METRICS_ENABLED
   // Process-wide END-timeout count (satellite of the obs layer): covers

@@ -40,6 +40,8 @@
 #include <thread>
 #include <vector>
 
+#include <functional>
+
 #include "core/condition.hpp"
 #include "core/displayer.hpp"
 #include "core/filters.hpp"
@@ -50,8 +52,17 @@
 #include "service/session.hpp"
 #include "service/supervisor.hpp"
 #include "wire/codec.hpp"
+#include "wire/shard.hpp"
 
 namespace rcm::service {
+
+/// Shard identity of a service instance hosted by a ShardedCluster
+/// (service/shard_cluster.hpp). Purely descriptive at this layer: it
+/// rides the kStatus response and names the shard in sessions output.
+struct ShardIdentity {
+  std::uint32_t shard_id = 0;
+  std::uint64_t epoch = 0;  ///< shard-map epoch this instance was built for
+};
 
 /// Configuration of one alert service instance.
 struct ServiceConfig {
@@ -62,6 +73,21 @@ struct ServiceConfig {
 
   std::size_t checkpoint_every = 256;  ///< see DurabilityOptions
   bool record_journal = false;         ///< see DurabilityOptions
+
+  /// Set on instances hosted by a ShardedCluster; reported in status.
+  std::optional<ShardIdentity> shard;
+
+  /// Called from the replica worker thread for every update the replica
+  /// accepts (after the WAL append + evaluator transition). Shard
+  /// instances use this to forward accepted updates to the merge tier.
+  /// Must be cheap and must not throw.
+  std::function<void(const Update&)> on_accept;
+
+  /// Serves the admin kShardMap command. A ShardedCluster installs the
+  /// live cluster map; when unset, an unsharded service answers with a
+  /// trivial one-shard map covering all of its replica ports (so a
+  /// router pointed at any service always resolves).
+  std::function<wire::ShardMap()> shard_map_provider;
 
   /// Monitor thread restarts crashed/killed replicas after backoff.
   /// Turn off for tests that want manual kill/restart control.
@@ -198,6 +224,7 @@ class AlertService {
   [[nodiscard]] AdminResponse dispatch_admin(
       std::span<const std::uint8_t> payload);
   [[nodiscard]] std::string sessions_json() const;
+  [[nodiscard]] wire::ShardMap default_shard_map() const;
   void monitor_loop();
 
   /// Starts a new incarnation of replica `i`. Caller holds lifecycle_mutex_.

@@ -1,0 +1,111 @@
+#include "service/shard_ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rcm::service {
+
+namespace {
+
+// Domain-separation constants so shard tokens and key hashes can never
+// collide structurally even for equal raw inputs.
+constexpr std::uint64_t kTokenSalt = 0x73686172645f746bULL;  // "shard_tk"
+constexpr std::uint64_t kKeySalt = 0x73686172645f6b79ULL;    // "shard_ky"
+
+std::uint64_t token_for(std::uint32_t shard_id, unsigned vnode) {
+  return ShardRing::mix64(kTokenSalt ^
+                          (static_cast<std::uint64_t>(shard_id) << 20) ^
+                          vnode);
+}
+
+std::uint64_t key_for(VarId var) {
+  return ShardRing::mix64(kKeySalt ^ var);
+}
+
+}  // namespace
+
+std::uint64_t ShardRing::mix64(std::uint64_t x) {
+  // splitmix64 finalizer (Steele et al.): full-avalanche, pure integer.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+ShardRing::ShardRing(unsigned vnodes) : vnodes_(vnodes) {
+  if (vnodes_ == 0) throw std::invalid_argument("ShardRing: vnodes == 0");
+}
+
+void ShardRing::add_shard(std::uint32_t shard_id) {
+  if (contains(shard_id)) return;
+  shards_.insert(std::lower_bound(shards_.begin(), shards_.end(), shard_id),
+                 shard_id);
+  for (unsigned v = 0; v < vnodes_; ++v)
+    ring_.push_back(Token{token_for(shard_id, v), shard_id});
+  std::sort(ring_.begin(), ring_.end(), [](const Token& a, const Token& b) {
+    return a.point != b.point ? a.point < b.point : a.shard < b.shard;
+  });
+}
+
+void ShardRing::remove_shard(std::uint32_t shard_id) {
+  const auto it = std::lower_bound(shards_.begin(), shards_.end(), shard_id);
+  if (it == shards_.end() || *it != shard_id) return;
+  shards_.erase(it);
+  ring_.erase(std::remove_if(
+                  ring_.begin(), ring_.end(),
+                  [&](const Token& t) { return t.shard == shard_id; }),
+              ring_.end());
+}
+
+bool ShardRing::contains(std::uint32_t shard_id) const {
+  return std::binary_search(shards_.begin(), shards_.end(), shard_id);
+}
+
+std::vector<std::uint32_t> ShardRing::shards() const { return shards_; }
+
+std::uint32_t ShardRing::owner(VarId var) const {
+  if (ring_.empty()) throw std::logic_error("ShardRing::owner: empty ring");
+  const std::uint64_t key = key_for(var);
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const Token& t, std::uint64_t k) { return t.point < k; });
+  return it == ring_.end() ? ring_.front().shard : it->shard;
+}
+
+PartialCondition::PartialCondition(ConditionPtr base, std::vector<VarId> owned)
+    : base_(std::move(base)), owned_(std::move(owned)) {
+  if (!base_) throw std::invalid_argument("PartialCondition: null base");
+  const std::vector<VarId>& all = base_->variables();
+  for (std::size_t i = 0; i < owned_.size(); ++i) {
+    if (i > 0 && owned_[i - 1] >= owned_[i])
+      throw std::invalid_argument("PartialCondition: owned not ascending");
+    if (!std::binary_search(all.begin(), all.end(), owned_[i]))
+      throw std::invalid_argument("PartialCondition: var not in base set");
+  }
+  name_ = std::string(base_->name()) + "[partial]";
+}
+
+std::string_view PartialCondition::name() const noexcept { return name_; }
+
+const std::vector<VarId>& PartialCondition::variables() const noexcept {
+  return owned_;
+}
+
+int PartialCondition::degree(VarId v) const { return base_->degree(v); }
+
+bool PartialCondition::evaluate(const HistorySet&) const { return false; }
+
+Triggering PartialCondition::triggering() const noexcept {
+  return Triggering::kAggressive;
+}
+
+std::vector<VarId> owned_variables(const ShardRing& ring,
+                                   const Condition& condition,
+                                   std::uint32_t shard_id) {
+  std::vector<VarId> owned;
+  for (VarId v : condition.variables())
+    if (ring.owner(v) == shard_id) owned.push_back(v);
+  return owned;
+}
+
+}  // namespace rcm::service

@@ -1,0 +1,102 @@
+// Consistent-hash ring partitioning VarId-space across shard ids.
+//
+// Each shard contributes `vnodes` tokens to a 64-bit ring; a variable is
+// owned by the shard whose token is the first one at or after hash(var),
+// wrapping around. Tokens come from a splitmix64-style integer mix, so
+// placement is a pure function of (shard id, vnode index, var id) — no
+// std::hash, no endianness, no platform dependence. That determinism is
+// load-bearing: feeders, shards, and the fuzz oracle all derive the same
+// ownership from the same shard map.
+//
+// Adding or removing a shard only moves the ranges adjacent to its
+// tokens (classic consistent hashing), which keeps handoff — a targeted
+// crash-recovery per moved variable — proportional to 1/N of the key
+// space instead of a full reshuffle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/condition.hpp"
+#include "core/types.hpp"
+
+namespace rcm::service {
+
+/// Default vnodes per shard. 32 tokens keeps the per-shard load within a
+/// few percent of uniform for small clusters (pinned by shard_ring_test).
+inline constexpr unsigned kDefaultVnodes = 32;
+
+class ShardRing {
+ public:
+  explicit ShardRing(unsigned vnodes = kDefaultVnodes);
+
+  /// Adds a shard's tokens. Adding an existing id is a no-op.
+  void add_shard(std::uint32_t shard_id);
+
+  /// Removes a shard's tokens. Removing an absent id is a no-op.
+  void remove_shard(std::uint32_t shard_id);
+
+  [[nodiscard]] bool contains(std::uint32_t shard_id) const;
+
+  /// Shard ids, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> shards() const;
+
+  /// Owner of a variable. Precondition: at least one shard.
+  [[nodiscard]] std::uint32_t owner(VarId var) const;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] bool empty() const { return shards_.empty(); }
+  [[nodiscard]] unsigned vnodes() const { return vnodes_; }
+
+  /// splitmix64 finalizer — the mix behind both token and key placement.
+  /// Exposed so tests can pin cross-platform determinism to known values.
+  [[nodiscard]] static std::uint64_t mix64(std::uint64_t x);
+
+ private:
+  struct Token {
+    std::uint64_t point;
+    std::uint32_t shard;
+  };
+
+  unsigned vnodes_;
+  std::vector<Token> ring_;  // sorted by (point, shard)
+  std::vector<std::uint32_t> shards_;  // sorted, unique
+};
+
+/// The slice of a multi-variable condition a single shard hosts: the base
+/// condition restricted to the shard's owned variables. A partial shard
+/// never evaluates the global predicate — evaluate() is constantly false
+/// and the global verdict is produced by the merge tier, which sees every
+/// variable. What the partial condition does provide is admission: the
+/// shard's CE accepts (journals, checkpoints, forwards) exactly the owned
+/// variables' updates at their base degrees, and rejects misrouted vars.
+///
+/// Aggressive triggering regardless of the base class: admission must not
+/// stall on gaps (loss is the merge filter's problem, not the router's).
+/// An empty owned set is valid (a shard that owns none of the condition's
+/// variables accepts nothing).
+class PartialCondition final : public Condition {
+ public:
+  /// `owned` must be an ascending, duplicate-free subset of
+  /// base->variables(); throws std::invalid_argument otherwise.
+  PartialCondition(ConditionPtr base, std::vector<VarId> owned);
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] const std::vector<VarId>& variables() const noexcept override;
+  [[nodiscard]] int degree(VarId v) const override;
+  [[nodiscard]] bool evaluate(const HistorySet& h) const override;
+  [[nodiscard]] Triggering triggering() const noexcept override;
+
+ private:
+  ConditionPtr base_;
+  std::vector<VarId> owned_;
+  std::string name_;
+};
+
+/// Convenience: the subset of `condition`'s variables that `ring` assigns
+/// to `shard_id`, ascending.
+[[nodiscard]] std::vector<VarId> owned_variables(const ShardRing& ring,
+                                                 const Condition& condition,
+                                                 std::uint32_t shard_id);
+
+}  // namespace rcm::service

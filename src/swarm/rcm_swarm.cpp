@@ -91,6 +91,9 @@ int main(int argc, char** argv) {
                 "duplicate resends (uses --runs, --seed, --scratch-dir)");
   args.add_flag("scratch-dir", "",
                 "service-fuzz scratch root (default: system temp)");
+  args.add_flag("sharded-fraction", "0.3",
+                "service-fuzz: fraction of runs against a sharded cluster "
+                "(2-3 shards + merge tier, mid-run reshard events)");
   args.add_flag("verbose", "false", "print a line per run");
 
   if (!args.parse(argc, argv)) {
@@ -111,6 +114,7 @@ int main(int argc, char** argv) {
       options.seed = static_cast<std::uint64_t>(args.get_int("seed"));
       options.runs = static_cast<std::size_t>(args.get_int("runs"));
       options.scratch_dir = args.get("scratch-dir");
+      options.sharded_fraction = args.get_double("sharded-fraction");
       options.verbose = args.get_bool("verbose");
       const swarm::ServiceFuzzReport report =
           swarm::run_service_fuzz(options);
@@ -127,6 +131,10 @@ int main(int argc, char** argv) {
                   report.subscriber_kills, report.session_truncations,
                   report.session_evictions, report.session_bad_cursors,
                   report.session_lag_alerts, report.service_reopens);
+      std::printf("  sharding: %zu sharded run(s) (%zu cross-shard), "
+                  "%zu reshard(s), %zu shard kill(s)\n",
+                  report.sharded_runs, report.cross_shard_runs,
+                  report.shard_reshards, report.shard_kills);
       for (const swarm::ServiceFuzzViolation& v : report.violations)
         std::printf("  run %zu (seed %llu): %s\n    state kept: %s\n",
                     v.run_index,

@@ -9,14 +9,19 @@
 #include <thread>
 #include <utility>
 
+#include <map>
+
 #include "net/deployment.hpp"
 #include "net/socket.hpp"
 #include "service/alert_service.hpp"
+#include "service/shard_cluster.hpp"
+#include "service/shard_ring.hpp"
 #include "swarm/fuzz_plan.hpp"
 #include "util/rng.hpp"
 #include "wire/codec.hpp"
 #include "wire/frame.hpp"
 #include "wire/session.hpp"
+#include "wire/shard.hpp"
 
 namespace rcm::swarm {
 namespace {
@@ -325,6 +330,157 @@ void check_sessions(const std::vector<SubscriberLog>& logs,
   }
 }
 
+// ---- sharded-cluster fuzz leg -----------------------------------------
+
+struct ShardedRunStats {
+  std::size_t kills = 0;
+  std::size_t reshards = 0;
+  bool cross_shard = false;
+};
+
+/// Feeder-side router rebuilt from the WIRE shard map exactly the way an
+/// external feeder would (encode → decode → ring from ids/vnodes), so the
+/// fuzz exercises the distributed-map path, not in-process shortcuts.
+struct MapRouter {
+  service::ShardRing ring{service::kDefaultVnodes};
+  std::map<std::uint32_t, std::vector<std::uint16_t>> ports;
+
+  void rebuild(const wire::ShardMap& map) {
+    ring = service::ShardRing{map.shards.empty()
+                                  ? service::kDefaultVnodes
+                                  : map.shards.front().vnodes};
+    ports.clear();
+    for (const wire::ShardMapEntry& e : map.shards) {
+      ring.add_shard(e.shard_id);
+      ports[e.shard_id] = e.replica_ports;
+    }
+  }
+};
+
+/// One sharded iteration: route the plan's feed through the shard map,
+/// fire the plan's kills at random shard/merge replicas, apply 0-2
+/// mid-run reshard events, then run the standard oracle over the union
+/// of every journal the cluster ever wrote (partial shards journal only
+/// their owned variables, so multi-shard runs classify as the condition's
+/// lossy row — exactly the paper cell a sharded front presents).
+std::vector<std::string> run_sharded_iteration(
+    const RunPlan& plan, util::Rng& rng,
+    const std::filesystem::path& data_dir, ShardedRunStats& stats,
+    std::size_t& displayed_count) {
+  const std::size_t arity = condition_arity(plan.choice.kind);
+
+  service::ShardClusterConfig config;
+  config.condition = build_condition(plan.choice.kind, plan.choice.param);
+  config.filter = plan.filter;
+  config.num_shards = static_cast<std::size_t>(rng.uniform_int(2, 3));
+  config.replicas_per_shard = plan.replicas > 1 ? 2 : 1;
+  config.merge_replicas = 1;
+  config.data_dir = data_dir;
+  config.checkpoint_every = plan.checkpoint_every;
+  config.record_journal = true;
+  // Reshard interplay with manual-restart schedules is not modelled:
+  // sharded runs always self-heal killed replicas.
+  config.auto_restart = true;
+  config.backoff.initial = std::chrono::milliseconds{1};
+  config.backoff.max = std::chrono::milliseconds{50};
+  config.backoff.reset_after = std::chrono::milliseconds{1};
+  config.poll_interval = std::chrono::milliseconds{5};
+
+  service::ShardedCluster cluster{std::move(config)};
+  stats.cross_shard = cluster.cross_shard();
+
+  // 0-2 reshard events in the middle half of the feed, where updates are
+  // in flight on both sides of the handoff.
+  std::vector<std::size_t> reshard_steps;
+  const std::size_t n_reshards =
+      static_cast<std::size_t>(rng.uniform_int(0, 2));
+  const std::size_t lo = plan.feed.size() / 4;
+  const std::size_t span = std::max<std::size_t>(1, plan.feed.size() / 2);
+  for (std::size_t k = 0; k < n_reshards; ++k)
+    reshard_steps.push_back(lo + static_cast<std::size_t>(rng.uniform_int(
+                                     0, static_cast<std::int64_t>(span))));
+  std::sort(reshard_steps.begin(), reshard_steps.end());
+  std::uint32_t next_shard_id =
+      static_cast<std::uint32_t>(cluster.config().num_shards);
+
+  MapRouter router;
+  const auto refresh_router = [&] {
+    router.rebuild(wire::decode_shard_map(
+        wire::encode_shard_map(cluster.shard_map())));
+  };
+  refresh_router();
+
+  net::UdpSocket feeder;
+  std::size_t next_kill = 0;
+  std::size_t next_reshard = 0;
+  for (std::size_t step = 0; step < plan.feed.size(); ++step) {
+    while (next_reshard < reshard_steps.size() &&
+           reshard_steps[next_reshard] <= step) {
+      ++next_reshard;
+      const std::vector<std::uint32_t> ids = cluster.shard_ids();
+      if (ids.size() <= 1 || rng.bernoulli(0.5)) {
+        cluster.add_shard(next_shard_id++);
+      } else {
+        cluster.remove_shard(ids[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(ids.size()) - 1))]);
+      }
+      ++stats.reshards;
+      refresh_router();
+    }
+    while (next_kill < plan.kills.size() &&
+           plan.kills[next_kill].at_step == step) {
+      const KillEvent& e = plan.kills[next_kill++];
+      // Usually a shard replica, sometimes the merge tier itself (its
+      // downtime loses forwards — the same lossy front link).
+      service::AlertService* target = cluster.merge();
+      if (!target || !rng.bernoulli(0.25)) {
+        const std::vector<std::uint32_t> ids = cluster.shard_ids();
+        target = &cluster.shard(ids[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1))]);
+      }
+      target->kill_replica(e.replica % target->config().num_replicas);
+      ++stats.kills;
+    }
+    const Update& u = plan.feed[step];
+    const auto framed = wire::frame(wire::encode_update(u));
+    const auto& owner_ports = router.ports.at(router.ring.owner(u.var));
+    for (const std::uint16_t port : owner_ports)
+      send_ignoring_errors(feeder, port, framed);
+    if (plan.dup_prob > 0 && rng.bernoulli(plan.dup_prob))
+      send_ignoring_errors(
+          feeder,
+          owner_ports[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(owner_ports.size()) - 1))],
+          framed);
+  }
+
+  // ENDs go everywhere: each shard closes its DM streams, and the merge
+  // tier hears the ENDs directly (on_accept only forwards updates).
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    for (std::size_t var = 0; var < arity; ++var) {
+      const auto end = wire::frame(net::encode_end_marker(var));
+      for (const auto& [id, ports] : router.ports)
+        for (const std::uint16_t port : ports)
+          send_ignoring_errors(feeder, port, end);
+      if (service::AlertService* merge = cluster.merge())
+        for (const std::uint16_t port : merge->replica_ports())
+          send_ignoring_errors(feeder, port, end);
+    }
+    if (cluster.evaluating_service().await_dm_ends(
+            arity, std::chrono::milliseconds{100}))
+      break;
+  }
+  (void)cluster.await_idle(std::chrono::milliseconds{60},
+                           std::chrono::milliseconds{5000});
+  cluster.drain();
+
+  const std::vector<Alert> displayed = cluster.displayed();
+  displayed_count = displayed.size();
+  return check_service_run(plan, plan.feed, cluster.journals(), displayed,
+                           cluster.provenance(), stats.kills,
+                           cluster.displayer_epochs());
+}
+
 }  // namespace
 
 ServiceFuzzReport run_service_fuzz(const ServiceFuzzOptions& options) {
@@ -343,6 +499,36 @@ ServiceFuzzReport run_service_fuzz(const ServiceFuzzOptions& options) {
         scratch / ("run-" + std::to_string(options.seed) + "-" +
                    std::to_string(i));
     std::filesystem::remove_all(data_dir);
+
+    if (rng.bernoulli(options.sharded_fraction)) {
+      ShardedRunStats stats;
+      std::size_t displayed_count = 0;
+      const std::vector<std::string> violations =
+          run_sharded_iteration(plan, rng, data_dir, stats, displayed_count);
+      ++report.runs_executed;
+      ++report.sharded_runs;
+      if (stats.cross_shard) ++report.cross_shard_runs;
+      report.shard_reshards += stats.reshards;
+      report.shard_kills += stats.kills;
+      report.total_kills += stats.kills;
+      if (stats.kills > 0) ++report.runs_with_kills;
+      if (displayed_count > 0) ++report.runs_with_alerts;
+      if (options.verbose)
+        std::printf("service-fuzz run %zu (sharded%s): %zu updates, "
+                    "%zu kill(s), %zu reshard(s)%s\n",
+                    i, stats.cross_shard ? ", cross-shard" : "",
+                    plan.feed.size(), stats.kills, stats.reshards,
+                    violations.empty() ? "" : "  ** VIOLATION **");
+      if (violations.empty()) {
+        std::error_code ec;
+        std::filesystem::remove_all(data_dir, ec);
+      } else {
+        for (const std::string& v : violations)
+          report.violations.push_back(
+              ServiceFuzzViolation{i, options.seed, v, data_dir});
+      }
+      continue;
+    }
 
     service::ServiceConfig config;
     config.condition = build_condition(plan.choice.kind, plan.choice.param);

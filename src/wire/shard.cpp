@@ -1,0 +1,171 @@
+#include "wire/shard.hpp"
+
+#include "wire/codec.hpp"
+
+namespace rcm::wire {
+
+namespace {
+
+constexpr std::uint8_t kShardMapTag = 0x4d;  // 'M'
+constexpr std::uint8_t kHandoffTag = 0x58;   // 'X'
+
+// Hostile-input bounds, matching the spirit of codec.cpp's caps.
+constexpr std::size_t kMaxShards = 4096;
+constexpr std::size_t kMaxPortsPerShard = 1024;
+constexpr std::size_t kMaxHandoffVars = 4096;
+constexpr std::size_t kMaxHandoffWindow = 4096;
+
+// Mirrors codec.cpp's update-message framing (fixed fields, then
+// tag|len|payload extension blocks).
+constexpr std::uint8_t kUpdateTag = 0x75;  // 'u'
+constexpr std::size_t kMaxUpdateExtensionLen = 256;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_shard_map(const ShardMap& m) {
+  Writer w;
+  w.u8(kShardMapTag);
+  encode_version(w, kShardMapVersion);
+  w.varint(m.epoch);
+  w.varint(m.shards.size());
+  for (const ShardMapEntry& s : m.shards) {
+    w.varint(s.shard_id);
+    w.varint(s.vnodes);
+    w.varint(s.replica_ports.size());
+    for (std::uint16_t port : s.replica_ports) w.varint(port);
+  }
+  encode_extension_section(w, {});
+  return w.take();
+}
+
+ShardMap decode_shard_map(std::span<const std::uint8_t> bytes) {
+  Reader r{bytes};
+  if (r.u8() != kShardMapTag) throw DecodeError("not a shard map");
+  (void)decode_version(r, "shard map", kShardMapMinMajor, kShardMapMaxMajor);
+  ShardMap m;
+  m.epoch = r.varint();
+  const std::uint64_t nshards = r.varint();
+  if (nshards > kMaxShards) throw DecodeError("too many shards in map");
+  m.shards.reserve(static_cast<std::size_t>(nshards));
+  for (std::uint64_t i = 0; i < nshards; ++i) {
+    ShardMapEntry s;
+    s.shard_id = static_cast<std::uint32_t>(r.varint());
+    s.vnodes = static_cast<std::uint32_t>(r.varint());
+    const std::uint64_t nports = r.varint();
+    if (nports > kMaxPortsPerShard) throw DecodeError("too many shard ports");
+    s.replica_ports.reserve(static_cast<std::size_t>(nports));
+    for (std::uint64_t j = 0; j < nports; ++j) {
+      const std::uint64_t port = r.varint();
+      if (port > 0xffff) throw DecodeError("shard port out of range");
+      s.replica_ports.push_back(static_cast<std::uint16_t>(port));
+    }
+    if (i > 0 && m.shards.back().shard_id >= s.shard_id)
+      throw DecodeError("shard map entries not ascending");
+    m.shards.push_back(std::move(s));
+  }
+  (void)decode_extension_section(r, nullptr);  // skip unknown tags
+  r.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> encode_handoff(const HandoffPacket& p) {
+  Writer w;
+  w.u8(kHandoffTag);
+  encode_version(w, kHandoffVersion);
+  w.varint(p.epoch);
+  w.varint(p.from);
+  w.varint(p.to);
+  w.varint(p.replica);
+  w.varint(p.entries.size());
+  for (const HandoffEntry& e : p.entries) {
+    w.varint(e.var);
+    w.svarint(e.watermark);
+    w.varint(e.window.size());
+    for (const Update& u : e.window) {
+      w.svarint(u.seqno);
+      w.f64(u.value);
+    }
+  }
+  encode_extension_section(w, {});
+  return w.take();
+}
+
+HandoffPacket decode_handoff(std::span<const std::uint8_t> bytes) {
+  Reader r{bytes};
+  if (r.u8() != kHandoffTag) throw DecodeError("not a handoff packet");
+  (void)decode_version(r, "handoff packet", kHandoffMinMajor,
+                       kHandoffMaxMajor);
+  HandoffPacket p;
+  p.epoch = r.varint();
+  p.from = static_cast<std::uint32_t>(r.varint());
+  p.to = static_cast<std::uint32_t>(r.varint());
+  p.replica = static_cast<std::uint32_t>(r.varint());
+  const std::uint64_t nvars = r.varint();
+  if (nvars > kMaxHandoffVars) throw DecodeError("too many handoff vars");
+  p.entries.reserve(static_cast<std::size_t>(nvars));
+  for (std::uint64_t i = 0; i < nvars; ++i) {
+    HandoffEntry e;
+    e.var = static_cast<VarId>(r.varint());
+    e.watermark = r.svarint();
+    const std::uint64_t nwindow = r.varint();
+    if (nwindow > kMaxHandoffWindow)
+      throw DecodeError("handoff window too long");
+    e.window.reserve(static_cast<std::size_t>(nwindow));
+    for (std::uint64_t j = 0; j < nwindow; ++j) {
+      Update u;
+      u.var = e.var;
+      u.seqno = r.svarint();
+      u.value = r.f64();
+      if (!e.window.empty() && e.window.back().seqno >= u.seqno)
+        throw DecodeError("handoff window not ascending");
+      e.window.push_back(u);
+    }
+    p.entries.push_back(std::move(e));
+  }
+  (void)decode_extension_section(r, nullptr);  // skip unknown tags
+  r.expect_done();
+  return p;
+}
+
+std::vector<std::uint8_t> encode_update_from_shard(const Update& u,
+                                                   std::uint32_t shard_id,
+                                                   std::uint64_t epoch) {
+  std::vector<std::uint8_t> bytes = encode_update(u);
+  Writer ext;
+  ext.varint(shard_id);
+  ext.varint(epoch);
+  Writer tail;
+  tail.u8(kShardOriginExtTag);
+  tail.varint(ext.size());
+  tail.raw(ext.bytes());
+  const auto tail_bytes = tail.take();
+  bytes.insert(bytes.end(), tail_bytes.begin(), tail_bytes.end());
+  return bytes;
+}
+
+bool decode_shard_origin(std::span<const std::uint8_t> bytes,
+                         ShardOrigin& out) {
+  Reader r{bytes};
+  if (r.u8() != kUpdateTag) throw DecodeError("not an update message");
+  (void)r.varint();  // var
+  (void)r.svarint();  // seqno
+  (void)r.f64();      // value
+  bool found = false;
+  while (!r.done()) {
+    const std::uint8_t tag = r.u8();
+    const std::uint64_t len = r.varint();
+    if (len > kMaxUpdateExtensionLen)
+      throw DecodeError("oversized update extension");
+    const auto payload = r.bytes(static_cast<std::size_t>(len));
+    if (tag == kShardOriginExtTag) {
+      Reader ext{payload};
+      out.shard_id = static_cast<std::uint32_t>(ext.varint());
+      out.epoch = ext.varint();
+      ext.expect_done();
+      found = true;
+    }
+  }
+  return found;
+}
+
+}  // namespace rcm::wire

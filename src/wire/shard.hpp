@@ -1,0 +1,120 @@
+// Wire formats for the sharding subsystem (docs/SERVICE.md, "Sharding &
+// resharding"): the shard map distributed to feeders/clients, the
+// handoff packet that moves a variable's durable state between shards,
+// and the skippable origin extension a shard attaches when forwarding an
+// accepted update to the merge tier.
+//
+// Both container formats follow the house rules from wire/version.hpp:
+// a one-byte format tag, a major/minor header (majors gate, minors add
+// extension tags), a fixed body, and a trailing skippable extension
+// section. Future majors are rejected with typed UnsupportedVersion.
+//
+//   shard map  := 'M' | major | minor | varint(epoch) | varint(nshards)
+//                 | nshards * ( varint(shard_id) | varint(vnodes)
+//                               | varint(nports) | nports * varint(port) )
+//                 | extension section
+//
+//   handoff    := 'X' | major | minor | varint(epoch) | varint(from)
+//                 | varint(to) | varint(replica) | varint(nvars)
+//                 | nvars * ( varint(var) | svarint(watermark)
+//                             | varint(nwindow)
+//                             | nwindow * ( svarint(seqno) | f64(value) ) )
+//                 | extension section
+//
+// The map's epoch is a total order on cluster layouts: a router holding
+// epoch e discards any map with a smaller epoch, and the merge tier uses
+// the per-variable watermarks it already keeps (paper's out-of-order
+// discard) to dedup forwards that arrive from both the old and the new
+// owner around a reshard.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "wire/version.hpp"
+
+namespace rcm::wire {
+
+inline constexpr VersionHeader kShardMapVersion{1, 0};
+inline constexpr std::uint8_t kShardMapMinMajor = 1;
+inline constexpr std::uint8_t kShardMapMaxMajor = 1;
+
+inline constexpr VersionHeader kHandoffVersion{1, 0};
+inline constexpr std::uint8_t kHandoffMinMajor = 1;
+inline constexpr std::uint8_t kHandoffMaxMajor = 1;
+
+/// One shard's entry in the map: its ring identity plus the UDP replica
+/// ports updates for its owned variables should be sent to.
+struct ShardMapEntry {
+  std::uint32_t shard_id = 0;
+  std::uint32_t vnodes = 0;
+  std::vector<std::uint16_t> replica_ports;
+
+  friend bool operator==(const ShardMapEntry&, const ShardMapEntry&) = default;
+};
+
+/// The versioned cluster layout. `epoch` increments on every reshard;
+/// entries are ascending by shard_id.
+struct ShardMap {
+  std::uint64_t epoch = 0;
+  std::vector<ShardMapEntry> shards;
+
+  friend bool operator==(const ShardMap&, const ShardMap&) = default;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_shard_map(const ShardMap& m);
+[[nodiscard]] ShardMap decode_shard_map(std::span<const std::uint8_t> bytes);
+
+/// One moved variable inside a handoff packet: the accepted-seqno
+/// watermark plus the history window (oldest first) the receiving shard
+/// replays to reconstruct the departing CE's state exactly.
+struct HandoffEntry {
+  VarId var = 0;
+  SeqNo watermark = kNoSeqNo;
+  std::vector<Update> window;
+
+  friend bool operator==(const HandoffEntry&, const HandoffEntry&) = default;
+};
+
+/// Durable state for a key range moving from shard `from` to shard `to`
+/// as part of the reshard that produced `epoch`. Applying a handoff is a
+/// targeted crash-recovery: the receiver rewrites its WAL with the
+/// windows and recovers through the normal checkpoint+WAL path.
+struct HandoffPacket {
+  std::uint64_t epoch = 0;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint32_t replica = 0;  ///< shards hand off replica r → replica r
+  std::vector<HandoffEntry> entries;
+
+  friend bool operator==(const HandoffPacket&, const HandoffPacket&) = default;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_handoff(const HandoffPacket& p);
+[[nodiscard]] HandoffPacket decode_handoff(std::span<const std::uint8_t> bytes);
+
+/// Update-message extension tag carrying the forwarding shard's identity
+/// (varint shard_id | varint epoch). Attached by shards when relaying an
+/// accepted update to the merge tier; skipped by every decoder that does
+/// not care (wire/codec.hpp's trailing-extension rule).
+inline constexpr std::uint8_t kShardOriginExtTag = 0x5a;  // 'Z'
+
+/// Encodes `u` (with `ctx` when tracing) plus the shard-origin extension.
+/// Decoders see a normal update message; decode_shard_origin recovers the
+/// origin when present.
+[[nodiscard]] std::vector<std::uint8_t> encode_update_from_shard(
+    const Update& u, std::uint32_t shard_id, std::uint64_t epoch);
+
+/// The origin of a forwarded update, when the message carried one.
+struct ShardOrigin {
+  std::uint32_t shard_id = 0;
+  std::uint64_t epoch = 0;
+};
+
+/// Extracts the shard-origin extension from an encoded update message.
+/// Returns false when the message has none (a plain feeder update).
+[[nodiscard]] bool decode_shard_origin(std::span<const std::uint8_t> bytes,
+                                       ShardOrigin& out);
+
+}  // namespace rcm::wire

@@ -176,5 +176,22 @@ TEST(GoldenFormat, SwarmRecordDecodesWithEmptyUnitSection) {
   EXPECT_TRUE(record.spec.base == swarm::sample_spec(11, 0));
 }
 
+TEST(GoldenFormat, ShardMapDecodesToTheFrozenLayout) {
+  const auto bytes = fixture_bytes("shardmap.v1.bin");
+  EXPECT_EQ(wire::decode_shard_map(bytes), corpus_shard_map());
+  // Version header sanity: the fixture is v1 of a gated major.
+  ASSERT_GE(bytes.size(), 3u);
+  EXPECT_EQ(bytes[0], 0x4d);  // 'M'
+  EXPECT_EQ(bytes[1], wire::kShardMapVersion.major);
+}
+
+TEST(GoldenFormat, HandoffDecodesToTheFrozenState) {
+  const auto bytes = fixture_bytes("handoff.v1.bin");
+  EXPECT_EQ(wire::decode_handoff(bytes), corpus_handoff());
+  ASSERT_GE(bytes.size(), 3u);
+  EXPECT_EQ(bytes[0], 0x58);  // 'X'
+  EXPECT_EQ(bytes[1], wire::kHandoffVersion.major);
+}
+
 }  // namespace
 }  // namespace rcm::testing

@@ -27,6 +27,7 @@
 
 #include "core/evaluator.hpp"
 #include "core/types.hpp"
+#include "wire/shard.hpp"
 
 namespace rcm::testing {
 
@@ -47,5 +48,10 @@ struct V1Fixture {
 /// How many land in the WAL fixture after the checkpoint (3: seq 7..9;
 /// seq 10 is the torn tail and must NOT be recovered).
 [[nodiscard]] std::size_t corpus_walled();
+
+/// The structured contents of the shardmap.v1.bin / handoff.v1.bin
+/// fixtures, shared with golden_format_test's semantic-decode checks.
+[[nodiscard]] wire::ShardMap corpus_shard_map();
+[[nodiscard]] wire::HandoffPacket corpus_handoff();
 
 }  // namespace rcm::testing

@@ -1,0 +1,269 @@
+// Sharding foundations: the consistent-hash ring, the PartialCondition a
+// shard hosts, and the versioned shard-map/handoff wire formats.
+//
+// The ring's placement function is a pure integer mix, so the tests pin
+// literal hash values and owner assignments: feeders, shards, and the
+// fuzz oracle on any platform must derive the SAME ownership from the
+// same shard map, and an accidental change to the mix or the token salt
+// would silently split the cluster.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/builtin_conditions.hpp"
+#include "service/shard_ring.hpp"
+#include "wire/codec.hpp"
+#include "wire/shard.hpp"
+#include "wire/version.hpp"
+
+namespace rcm::service {
+namespace {
+
+constexpr std::size_t kKeys = 1u << 16;
+
+TEST(ShardRing, OwnerIsDeterministicAcrossPlatforms) {
+  // splitmix64 finalizer pins: these are pure integer results.
+  EXPECT_EQ(ShardRing::mix64(0), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(ShardRing::mix64(1), 0x910a2dec89025cc1ULL);
+  EXPECT_EQ(ShardRing::mix64(0xdeadbeefULL), 0x4adfb90f68c9eb9bULL);
+
+  ShardRing ring;
+  ring.add_shard(0);
+  ring.add_shard(1);
+  ring.add_shard(2);
+  const std::uint32_t expected[8] = {1, 2, 1, 2, 0, 0, 2, 2};
+  for (VarId v = 0; v < 8; ++v) EXPECT_EQ(ring.owner(v), expected[v]);
+}
+
+TEST(ShardRing, LoadIsRoughlyUniformOverTheKeySpace) {
+  ShardRing ring;
+  ring.add_shard(0);
+  ring.add_shard(1);
+  ring.add_shard(2);
+  std::size_t count[3] = {0, 0, 0};
+  for (VarId v = 0; v < kKeys; ++v) ++count[ring.owner(v)];
+  for (const std::size_t c : count) {
+    const double share = static_cast<double>(c) / kKeys;
+    EXPECT_GT(share, 0.2) << "a shard owns almost nothing";
+    EXPECT_LT(share, 0.5) << "a shard owns half the key space";
+  }
+}
+
+TEST(ShardRing, AddingAShardOnlyMovesKeysToTheNewcomer) {
+  ShardRing before;
+  before.add_shard(0);
+  before.add_shard(1);
+  before.add_shard(2);
+  ShardRing after = before;
+  after.add_shard(3);
+
+  std::size_t moved = 0;
+  for (VarId v = 0; v < kKeys; ++v) {
+    if (after.owner(v) == before.owner(v)) continue;
+    ++moved;
+    // Minimal disruption: a key never moves between surviving shards.
+    EXPECT_EQ(after.owner(v), 3u);
+  }
+  const double fraction = static_cast<double>(moved) / kKeys;
+  EXPECT_GT(fraction, 0.1) << "the new shard got (almost) no keys";
+  EXPECT_LT(fraction, 0.45) << "far more than 1/N of the keys moved";
+}
+
+TEST(ShardRing, RemovingAShardOnlyMovesItsOwnKeys) {
+  ShardRing before;
+  before.add_shard(0);
+  before.add_shard(1);
+  before.add_shard(2);
+  ShardRing after = before;
+  after.remove_shard(1);
+
+  for (VarId v = 0; v < kKeys; ++v) {
+    if (before.owner(v) != 1) {
+      EXPECT_EQ(after.owner(v), before.owner(v))
+          << "a key not owned by the removed shard moved";
+    } else {
+      EXPECT_NE(after.owner(v), 1u);
+    }
+  }
+}
+
+TEST(ShardRing, AddAndRemoveAreIdempotent) {
+  ShardRing ring;
+  ring.add_shard(7);
+  ring.add_shard(7);
+  EXPECT_EQ(ring.shard_count(), 1u);
+  ring.remove_shard(3);  // absent: no-op
+  EXPECT_EQ(ring.shard_count(), 1u);
+  ring.remove_shard(7);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_THROW((void)ring.owner(0), std::logic_error);
+}
+
+// ---- PartialCondition -------------------------------------------------
+
+ConditionPtr abs_diff() {
+  return std::make_shared<AbsDiffCondition>("absdiff", 0, 1, 5.0);
+}
+
+TEST(PartialCondition, RestrictsAdmissionToTheOwnedSubset) {
+  const PartialCondition partial{abs_diff(), {1}};
+  EXPECT_EQ(partial.variables(), (std::vector<VarId>{1}));
+  EXPECT_EQ(partial.degree(1), abs_diff()->degree(1));
+  EXPECT_EQ(partial.triggering(), Triggering::kAggressive);
+  EXPECT_NE(partial.name().find("[partial]"), std::string_view::npos);
+}
+
+TEST(PartialCondition, NeverEvaluatesTheGlobalPredicate) {
+  const auto base = abs_diff();
+  const PartialCondition partial{base, {0, 1}};
+  const auto h = base->make_history_set();
+  EXPECT_FALSE(partial.evaluate(h));
+}
+
+TEST(PartialCondition, EmptyOwnedSetIsValid) {
+  const PartialCondition partial{abs_diff(), {}};
+  EXPECT_TRUE(partial.variables().empty());
+}
+
+TEST(PartialCondition, RejectsNonSubsetsAndDisorder) {
+  EXPECT_THROW(PartialCondition(abs_diff(), {2}), std::invalid_argument);
+  EXPECT_THROW(PartialCondition(abs_diff(), {1, 0}), std::invalid_argument);
+  EXPECT_THROW(PartialCondition(abs_diff(), {0, 0}), std::invalid_argument);
+}
+
+TEST(PartialCondition, OwnedVariablesFollowsTheRing) {
+  ShardRing ring;
+  ring.add_shard(0);
+  ring.add_shard(1);
+  ring.add_shard(2);
+  const auto base = abs_diff();
+  std::size_t covered = 0;
+  for (const std::uint32_t id : ring.shards()) {
+    const std::vector<VarId> owned = owned_variables(ring, *base, id);
+    for (const VarId v : owned) EXPECT_EQ(ring.owner(v), id);
+    covered += owned.size();
+  }
+  EXPECT_EQ(covered, base->variables().size());
+}
+
+}  // namespace
+}  // namespace rcm::service
+
+namespace rcm::wire {
+namespace {
+
+ShardMap sample_map() {
+  ShardMap m;
+  m.epoch = 42;
+  m.shards.push_back(ShardMapEntry{0, 32, {9001, 9002}});
+  m.shards.push_back(ShardMapEntry{2, 32, {9003}});
+  return m;
+}
+
+HandoffPacket sample_handoff() {
+  HandoffPacket p;
+  p.epoch = 7;
+  p.from = 1;
+  p.to = 3;
+  p.replica = 0;
+  HandoffEntry e;
+  e.var = 5;
+  e.watermark = 12;
+  e.window = {Update{5, 11, 1.5}, Update{5, 12, 2.5}};
+  p.entries.push_back(e);
+  HandoffEntry empty;  // watermark known, window handed off empty
+  empty.var = 9;
+  empty.watermark = kNoSeqNo;
+  p.entries.push_back(empty);
+  return p;
+}
+
+TEST(ShardWire, ShardMapRoundTrips) {
+  const ShardMap m = sample_map();
+  EXPECT_EQ(decode_shard_map(encode_shard_map(m)), m);
+}
+
+TEST(ShardWire, HandoffRoundTrips) {
+  const HandoffPacket p = sample_handoff();
+  EXPECT_EQ(decode_handoff(encode_handoff(p)), p);
+}
+
+TEST(ShardWire, FutureMajorIsATypedRejection) {
+  auto map_bytes = encode_shard_map(sample_map());
+  map_bytes[1] = 2;  // tag | MAJOR | minor | ...
+  try {
+    (void)decode_shard_map(map_bytes);
+    FAIL() << "future-major shard map decoded";
+  } catch (const UnsupportedVersion& e) {
+    EXPECT_EQ(e.format(), "shard map");
+    EXPECT_EQ(e.got().major, 2);
+    EXPECT_EQ(e.max_major(), kShardMapMaxMajor);
+  }
+
+  auto handoff_bytes = encode_handoff(sample_handoff());
+  handoff_bytes[1] = 9;
+  try {
+    (void)decode_handoff(handoff_bytes);
+    FAIL() << "future-major handoff decoded";
+  } catch (const UnsupportedVersion& e) {
+    EXPECT_EQ(e.format(), "handoff packet");
+    EXPECT_EQ(e.got().major, 9);
+  }
+}
+
+TEST(ShardWire, FutureMinorAndUnknownExtensionsAreSkipped) {
+  // A v1.1 writer may append extension blocks; a v1.0 reader skips them.
+  const ShardMap m = sample_map();
+  Writer w;
+  w.u8(0x4d);
+  encode_version(w, VersionHeader{1, 1});
+  w.varint(m.epoch);
+  w.varint(m.shards.size());
+  for (const ShardMapEntry& s : m.shards) {
+    w.varint(s.shard_id);
+    w.varint(s.vnodes);
+    w.varint(s.replica_ports.size());
+    for (const std::uint16_t port : s.replica_ports) w.varint(port);
+  }
+  const std::vector<Extension> exts{{0x7f, {1, 2, 3}}};
+  encode_extension_section(w, exts);
+  EXPECT_EQ(decode_shard_map(w.take()), m);
+}
+
+TEST(ShardWire, MalformedMapsAreRejected) {
+  auto bytes = encode_shard_map(sample_map());
+  bytes.resize(bytes.size() - 2);  // truncation
+  EXPECT_THROW((void)decode_shard_map(bytes), DecodeError);
+
+  ShardMap unsorted = sample_map();
+  std::swap(unsorted.shards[0], unsorted.shards[1]);
+  EXPECT_THROW((void)decode_shard_map(encode_shard_map(unsorted)),
+               DecodeError);
+}
+
+TEST(ShardWire, NonAscendingHandoffWindowIsRejected) {
+  HandoffPacket p = sample_handoff();
+  std::swap(p.entries[0].window[0], p.entries[0].window[1]);
+  EXPECT_THROW((void)decode_handoff(encode_handoff(p)), DecodeError);
+}
+
+TEST(ShardWire, ShardOriginExtensionSurvivesNormalDecoding) {
+  const Update u{3, 17, 2.25};
+  const auto bytes = encode_update_from_shard(u, 2, 5);
+
+  // Ordinary decoders see a plain update: the extension is skippable.
+  EXPECT_EQ(decode_update(bytes), u);
+
+  ShardOrigin origin;
+  ASSERT_TRUE(decode_shard_origin(bytes, origin));
+  EXPECT_EQ(origin.shard_id, 2u);
+  EXPECT_EQ(origin.epoch, 5u);
+
+  ShardOrigin none;
+  EXPECT_FALSE(decode_shard_origin(encode_update(u), none));
+}
+
+}  // namespace
+}  // namespace rcm::wire
