@@ -104,12 +104,14 @@ std::optional<std::vector<std::uint8_t>> UdpSocket::receive(
   return buf;
 }
 
-TcpListener::TcpListener() {
+TcpListener::TcpListener() : TcpListener(0) {}
+
+TcpListener::TcpListener(std::uint16_t port) {
   fd_ = FdHandle{::socket(AF_INET, SOCK_STREAM, 0)};
   if (!fd_.valid()) throw_errno("socket(TCP)");
   const int one = 1;
   (void)::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  const sockaddr_in addr = loopback(0);
+  const sockaddr_in addr = loopback(port);
   if (::bind(fd_.get(), reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) < 0)
     throw_errno("bind(TCP)");

@@ -71,10 +71,14 @@ class UdpSocket {
 
 class TcpStream;
 
-/// Listening TCP socket on an ephemeral loopback port.
+/// Listening TCP socket on a loopback port (ephemeral by default).
 class TcpListener {
  public:
   TcpListener();
+
+  /// Binds the given fixed port (0 = ephemeral, same as the default
+  /// constructor). Throws on bind failure (port already in use).
+  explicit TcpListener(std::uint16_t port);
 
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -34,8 +35,22 @@ void atomic_max(std::atomic<double>& target, double x) noexcept {
 
 void json_escape_into(std::ostringstream& out, const std::string& s) {
   for (char c : s) {
-    if (c == '"' || c == '\\') out << '\\';
-    out << c;
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
   }
 }
 
@@ -217,6 +232,84 @@ std::string MetricsRegistry::snapshot_json() const {
   return out.str();
 }
 
+namespace {
+
+// Prometheus metric names may contain [a-zA-Z0-9_:] and must not start
+// with a digit. Dotted rcm names ("service.wal.appends") map onto the
+// conventional underscore form.
+std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string prom_double(double x) {
+  if (std::isinf(x)) return x > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(x)) return "NaN";
+  return json_double(x);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::snapshot_prometheus() const {
+  std::lock_guard lock{impl_->mutex};
+  std::ostringstream out;
+  for (const auto& [name, c] : impl_->counters) {
+    const std::string n = prom_name(name);
+    out << "# TYPE " << n << " counter\n" << n << " " << c->value() << "\n";
+  }
+  for (const auto& [name, h] : impl_->histograms) {
+    const std::string n = prom_name(name);
+    out << "# TYPE " << n << " histogram\n";
+    const std::vector<std::uint64_t> counts = h->bucket_counts();
+    const std::vector<double>& bounds = h->bounds();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      out << n << "_bucket{le=\""
+          << (i < bounds.size() ? prom_double(bounds[i]) : "+Inf") << "\"} "
+          << cumulative << "\n";
+    }
+    out << n << "_sum " << prom_double(h->sum()) << "\n"
+        << n << "_count " << h->count() << "\n";
+  }
+  return out.str();
+}
+
+std::vector<CounterSample> MetricsRegistry::counter_samples() const {
+  std::lock_guard lock{impl_->mutex};
+  std::vector<CounterSample> out;
+  out.reserve(impl_->counters.size());
+  for (const auto& [name, c] : impl_->counters)
+    out.push_back({name, c->value()});
+  return out;
+}
+
+std::vector<HistogramSample> MetricsRegistry::histogram_samples() const {
+  std::lock_guard lock{impl_->mutex};
+  std::vector<HistogramSample> out;
+  out.reserve(impl_->histograms.size());
+  for (const auto& [name, h] : impl_->histograms) {
+    HistogramSample s;
+    s.name = name;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.p50 = h->percentile(0.50);
+    s.p95 = h->percentile(0.95);
+    s.p99 = h->percentile(0.99);
+    s.bounds = h->bounds();
+    s.buckets = h->bucket_counts();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard lock{impl_->mutex};
   for (auto& [name, c] : impl_->counters) c->reset();
@@ -226,6 +319,12 @@ void MetricsRegistry::reset() {
 MetricsRegistry& registry() {
   static MetricsRegistry instance;
   return instance;
+}
+
+std::string json_escape(const std::string& s) {
+  std::ostringstream out;
+  json_escape_into(out, s);
+  return out.str();
 }
 
 }  // namespace rcm::obs

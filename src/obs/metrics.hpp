@@ -131,6 +131,28 @@ class ScopedTimer {
 #endif
 };
 
+/// Point-in-time copy of one counter, taken under the registry lock.
+/// Exporters and the time-series sampler consume these instead of holding
+/// metric references, so enumeration never races registration.
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Point-in-time copy of one histogram's summary statistics plus its raw
+/// bucket layout (buckets has bounds.size() + 1 entries; the extra final
+/// entry is the overflow bucket).
+struct HistogramSample {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+};
+
 /// Name → metric registry. Lookup registers on first use and returns a
 /// stable reference; instrumented components resolve their metrics once
 /// and keep the reference off the hot path.
@@ -152,6 +174,20 @@ class MetricsRegistry {
   /// Keys are emitted in name order, so snapshots diff cleanly.
   [[nodiscard]] std::string snapshot_json() const;
 
+  /// Prometheus text exposition (version 0.0.4): one `# TYPE` comment per
+  /// metric, counters as plain samples, histograms as cumulative
+  /// `_bucket{le=...}` series plus `_sum` and `_count`. Dots in metric
+  /// names become underscores (Prometheus name charset). Metrics are
+  /// emitted in name order.
+  [[nodiscard]] std::string snapshot_prometheus() const;
+
+  /// Every registered counter, copied under the registry lock, in name
+  /// order. Safe to call concurrently with registration and recording.
+  [[nodiscard]] std::vector<CounterSample> counter_samples() const;
+
+  /// Every registered histogram's summary stats, in name order.
+  [[nodiscard]] std::vector<HistogramSample> histogram_samples() const;
+
   /// Zeroes every registered metric (references stay valid). Benches use
   /// this between phases.
   void reset();
@@ -166,6 +202,11 @@ class MetricsRegistry {
 
 /// The process-wide registry every built-in instrumentation point uses.
 [[nodiscard]] MetricsRegistry& registry();
+
+/// JSON string-escapes `s` (quotes, backslashes, control characters as
+/// \u00XX). Shared by every rcm::obs JSON exporter so runtime-resolved
+/// metric names can never produce invalid documents.
+[[nodiscard]] std::string json_escape(const std::string& s);
 
 }  // namespace rcm::obs
 

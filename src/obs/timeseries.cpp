@@ -1,0 +1,268 @@
+#include "obs/timeseries.hpp"
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace rcm::obs {
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Fixed-capacity ring; push overwrites the oldest entry. at(0) is the
+// oldest retained point, at(size()-1) the newest.
+template <typename T>
+class Ring {
+ public:
+  explicit Ring(std::size_t capacity) : buf_(capacity) {}
+
+  void push(const T& x) {
+    buf_[(start_ + size_) % buf_.size()] = x;
+    if (size_ < buf_.size())
+      ++size_;
+    else
+      start_ = (start_ + 1) % buf_.size();
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] const T& at(std::size_t i) const {
+    return buf_[(start_ + i) % buf_.size()];
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t start_ = 0;
+  std::size_t size_ = 0;
+};
+
+struct CounterPoint {
+  std::uint64_t t_ns = 0;
+  std::uint64_t value = 0;
+};
+
+struct HistPoint {
+  std::uint64_t t_ns = 0;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// (newest - oldest-in-window) / spread, in events per second. Generic
+// over the two point kinds via a count accessor.
+template <typename T, typename Get>
+double window_rate(const Ring<T>& ring, std::chrono::seconds window,
+                   Get get) {
+  if (ring.size() < 2) return 0.0;
+  const T& newest = ring.at(ring.size() - 1);
+  const std::uint64_t window_ns =
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(window)
+              .count());
+  const std::uint64_t cutoff =
+      newest.t_ns > window_ns ? newest.t_ns - window_ns : 0;
+  // Rings are small (<= capacity); a linear scan from the old end finds
+  // the first point inside the window.
+  for (std::size_t i = 0; i + 1 < ring.size(); ++i) {
+    const T& p = ring.at(i);
+    if (p.t_ns < cutoff) continue;
+    const std::uint64_t dt_ns = newest.t_ns - p.t_ns;
+    if (dt_ns == 0) return 0.0;
+    const double delta =
+        static_cast<double>(get(newest)) - static_cast<double>(get(p));
+    return delta / (static_cast<double>(dt_ns) * 1e-9);
+  }
+  return 0.0;
+}
+
+std::string json_num(double x) {
+  std::ostringstream out;
+  out.precision(12);
+  out << x;
+  return out.str();
+}
+
+}  // namespace
+
+struct TimeSeriesSampler::Impl {
+  Options opts;
+  mutable std::mutex mutex;
+  std::map<std::string, Ring<CounterPoint>> counters;
+  std::map<std::string, Ring<HistPoint>> hists;
+  std::uint64_t samples = 0;
+
+  std::thread thread;
+  std::mutex stop_mutex;
+  std::condition_variable stop_cv;
+  bool stopping = false;
+  bool running = false;
+};
+
+TimeSeriesSampler::TimeSeriesSampler(Options opts) : impl_(new Impl) {
+  impl_->opts = opts;
+  if (impl_->opts.capacity < 2) impl_->opts.capacity = 2;
+}
+
+TimeSeriesSampler::~TimeSeriesSampler() {
+  stop();
+  delete impl_;
+}
+
+void TimeSeriesSampler::start() {
+#if RCM_METRICS_ENABLED
+  std::lock_guard lock{impl_->stop_mutex};
+  if (impl_->running) return;
+  impl_->stopping = false;
+  impl_->running = true;
+  impl_->thread = std::thread([this] {
+    sample_now();
+    std::unique_lock lock{impl_->stop_mutex};
+    while (!impl_->stop_cv.wait_for(lock, impl_->opts.interval,
+                                    [this] { return impl_->stopping; })) {
+      lock.unlock();
+      sample_now();
+      lock.lock();
+    }
+  });
+#endif
+}
+
+void TimeSeriesSampler::stop() {
+  std::thread to_join;
+  {
+    std::lock_guard lock{impl_->stop_mutex};
+    if (!impl_->running) return;
+    impl_->stopping = true;
+    impl_->running = false;
+    to_join = std::move(impl_->thread);
+  }
+  impl_->stop_cv.notify_all();
+  if (to_join.joinable()) to_join.join();
+}
+
+void TimeSeriesSampler::sample_now() {
+#if RCM_METRICS_ENABLED
+  // Enumerate outside our own lock: the registry has its own mutex and
+  // the copy can allocate.
+  const std::uint64_t t = now_ns();
+  const std::vector<CounterSample> cs = registry().counter_samples();
+  const std::vector<HistogramSample> hs = registry().histogram_samples();
+  std::lock_guard lock{impl_->mutex};
+  for (const CounterSample& c : cs) {
+    auto [it, inserted] = impl_->counters.try_emplace(
+        c.name, Ring<CounterPoint>{impl_->opts.capacity});
+    it->second.push(CounterPoint{t, c.value});
+  }
+  for (const HistogramSample& h : hs) {
+    auto [it, inserted] =
+        impl_->hists.try_emplace(h.name, Ring<HistPoint>{impl_->opts.capacity});
+    it->second.push(HistPoint{t, h.count, h.sum, h.p50, h.p95, h.p99});
+  }
+  ++impl_->samples;
+#endif
+}
+
+double TimeSeriesSampler::rate(const std::string& name,
+                               std::chrono::seconds window) const {
+  std::lock_guard lock{impl_->mutex};
+  const auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end()) return 0.0;
+  return window_rate(it->second, window,
+                     [](const CounterPoint& p) { return p.value; });
+}
+
+std::uint64_t TimeSeriesSampler::latest(const std::string& name) const {
+  std::lock_guard lock{impl_->mutex};
+  const auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end() || it->second.size() == 0) return 0;
+  return it->second.at(it->second.size() - 1).value;
+}
+
+std::vector<CounterRate> TimeSeriesSampler::counter_rates() const {
+  std::lock_guard lock{impl_->mutex};
+  std::vector<CounterRate> out;
+  out.reserve(impl_->counters.size());
+  for (const auto& [name, ring] : impl_->counters) {
+    CounterRate r;
+    r.name = name;
+    if (ring.size() > 0) r.total = ring.at(ring.size() - 1).value;
+    for (std::size_t w = 0; w < 3; ++w)
+      r.rates[w] = window_rate(ring, kRateWindows[w],
+                               [](const CounterPoint& p) { return p.value; });
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<HistogramPoint> TimeSeriesSampler::histogram_points() const {
+  std::lock_guard lock{impl_->mutex};
+  std::vector<HistogramPoint> out;
+  out.reserve(impl_->hists.size());
+  for (const auto& [name, ring] : impl_->hists) {
+    HistogramPoint p;
+    p.name = name;
+    if (ring.size() > 0) {
+      const HistPoint& newest = ring.at(ring.size() - 1);
+      p.count = newest.count;
+      p.sum = newest.sum;
+      p.p50 = newest.p50;
+      p.p95 = newest.p95;
+      p.p99 = newest.p99;
+    }
+    p.count_rate_10s = window_rate(
+        ring, kRateWindows[0], [](const HistPoint& h) { return h.count; });
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::uint64_t TimeSeriesSampler::samples_taken() const {
+  std::lock_guard lock{impl_->mutex};
+  return impl_->samples;
+}
+
+std::string TimeSeriesSampler::snapshot_json() const {
+  const std::vector<CounterRate> counters = counter_rates();
+  const std::vector<HistogramPoint> hists = histogram_points();
+  std::ostringstream out;
+  out << "{\"interval_ms\": "
+      << std::chrono::duration_cast<std::chrono::milliseconds>(
+             impl_->opts.interval)
+             .count()
+      << ", \"samples\": " << samples_taken() << ", \"counters\": {";
+  bool first = true;
+  for (const CounterRate& c : counters) {
+    out << (first ? "" : ", ") << "\"" << json_escape(c.name)
+        << "\": {\"total\": " << c.total
+        << ", \"rate_10s\": " << json_num(c.rates[0])
+        << ", \"rate_1m\": " << json_num(c.rates[1])
+        << ", \"rate_5m\": " << json_num(c.rates[2]) << "}";
+    first = false;
+  }
+  out << "}, \"histograms\": {";
+  first = true;
+  for (const HistogramPoint& h : hists) {
+    out << (first ? "" : ", ") << "\"" << json_escape(h.name)
+        << "\": {\"count\": " << h.count << ", \"p50\": " << json_num(h.p50)
+        << ", \"p95\": " << json_num(h.p95) << ", \"p99\": " << json_num(h.p99)
+        << ", \"count_rate_10s\": " << json_num(h.count_rate_10s) << "}";
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
+TimeSeriesSampler& sampler() {
+  static TimeSeriesSampler instance;
+  return instance;
+}
+
+}  // namespace rcm::obs

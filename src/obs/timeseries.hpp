@@ -1,0 +1,123 @@
+// rcm::obs — time-series sampler over the metrics registry.
+//
+// A background thread periodically copies every registered counter value
+// and histogram summary into fixed-size per-series ring buffers, turning
+// the registry's monotone totals into *windowed rates* (events/sec over
+// the last 10s / 1m / 5m) and percentile history. The same three design
+// rules as the rest of rcm::obs apply:
+//   1. The monitored hot paths are untouched — sampling reads the same
+//      relaxed atomics the snapshot exporter reads; no instrumented call
+//      site pays anything for the sampler existing.
+//   2. Observe, never participate: the sampler thread only *reads* the
+//      registry. Swarm digests are bit-identical with the sampler on
+//      (pinned by parallel_determinism_test).
+//   3. Under -DRCM_NO_METRICS, start() spawns no thread, sample_now() is
+//      a no-op, and snapshot_json() returns a well-formed empty document.
+//
+// Readers (the health document builder, admin exporters) query rates by
+// metric name; a name that was never sampled reports rate 0 rather than
+// erroring, so callers need no existence checks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace rcm::obs {
+
+/// The standard reporting windows, newest-first in exports.
+inline constexpr std::chrono::seconds kRateWindows[] = {
+    std::chrono::seconds{10}, std::chrono::seconds{60},
+    std::chrono::seconds{300}};
+
+/// One exported counter series: latest total plus per-window rates,
+/// index-aligned with kRateWindows.
+struct CounterRate {
+  std::string name;
+  std::uint64_t total = 0;
+  double rates[3] = {0.0, 0.0, 0.0};
+};
+
+/// One exported histogram series: the latest sampled summary plus the
+/// count rate over the first (10s) window.
+struct HistogramPoint {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double count_rate_10s = 0.0;
+};
+
+class TimeSeriesSampler {
+ public:
+  struct Options {
+    /// Background sampling period. The 10s window needs >= 2 samples in
+    /// it, so keep the interval well under the shortest window.
+    std::chrono::milliseconds interval{1000};
+    /// Ring capacity per series. 512 one-second samples comfortably
+    /// covers the 5m window with room for clock jitter.
+    std::size_t capacity = 512;
+  };
+
+  TimeSeriesSampler() : TimeSeriesSampler(Options{}) {}
+  explicit TimeSeriesSampler(Options opts);
+  ~TimeSeriesSampler();
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  /// Spawns the background sampling thread (idempotent). No-op under
+  /// RCM_NO_METRICS.
+  void start();
+
+  /// Stops and joins the background thread (idempotent; also called by
+  /// the destructor). Recorded samples are kept.
+  void stop();
+
+  /// Takes one sample immediately. Deterministic tests drive this
+  /// directly instead of start(); the background thread calls it too.
+  void sample_now();
+
+  /// Events/sec for counter `name` over `window`: the delta between the
+  /// newest sample and the oldest sample inside the window, divided by
+  /// their actual time spread (so a young process reports its rate over
+  /// min(window, uptime)). 0 until at least two samples exist inside the
+  /// window, and 0 for unknown names.
+  [[nodiscard]] double rate(const std::string& name,
+                            std::chrono::seconds window) const;
+
+  /// Latest sampled total for counter `name` (0 if never sampled).
+  [[nodiscard]] std::uint64_t latest(const std::string& name) const;
+
+  /// All counter series with their windowed rates, in name order.
+  [[nodiscard]] std::vector<CounterRate> counter_rates() const;
+
+  /// All histogram series' newest summaries, in name order.
+  [[nodiscard]] std::vector<HistogramPoint> histogram_points() const;
+
+  /// Samples taken so far (via thread or sample_now()).
+  [[nodiscard]] std::uint64_t samples_taken() const;
+
+  /// JSON document:
+  ///   {"interval_ms": I, "samples": N,
+  ///    "counters": {name: {"total": T, "rate_10s": R, "rate_1m": R,
+  ///                        "rate_5m": R}, ...},
+  ///    "histograms": {name: {"count": C, "p50": …, "p95": …, "p99": …,
+  ///                          "count_rate_10s": R}, ...}}
+  /// Always well-formed; empty maps when nothing was sampled.
+  [[nodiscard]] std::string snapshot_json() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// The process-wide sampler the service layer starts. Constructed on
+/// first use; never started implicitly.
+[[nodiscard]] TimeSeriesSampler& sampler();
+
+}  // namespace rcm::obs

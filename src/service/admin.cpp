@@ -168,7 +168,16 @@ std::vector<std::uint8_t> encode_admin_request(const AdminRequest& req) {
     wire::encode_version(vw, kAdminVersion);
     version_ext.payload = vw.take();
   }
-  const wire::Extension exts[] = {version_ext};
+  std::vector<wire::Extension> exts;
+  exts.push_back(std::move(version_ext));
+  if (req.scope != HealthScope::kCluster) {
+    // Non-default scope rides its own skippable tag; default-scope
+    // requests stay byte-identical to 2.2 encodings.
+    wire::Extension scope_ext;
+    scope_ext.tag = kAdminScopeExtTag;
+    scope_ext.payload = {static_cast<std::uint8_t>(req.scope)};
+    exts.push_back(std::move(scope_ext));
+  }
   wire::encode_extension_section(w, exts);
   return w.take();
 }
@@ -184,13 +193,22 @@ AdminRequest decode_admin_request(std::span<const std::uint8_t> payload) {
     // v2+ peer: an extension section follows the fixed fields.
     (void)wire::decode_extension_section(
         r, [&](std::uint8_t tag, std::span<const std::uint8_t> ext) {
+          if (tag == kAdminScopeExtTag) {
+            wire::Reader sr{ext};
+            const std::uint8_t scope = sr.u8();
+            sr.expect_done();
+            if (scope > static_cast<std::uint8_t>(HealthScope::kInstance))
+              throw wire::DecodeError("admin request: bad scope");
+            req.scope = static_cast<HealthScope>(scope);
+            return;
+          }
           if (tag != kAdminVersionExtTag) return;  // skip unknown tags
           req.version = parse_version_ext(ext, "admin request");
           has_version = true;
         });
     r.expect_done();
   }
-  if (cmd > static_cast<std::uint8_t>(AdminCommand::kShardMap)) {
+  if (cmd > static_cast<std::uint8_t>(AdminCommand::kMetricsProm)) {
     // A version-declaring peer with a compatible major gets a structured
     // unsupported reply from the dispatcher; a legacy (version-less)
     // peer keeps the v1 contract.

@@ -48,8 +48,9 @@ namespace rcm::service {
 /// Admin protocol version spoken by this binary; v1 is the pre-extension
 /// protocol (no version tag on requests, no response extensions). 2.1
 /// added kSessions and the per-session status response extension; 2.2
-/// added kShardMap and the shard identity status extension.
-inline constexpr wire::VersionHeader kAdminVersion{2, 2};
+/// added kShardMap and the shard identity status extension; 2.3 added
+/// kHealth/kMetricsProm and the request scope extension.
+inline constexpr wire::VersionHeader kAdminVersion{2, 3};
 inline constexpr std::uint8_t kAdminMinMajor = 1;
 inline constexpr std::uint8_t kAdminMaxMajor = 2;
 
@@ -58,6 +59,7 @@ inline constexpr std::uint8_t kAdminVersionExtTag = 0x56;      // 'V'
 inline constexpr std::uint8_t kAdminUnsupportedExtTag = 0x55;  // 'U'
 inline constexpr std::uint8_t kAdminSessionsExtTag = 0x53;     // 'S'
 inline constexpr std::uint8_t kAdminShardExtTag = 0x48;        // 'H'
+inline constexpr std::uint8_t kAdminScopeExtTag = 0x43;        // 'C'
 
 /// Admin commands, in wire order.
 enum class AdminCommand : std::uint8_t {
@@ -70,6 +72,18 @@ enum class AdminCommand : std::uint8_t {
   kTraceDump = 6,   ///< Chrome trace_event JSON export in `body`
   kSessions = 7,    ///< per-session cursor/lag/backlog JSON in `body`
   kShardMap = 8,    ///< versioned wire::ShardMap bytes in `body`
+  kHealth = 9,      ///< cluster health JSON in `body` (see scope)
+  kMetricsProm = 10, ///< Prometheus text exposition in `body`
+};
+
+/// Breadth of a kHealth request. A cluster-scoped request makes the
+/// serving instance scrape every peer and aggregate; an instance-scoped
+/// request returns only the serving instance's own document. The
+/// aggregator fans out instance-scoped requests, so scraping can never
+/// recurse.
+enum class HealthScope : std::uint8_t {
+  kCluster = 0,
+  kInstance = 1,
 };
 
 /// One admin request.
@@ -84,6 +98,10 @@ struct AdminRequest {
   /// The sender's declared protocol version; {1, 0} when the request
   /// carried no version extension (a v1 peer).
   wire::VersionHeader version{1, 0};
+  /// kHealth breadth; rides a skippable extension (2.3+). Decoders that
+  /// predate it see a plain request and serve their widest scope, which
+  /// is safe: they also predate aggregation, so they cannot recurse.
+  HealthScope scope = HealthScope::kCluster;
 };
 
 /// Lifecycle state of one replica slot.

@@ -8,6 +8,8 @@
 
 #include "net/deployment.hpp"  // encode_end_marker / decode_end_marker
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "service/shard_cluster.hpp"  // kMergeShardId for the health role
 #include "service/shard_ring.hpp"  // kDefaultVnodes for the trivial map
 #include "obs/trace.hpp"
 #include "wire/buffer.hpp"
@@ -18,10 +20,25 @@ namespace {
 
 constexpr std::chrono::milliseconds kAcceptPoll{50};
 constexpr std::chrono::milliseconds kMonitorTick{5};
+// The watchdog evaluates every ~kWatchdogEvery monitor ticks (~500 ms):
+// frequent enough to catch stalls well inside the budgets, cheap enough
+// to be invisible next to ingest.
+constexpr std::uint64_t kWatchdogEvery = 100;
 
 // trace-dump bodies ride in one admin response frame; leave headroom
 // under wire::kMaxFramePayload (1 MiB) for the response envelope.
 constexpr std::size_t kTraceDumpBudget = 900u * 1024;
+
+// Peer scrapes during cluster health aggregation; an instance that
+// cannot answer within this window is reported unreachable.
+constexpr std::chrono::milliseconds kHealthScrapeTimeout{500};
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace
 
@@ -174,23 +191,35 @@ std::size_t AlertService::replica_restarts(std::size_t i) const {
 }
 
 void AlertService::monitor_loop() {
+  std::uint64_t ticks = 0;
   while (!stopping_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(kMonitorTick);
-    std::lock_guard g{lifecycle_mutex_};
-    const auto now = std::chrono::steady_clock::now();
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
-      ReplicaSlot& slot = *slots_[i];
-      if (slot.up && slot.failed.load(std::memory_order_acquire)) {
-        // Worker died on its own (bind failure, I/O error, ...): treat
-        // like a crash and schedule a backed-off restart.
-        stop_worker_locked(i, /*graceful=*/false);
-        slot.restart_at = now + supervisor_.next_delay(i);
-        RCM_COUNT("service.replica.failures");
+    {
+      std::lock_guard g{lifecycle_mutex_};
+      const auto now = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        ReplicaSlot& slot = *slots_[i];
+        if (slot.up && slot.failed.load(std::memory_order_acquire)) {
+          // Worker died on its own (bind failure, I/O error, ...): treat
+          // like a crash and schedule a backed-off restart.
+          stop_worker_locked(i, /*graceful=*/false);
+          slot.restart_at = now + supervisor_.next_delay(i);
+          RCM_COUNT("service.replica.failures");
+        }
+        if (!slot.up && config_.auto_restart && !draining_.load() &&
+            now >= slot.restart_at) {
+          start_worker_locked(i);
+          RCM_COUNT("service.replica.restarts");
+        }
       }
-      if (!slot.up && config_.auto_restart && !draining_.load() &&
-          now >= slot.restart_at) {
-        start_worker_locked(i);
-        RCM_COUNT("service.replica.restarts");
+    }
+    // Stall watchdog, piggybacked on the monitor's tick. Runs outside
+    // the lifecycle lock (collect_degradations takes it briefly itself)
+    // so a slow heartbeat sweep never delays a crash restart.
+    if (config_.watchdog_enabled && ++ticks % kWatchdogEvery == 0) {
+      const std::vector<wire::Degradation> degs = collect_degradations();
+      if (watchdog_alerts_.on_check(degs.size()).has_value()) {
+        RCM_COUNT("service.watchdog.alerts");
       }
     }
   }
@@ -223,8 +252,11 @@ void AlertService::worker_loop(std::size_t index,
     slot.checkpoints.store(0, std::memory_order_relaxed);
     if (!socket) socket = std::make_unique<net::UdpSocket>(slot.port);
 
+    const bool is_merge =
+        config_.shard && config_.shard->shard_id == kMergeShardId;
     wire::FrameCursor cursor;
     while (!ctl->stop.load(std::memory_order_acquire)) {
+      slot.heartbeat_ns.store(steady_now_ns(), std::memory_order_relaxed);
       if (ctl->checkpoint_requested.exchange(false,
                                              std::memory_order_acq_rel)) {
         replica.checkpoint();
@@ -253,6 +285,15 @@ void AlertService::worker_loop(std::size_t index,
         obs::trace::ContextScope tscope{msg.trace};
         RCM_TRACE_SPAN(ingest_span, "service.ingest");
         ingest_span.var(msg.update.var).seq(msg.update.seqno);
+        // The cross-shard hop lands here: a span distinct from plain
+        // ingest so traces show shard.forward → merge.ingest pairs
+        // covering the merge tier's WAL + CE work for the update.
+        std::optional<obs::trace::Span> merge_span;
+        if (is_merge) {
+          merge_span.emplace("merge.ingest");
+          merge_span->var(msg.update.var).seq(msg.update.seqno);
+          RCM_COUNT("service.merge.ingested");
+        }
         // Decide acceptance up front so the on_accept hook (shard →
         // merge-tier forwarding) fires only for updates that were
         // journaled + applied, and only after they durably were.
@@ -286,7 +327,11 @@ void AlertService::worker_loop(std::size_t index,
 
 void AlertService::displayer_loop() {
   obs::trace::set_thread_name("ad");
+  ad_heartbeat_ns_.store(steady_now_ns(), std::memory_order_relaxed);
   while (auto a = alert_queue_.pop()) {
+    // Beaten per alert; the watchdog only ages this while the queue is
+    // non-empty (an idle AD blocks in pop() by design).
+    ad_heartbeat_ns_.store(steady_now_ns(), std::memory_order_relaxed);
     // Re-enter the alert's trace on this side of the queue; the
     // displayer records the filter-verdict span itself.
     obs::trace::ContextScope tscope{
@@ -325,12 +370,24 @@ void AlertService::admin_loop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     auto conn = admin_listener_.accept(kAcceptPoll);
     if (!conn) continue;
-    try {
-      serve_admin(*conn);
-    } catch (const std::system_error&) {
-      // Connection died mid-exchange; go back to accepting.
-    }
+    // One thread per connection: a cluster-health aggregation held open
+    // by one client must not block a peer's instance-scoped scrape of
+    // this same instance. Threads exit on EOF or stopping_; drain joins
+    // whatever is left.
+    std::lock_guard g{admin_conns_mutex_};
+    admin_conn_threads_.emplace_back(
+        [this, c = std::make_shared<net::TcpStream>(std::move(*conn))] {
+          try {
+            serve_admin(*c);
+          } catch (const std::system_error&) {
+            // Connection died mid-exchange; the thread just ends.
+          }
+        });
   }
+  std::lock_guard g{admin_conns_mutex_};
+  for (std::thread& t : admin_conn_threads_)
+    if (t.joinable()) t.join();
+  admin_conn_threads_.clear();
 }
 
 void AlertService::serve_admin(net::TcpStream& conn) {
@@ -356,7 +413,7 @@ AdminResponse AlertService::dispatch_admin(
     u.server_version = kAdminVersion;
     u.min_major = kAdminMinMajor;
     u.max_major = kAdminMaxMajor;
-    u.max_command = static_cast<std::uint8_t>(AdminCommand::kShardMap);
+    u.max_command = static_cast<std::uint8_t>(AdminCommand::kMetricsProm);
     return u;
   };
   try {
@@ -410,6 +467,21 @@ AdminResponse AlertService::dispatch_admin(
         resp.body = std::string(bytes.begin(), bytes.end());
         break;
       }
+      case AdminCommand::kHealth: {
+        if (req.scope == HealthScope::kInstance) {
+          // Binary InstanceHealth in the body, same convention as the
+          // shard map: an aggregator decodes it, a human asks for the
+          // cluster scope instead.
+          const auto bytes = wire::encode_instance_health(instance_health());
+          resp.body = std::string(bytes.begin(), bytes.end());
+        } else {
+          resp.body = cluster_health_json();
+        }
+        break;
+      }
+      case AdminCommand::kMetricsProm:
+        resp.body = obs::registry().snapshot_prometheus();
+        break;
     }
   } catch (const wire::UnsupportedVersion& e) {
     // Incompatible peer major: still a clean error reply, now with the
@@ -542,6 +614,155 @@ ServiceStatus AlertService::status() {
     s.replicas.push_back(rs);
   }
   return s;
+}
+
+// ---- health ------------------------------------------------------------
+
+std::vector<wire::Degradation> AlertService::collect_degradations() {
+  std::vector<wire::Degradation> out;
+  const std::uint64_t now = steady_now_ns();
+  const auto ns_of = [](std::chrono::milliseconds ms) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(ms).count());
+  };
+  {
+    std::lock_guard g{lifecycle_mutex_};
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const ReplicaSlot& slot = *slots_[i];
+      if (!slot.up) {
+        out.push_back({wire::DegradationKind::kReplicaDown,
+                       "replica " + std::to_string(i) + " down",
+                       static_cast<std::uint64_t>(i)});
+        continue;
+      }
+      const std::uint64_t hb = slot.heartbeat_ns.load(std::memory_order_relaxed);
+      if (hb != 0 && now > hb &&
+          now - hb > ns_of(config_.watchdog.worker_heartbeat_budget)) {
+        out.push_back({wire::DegradationKind::kHeartbeatMissed,
+                       "replica " + std::to_string(i) + " heartbeat stale",
+                       (now - hb) / 1000000});  // ms
+      }
+    }
+  }
+  const std::uint64_t tick = sessions_->last_tick_ns();
+  if (tick != 0 && now > tick &&
+      now - tick > ns_of(config_.watchdog.session_tick_budget)) {
+    out.push_back({wire::DegradationKind::kEventLoopStalled,
+                   "session event loop tick stale", (now - tick) / 1000000});
+  }
+  // An idle AD blocks in pop() by design; only a non-empty queue with a
+  // stale heartbeat means alerts are piling up behind a stuck displayer.
+  if (alert_queue_.size() > 0) {
+    const std::uint64_t hb = ad_heartbeat_ns_.load(std::memory_order_relaxed);
+    if (hb != 0 && now > hb &&
+        now - hb > ns_of(config_.watchdog.ad_queue_budget)) {
+      out.push_back({wire::DegradationKind::kAdStalled,
+                     "alert displayer stalled with queued alerts",
+                     (now - hb) / 1000000});
+    }
+  }
+#if RCM_METRICS_ENABLED
+  {
+    const obs::Histogram& wal =
+        obs::registry().histogram("service.wal.append.seconds");
+    const double p99 = wal.percentile(0.99);
+    if (wal.count() > 0 && p99 > config_.watchdog.wal_p99_budget) {
+      out.push_back({wire::DegradationKind::kWalFlushSlow,
+                     "WAL append p99 over budget (value in us)",
+                     static_cast<std::uint64_t>(p99 * 1e6)});
+    }
+  }
+#endif
+  if (config_.session_limits.lag_alert_budget > 0) {
+    std::uint64_t max_lag = 0;
+    for (const SessionInfo& info : sessions_->sessions())
+      max_lag = std::max(max_lag, info.lag);
+    if (max_lag > config_.session_limits.lag_alert_budget) {
+      out.push_back({wire::DegradationKind::kSessionLagExceeded,
+                     "subscriber session lag over budget", max_lag});
+    }
+  }
+  return out;
+}
+
+wire::InstanceHealth AlertService::instance_health() {
+  wire::InstanceHealth h;
+  if (!config_.shard) {
+    h.role = wire::InstanceRole::kStandalone;
+  } else {
+    h.role = config_.shard->shard_id == kMergeShardId
+                 ? wire::InstanceRole::kMerge
+                 : wire::InstanceRole::kShard;
+    h.shard_id = config_.shard->shard_id;
+    h.epoch = config_.shard->epoch;
+  }
+  h.uptime_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count());
+  {
+    const std::vector<SessionInfo> infos = sessions_->sessions();
+    h.sessions = infos.size();
+    for (const SessionInfo& info : infos)
+      h.max_session_lag = std::max(h.max_session_lag, info.lag);
+  }
+  h.alert_queue_depth = alert_queue_.size();
+  const std::uint64_t now = steady_now_ns();
+  {
+    std::lock_guard g{lifecycle_mutex_};
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const ReplicaSlot& slot = *slots_[i];
+      wire::ReplicaHealth r;
+      r.replica = static_cast<std::uint32_t>(i);
+      r.up = slot.up;
+      r.incarnations = slot.incarnations;
+      const std::uint64_t hb =
+          slot.heartbeat_ns.load(std::memory_order_relaxed);
+      r.heartbeat_age_ns = (hb != 0 && now > hb) ? now - hb : 0;
+      r.accepted = slot.accepted.load(std::memory_order_relaxed);
+      r.wal_records = slot.wal_records.load(std::memory_order_relaxed);
+      h.replicas.push_back(std::move(r));
+    }
+  }
+  // Windowed rates come from the process sampler; 0 when it is not
+  // running (or under -DRCM_NO_METRICS), which keeps the document shape
+  // stable across builds.
+  static constexpr const char* kRateNames[] = {
+      "service.ingest.datagrams", "service.wal.appends",
+      "service.alerts.raised", "service.alerts.displayed",
+      "service.shard.forwarded"};
+  for (const char* name : kRateNames) {
+    wire::RateSample r;
+    r.name = name;
+    r.rate_10s = obs::sampler().rate(name, std::chrono::seconds{10});
+    r.rate_1m = obs::sampler().rate(name, std::chrono::seconds{60});
+    r.rate_5m = obs::sampler().rate(name, std::chrono::seconds{300});
+    h.rates.push_back(std::move(r));
+  }
+  h.degradations = collect_degradations();
+  h.healthy = h.degradations.empty();
+  return h;
+}
+
+std::string AlertService::cluster_health_json() {
+  const std::vector<std::uint16_t> endpoints =
+      config_.health_endpoints_provider
+          ? config_.health_endpoints_provider()
+          : std::vector<std::uint16_t>{admin_port()};
+  std::vector<ScrapedInstance> scraped;
+  scraped.reserve(endpoints.size());
+  for (const std::uint16_t port : endpoints) {
+    if (port == admin_port()) {
+      // Self-scrape is served directly: going through our own admin
+      // socket from inside an admin handler would be pointless TCP at
+      // best and a deadlock risk at worst.
+      scraped.emplace_back(port, instance_health());
+    } else {
+      scraped.emplace_back(port,
+                           scrape_instance_health(port, kHealthScrapeTimeout));
+    }
+  }
+  return aggregate_health_json(scraped);
 }
 
 // ---- drain -------------------------------------------------------------

@@ -49,9 +49,11 @@
 #include "runtime/queue.hpp"
 #include "service/admin.hpp"
 #include "service/durable_replica.hpp"
+#include "service/health.hpp"
 #include "service/session.hpp"
 #include "service/supervisor.hpp"
 #include "wire/codec.hpp"
+#include "wire/health.hpp"
 #include "wire/shard.hpp"
 
 namespace rcm::service {
@@ -88,6 +90,19 @@ struct ServiceConfig {
   /// trivial one-shard map covering all of its replica ports (so a
   /// router pointed at any service always resolves).
   std::function<wire::ShardMap()> shard_map_provider;
+
+  /// Admin ports of every instance in the cluster (including this one),
+  /// for cluster-scoped admin kHealth aggregation. A ShardedCluster
+  /// installs the live list; when unset, the cluster is this instance.
+  std::function<std::vector<std::uint16_t>()> health_endpoints_provider;
+
+  /// Stall-watchdog budgets (service/health.hpp). Degradations surface
+  /// in the instance health document and through the dogfooded
+  /// `service.watchdog.degraded` condition-language alert.
+  WatchdogOptions watchdog;
+  /// Turn off to skip the periodic watchdog evaluation entirely
+  /// (bench/health_overhead measures exactly this delta).
+  bool watchdog_enabled = true;
 
   /// Monitor thread restarts crashed/killed replicas after backoff.
   /// Turn off for tests that want manual kill/restart control.
@@ -141,6 +156,18 @@ class AlertService {
 
   // ---- service lifecycle ----------------------------------------------
   [[nodiscard]] ServiceStatus status();
+
+  // ---- health ----------------------------------------------------------
+  /// This instance's health document: role, per-replica liveness +
+  /// heartbeat ages, sampler rates, session lag, and the watchdog's
+  /// currently-active degradations. healthy iff no degradation.
+  [[nodiscard]] wire::InstanceHealth instance_health();
+
+  /// Alerts raised so far by the dogfooded watchdog CE
+  /// (`service.watchdog.degraded`).
+  [[nodiscard]] std::vector<Alert> watchdog_alerts() const {
+    return watchdog_alerts_.emitted();
+  }
 
   /// Graceful shutdown: stops ingest (each live worker takes a final
   /// checkpoint), drains the alert queue through the filter and fan-out,
@@ -212,6 +239,9 @@ class AlertService {
     std::atomic<std::uint64_t> wal_records{0};
     std::atomic<std::uint64_t> checkpoints{0};
     std::atomic<std::uint64_t> recovered_wal{0};
+    /// steady_clock ns of the worker's latest receive-poll iteration;
+    /// the stall watchdog ages it. 0 until the incarnation's first loop.
+    std::atomic<std::uint64_t> heartbeat_ns{0};
   };
 
   void worker_loop(std::size_t index, std::shared_ptr<WorkerControl> ctl,
@@ -226,6 +256,12 @@ class AlertService {
   [[nodiscard]] std::string sessions_json() const;
   [[nodiscard]] wire::ShardMap default_shard_map() const;
   void monitor_loop();
+  /// Evaluates the stall-watchdog policy now (replica/session/AD
+  /// heartbeats, WAL p99) and returns the active degradations.
+  [[nodiscard]] std::vector<wire::Degradation> collect_degradations();
+  /// Serves the cluster-scoped admin kHealth command: scrapes every
+  /// health endpoint (itself directly, peers over TCP) and aggregates.
+  [[nodiscard]] std::string cluster_health_json();
 
   /// Starts a new incarnation of replica `i`. Caller holds lifecycle_mutex_.
   void start_worker_locked(std::size_t i);
@@ -254,6 +290,16 @@ class AlertService {
   std::unique_ptr<SessionManager> sessions_;
 
   net::TcpListener admin_listener_;
+  /// Admin connections are served one thread each, so an instance can
+  /// answer a peer's health scrape while serving a long exchange (and an
+  /// aggregating instance never deadlocks against its own admin port).
+  std::mutex admin_conns_mutex_;
+  std::vector<std::thread> admin_conn_threads_;
+
+  std::chrono::steady_clock::time_point started_at_{
+      std::chrono::steady_clock::now()};
+  std::atomic<std::uint64_t> ad_heartbeat_ns_{0};
+  WatchdogAlerts watchdog_alerts_;
 
   // Durable, idempotent END-marker set.
   mutable std::mutex ends_mutex_;

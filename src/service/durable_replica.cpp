@@ -110,6 +110,9 @@ std::optional<Alert> DurableReplica::on_update(const Update& u) {
   {
     RCM_TRACE_SPAN(span, "wal.append");
     span.var(u.var).seq(u.seqno);
+    // The watchdog's flush-latency source: p99 of this timer over the
+    // wal_p99_budget becomes a kWalFlushSlow degradation.
+    RCM_SCOPED_TIMER(timer, "service.wal.append.seconds");
     wal_->append(u);
   }
   RCM_COUNT("service.wal.appends");

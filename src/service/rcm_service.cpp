@@ -18,8 +18,13 @@
 #include <string>
 #include <thread>
 
+#include <memory>
+#include <optional>
+
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "service/alert_service.hpp"
+#include "service/health.hpp"
 #include "service/shard_cluster.hpp"
 #include "swarm/spec.hpp"
 #include "util/args.hpp"
@@ -70,6 +75,12 @@ int main(int argc, char** argv) {
   args.add_flag("merge-replicas", "1",
                 "CE replicas in the merge tier (multi-variable "
                 "conditions with --shards only)");
+  args.add_flag("prom-port", "-1",
+                "serve Prometheus text exposition (GET /metrics) on this "
+                "loopback TCP port (0 = ephemeral, -1 = off)");
+  args.add_flag("no-watchdog", "false",
+                "disable the stall watchdog (health documents report no "
+                "heartbeat/latency degradations)");
 
   if (!args.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", args.error().c_str(),
@@ -85,6 +96,21 @@ int main(int argc, char** argv) {
     // Live service default: traceable. The rings are fixed-size and the
     // hot-path cost is one ring write per span (bench/trace_overhead).
     obs::trace::set_enabled(!args.get_bool("no-tracing"));
+
+    // Windowed rates in health documents come from the process sampler;
+    // a hosting process runs it for its whole lifetime. Library users
+    // (tests, benches) opt in explicitly instead.
+    obs::sampler().start();
+
+    std::unique_ptr<service::PromExporter> prom;
+    const int prom_port = args.get_int("prom-port");
+    if (prom_port >= 0) {
+      prom = std::make_unique<service::PromExporter>(
+          static_cast<std::uint16_t>(prom_port));
+      prom->start();
+      std::printf("  prometheus:       http://127.0.0.1:%u/metrics\n",
+                  prom->port());
+    }
 
     const int num_shards = args.get_int("shards");
     if (num_shards > 0) {
@@ -103,6 +129,7 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(args.get_int("checkpoint-every"));
       config.record_journal = args.get_bool("journal");
       config.auto_restart = !args.get_bool("no-auto-restart");
+      config.watchdog_enabled = !args.get_bool("no-watchdog");
       if (config.data_dir.empty()) {
         std::fprintf(stderr, "--data-dir is required\n");
         return 2;
@@ -166,6 +193,7 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_int("checkpoint-every"));
     config.record_journal = args.get_bool("journal");
     config.auto_restart = !args.get_bool("no-auto-restart");
+    config.watchdog_enabled = !args.get_bool("no-watchdog");
     if (config.data_dir.empty()) {
       std::fprintf(stderr, "--data-dir is required\n");
       return 2;

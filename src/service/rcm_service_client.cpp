@@ -14,8 +14,15 @@
 //                      [--from 17]
 //   rcm_service_client --cmd sessions --admin-port P
 //   rcm_service_client --cmd shardmap --admin-port P [--json]
+//   rcm_service_client --cmd health   --admin-port P [--instance]
+//   rcm_service_client --cmd metrics-prom --admin-port P [--out m.prom]
 //
-// `metrics` prints the service's live obs registry snapshot (JSON);
+// `health` asks the instance for the aggregated cluster health document
+// (it scrapes every peer it knows about, including itself); with
+// `--instance` it prints only that instance's own document.
+// `metrics-prom` prints the Prometheus text exposition of the service's
+// registry. `metrics` prints the service's live obs registry snapshot
+// (JSON);
 // `trace-dump` fetches the Chrome trace_event export — load the file in
 // chrome://tracing or https://ui.perfetto.dev. `--json` makes `status`
 // machine-readable for CI and the swarm fuzzer.
@@ -31,6 +38,8 @@
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <optional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -40,6 +49,8 @@
 #include "net/socket.hpp"
 #include "obs/trace.hpp"
 #include "service/admin.hpp"
+#include "service/health.hpp"
+#include "wire/health.hpp"
 #include "trace/generators.hpp"
 #include "util/args.hpp"
 #include "util/rng.hpp"
@@ -136,8 +147,11 @@ void print_status(const service::ServiceStatus& s) {
   }
 }
 
-// One status line as a JSON object, stable keys, for scraping.
-void print_status_json(const service::ServiceStatus& s) {
+// One status line as a JSON object, stable keys, for scraping. `health`
+// (optional) is the instance's own health document, appended as a
+// "health" key so one `status --json` call carries both views.
+void print_status_json(const service::ServiceStatus& s,
+                       const std::string* health) {
   std::printf("{\"ingested_datagrams\": %llu, \"displayed\": %llu, "
               "\"subscribers\": %llu, \"dm_ends\": %llu, "
               "\"end_timeouts\": %llu, \"replicas\": [",
@@ -189,7 +203,28 @@ void print_status_json(const service::ServiceStatus& s) {
                 e.connected ? "true" : "false",
                 e.evicted ? "true" : "false");
   }
-  std::printf("]}\n");
+  std::printf("]");
+  if (health) std::printf(", \"health\": %s", health->c_str());
+  std::printf("}\n");
+}
+
+// Best-effort instance health fetch for the status --json health block.
+// Returns nullopt against a pre-2.3 server (or any failure) so plain
+// status keeps working unchanged.
+std::optional<std::string> fetch_instance_health_json(std::uint16_t port) {
+  try {
+    service::AdminRequest req;
+    req.command = service::AdminCommand::kHealth;
+    req.scope = service::HealthScope::kInstance;
+    const service::AdminResponse resp = admin_exchange(port, req);
+    if (!resp.ok || !resp.body) return std::nullopt;
+    const wire::InstanceHealth doc = wire::decode_instance_health(std::span{
+        reinterpret_cast<const std::uint8_t*>(resp.body->data()),
+        resp.body->size()});
+    return service::instance_health_json(doc);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
 }
 
 int run_admin(service::AdminCommand command, std::uint16_t port,
@@ -216,8 +251,17 @@ int run_admin(service::AdminCommand command, std::uint16_t port,
     return 1;
   }
   if (resp.status) {
-    if (json) print_status_json(*resp.status);
-    else print_status(*resp.status);
+    if (json) {
+      // Machine-readable status grows a health block (admin 2.3); a
+      // failed fetch (older server) degrades to the plain document.
+      const std::optional<std::string> health =
+          command == service::AdminCommand::kStatus
+              ? fetch_instance_health_json(port)
+              : std::nullopt;
+      print_status_json(*resp.status, health ? &*health : nullptr);
+    } else {
+      print_status(*resp.status);
+    }
   } else if (resp.body) {
     if (out_path.empty()) {
       std::fputs(resp.body->c_str(), stdout);
@@ -234,6 +278,34 @@ int run_admin(service::AdminCommand command, std::uint16_t port,
     }
   } else {
     std::printf("ok\n");
+  }
+  return 0;
+}
+
+// Fetches health (admin v2.3). Cluster scope (the default) returns the
+// aggregated JSON document ready to print; instance scope returns the
+// binary wire::InstanceHealth, rendered locally.
+int run_health(std::uint16_t port, bool instance) {
+  service::AdminRequest req;
+  req.command = service::AdminCommand::kHealth;
+  req.scope = instance ? service::HealthScope::kInstance
+                       : service::HealthScope::kCluster;
+  const service::AdminResponse resp = admin_exchange(port, req);
+  if (!resp.ok) {
+    std::fprintf(stderr, "service error: %s\n", resp.error.c_str());
+    return 1;
+  }
+  if (!resp.body) {
+    std::fprintf(stderr, "service returned no health body\n");
+    return 1;
+  }
+  if (instance) {
+    const wire::InstanceHealth doc = wire::decode_instance_health(std::span{
+        reinterpret_cast<const std::uint8_t*>(resp.body->data()),
+        resp.body->size()});
+    std::printf("%s\n", service::instance_health_json(doc).c_str());
+  } else {
+    std::printf("%s\n", resp.body->c_str());
   }
   return 0;
 }
@@ -428,7 +500,8 @@ int main(int argc, char** argv) {
   util::Args args;
   args.add_flag("cmd", "status",
                 "status | kill | restart | checkpoint | drain | metrics | "
-                "trace-dump | feed | subscribe | sessions | shardmap");
+                "metrics-prom | trace-dump | feed | subscribe | sessions | "
+                "shardmap | health");
   args.add_flag("admin-port", "0", "service admin TCP port");
   args.add_flag("replica", "0", "target replica for kill/restart/checkpoint");
   args.add_flag("json", "false", "machine-readable status output");
@@ -443,6 +516,9 @@ int main(int argc, char** argv) {
   args.add_flag("from", "-1",
                 "replay from this alert index (subscribe --session); "
                 "-1 = resume from the durable cursor");
+  args.add_flag("instance", "false",
+                "health: this instance's own document instead of the "
+                "aggregated cluster view");
 
   if (!args.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", args.error().c_str(),
@@ -501,6 +577,11 @@ int main(int argc, char** argv) {
       return run_admin(service::AdminCommand::kSessions, admin_port, replica,
                        json, out);
     if (cmd == "shardmap") return run_shardmap(admin_port, json);
+    if (cmd == "health")
+      return run_health(admin_port, args.get_bool("instance"));
+    if (cmd == "metrics-prom")
+      return run_admin(service::AdminCommand::kMetricsProm, admin_port,
+                       replica, json, out);
     std::fprintf(stderr, "unknown --cmd %s\n", cmd.c_str());
     return 2;
   } catch (const std::exception& e) {

@@ -397,6 +397,12 @@ void SessionManager::loop() {
   std::vector<pollfd> fds;
   std::vector<std::list<Conn>::iterator> fd_conns;
   while (true) {
+    last_tick_ns_.store(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count()),
+        std::memory_order_relaxed);
     bool all_flushed = true;
     {
       std::lock_guard g{mutex_};

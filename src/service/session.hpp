@@ -113,6 +113,11 @@ class SessionManager {
   [[nodiscard]] std::size_t recovered_sessions() const noexcept {
     return recovered_sessions_;
   }
+  /// steady_clock nanoseconds of the event loop's latest iteration — the
+  /// heartbeat the stall watchdog ages. 0 until the loop first runs.
+  [[nodiscard]] std::uint64_t last_tick_ns() const noexcept {
+    return last_tick_ns_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Conn {
@@ -185,6 +190,7 @@ class SessionManager {
 
   std::size_t recovered_sessions_ = 0;
   std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> last_tick_ns_{0};
 
   net::WakePipe wake_;
   std::atomic<bool> stopping_{false};

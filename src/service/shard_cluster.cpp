@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "store/file_log.hpp"
 #include "wire/frame.hpp"
 
@@ -114,7 +116,13 @@ ShardedCluster::ShardedCluster(ShardClusterConfig config)
     mc.auto_restart = config_.auto_restart;
     mc.backoff = config_.backoff;
     mc.poll_interval = config_.poll_interval;
+    mc.watchdog_enabled = config_.watchdog_enabled;
+    mc.watchdog = config_.watchdog;
     mc.shard = ShardIdentity{kMergeShardId, epoch_};
+    mc.health_endpoints_provider = [this] {
+      std::lock_guard g{map_mutex_};
+      return cached_health_endpoints_;
+    };
     merge_ = std::make_unique<AlertService>(std::move(mc));
     merge_ports_ = merge_->replica_ports();
     forward_socket_ = std::make_unique<net::UdpSocket>();
@@ -179,10 +187,16 @@ void ShardedCluster::build_shard_locked(ShardSlot& slot) {
   sc.auto_restart = config_.auto_restart;
   sc.backoff = config_.backoff;
   sc.poll_interval = config_.poll_interval;
+  sc.watchdog_enabled = config_.watchdog_enabled;
+  sc.watchdog = config_.watchdog;
   sc.shard = ShardIdentity{slot.shard_id, epoch_};
   sc.shard_map_provider = [this] {
     std::lock_guard g{map_mutex_};
     return cached_map_;
+  };
+  sc.health_endpoints_provider = [this] {
+    std::lock_guard g{map_mutex_};
+    return cached_health_endpoints_;
   };
   if (cross_shard()) {
     // Forward every accepted update to the merge tier, tagged with the
@@ -191,6 +205,11 @@ void ShardedCluster::build_shard_locked(ShardSlot& slot) {
     const std::uint32_t id = slot.shard_id;
     const std::uint64_t epoch = epoch_;
     sc.on_accept = [this, id, epoch](const Update& u) {
+      // The outbound half of the cross-shard hop; the merge tier's
+      // worker records the matching merge.ingest span.
+      RCM_SCOPED_TIMER(timer, "service.shard.forward.seconds");
+      RCM_TRACE_SPAN(span, "shard.forward");
+      span.var(u.var).seq(static_cast<std::int64_t>(u.seqno));
       const auto bytes = wire::encode_update_from_shard(u, id, epoch);
       const auto framed = wire::frame(bytes);
       for (const std::uint16_t port : merge_ports_) {
@@ -385,8 +404,13 @@ wire::ShardMap ShardedCluster::shard_map_locked() const {
 
 void ShardedCluster::refresh_map_locked() {
   wire::ShardMap map = shard_map_locked();
+  std::vector<std::uint16_t> endpoints;
+  for (const auto& [id, slot] : shards_)
+    if (slot.service) endpoints.push_back(slot.service->admin_port());
+  if (merge_) endpoints.push_back(merge_->admin_port());
   std::lock_guard g{map_mutex_};
   cached_map_ = std::move(map);
+  cached_health_endpoints_ = std::move(endpoints);
 }
 
 wire::ShardMap ShardedCluster::shard_map() const {

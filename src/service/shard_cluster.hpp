@@ -69,6 +69,9 @@ struct ShardClusterConfig {
   bool auto_restart = true;
   BackoffPolicy backoff;
   std::chrono::milliseconds poll_interval{20};
+  /// Propagated to every instance (shards + merge tier).
+  bool watchdog_enabled = true;
+  WatchdogOptions watchdog;
 };
 
 /// Shard id the merge tier reports in its status (not on the ring).
@@ -173,6 +176,10 @@ class ShardedCluster {
   /// would deadlock.
   mutable std::mutex map_mutex_;
   wire::ShardMap cached_map_;
+  /// Admin ports of every live instance (shards + merge tier), refreshed
+  /// with the map; served to instances as their health_endpoints_provider
+  /// so any one of them can aggregate cluster health.
+  std::vector<std::uint16_t> cached_health_endpoints_;
 
   /// Dirs of every shard that ever existed (journals outlive removal):
   /// shard id → data dir.

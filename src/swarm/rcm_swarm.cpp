@@ -135,6 +135,9 @@ int main(int argc, char** argv) {
                   "%zu reshard(s), %zu shard kill(s)\n",
                   report.sharded_runs, report.cross_shard_runs,
                   report.shard_reshards, report.shard_kills);
+      std::printf("  health: %zu scrape(s), %zu kill(s) confirmed "
+                  "degraded\n",
+                  report.health_scrapes, report.health_degraded_seen);
       for (const swarm::ServiceFuzzViolation& v : report.violations)
         std::printf("  run %zu (seed %llu): %s\n    state kept: %s\n",
                     v.run_index,

@@ -14,6 +14,7 @@
 #include "net/deployment.hpp"
 #include "net/socket.hpp"
 #include "service/alert_service.hpp"
+#include "service/health.hpp"
 #include "service/shard_cluster.hpp"
 #include "service/shard_ring.hpp"
 #include "swarm/fuzz_plan.hpp"
@@ -557,6 +558,9 @@ ServiceFuzzReport run_service_fuzz(const ServiceFuzzOptions& options) {
     std::vector<AlertProvenance> provenance;
     std::size_t restarts = 0;
     std::size_t lag_alerts = 0;
+    std::size_t health_scrapes = 0;
+    std::size_t health_degraded = 0;
+    std::vector<std::string> health_violations;
     {
       service::AlertService svc{std::move(config)};
       const std::vector<std::uint16_t> ports = svc.replica_ports();
@@ -578,8 +582,31 @@ ServiceFuzzReport run_service_fuzz(const ServiceFuzzOptions& options) {
           const KillEvent& e = plan.kills[next_kill++];
           svc.kill_replica(e.replica);
           ++kills_done;
-          if (!plan.auto_restart)
+          if (!plan.auto_restart) {
+            // Health oracle, degraded half: with no auto-restart racing
+            // us, the admin health document scraped right after the kill
+            // must carry a replica-down degradation.
+            ++health_scrapes;
+            const auto doc = service::scrape_instance_health(
+                svc.admin_port(), std::chrono::milliseconds{2000});
+            if (!doc) {
+              health_violations.push_back(
+                  "health oracle: admin health scrape failed after kill");
+            } else {
+              const bool down = std::any_of(
+                  doc->degradations.begin(), doc->degradations.end(),
+                  [](const wire::Degradation& d) {
+                    return d.kind == wire::DegradationKind::kReplicaDown;
+                  });
+              if (!down || doc->healthy)
+                health_violations.push_back(
+                    "health oracle: no replica_down degradation right "
+                    "after killing replica " + std::to_string(e.replica));
+              else
+                ++health_degraded;
+            }
             manual_restarts.emplace_back(step + e.restart_after, e.replica);
+          }
         }
         for (auto it = manual_restarts.begin();
              it != manual_restarts.end();) {
@@ -615,6 +642,23 @@ ServiceFuzzReport run_service_fuzz(const ServiceFuzzOptions& options) {
       }
       (void)svc.await_idle(std::chrono::milliseconds{60},
                            std::chrono::milliseconds{5000});
+      if (!plan.auto_restart && !plan.kills.empty()) {
+        // Health oracle, cleared half: every replica was restarted above,
+        // so the degradation must be gone from a fresh document.
+        ++health_scrapes;
+        const auto doc = service::scrape_instance_health(
+            svc.admin_port(), std::chrono::milliseconds{2000});
+        if (!doc) {
+          health_violations.push_back(
+              "health oracle: admin health scrape failed after recovery");
+        } else {
+          for (const wire::Degradation& d : doc->degradations)
+            if (d.kind == wire::DegradationKind::kReplicaDown)
+              health_violations.push_back(
+                  "health oracle: replica_down degradation survived full "
+                  "recovery (" + d.detail + ")");
+        }
+      }
       draining.store(true, std::memory_order_release);
       svc.drain();
       for (std::thread& t : sub_threads) t.join();
@@ -649,10 +693,15 @@ ServiceFuzzReport run_service_fuzz(const ServiceFuzzOptions& options) {
       }
     }
 
+    report.health_scrapes += health_scrapes;
+    report.health_degraded_seen += health_degraded;
+
     std::vector<std::string> violations = check_service_run(
         plan, plan.feed, std::move(journals), displayed, provenance,
         kills_done);
     check_sessions(sub_logs, displayed, violations);
+    violations.insert(violations.end(), health_violations.begin(),
+                      health_violations.end());
 
     // Cross-restart leg: reopen the same durable state and replay a
     // session cursor through the recovered log — both ends of the

@@ -93,6 +93,11 @@ struct ServiceFuzzReport {
   std::size_t cross_shard_runs = 0;      ///< degree >= 2 condition spanning shards
   std::size_t shard_reshards = 0;        ///< mid-run add/remove events
   std::size_t shard_kills = 0;           ///< replica kills inside sharded runs
+  // Health-oracle coverage: the fuzzer scrapes the admin health document
+  // around kill/recovery on manual-restart runs and asserts the watchdog
+  // reported (then cleared) the replica-down degradation.
+  std::size_t health_scrapes = 0;        ///< admin health documents fetched
+  std::size_t health_degraded_seen = 0;  ///< kills confirmed degraded
   std::vector<ServiceFuzzViolation> violations;
 
   [[nodiscard]] bool failed() const noexcept { return !violations.empty(); }

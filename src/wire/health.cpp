@@ -1,0 +1,127 @@
+#include "wire/health.hpp"
+
+namespace rcm::wire {
+
+namespace {
+
+constexpr std::uint8_t kHealthTag = 0x68;  // 'h'
+
+// Hostile-input bounds, matching the spirit of codec.cpp's caps.
+constexpr std::size_t kMaxReplicas = 4096;
+constexpr std::size_t kMaxRates = 256;
+constexpr std::size_t kMaxDegradations = 256;
+constexpr std::size_t kMaxDetailLen = 256;
+
+}  // namespace
+
+const char* degradation_kind_name(DegradationKind k) noexcept {
+  switch (k) {
+    case DegradationKind::kReplicaDown: return "replica_down";
+    case DegradationKind::kHeartbeatMissed: return "heartbeat_missed";
+    case DegradationKind::kWalFlushSlow: return "wal_flush_slow";
+    case DegradationKind::kEventLoopStalled: return "event_loop_stalled";
+    case DegradationKind::kSessionLagExceeded: return "session_lag_exceeded";
+    case DegradationKind::kAdStalled: return "ad_stalled";
+    case DegradationKind::kUnreachable: return "unreachable";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_instance_health(const InstanceHealth& h) {
+  Writer w;
+  w.u8(kHealthTag);
+  encode_version(w, kHealthVersion);
+  w.u8(static_cast<std::uint8_t>(h.role));
+  w.varint(h.shard_id);
+  w.varint(h.epoch);
+  w.u8(h.healthy ? 1 : 0);
+  w.varint(h.uptime_ns);
+  w.varint(h.sessions);
+  w.varint(h.max_session_lag);
+  w.varint(h.alert_queue_depth);
+  w.varint(h.replicas.size());
+  for (const ReplicaHealth& r : h.replicas) {
+    w.varint(r.replica);
+    w.u8(r.up ? 1 : 0);
+    w.varint(r.incarnations);
+    w.varint(r.heartbeat_age_ns);
+    w.varint(r.accepted);
+    w.varint(r.wal_records);
+  }
+  w.varint(h.rates.size());
+  for (const RateSample& r : h.rates) {
+    w.string(r.name);
+    w.f64(r.rate_10s);
+    w.f64(r.rate_1m);
+    w.f64(r.rate_5m);
+  }
+  w.varint(h.degradations.size());
+  for (const Degradation& d : h.degradations) {
+    w.u8(static_cast<std::uint8_t>(d.kind));
+    w.string(d.detail);
+    w.varint(d.value);
+  }
+  encode_extension_section(w, {});
+  return w.take();
+}
+
+InstanceHealth decode_instance_health(std::span<const std::uint8_t> bytes) {
+  Reader r{bytes};
+  if (r.u8() != kHealthTag) throw DecodeError("not a health document");
+  (void)decode_version(r, "health document", kHealthMinMajor,
+                       kHealthMaxMajor);
+  InstanceHealth h;
+  const std::uint8_t role = r.u8();
+  if (role > static_cast<std::uint8_t>(InstanceRole::kMerge))
+    throw DecodeError("unknown instance role");
+  h.role = static_cast<InstanceRole>(role);
+  h.shard_id = static_cast<std::uint32_t>(r.varint());
+  h.epoch = r.varint();
+  h.healthy = r.u8() != 0;
+  h.uptime_ns = r.varint();
+  h.sessions = r.varint();
+  h.max_session_lag = r.varint();
+  h.alert_queue_depth = r.varint();
+  const std::uint64_t nreplicas = r.varint();
+  if (nreplicas > kMaxReplicas) throw DecodeError("too many replica entries");
+  h.replicas.reserve(static_cast<std::size_t>(nreplicas));
+  for (std::uint64_t i = 0; i < nreplicas; ++i) {
+    ReplicaHealth rep;
+    rep.replica = static_cast<std::uint32_t>(r.varint());
+    rep.up = r.u8() != 0;
+    rep.incarnations = r.varint();
+    rep.heartbeat_age_ns = r.varint();
+    rep.accepted = r.varint();
+    rep.wal_records = r.varint();
+    h.replicas.push_back(rep);
+  }
+  const std::uint64_t nrates = r.varint();
+  if (nrates > kMaxRates) throw DecodeError("too many rate entries");
+  h.rates.reserve(static_cast<std::size_t>(nrates));
+  for (std::uint64_t i = 0; i < nrates; ++i) {
+    RateSample rate;
+    rate.name = r.string();
+    rate.rate_10s = r.f64();
+    rate.rate_1m = r.f64();
+    rate.rate_5m = r.f64();
+    h.rates.push_back(std::move(rate));
+  }
+  const std::uint64_t ndeg = r.varint();
+  if (ndeg > kMaxDegradations) throw DecodeError("too many degradations");
+  h.degradations.reserve(static_cast<std::size_t>(ndeg));
+  for (std::uint64_t i = 0; i < ndeg; ++i) {
+    Degradation d;
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(DegradationKind::kUnreachable))
+      throw DecodeError("unknown degradation kind");
+    d.kind = static_cast<DegradationKind>(kind);
+    d.detail = r.string(kMaxDetailLen);
+    d.value = r.varint();
+    h.degradations.push_back(std::move(d));
+  }
+  (void)decode_extension_section(r, nullptr);  // skip unknown tags
+  r.expect_done();
+  return h;
+}
+
+}  // namespace rcm::wire

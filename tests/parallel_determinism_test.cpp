@@ -9,8 +9,11 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "exp/scenarios.hpp"
 #include "exp/table_experiment.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "swarm/swarm.hpp"
 #include "util/rng.hpp"
@@ -98,6 +101,32 @@ TEST(ParallelDeterminismTest, TracingOnLeavesDigestsBitIdentical) {
       << "the batch must actually have recorded spans";
 #endif
   obs::trace::clear();
+
+  expect_identical(off, on_serial);
+  expect_identical(off, on_parallel);
+}
+
+TEST(ParallelDeterminismTest, SamplerOnLeavesDigestsBitIdentical) {
+  // The time-series sampler, like tracing, observes without
+  // participating: it only reads the registry's relaxed atomics from a
+  // background thread. A batch run under an aggressively-ticking
+  // sampler must reproduce the sampler-off digests exactly, serial and
+  // parallel alike.
+  const BatchTrace off = run_batch(/*seed=*/7, /*runs=*/60, /*jobs=*/1);
+
+  obs::TimeSeriesSampler::Options opts;
+  opts.interval = std::chrono::milliseconds{20};
+  obs::TimeSeriesSampler sampler{opts};
+  sampler.start();
+  const BatchTrace on_serial = run_batch(/*seed=*/7, /*runs=*/60, /*jobs=*/1);
+  const BatchTrace on_parallel =
+      run_batch(/*seed=*/7, /*runs=*/60, /*jobs=*/4);
+  sampler.stop();
+
+#if RCM_METRICS_ENABLED
+  EXPECT_GT(sampler.samples_taken(), 0u)
+      << "the sampler must actually have snapshotted the registry";
+#endif
 
   expect_identical(off, on_serial);
   expect_identical(off, on_parallel);

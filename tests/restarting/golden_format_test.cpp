@@ -18,6 +18,7 @@
 #include "swarm/record.hpp"
 #include "v1_corpus.hpp"
 #include "wire/frame.hpp"
+#include "wire/health.hpp"
 #include "wire/legacy.hpp"
 #include "wire/session.hpp"
 #include "wire/snapshot.hpp"
@@ -191,6 +192,33 @@ TEST(GoldenFormat, HandoffDecodesToTheFrozenState) {
   ASSERT_GE(bytes.size(), 3u);
   EXPECT_EQ(bytes[0], 0x58);  // 'X'
   EXPECT_EQ(bytes[1], wire::kHandoffVersion.major);
+}
+
+TEST(GoldenFormat, HealthRequestDecodesWithInstanceScope) {
+  // The hand-written 2.3 health exchange: a request carrying both the
+  // version extension and the non-default (instance) scope extension
+  // must decode to exactly that — and the current encoder must still
+  // produce these bytes, pinning the scope-extension layout.
+  const auto bytes = fixture_bytes("admin_request_health_instance.v1.bin");
+  const service::AdminRequest req = service::decode_admin_request(bytes);
+  EXPECT_TRUE(req.known);
+  EXPECT_EQ(req.command, service::AdminCommand::kHealth);
+  EXPECT_EQ(req.replica, 0u);
+  EXPECT_EQ(req.version, (wire::VersionHeader{2, 3}));
+  EXPECT_EQ(req.scope, service::HealthScope::kInstance);
+
+  service::AdminRequest out;
+  out.command = service::AdminCommand::kHealth;
+  out.scope = service::HealthScope::kInstance;
+  EXPECT_EQ(service::encode_admin_request(out), bytes);
+}
+
+TEST(GoldenFormat, HealthDocumentDecodesToTheFrozenState) {
+  const auto bytes = fixture_bytes("health.v1.bin");
+  EXPECT_EQ(wire::decode_instance_health(bytes), corpus_instance_health());
+  ASSERT_GE(bytes.size(), 3u);
+  EXPECT_EQ(bytes[0], 0x68);  // 'h'
+  EXPECT_EQ(bytes[1], wire::kHealthVersion.major);
 }
 
 }  // namespace

@@ -357,7 +357,7 @@ TEST(Restarting, UnknownAdminCommandGetsStructuredUnsupportedReply) {
   EXPECT_EQ(resp.unsupported->min_major, service::kAdminMinMajor);
   EXPECT_EQ(resp.unsupported->max_major, service::kAdminMaxMajor);
   EXPECT_EQ(resp.unsupported->max_command,
-            static_cast<std::uint8_t>(service::AdminCommand::kShardMap));
+            static_cast<std::uint8_t>(service::AdminCommand::kMetricsProm));
 
   const service::AdminResponse status = admin_exchange(
       conn, service::AdminRequest{service::AdminCommand::kStatus, 0});

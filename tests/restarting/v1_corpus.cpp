@@ -123,6 +123,14 @@ std::vector<std::uint8_t> build_handoff_fixture() {
   return wire::encode_handoff(corpus_handoff());
 }
 
+std::vector<std::uint8_t> build_health_fixture() {
+  // v1 of the instance-health document the current encoder writes today
+  // (rates use exactly-representable doubles so the f64 bytes are
+  // deterministic). Frozen like shardmap/handoff: layout changes go
+  // through a new major or a skippable extension.
+  return wire::encode_instance_health(corpus_instance_health());
+}
+
 }  // namespace
 
 wire::ShardMap corpus_shard_map() {
@@ -145,6 +153,25 @@ wire::HandoffPacket corpus_handoff() {
   e.window = {Update{0, 8, 20.0}, Update{0, 9, 80.0}};
   p.entries.push_back(e);
   return p;
+}
+
+wire::InstanceHealth corpus_instance_health() {
+  wire::InstanceHealth h;
+  h.role = wire::InstanceRole::kShard;
+  h.shard_id = 1;
+  h.epoch = 3;
+  h.healthy = false;
+  h.uptime_ns = 5'000'000'000;
+  h.sessions = 2;
+  h.max_session_lag = 4;
+  h.alert_queue_depth = 1;
+  h.replicas.push_back(wire::ReplicaHealth{0, true, 1, 12'000'000, 9, 3});
+  h.replicas.push_back(wire::ReplicaHealth{1, false, 2, 0, 6, 2});
+  h.rates.push_back(
+      wire::RateSample{"service.ingest.datagrams", 120.0, 95.5, 40.25});
+  h.degradations.push_back(wire::Degradation{
+      wire::DegradationKind::kReplicaDown, "replica 1 down", 1});
+  return h;
 }
 
 ConditionPtr corpus_condition() {
@@ -179,6 +206,13 @@ std::vector<V1Fixture> build_v1_corpus() {
   corpus.push_back({"cursors.v1.bin", build_cursor_file_fixture()});
   corpus.push_back({"shardmap.v1.bin", build_shard_map_fixture()});
   corpus.push_back({"handoff.v1.bin", build_handoff_fixture()});
+  // A 2.3 peer's instance-scope health request, written by hand:
+  // kHealth (9) | replica 0 | 2 extensions — version {2,3} under tag
+  // 'V', scope kInstance (1) under tag 'C'.
+  corpus.push_back({"admin_request_health_instance.v1.bin",
+                    {0x09, 0x00, 0x02, 0x56, 0x02, 0x02, 0x03, 0x43, 0x01,
+                     0x01}});
+  corpus.push_back({"health.v1.bin", build_health_fixture()});
   return corpus;
 }
 

@@ -27,6 +27,7 @@
 
 #include "core/evaluator.hpp"
 #include "core/types.hpp"
+#include "wire/health.hpp"
 #include "wire/shard.hpp"
 
 namespace rcm::testing {
@@ -53,5 +54,10 @@ struct V1Fixture {
 /// fixtures, shared with golden_format_test's semantic-decode checks.
 [[nodiscard]] wire::ShardMap corpus_shard_map();
 [[nodiscard]] wire::HandoffPacket corpus_handoff();
+
+/// The structured contents of the health.v1.bin fixture: a degraded
+/// shard instance (replica 1 down), shared with golden_format_test's
+/// semantic-decode check.
+[[nodiscard]] wire::InstanceHealth corpus_instance_health();
 
 }  // namespace rcm::testing
